@@ -1,0 +1,187 @@
+//! Cache-simulation experiments: the L1/L2 miss-rate panel of Figure 2,
+//! the replacement-policy ablation, and the empirical validation of the
+//! analytic block-transition probability β.
+
+use super::Config;
+use crate::report::{pct, Table};
+use cobtree_cachesim::block_model::SingleBlockCache;
+use cobtree_cachesim::presets;
+use cobtree_cachesim::ReplacementPolicy;
+use cobtree_core::{EdgeWeights, NamedLayout, Tree};
+use cobtree_measures::block_transitions;
+use cobtree_search::trace::search_addresses;
+use cobtree_search::workload::UniformKeys;
+
+/// Node size used for cache traces. The paper's β analysis assumes
+/// 4-byte nodes ("a block size of 16 nodes mimics a cache line size of
+/// 64 bytes", §II-B).
+pub const NODE_BYTES: u64 = 4;
+
+/// Figure 2 (bottom-right): L1 and L2 miss rates of random searches,
+/// simulated on the paper's Westmere cache geometry (substitutes for the
+/// paper's valgrind runs).
+#[must_use]
+pub fn fig2_miss_rates(cfg: &Config) -> Vec<Table> {
+    let layouts = NamedLayout::FIG2_SET;
+    let mut tables: Vec<Table> = (0..2)
+        .map(|lvl| {
+            let mut cols = vec!["h".to_string()];
+            cols.extend(layouts.iter().map(|l| l.label().to_string()));
+            Table {
+                name: format!("fig2_miss_l{}", lvl + 1),
+                title: format!(
+                    "Fig 2 (bottom-right): L{} miss rate (simulated Westmere, {} B nodes)",
+                    lvl + 1,
+                    NODE_BYTES
+                ),
+                columns: cols,
+                rows: Vec::new(),
+            }
+        })
+        .collect();
+    for &h in &cfg.miss_heights {
+        let mut rows: [Vec<String>; 2] = [vec![h.to_string()], vec![h.to_string()]];
+        for &l in &layouts {
+            let idx = l.indexer(h);
+            let mut sim = presets::westmere_l1_l2();
+            let keys = UniformKeys::for_height(h, cfg.seed).take_vec(cfg.searches);
+            // Warm-up with a slice of the workload, then measure.
+            let warm = keys.len() / 10;
+            search_addresses(idx.as_ref(), NODE_BYTES, 0, keys[..warm].iter().copied(), |a| {
+                sim.access(a);
+            });
+            sim.reset_stats();
+            search_addresses(idx.as_ref(), NODE_BYTES, 0, keys[warm..].iter().copied(), |a| {
+                sim.access(a);
+            });
+            for (lvl, row) in rows.iter_mut().enumerate() {
+                row.push(pct(sim.global_miss_rate(lvl)));
+            }
+        }
+        for (lvl, row) in rows.into_iter().enumerate() {
+            tables[lvl].push_row(row);
+        }
+    }
+    tables
+}
+
+/// Replacement-policy ablation: MINWEP vs PRE-VEB L1 miss rates under
+/// LRU, FIFO, tree-PLRU and random replacement — the "replacement
+/// policy" attribute the cache-oblivious argument abstracts over.
+#[must_use]
+pub fn policy_ablation(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "ablation_replacement_policy",
+        "Ablation: L1 miss rate under different replacement policies",
+        &["policy", "PRE-VEB", "MINWEP", "minwep_advantage"],
+    );
+    let h = *cfg.miss_heights.last().expect("non-empty heights");
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ] {
+        let mut rates = Vec::new();
+        for layout in [NamedLayout::PreVeb, NamedLayout::MinWep] {
+            let idx = layout.indexer(h);
+            let mut sim = presets::westmere_l1_l2_with_policy(policy);
+            let keys = UniformKeys::for_height(h, cfg.seed).take_vec(cfg.searches / 2);
+            search_addresses(idx.as_ref(), NODE_BYTES, 0, keys.iter().copied(), |a| {
+                sim.access(a);
+            });
+            rates.push(sim.global_miss_rate(0));
+        }
+        t.push_row(vec![
+            format!("{policy:?}"),
+            pct(rates[0]),
+            pct(rates[1]),
+            format!("{:.1}%", (1.0 - rates[1] / rates[0]) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Validates Eq. 3: the measured transition miss rate of the single-block
+/// cache under uniform random searches matches the analytic β computed
+/// with the *exact* edge weights (Eq. 2), for each block size.
+#[must_use]
+pub fn beta_validation(cfg: &Config) -> Table {
+    let h = 12.min(cfg.curve_height);
+    let tree = Tree::new(h);
+    let layout = NamedLayout::MinWep;
+    let idx = layout.indexer(h);
+    let lay = layout.materialize(h);
+    let mut t = Table {
+        name: "beta_validation".into(),
+        title: format!("Single-block simulation vs analytic β (MINWEP, h={h})"),
+        columns: ["block_size", "analytic_beta", "simulated", "rel_error"]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        rows: Vec::new(),
+    };
+    for n in [2u64, 5, 16, 64, 256] {
+        let analytic =
+            block_transitions(h, lay.edge_lengths(), EdgeWeights::Exact, &[n])[0];
+        // Average the simulation over several alignments.
+        let mut total_miss = 0u64;
+        let mut total_trans = 0u64;
+        for offset in 0..n.min(8) {
+            let mut cache = SingleBlockCache::new(n, offset * n / n.min(8));
+            let keys = UniformKeys::for_height(h, cfg.seed + offset).take_vec(cfg.searches / 4);
+            for key in keys {
+                let target = tree.node_at_in_order(key);
+                let d = tree.depth(target);
+                // Prime on the root access (not an edge transition), then
+                // count one access per traversed edge.
+                cache.prime(idx.position(1, 0));
+                for k in 1..=d {
+                    let node = target >> (d - k);
+                    if cache.access(idx.position(node, k)) {
+                        total_miss += 1;
+                    }
+                    total_trans += 1;
+                }
+            }
+        }
+        let simulated = total_miss as f64 / total_trans as f64;
+        let rel = (simulated - analytic).abs() / analytic;
+        t.push_row(vec![
+            n.to_string(),
+            format!("{analytic:.5}"),
+            format!("{simulated:.5}"),
+            format!("{:.2}%", rel * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_validation_is_tight() {
+        let cfg = Config::tiny();
+        let t = beta_validation(&cfg);
+        for row in &t.rows {
+            let rel: f64 = row[3].trim_end_matches('%').parse().unwrap();
+            assert!(rel < 6.0, "block {} rel error {rel}%", row[0]);
+        }
+    }
+
+    #[test]
+    fn miss_rates_l2_below_l1() {
+        let cfg = Config::tiny();
+        let tables = fig2_miss_rates(&cfg);
+        assert_eq!(tables.len(), 2);
+        for (r1, r2) in tables[0].rows.iter().zip(&tables[1].rows) {
+            for (a, b) in r1[1..].iter().zip(&r2[1..]) {
+                let l1: f64 = a.trim_end_matches('%').parse().unwrap();
+                let l2: f64 = b.trim_end_matches('%').parse().unwrap();
+                assert!(l2 <= l1 + 1e-9, "L2 {l2} > L1 {l1}");
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! * **range scans** — the paper optimizes point searches; scans stress
+//!   the opposite end of the locality spectrum (in-order is unbeatable,
+//!   MINWEP pays for its point-search wins);
+//! * **compression friendliness** — §III-A notes (citing ref. \[16\]) that
+//!   minimizing `ν0` also yields compression-friendly orderings; we
+//!   measure it directly by delta-encoding the key sequence in layout
+//!   order;
+//! * **unrestricted-layout probe** — the conclusion observes that
+//!   Recursive Layouts do not always minimize `ν0`; we check small trees
+//!   by steepest-descent from MINWEP.
+
+use super::Config;
+use crate::report::{f, pct, Table};
+use cobtree_cachesim::presets;
+use cobtree_core::{EdgeWeights, NamedLayout, Tree};
+use cobtree_measures::functionals;
+use cobtree_optimizer::exhaustive::{improve_layout, Objective};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Range scans: visit `span` consecutive keys (by rank) starting at
+/// random offsets, counting simulated L1 misses per visited element.
+#[must_use]
+pub fn range_scan_experiment(cfg: &Config) -> Table {
+    let h = 16.min(cfg.curve_height);
+    let tree = Tree::new(h);
+    let spans = [4u64, 16, 64, 256];
+    let mut cols = vec!["layout".to_string()];
+    cols.extend(spans.iter().map(|s| format!("span_{s}")));
+    let mut t = Table {
+        name: "ext_range_scan".into(),
+        title: format!("Extension: L1 misses per element for range scans (h={h})"),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    for layout in [
+        NamedLayout::InOrder,
+        NamedLayout::PreVeb,
+        NamedLayout::MinWep,
+        NamedLayout::PreBreadth,
+    ] {
+        let idx = layout.indexer(h);
+        let mut row = vec![layout.label().to_string()];
+        for &span in &spans {
+            let mut sim = presets::westmere_l1_l2();
+            let mut visited = 0u64;
+            for _ in 0..2_000 {
+                let start = rng.random_range(1..=tree.len() - span);
+                for rank in start..start + span {
+                    let node = tree.node_at_in_order(rank);
+                    sim.access(idx.position(node, tree.depth(node)) * 4);
+                    visited += 1;
+                }
+            }
+            row.push(format!(
+                "{:.3}",
+                sim.level_stats(0).misses as f64 / visited as f64
+            ));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Compression friendliness: bytes per key after delta + LEB128-style
+/// varint coding of the in-order key sequence read in layout order.
+/// Lower ν0 should correlate with smaller encodings (§III-A, ref. \[16\]).
+#[must_use]
+pub fn compression_experiment(cfg: &Config) -> Table {
+    let h = 16.min(cfg.curve_height);
+    let mut t = Table::new(
+        "ext_compression",
+        "Extension: delta-varint bytes/key of layout-ordered key sequences",
+        &["layout", "nu0", "bytes_per_key"],
+    );
+    for layout in [
+        NamedLayout::InOrder,
+        NamedLayout::MinWla,
+        NamedLayout::MinWep,
+        NamedLayout::InVeb,
+        NamedLayout::PreVeb,
+        NamedLayout::PreBreadth,
+        NamedLayout::InBreadth,
+    ] {
+        let mat = layout.materialize(h);
+        let tree = mat.tree();
+        // Key (= in-order rank) of the node at each position.
+        let inv = mat.nodes_by_position();
+        let mut bytes = 0usize;
+        let mut prev: i64 = 0;
+        for &node in &inv {
+            let key = tree.in_order_rank(node) as i64;
+            let delta = key - prev;
+            prev = key;
+            // Zigzag + varint length.
+            let zz = ((delta << 1) ^ (delta >> 63)) as u64;
+            bytes += (1 + (67 - (zz | 1).leading_zeros() as usize) / 7).min(10);
+        }
+        let fx = functionals(h, mat.edge_lengths(), EdgeWeights::Approximate);
+        t.push_row(vec![
+            layout.label().to_string(),
+            f(fx.nu0),
+            format!("{:.3}", bytes as f64 / inv.len() as f64),
+        ]);
+    }
+    t
+}
+
+/// Probe of the conclusion's remark: can pairwise swaps improve MINWEP's
+/// ν0 on small trees (i.e. is the Recursive family locally suboptimal)?
+#[must_use]
+pub fn unrestricted_probe(_cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "ext_unrestricted_probe",
+        "Extension: steepest-descent probe beyond Recursive Layouts",
+        &["h", "minwep_nu0", "after_descent", "improved"],
+    );
+    for h in [3u32, 4, 5] {
+        let start = NamedLayout::MinWep.materialize(h);
+        let before = Objective::Nu0.eval(&start);
+        let (after, _) = improve_layout(&start, Objective::Nu0);
+        t.push_row(vec![
+            h.to_string(),
+            f(before),
+            f(after),
+            if after < before - 1e-9 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Skewed-workload miss rates: uniform vs Zipf through the cache
+/// simulator (extension; the paper only evaluates uniform searches).
+#[must_use]
+pub fn skew_experiment(cfg: &Config) -> Table {
+    use cobtree_search::trace::search_addresses;
+    use cobtree_search::workload::{UniformKeys, ZipfKeys};
+    let h = 16.min(cfg.curve_height);
+    let n = (1u64 << h) - 1;
+    let mut t = Table::new(
+        "ext_skewed_workloads",
+        "Extension: L1 miss rate under uniform vs Zipf(1.1) lookups",
+        &["layout", "uniform", "zipf"],
+    );
+    for layout in [NamedLayout::PreVeb, NamedLayout::InVeb, NamedLayout::MinWep] {
+        let idx = layout.indexer(h);
+        let mut rates = Vec::new();
+        let uniform: Vec<u64> = UniformKeys::new(n, cfg.seed).take(cfg.searches / 4).collect();
+        let zipf: Vec<u64> = ZipfKeys::new(n, 1.1, cfg.seed).take(cfg.searches / 4).collect();
+        for keys in [&uniform, &zipf] {
+            let mut sim = presets::westmere_l1_l2();
+            search_addresses(idx.as_ref(), 4, 0, keys.iter().copied(), |a| {
+                sim.access(a);
+            });
+            rates.push(sim.global_miss_rate(0));
+        }
+        t.push_row(vec![
+            layout.label().to_string(),
+            pct(rates[0]),
+            pct(rates[1]),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_wins_long_scans() {
+        // Needs a tree that exceeds L1 (h=10's 4 KB fits entirely), so
+        // bump the height while keeping the tiny workload sizes.
+        let mut cfg = Config::tiny();
+        cfg.curve_height = 16;
+        let t = range_scan_experiment(&cfg);
+        // Last span column: IN-ORDER (row 0) must beat MINWEP (row 2).
+        let last = t.columns.len() - 1;
+        let in_order: f64 = t.rows[0][last].parse().unwrap();
+        let minwep: f64 = t.rows[2][last].parse().unwrap();
+        assert!(in_order < minwep, "in-order {in_order} vs minwep {minwep}");
+    }
+
+    #[test]
+    fn compression_correlates_with_nu0() {
+        let cfg = Config::tiny();
+        let t = compression_experiment(&cfg);
+        // The best (IN-ORDER/MINWLA rows) must beat PRE-BREADTH.
+        let best: f64 = t.rows[0][2].parse().unwrap();
+        let worst: f64 = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "PRE-BREADTH")
+            .unwrap()[2]
+            .parse()
+            .unwrap();
+        assert!(best < worst);
+    }
+
+    #[test]
+    fn probe_confirms_local_optimality_at_h4() {
+        let cfg = Config::tiny();
+        let t = unrestricted_probe(&cfg);
+        let h4 = t.rows.iter().find(|r| r[0] == "4").unwrap();
+        assert_eq!(h4[3], "no", "MINWEP should be swap-optimal at h=4");
+    }
+}

@@ -1,0 +1,272 @@
+//! Analytic locality experiments: Figures 1, 3, 5, the ν0 panels of
+//! Figures 2 and 4, and Table I.
+
+use super::{profile_for, profile_of, Config};
+use crate::report::{f, pct, Table};
+use cobtree_core::golden::FIG5;
+use cobtree_core::{EdgeWeights, NamedLayout};
+use cobtree_measures::functionals;
+use cobtree_optimizer::{minbw_layout, minla_layout};
+
+/// Figure 1 (left): block transitions β vs block size for the six
+/// vEB-family layouts.
+#[must_use]
+pub fn fig1_block_transitions(cfg: &Config) -> Table {
+    let h = cfg.curve_height;
+    let layouts = NamedLayout::FIG2_SET;
+    let mut cols = vec!["block_size".to_string()];
+    cols.extend(layouts.iter().map(|l| l.label().to_string()));
+    let mut t = Table {
+        name: "fig1_block_transitions".into(),
+        title: format!("Fig 1 (left): block transitions vs block size, h={h}"),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    let curves: Vec<Vec<(u64, f64)>> = layouts
+        .iter()
+        .map(|&l| profile_for(l, h).block_transition_curve(EdgeWeights::Approximate, h))
+        .collect();
+    for k in 0..=h as usize {
+        let mut row = vec![curves[0][k].0.to_string()];
+        row.extend(curves.iter().map(|c| pct(c[k].1)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 1 (right): weighted cumulative distribution of edge lengths.
+#[must_use]
+pub fn fig1_edge_cdf(cfg: &Config) -> Table {
+    let h = cfg.curve_height;
+    let layouts = NamedLayout::FIG2_SET;
+    let mut cols = vec!["edge_length".to_string()];
+    cols.extend(layouts.iter().map(|l| l.label().to_string()));
+    let mut t = Table {
+        name: "fig1_edge_cdf".into(),
+        title: format!("Fig 1 (right): weighted cumulative edge-length distribution, h={h}"),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    let curves: Vec<Vec<(u64, f64)>> = layouts
+        .iter()
+        .map(|&l| profile_for(l, h).weighted_length_cdf(EdgeWeights::Approximate, h))
+        .collect();
+    for k in 0..=h as usize {
+        let mut row = vec![curves[0][k].0.to_string()];
+        row.extend(curves.iter().map(|c| pct(c[k].1)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 2 (top-left) / Figure 4 (top-left): ν0 vs tree height.
+#[must_use]
+pub fn nu0_vs_height(cfg: &Config, layouts: &[NamedLayout], name: &str, title: &str) -> Table {
+    let mut cols = vec!["h".to_string()];
+    cols.extend(layouts.iter().map(|l| l.label().to_string()));
+    let mut t = Table {
+        name: name.into(),
+        title: title.into(),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    for h in cfg.nu0_heights.clone() {
+        let mut row = vec![h.to_string()];
+        for &l in layouts {
+            let fx = profile_for(l, h).functionals(EdgeWeights::Approximate);
+            row.push(f(fx.nu0));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 2 (bottom-left): β for blocks of 2, 5 and 16 nodes vs height.
+#[must_use]
+pub fn fig2_beta_vs_height(cfg: &Config) -> Vec<Table> {
+    let layouts = NamedLayout::FIG2_SET;
+    [2u64, 5, 16]
+        .iter()
+        .map(|&n| {
+            let mut cols = vec!["h".to_string()];
+            cols.extend(layouts.iter().map(|l| l.label().to_string()));
+            let mut t = Table {
+                name: format!("fig2_beta_n{n}"),
+                title: format!("Fig 2 (bottom-left): block transitions, N = {n} nodes"),
+                columns: cols,
+                rows: Vec::new(),
+            };
+            for h in cfg.nu0_heights.clone() {
+                if h < 4 {
+                    continue;
+                }
+                let mut row = vec![h.to_string()];
+                for l in layouts {
+                    let lay = l.materialize(h.min(26));
+                    let beta = cobtree_measures::block_transitions(
+                        h,
+                        lay.edge_lengths(),
+                        EdgeWeights::Approximate,
+                        &[n],
+                    );
+                    row.push(pct(beta[0]));
+                }
+                t.push_row(row);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Figure 3: β vs block size for the four objective-optimal layouts.
+#[must_use]
+pub fn fig3_objective_layouts(cfg: &Config) -> Table {
+    let h = cfg.curve_height;
+    let minla = minla_layout(h);
+    let minbw = minbw_layout(h);
+    let curves = [
+        ("MINBW", profile_of(&minbw)),
+        ("MINLA", profile_of(&minla)),
+        ("MINWLA", profile_for(NamedLayout::MinWla, h)),
+        ("MINWEP", profile_for(NamedLayout::MinWep, h)),
+    ];
+    let mut cols = vec!["block_size".to_string()];
+    cols.extend(curves.iter().map(|(n, _)| (*n).to_string()));
+    let mut t = Table {
+        name: "fig3_block_transitions".into(),
+        title: format!("Fig 3: block transitions for µ∞/µ1/ν1/ν0-optimal layouts, h={h}"),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    let data: Vec<Vec<(u64, f64)>> = curves
+        .iter()
+        .map(|(_, p)| p.block_transition_curve(EdgeWeights::Approximate, h))
+        .collect();
+    for k in 0..=h as usize {
+        let mut row = vec![data[0][k].0.to_string()];
+        row.extend(data.iter().map(|c| pct(c[k].1)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 5: the full functional table for `h = 6`, paper vs measured,
+/// including the MINLA/MINBW constructions.
+#[must_use]
+pub fn fig5_table() -> Table {
+    let mut t = Table::new(
+        "fig5_functionals",
+        "Fig 5: layout functionals at h = 6 (paper / measured)",
+        &[
+            "layout", "nu0_paper", "nu0", "nu1_paper", "nu1", "mu1_paper", "mu1", "mu_inf_paper",
+            "mu_inf", "engine_matches_figure",
+        ],
+    );
+    for entry in FIG5 {
+        let golden = entry.layout_h6();
+        let fx = functionals(6, golden.edge_lengths(), EdgeWeights::Approximate);
+        let engine_match = match entry.layout {
+            Some(named) => {
+                if named.materialize(6).equivalent_to(&golden) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            None => {
+                // MINLA/MINBW come from the optimizer constructions.
+                let ours = if entry.name == "MINLA" {
+                    minla_layout(6)
+                } else {
+                    minbw_layout(6)
+                };
+                let of = functionals(6, ours.edge_lengths(), EdgeWeights::Approximate);
+                if entry.name == "MINLA" && (of.mu1 - fx.mu1).abs() < 1e-9 {
+                    "cost-equal"
+                } else if entry.name == "MINBW" && of.mu_inf == fx.mu_inf {
+                    "bandwidth-equal"
+                } else {
+                    "approx"
+                }
+            }
+        };
+        t.push_row(vec![
+            entry.name.to_string(),
+            f(entry.nu0),
+            f(fx.nu0),
+            f(entry.nu1),
+            f(fx.nu1),
+            f(entry.mu1),
+            f(fx.mu1),
+            entry.mu_inf.to_string(),
+            fx.mu_inf.to_string(),
+            engine_match.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table I: the nomenclature of every named Recursive Layout.
+#[must_use]
+pub fn table1_nomenclature() -> Table {
+    let mut t = Table::new(
+        "table1_nomenclature",
+        "Table I: Recursive Layout nomenclature",
+        &["layout", "nomenclature", "cut", "subscript", "alternating"],
+    );
+    for l in NamedLayout::ALL {
+        let spec = l.spec();
+        t.push_row(vec![
+            l.label().to_string(),
+            l.nomenclature(),
+            format!("{:?}", spec.cut_pre),
+            format!("{:?}", spec.first_in_order),
+            spec.alternating.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_curves_have_expected_shape() {
+        let cfg = Config::tiny();
+        let t = fig1_block_transitions(&cfg);
+        assert_eq!(t.rows.len(), cfg.curve_height as usize + 1);
+        // First row: N = 1 ⇒ 100% for every layout.
+        for cell in &t.rows[0][1..] {
+            assert_eq!(cell, "100.00%");
+        }
+    }
+
+    #[test]
+    fn fig5_engine_matches_everywhere() {
+        let t = fig5_table();
+        assert_eq!(t.rows.len(), 14);
+        for row in &t.rows {
+            let verdict = row.last().unwrap();
+            assert!(
+                verdict == "yes" || verdict == "cost-equal" || verdict == "bandwidth-equal",
+                "{}: {verdict}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn nu0_table_orders_minwep_best() {
+        let cfg = Config::tiny();
+        let t = nu0_vs_height(&cfg, &NamedLayout::FIG2_SET, "x", "x");
+        // Last column is MINWEP; it must have the smallest ν0 in each row.
+        for row in &t.rows {
+            let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+            let minwep = *vals.last().unwrap();
+            for v in &vals {
+                assert!(minwep <= v + 1e-9, "row {row:?}");
+            }
+        }
+    }
+}

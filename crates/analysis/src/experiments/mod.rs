@@ -1,0 +1,124 @@
+//! Experiment generators — one per table/figure of the paper.
+//!
+//! Every generator returns [`crate::report::Table`]s whose CSVs
+//! regenerate the corresponding figure's data series. The `repro` binary
+//! dispatches to these and records paper-vs-measured in EXPERIMENTS.md.
+
+pub mod cache;
+pub mod extensions;
+pub mod locality;
+pub mod study_exp;
+pub mod timing_exp;
+
+use cobtree_core::{Layout, NamedLayout};
+use cobtree_measures::{stream, EdgeProfile};
+use std::path::PathBuf;
+
+/// Global experiment configuration. The paper's scales (h up to 32, 10 M
+/// searches, 15 repeats) exceed this machine; [`Config::full`] is the
+/// largest faithful setting, [`Config::quick`] a fast smoke profile, and
+/// [`Config::tiny`] is for unit tests.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directory for CSV artifacts.
+    pub results_dir: PathBuf,
+    /// Workload seed.
+    pub seed: u64,
+    /// Tree height for the β/CDF curves (Figures 1 and 3; paper: 20).
+    pub curve_height: u32,
+    /// Heights for the ν0/β-vs-height panels (paper: 4..=32).
+    pub nu0_heights: Vec<u32>,
+    /// Heights for the timing panels (paper: 16..=32).
+    pub timing_heights: Vec<u32>,
+    /// Heights for the cache-miss panel (paper: 12..=28).
+    pub miss_heights: Vec<u32>,
+    /// Searches per run (paper: 10 M).
+    pub searches: usize,
+    /// Timing repeats, median taken (paper: 15).
+    pub repeats: usize,
+    /// Tree height for the §IV-C study.
+    pub study_height: u32,
+}
+
+impl Config {
+    /// Fast smoke profile (finishes in well under a minute in release).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            results_dir: PathBuf::from("results"),
+            seed: 0x5EED_C0B7,
+            curve_height: 16,
+            nu0_heights: (4..=20).step_by(2).collect(),
+            timing_heights: (14..=20).step_by(2).collect(),
+            miss_heights: (12..=20).step_by(2).collect(),
+            searches: 200_000,
+            repeats: 5,
+            study_height: 10,
+        }
+    }
+
+    /// Paper-faithful profile within this machine's memory/time budget.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            results_dir: PathBuf::from("results"),
+            seed: 0x5EED_C0B7,
+            curve_height: 20,
+            nu0_heights: (4..=24).step_by(2).collect(),
+            timing_heights: (14..=24).step_by(2).collect(),
+            miss_heights: (12..=24).step_by(2).collect(),
+            searches: 1_000_000,
+            repeats: 9,
+            study_height: 12,
+        }
+    }
+
+    /// Minimal profile for unit tests (debug builds).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            results_dir: std::env::temp_dir(),
+            seed: 7,
+            curve_height: 10,
+            nu0_heights: vec![6, 8, 10],
+            timing_heights: vec![8, 10],
+            miss_heights: vec![10, 12],
+            searches: 2_000,
+            repeats: 3,
+            study_height: 7,
+        }
+    }
+}
+
+/// Builds the per-depth edge profile of a named layout, materializing up
+/// to `h = 26` and streaming from the arithmetic indexer beyond.
+#[must_use]
+pub fn profile_for(layout: NamedLayout, h: u32) -> EdgeProfile {
+    if h <= 26 {
+        let l = layout.materialize(h);
+        EdgeProfile::build(h, l.edge_lengths())
+    } else {
+        stream::profile_from_index(layout.indexer(h).as_ref())
+    }
+}
+
+/// Profile of an arbitrary materialized layout (MINLA/MINBW baselines).
+#[must_use]
+pub fn profile_of(layout: &Layout) -> EdgeProfile {
+    EdgeProfile::build(layout.height(), layout.edge_lengths())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_consistent() {
+        let a = profile_for(NamedLayout::MinWep, 10);
+        let l = NamedLayout::MinWep.materialize(10);
+        let b = profile_of(&l);
+        let wa = a.functionals(cobtree_core::EdgeWeights::Approximate);
+        let wb = b.functionals(cobtree_core::EdgeWeights::Approximate);
+        assert!((wa.nu0 - wb.nu0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! The §IV-B/C study and the design-choice ablations.
+
+use super::{profile_for, Config};
+use crate::report::{f, Table};
+use cobtree_core::engine::materialize;
+use cobtree_core::{CutRule, EdgeWeights, NamedLayout, RecursiveSpec, RootOrder, Subscript};
+use cobtree_measures::functionals;
+use cobtree_optimizer::study::full_study;
+
+/// §IV-C study: optimized cut tables per (subscript, alternation) cell.
+#[must_use]
+pub fn study_table(cfg: &Config) -> Table {
+    let h = cfg.study_height;
+    let cells = full_study(h);
+    let minwep = {
+        let l = NamedLayout::MinWep.materialize(h);
+        functionals(h, l.edge_lengths(), EdgeWeights::Approximate).nu0
+    };
+    let mut t = Table::new(
+        "study_cells",
+        "§IV-C study: optimal nu0 per (subscript, alternating) cell",
+        &["k", "alternating", "nu0", "vs_minwep", "g_pre_table"],
+    );
+    for cell in cells {
+        t.push_row(vec![
+            format!("{:?}", cell.k),
+            cell.alternating.to_string(),
+            f(cell.nu0),
+            format!("{:+.3}%", (cell.nu0 / minwep - 1.0) * 100.0),
+            format!("{:?}", &cell.g_pre[2.min(cell.g_pre.len())..]),
+        ]);
+    }
+    t
+}
+
+/// Ablation: the effect of the cut height on PRE/IN layouts — sweeps
+/// `g(h) = ⌊h/2⌋ + δ` (clamped) and reports ν0 (the §IV-D observation
+/// that "the optimal cut height is closer to halfway down the tree").
+#[must_use]
+pub fn cut_height_ablation(cfg: &Config) -> Table {
+    let h = *cfg.nu0_heights.last().expect("non-empty");
+    let mut t = Table::new(
+        "ablation_cut_height",
+        "Ablation: nu0 vs cut-height offset (g = floor(h/2) + delta)",
+        &["delta", "PRE_family_nu0", "IN_family_nu0"],
+    );
+    for delta in -3i64..=3 {
+        let table: Vec<u32> = (0..=h)
+            .map(|x| {
+                if x < 2 {
+                    1
+                } else {
+                    (i64::from(x / 2) + delta).clamp(1, i64::from(x - 1)) as u32
+                }
+            })
+            .collect();
+        let pre = RecursiveSpec {
+            root_order: RootOrder::PreOrder,
+            cut_in: CutRule::Table(table.clone()),
+            cut_pre: CutRule::Table(table.clone()),
+            first_in_order: Subscript::Infinity,
+            alternating: false,
+        };
+        let inn = RecursiveSpec {
+            root_order: RootOrder::InOrder,
+            cut_in: CutRule::Table(table.clone()),
+            cut_pre: CutRule::Table(table),
+            first_in_order: Subscript::K(1),
+            alternating: false,
+        };
+        let pre_nu0 = functionals(
+            h,
+            materialize(&pre, h).edge_lengths(),
+            EdgeWeights::Approximate,
+        )
+        .nu0;
+        let in_nu0 = functionals(
+            h,
+            materialize(&inn, h).edge_lengths(),
+            EdgeWeights::Approximate,
+        )
+        .nu0;
+        t.push_row(vec![delta.to_string(), f(pre_nu0), f(in_nu0)]);
+    }
+    t
+}
+
+/// Ablation: subscript `k` sweep on the alternating MINWEP-style layout.
+#[must_use]
+pub fn subscript_ablation(cfg: &Config) -> Table {
+    let h = *cfg.nu0_heights.last().expect("non-empty");
+    let mut t = Table::new(
+        "ablation_subscript",
+        "Ablation: nu0 vs first-in-order subscript k (MINWEP cuts)",
+        &["k", "nu0"],
+    );
+    for (label, k) in [
+        ("1", Subscript::K(1)),
+        ("2", Subscript::K(2)),
+        ("3", Subscript::K(3)),
+        ("4", Subscript::K(4)),
+        ("inf", Subscript::Infinity),
+    ] {
+        let spec = RecursiveSpec {
+            root_order: RootOrder::InOrder,
+            cut_in: CutRule::One,
+            cut_pre: CutRule::MinWepPre,
+            first_in_order: k,
+            alternating: true,
+        };
+        let nu0 = functionals(
+            h,
+            materialize(&spec, h).edge_lengths(),
+            EdgeWeights::Approximate,
+        )
+        .nu0;
+        t.push_row(vec![label.to_string(), f(nu0)]);
+    }
+    t
+}
+
+/// Ablation: alternation on/off for the layouts where it matters
+/// (Theorem 2 in practice).
+#[must_use]
+pub fn alternation_ablation(cfg: &Config) -> Table {
+    let h = *cfg.nu0_heights.last().expect("non-empty");
+    let mut t = Table::new(
+        "ablation_alternation",
+        "Ablation: nu0 with and without alternation (Theorem 2)",
+        &["layout", "plain_nu0", "alternating_nu0", "reduction"],
+    );
+    for (label, plain, alt) in [
+        ("PRE-VEB", NamedLayout::PreVeb, NamedLayout::PreVebA),
+        ("IN-VEB", NamedLayout::InVeb, NamedLayout::InVebA),
+    ] {
+        let p = profile_for(plain, h).functionals(EdgeWeights::Approximate).nu0;
+        let a = profile_for(alt, h).functionals(EdgeWeights::Approximate).nu0;
+        t.push_row(vec![
+            label.to_string(),
+            f(p),
+            f(a),
+            format!("{:.2}%", (1.0 - a / p) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Ablation: exact (Eq. 2) vs approximate (`2^{−d}`) edge weights.
+#[must_use]
+pub fn weight_model_ablation(cfg: &Config) -> Table {
+    let h = *cfg.nu0_heights.last().expect("non-empty");
+    let mut t = Table::new(
+        "ablation_weights",
+        "Ablation: nu0 under exact (Eq. 2) vs approximate (2^-d) weights",
+        &["layout", "approx_nu0", "exact_nu0", "difference"],
+    );
+    for l in NamedLayout::FIG2_SET {
+        let prof = profile_for(l, h);
+        let a = prof.functionals(EdgeWeights::Approximate).nu0;
+        let e = prof.functionals(EdgeWeights::Exact).nu0;
+        t.push_row(vec![
+            l.label().to_string(),
+            f(a),
+            f(e),
+            format!("{:+.2}%", (e / a - 1.0) * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscript_two_wins_the_sweep() {
+        let cfg = Config::tiny();
+        let t = subscript_ablation(&cfg);
+        let k2: f64 = t.rows[1][1].parse().unwrap();
+        for row in &t.rows {
+            let v: f64 = row[1].parse().unwrap();
+            assert!(k2 <= v + 1e-9, "k=2 {k2} vs k={} {v}", row[0]);
+        }
+    }
+
+    #[test]
+    fn alternation_reduces_nu0() {
+        let cfg = Config::tiny();
+        let t = alternation_ablation(&cfg);
+        for row in &t.rows {
+            let p: f64 = row[1].parse().unwrap();
+            let a: f64 = row[2].parse().unwrap();
+            assert!(a <= p + 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn near_half_cuts_win() {
+        let cfg = Config::tiny();
+        let t = cut_height_ablation(&cfg);
+        // delta = 0 must beat the extremes for the pre family.
+        let at = |d: i64| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == d.to_string())
+                .unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(at(0) <= at(-3) + 1e-9);
+        assert!(at(0) <= at(3) + 1e-9);
+    }
+}

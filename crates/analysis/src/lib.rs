@@ -1,0 +1,19 @@
+//! # cobtree-analysis
+//!
+//! The experiment harness: regenerates the data behind **every table and
+//! figure** of the paper (Figures 1–5, Table I, the §IV-C study) plus the
+//! design-choice ablations, writing CSV artifacts and Markdown reports.
+//!
+//! Run it via the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p cobtree-analysis --bin repro -- all
+//! cargo run --release -p cobtree-analysis --bin repro -- --full fig3
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod timing;
+
+pub use experiments::Config;
+pub use report::Table;

@@ -1,0 +1,52 @@
+//! Cache-simulator throughput and the Fig 2 miss-rate kernel: random
+//! searches traced through the simulated Westmere L1/L2.
+
+use cobtree_cachesim::presets;
+use cobtree_core::NamedLayout;
+use cobtree_search::trace::search_addresses;
+use cobtree_search::workload::UniformKeys;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cache_trace(c: &mut Criterion) {
+    let h = 16;
+    let keys = UniformKeys::for_height(h, 44).take_vec(5_000);
+    let mut group = c.benchmark_group(format!("cachesim_search_trace_h{h}"));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(keys.len() as u64));
+    for layout in [NamedLayout::PreVeb, NamedLayout::MinWep] {
+        let idx = layout.indexer(h);
+        group.bench_function(BenchmarkId::from_parameter(layout.label()), |b| {
+            b.iter(|| {
+                let mut sim = presets::westmere_l1_l2();
+                search_addresses(idx.as_ref(), 4, 0, keys.iter().copied(), |a| {
+                    sim.access(a);
+                });
+                black_box(sim.level_stats(0).misses)
+            });
+        });
+    }
+    group.finish();
+
+    let mut raw = c.benchmark_group("cachesim_raw_access");
+    raw.sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(100_000));
+    raw.bench_function("sequential_64B_stride", |b| {
+        b.iter(|| {
+            let mut sim = presets::westmere_l1_l2();
+            for i in 0..100_000u64 {
+                sim.access(i * 64);
+            }
+            black_box(sim.level_stats(1).misses)
+        });
+    });
+    raw.finish();
+}
+
+criterion_group!(benches, cache_trace);
+criterion_main!(benches);

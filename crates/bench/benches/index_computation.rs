@@ -1,0 +1,36 @@
+//! Pointer-less index-computation time (Fig 4 bottom-right): searches
+//! with keys inferred from the BFS index, so no memory is touched and
+//! only the per-transition position arithmetic is measured.
+//!
+//! Shape to reproduce (§IV-E): simple layouts ≈ flat and cheapest;
+//! PRE-VEB notably cheaper than IN-VEB; MINWEP cheaper than HALFWEP
+//! (thanks to the `g_I = 1` reformulation); BENDER the slowest vEB
+//! variant (complex cut heights).
+
+use cobtree_bench::{bench_height, bench_layouts};
+use cobtree_search::workload::UniformKeys;
+use cobtree_search::IndexOnlySearcher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn index_only(c: &mut Criterion) {
+    let h = bench_height();
+    let keys = UniformKeys::for_height(h, 43).take_vec(10_000);
+    let mut group = c.benchmark_group(format!("index_computation_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(keys.len() as u64));
+    for layout in bench_layouts() {
+        let idx = layout.indexer(h);
+        group.bench_function(BenchmarkId::from_parameter(layout.label()), |b| {
+            let searcher = IndexOnlySearcher::new(idx.as_ref());
+            b.iter(|| searcher.search_batch_checksum(keys.iter().copied()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, index_only);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Engine materialization cost per layout family, plus the MINLA/MINBW
+//! baseline constructions (harness infrastructure for Figures 3 and 5).
+
+use cobtree_core::NamedLayout;
+use cobtree_optimizer::{minbw_layout, minla_layout};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn generation(c: &mut Criterion) {
+    let h = 16;
+    let n = (1u64 << h) - 1;
+    let mut group = c.benchmark_group(format!("materialize_h{h}"));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n));
+    for layout in [
+        NamedLayout::PreBreadth,
+        NamedLayout::InOrder,
+        NamedLayout::PreVeb,
+        NamedLayout::InVebA,
+        NamedLayout::HalfWep,
+        NamedLayout::MinWep,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(layout.label()), |b| {
+            b.iter(|| black_box(layout.materialize(h)));
+        });
+    }
+    group.finish();
+
+    let mut base = c.benchmark_group("baseline_constructions_h12");
+    base.sample_size(10).measurement_time(Duration::from_secs(3));
+    base.bench_function("minla", |b| b.iter(|| black_box(minla_layout(12))));
+    base.bench_function("minbw", |b| b.iter(|| black_box(minbw_layout(12))));
+    base.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Measure-evaluation throughput: the harness-side cost of computing the
+//! locality functionals and β curves that drive Figures 1–4.
+
+use cobtree_core::{EdgeWeights, NamedLayout};
+use cobtree_measures::{functionals, EdgeProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn measure_eval(c: &mut Criterion) {
+    let h = 16;
+    let layout = NamedLayout::MinWep.materialize(h);
+    let edges: Vec<(u32, u64)> = layout.edge_lengths().collect();
+    let mut group = c.benchmark_group("measures_h16");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("functionals", |b| {
+        b.iter(|| functionals(h, edges.iter().copied(), EdgeWeights::Approximate));
+    });
+    group.bench_function("edge_profile_build", |b| {
+        b.iter(|| EdgeProfile::build(h, edges.iter().copied()));
+    });
+    let profile = EdgeProfile::build(h, edges.iter().copied());
+    group.bench_function("beta_curve_from_profile", |b| {
+        b.iter(|| profile.block_transition_curve(EdgeWeights::Approximate, h));
+    });
+    group.finish();
+
+    let mut gen_group = c.benchmark_group("edge_lengths_scan");
+    gen_group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
+    for layout in [NamedLayout::PreVeb, NamedLayout::MinWep] {
+        let mat = layout.materialize(h);
+        gen_group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &mat,
+            |b, m| b.iter(|| m.edge_lengths().map(|(_, l)| l).sum::<u64>()),
+        );
+    }
+    gen_group.finish();
+}
+
+criterion_group!(benches, measure_eval);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Explicit (pointer-based) search time per layout — the paper's primary
+//! performance metric (Fig 2 top-right, Fig 4 top-right).
+//!
+//! The headline claim to reproduce: MINWEP ≈ HALFWEP < IN-VEB(A) <
+//! PRE-VEB(A) < BENDER, with MINWEP roughly 20% faster than PRE-VEB at
+//! large heights, and the breadth-first layouts far behind.
+
+use cobtree_bench::{bench_height, bench_layouts};
+use cobtree_search::workload::UniformKeys;
+use cobtree_search::ExplicitTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn explicit_search(c: &mut Criterion) {
+    let h = bench_height();
+    let keys = UniformKeys::for_height(h, 42).take_vec(10_000);
+    let mut group = c.benchmark_group(format!("explicit_search_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(keys.len() as u64));
+    for layout in bench_layouts() {
+        let mat = layout.materialize(h);
+        let tree = ExplicitTree::<u64>::with_rank_keys(&mat);
+        group.bench_with_input(BenchmarkId::from_parameter(layout.label()), &tree, |b, t| {
+            b.iter(|| t.search_batch_checksum(keys.iter().copied()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, explicit_search);
+criterion_main!(benches);

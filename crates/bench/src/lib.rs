@@ -1,0 +1,33 @@
+//! # cobtree-bench
+//!
+//! Criterion benchmark suite. One bench target per experimental axis of
+//! the paper:
+//!
+//! | bench | paper experiment |
+//! |-------|------------------|
+//! | `search_time` | Fig 2 (top-right) / Fig 4 (top-right): explicit search |
+//! | `index_computation` | Fig 4 (bottom-right): pointer-less index arithmetic |
+//! | `measures` | cost of evaluating ν0/β (harness infrastructure) |
+//! | `cachesim` | cache-simulator throughput (harness infrastructure) |
+//! | `layout_generation` | engine materialization cost |
+//! | `ablations` | implicit search (Fig 4 bottom-left) + weight models |
+//!
+//! The benches use reduced sample counts so `cargo bench --workspace`
+//! finishes in minutes; set `BENCH_HEIGHT` for paper-scale runs.
+
+use cobtree_core::NamedLayout;
+
+/// Default tree height for timing benches (`BENCH_HEIGHT` env overrides).
+#[must_use]
+pub fn bench_height() -> u32 {
+    std::env::var("BENCH_HEIGHT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18)
+}
+
+/// The layouts every timing bench compares (Figure 4's set).
+#[must_use]
+pub fn bench_layouts() -> Vec<NamedLayout> {
+    NamedLayout::FIG4_SET.to_vec()
+}

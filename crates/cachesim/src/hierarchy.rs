@@ -1,0 +1,149 @@
+//! Stacked cache levels.
+//!
+//! Mirrors cachegrind's model: an access first probes L1; only misses
+//! propagate to the next level, and a miss at every level fills the line
+//! everywhere on the way back (allocate-on-miss at each level).
+
+use crate::cache::{CacheConfig, CacheLevel, LevelStats};
+
+/// A multi-level cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from outermost-first level configs (L1 first).
+    #[must_use]
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "need at least one level");
+        Self {
+            levels: configs.into_iter().map(CacheLevel::new).collect(),
+        }
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Simulates one byte access. Returns the index of the level that hit,
+    /// or `None` for a access served by memory.
+    pub fn access(&mut self, addr: u64) -> Option<usize> {
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Simulates a whole trace of byte addresses.
+    pub fn run(&mut self, trace: impl IntoIterator<Item = u64>) {
+        for a in trace {
+            self.access(a);
+        }
+    }
+
+    /// Counters of level `i` (0 = L1).
+    #[must_use]
+    pub fn level_stats(&self, i: usize) -> LevelStats {
+        self.levels[i].stats()
+    }
+
+    /// Name of level `i`.
+    #[must_use]
+    pub fn level_name(&self, i: usize) -> &str {
+        &self.levels[i].config().name
+    }
+
+    /// Miss rate of level `i` relative to *L1 accesses* — the quantity the
+    /// paper plots in Figure 2 (misses incurred in memory accesses to the
+    /// tree, normalized by total accesses).
+    #[must_use]
+    pub fn global_miss_rate(&self, i: usize) -> f64 {
+        let total = self.levels[0].stats().accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.levels[i].stats().misses as f64 / total as f64
+        }
+    }
+
+    /// Resets all counters (cache contents survive, allowing warm-up
+    /// phases to be excluded from measurement).
+    pub fn reset_stats(&mut self) {
+        for l in &mut self.levels {
+            l.reset_stats();
+        }
+    }
+
+    /// Invalidates every line in every level.
+    pub fn flush(&mut self) {
+        for l in &mut self.levels {
+            l.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn two_level() -> CacheHierarchy {
+        CacheHierarchy::new(vec![
+            CacheConfig::lru("L1", 128, 16, 2),
+            CacheConfig::lru("L2", 512, 16, 4),
+        ])
+    }
+
+    #[test]
+    fn miss_propagates_and_fills_both() {
+        let mut h = two_level();
+        assert_eq!(h.access(0), None); // memory
+        assert_eq!(h.access(0), Some(0)); // L1 hit
+        assert_eq!(h.level_stats(0).misses, 1);
+        assert_eq!(h.level_stats(1).misses, 1);
+        assert_eq!(h.level_stats(1).accesses, 1); // only the L1 miss
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut h = two_level();
+        // Touch 16 lines: L1 (8 lines) overflows, L2 (32 lines) holds all.
+        for line in 0..16u64 {
+            h.access(line * 16);
+        }
+        h.reset_stats();
+        for line in 0..16u64 {
+            h.access(line * 16);
+        }
+        let l1 = h.level_stats(0);
+        let l2 = h.level_stats(1);
+        assert!(l1.misses > 0, "L1 must thrash");
+        assert_eq!(l2.misses, 0, "L2 holds the working set");
+    }
+
+    #[test]
+    fn global_miss_rate_is_monotone_down_the_hierarchy() {
+        let mut h = two_level();
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.access(x % 4096);
+        }
+        assert!(h.global_miss_rate(1) <= h.global_miss_rate(0) + 1e-12);
+    }
+
+    #[test]
+    fn warmup_can_be_excluded() {
+        let mut h = two_level();
+        h.access(0);
+        h.reset_stats();
+        h.access(0);
+        assert_eq!(h.level_stats(0).misses, 0);
+        assert_eq!(h.level_stats(0).accesses, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cobtree-cachesim
+//!
+//! Cache-hierarchy simulation substrate.
+//!
+//! The paper measures L1/L2 miss rates with valgrind (cachegrind) on a
+//! Westmere-EP Xeon (§IV-F). This crate reimplements the same model — a
+//! multi-level, set-associative, write-allocate cache hierarchy with LRU
+//! replacement — so the experiments run hermetically:
+//!
+//! * [`cache`] — a single set-associative level with pluggable
+//!   replacement ([`policy`]);
+//! * [`hierarchy`] — stacked levels; an access walks down until it hits;
+//! * [`presets`] — the paper's exact cache geometry (32 KB/8-way L1D,
+//!   256 KB/8-way L2, 12 MB/16-way L3, 64-byte lines);
+//! * [`block_model`] — the §II-A probabilistic single-block cache, used
+//!   to validate the analytic `β(N)` (Eq. 3) against simulation.
+//!
+//! ```
+//! use cobtree_cachesim::hierarchy::CacheHierarchy;
+//!
+//! let mut h = cobtree_cachesim::presets::westmere_l1_l2();
+//! h.access(0);
+//! h.access(64);
+//! h.access(0); // still resident
+//! assert_eq!(h.level_stats(0).misses, 2);
+//! assert_eq!(h.level_stats(0).accesses, 3);
+//! ```
+
+pub mod block_model;
+pub mod cache;
+pub mod hierarchy;
+pub mod policy;
+pub mod presets;
+
+pub use cache::{CacheConfig, CacheLevel, LevelStats};
+pub use hierarchy::CacheHierarchy;
+pub use policy::ReplacementPolicy;

@@ -1,0 +1,182 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The paper's measurements (valgrind) model LRU; real Westmere caches
+//! are approximately pseudo-LRU. Both are provided, plus FIFO and Random
+//! for ablation studies of the "replacement policy" attribute the paper's
+//! cache-oblivious argument abstracts over (§I).
+
+use serde::{Deserialize, Serialize};
+
+/// How a set picks its victim when full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ReplacementPolicy {
+    /// Exact least-recently-used (what cachegrind simulates).
+    #[default]
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Tree pseudo-LRU (hardware-style approximation; associativity must
+    /// be a power of two).
+    TreePlru,
+    /// Uniform random victim (deterministic: seeded xorshift).
+    Random,
+}
+
+/// Per-set replacement state. Ways are identified by index `0..assoc`.
+#[derive(Debug, Clone)]
+pub(crate) enum SetState {
+    /// `stamps[w]` = last-touch tick (LRU) or insertion tick (FIFO).
+    Stamped { fifo: bool, stamps: Vec<u64> },
+    /// Tree-PLRU direction bits (one per internal node of the way tree).
+    Plru { bits: u64 },
+    /// Xorshift state for random replacement.
+    Rng { state: u64 },
+}
+
+impl SetState {
+    pub(crate) fn new(policy: ReplacementPolicy, assoc: usize, seed: u64) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => SetState::Stamped {
+                fifo: false,
+                stamps: vec![0; assoc],
+            },
+            ReplacementPolicy::Fifo => SetState::Stamped {
+                fifo: true,
+                stamps: vec![0; assoc],
+            },
+            ReplacementPolicy::TreePlru => {
+                assert!(assoc.is_power_of_two(), "TreePlru requires pow2 ways");
+                SetState::Plru { bits: 0 }
+            }
+            ReplacementPolicy::Random => SetState::Rng {
+                state: seed | 1, // xorshift must not start at zero
+            },
+        }
+    }
+
+    /// Records a touch of way `w` (on a hit or when filling after a miss).
+    pub(crate) fn touch(&mut self, assoc: usize, w: usize, tick: u64, on_fill: bool) {
+        match self {
+            SetState::Stamped { fifo, stamps } => {
+                if !*fifo || on_fill {
+                    stamps[w] = tick;
+                }
+            }
+            SetState::Plru { bits } => {
+                // Walk the way-tree root→leaf, pointing every node *away*
+                // from the touched way.
+                let mut node = 1usize;
+                let mut span = assoc;
+                let mut base = 0usize;
+                while span > 1 {
+                    let half = span / 2;
+                    let go_right = w >= base + half;
+                    if go_right {
+                        *bits &= !(1u64 << node);
+                        base += half;
+                    } else {
+                        *bits |= 1u64 << node;
+                    }
+                    node = 2 * node + usize::from(go_right);
+                    span = half;
+                }
+            }
+            SetState::Rng { .. } => {}
+        }
+    }
+
+    /// Picks the victim way among `assoc` valid ways.
+    pub(crate) fn victim(&mut self, assoc: usize) -> usize {
+        match self {
+            SetState::Stamped { stamps, .. } => {
+                let mut best = 0usize;
+                for w in 1..assoc {
+                    if stamps[w] < stamps[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            SetState::Plru { bits } => {
+                let mut node = 1usize;
+                let mut span = assoc;
+                let mut base = 0usize;
+                while span > 1 {
+                    let half = span / 2;
+                    let go_right = (*bits >> node) & 1 == 1;
+                    if go_right {
+                        base += half;
+                    }
+                    node = 2 * node + usize::from(go_right);
+                    span = half;
+                }
+                base
+            }
+            SetState::Rng { state } => {
+                // xorshift64*
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % assoc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4, 0);
+        for (tick, w) in [(1u64, 0usize), (2, 1), (3, 2), (4, 3), (5, 0)] {
+            s.touch(4, w, tick, false);
+        }
+        assert_eq!(s.victim(4), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut s = SetState::new(ReplacementPolicy::Fifo, 2, 0);
+        s.touch(2, 0, 1, true);
+        s.touch(2, 1, 2, true);
+        s.touch(2, 0, 3, false); // hit must not refresh
+        assert_eq!(s.victim(2), 0);
+    }
+
+    #[test]
+    fn plru_tracks_recent_ways() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 4, 0);
+        s.touch(4, 0, 0, true);
+        s.touch(4, 1, 0, true);
+        // Victim must come from the right half (ways 2–3), both untouched.
+        let v = s.victim(4);
+        assert!(v >= 2, "victim {v}");
+        s.touch(4, 2, 0, true);
+        s.touch(4, 3, 0, true);
+        // Now the left half is colder.
+        assert!(s.victim(4) < 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = SetState::new(ReplacementPolicy::Random, 8, 42);
+        let mut b = SetState::new(ReplacementPolicy::Random, 8, 42);
+        for _ in 0..32 {
+            assert_eq!(a.victim(8), b.victim(8));
+        }
+    }
+
+    #[test]
+    fn random_covers_all_ways() {
+        let mut s = SetState::new(ReplacementPolicy::Random, 4, 7);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[s.victim(4)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

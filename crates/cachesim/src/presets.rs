@@ -1,0 +1,75 @@
+//! The paper's experimental cache geometry (§IV-F).
+//!
+//! "… a dual-socket 6-core 2.80 GHz Intel Xeon X5660 (Westmere-EP) …
+//! 12 MB 16-way per-socket shared L3 cache, 256 KB 8-way L2 cache, and
+//! 32 KB 8-way L1 data cache. All three caches use 64-byte cache lines."
+
+use crate::cache::CacheConfig;
+use crate::hierarchy::CacheHierarchy;
+use crate::policy::ReplacementPolicy;
+
+/// Line size used by all Westmere levels.
+pub const WESTMERE_LINE: usize = 64;
+
+/// 32 KB, 8-way L1 data cache.
+#[must_use]
+pub fn westmere_l1() -> CacheConfig {
+    CacheConfig::lru("L1", 32 * 1024, WESTMERE_LINE, 8)
+}
+
+/// 256 KB, 8-way L2 cache.
+#[must_use]
+pub fn westmere_l2() -> CacheConfig {
+    CacheConfig::lru("L2", 256 * 1024, WESTMERE_LINE, 8)
+}
+
+/// 12 MB, 16-way shared L3 cache.
+#[must_use]
+pub fn westmere_l3() -> CacheConfig {
+    CacheConfig::lru("L3", 12 * 1024 * 1024, WESTMERE_LINE, 16)
+}
+
+/// L1+L2 — the two levels whose miss rates Figure 2 reports (valgrind
+/// likewise simulates two levels: L1 and "LL").
+#[must_use]
+pub fn westmere_l1_l2() -> CacheHierarchy {
+    CacheHierarchy::new(vec![westmere_l1(), westmere_l2()])
+}
+
+/// The full three-level hierarchy.
+#[must_use]
+pub fn westmere_full() -> CacheHierarchy {
+    CacheHierarchy::new(vec![westmere_l1(), westmere_l2(), westmere_l3()])
+}
+
+/// Same L1/L2 geometry with a different replacement policy (ablation).
+#[must_use]
+pub fn westmere_l1_l2_with_policy(policy: ReplacementPolicy) -> CacheHierarchy {
+    let mut l1 = westmere_l1();
+    let mut l2 = westmere_l2();
+    l1.policy = policy;
+    l2.policy = policy;
+    CacheHierarchy::new(vec![l1, l2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        assert_eq!(westmere_l1().sets(), 64);
+        assert_eq!(westmere_l2().sets(), 512);
+        // 12 MiB / (64 B × 16 ways) = 12288 sets — not a power of two;
+        // modular set indexing handles it.
+        assert_eq!(westmere_l3().sets(), 12288);
+    }
+
+    #[test]
+    fn full_hierarchy_builds_and_runs() {
+        let mut h = westmere_full();
+        assert_eq!(h.depth(), 3);
+        h.run((0..1000u64).map(|i| i * 64));
+        assert_eq!(h.level_stats(0).accesses, 1000);
+    }
+}

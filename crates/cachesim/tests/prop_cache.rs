@@ -1,0 +1,93 @@
+//! Property-based tests for the cache simulator.
+
+use cobtree_cachesim::block_model::{exact_transition_miss_probability, SingleBlockCache};
+use cobtree_cachesim::{CacheConfig, CacheHierarchy, CacheLevel, ReplacementPolicy};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..4096, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Misses never exceed accesses, and replaying a trace twice on a
+    /// warm cache cannot miss more than the cold run.
+    #[test]
+    fn counters_sane(trace in arb_trace()) {
+        let mut c = CacheLevel::new(CacheConfig::lru("t", 1024, 64, 2));
+        for &a in &trace {
+            c.access(a);
+        }
+        let cold = c.stats();
+        prop_assert!(cold.misses <= cold.accesses);
+        c.reset_stats();
+        for &a in &trace {
+            c.access(a);
+        }
+        let warm = c.stats();
+        prop_assert!(warm.misses <= cold.misses);
+    }
+
+    /// LRU inclusion property on fully-associative caches: a larger
+    /// cache never misses more on the same trace.
+    #[test]
+    fn lru_inclusion(trace in arb_trace()) {
+        let mut small = CacheLevel::new(CacheConfig::lru("s", 4 * 64, 64, 4));
+        let mut large = CacheLevel::new(CacheConfig::lru("l", 8 * 64, 64, 8));
+        for &a in &trace {
+            small.access(a);
+            large.access(a);
+        }
+        prop_assert!(large.stats().misses <= small.stats().misses);
+    }
+
+    /// A hierarchy's inner levels see exactly the outer level's misses.
+    #[test]
+    fn hierarchy_filtering(trace in arb_trace()) {
+        let mut h = CacheHierarchy::new(vec![
+            CacheConfig::lru("L1", 512, 64, 2),
+            CacheConfig::lru("L2", 2048, 64, 4),
+        ]);
+        h.run(trace.iter().copied());
+        prop_assert_eq!(h.level_stats(1).accesses, h.level_stats(0).misses);
+        prop_assert!(h.level_stats(1).misses <= h.level_stats(1).accesses);
+    }
+
+    /// Every policy is deterministic and keeps the same counters across
+    /// identical runs.
+    #[test]
+    fn policies_deterministic(trace in arb_trace()) {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Random,
+        ] {
+            let mk = || {
+                let mut cfg = CacheConfig::lru("t", 1024, 64, 4);
+                cfg.policy = policy;
+                CacheLevel::new(cfg)
+            };
+            let (mut a, mut b) = (mk(), mk());
+            for &addr in &trace {
+                prop_assert_eq!(a.access(addr), b.access(addr), "policy {:?}", policy);
+            }
+            prop_assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    /// Single-block model: averaging the simulated miss indicator over
+    /// all alignments equals Eq. 1 exactly.
+    #[test]
+    fn block_model_matches_eq1(n in 1u64..64, from in 0u64..1000, len in 1u64..128) {
+        let p = exact_transition_miss_probability(n, from, from + len);
+        let expect = (len as f64 / n as f64).min(1.0);
+        prop_assert!((p - expect).abs() < 1e-12);
+        // Per-alignment simulation agrees with its own accounting.
+        let mut cache = SingleBlockCache::new(n, from % n);
+        cache.prime(from);
+        cache.access(from + len);
+        prop_assert!(cache.accesses() == 1);
+    }
+}

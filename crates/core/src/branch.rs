@@ -1,0 +1,226 @@
+//! Shared geometry of a single recursion branch.
+//!
+//! Both the materializing engine ([`crate::engine`]) and the generic
+//! pointer-less indexer ([`crate::index::generic`]) must agree *exactly* on
+//! where each bottom subtree lands inside its parent block. That
+//! arithmetic lives here, in one place.
+//!
+//! At a branch, a subtree of height `h` in arrangement [`Mode`] is cut at
+//! height `g`. Its `2^g` bottom subtrees are indexed by their *natural
+//! sequence number* `q`: children of the top subtree's leaves read in
+//! ascending position order, each leaf contributing its left child then
+//! its right child. [`Branch::bottom_block`] maps `q` to the block offset
+//! and arrangement of that bottom subtree, implementing restrictions
+//! (c)–(f) of §I-B and the alternating rule of Theorem 2.
+
+use crate::spec::{RecursiveSpec, RootOrder, Subscript};
+
+/// Arrangement of a subtree within its block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Top subtree in the middle of the bottom subtrees.
+    InOrder,
+    /// Top subtree at the low end (pre-order as seen from a parent below).
+    PreLow,
+    /// Top subtree at the high end (mirrored pre-order / post-order).
+    PreHigh,
+}
+
+impl Mode {
+    pub(crate) fn root(spec: &RecursiveSpec) -> Mode {
+        match spec.root_order {
+            RootOrder::InOrder => Mode::InOrder,
+            RootOrder::PreOrder => Mode::PreLow,
+        }
+    }
+}
+
+/// Geometry of one cut: heights, block sizes and the `q ↦ block` map.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Branch {
+    /// Cut height (top subtree height).
+    pub g: u32,
+    /// Bottom subtree height `h − g`.
+    pub bh: u32,
+    mode: Mode,
+    alternating: bool,
+    k: Subscript,
+}
+
+impl Branch {
+    /// Computes the branch geometry for a subtree of height `h ≥ 2`.
+    pub(crate) fn new(spec: &RecursiveSpec, mode: Mode, h: u32) -> Self {
+        debug_assert!(h >= 2);
+        let g = match mode {
+            Mode::InOrder => spec.cut_in.cut(h),
+            Mode::PreLow | Mode::PreHigh => spec.cut_pre.cut(h),
+        };
+        Self {
+            g,
+            bh: h - g,
+            mode,
+            // With a single parent leaf (g = 1) "reverse order of the
+            // parent leaves" is vacuous (§IV-C); treating it as a no-op
+            // keeps MINWEP and MINEP literally identical for h ≤ 6.
+            alternating: spec.alternating && g > 1,
+            k: spec.first_in_order,
+        }
+    }
+
+    /// Size of one bottom subtree block, `2^{h−g} − 1`.
+    #[inline]
+    pub(crate) fn bottom_size(&self) -> u64 {
+        (1u64 << self.bh) - 1
+    }
+
+    /// Number of bottom subtrees, `2^g`.
+    #[inline]
+    pub(crate) fn bottom_count(&self) -> u64 {
+        1u64 << self.g
+    }
+
+    /// Offset of the top subtree's block from the start of this subtree's
+    /// block.
+    #[inline]
+    pub(crate) fn a_offset(&self) -> u64 {
+        match self.mode {
+            Mode::InOrder => (self.bottom_count() / 2) * self.bottom_size(),
+            Mode::PreLow => 0,
+            Mode::PreHigh => self.bottom_count() * self.bottom_size(),
+        }
+    }
+
+    /// Maps natural sequence number `q` (see module docs) to
+    /// `(block offset from subtree start, arrangement of that bottom)`.
+    pub(crate) fn bottom_block(&self, q: u64) -> (u64, Mode) {
+        let (offset, _rank, t, toward_a) = self.bottom_geometry(q);
+        let mode = if self.k.is_pre_order(t) {
+            toward_a
+        } else {
+            Mode::InOrder
+        };
+        (offset, mode)
+    }
+
+    /// Ascending rank of bottom `q`'s block among all bottom blocks (the
+    /// number of bottom blocks at smaller positions) — used when ranking
+    /// the leaves of a top subtree by position.
+    pub(crate) fn bottom_block_rank(&self, q: u64) -> u64 {
+        self.bottom_geometry(q).1
+    }
+
+    /// Returns `(offset, ascending block rank, outward rank t, pre-order
+    /// direction toward A)` for natural sequence number `q`.
+    fn bottom_geometry(&self, q: u64) -> (u64, u64, u64, Mode) {
+        let s = self.bottom_size();
+        let nb = self.bottom_count();
+        debug_assert!(q < nb);
+        match self.mode {
+            Mode::InOrder => {
+                let half = nb / 2;
+                let a_size = nb - 1; // 2^g − 1 nodes in the top subtree
+                if q < half {
+                    // Left flank; outward rank counts from A downwards.
+                    let j = if self.alternating { half - 1 - q } else { q };
+                    (j * s, j, half - j, Mode::PreHigh)
+                } else {
+                    let rel = q - half;
+                    let j = if self.alternating { half - 1 - rel } else { rel };
+                    (half * s + a_size + j * s, half + j, j + 1, Mode::PreLow)
+                }
+            }
+            Mode::PreLow => {
+                let j = if self.alternating { nb - 1 - q } else { q };
+                ((nb - 1) + j * s, j, j + 1, Mode::PreLow)
+            }
+            Mode::PreHigh => {
+                let j = if self.alternating { nb - 1 - q } else { q };
+                (j * s, j, nb - j, Mode::PreHigh)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CutRule;
+
+    fn spec(alt: bool, k: Subscript) -> RecursiveSpec {
+        let s = RecursiveSpec::new(RootOrder::InOrder, CutRule::Half, k);
+        if alt {
+            s.alternating()
+        } else {
+            s
+        }
+    }
+
+    #[test]
+    fn in_order_blocks_tile_the_space() {
+        // h=6, g=3: 8 bottoms of size 7, A (7 nodes) in the middle.
+        let br = Branch::new(&spec(false, Subscript::K(1)), Mode::InOrder, 6);
+        assert_eq!(br.g, 3);
+        assert_eq!(br.a_offset(), 28);
+        let mut offs: Vec<u64> = (0..8).map(|q| br.bottom_block(q).0).collect();
+        offs.sort_unstable();
+        // Left flank blocks 0..28, A at 28..35, right flank 35..63.
+        assert_eq!(offs, vec![0, 7, 14, 21, 35, 42, 49, 56]);
+    }
+
+    #[test]
+    fn alternating_reverses_each_flank() {
+        let plain = Branch::new(&spec(false, Subscript::K(1)), Mode::InOrder, 6);
+        let alt = Branch::new(&spec(true, Subscript::K(1)), Mode::InOrder, 6);
+        // Left flank q = 0..4 reversed, right flank q = 4..8 reversed.
+        for q in 0..4u64 {
+            assert_eq!(alt.bottom_block(q).0, plain.bottom_block(3 - q).0);
+        }
+        for q in 4..8u64 {
+            assert_eq!(alt.bottom_block(q).0, plain.bottom_block(11 - q).0);
+        }
+    }
+
+    #[test]
+    fn subscript_two_marks_only_nearest_pre_order() {
+        let br = Branch::new(&spec(false, Subscript::K(2)), Mode::InOrder, 6);
+        // Outward rank 1 bottoms: q=3 (left, adjacent to A) and q=4 (right).
+        assert_eq!(br.bottom_block(3).1, Mode::PreHigh);
+        assert_eq!(br.bottom_block(4).1, Mode::PreLow);
+        for q in [0u64, 1, 2, 5, 6, 7] {
+            assert_eq!(br.bottom_block(q).1, Mode::InOrder, "q={q}");
+        }
+    }
+
+    #[test]
+    fn pre_low_blocks_follow_a() {
+        let s = RecursiveSpec::new(RootOrder::PreOrder, CutRule::Half, Subscript::Infinity);
+        let br = Branch::new(&s, Mode::PreLow, 6);
+        assert_eq!(br.a_offset(), 0);
+        assert_eq!(br.bottom_block(0), (7, Mode::PreLow));
+        assert_eq!(br.bottom_block(7), (56, Mode::PreLow));
+    }
+
+    #[test]
+    fn pre_high_mirrors_pre_low() {
+        let s = RecursiveSpec::new(RootOrder::PreOrder, CutRule::Half, Subscript::Infinity);
+        let br = Branch::new(&s, Mode::PreHigh, 6);
+        assert_eq!(br.a_offset(), 56);
+        assert_eq!(br.bottom_block(0), (0, Mode::PreHigh));
+        // Outward rank of q=7 (last natural) is 1 ⇒ nearest to A.
+        assert_eq!(br.bottom_block(7).0, 49);
+    }
+
+    #[test]
+    fn block_ranks_are_ascending_position_ranks() {
+        for alt in [false, true] {
+            let br = Branch::new(&spec(alt, Subscript::K(2)), Mode::InOrder, 8);
+            let mut by_offset: Vec<(u64, u64)> = (0..br.bottom_count())
+                .map(|q| (br.bottom_block(q).0, br.bottom_block_rank(q)))
+                .collect();
+            by_offset.sort_unstable();
+            for (rank, (_, r)) in by_offset.iter().enumerate() {
+                assert_eq!(*r, rank as u64);
+            }
+        }
+    }
+}

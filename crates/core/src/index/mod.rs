@@ -1,0 +1,117 @@
+//! Pointer-less position arithmetic (§IV-E).
+//!
+//! An *implicit* (pointer-less) search tree stores only keys, in layout
+//! order. Navigating it requires computing, for every transition, the
+//! position of the next BFS node — the code the paper times in Figure 4
+//! (bottom panels). This module provides:
+//!
+//! * [`simple`] — O(1)/O(d) closed forms for the four simple layouts
+//!   (breadth-first, in-breadth, in-order, pre-order);
+//! * [`veb`] — descent loops for the non-alternating van Emde Boas family
+//!   (PRE-VEB, BENDER, IN-VEB);
+//! * [`wep`] — a faithful port of the paper's **Listing 1**
+//!   (breadth-first → MINWEP index translation), parameterized over the
+//!   `partition()` cut so it also serves MINEP, plus MINWLA;
+//! * [`generic`] — a spec-interpreting indexer that works for *every*
+//!   [`RecursiveSpec`](crate::spec::RecursiveSpec) (used for the alternating vEB variants and
+//!   HALFWEP, and as ground truth in tests).
+//!
+//! All indexers implement [`PositionIndex`]; positions are 0-based.
+
+pub mod generic;
+pub mod stepper;
+pub mod simple;
+pub mod veb;
+pub mod wep;
+
+use crate::layout::Layout;
+use crate::named::NamedLayout;
+use crate::tree::NodeId;
+
+/// Arithmetic mapping from BFS node index to layout position.
+///
+/// `depth` must equal `⌊log2 node⌋`; search loops track it incrementally,
+/// mirroring the paper's `index(i, d, h)` signature.
+pub trait PositionIndex: Send + Sync {
+    /// Tree height `h` this indexer serves.
+    fn height(&self) -> u32;
+
+    /// 0-based position of `node` (with `depth = ⌊log2 node⌋`).
+    fn position(&self, node: NodeId, depth: u32) -> u64;
+
+    /// Convenience: position with the depth computed on the fly.
+    fn position_of(&self, node: NodeId) -> u64 {
+        self.position(node, 63 - node.leading_zeros())
+    }
+}
+
+/// A materialized layout used as a [`PositionIndex`] (one array lookup).
+pub struct MaterializedIndex {
+    layout: Layout,
+}
+
+impl MaterializedIndex {
+    /// Wraps a materialized layout.
+    #[must_use]
+    pub fn new(layout: Layout) -> Self {
+        Self { layout }
+    }
+
+    /// The wrapped layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+impl PositionIndex for MaterializedIndex {
+    fn height(&self) -> u32 {
+        self.layout.height()
+    }
+
+    fn position(&self, node: NodeId, _depth: u32) -> u64 {
+        self.layout.position(node)
+    }
+}
+
+impl NamedLayout {
+    /// The fastest available arithmetic indexer for this layout.
+    ///
+    /// The alternating vEB variants and HALFWEP fall back to the generic
+    /// spec interpreter; everything else has a dedicated closed form or
+    /// descent loop (the paper's Figure 4 compares exactly these costs).
+    #[must_use]
+    pub fn indexer(&self, height: u32) -> Box<dyn PositionIndex> {
+        use crate::spec::CutRule;
+        match self {
+            NamedLayout::PreBreadth => Box::new(simple::BfsIndex::new(height)),
+            NamedLayout::InBreadth => Box::new(simple::InBreadthIndex::new(height)),
+            NamedLayout::InOrder => Box::new(simple::InOrderIndex::new(height)),
+            NamedLayout::PreOrder => Box::new(simple::PreOrderIndex::new(height)),
+            NamedLayout::PreVeb => Box::new(veb::PreVebIndex::new(height, CutRule::Half)),
+            NamedLayout::Bender => Box::new(veb::PreVebIndex::new(height, CutRule::Bender)),
+            NamedLayout::InVeb => Box::new(veb::InVebIndex::new(height)),
+            NamedLayout::MinWla => Box::new(wep::MinWlaIndex::new(height)),
+            NamedLayout::MinEp => Box::new(wep::WepIndex::new(height, wep::partition_minep)),
+            NamedLayout::MinWep => Box::new(wep::WepIndex::new(height, wep::partition_minwep)),
+            NamedLayout::PreVebA | NamedLayout::InVebA | NamedLayout::HalfWep => {
+                Box::new(generic::GenericIndexer::new(self.spec(), height))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialized_index_round_trips() {
+        let layout = NamedLayout::MinWep.materialize(8);
+        let idx = MaterializedIndex::new(layout.clone());
+        for i in 1..=layout.len() {
+            assert_eq!(idx.position_of(i), layout.position(i));
+        }
+        assert_eq!(idx.height(), 8);
+    }
+}

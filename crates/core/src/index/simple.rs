@@ -1,0 +1,177 @@
+//! Closed-form indexers for the four simple layouts.
+//!
+//! These are the layouts for which §IV-E observes that "it is trivial to
+//! compute the position of a node": breadth-first (identity), in-order
+//! (bit arithmetic), pre-order (one pass over the path bits) and the
+//! in-order variant of breadth-first.
+
+use crate::index::PositionIndex;
+use crate::tree::NodeId;
+
+/// PRE-BREADTH: layout position equals BFS index (minus one, 0-based).
+pub struct BfsIndex {
+    height: u32,
+}
+
+impl BfsIndex {
+    /// Creates the identity indexer for a tree of `height` levels.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        Self { height }
+    }
+}
+
+impl PositionIndex for BfsIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, _depth: u32) -> u64 {
+        node - 1
+    }
+}
+
+/// IN-ORDER: position equals the in-order rank.
+pub struct InOrderIndex {
+    height: u32,
+}
+
+impl InOrderIndex {
+    /// Creates the in-order indexer for a tree of `height` levels.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        Self { height }
+    }
+}
+
+impl PositionIndex for InOrderIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        let span = 1u64 << (self.height - depth);
+        (node - (1u64 << depth)) * span + span / 2 - 1
+    }
+}
+
+/// PRE-ORDER: one pass over the path bits, adding skipped subtree sizes.
+pub struct PreOrderIndex {
+    height: u32,
+}
+
+impl PreOrderIndex {
+    /// Creates the pre-order indexer for a tree of `height` levels.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        Self { height }
+    }
+}
+
+impl PositionIndex for PreOrderIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        // Walking down from the root: each step costs 1 (the node we leave)
+        // plus, when stepping right, the whole left subtree we skip.
+        let mut p = 0u64;
+        let mut sub = 1u64 << (self.height - 1); // 2^{subtree height − 1}
+        for k in (0..depth).rev() {
+            p += 1;
+            if (node >> k) & 1 == 1 {
+                p += sub - 1; // left sibling subtree has 2^{bh} − 1 nodes
+            }
+            sub >>= 1;
+        }
+        p
+    }
+}
+
+/// IN-BREADTH: levels stacked in-order — the left half of each level below
+/// the top subtree, the right half above it (Fig. 5i).
+pub struct InBreadthIndex {
+    height: u32,
+}
+
+impl InBreadthIndex {
+    /// Creates the in-breadth indexer for a tree of `height` levels.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        Self { height }
+    }
+}
+
+impl PositionIndex for InBreadthIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        let h = self.height;
+        if depth == 0 {
+            return (1u64 << (h - 1)) - 1;
+        }
+        let j = node - (1u64 << depth);
+        let half = 1u64 << (depth - 1);
+        if j < half {
+            // Left halves of the levels, deepest first.
+            (1u64 << (h - 1)) - (1u64 << depth) + j
+        } else {
+            // Right halves, shallowest first.
+            (1u64 << (h - 1)) + j - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named::NamedLayout;
+    use crate::tree::Tree;
+
+    fn check_against_engine(layout: NamedLayout, idx: &dyn PositionIndex, h: u32) {
+        let mat = layout.materialize(h);
+        let t = Tree::new(h);
+        for i in t.nodes() {
+            assert_eq!(
+                idx.position(i, t.depth(i)),
+                mat.position(i),
+                "{layout} node {i} h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_matches_engine() {
+        for h in 1..=10 {
+            check_against_engine(NamedLayout::PreBreadth, &BfsIndex::new(h), h);
+        }
+    }
+
+    #[test]
+    fn in_order_matches_engine() {
+        for h in 1..=10 {
+            check_against_engine(NamedLayout::InOrder, &InOrderIndex::new(h), h);
+        }
+    }
+
+    #[test]
+    fn pre_order_matches_engine() {
+        for h in 1..=10 {
+            check_against_engine(NamedLayout::PreOrder, &PreOrderIndex::new(h), h);
+        }
+    }
+
+    #[test]
+    fn in_breadth_matches_engine() {
+        for h in 1..=10 {
+            check_against_engine(NamedLayout::InBreadth, &InBreadthIndex::new(h), h);
+        }
+    }
+}

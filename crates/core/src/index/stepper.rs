@@ -1,0 +1,262 @@
+//! Incremental root-to-leaf position stepping.
+//!
+//! Listing 1 (and every per-node indexer) recomputes the full
+//! breadth-first → layout translation for each visited node, making an
+//! implicit search cost O(h) arithmetic *per transition* — O(h²) per
+//! search. The paper hints that this is wasteful; [`PathStepper`] is the
+//! incremental alternative this reproduction adds:
+//!
+//! A search path only ever *descends*, and every bottom subtree of a
+//! recursion branch fully contains the subtree of its root. The stepper
+//! therefore keeps the stack of enclosing bottom-subtree blocks (root,
+//! block start, height, arrangement). A step to a child pushes at most
+//! the branches the path newly enters, and each branch is entered once
+//! per search — so the block bookkeeping is O(1) amortized per step, and
+//! only the in-block top-subtree descent (bounded by the innermost cut
+//! height, ~h/2 shrinking geometrically) remains per query.
+
+use crate::branch::{Branch, Mode};
+use crate::spec::RecursiveSpec;
+use crate::tree::NodeId;
+
+const UNSET: u64 = u64::MAX;
+
+/// One enclosing subtree block on the current root-to-node path.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    root: NodeId,
+    root_depth: u32,
+    h: u32,
+    lo: u64,
+    mode: Mode,
+}
+
+/// Incremental position computation along a root-to-leaf walk.
+///
+/// ```
+/// use cobtree_core::index::stepper::PathStepper;
+/// use cobtree_core::NamedLayout;
+///
+/// let layout = NamedLayout::HalfWep;
+/// let mat = layout.materialize(8);
+/// let mut stepper = PathStepper::new(layout.spec(), 8);
+/// // Walk to node 5 = left(right(root)) and compare against the engine.
+/// assert_eq!(stepper.reset(), mat.position(1));
+/// stepper.descend(false);
+/// assert_eq!(stepper.descend(true), mat.position(5));
+/// ```
+pub struct PathStepper {
+    spec: RecursiveSpec,
+    height: u32,
+    frames: Vec<Frame>,
+    node: NodeId,
+    depth: u32,
+    /// Per-path memo of leaf-rank queries, keyed by
+    /// `(depth of branch root) · h + (depth of leaf)`. Along one
+    /// root-to-leaf walk both depths identify path nodes uniquely, and
+    /// entries stay valid until [`PathStepper::reset`].
+    rank_memo: Vec<u64>,
+}
+
+impl PathStepper {
+    /// Creates a stepper positioned at the root.
+    #[must_use]
+    pub fn new(spec: RecursiveSpec, height: u32) -> Self {
+        let mut s = Self {
+            spec,
+            height,
+            frames: Vec::with_capacity(height as usize),
+            node: 1,
+            depth: 0,
+            rank_memo: vec![UNSET; (height as usize + 1) * (height as usize + 1)],
+        };
+        s.reset();
+        s
+    }
+
+    /// Tree height served.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Current BFS node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Returns to the root; yields the root's layout position.
+    pub fn reset(&mut self) -> u64 {
+        self.rank_memo.fill(UNSET);
+        self.frames.clear();
+        self.frames.push(Frame {
+            root: 1,
+            root_depth: 0,
+            h: self.height,
+            lo: 0,
+            mode: Mode::root(&self.spec),
+        });
+        self.node = 1;
+        self.depth = 0;
+        self.position_in_frames()
+    }
+
+    /// Moves to the left (`false`) or right (`true`) child and returns
+    /// its layout position.
+    ///
+    /// # Panics
+    /// Panics when already on the last level.
+    pub fn descend(&mut self, right: bool) -> u64 {
+        assert!(self.depth + 1 < self.height, "cannot descend below leaves");
+        self.node = 2 * self.node + u64::from(right);
+        self.depth += 1;
+        // Enter any bottom subtrees the path now crosses. The innermost
+        // frame always contains `node` (bottom subtrees contain the full
+        // subtree of their root), so only pushes happen.
+        loop {
+            let f = *self.frames.last().expect("frame stack never empty");
+            if f.h == 1 {
+                break;
+            }
+            let br = Branch::new(&self.spec, f.mode, f.h);
+            let rel = self.depth - f.root_depth;
+            if rel < br.g {
+                break; // still inside this frame's top subtree
+            }
+            let c = self.node >> (rel - br.g);
+            let x = c >> 1;
+            let q = 2 * self.leaf_rank_memo(f.root, br.g, f.mode, x) + (c & 1);
+            let (off, child_mode) = br.bottom_block(q);
+            self.frames.push(Frame {
+                root: c,
+                root_depth: f.root_depth + br.g,
+                h: br.bh,
+                lo: f.lo + off,
+                mode: child_mode,
+            });
+        }
+        self.position_in_frames()
+    }
+
+    /// Position of the current node, resolved inside the innermost frame.
+    ///
+    /// Blocks *within* a frame's top subtree are truncated at that top's
+    /// leaf level, so they never contain the node's future subtree and are
+    /// not worth caching — the frame-local walk handles them per query.
+    fn position_in_frames(&mut self) -> u64 {
+        let f = *self.frames.last().expect("frame stack never empty");
+        self.walk_from(f.root, f.root_depth, f.h, f.lo, f.mode)
+    }
+
+    /// Frame-free descent identical to the generic indexer, used for the
+    /// shallow in-top-subtree cases.
+    fn walk_from(
+        &mut self,
+        mut root: NodeId,
+        mut root_depth: u32,
+        mut h: u32,
+        mut lo: u64,
+        mut mode: Mode,
+    ) -> u64 {
+        loop {
+            if h == 1 {
+                return lo;
+            }
+            let br = Branch::new(&self.spec, mode, h);
+            let rel = self.depth - root_depth;
+            if rel < br.g {
+                lo += br.a_offset();
+                h = br.g;
+            } else {
+                let c = self.node >> (rel - br.g);
+                let x = c >> 1;
+                let q = 2 * self.leaf_rank_memo(root, br.g, mode, x) + (c & 1);
+                let (off, child_mode) = br.bottom_block(q);
+                lo += off;
+                root = c;
+                root_depth += br.g;
+                h = br.bh;
+                mode = child_mode;
+            }
+        }
+    }
+
+    /// Memoized leaf rank: identical to
+    /// [`crate::index::generic::leaf_rank`] but cached per path, making
+    /// repeated queries along a descent O(1).
+    fn leaf_rank_memo(&mut self, root: NodeId, g: u32, mode: Mode, leaf: NodeId) -> u64 {
+        if g == 1 {
+            debug_assert_eq!(leaf, root);
+            return 0;
+        }
+        let side = self.height as usize + 1;
+        let root_depth = 63 - root.leading_zeros();
+        let leaf_depth = 63 - leaf.leading_zeros();
+        let key = root_depth as usize * side + leaf_depth as usize;
+        // Only path nodes are queried, so (root depth, leaf depth) is a
+        // sound key; both must lie on the current path.
+        debug_assert_eq!(self.node >> (self.depth - leaf_depth), leaf);
+        if self.rank_memo[key] != UNSET {
+            return self.rank_memo[key];
+        }
+        let br = Branch::new(&self.spec, mode, g);
+        let rel = g - 1;
+        let c = leaf >> (rel - br.g);
+        let x = c >> 1;
+        let q = 2 * self.leaf_rank_memo(root, br.g, mode, x) + (c & 1);
+        let (_, child_mode) = br.bottom_block(q);
+        let leaves_per_bottom = 1u64 << (g - 1 - br.g);
+        let rank = br.bottom_block_rank(q) * leaves_per_bottom
+            + self.leaf_rank_memo(c, g - br.g, child_mode, leaf);
+        self.rank_memo[key] = rank;
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named::NamedLayout;
+    use crate::tree::Tree;
+
+    /// Walk every root-to-leaf path and compare each step against the
+    /// materialized layout.
+    fn check(layout: NamedLayout, h: u32) {
+        let mat = layout.materialize(h);
+        let tree = Tree::new(h);
+        let mut stepper = PathStepper::new(layout.spec(), h);
+        for leaf in tree.level(h - 1) {
+            assert_eq!(stepper.reset(), mat.position(1), "{layout} reset");
+            for d in 1..h {
+                let node = tree.ancestor_at_depth(leaf, d);
+                let got = stepper.descend(node & 1 == 1);
+                assert_eq!(got, mat.position(node), "{layout} h={h} node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_matches_engine_everywhere() {
+        for layout in NamedLayout::ALL {
+            for h in 1..=9 {
+                check(layout, h);
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_matches_engine_at_moderate_height() {
+        for layout in [NamedLayout::MinWep, NamedLayout::HalfWep, NamedLayout::InVebA] {
+            check(layout, 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "descend below leaves")]
+    fn refuses_to_leave_the_tree() {
+        let mut s = PathStepper::new(NamedLayout::MinWep.spec(), 2);
+        s.descend(false);
+        s.descend(false);
+    }
+}

@@ -1,0 +1,159 @@
+//! Descent-loop indexers for the non-alternating van Emde Boas family.
+//!
+//! For PRE-VEB, BENDER and IN-VEB (all non-alternating, uniform subtree
+//! treatment) the bottom subtrees at every branch appear in natural tree
+//! order, so the block number of a bottom subtree is read directly from
+//! the target's path bits. Cost is O(number of cuts crossed) per query —
+//! the code §IV-E finds noticeably cheaper for pre-order than in-order
+//! subtrees.
+
+use crate::index::PositionIndex;
+use crate::spec::CutRule;
+use crate::tree::NodeId;
+
+/// PRE-VEB / BENDER: all-pre-order recursive layout with the given cut rule.
+pub struct PreVebIndex {
+    height: u32,
+    cut: CutRule,
+}
+
+impl PreVebIndex {
+    /// Creates an indexer for `P^{cut}_∞` at the given tree height.
+    #[must_use]
+    pub fn new(height: u32, cut: CutRule) -> Self {
+        Self { height, cut }
+    }
+}
+
+impl PositionIndex for PreVebIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        let mut p = 0u64; // block start; pre-order roots sit at block start
+        let mut h = self.height;
+        let mut dd = depth; // depth of target within current subtree
+        while dd > 0 {
+            let g = self.cut.cut(h);
+            if dd < g {
+                // Target inside the top subtree, which starts at p too.
+                h = g;
+            } else {
+                // Bottom subtree number = level rank of the depth-g ancestor
+                // (natural order at every non-alternating branch).
+                let b = (node >> (dd - g)) & ((1u64 << g) - 1);
+                let s = (1u64 << (h - g)) - 1;
+                p += ((1u64 << g) - 1) + b * s;
+                h -= g;
+                dd -= g;
+            }
+        }
+        p
+    }
+}
+
+/// IN-VEB: all-in-order recursive layout with the `⌊h/2⌋` cut.
+pub struct InVebIndex {
+    height: u32,
+}
+
+impl InVebIndex {
+    /// Creates the IN-VEB indexer for a tree of `height` levels.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        Self { height }
+    }
+}
+
+impl PositionIndex for InVebIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        let mut p = 0u64; // block start of current in-order subtree
+        let mut h = self.height;
+        let mut dd = depth;
+        loop {
+            if h == 1 {
+                return p;
+            }
+            let g = h / 2;
+            let s = (1u64 << (h - g)) - 1; // bottom block size
+            let half = 1u64 << (g - 1); // bottoms per flank
+            if dd < g {
+                // Inside the top subtree: its block sits after the left flank.
+                p += half * s;
+                h = g;
+            } else {
+                let b = (node >> (dd - g)) & ((1u64 << g) - 1);
+                if b < half {
+                    p += b * s;
+                } else {
+                    p += half * s + ((1u64 << g) - 1) + (b - half) * s;
+                }
+                h -= g;
+                dd -= g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::PositionIndex;
+    use crate::named::NamedLayout;
+    use crate::tree::Tree;
+
+    fn check(layout: NamedLayout, idx: &dyn PositionIndex, h: u32) {
+        let mat = layout.materialize(h);
+        let t = Tree::new(h);
+        for i in t.nodes() {
+            assert_eq!(
+                idx.position(i, t.depth(i)),
+                mat.position(i),
+                "{layout} node {i} h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_veb_matches_engine() {
+        for h in 1..=12 {
+            check(NamedLayout::PreVeb, &PreVebIndex::new(h, CutRule::Half), h);
+        }
+    }
+
+    #[test]
+    fn bender_matches_engine() {
+        for h in 1..=12 {
+            check(NamedLayout::Bender, &PreVebIndex::new(h, CutRule::Bender), h);
+        }
+    }
+
+    #[test]
+    fn in_veb_matches_engine() {
+        for h in 1..=12 {
+            check(NamedLayout::InVeb, &InVebIndex::new(h), h);
+        }
+    }
+
+    #[test]
+    fn pre_veb_root_block_is_prefix() {
+        // The top ⌊h/2⌋ levels must occupy a prefix of the array.
+        let h = 10;
+        let idx = PreVebIndex::new(h, CutRule::Half);
+        let t = Tree::new(h);
+        let top: Vec<u64> = t
+            .nodes()
+            .filter(|&i| t.depth(i) < 5)
+            .map(|i| idx.position(i, t.depth(i)))
+            .collect();
+        let max = top.iter().max().copied().unwrap();
+        assert_eq!(max, 30);
+    }
+}

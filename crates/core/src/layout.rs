@@ -1,0 +1,394 @@
+//! Materialized tree layouts (permutations) and automorphism-canonical forms.
+//!
+//! A *layout* assigns every node of a complete binary tree a distinct
+//! position on linear storage. Internally positions are **0-based**; the
+//! paper's figures print them 1-based, and the golden-data helpers convert.
+//!
+//! ## Canonical form
+//!
+//! A complete binary tree has `2^{2^h − h − 1}`-ish automorphisms (any
+//! internal node's children may be swapped). Two layouts that differ only
+//! by such a relabeling have identical edge-length multisets per level and
+//! therefore identical values for every locality measure in the paper
+//! (`ν0, ν1, µ0, µ1, µ∞, β`) and identical cache behaviour under uniform
+//! random search. [`Layout::canonicalized`] rotates any layout to the
+//! unique automorphic representative in which every left-child subtree
+//! occupies positions starting before its sibling's, so layouts can be
+//! compared exactly modulo automorphism — this is how the engine output is
+//! checked against the paper's Figure 5 goldens.
+
+use crate::tree::{NodeId, Tree};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A bijection from the nodes of a complete binary tree to positions
+/// `0..2^h − 1` of linear storage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Layout {
+    tree: Tree,
+    /// `pos[i - 1]` is the 0-based position of BFS node `i`.
+    pos: Vec<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct LayoutRepr {
+    height: u32,
+    positions: Vec<u32>,
+}
+
+impl Serialize for Layout {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        LayoutRepr {
+            height: self.height(),
+            positions: self.pos.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Layout {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = LayoutRepr::deserialize(deserializer)?;
+        // Re-validate: serialized data may come from untrusted storage.
+        Layout::try_from_positions(repr.height, repr.positions).map_err(D::Error::custom)
+    }
+}
+
+impl std::fmt::Debug for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Layout")
+            .field("height", &self.tree.height())
+            .field("len", &self.pos.len())
+            .finish()
+    }
+}
+
+impl Layout {
+    /// Wraps a position vector (`pos[i-1]` = 0-based position of node `i`).
+    ///
+    /// # Panics
+    /// Panics if `pos` has the wrong length or is not a permutation of
+    /// `0..2^h − 1`.
+    #[must_use]
+    pub fn from_positions(height: u32, pos: Vec<u32>) -> Self {
+        match Self::try_from_positions(height, pos) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Layout::from_positions`], for data read from
+    /// untrusted storage.
+    ///
+    /// # Errors
+    /// Returns a description of the defect if `pos` has the wrong length
+    /// or is not a permutation of `0..2^h − 1`.
+    pub fn try_from_positions(height: u32, pos: Vec<u32>) -> Result<Self, String> {
+        let tree = Tree::new(height);
+        if pos.len() as u64 != tree.len() {
+            return Err(format!(
+                "position vector length {} must be 2^{height} - 1 (positions must form a permutation)",
+                pos.len()
+            ));
+        }
+        let mut seen = vec![false; pos.len()];
+        for &p in &pos {
+            if (p as usize) >= pos.len() || seen[p as usize] {
+                return Err(format!(
+                    "positions must form a permutation (position {p} out of range or repeated)"
+                ));
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Self { tree, pos })
+    }
+
+    /// Builds a layout by evaluating `f(node)` (0-based position) on every
+    /// node.
+    ///
+    /// # Panics
+    /// Panics if `f` is not a bijection onto `0..2^h − 1`.
+    #[must_use]
+    pub fn from_fn(height: u32, mut f: impl FnMut(NodeId) -> u64) -> Self {
+        let tree = Tree::new(height);
+        let pos: Vec<u32> = tree
+            .nodes()
+            .map(|i| {
+                let p = f(i);
+                assert!(p < tree.len(), "position {p} out of range for node {i}");
+                p as u32
+            })
+            .collect();
+        Self::from_positions(height, pos)
+    }
+
+    /// Builds a layout from the paper's Figure 5 presentation: 1-based
+    /// positions listed in **post-order traversal** of the tree. This is the
+    /// order in which the figure's per-subtree drawings linearize.
+    ///
+    /// # Panics
+    /// Panics if the data is not a permutation of `1..=2^h − 1`.
+    #[must_use]
+    pub fn from_post_order_listing(height: u32, listing: &[u32]) -> Self {
+        let tree = Tree::new(height);
+        assert_eq!(listing.len() as u64, tree.len(), "listing length mismatch");
+        let mut pos = vec![0u32; listing.len()];
+        let mut next = 0usize;
+        fn post(tree: &Tree, node: NodeId, listing: &[u32], next: &mut usize, pos: &mut [u32]) {
+            if let Some(l) = tree.left(node) {
+                post(tree, l, listing, next, pos);
+            }
+            if let Some(r) = tree.right(node) {
+                post(tree, r, listing, next, pos);
+            }
+            let one_based = listing[*next];
+            assert!(one_based >= 1, "figure positions are 1-based");
+            pos[(node - 1) as usize] = one_based - 1;
+            *next += 1;
+        }
+        post(&tree, 1, listing, &mut next, &mut pos);
+        Self::from_positions(height, pos)
+    }
+
+    /// The tree this layout arranges.
+    #[inline]
+    #[must_use]
+    pub fn tree(&self) -> Tree {
+        self.tree
+    }
+
+    /// Tree height `h`.
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.tree.height()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Always `false`; a layout covers at least the root.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// 0-based position of `node`.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> u64 {
+        self.pos[(node - 1) as usize] as u64
+    }
+
+    /// Raw position slice (`[i - 1] ↦ position of node i`).
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// Inverse mapping: `result[p]` = BFS node stored at position `p`.
+    #[must_use]
+    pub fn nodes_by_position(&self) -> Vec<NodeId> {
+        let mut inv = vec![0u64; self.pos.len()];
+        for (idx, &p) in self.pos.iter().enumerate() {
+            inv[p as usize] = idx as u64 + 1;
+        }
+        inv
+    }
+
+    /// Length `ℓ_ij = |pos(i) − pos(j)|` of the tree edge from `child`'s
+    /// parent to `child`.
+    #[inline]
+    #[must_use]
+    pub fn edge_length(&self, child: NodeId) -> u64 {
+        debug_assert!(child >= 2);
+        let a = self.pos[(child - 1) as usize] as i64;
+        let b = self.pos[((child >> 1) - 1) as usize] as i64;
+        (a - b).unsigned_abs()
+    }
+
+    /// Iterates `(edge_depth, length)` over all edges, where `edge_depth`
+    /// is the depth of the child endpoint (the paper's `d` in `p_d = 2^{−d}`).
+    pub fn edge_lengths(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let tree = self.tree;
+        (2..=tree.len()).map(move |c| (tree.depth(c), self.edge_length(c)))
+    }
+
+    /// The unique automorphic representative of this layout in which, at
+    /// every internal node, the left child's subtree occupies a block whose
+    /// minimum position is smaller than its sibling's.
+    ///
+    /// Layout measures are invariant under this transformation; it exists so
+    /// that engine output can be compared bit-for-bit against golden data
+    /// that may have made mirrored (but equivalent) child-order choices.
+    #[must_use]
+    pub fn canonicalized(&self) -> Layout {
+        let n = self.pos.len();
+        // minpos[i - 1] = minimum position within subtree rooted at i.
+        let mut minpos = self.pos.clone();
+        for i in (1..=n).rev() {
+            let li = 2 * i;
+            if li <= n {
+                let m = minpos[li - 1].min(minpos[li]);
+                if m < minpos[i - 1] {
+                    minpos[i - 1] = m;
+                }
+            }
+        }
+        let mut out = vec![0u32; n];
+        // Walk canonical and original trees in lock-step; `swap` choices are
+        // independent per node, so an explicit stack suffices.
+        let mut stack: Vec<(u64, u64)> = vec![(1, 1)]; // (canonical, original)
+        while let Some((c, o)) = stack.pop() {
+            out[(c - 1) as usize] = self.pos[(o - 1) as usize];
+            let oc = 2 * o;
+            if oc as usize <= n {
+                let (ol, or) = if minpos[(oc - 1) as usize] <= minpos[oc as usize] {
+                    (oc, oc + 1)
+                } else {
+                    (oc + 1, oc)
+                };
+                stack.push((2 * c, ol));
+                stack.push((2 * c + 1, or));
+            }
+        }
+        Layout {
+            tree: self.tree,
+            pos: out,
+        }
+    }
+
+    /// `true` if `self` and `other` are equal up to a tree automorphism
+    /// (equivalently: equal canonical forms).
+    #[must_use]
+    pub fn equivalent_to(&self, other: &Layout) -> bool {
+        self.tree == other.tree && self.canonicalized().pos == other.canonicalized().pos
+    }
+
+    /// Renders positions 1-based in BFS order — handy in test failure output.
+    #[must_use]
+    pub fn display_one_based(&self) -> String {
+        let mut s = String::new();
+        for (idx, &p) in self.pos.iter().enumerate() {
+            if idx > 0 {
+                s.push(' ');
+            }
+            s.push_str(&(p + 1).to_string());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_order_layout(h: u32) -> Layout {
+        let t = Tree::new(h);
+        Layout::from_fn(h, |i| t.in_order_rank(i) - 1)
+    }
+
+    #[test]
+    fn from_fn_identity_is_bfs() {
+        let l = Layout::from_fn(4, |i| i - 1);
+        for i in 1..=15 {
+            assert_eq!(l.position(i), i - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation() {
+        let _ = Layout::from_positions(2, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn edge_lengths_in_order() {
+        // In-order layout of h=3: edge from root (pos 3) to children (pos 1, 5).
+        let l = in_order_layout(3);
+        assert_eq!(l.edge_length(2), 2);
+        assert_eq!(l.edge_length(3), 2);
+        assert_eq!(l.edge_length(4), 1);
+        let lengths: Vec<(u32, u64)> = l.edge_lengths().collect();
+        assert_eq!(lengths.len(), 6);
+    }
+
+    #[test]
+    fn post_order_listing_round_trip() {
+        // h=2 in-order layout [2,1,3] (nodes 1,2,3 at 1-based positions 2,1,3)
+        // post-order traversal is 2,3,1 so the listing is [1,3,2].
+        let l = Layout::from_post_order_listing(2, &[1, 3, 2]);
+        assert_eq!(l.position(1), 1);
+        assert_eq!(l.position(2), 0);
+        assert_eq!(l.position(3), 2);
+    }
+
+    #[test]
+    fn canonical_fixes_mirrored_children() {
+        // Two BFS-ish layouts differing by swapping children of the root.
+        let a = Layout::from_positions(2, vec![0, 1, 2]);
+        let b = Layout::from_positions(2, vec![0, 2, 1]);
+        assert_ne!(a.positions(), b.positions());
+        assert!(a.equivalent_to(&b));
+        assert_eq!(a.canonicalized().positions(), &[0, 1, 2]);
+        assert_eq!(b.canonicalized().positions(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn canonical_preserves_measure_inputs() {
+        let l = in_order_layout(5);
+        let c = l.canonicalized();
+        let mut a: Vec<(u32, u64)> = l.edge_lengths().collect();
+        let mut b: Vec<(u32, u64)> = c.edge_lengths().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let l = in_order_layout(6);
+        let c = l.canonicalized();
+        assert_eq!(c.positions(), c.canonicalized().positions());
+    }
+
+    #[test]
+    fn nodes_by_position_inverts() {
+        let l = in_order_layout(4);
+        let inv = l.nodes_by_position();
+        for i in 1..=l.len() {
+            assert_eq!(inv[l.position(i) as usize], i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use crate::named::NamedLayout;
+
+    #[test]
+    fn json_round_trip() {
+        let l = NamedLayout::MinWep.materialize(6);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Layout = serde_json::from_str(&json).unwrap();
+        assert_eq!(l.positions(), back.positions());
+        assert_eq!(l.height(), back.height());
+    }
+
+    #[test]
+    fn corrupt_data_is_rejected() {
+        // Duplicate position.
+        let bad = r#"{"height":2,"positions":[0,0,2]}"#;
+        assert!(serde_json::from_str::<Layout>(bad).is_err());
+        // Wrong length.
+        let bad = r#"{"height":3,"positions":[0,1,2]}"#;
+        assert!(serde_json::from_str::<Layout>(bad).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # cobtree-core
+//!
+//! Core substrate for the reproduction of *Lindstrom & Rajan, "Optimal
+//! Hierarchical Layouts for Cache-Oblivious Search Trees"* (ICDE 2014):
+//!
+//! * [`tree`] — the complete-binary-tree model (BFS indexing, in-order
+//!   keys, path arithmetic);
+//! * [`spec`] — [`spec::RecursiveSpec`], the paper's nomenclature for
+//!   Recursive Layouts (§I-B, Table I);
+//! * [`engine`] — materializes any spec into a [`layout::Layout`]
+//!   permutation;
+//! * [`named`] — the thirteen named layouts of Table I;
+//! * [`weights`] — exact and approximate affinity edge weights (Eq. 2);
+//! * [`index`] — pointer-less position arithmetic, including a faithful
+//!   port of the paper's Listing 1 (breadth-first → MINWEP translation).
+//!
+//! ```
+//! use cobtree_core::named::NamedLayout;
+//!
+//! // Materialize the paper's MINWEP layout for a 63-node tree and check
+//! // the root lands mid-array (positions are 0-based).
+//! let layout = NamedLayout::MinWep.materialize(6);
+//! assert_eq!(layout.position(1), 31);
+//! ```
+
+pub(crate) mod branch;
+pub mod engine;
+pub mod golden;
+pub mod index;
+pub mod layout;
+pub mod named;
+pub mod spec;
+pub mod tree;
+pub mod weights;
+
+pub use layout::Layout;
+pub use named::NamedLayout;
+pub use spec::{CutRule, RecursiveSpec, RootOrder, Subscript};
+pub use tree::{NodeId, Tree};
+pub use weights::EdgeWeights;

@@ -1,0 +1,226 @@
+//! Catalog of the named layouts from Table I of the paper.
+//!
+//! Every entry maps to a [`RecursiveSpec`]; the two non-recursive baselines
+//! MINLA and MINBW live in the `cobtree-optimizer` crate because they are
+//! constructions, not members of the Recursive Layout family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::materialize;
+use crate::layout::Layout;
+use crate::spec::{CutRule, RecursiveSpec, RootOrder, Subscript};
+
+/// The Recursive Layouts named in the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamedLayout {
+    /// `P^1_∞` — classic depth-first pre-order.
+    PreOrder,
+    /// `I^1_1` — classic depth-first in-order.
+    InOrder,
+    /// `I^1_∞` — minimizes the weighted edge sum ν1 among `g = 1`
+    /// Recursive Layouts (Theorem 1).
+    MinWla,
+    /// `I^1_2` — minimizes the weighted edge product ν0 among `g = 1`
+    /// Recursive Layouts (Theorem 3).
+    MinEp,
+    /// `P^{⌊h/2⌋}_∞` — Prokop's van Emde Boas layout, the de-facto
+    /// cache-oblivious layout in the literature.
+    PreVeb,
+    /// `~P^{⌊h/2⌋}_∞` — alternating PRE-VEB.
+    PreVebA,
+    /// `I^{⌊h/2⌋}_1` — in-order van Emde Boas.
+    InVeb,
+    /// `~I^{⌊h/2⌋}_1` — alternating IN-VEB.
+    InVebA,
+    /// `P^{h−2^⌈log2(h/2)⌉}_∞` — Bender's layout (power-of-two bottoms).
+    Bender,
+    /// `~I^{⌊h/2⌋}_2` — the hybrid layout with vEB cut heights (§IV-B).
+    HalfWep,
+    /// `~I^{opt}_2` — the paper's contribution: minimum weighted edge
+    /// product layout (§IV-C, Listing 1).
+    MinWep,
+    /// `P^{h−1}_*` — breadth-first.
+    PreBreadth,
+    /// `I^{h−1}_*` — in-order variant of breadth-first.
+    InBreadth,
+}
+
+impl NamedLayout {
+    /// All thirteen named Recursive Layouts in the order the paper's
+    /// Figure 4 legend lists them.
+    pub const ALL: [NamedLayout; 13] = [
+        NamedLayout::PreBreadth,
+        NamedLayout::InBreadth,
+        NamedLayout::PreOrder,
+        NamedLayout::InOrder,
+        NamedLayout::MinWla,
+        NamedLayout::MinEp,
+        NamedLayout::Bender,
+        NamedLayout::PreVeb,
+        NamedLayout::PreVebA,
+        NamedLayout::InVeb,
+        NamedLayout::InVebA,
+        NamedLayout::HalfWep,
+        NamedLayout::MinWep,
+    ];
+
+    /// The six layouts compared in Figure 1 / Figure 2 of the paper.
+    pub const FIG2_SET: [NamedLayout; 6] = [
+        NamedLayout::PreVeb,
+        NamedLayout::PreVebA,
+        NamedLayout::InVeb,
+        NamedLayout::InVebA,
+        NamedLayout::HalfWep,
+        NamedLayout::MinWep,
+    ];
+
+    /// The ten layouts of Figure 4.
+    pub const FIG4_SET: [NamedLayout; 10] = [
+        NamedLayout::PreBreadth,
+        NamedLayout::InBreadth,
+        NamedLayout::PreOrder,
+        NamedLayout::InOrder,
+        NamedLayout::MinEp,
+        NamedLayout::Bender,
+        NamedLayout::PreVeb,
+        NamedLayout::InVeb,
+        NamedLayout::HalfWep,
+        NamedLayout::MinWep,
+    ];
+
+    /// Display name matching the paper (small caps rendered in ASCII).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            NamedLayout::PreOrder => "PRE-ORDER",
+            NamedLayout::InOrder => "IN-ORDER",
+            NamedLayout::MinWla => "MINWLA",
+            NamedLayout::MinEp => "MINEP",
+            NamedLayout::PreVeb => "PRE-VEB",
+            NamedLayout::PreVebA => "PRE-VEBA",
+            NamedLayout::InVeb => "IN-VEB",
+            NamedLayout::InVebA => "IN-VEBA",
+            NamedLayout::Bender => "BENDER",
+            NamedLayout::HalfWep => "HALFWEP",
+            NamedLayout::MinWep => "MINWEP",
+            NamedLayout::PreBreadth => "PRE-BREADTH",
+            NamedLayout::InBreadth => "IN-BREADTH",
+        }
+    }
+
+    /// Parses a display name (case-insensitive) back into the enum.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        let needle = label.to_ascii_uppercase();
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|l| l.label() == needle)
+    }
+
+    /// The [`RecursiveSpec`] describing this layout.
+    #[must_use]
+    pub fn spec(&self) -> RecursiveSpec {
+        use CutRule::*;
+        use RootOrder::*;
+        use Subscript::*;
+        match self {
+            NamedLayout::PreOrder => RecursiveSpec::new(PreOrder, One, Infinity),
+            NamedLayout::InOrder => RecursiveSpec::new(InOrder, One, K(1)),
+            NamedLayout::MinWla => RecursiveSpec::new(InOrder, One, Infinity),
+            NamedLayout::MinEp => RecursiveSpec::new(InOrder, One, K(2)),
+            NamedLayout::PreVeb => RecursiveSpec::new(PreOrder, Half, Infinity),
+            NamedLayout::PreVebA => RecursiveSpec::new(PreOrder, Half, Infinity).alternating(),
+            NamedLayout::InVeb => RecursiveSpec::new(InOrder, Half, K(1)),
+            NamedLayout::InVebA => RecursiveSpec::new(InOrder, Half, K(1)).alternating(),
+            NamedLayout::Bender => RecursiveSpec::new(PreOrder, Bender, Infinity),
+            NamedLayout::HalfWep => RecursiveSpec::new(InOrder, Half, K(2)).alternating(),
+            NamedLayout::MinWep => RecursiveSpec::new(InOrder, One, K(2))
+                .with_cut_pre(MinWepPre)
+                .alternating(),
+            NamedLayout::PreBreadth => RecursiveSpec::new(PreOrder, BreadthFirst, Infinity),
+            NamedLayout::InBreadth => RecursiveSpec::new(InOrder, BreadthFirst, K(1)),
+        }
+    }
+
+    /// Nomenclature string per Table I.
+    #[must_use]
+    pub fn nomenclature(&self) -> String {
+        self.spec().nomenclature()
+    }
+
+    /// Materializes the layout for a tree of `height` levels.
+    #[must_use]
+    pub fn materialize(&self, height: u32) -> Layout {
+        materialize(&self.spec(), height)
+    }
+}
+
+impl std::fmt::Display for NamedLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for l in NamedLayout::ALL {
+            assert_eq!(NamedLayout::from_label(l.label()), Some(l));
+            assert_eq!(NamedLayout::from_label(&l.label().to_lowercase()), Some(l));
+        }
+        assert_eq!(NamedLayout::from_label("nope"), None);
+    }
+
+    #[test]
+    fn all_layouts_materialize_small() {
+        for l in NamedLayout::ALL {
+            for h in 1..=10 {
+                let lay = l.materialize(h);
+                assert_eq!(lay.len(), (1u64 << h) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn minwep_equals_minep_for_small_heights() {
+        // §IV-B: for h ≤ 6 MINEP and MINWEP coincide (all pre-order cuts
+        // land at g = 1 because subtree heights stay ≤ 5).
+        for h in 1..=6 {
+            let a = NamedLayout::MinWep.materialize(h);
+            let b = NamedLayout::MinEp.materialize(h);
+            assert_eq!(a.positions(), b.positions(), "h={h}");
+        }
+        // They must diverge once pre-order subtrees taller than 5 appear.
+        let a = NamedLayout::MinWep.materialize(8);
+        let b = NamedLayout::MinEp.materialize(8);
+        assert_ne!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn bender_equals_pre_veb_at_power_of_two_heights() {
+        for h in [4u32, 8, 16] {
+            let a = NamedLayout::Bender.materialize(h);
+            let b = NamedLayout::PreVeb.materialize(h);
+            assert_eq!(a.positions(), b.positions(), "h={h}");
+        }
+        for h in [6u32, 10, 12] {
+            let a = NamedLayout::Bender.materialize(h);
+            let b = NamedLayout::PreVeb.materialize(h);
+            assert_ne!(a.positions(), b.positions(), "h={h}");
+        }
+    }
+
+    #[test]
+    fn nomenclature_matches_table_one() {
+        assert_eq!(NamedLayout::PreVeb.nomenclature(), "P^{h/2}_inf");
+        assert_eq!(NamedLayout::InVeb.nomenclature(), "I^{h/2}_1");
+        assert_eq!(NamedLayout::MinWep.nomenclature(), "~I^{opt}_2");
+        assert_eq!(NamedLayout::HalfWep.nomenclature(), "~I^{h/2}_2");
+        assert_eq!(NamedLayout::MinWla.nomenclature(), "I^{1}_inf");
+        assert_eq!(NamedLayout::InBreadth.nomenclature(), "I^{h-1}_1");
+    }
+}

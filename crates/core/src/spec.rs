@@ -1,0 +1,244 @@
+//! Recursive Layout specifications (the paper's nomenclature, §I-B).
+//!
+//! A *Recursive Layout* is fully described by
+//!
+//! 1. the arrangement of the outermost branch — pre-order (`P`) or
+//!    in-order (`I`);
+//! 2. the cut height `g` as a function of subtree height `h`
+//!    (superscript), possibly different for in-order and pre-order
+//!    subtrees;
+//! 3. the outward position `k` of the first in-order bottom subtree
+//!    (subscript; `∞` = all bottom subtrees pre-order);
+//! 4. whether the layout is *alternating* (`~`): bottom subtrees placed in
+//!    reverse order of their parent leaves (Theorem 2).
+//!
+//! [`RecursiveSpec`] captures exactly these degrees of freedom and drives
+//! both the materializing engine ([`crate::engine`]) and the generic
+//! pointer-less indexer.
+
+use serde::{Deserialize, Serialize};
+
+/// Arrangement of a subtree's top block relative to its bottom subtrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootOrder {
+    /// `I`: the top subtree sits in the middle of the bottom subtrees.
+    InOrder,
+    /// `P`: the top subtree sits at the end nearer its parent leaf
+    /// (pre-order on the right of a parent, post-order on the left).
+    PreOrder,
+}
+
+/// Cut-height rule `g(h)` (the nomenclature superscript).
+///
+/// All rules are clamped to the valid range `1..=h−1` on evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CutRule {
+    /// `g = 1`: depth-first family (IN-ORDER, PRE-ORDER, MINEP, MINWLA).
+    One,
+    /// `g = ⌊h/2⌋`: the van Emde Boas family (Prokop).
+    Half,
+    /// `g = ⌊(h−1)/2⌋` — the optimal pre-order cut for tall subtrees
+    /// found by the paper's empirical study (§IV-C).
+    HalfOfMinusOne,
+    /// Bender's rule: the bottom subtrees get the largest power-of-two
+    /// height smaller than `h`, i.e. `g = h − 2^{⌈log2(h/2)⌉}`.
+    Bender,
+    /// `g = h − 1`: breadth-first family.
+    BreadthFirst,
+    /// MINWEP's optimal pre-order cut: `g = 1` for `h ≤ 5`, else
+    /// `⌊(h−1)/2⌋` (§IV-C, including the `g_P(5) = 1` exception; this is
+    /// `partition()` from Listing 1).
+    MinWepPre,
+    /// Explicit per-height table: `g(h) = table[h]` (index 0 and 1 unused).
+    /// Used by the layout-space optimizer to represent arbitrary studies.
+    Table(Vec<u32>),
+}
+
+impl CutRule {
+    /// Evaluates the rule at subtree height `h ≥ 2`, clamped to `1..=h−1`.
+    #[inline]
+    #[must_use]
+    pub fn cut(&self, h: u32) -> u32 {
+        debug_assert!(h >= 2, "cut height undefined for h < 2");
+        let raw = match self {
+            CutRule::One => 1,
+            CutRule::Half => h / 2,
+            CutRule::HalfOfMinusOne => (h - 1) / 2,
+            CutRule::Bender => {
+                // The bottom-subtree height 2^⌈log2(h/2)⌉ is the largest
+                // power of two strictly smaller than h.
+                let bottom = if h <= 2 { 1 } else { 1 << (31 - (h - 1).leading_zeros()) };
+                h - bottom
+            }
+            CutRule::BreadthFirst => h - 1,
+            CutRule::MinWepPre => {
+                if h <= 5 {
+                    1
+                } else {
+                    (h - 1) / 2
+                }
+            }
+            CutRule::Table(t) => t.get(h as usize).copied().unwrap_or(1),
+        };
+        raw.clamp(1, h - 1)
+    }
+}
+
+/// The nomenclature subscript: outward rank of the first in-order bottom
+/// subtree. Bottom subtrees with outward rank `< k` are pre-order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subscript {
+    /// First in-order bottom subtree at outward position `k ≥ 1`
+    /// (so `K(1)` = all bottom subtrees in-order).
+    K(u32),
+    /// `∞`: every bottom subtree is pre-order.
+    Infinity,
+}
+
+impl Subscript {
+    /// Is the bottom subtree at 1-based outward rank `t` arranged pre-order?
+    #[inline]
+    #[must_use]
+    pub fn is_pre_order(&self, t: u64) -> bool {
+        match *self {
+            Subscript::K(k) => t < u64::from(k),
+            Subscript::Infinity => true,
+        }
+    }
+}
+
+/// A complete description of a Recursive Layout (§I-B, Table I).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecursiveSpec {
+    /// Arrangement of the outermost branch of the recursion.
+    pub root_order: RootOrder,
+    /// Cut rule applied to in-order subtrees.
+    pub cut_in: CutRule,
+    /// Cut rule applied to pre-order subtrees.
+    pub cut_pre: CutRule,
+    /// Outward position of the first in-order bottom subtree.
+    pub first_in_order: Subscript,
+    /// Alternating (`~`): bottom subtrees in reverse order of parent leaves.
+    pub alternating: bool,
+}
+
+impl RecursiveSpec {
+    /// Spec builder with the given outer arrangement and uniform cut rule.
+    #[must_use]
+    pub fn new(root_order: RootOrder, cut: CutRule, first_in_order: Subscript) -> Self {
+        Self {
+            root_order,
+            cut_in: cut.clone(),
+            cut_pre: cut,
+            first_in_order,
+            alternating: false,
+        }
+    }
+
+    /// Returns a copy with the alternating flag set.
+    #[must_use]
+    pub fn alternating(mut self) -> Self {
+        self.alternating = true;
+        self
+    }
+
+    /// Returns a copy with a distinct pre-order cut rule.
+    #[must_use]
+    pub fn with_cut_pre(mut self, cut_pre: CutRule) -> Self {
+        self.cut_pre = cut_pre;
+        self
+    }
+
+    /// Nomenclature string, e.g. `~I^{opt}_2` for MINWEP or `P^{h/2}_inf`
+    /// for PRE-VEB. ASCII approximation of the paper's typesetting.
+    #[must_use]
+    pub fn nomenclature(&self) -> String {
+        let tilde = if self.alternating { "~" } else { "" };
+        let letter = match self.root_order {
+            RootOrder::InOrder => "I",
+            RootOrder::PreOrder => "P",
+        };
+        let cut = match (&self.cut_in, &self.cut_pre) {
+            (CutRule::One, CutRule::One) => "1".to_string(),
+            (CutRule::Half, CutRule::Half) => "h/2".to_string(),
+            (CutRule::BreadthFirst, _) | (_, CutRule::BreadthFirst) => "h-1".to_string(),
+            (_, CutRule::Bender) => "bender".to_string(),
+            (CutRule::One, CutRule::MinWepPre) => "opt".to_string(),
+            (ci, cp) if ci == cp => format!("{ci:?}").to_lowercase(),
+            (ci, cp) => format!("I:{ci:?},P:{cp:?}").to_lowercase(),
+        };
+        let sub = match self.first_in_order {
+            Subscript::K(k) => k.to_string(),
+            Subscript::Infinity => "inf".to_string(),
+        };
+        // For pure pre-order layouts the in-order cut never fires; for pure
+        // in-order (k = 1) the pre-order cut never fires. The simple cut
+        // label above already reflects the operative rule.
+        format!("{tilde}{letter}^{{{cut}}}_{sub}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_rules_match_paper_examples() {
+        // Prokop: ⌊h/2⌋.
+        assert_eq!(CutRule::Half.cut(6), 3);
+        assert_eq!(CutRule::Half.cut(20), 10);
+        // Bender: bottom = largest power of two < h. h=6 ⇒ bottom 4 ⇒ g=2.
+        assert_eq!(CutRule::Bender.cut(6), 2);
+        assert_eq!(CutRule::Bender.cut(5), 1);
+        assert_eq!(CutRule::Bender.cut(7), 3);
+        assert_eq!(CutRule::Bender.cut(8), 4); // power of two: same as Half
+        assert_eq!(CutRule::Bender.cut(16), 8);
+        assert_eq!(CutRule::Bender.cut(9), 1);
+        assert_eq!(CutRule::Bender.cut(2), 1);
+        // MINWEP pre-order cut (Listing 1's partition()).
+        assert_eq!(CutRule::MinWepPre.cut(2), 1);
+        assert_eq!(CutRule::MinWepPre.cut(5), 1);
+        assert_eq!(CutRule::MinWepPre.cut(6), 2);
+        assert_eq!(CutRule::MinWepPre.cut(7), 3);
+        assert_eq!(CutRule::MinWepPre.cut(20), 9);
+        // Breadth-first.
+        assert_eq!(CutRule::BreadthFirst.cut(6), 5);
+    }
+
+    #[test]
+    fn cuts_always_valid() {
+        let rules = [
+            CutRule::One,
+            CutRule::Half,
+            CutRule::HalfOfMinusOne,
+            CutRule::Bender,
+            CutRule::BreadthFirst,
+            CutRule::MinWepPre,
+            CutRule::Table(vec![0, 0, 9, 9, 9]),
+        ];
+        for rule in &rules {
+            for h in 2..=32 {
+                let g = rule.cut(h);
+                assert!((1..h).contains(&g), "{rule:?} at h={h} gave g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn subscript_thresholds() {
+        assert!(!Subscript::K(1).is_pre_order(1));
+        assert!(Subscript::K(2).is_pre_order(1));
+        assert!(!Subscript::K(2).is_pre_order(2));
+        assert!(Subscript::Infinity.is_pre_order(1_000_000));
+    }
+
+    #[test]
+    fn nomenclature_strings() {
+        let pre_veb = RecursiveSpec::new(RootOrder::PreOrder, CutRule::Half, Subscript::Infinity);
+        assert_eq!(pre_veb.nomenclature(), "P^{h/2}_inf");
+        let minwep = RecursiveSpec::new(RootOrder::InOrder, CutRule::One, Subscript::K(2))
+            .with_cut_pre(CutRule::MinWepPre)
+            .alternating();
+        assert_eq!(minwep.nomenclature(), "~I^{opt}_2");
+    }
+}

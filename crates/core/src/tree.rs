@@ -1,0 +1,351 @@
+//! Complete binary tree model.
+//!
+//! The paper (§I) works exclusively with *complete* binary trees of height
+//! `h` (i.e. `h` levels of nodes, `2^h − 1` nodes total). Nodes are
+//! identified by their **breadth-first (BFS) index** `i ∈ [1, 2^h)`, the
+//! classical implicit-heap numbering: the root is `1`, the children of `i`
+//! are `2i` and `2i + 1`. All layouts are permutations of these indices.
+//!
+//! The key stored at a node is its **in-order rank**, so keys can be
+//! recovered from the BFS index with pure bit arithmetic — exactly the
+//! trick the paper uses (§IV-E footnote 1) to time pointer-less index
+//! computation with no memory accesses.
+
+/// BFS index of a node in a complete binary tree (`1..2^h`).
+pub type NodeId = u64;
+
+/// Maximum supported tree height. `2^60` node indices still fit a `u64`
+/// with room for arithmetic; practical experiments use `h ≤ 32`.
+pub const MAX_HEIGHT: u32 = 60;
+
+/// A complete binary tree with `h ≥ 1` levels and `2^h − 1` nodes.
+///
+/// The type is a lightweight descriptor (just the height); all structure is
+/// implicit in BFS index arithmetic.
+///
+/// ```
+/// use cobtree_core::tree::Tree;
+/// let t = Tree::new(3);
+/// assert_eq!(t.len(), 7);
+/// assert_eq!(t.depth(5), 2);
+/// assert_eq!(t.parent(5), Some(2));
+/// assert_eq!(t.in_order_rank(1), 4); // the root is the middle key
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tree {
+    height: u32,
+}
+
+impl Tree {
+    /// Creates a complete binary tree with `height` levels.
+    ///
+    /// # Panics
+    /// Panics if `height` is `0` or exceeds [`MAX_HEIGHT`].
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        assert!(
+            (1..=MAX_HEIGHT).contains(&height),
+            "tree height must be in 1..={MAX_HEIGHT}, got {height}"
+        );
+        Self { height }
+    }
+
+    /// Number of levels `h` (the paper's *height*). The root is on level 0
+    /// and the leaves on level `h − 1`.
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of nodes, `2^h − 1`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        (1u64 << self.height) - 1
+    }
+
+    /// `false` — a complete binary tree always has at least one node.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of edges, `2^h − 2`.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.len() - 1
+    }
+
+    /// BFS index of the root (always `1`).
+    #[inline]
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        1
+    }
+
+    /// Returns `true` if `node` is a valid BFS index for this tree.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node >= 1 && node <= self.len()
+    }
+
+    /// Depth (level) of `node`: `⌊log2 node⌋`. The root has depth 0.
+    #[inline]
+    #[must_use]
+    pub fn depth(&self, node: NodeId) -> u32 {
+        debug_assert!(self.contains(node));
+        63 - node.leading_zeros()
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        debug_assert!(self.contains(node));
+        if node == 1 {
+            None
+        } else {
+            Some(node >> 1)
+        }
+    }
+
+    /// Left child of `node`, or `None` if `node` is a leaf.
+    #[inline]
+    #[must_use]
+    pub fn left(&self, node: NodeId) -> Option<NodeId> {
+        let c = node << 1;
+        (c <= self.len()).then_some(c)
+    }
+
+    /// Right child of `node`, or `None` if `node` is a leaf.
+    #[inline]
+    #[must_use]
+    pub fn right(&self, node: NodeId) -> Option<NodeId> {
+        let c = (node << 1) | 1;
+        (c <= self.len()).then_some(c)
+    }
+
+    /// `true` if `node` is on the last level.
+    #[inline]
+    #[must_use]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.depth(node) == self.height - 1
+    }
+
+    /// Rank of `node` within its level, `0 ≤ rank < 2^depth`.
+    #[inline]
+    #[must_use]
+    pub fn level_rank(&self, node: NodeId) -> u64 {
+        node - (1u64 << self.depth(node))
+    }
+
+    /// Height of the subtree rooted at `node` (a leaf has subtree height 1).
+    #[inline]
+    #[must_use]
+    pub fn subtree_height(&self, node: NodeId) -> u32 {
+        self.height - self.depth(node)
+    }
+
+    /// Number of nodes in the subtree rooted at `node`.
+    #[inline]
+    #[must_use]
+    pub fn subtree_len(&self, node: NodeId) -> u64 {
+        (1u64 << self.subtree_height(node)) - 1
+    }
+
+    /// In-order rank of `node`, 1-based (`1..=2^h − 1`).
+    ///
+    /// For a node at depth `d` with level rank `j`, the in-order rank is
+    /// `j · 2^{h−d} + 2^{h−d−1}`: each depth-`d` subtree owns a contiguous
+    /// key range and its root sits exactly in the middle.
+    #[inline]
+    #[must_use]
+    pub fn in_order_rank(&self, node: NodeId) -> u64 {
+        let d = self.depth(node);
+        let j = node - (1u64 << d);
+        let span = 1u64 << (self.height - d);
+        j * span + span / 2
+    }
+
+    /// Inverse of [`Tree::in_order_rank`]: the BFS index holding the
+    /// 1-based in-order rank `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of `1..=len()`.
+    #[inline]
+    #[must_use]
+    pub fn node_at_in_order(&self, rank: u64) -> NodeId {
+        assert!(rank >= 1 && rank <= self.len(), "in-order rank out of range");
+        let t = rank.trailing_zeros(); // rank = odd · 2^t ⇒ depth = h − 1 − t
+        let d = self.height - 1 - t;
+        (1u64 << d) + (rank >> (t + 1))
+    }
+
+    /// Ancestor of `node` at depth `d` (requires `d ≤ depth(node)`).
+    #[inline]
+    #[must_use]
+    pub fn ancestor_at_depth(&self, node: NodeId, d: u32) -> NodeId {
+        let nd = self.depth(node);
+        debug_assert!(d <= nd);
+        node >> (nd - d)
+    }
+
+    /// Iterator over all BFS indices, `1..=2^h − 1`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        1..=self.len()
+    }
+
+    /// Iterator over all nodes on level `d`.
+    pub fn level(&self, d: u32) -> impl Iterator<Item = NodeId> {
+        debug_assert!(d < self.height);
+        (1u64 << d)..(1u64 << (d + 1))
+    }
+
+    /// Iterator over all edges as `(parent, child)` pairs. The *depth of an
+    /// edge* in the paper's terminology is `depth(child)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> {
+        let n = self.len();
+        (2..=n).map(|c| (c >> 1, c))
+    }
+
+    /// The root-to-`node` path, starting at the root (inclusive on both ends).
+    #[must_use]
+    pub fn path_from_root(&self, node: NodeId) -> Vec<NodeId> {
+        let d = self.depth(node);
+        (0..=d).map(|k| node >> (d - k)).collect()
+    }
+
+    /// Searches for the 1-based in-order `key`, returning the root-to-target
+    /// BFS path — the access sequence the affinity-graph model of §II-A
+    /// assigns to this search.
+    #[must_use]
+    pub fn search_path(&self, key: u64) -> Vec<NodeId> {
+        self.path_from_root(self.node_at_in_order(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_shape() {
+        let t = Tree::new(4);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.root(), 1);
+        assert!(t.contains(15));
+        assert!(!t.contains(16));
+        assert!(!t.contains(0));
+    }
+
+    #[test]
+    fn depth_and_family() {
+        let t = Tree::new(4);
+        assert_eq!(t.depth(1), 0);
+        assert_eq!(t.depth(2), 1);
+        assert_eq!(t.depth(3), 1);
+        assert_eq!(t.depth(15), 3);
+        assert_eq!(t.parent(1), None);
+        assert_eq!(t.parent(7), Some(3));
+        assert_eq!(t.left(3), Some(6));
+        assert_eq!(t.right(3), Some(7));
+        assert_eq!(t.left(8), None);
+        assert!(t.is_leaf(8));
+        assert!(!t.is_leaf(7));
+    }
+
+    #[test]
+    fn level_rank_and_subtrees() {
+        let t = Tree::new(5);
+        assert_eq!(t.level_rank(1), 0);
+        assert_eq!(t.level_rank(5), 1);
+        assert_eq!(t.subtree_height(1), 5);
+        assert_eq!(t.subtree_height(16), 1);
+        assert_eq!(t.subtree_len(2), 15);
+    }
+
+    #[test]
+    fn in_order_rank_round_trip() {
+        for h in 1..=10 {
+            let t = Tree::new(h);
+            let mut seen = vec![false; t.len() as usize + 1];
+            for i in t.nodes() {
+                let r = t.in_order_rank(i);
+                assert!(r >= 1 && r <= t.len());
+                assert!(!seen[r as usize], "duplicate in-order rank");
+                seen[r as usize] = true;
+                assert_eq!(t.node_at_in_order(r), i);
+            }
+        }
+    }
+
+    #[test]
+    fn in_order_is_bst_order() {
+        // In-order ranks must be increasing along an in-order traversal.
+        let t = Tree::new(6);
+        fn visit(t: &Tree, i: NodeId, out: &mut Vec<u64>) {
+            if let Some(l) = t.left(i) {
+                visit(t, l, out);
+            }
+            out.push(t.in_order_rank(i));
+            if let Some(r) = t.right(i) {
+                visit(t, r, out);
+            }
+        }
+        let mut ranks = Vec::new();
+        visit(&t, 1, &mut ranks);
+        let sorted: Vec<u64> = (1..=t.len()).collect();
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn edges_depth_counts() {
+        let t = Tree::new(5);
+        let mut per_depth = [0u64; 5];
+        for (p, c) in t.edges() {
+            assert_eq!(p, c >> 1);
+            per_depth[t.depth(c) as usize] += 1;
+        }
+        assert_eq!(per_depth, [0, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn search_path_follows_comparisons() {
+        let t = Tree::new(4);
+        for key in 1..=t.len() {
+            let path = t.search_path(key);
+            assert_eq!(path[0], 1);
+            // Walking by comparisons on in-order keys must give the same path.
+            let mut node = 1;
+            for &p in &path {
+                assert_eq!(p, node);
+                let k = t.in_order_rank(node);
+                if key == k {
+                    break;
+                }
+                node = if key < k { node << 1 } else { (node << 1) | 1 };
+            }
+            assert_eq!(*path.last().unwrap(), t.node_at_in_order(key));
+        }
+    }
+
+    #[test]
+    fn ancestor_at_depth_walks_up() {
+        let t = Tree::new(6);
+        assert_eq!(t.ancestor_at_depth(63, 0), 1);
+        assert_eq!(t.ancestor_at_depth(63, 5), 63);
+        assert_eq!(t.ancestor_at_depth(44, 2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree height")]
+    fn zero_height_rejected() {
+        let _ = Tree::new(0);
+    }
+}

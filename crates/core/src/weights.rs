@@ -1,0 +1,108 @@
+//! Edge-weight models for the search-tree affinity graph (§II-A).
+//!
+//! In the affinity-graph model, a uniform random search traverses the edge
+//! between levels `d − 1` and `d` with probability
+//!
+//! ```text
+//! p_{d,h} = (2^{h−d} − 1) / (2^h − 1)            (Eq. 2, exact)
+//! p_d     ≈ 2^{−d}                               (approximation)
+//! ```
+//!
+//! The paper uses the geometric approximation for all analysis and
+//! experiments; both models are provided so the difference can be
+//! quantified.
+
+use serde::{Deserialize, Serialize};
+
+/// Which edge-weight model to use when evaluating weighted measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EdgeWeights {
+    /// `w_d = 2^{−d}` — the paper's default (used for every figure).
+    #[default]
+    Approximate,
+    /// `w_d = (2^{h−d} − 1)/(2^h − 1)` — the exact traversal probability
+    /// of Eq. 2.
+    Exact,
+    /// `w_d = 1` — unweighted; turns `ν` measures into their `µ`
+    /// counterparts.
+    Unweighted,
+}
+
+impl EdgeWeights {
+    /// Weight of one edge between levels `d − 1` and `d` in a tree of
+    /// height `h` (`1 ≤ d ≤ h − 1`).
+    #[inline]
+    #[must_use]
+    pub fn weight(&self, d: u32, h: u32) -> f64 {
+        debug_assert!(d >= 1 && d < h);
+        match self {
+            EdgeWeights::Approximate => (-(f64::from(d))).exp2(),
+            EdgeWeights::Exact => {
+                let num = (1u64 << (h - d)) as f64 - 1.0;
+                let den = if h >= 63 {
+                    (h as f64).exp2() - 1.0
+                } else {
+                    (1u64 << h) as f64 - 1.0
+                };
+                num / den
+            }
+            EdgeWeights::Unweighted => 1.0,
+        }
+    }
+
+    /// Total weight `W = Σ_{edges} w` over all `2^d` edges at each depth
+    /// `d ∈ 1..h`.
+    #[must_use]
+    pub fn total(&self, h: u32) -> f64 {
+        (1..h).map(|d| self.weight(d, h) * (1u64 << d) as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_weights_are_geometric() {
+        let w = EdgeWeights::Approximate;
+        assert!((w.weight(1, 10) - 0.5).abs() < 1e-12);
+        assert!((w.weight(2, 10) - 0.25).abs() < 1e-12);
+        assert!((w.weight(9, 10) - 2f64.powi(-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approximate_total_is_h_minus_one() {
+        // Σ_d 2^d · 2^{−d} = h − 1.
+        for h in 2..=30 {
+            assert!((EdgeWeights::Approximate.total(h) - f64::from(h - 1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_weights_match_eq2() {
+        // h = 3: p_{1,3} = (4−1)/7, p_{2,3} = (2−1)/7.
+        let w = EdgeWeights::Exact;
+        assert!((w.weight(1, 3) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((w.weight(2, 3) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_total_is_expected_path_length() {
+        // Σ_d 2^d p_{d,h} = expected search-path edge count =
+        // (Σ_i depth(node_i)) / n.
+        let h = 8;
+        let n = (1u64 << h) - 1;
+        let expected: f64 = (1..=n).map(|i| (63 - i.leading_zeros()) as f64).sum::<f64>() / n as f64;
+        assert!((EdgeWeights::Exact.total(h) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_approaches_approximate_near_the_top() {
+        let h = 24;
+        for d in 1..=6 {
+            let e = EdgeWeights::Exact.weight(d, h);
+            let a = EdgeWeights::Approximate.weight(d, h);
+            assert!((e - a).abs() / a < 1e-4, "d={d}");
+        }
+    }
+}

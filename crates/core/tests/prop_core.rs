@@ -1,0 +1,128 @@
+//! Property-based tests for the tree model and layout engine.
+
+use cobtree_core::engine::{materialize, one_based_positions};
+use cobtree_core::{CutRule, Layout, NamedLayout, RecursiveSpec, RootOrder, Subscript, Tree};
+use proptest::prelude::*;
+
+fn arb_named() -> impl Strategy<Value = NamedLayout> {
+    proptest::sample::select(NamedLayout::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BFS arithmetic is self-consistent for random nodes.
+    #[test]
+    fn tree_arithmetic(h in 1u32..=20, seed in any::<u64>()) {
+        let t = Tree::new(h);
+        let node = 1 + seed % t.len();
+        let d = t.depth(node);
+        prop_assert!(d < h);
+        if let Some(p) = t.parent(node) {
+            prop_assert_eq!(t.depth(p), d - 1);
+            prop_assert!(t.left(p) == Some(node) || t.right(p) == Some(node));
+        }
+        prop_assert_eq!(t.ancestor_at_depth(node, 0), 1);
+        prop_assert_eq!(t.node_at_in_order(t.in_order_rank(node)), node);
+        let path = t.path_from_root(node);
+        prop_assert_eq!(path.len() as u32, d + 1);
+        prop_assert_eq!(*path.last().unwrap(), node);
+    }
+
+    /// In-order ranks respect the BST property for random nodes.
+    #[test]
+    fn in_order_respects_subtrees(h in 2u32..=16, seed in any::<u64>()) {
+        let t = Tree::new(h);
+        let node = 1 + seed % t.len();
+        if let (Some(l), Some(r)) = (t.left(node), t.right(node)) {
+            prop_assert!(t.in_order_rank(l) < t.in_order_rank(node));
+            prop_assert!(t.in_order_rank(node) < t.in_order_rank(r));
+        }
+    }
+
+    /// Named-layout indexers agree with materialization up to
+    /// automorphism at random heights.
+    #[test]
+    fn indexers_track_engine(layout in arb_named(), h in 1u32..=12) {
+        let idx = layout.indexer(h);
+        let from_idx = Layout::from_fn(h, |i| idx.position_of(i));
+        let mat = layout.materialize(h);
+        prop_assert!(from_idx.equivalent_to(&mat), "{} h={}", layout, h);
+    }
+
+    /// The defining property of Hierarchical Layouts: the blocks of the
+    /// outermost cut — the top subtree `A` (depths `< g`) and every
+    /// bottom subtree rooted at depth `g` — occupy contiguous positions.
+    #[test]
+    fn outer_decomposition_blocks_are_contiguous(layout in arb_named(), h in 3u32..=10) {
+        let spec = layout.spec();
+        let g = match spec.root_order {
+            RootOrder::InOrder => spec.cut_in.cut(h),
+            RootOrder::PreOrder => spec.cut_pre.cut(h),
+        };
+        let mat = layout.materialize(h);
+        let t = Tree::new(h);
+        let contiguous = |ps: &mut Vec<u64>| {
+            ps.sort_unstable();
+            ps.windows(2).all(|w| w[1] == w[0] + 1)
+        };
+        let mut top: Vec<u64> = t
+            .nodes()
+            .filter(|&i| t.depth(i) < g)
+            .map(|i| mat.position(i))
+            .collect();
+        prop_assert!(contiguous(&mut top), "{} h={} top subtree", layout, h);
+        for bottom_root in t.level(g) {
+            let mut ps: Vec<u64> = t
+                .nodes()
+                .filter(|&i| t.depth(i) >= g && t.ancestor_at_depth(i, g) == bottom_root)
+                .map(|i| mat.position(i))
+                .collect();
+            prop_assert!(contiguous(&mut ps), "{} h={} bottom {}", layout, h, bottom_root);
+        }
+    }
+
+    /// One-based position dumps are permutations of 1..=n.
+    #[test]
+    fn one_based_dump_is_permutation(h in 1u32..=10) {
+        let spec = RecursiveSpec::new(RootOrder::InOrder, CutRule::Half, Subscript::K(2));
+        let mut v = one_based_positions(&spec, h);
+        v.sort_unstable();
+        let expect: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        prop_assert_eq!(v, expect);
+    }
+
+    /// Canonical equivalence is symmetric and reflexive on engine output.
+    #[test]
+    fn equivalence_relation(layout in arb_named(), h in 2u32..=9) {
+        let a = layout.materialize(h);
+        prop_assert!(a.equivalent_to(&a));
+        let b = a.canonicalized();
+        prop_assert!(a.equivalent_to(&b) && b.equivalent_to(&a));
+    }
+
+    /// Cut rules always produce legal cut heights.
+    #[test]
+    fn cut_rules_in_range(h in 2u32..=32, table in proptest::collection::vec(0u32..40, 33)) {
+        for rule in [
+            CutRule::One,
+            CutRule::Half,
+            CutRule::HalfOfMinusOne,
+            CutRule::Bender,
+            CutRule::BreadthFirst,
+            CutRule::MinWepPre,
+            CutRule::Table(table),
+        ] {
+            let g = rule.cut(h);
+            prop_assert!((1..h).contains(&g), "{rule:?} h={h} g={g}");
+        }
+    }
+
+    /// materialize() is deterministic.
+    #[test]
+    fn engine_deterministic(layout in arb_named(), h in 1u32..=10) {
+        let a = materialize(&layout.spec(), h);
+        let b = materialize(&layout.spec(), h);
+        prop_assert_eq!(a.positions(), b.positions());
+    }
+}

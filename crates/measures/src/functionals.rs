@@ -1,0 +1,168 @@
+//! Edge-length functionals (§III, §III-A).
+//!
+//! For a layout with edge lengths `ℓ_ij` and affinity weights `w_ij`
+//! (total `W`), the paper studies
+//!
+//! ```text
+//! ν0 = exp( (1/W) Σ w_ij ln ℓ_ij )   weighted edge product   (Eq. 7)
+//! ν1 = (1/W) Σ w_ij ℓ_ij             weighted mean edge length
+//! µ0 = ν0 with w ≡ 1                 edge product
+//! µ1 = mean edge length              (MINLA's objective)
+//! µ∞ = max edge length               (MINBW's objective)
+//! ```
+//!
+//! All five are computed in a single pass over `(edge depth, length)`
+//! pairs, so the same code serves materialized layouts and streamed
+//! index arithmetic.
+
+use cobtree_core::weights::EdgeWeights;
+use serde::{Deserialize, Serialize};
+
+/// The five locality functionals of §III for one layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Functionals {
+    /// Weighted edge product `ν0` (Eq. 7) — MINWEP's objective.
+    pub nu0: f64,
+    /// Weighted mean edge length `ν1` — MINWLA's objective.
+    pub nu1: f64,
+    /// Unweighted edge product `µ0` — MINEP's objective.
+    pub mu0: f64,
+    /// Mean edge length `µ1` — MINLA's objective.
+    pub mu1: f64,
+    /// Maximum edge length `µ∞` — MINBW's objective.
+    pub mu_inf: u64,
+}
+
+/// Computes all functionals in one pass.
+///
+/// `edges` yields `(depth of child endpoint, |pos(child) − pos(parent)|)`
+/// for every tree edge, in any order. `weights` selects the affinity model
+/// (the paper's figures all use [`EdgeWeights::Approximate`]).
+#[must_use]
+pub fn functionals(
+    height: u32,
+    edges: impl IntoIterator<Item = (u32, u64)>,
+    weights: EdgeWeights,
+) -> Functionals {
+    let mut w_total = 0.0f64;
+    let mut w_len = 0.0f64;
+    let mut w_ln = 0.0f64;
+    let mut count = 0u64;
+    let mut sum_len = 0u128;
+    let mut sum_ln = 0.0f64;
+    let mut max_len = 0u64;
+    for (d, len) in edges {
+        debug_assert!(len >= 1, "layout positions must be distinct");
+        let w = weights.weight(d, height);
+        let ln = (len as f64).ln();
+        w_total += w;
+        w_len += w * len as f64;
+        w_ln += w * ln;
+        count += 1;
+        sum_len += u128::from(len);
+        sum_ln += ln;
+        max_len = max_len.max(len);
+    }
+    if count == 0 {
+        // Single-node tree: no edges; all functionals degenerate.
+        return Functionals {
+            nu0: 1.0,
+            nu1: 0.0,
+            mu0: 1.0,
+            mu1: 0.0,
+            mu_inf: 0,
+        };
+    }
+    Functionals {
+        nu0: (w_ln / w_total).exp(),
+        nu1: w_len / w_total,
+        mu0: (sum_ln / count as f64).exp(),
+        mu1: sum_len as f64 / count as f64,
+        mu_inf: max_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::golden::FIG5;
+    use cobtree_core::NamedLayout;
+
+    /// Figure 5 prints each functional to three decimals; match within
+    /// half a unit in the last place (plus float fuzz).
+    fn close(computed: f64, printed: f64) -> bool {
+        (computed - printed).abs() < 5.01e-4
+    }
+
+    #[test]
+    fn fig5_functionals_match_printed_values() {
+        for entry in FIG5 {
+            let l = entry.layout_h6();
+            let f = functionals(6, l.edge_lengths(), EdgeWeights::Approximate);
+            assert!(
+                close(f.nu0, entry.nu0),
+                "{}: nu0 computed {} printed {}",
+                entry.name,
+                f.nu0,
+                entry.nu0
+            );
+            assert!(
+                close(f.nu1, entry.nu1),
+                "{}: nu1 computed {} printed {}",
+                entry.name,
+                f.nu1,
+                entry.nu1
+            );
+            assert!(
+                close(f.mu1, entry.mu1),
+                "{}: mu1 computed {} printed {}",
+                entry.name,
+                f.mu1,
+                entry.mu1
+            );
+            assert_eq!(f.mu_inf, entry.mu_inf, "{}: mu_inf", entry.name);
+        }
+    }
+
+    #[test]
+    fn in_order_closed_forms() {
+        // IN-ORDER at any h: ν0 = 2^{(h−2)·? } ... at h=6 the paper gives
+        // exactly 4.000; in general Σ_d 2^d·2^{−d}(h−1−d)ln2 / (h−1).
+        for h in 2..=12u32 {
+            let l = NamedLayout::InOrder.materialize(h);
+            let f = functionals(h, l.edge_lengths(), EdgeWeights::Approximate);
+            let expect_log2: f64 =
+                (1..h).map(|d| f64::from(h - 1 - d)).sum::<f64>() / f64::from(h - 1);
+            assert!((f.nu0.log2() - expect_log2).abs() < 1e-9, "h={h}");
+            // µ∞ for in-order is the root edge: 2^{h-2}.
+            assert_eq!(f.mu_inf, 1u64 << (h - 2), "h={h}");
+        }
+    }
+
+    #[test]
+    fn unweighted_matches_weighted_under_unit_weights() {
+        let l = NamedLayout::MinWep.materialize(8);
+        let f = functionals(8, l.edge_lengths(), EdgeWeights::Unweighted);
+        assert!((f.nu0 - f.mu0).abs() < 1e-12);
+        assert!((f.nu1 - f.mu1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_weights_shift_nu_but_not_mu() {
+        let l = NamedLayout::PreVeb.materialize(10);
+        let a = functionals(10, l.edge_lengths(), EdgeWeights::Approximate);
+        let e = functionals(10, l.edge_lengths(), EdgeWeights::Exact);
+        assert!((a.mu1 - e.mu1).abs() < 1e-12);
+        assert_eq!(a.mu_inf, e.mu_inf);
+        assert!(a.nu0 != e.nu0);
+        // The models agree closely: exact weights deviate only deep down.
+        assert!((a.nu0 - e.nu0).abs() / a.nu0 < 0.2);
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        let f = functionals(1, std::iter::empty(), EdgeWeights::Approximate);
+        assert_eq!(f.nu0, 1.0);
+        assert_eq!(f.mu_inf, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cobtree-measures
+//!
+//! Locality measures for tree layouts, exactly as defined in the paper:
+//!
+//! * [`functionals`](crate::functionals()) — the edge-length functionals `ν0` (weighted edge
+//!   product, Eq. 7), `ν1` (weighted mean edge length), and their
+//!   unweighted companions `µ0`, `µ1`, `µ∞` (§III, §III-A);
+//! * [`block`] — the single-block cache-miss probability `M_N(ℓ)`
+//!   (Eq. 1), the percentage of block transitions `β(N)` (Eq. 3), and the
+//!   multilevel miss estimate `M(ℓ)` (Eq. 4–5);
+//! * [`profile`] — a one-pass per-depth edge-length profile from which
+//!   every measure and curve (β over all block sizes, weighted edge-length
+//!   CDF) is derived;
+//! * [`stream`] — edge-length streaming from arithmetic indexers, for
+//!   trees too large to materialize.
+//!
+//! ```
+//! use cobtree_core::{EdgeWeights, NamedLayout};
+//! use cobtree_measures::functionals::functionals;
+//!
+//! let minwep = NamedLayout::MinWep.materialize(6);
+//! let f = functionals(minwep.height(), minwep.edge_lengths(), EdgeWeights::Approximate);
+//! assert!((f.nu0 - 1.818).abs() < 5e-4); // Figure 5(a)
+//! ```
+
+pub mod block;
+pub mod functionals;
+pub mod profile;
+pub mod stream;
+
+pub use block::{average_multilevel_misses, block_transitions, multilevel_misses};
+pub use functionals::{functionals, Functionals};
+pub use profile::EdgeProfile;

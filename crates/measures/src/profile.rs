@@ -1,0 +1,218 @@
+//! One-pass per-depth edge-length profiles.
+//!
+//! Figures 1 and 3 of the paper plot β over 21 block sizes and the
+//! weighted edge-length CDF over 21 thresholds for million-node trees.
+//! Rather than re-scanning the 2^20-edge layout per point,
+//! [`EdgeProfile`] buckets edge lengths by `⌊log2 ℓ⌋` *per depth* in one
+//! pass; every power-of-two curve point is then exact, because `M_N`
+//! (Eq. 1) is linear below `N` and constant above, and both the bucket
+//! count and the bucket length-sum are stored.
+
+use crate::functionals::Functionals;
+use cobtree_core::weights::EdgeWeights;
+
+/// Per-(depth, log2-bucket) edge statistics for one layout.
+#[derive(Debug, Clone)]
+pub struct EdgeProfile {
+    height: u32,
+    /// `[d-1][b]`: number of edges at depth `d` with `⌊log2 ℓ⌋ = b`.
+    count: Vec<Vec<u64>>,
+    /// `[d-1][b]`: sum of those edges' lengths.
+    len_sum: Vec<Vec<u128>>,
+    /// `[d-1]`: Σ ln ℓ over edges at depth `d`.
+    ln_sum: Vec<f64>,
+    /// `[d-1]`: max ℓ at depth `d`.
+    max_len: Vec<u64>,
+}
+
+impl EdgeProfile {
+    /// Builds the profile from `(depth, length)` pairs.
+    #[must_use]
+    pub fn build(height: u32, edges: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        let depths = height.saturating_sub(1) as usize;
+        let buckets = height as usize + 1;
+        let mut p = Self {
+            height,
+            count: vec![vec![0; buckets]; depths],
+            len_sum: vec![vec![0; buckets]; depths],
+            ln_sum: vec![0.0; depths],
+            max_len: vec![0; depths],
+        };
+        for (d, len) in edges {
+            debug_assert!((1..height).contains(&d) && len >= 1);
+            let di = (d - 1) as usize;
+            let b = (63 - len.leading_zeros()) as usize;
+            p.count[di][b] += 1;
+            p.len_sum[di][b] += u128::from(len);
+            p.ln_sum[di] += (len as f64).ln();
+            p.max_len[di] = p.max_len[di].max(len);
+        }
+        p
+    }
+
+    /// Tree height.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of profiled edges.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.count.iter().flatten().sum()
+    }
+
+    /// All five functionals, computed from the profile. `ν1`, `µ1`, `µ∞`
+    /// are exact; `ν0`/`µ0` are exact too (per-depth ln-sums are kept).
+    #[must_use]
+    pub fn functionals(&self, weights: EdgeWeights) -> Functionals {
+        let mut w_total = 0.0;
+        let mut w_len = 0.0;
+        let mut w_ln = 0.0;
+        let mut count = 0u64;
+        let mut sum_len = 0u128;
+        let mut sum_ln = 0.0;
+        let mut max_len = 0u64;
+        for d in 1..self.height {
+            let di = (d - 1) as usize;
+            let w = weights.weight(d, self.height);
+            let c: u64 = self.count[di].iter().sum();
+            let s: u128 = self.len_sum[di].iter().sum();
+            w_total += w * c as f64;
+            w_len += w * s as f64;
+            w_ln += w * self.ln_sum[di];
+            count += c;
+            sum_len += s;
+            sum_ln += self.ln_sum[di];
+            max_len = max_len.max(self.max_len[di]);
+        }
+        if count == 0 {
+            return Functionals {
+                nu0: 1.0,
+                nu1: 0.0,
+                mu0: 1.0,
+                mu1: 0.0,
+                mu_inf: 0,
+            };
+        }
+        Functionals {
+            nu0: (w_ln / w_total).exp(),
+            nu1: w_len / w_total,
+            mu0: (sum_ln / count as f64).exp(),
+            mu1: sum_len as f64 / count as f64,
+            mu_inf: max_len,
+        }
+    }
+
+    /// `β(2^k)` for `k = 0..=max_k` (Figure 1 left / Figure 3), exact.
+    ///
+    /// For `N = 2^k`: edges in buckets `< k` contribute `ℓ/N` (their exact
+    /// length sums are stored); edges in buckets `≥ k` have `ℓ ≥ 2^k = N`
+    /// and contribute 1.
+    #[must_use]
+    pub fn block_transition_curve(&self, weights: EdgeWeights, max_k: u32) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(max_k as usize + 1);
+        let w_total: f64 = (1..self.height)
+            .map(|d| {
+                weights.weight(d, self.height) * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
+            })
+            .sum();
+        for k in 0..=max_k {
+            let n = 1u64 << k;
+            let mut acc = 0.0;
+            for d in 1..self.height {
+                let di = (d - 1) as usize;
+                let w = weights.weight(d, self.height);
+                for b in 0..self.count[di].len() {
+                    if (b as u32) < k {
+                        acc += w * self.len_sum[di][b] as f64 / n as f64;
+                    } else {
+                        acc += w * self.count[di][b] as f64;
+                    }
+                }
+            }
+            out.push((n, if w_total > 0.0 { acc / w_total } else { 0.0 }));
+        }
+        out
+    }
+
+    /// Weighted cumulative distribution of edge lengths (Figure 1 right):
+    /// fraction of total edge weight on edges with `ℓ < 2^k`, for
+    /// `k = 0..=max_k`. (Bucket boundaries make the power-of-two
+    /// thresholds exact.)
+    #[must_use]
+    pub fn weighted_length_cdf(&self, weights: EdgeWeights, max_k: u32) -> Vec<(u64, f64)> {
+        let w_total: f64 = (1..self.height)
+            .map(|d| {
+                weights.weight(d, self.height) * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
+            })
+            .sum();
+        let mut out = Vec::with_capacity(max_k as usize + 1);
+        for k in 0..=max_k {
+            let mut acc = 0.0;
+            for d in 1..self.height {
+                let di = (d - 1) as usize;
+                let w = weights.weight(d, self.height);
+                for b in 0..(k as usize).min(self.count[di].len()) {
+                    acc += w * self.count[di][b] as f64;
+                }
+            }
+            out.push((1u64 << k, if w_total > 0.0 { acc / w_total } else { 0.0 }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::block_transitions;
+    use crate::functionals::functionals;
+    use cobtree_core::{EdgeWeights, NamedLayout};
+
+    #[test]
+    fn profile_functionals_match_direct_computation() {
+        for layout in [NamedLayout::MinWep, NamedLayout::PreVeb, NamedLayout::InOrder] {
+            let l = layout.materialize(10);
+            let direct = functionals(10, l.edge_lengths(), EdgeWeights::Approximate);
+            let prof = EdgeProfile::build(10, l.edge_lengths());
+            let via = prof.functionals(EdgeWeights::Approximate);
+            assert!((direct.nu0 - via.nu0).abs() < 1e-9, "{layout}");
+            assert!((direct.nu1 - via.nu1).abs() < 1e-9);
+            assert!((direct.mu0 - via.mu0).abs() < 1e-9);
+            assert!((direct.mu1 - via.mu1).abs() < 1e-9);
+            assert_eq!(direct.mu_inf, via.mu_inf);
+        }
+    }
+
+    #[test]
+    fn curve_matches_pointwise_beta() {
+        let l = NamedLayout::HalfWep.materialize(10);
+        let prof = EdgeProfile::build(10, l.edge_lengths());
+        let curve = prof.block_transition_curve(EdgeWeights::Approximate, 10);
+        let sizes: Vec<u64> = curve.iter().map(|&(n, _)| n).collect();
+        let direct = block_transitions(10, l.edge_lengths(), EdgeWeights::Approximate, &sizes);
+        for ((_, c), d) in curve.iter().zip(&direct) {
+            assert!((c - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let l = NamedLayout::PreBreadth.materialize(10);
+        let prof = EdgeProfile::build(10, l.edge_lengths());
+        let cdf = prof.weighted_length_cdf(EdgeWeights::Approximate, 11);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert_eq!(cdf[0].1, 0.0); // no edges shorter than 1
+    }
+
+    #[test]
+    fn edge_count_matches_tree() {
+        let l = NamedLayout::InVebA.materialize(9);
+        let prof = EdgeProfile::build(9, l.edge_lengths());
+        assert_eq!(prof.edge_count(), (1 << 9) - 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Edge-length streaming from arithmetic indexers.
+//!
+//! For trees too large to materialize (`h > 26` costs gigabytes of
+//! permutation), edge lengths can be produced straight from a
+//! [`PositionIndex`]: for every internal node, evaluate its position once
+//! and compare against both children — 1.5 index evaluations per edge and
+//! O(1) memory.
+
+use cobtree_core::index::PositionIndex;
+use cobtree_core::Tree;
+
+/// Calls `f(depth, length)` for every edge of the tree served by `index`.
+pub fn for_each_edge(index: &dyn PositionIndex, mut f: impl FnMut(u32, u64)) {
+    let h = index.height();
+    let tree = Tree::new(h);
+    if h == 1 {
+        return;
+    }
+    for parent in 1..(1u64 << (h - 1)) {
+        let pd = tree.depth(parent);
+        let pp = index.position(parent, pd) as i64;
+        for child in [2 * parent, 2 * parent + 1] {
+            let cp = index.position(child, pd + 1) as i64;
+            f(pd + 1, (cp - pp).unsigned_abs());
+        }
+    }
+}
+
+/// Collects all `(depth, length)` pairs (for small trees / tests).
+#[must_use]
+pub fn edge_lengths(index: &dyn PositionIndex) -> Vec<(u32, u64)> {
+    let mut v = Vec::new();
+    for_each_edge(index, |d, l| v.push((d, l)));
+    v
+}
+
+/// Builds an [`crate::EdgeProfile`] directly from an indexer.
+#[must_use]
+pub fn profile_from_index(index: &dyn PositionIndex) -> crate::EdgeProfile {
+    // EdgeProfile::build consumes an iterator; bridge via a buffer-free
+    // closure adapter by collecting per-parent pairs lazily.
+    struct Iter<'a> {
+        index: &'a dyn PositionIndex,
+        tree: Tree,
+        parent: u64,
+        limit: u64,
+        pending: Option<(u32, u64)>,
+        parent_pos: i64,
+    }
+    impl Iterator for Iter<'_> {
+        type Item = (u32, u64);
+        fn next(&mut self) -> Option<(u32, u64)> {
+            if let Some(p) = self.pending.take() {
+                return Some(p);
+            }
+            if self.parent >= self.limit {
+                return None;
+            }
+            let parent = self.parent;
+            self.parent += 1;
+            let pd = self.tree.depth(parent);
+            self.parent_pos = self.index.position(parent, pd) as i64;
+            let l = self.index.position(2 * parent, pd + 1) as i64;
+            let r = self.index.position(2 * parent + 1, pd + 1) as i64;
+            self.pending = Some((pd + 1, (r - self.parent_pos).unsigned_abs()));
+            Some((pd + 1, (l - self.parent_pos).unsigned_abs()))
+        }
+    }
+    let h = index.height();
+    let limit = if h == 1 { 0 } else { 1u64 << (h - 1) };
+    let iter = Iter {
+        index,
+        tree: Tree::new(h),
+        parent: 1,
+        limit,
+        pending: None,
+        parent_pos: 0,
+    };
+    crate::EdgeProfile::build(h, iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functionals::functionals;
+    use cobtree_core::index::MaterializedIndex;
+    use cobtree_core::{EdgeWeights, NamedLayout};
+
+    #[test]
+    fn streamed_edges_match_materialized() {
+        for layout in [NamedLayout::MinWep, NamedLayout::InVeb, NamedLayout::Bender] {
+            let h = 10;
+            let idx = layout.indexer(h);
+            let mat = layout.materialize(h);
+            let mut streamed = edge_lengths(idx.as_ref());
+            let mut direct: Vec<(u32, u64)> = mat.edge_lengths().collect();
+            streamed.sort_unstable();
+            direct.sort_unstable();
+            // Indexers may differ from the engine by an automorphism, which
+            // preserves the (depth, length) multiset exactly.
+            assert_eq!(streamed, direct, "{layout}");
+        }
+    }
+
+    #[test]
+    fn profile_from_index_matches_direct_functionals() {
+        let h = 12;
+        let layout = NamedLayout::HalfWep;
+        let idx = layout.indexer(h);
+        let prof = profile_from_index(idx.as_ref());
+        let via = prof.functionals(EdgeWeights::Approximate);
+        let mat = layout.materialize(h);
+        let direct = functionals(h, mat.edge_lengths(), EdgeWeights::Approximate);
+        assert!((via.nu0 - direct.nu0).abs() < 1e-9);
+        assert!((via.nu1 - direct.nu1).abs() < 1e-9);
+        assert_eq!(via.mu_inf, direct.mu_inf);
+    }
+
+    #[test]
+    fn materialized_index_streams_identically() {
+        let layout = NamedLayout::PreVebA.materialize(9);
+        let idx = MaterializedIndex::new(layout.clone());
+        let mut streamed = edge_lengths(&idx);
+        let mut direct: Vec<(u32, u64)> = layout.edge_lengths().collect();
+        streamed.sort_unstable();
+        direct.sort_unstable();
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn single_node_tree_streams_nothing() {
+        let layout = NamedLayout::MinWep.materialize(1);
+        let idx = MaterializedIndex::new(layout);
+        assert!(edge_lengths(&idx).is_empty());
+    }
+}

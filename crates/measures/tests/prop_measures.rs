@@ -1,0 +1,85 @@
+//! Property-based tests for the locality measures over *arbitrary*
+//! permutations (not just hierarchical layouts).
+
+use cobtree_core::{EdgeWeights, Layout};
+use cobtree_measures::{block_transitions, functionals, multilevel_misses, EdgeProfile};
+use proptest::prelude::*;
+
+/// A random permutation layout of a height-`h` tree.
+fn arb_layout(h: u32) -> impl Strategy<Value = Layout> {
+    let n = ((1u64 << h) - 1) as usize;
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut pos: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates with proptest's rng for shrink-friendly inputs.
+        for i in (1..n).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            pos.swap(i, j);
+        }
+        Layout::from_positions(h, pos)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// µ∞ bounds every edge; µ0 ≤ µ1 (AM–GM); ν0 ≤ ν1.
+    #[test]
+    fn functional_bounds(h in 2u32..=8, layout in (2u32..=8).prop_flat_map(arb_layout)) {
+        let _ = h;
+        let f = functionals(layout.height(), layout.edge_lengths(), EdgeWeights::Approximate);
+        prop_assert!(f.mu0 <= f.mu1 + 1e-9);
+        prop_assert!(f.nu0 <= f.nu1 + 1e-9);
+        prop_assert!(f.mu1 <= f.mu_inf as f64 + 1e-9);
+        for (_, len) in layout.edge_lengths() {
+            prop_assert!(len <= f.mu_inf);
+        }
+    }
+
+    /// The profile reproduces direct computation on random permutations.
+    #[test]
+    fn profile_equals_direct(layout in (2u32..=8).prop_flat_map(arb_layout)) {
+        let h = layout.height();
+        let direct = functionals(h, layout.edge_lengths(), EdgeWeights::Exact);
+        let prof = EdgeProfile::build(h, layout.edge_lengths());
+        let via = prof.functionals(EdgeWeights::Exact);
+        prop_assert!((direct.nu0 - via.nu0).abs() < 1e-9);
+        prop_assert!((direct.nu1 - via.nu1).abs() < 1e-9);
+        prop_assert_eq!(direct.mu_inf, via.mu_inf);
+    }
+
+    /// β is monotone non-increasing and the profile curve matches the
+    /// one-pass computation at every power of two.
+    #[test]
+    fn beta_curve_consistency(layout in (2u32..=8).prop_flat_map(arb_layout)) {
+        let h = layout.height();
+        let prof = EdgeProfile::build(h, layout.edge_lengths());
+        let curve = prof.block_transition_curve(EdgeWeights::Approximate, h + 1);
+        let sizes: Vec<u64> = curve.iter().map(|&(n, _)| n).collect();
+        let direct = block_transitions(h, layout.edge_lengths(), EdgeWeights::Approximate, &sizes);
+        for ((_, c), d) in curve.iter().zip(&direct) {
+            prop_assert!((c - d).abs() < 1e-12);
+        }
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    /// Eq. 4 bounds: log2 ℓ ≤ M(ℓ) ≤ log2 ℓ + 2 for base 2.
+    #[test]
+    fn multilevel_misses_near_log(len in 1u64..1_000_000) {
+        let m = multilevel_misses(2, len);
+        let lg = (len as f64).log2();
+        prop_assert!(m + 1e-9 >= lg, "len={len}: {m} < {lg}");
+        prop_assert!(m <= lg + 2.0 + 1e-9, "len={len}: {m}");
+    }
+
+    /// The weighted CDF ends at 1 and starts at 0.
+    #[test]
+    fn cdf_boundary(layout in (2u32..=8).prop_flat_map(arb_layout)) {
+        let h = layout.height();
+        let prof = EdgeProfile::build(h, layout.edge_lengths());
+        let cdf = prof.weighted_length_cdf(EdgeWeights::Approximate, h + 1);
+        prop_assert_eq!(cdf[0].1, 0.0);
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

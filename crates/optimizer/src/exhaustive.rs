@@ -1,0 +1,186 @@
+//! Brute-force and local-search layout optimization.
+//!
+//! Two tools behind the paper's closing observation ("the optimal ν0
+//! value is sometimes obtained by layouts that do not place the top
+//! subtree at one end or in the middle of the bottom subtrees"):
+//!
+//! * [`optimal_layout`] — exhaustive search over *all* `(2^h − 1)!`
+//!   arrangements, feasible for `h ≤ 3`;
+//! * [`improve_layout`] — seeded steepest-descent over position swaps,
+//!   usable up to `h ≈ 8`, to probe whether any unrestricted layout beats
+//!   a given Recursive Layout.
+
+use cobtree_core::{EdgeWeights, Layout};
+use cobtree_measures::functionals;
+
+/// Objective selector for the searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Weighted edge product (Eq. 7).
+    Nu0,
+    /// Weighted mean edge length.
+    Nu1,
+    /// Mean edge length.
+    Mu1,
+    /// Maximum edge length.
+    MuInf,
+}
+
+impl Objective {
+    /// Evaluates the objective on a layout (approximate weights).
+    #[must_use]
+    pub fn eval(&self, layout: &Layout) -> f64 {
+        let f = functionals(
+            layout.height(),
+            layout.edge_lengths(),
+            EdgeWeights::Approximate,
+        );
+        match self {
+            Objective::Nu0 => f.nu0,
+            Objective::Nu1 => f.nu1,
+            Objective::Mu1 => f.mu1,
+            Objective::MuInf => f.mu_inf as f64,
+        }
+    }
+}
+
+/// Exhaustively minimizes `objective` over every arrangement of `T_h`.
+///
+/// # Panics
+/// Panics for `h > 3` (10! permutations and beyond are out of reach).
+#[must_use]
+pub fn optimal_layout(height: u32, objective: Objective) -> (f64, Layout) {
+    assert!(height <= 3, "exhaustive search limited to h <= 3");
+    let n = ((1u64 << height) - 1) as usize;
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let consider = |perm: &[u32], best: &mut Option<(f64, Vec<u32>)>| {
+        let layout = Layout::from_positions(height, perm.to_vec());
+        let v = objective.eval(&layout);
+        if best.as_ref().is_none_or(|(b, _)| v < *b - 1e-12) {
+            *best = Some((v, perm.to_vec()));
+        }
+    };
+    consider(&perm, &mut best);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            consider(&perm, &mut best);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    let (v, p) = best.expect("at least one permutation");
+    (v, Layout::from_positions(height, p))
+}
+
+/// Steepest-descent over pairwise position swaps starting from `start`;
+/// returns the local optimum reached. Deterministic.
+#[must_use]
+pub fn improve_layout(start: &Layout, objective: Objective) -> (f64, Layout) {
+    let n = start.len() as usize;
+    let mut pos: Vec<u32> = start.positions().to_vec();
+    let mut current = objective.eval(start);
+    loop {
+        let mut best_move: Option<(f64, usize, usize)> = None;
+        for i in 0..n {
+            for j in i + 1..n {
+                pos.swap(i, j);
+                let layout = Layout::from_positions(start.height(), pos.clone());
+                let v = objective.eval(&layout);
+                pos.swap(i, j);
+                if v < current - 1e-12
+                    && best_move.is_none_or(|(b, _, _)| v < b)
+                {
+                    best_move = Some((v, i, j));
+                }
+            }
+        }
+        match best_move {
+            Some((v, i, j)) => {
+                pos.swap(i, j);
+                current = v;
+            }
+            None => {
+                return (current, Layout::from_positions(start.height(), pos));
+            }
+        }
+    }
+}
+
+/// Does any single-swap neighbour of `layout` strictly improve
+/// `objective`? (Cheap local-optimality certificate.)
+#[must_use]
+pub fn is_swap_optimal(layout: &Layout, objective: Objective) -> bool {
+    let (v, _) = improve_layout(layout, objective);
+    v >= objective.eval(layout) - 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+
+    #[test]
+    fn exhaustive_h2() {
+        // 3 nodes: the in-order arrangement (root mid) minimizes
+        // everything: lengths {1,1}.
+        let (v, l) = optimal_layout(2, Objective::Nu1);
+        assert!((v - 1.0).abs() < 1e-12);
+        assert_eq!(l.position(1), 1);
+    }
+
+    #[test]
+    fn exhaustive_h3_nu0_matches_minep() {
+        // At h = 3, MINEP (= MINWEP) is globally ν0-optimal over all 5040
+        // arrangements.
+        let (v, _) = optimal_layout(3, Objective::Nu0);
+        let minep = Objective::Nu0.eval(&NamedLayout::MinEp.materialize(3));
+        assert!(
+            (v - minep).abs() < 1e-9,
+            "global {v} vs MINEP {minep} — recursive layouts already optimal here"
+        );
+    }
+
+    #[test]
+    fn exhaustive_h3_nu1_matches_minwla() {
+        let (v, _) = optimal_layout(3, Objective::Nu1);
+        let minwla = Objective::Nu1.eval(&NamedLayout::MinWla.materialize(3));
+        assert!((v - minwla).abs() < 1e-9, "global {v} vs MINWLA {minwla}");
+    }
+
+    #[test]
+    fn exhaustive_h3_mu_inf_is_two() {
+        // Bandwidth of T_3 is 2.
+        let (v, _) = optimal_layout(3, Objective::MuInf);
+        assert_eq!(v as u64, 2);
+    }
+
+    #[test]
+    fn local_search_cannot_improve_minwep_at_h4() {
+        // Single swaps do not improve MINWEP at h = 4 — evidence (not
+        // proof) that it is at least locally optimal outside the
+        // Recursive family.
+        let l = NamedLayout::MinWep.materialize(4);
+        assert!(is_swap_optimal(&l, Objective::Nu0));
+    }
+
+    #[test]
+    fn local_search_improves_a_bad_layout() {
+        let start = NamedLayout::PreBreadth.materialize(4);
+        let before = Objective::Nu0.eval(&start);
+        let (after, improved) = improve_layout(&start, Objective::Nu0);
+        assert!(after < before);
+        assert_eq!(improved.len(), 15);
+    }
+}

@@ -1,0 +1,186 @@
+//! Exact optimization over the `g = 1` Recursive Layout space
+//! (Theorems 1 and 3).
+//!
+//! With every cut at height 1, a branch has one top node and two bottom
+//! subtrees, each arranged in-order or pre-order — four combinations per
+//! branch, decided independently per (height, arrangement) thanks to the
+//! geometric weights' scale invariance (`2^{−(δ+d)} = 2^{−δ}·2^{−d}`).
+//! The dynamic program below therefore finds the *exact* optimum of any
+//! separable edge-cost `Σ w·f(ℓ)` over all `g = 1` Recursive Layouts:
+//!
+//! * `f(ℓ) = ℓ` gives `ν1` — Theorem 1 says MINWLA (`I^1_∞`) wins;
+//! * `f(ℓ) = ln ℓ` gives `ν0` — Theorem 3 says MINEP (`I^1_2`) wins.
+
+use serde::{Deserialize, Serialize};
+
+/// Subtree arrangement at a `g = 1` branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arr {
+    /// Root mid-block.
+    InOrder,
+    /// Root at the end nearer the parent.
+    PreOrder,
+}
+
+/// Result of the `g = 1` DP for one height: optimal normalized cost and
+/// the decisions taken.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct G1Optimum {
+    /// Optimal cost with the top subtree arranged in-order, normalized so
+    /// the subtree root sits at depth 0 (divide by `W = h − 1` for `ν`).
+    pub cost_in: f64,
+    /// Optimal cost with a pre-order top.
+    pub cost_pre: f64,
+    /// `(near, far)` bottom arrangements chosen under an in-order top —
+    /// `near`/`far` are the two children (symmetric for in-order).
+    pub choice_in: (Arr, Arr),
+    /// `(near, far)` bottom arrangements under a pre-order top.
+    pub choice_pre: (Arr, Arr),
+}
+
+/// Distance from a bottom subtree's root to the block end facing its
+/// parent.
+fn near_offset(mode: Arr, h: u32) -> u64 {
+    match mode {
+        Arr::InOrder => (1u64 << (h - 1)) - 1,
+        Arr::PreOrder => 0,
+    }
+}
+
+/// Runs the exact `g = 1` DP for all heights `2..=max_h` under edge cost
+/// `f` (applied to lengths, weighted by `2^{−d}`).
+#[must_use]
+pub fn optimize_g1(max_h: u32, f: impl Fn(u64) -> f64) -> Vec<G1Optimum> {
+    let mut out: Vec<G1Optimum> = Vec::new();
+    // cost[h-2] computed incrementally; height 1 has cost 0 in both modes.
+    let (mut prev_in, mut prev_pre) = (0.0f64, 0.0f64);
+    for h in 2..=max_h {
+        let sub = |m: Arr| match m {
+            Arr::InOrder => prev_in,
+            Arr::PreOrder => prev_pre,
+        };
+        let bh = h - 1;
+        let size = (1u64 << bh) - 1;
+        // In-order top: both children adjacent to the root, one per side.
+        let mut best_in = (f64::INFINITY, (Arr::InOrder, Arr::InOrder));
+        // Pre-order top: children stacked on one side.
+        let mut best_pre = (f64::INFINITY, (Arr::InOrder, Arr::InOrder));
+        for m1 in [Arr::InOrder, Arr::PreOrder] {
+            for m2 in [Arr::InOrder, Arr::PreOrder] {
+                let c_in = 0.5
+                    * (sub(m1)
+                        + sub(m2)
+                        + f(1 + near_offset(m1, bh))
+                        + f(1 + near_offset(m2, bh)));
+                if c_in < best_in.0 {
+                    best_in = (c_in, (m1, m2));
+                }
+                let c_pre = 0.5
+                    * (sub(m1)
+                        + sub(m2)
+                        + f(1 + near_offset(m1, bh))
+                        + f(size + 1 + near_offset(m2, bh)));
+                if c_pre < best_pre.0 {
+                    best_pre = (c_pre, (m1, m2));
+                }
+            }
+        }
+        out.push(G1Optimum {
+            cost_in: best_in.0,
+            cost_pre: best_pre.0,
+            choice_in: best_in.1,
+            choice_pre: best_pre.1,
+        });
+        prev_in = best_in.0;
+        prev_pre = best_pre.0;
+    }
+    out
+}
+
+/// Optimal `ν1` over `g = 1` Recursive Layouts for a tree of height `h`.
+#[must_use]
+pub fn optimal_g1_nu1(h: u32) -> f64 {
+    let dp = optimize_g1(h, |len| len as f64);
+    dp.last().expect("h >= 2").cost_in.min(dp.last().unwrap().cost_pre) / f64::from(h - 1)
+}
+
+/// Optimal `ν0` over `g = 1` Recursive Layouts for a tree of height `h`.
+#[must_use]
+pub fn optimal_g1_nu0(h: u32) -> f64 {
+    let dp = optimize_g1(h, |len| (len as f64).ln());
+    (dp.last().expect("h >= 2").cost_in.min(dp.last().unwrap().cost_pre) / f64::from(h - 1)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::{EdgeWeights, NamedLayout};
+    use cobtree_measures::functionals;
+
+    #[test]
+    fn theorem1_minwla_minimizes_nu1() {
+        // DP decisions: every bottom pre-order, in-order top no worse.
+        for h in 3..=20u32 {
+            let dp = optimize_g1(h, |len| len as f64);
+            let top = dp.last().unwrap();
+            assert_eq!(top.choice_in, (Arr::PreOrder, Arr::PreOrder), "h={h}");
+            assert!(top.cost_in <= top.cost_pre + 1e-12, "h={h}");
+            // And the optimum equals MINWLA's measured ν1.
+            let l = NamedLayout::MinWla.materialize(h.min(14));
+            if h <= 14 {
+                let f = functionals(h, l.edge_lengths(), EdgeWeights::Approximate);
+                assert!(
+                    (optimal_g1_nu1(h) - f.nu1).abs() < 1e-9,
+                    "h={h}: dp {} vs measured {}",
+                    optimal_g1_nu1(h),
+                    f.nu1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_minep_minimizes_nu0() {
+        for h in 3..=20u32 {
+            let dp = optimize_g1(h, |len| (len as f64).ln());
+            let top = dp.last().unwrap();
+            // Item 1: in-order top ⇒ both bottoms pre-order.
+            assert_eq!(top.choice_in, (Arr::PreOrder, Arr::PreOrder), "h={h}");
+            // Item 2: pre-order top ⇒ near bottom pre-order, far in-order.
+            assert_eq!(top.choice_pre, (Arr::PreOrder, Arr::InOrder), "h={h}");
+            // Item 3: the in-order arrangement wins.
+            assert!(top.cost_in <= top.cost_pre + 1e-12, "h={h}");
+        }
+    }
+
+    #[test]
+    fn dp_optimum_matches_measured_minep() {
+        for h in 2..=14u32 {
+            let l = NamedLayout::MinEp.materialize(h);
+            let f = functionals(h, l.edge_lengths(), EdgeWeights::Approximate);
+            assert!(
+                (optimal_g1_nu0(h) - f.nu0).abs() < 1e-9,
+                "h={h}: dp {} vs measured {}",
+                optimal_g1_nu0(h),
+                f.nu0
+            );
+        }
+    }
+
+    #[test]
+    fn minep_beats_in_order_and_pre_order() {
+        // Figure 5: ν0 — MINEP 1.818 < PRE-ORDER 2.828 < IN-ORDER 4.000.
+        let h = 6;
+        let opt = optimal_g1_nu0(h);
+        for (layout, printed) in [
+            (NamedLayout::PreOrder, 2.828),
+            (NamedLayout::InOrder, 4.000),
+        ] {
+            let l = layout.materialize(h);
+            let f = functionals(h, l.edge_lengths(), EdgeWeights::Approximate);
+            assert!((f.nu0 - printed).abs() < 5e-4);
+            assert!(opt < f.nu0);
+        }
+        assert!((opt - 1.818).abs() < 5e-4);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cobtree-optimizer
+//!
+//! Layout-space optimization: everything in the paper that *searches*
+//! over layouts rather than constructing a single one.
+//!
+//! * [`study`] — the §IV-B/C empirical study: optimize the cut-height
+//!   functions, subscript and alternation of a Recursive Layout for the
+//!   weighted edge product `ν0` (reproduces `g^opt_P`, `g^opt_I`
+//!   including the `h ≤ 5` exception);
+//! * [`g1`] — exact dynamic programs over the `g = 1` Recursive Layout
+//!   space, verifying Theorem 1 (MINWLA minimizes `ν1`) and Theorem 3
+//!   (MINEP minimizes `ν0`);
+//! * [`exhaustive`] — brute-force search over *all* layouts of tiny trees
+//!   (h ≤ 3) and a seeded local-search improver for small trees — the
+//!   tool behind the paper's closing observation that Recursive Layouts
+//!   are not globally `ν0`-optimal;
+//! * [`minla`] — the MINLA baseline (Fig. 3/5m): an exact Pareto dynamic
+//!   program over a recursive composition grammar that includes the
+//!   parent-embedding patterns of the optimal arrangement;
+//! * [`minbw`] — the MINBW baseline (Fig. 3/5n): deadline-driven greedy
+//!   placement with binary-searched bandwidth, validated against the
+//!   density lower bound `⌈(2^{h−1}−1)/(h−1)⌉`.
+
+pub mod exhaustive;
+pub mod g1;
+pub mod minbw;
+pub mod minla;
+pub mod study;
+
+pub use minbw::minbw_layout;
+pub use minla::minla_layout;

@@ -1,0 +1,213 @@
+//! The §IV-B/C empirical study: optimizing the degrees of freedom of a
+//! Recursive Layout for the weighted edge product `ν0`.
+//!
+//! The paper "undertook a detailed empirical study that evaluated all
+//! Recursive Layouts for trees up to height 20 … all possible cut heights
+//! g ≤ ⌊h/2⌋", concluding that the optimum is characterized by `Ĩ^*_2`
+//! with `g^opt_P(h) = max{1, ⌊(h−1)/2⌋}` (with `g_P(5) = 1`), i.e.
+//! MINWEP. This module reproduces the study: per-height cut tables are
+//! optimized by exhaustive coordinate descent (each table entry swept over
+//! its full range while the others are fixed, iterated to a fixed point),
+//! for every subscript `k ∈ {1, 2, 3, ∞}` and alternation flag.
+
+use cobtree_core::engine::materialize;
+use cobtree_core::{CutRule, EdgeWeights, RecursiveSpec, RootOrder, Subscript};
+use cobtree_measures::functionals;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of optimizing the cut tables for one `(k, alternating)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyCell {
+    /// Subscript studied.
+    pub k: Subscript,
+    /// Alternation flag studied.
+    pub alternating: bool,
+    /// Optimized in-order cut per height (index = height; 0/1 unused).
+    pub g_in: Vec<u32>,
+    /// Optimized pre-order cut per height.
+    pub g_pre: Vec<u32>,
+    /// The resulting weighted edge product.
+    pub nu0: f64,
+}
+
+impl StudyCell {
+    /// The spec realizing this cell's optimum.
+    #[must_use]
+    pub fn spec(&self) -> RecursiveSpec {
+        RecursiveSpec {
+            root_order: RootOrder::InOrder,
+            cut_in: CutRule::Table(self.g_in.clone()),
+            cut_pre: CutRule::Table(self.g_pre.clone()),
+            first_in_order: self.k,
+            alternating: self.alternating,
+        }
+    }
+}
+
+fn evaluate(height: u32, cell: &StudyCell) -> f64 {
+    let layout = materialize(&cell.spec(), height);
+    functionals(height, layout.edge_lengths(), EdgeWeights::Approximate).nu0
+}
+
+/// Optimizes the two cut tables for a fixed `(k, alternating)` by
+/// coordinate descent over per-height cut values, multi-started from the
+/// vEB (`⌊h/2⌋`), depth-first (`1`) and shifted (`⌊(h−1)/2⌋`) tables.
+#[must_use]
+pub fn optimize_cut_tables(height: u32, k: Subscript, alternating: bool) -> StudyCell {
+    let inits: [fn(u32) -> u32; 3] = [
+        |h| (h / 2).max(1),
+        |_| 1,
+        |h| ((h.saturating_sub(1)) / 2).max(1),
+    ];
+    inits
+        .iter()
+        .map(|init| descend_from(height, k, alternating, init))
+        .min_by(|a, b| a.nu0.total_cmp(&b.nu0))
+        .expect("non-empty init set")
+}
+
+fn descend_from(
+    height: u32,
+    k: Subscript,
+    alternating: bool,
+    init: &fn(u32) -> u32,
+) -> StudyCell {
+    let mut cell = StudyCell {
+        k,
+        alternating,
+        g_in: (0..=height).map(init).collect(),
+        g_pre: (0..=height).map(init).collect(),
+        nu0: f64::INFINITY,
+    };
+    cell.nu0 = evaluate(height, &cell);
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 8 {
+        improved = false;
+        rounds += 1;
+        for h in 2..=height {
+            for table in 0..2usize {
+                let current = if table == 0 {
+                    cell.g_in[h as usize]
+                } else {
+                    cell.g_pre[h as usize]
+                };
+                let mut best = (cell.nu0, current);
+                for g in 1..h {
+                    if g == current {
+                        continue;
+                    }
+                    if table == 0 {
+                        cell.g_in[h as usize] = g;
+                    } else {
+                        cell.g_pre[h as usize] = g;
+                    }
+                    let v = evaluate(height, &cell);
+                    if v < best.0 - 1e-12 {
+                        best = (v, g);
+                    }
+                }
+                if table == 0 {
+                    cell.g_in[h as usize] = best.1;
+                } else {
+                    cell.g_pre[h as usize] = best.1;
+                }
+                if best.0 < cell.nu0 - 1e-12 {
+                    cell.nu0 = best.0;
+                    improved = true;
+                } else {
+                    cell.nu0 = cell.nu0.min(best.0);
+                }
+            }
+        }
+    }
+    cell
+}
+
+/// Runs the full study over `k ∈ {1, 2, 3, ∞} × {plain, alternating}`;
+/// returns all cells sorted best-first.
+#[must_use]
+pub fn full_study(height: u32) -> Vec<StudyCell> {
+    let mut cells = Vec::new();
+    for k in [
+        Subscript::K(1),
+        Subscript::K(2),
+        Subscript::K(3),
+        Subscript::Infinity,
+    ] {
+        for alternating in [false, true] {
+            cells.push(optimize_cut_tables(height, k, alternating));
+        }
+    }
+    cells.sort_by(|a, b| a.nu0.total_cmp(&b.nu0));
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+
+    fn minwep_nu0(h: u32) -> f64 {
+        let l = NamedLayout::MinWep.materialize(h);
+        functionals(h, l.edge_lengths(), EdgeWeights::Approximate).nu0
+    }
+
+    #[test]
+    fn study_recovers_minwep_at_height_10() {
+        let h = 10;
+        let cell = optimize_cut_tables(h, Subscript::K(2), true);
+        let reference = minwep_nu0(h);
+        // The optimized tables must do at least as well as MINWEP and not
+        // land meaningfully away from it.
+        assert!(cell.nu0 <= reference + 1e-9, "{} > {reference}", cell.nu0);
+        assert!((cell.nu0 - reference).abs() < 5e-3, "{} vs {reference}", cell.nu0);
+    }
+
+    #[test]
+    fn k2_beats_other_subscripts() {
+        // §IV-B: the optimal ordering arranges only the nearest bottom
+        // subtree pre-order (k = 2).
+        let h = 9;
+        let k2 = optimize_cut_tables(h, Subscript::K(2), true).nu0;
+        for k in [Subscript::K(1), Subscript::K(3), Subscript::Infinity] {
+            let other = optimize_cut_tables(h, k, true).nu0;
+            assert!(k2 <= other + 1e-9, "k=2 {k2} vs {k:?} {other}");
+        }
+    }
+
+    #[test]
+    fn alternation_never_hurts_the_optimum() {
+        // Theorem 2's consequence at the study level.
+        let h = 9;
+        for k in [Subscript::K(1), Subscript::K(2)] {
+            let plain = optimize_cut_tables(h, k, false).nu0;
+            let alt = optimize_cut_tables(h, k, true).nu0;
+            assert!(alt <= plain + 1e-9, "k={k:?}: alt {alt} vs plain {plain}");
+        }
+    }
+
+    #[test]
+    fn pre_order_cut_matches_gopt_for_small_heights() {
+        // g_P(h) = 1 for h ≤ 5 (the paper's exception). With the tables
+        // initialized at ⌊h/2⌋, descent must discover the g = 1 optimum
+        // for the pre-order subtrees of height ≤ 5 that actually occur.
+        let h = 10;
+        let cell = optimize_cut_tables(h, Subscript::K(2), true);
+        // Evaluate the claim functionally: forcing MinWepPre on the found
+        // tables must not change ν0 (the tables are equivalent-or-equal).
+        let forced = StudyCell {
+            g_pre: (0..=h)
+                .map(|x| if x <= 5 { 1 } else { (x - 1) / 2 }.max(1))
+                .collect(),
+            ..cell.clone()
+        };
+        let forced_nu0 = super::evaluate(h, &forced);
+        assert!(
+            (forced_nu0 - cell.nu0).abs() < 5e-3,
+            "gopt {} vs study {}",
+            forced_nu0,
+            cell.nu0
+        );
+    }
+}

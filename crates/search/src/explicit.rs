@@ -1,0 +1,241 @@
+//! Pointer-based ("explicit") laid-out search trees.
+//!
+//! "To ensure that the wall clock search time is not affected by the time
+//! taken to compute the position of a node in the layout, we store two
+//! child 'pointers' with each node." (§II-B). Nodes live in layout order;
+//! child pointers are 32-bit positions (`u32::MAX` = missing child).
+
+use cobtree_core::Layout;
+
+/// One stored node: key plus two child positions.
+///
+/// 12 bytes with `K = u32` (the closest practical realization of the
+/// paper's small explicit nodes), 16 bytes with `K = u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Node<K> {
+    /// Search key.
+    pub key: K,
+    /// Position of the left child, or [`ExplicitTree::NIL`].
+    pub left: u32,
+    /// Position of the right child, or [`ExplicitTree::NIL`].
+    pub right: u32,
+}
+
+/// A complete BST stored as an array of [`Node`]s in layout order.
+#[derive(Debug, Clone)]
+pub struct ExplicitTree<K> {
+    height: u32,
+    root_pos: u32,
+    nodes: Vec<Node<K>>,
+}
+
+impl<K: Ord + Copy> ExplicitTree<K> {
+    /// Missing-child sentinel.
+    pub const NIL: u32 = u32::MAX;
+
+    /// Builds the tree from `keys` (must be sorted ascending; its length
+    /// must be `2^h − 1` for the layout's height `h`). Key `keys[r-1]`
+    /// goes to the node with in-order rank `r`.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != layout.len()` or keys are not sorted.
+    #[must_use]
+    pub fn build(layout: &Layout, keys: &[K]) -> Self {
+        let tree = layout.tree();
+        assert_eq!(keys.len() as u64, tree.len(), "key count mismatch");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+        let mut nodes = vec![
+            Node {
+                key: keys[0],
+                left: Self::NIL,
+                right: Self::NIL,
+            };
+            keys.len()
+        ];
+        for i in tree.nodes() {
+            let p = layout.position(i) as usize;
+            nodes[p] = Node {
+                key: keys[(tree.in_order_rank(i) - 1) as usize],
+                left: tree
+                    .left(i)
+                    .map_or(Self::NIL, |c| layout.position(c) as u32),
+                right: tree
+                    .right(i)
+                    .map_or(Self::NIL, |c| layout.position(c) as u32),
+            };
+        }
+        Self {
+            height: tree.height(),
+            root_pos: layout.position(1) as u32,
+            nodes,
+        }
+    }
+
+    /// Builds with keys equal to in-order ranks `1..=n` (the paper's
+    /// setup).
+    #[must_use]
+    pub fn with_rank_keys(layout: &Layout) -> ExplicitTree<u64> {
+        let n = layout.len();
+        let keys: Vec<u64> = (1..=n).collect();
+        ExplicitTree::build(layout, &keys)
+    }
+
+    /// Tree height.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `false`; the tree always holds at least the root.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Position of the root node in the array.
+    #[must_use]
+    pub fn root_position(&self) -> u32 {
+        self.root_pos
+    }
+
+    /// Raw node array (layout order) — used to derive address traces.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node<K>] {
+        &self.nodes
+    }
+
+    /// Searches for `key`; returns its array position if present.
+    ///
+    /// This is the hot loop the paper times: follow child positions,
+    /// compare keys, no arithmetic.
+    #[inline]
+    pub fn search(&self, key: K) -> Option<u32> {
+        let mut pos = self.root_pos;
+        while pos != Self::NIL {
+            // Safety bounds: positions come from the validated layout.
+            let node = &self.nodes[pos as usize];
+            pos = match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => return Some(pos),
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+            };
+        }
+        None
+    }
+
+    /// Like [`ExplicitTree::search`] but records every visited position
+    /// (for cache-simulation traces).
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u32>) -> Option<u32> {
+        let mut pos = self.root_pos;
+        while pos != Self::NIL {
+            visited.push(pos);
+            let node = &self.nodes[pos as usize];
+            pos = match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => return Some(pos),
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+            };
+        }
+        None
+    }
+
+    /// Sums the positions of many lookups — a benchmark kernel whose
+    /// result must be consumed to defeat dead-code elimination.
+    #[must_use]
+    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = K>) -> u64 {
+        let mut acc = 0u64;
+        for k in keys {
+            if let Some(p) = self.search(k) {
+                acc = acc.wrapping_add(u64::from(p));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+
+    #[test]
+    fn finds_every_key_in_every_layout() {
+        for layout in NamedLayout::ALL {
+            let l = layout.materialize(8);
+            let t = ExplicitTree::<u64>::with_rank_keys(&l);
+            for k in 1..=l.len() {
+                let pos = t.search(k).unwrap_or_else(|| panic!("{layout} lost {k}"));
+                // The found position must hold the key.
+                assert_eq!(t.nodes()[pos as usize].key, k);
+            }
+            assert_eq!(t.search(0), None);
+            assert_eq!(t.search(l.len() + 1), None);
+        }
+    }
+
+    #[test]
+    fn custom_keys_respect_order() {
+        let l = NamedLayout::MinWep.materialize(4);
+        let keys: Vec<i64> = (0..15).map(|i| i * 10 - 40).collect();
+        let t = ExplicitTree::build(&l, &keys);
+        for &k in &keys {
+            assert!(t.search(k).is_some());
+        }
+        assert!(t.search(5).is_none());
+    }
+
+    #[test]
+    fn search_path_length_bounded_by_height() {
+        let l = NamedLayout::PreVeb.materialize(10);
+        let t = ExplicitTree::<u64>::with_rank_keys(&l);
+        let mut visited = Vec::new();
+        for k in [1u64, 512, 1023] {
+            visited.clear();
+            t.search_traced(k, &mut visited);
+            assert!(visited.len() <= 10);
+            assert_eq!(visited[0], t.root_position());
+        }
+    }
+
+    #[test]
+    fn traced_path_is_root_to_node_path() {
+        let l = NamedLayout::InOrder.materialize(6);
+        let t = ExplicitTree::<u64>::with_rank_keys(&l);
+        let tree = cobtree_core::Tree::new(6);
+        let mut visited = Vec::new();
+        for key in 1..=tree.len() {
+            visited.clear();
+            t.search_traced(key, &mut visited);
+            let expect: Vec<u32> = tree
+                .search_path(key)
+                .into_iter()
+                .map(|i| l.position(i) as u32)
+                .collect();
+            assert_eq!(visited, expect, "key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_keys() {
+        let l = NamedLayout::InOrder.materialize(2);
+        let _ = ExplicitTree::build(&l, &[3u64, 2, 1]);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        let l = NamedLayout::HalfWep.materialize(8);
+        let t = ExplicitTree::<u64>::with_rank_keys(&l);
+        let a = t.search_batch_checksum(1..=255u64);
+        let b = t.search_batch_checksum(1..=255u64);
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+    }
+}

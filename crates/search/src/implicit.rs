@@ -1,0 +1,245 @@
+//! Pointer-less ("implicit") laid-out search trees (§IV-E).
+//!
+//! Only keys are stored, in layout order. Navigation happens on BFS
+//! indices (`i → 2i` or `2i+1`); every visited node costs one position
+//! computation (e.g. Listing 1 for MINWEP) plus one memory access.
+//!
+//! [`IndexOnlySearcher`] reproduces the paper's trick for timing the
+//! index arithmetic alone: storing keys `1..=|V|` lets the key of node
+//! `i` be inferred from its in-order rank "without lookup", so a search
+//! executes all transitions and index computations with zero memory
+//! accesses.
+
+use cobtree_core::index::PositionIndex;
+use cobtree_core::{Layout, Tree};
+
+/// A complete BST stored as a key array in layout order, navigated by
+/// index arithmetic.
+pub struct ImplicitTree<'a, K> {
+    tree: Tree,
+    index: &'a dyn PositionIndex,
+    keys: Vec<K>,
+}
+
+impl<'a, K: Ord + Copy> ImplicitTree<'a, K> {
+    /// Builds the key array in the order defined by `index`.
+    ///
+    /// # Panics
+    /// Panics if `keys` is not sorted or has the wrong length.
+    #[must_use]
+    pub fn build(index: &'a dyn PositionIndex, keys: &[K]) -> Self {
+        let tree = Tree::new(index.height());
+        assert_eq!(keys.len() as u64, tree.len(), "key count mismatch");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+        let mut arranged = vec![keys[0]; keys.len()];
+        for i in tree.nodes() {
+            let p = index.position(i, tree.depth(i)) as usize;
+            arranged[p] = keys[(tree.in_order_rank(i) - 1) as usize];
+        }
+        Self {
+            tree,
+            index,
+            keys: arranged,
+        }
+    }
+
+    /// Builds from a materialized layout (wraps it in an index).
+    #[must_use]
+    pub fn from_layout(
+        layout: &Layout,
+        index: &'a dyn PositionIndex,
+        keys: &[K],
+    ) -> Self {
+        assert_eq!(layout.height(), index.height());
+        Self::build(index, keys)
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `false`; at least the root exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Key array in layout order.
+    #[must_use]
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Searches for `key`, computing one layout position per transition.
+    /// Returns the array position of the match.
+    #[inline]
+    pub fn search(&self, key: K) -> Option<u64> {
+        let h = self.tree.height();
+        let mut i = 1u64;
+        let mut d = 0u32;
+        loop {
+            let p = self.index.position(i, d);
+            let k = self.keys[p as usize];
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => return Some(p),
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+            d += 1;
+            if d >= h {
+                return None;
+            }
+        }
+    }
+
+    /// Searches while recording each visited position.
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        let h = self.tree.height();
+        let mut i = 1u64;
+        let mut d = 0u32;
+        loop {
+            let p = self.index.position(i, d);
+            visited.push(p);
+            let k = self.keys[p as usize];
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => return Some(p),
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+            d += 1;
+            if d >= h {
+                return None;
+            }
+        }
+    }
+
+    /// Benchmark kernel: sum of found positions.
+    #[must_use]
+    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = K>) -> u64 {
+        let mut acc = 0u64;
+        for k in keys {
+            if let Some(p) = self.search(k) {
+                acc = acc.wrapping_add(p);
+            }
+        }
+        acc
+    }
+}
+
+/// Times pure index computation: keys are the in-order ranks `1..=n`, so
+/// comparisons need no memory at all (§IV-E footnote 1). Every transition
+/// still performs the full position computation, whose result is folded
+/// into a checksum the optimizer cannot discard.
+pub struct IndexOnlySearcher<'a> {
+    tree: Tree,
+    index: &'a dyn PositionIndex,
+}
+
+impl<'a> IndexOnlySearcher<'a> {
+    /// Creates a searcher over the arithmetic layout `index`.
+    #[must_use]
+    pub fn new(index: &'a dyn PositionIndex) -> Self {
+        Self {
+            tree: Tree::new(index.height()),
+            index,
+        }
+    }
+
+    /// "Searches" for in-order rank `key ∈ 1..=n`, computing the layout
+    /// position of every node on the path; returns the sum of positions.
+    #[inline]
+    pub fn search(&self, key: u64) -> u64 {
+        let h = self.tree.height();
+        let mut i = 1u64;
+        let mut acc = 0u64;
+        for d in 0..h {
+            acc = acc.wrapping_add(self.index.position(i, d));
+            let k = self.tree.in_order_rank(i);
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+        }
+        acc
+    }
+
+    /// Checksum over a batch of keys.
+    #[must_use]
+    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = u64>) -> u64 {
+        let mut acc = 0u64;
+        for k in keys {
+            acc = acc.wrapping_add(self.search(k));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitTree;
+    use cobtree_core::NamedLayout;
+
+    #[test]
+    fn implicit_finds_every_key_under_every_indexer() {
+        for layout in NamedLayout::ALL {
+            let idx = layout.indexer(8);
+            let keys: Vec<u64> = (1..=255).collect();
+            let t = ImplicitTree::build(idx.as_ref(), &keys);
+            for k in 1..=255u64 {
+                let p = t.search(k).unwrap_or_else(|| panic!("{layout} lost {k}"));
+                assert_eq!(t.keys()[p as usize], k);
+            }
+            assert_eq!(t.search(0), None);
+            assert_eq!(t.search(256), None);
+        }
+    }
+
+    #[test]
+    fn implicit_and_explicit_agree_on_membership() {
+        let layout = NamedLayout::MinWep;
+        let h = 9;
+        let mat = layout.materialize(h);
+        let idx = layout.indexer(h);
+        let keys: Vec<u64> = (1..=mat.len()).map(|k| k * 3).collect();
+        let et = ExplicitTree::build(&mat, &keys);
+        let it = ImplicitTree::build(idx.as_ref(), &keys);
+        for probe in 0..=(mat.len() * 3 + 2) {
+            assert_eq!(
+                et.search(probe).is_some(),
+                it.search(probe).is_some(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_only_searcher_visits_the_right_path() {
+        let layout = NamedLayout::MinWep;
+        let h = 7;
+        let idx = layout.indexer(h);
+        let s = IndexOnlySearcher::new(idx.as_ref());
+        let tree = Tree::new(h);
+        for key in 1..=tree.len() {
+            let expect: u64 = tree
+                .search_path(key)
+                .iter()
+                .map(|&i| idx.position(i, tree.depth(i)))
+                .sum();
+            assert_eq!(s.search(key), expect, "key {key}");
+        }
+    }
+
+    #[test]
+    fn checksums_deterministic() {
+        let idx = NamedLayout::HalfWep.indexer(8);
+        let s = IndexOnlySearcher::new(idx.as_ref());
+        assert_eq!(
+            s.search_batch_checksum(1..=255),
+            s.search_batch_checksum(1..=255)
+        );
+    }
+}

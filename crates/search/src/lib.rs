@@ -1,0 +1,32 @@
+//! # cobtree-search
+//!
+//! Search-tree substrate: the data structures whose wall-clock behaviour
+//! the paper measures (§II-B, §IV-D/E/F).
+//!
+//! * [`explicit`] — *pointer-based* trees: each node stores its key and
+//!   two child positions, laid out in an arbitrary layout order; a search
+//!   follows positions with no index arithmetic (Figure 2 / Figure 4
+//!   "explicit search time");
+//! * [`implicit`] — *pointer-less* trees: only keys are stored, in layout
+//!   order; every transition recomputes the child's position via
+//!   [`cobtree_core::index::PositionIndex`] (Figure 4 "implicit search"),
+//!   including the memory-access-free variant used to time pure index
+//!   computation (keys `1..=n` inferred from the BFS index, §IV-E
+//!   footnote 1);
+//! * [`workload`] — reproducible workloads: uniform random keys (the
+//!   paper's 10 M random searches), the §II-A affinity-graph random walk,
+//!   and skewed variants for extensions;
+//! * [`trace`] — position/address trace collection for the cache
+//!   simulator.
+
+pub mod explicit;
+pub mod implicit;
+pub mod map;
+pub mod stepping;
+pub mod trace;
+pub mod workload;
+
+pub use explicit::ExplicitTree;
+pub use implicit::{ImplicitTree, IndexOnlySearcher};
+pub use map::LayoutMap;
+pub use workload::UniformKeys;

@@ -1,0 +1,362 @@
+//! `LayoutMap` — a dynamic ordered set on top of static cache-oblivious
+//! layouts.
+//!
+//! The paper treats static complete trees; real deployments (§I cites
+//! cache-oblivious B-trees) need updates. `LayoutMap` provides the
+//! classical amortized answer: a static MINWEP-laid-out tree holding the
+//! bulk of the keys, a small sorted insertion buffer, a tombstone set for
+//! deletions, and a full rebuild whenever the side structures outgrow a
+//! fraction of the tree. Lookups stay cache-oblivious on the bulk;
+//! updates cost O(log n) amortized plus periodic O(n) rebuilds.
+//!
+//! The static tree is padded to `2^h − 1` slots with *supremum* sentinels
+//! that compare greater than every key, so any key count works.
+
+use crate::workload::UniformKeys;
+use cobtree_core::index::PositionIndex;
+use cobtree_core::{NamedLayout, Tree};
+
+/// Padding-aware key: real keys sort below all suprema; suprema are kept
+/// distinct (by index) so the padded key sequence stays strictly sorted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Slot<K> {
+    Key(K),
+    Sup(u32),
+}
+
+/// A dynamic ordered set with cache-oblivious bulk storage.
+///
+/// ```
+/// use cobtree_search::map::LayoutMap;
+///
+/// let mut m = LayoutMap::new();
+/// for k in [5u64, 1, 9, 3] {
+///     assert!(m.insert(k));
+/// }
+/// assert!(m.contains(&9));
+/// assert!(m.remove(&9));
+/// assert!(!m.contains(&9));
+/// assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+/// ```
+pub struct LayoutMap<K> {
+    layout: NamedLayout,
+    /// Keys of the static tree in layout order (padded).
+    slots: Vec<Slot<K>>,
+    /// Height of the static tree; 0 when empty.
+    height: u32,
+    /// Arithmetic indexer for the current height (rebuilt on compaction).
+    index: Option<Box<dyn PositionIndex>>,
+    /// Number of live keys in the static tree (excludes tombstones).
+    bulk_live: usize,
+    /// Pending insertions, sorted.
+    buffer: Vec<K>,
+    /// Keys deleted from the static tree, sorted.
+    tombstones: Vec<K>,
+}
+
+impl<K: Ord + Copy> Default for LayoutMap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> LayoutMap<K> {
+    /// Empty map with the MINWEP bulk layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_layout(NamedLayout::MinWep)
+    }
+
+    /// Empty map with a chosen bulk layout (for comparisons).
+    #[must_use]
+    pub fn with_layout(layout: NamedLayout) -> Self {
+        Self {
+            layout,
+            slots: Vec::new(),
+            height: 0,
+            index: None,
+            bulk_live: 0,
+            buffer: Vec::new(),
+            tombstones: Vec::new(),
+        }
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bulk_live + self.buffer.len()
+    }
+
+    /// `true` when no live keys remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bulk layout in use.
+    #[must_use]
+    pub fn bulk_layout(&self) -> NamedLayout {
+        self.layout
+    }
+
+    fn bulk_search(&self, key: &K) -> bool {
+        let Some(index) = self.index.as_deref() else {
+            return false;
+        };
+        let needle = Slot::Key(*key);
+        let mut i = 1u64;
+        let mut d = 0u32;
+        loop {
+            let pos = index.position(i, d);
+            let k = self.slots[pos as usize];
+            match needle.cmp(&k) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+            d += 1;
+            if d >= self.height {
+                return false;
+            }
+        }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        if self.buffer.binary_search(key).is_ok() {
+            return true;
+        }
+        if self.tombstones.binary_search(key).is_ok() {
+            return false;
+        }
+        self.bulk_search(key)
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        if let Ok(t) = self.tombstones.binary_search(&key) {
+            self.tombstones.remove(t);
+            self.bulk_live += 1;
+            self.maybe_rebuild();
+            return true;
+        }
+        if self.contains(&key) {
+            return false;
+        }
+        let at = self.buffer.binary_search(&key).unwrap_err();
+        self.buffer.insert(at, key);
+        self.maybe_rebuild();
+        true
+    }
+
+    /// Removes `key`; returns `false` if it was absent.
+    pub fn remove(&mut self, key: &K) -> bool {
+        if let Ok(b) = self.buffer.binary_search(key) {
+            self.buffer.remove(b);
+            return true;
+        }
+        if self.tombstones.binary_search(key).is_ok() {
+            return false;
+        }
+        if self.bulk_search(key) {
+            let at = self.tombstones.binary_search(key).unwrap_err();
+            self.tombstones.insert(at, *key);
+            self.bulk_live -= 1;
+            self.maybe_rebuild();
+            return true;
+        }
+        false
+    }
+
+    /// Sorted iteration over the live keys.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        // Live bulk keys in order = sorted slots minus padding/tombstones.
+        let mut bulk: Vec<K> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Key(k) if self.tombstones.binary_search(k).is_err() => Some(*k),
+                _ => None,
+            })
+            .collect();
+        bulk.sort_unstable();
+        MergeIter {
+            a: bulk.into_iter().peekable(),
+            b: self.buffer.clone().into_iter().peekable(),
+        }
+    }
+
+    /// Rebuilds the static tree from all live keys (also shrinks).
+    pub fn compact(&mut self) {
+        let keys: Vec<K> = self.iter().collect();
+        self.buffer.clear();
+        self.tombstones.clear();
+        self.bulk_live = keys.len();
+        if keys.is_empty() {
+            self.slots.clear();
+            self.height = 0;
+            self.index = None;
+            return;
+        }
+        // Smallest height whose full tree holds every key.
+        let mut h = 1u32;
+        while ((1u64 << h) - 1) < keys.len() as u64 {
+            h += 1;
+        }
+        self.height = h;
+        let tree = Tree::new(h);
+        let idx = self.layout.indexer(h);
+        self.slots = vec![Slot::Sup(0); tree.len() as usize];
+        for i in tree.nodes() {
+            let rank = tree.in_order_rank(i) as usize; // 1-based
+            let slot = if rank <= keys.len() {
+                Slot::Key(keys[rank - 1])
+            } else {
+                Slot::Sup((rank - keys.len()) as u32)
+            };
+            self.slots[idx.position(i, tree.depth(i)) as usize] = slot;
+        }
+        self.index = Some(idx);
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let side = self.buffer.len() + self.tombstones.len();
+        if side > 8 && side * 4 > self.bulk_live.max(1) {
+            self.compact();
+        }
+    }
+
+    /// Fills the map with `n` random distinct u64-convertible keys — test
+    /// and benchmark helper.
+    pub fn extend_random(&mut self, n: usize, seed: u64)
+    where
+        K: From<u64>,
+    {
+        for k in UniformKeys::new(u64::MAX - 1, seed).take(n * 2) {
+            if self.len() >= n {
+                break;
+            }
+            self.insert(K::from(k));
+        }
+    }
+}
+
+struct MergeIter<A: Iterator<Item = K>, B: Iterator<Item = K>, K> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A, B, K> Iterator for MergeIter<A, B, K>
+where
+    K: Ord + Copy,
+    A: Iterator<Item = K>,
+    B: Iterator<Item = K>,
+{
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        match (self.a.peek(), self.b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    self.a.next()
+                } else {
+                    self.b.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut m = LayoutMap::new();
+        assert!(m.is_empty());
+        for k in 0..200u64 {
+            assert!(m.insert(k * 3));
+            assert!(!m.insert(k * 3), "double insert of {k}");
+        }
+        assert_eq!(m.len(), 200);
+        for k in 0..200u64 {
+            assert!(m.contains(&(k * 3)));
+            assert!(!m.contains(&(k * 3 + 1)));
+        }
+        for k in (0..200u64).step_by(2) {
+            assert!(m.remove(&(k * 3)));
+            assert!(!m.remove(&(k * 3)));
+        }
+        assert_eq!(m.len(), 100);
+        let collected: Vec<u64> = m.iter().collect();
+        let expect: Vec<u64> = (0..200u64).filter(|k| k % 2 == 1).map(|k| k * 3).collect();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut m = LayoutMap::with_layout(NamedLayout::MinWep);
+        for k in 0..50u64 {
+            m.insert(k);
+        }
+        m.compact();
+        for k in 0..50u64 {
+            assert!(m.contains(&k), "{k} lost in compaction");
+        }
+        assert!(!m.contains(&50));
+        // Padding keys must be unreachable.
+        assert_eq!(m.iter().count(), 50);
+    }
+
+    #[test]
+    fn tombstone_resurrection() {
+        let mut m = LayoutMap::new();
+        for k in 0..40u64 {
+            m.insert(k);
+        }
+        m.compact();
+        assert!(m.remove(&7));
+        assert!(!m.contains(&7));
+        assert!(m.insert(7));
+        assert!(m.contains(&7));
+    }
+
+    #[test]
+    fn random_ops_match_btreeset() {
+        let mut m = LayoutMap::new();
+        let mut oracle = BTreeSet::new();
+        let mut state = 0x1234_5678_u64;
+        for step in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 500;
+            match state % 3 {
+                0 => assert_eq!(m.insert(key), oracle.insert(key), "step {step} insert {key}"),
+                1 => assert_eq!(m.remove(&key), oracle.remove(&key), "step {step} remove {key}"),
+                _ => assert_eq!(m.contains(&key), oracle.contains(&key), "step {step} get {key}"),
+            }
+            assert_eq!(m.len(), oracle.len(), "step {step}");
+        }
+        let got: Vec<u64> = m.iter().collect();
+        let expect: Vec<u64> = oracle.into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn works_with_every_bulk_layout() {
+        for layout in [NamedLayout::PreVeb, NamedLayout::InOrder, NamedLayout::HalfWep] {
+            let mut m = LayoutMap::with_layout(layout);
+            for k in 0..100u64 {
+                m.insert(k ^ 0x55);
+            }
+            m.compact();
+            for k in 0..100u64 {
+                assert!(m.contains(&(k ^ 0x55)), "{layout}");
+            }
+        }
+    }
+}

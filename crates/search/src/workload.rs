@@ -1,0 +1,232 @@
+//! Reproducible search workloads.
+//!
+//! The paper's timing experiments search for "(up to) 10 million randomly
+//! selected nodes" (§IV-F) — a uniform workload over the stored keys,
+//! which realizes exactly the affinity edge probabilities of Eq. 2.
+//! Extensions add the §II-A Markov random walk (for validating the block
+//! model) and a Zipf-like skewed workload.
+
+use cobtree_core::{EdgeWeights, NodeId, Tree};
+use rand::distr::Uniform;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform random in-order keys `1..=n`, seeded and reproducible.
+#[derive(Debug, Clone)]
+pub struct UniformKeys {
+    rng: ChaCha8Rng,
+    dist: Uniform<u64>,
+}
+
+impl UniformKeys {
+    /// Uniform keys over `1..=n`.
+    #[must_use]
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dist: Uniform::new_inclusive(1, n).expect("n >= 1"),
+        }
+    }
+
+    /// For a tree: keys over `1..=2^h − 1`.
+    #[must_use]
+    pub fn for_height(height: u32, seed: u64) -> Self {
+        Self::new((1u64 << height) - 1, seed)
+    }
+
+    /// Draws `count` keys into a vector.
+    #[must_use]
+    pub fn take_vec(&mut self, count: usize) -> Vec<u64> {
+        (&mut self.rng)
+            .sample_iter(self.dist)
+            .take(count)
+            .collect()
+    }
+}
+
+impl Iterator for UniformKeys {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+/// A Zipf-like skewed key workload (extension): rank `r` drawn with
+/// probability ∝ `1/r^s` over a random permutation of the key space, via
+/// rejection-free inverse-CDF on a truncated harmonic series.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    rng: ChaCha8Rng,
+    cdf: Vec<f64>,
+    perm: Vec<u64>,
+}
+
+impl ZipfKeys {
+    /// Zipf(s) over `1..=n` with ranks shuffled by `seed` (so hot keys are
+    /// spread over the tree rather than clustered at small in-order ranks).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > 2^24` (the CDF is materialized).
+    #[must_use]
+    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+        assert!((1..=(1 << 24)).contains(&n), "materialized Zipf needs n <= 2^24");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let mut perm: Vec<u64> = (1..=n).collect();
+        perm.shuffle(&mut rng);
+        Self { rng, cdf, perm }
+    }
+}
+
+impl Iterator for ZipfKeys {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let u: f64 = self.rng.random();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        Some(self.perm[idx.min(self.perm.len() - 1)])
+    }
+}
+
+/// The §II-A affinity-graph Markov chain: a random walk on the tree whose
+/// stationary edge-traversal distribution is proportional to the edge
+/// weights (exact weights of Eq. 2, or any [`EdgeWeights`] model).
+#[derive(Debug, Clone)]
+pub struct AffinityWalk {
+    tree: Tree,
+    weights: EdgeWeights,
+    rng: ChaCha8Rng,
+    current: NodeId,
+}
+
+impl AffinityWalk {
+    /// Starts a walk at the root.
+    #[must_use]
+    pub fn new(height: u32, weights: EdgeWeights, seed: u64) -> Self {
+        Self {
+            tree: Tree::new(height),
+            weights,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            current: 1,
+        }
+    }
+
+    /// Current node.
+    #[must_use]
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// Takes one step; returns the new node. Transition probabilities are
+    /// proportional to incident edge weights (`P = D⁻¹A`).
+    pub fn step(&mut self) -> NodeId {
+        let t = self.tree;
+        let h = t.height();
+        let d = t.depth(self.current);
+        let w_parent = if d > 0 { self.weights.weight(d, h) } else { 0.0 };
+        let w_child = if d + 1 < h {
+            self.weights.weight(d + 1, h)
+        } else {
+            0.0
+        };
+        let total = w_parent + 2.0 * w_child;
+        let u: f64 = self.rng.random::<f64>() * total;
+        self.current = if u < w_parent {
+            self.current >> 1
+        } else if u < w_parent + w_child {
+            2 * self.current
+        } else {
+            2 * self.current + 1
+        };
+        self.current
+    }
+}
+
+impl Iterator for AffinityWalk {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_reproducible_and_in_range() {
+        let a: Vec<u64> = UniformKeys::new(100, 7).take(1000).collect();
+        let b: Vec<u64> = UniformKeys::new(100, 7).take(1000).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (1..=100).contains(&k)));
+        let c: Vec<u64> = UniformKeys::new(100, 8).take(1000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_space() {
+        let mut seen = [false; 16];
+        for k in UniformKeys::new(15, 3).take(2000) {
+            seen[k as usize] = true;
+        }
+        assert!(seen[1..].iter().all(|&x| x));
+    }
+
+    #[test]
+    fn zipf_prefers_hot_keys() {
+        let w = ZipfKeys::new(1000, 1.2, 5);
+        let hot = w.perm[0];
+        let mut hot_count = 0;
+        let mut total = 0;
+        for k in w.take(20_000) {
+            total += 1;
+            if k == hot {
+                hot_count += 1;
+            }
+        }
+        // Rank-1 probability under Zipf(1.2, n=1000) is ≈ 13%.
+        assert!(hot_count * 100 / total > 5, "hot fraction too small");
+    }
+
+    #[test]
+    fn walk_stays_in_tree_and_visits_edges_by_weight() {
+        let h = 6;
+        let mut walk = AffinityWalk::new(h, EdgeWeights::Exact, 11);
+        let t = Tree::new(h);
+        let mut depth1 = 0u64;
+        let mut depth5 = 0u64;
+        let mut prev = walk.current();
+        for node in walk.by_ref().take(200_000) {
+            assert!(t.contains(node));
+            let (a, b) = if node > prev { (prev, node) } else { (node, prev) };
+            assert_eq!(b >> 1, a, "walk must follow edges");
+            match t.depth(b) {
+                1 => depth1 += 1,
+                5 => depth5 += 1,
+                _ => {}
+            }
+            prev = node;
+        }
+        // Edge traversal frequencies follow w·(count): depth-1 edges are
+        // individually ~31× more likely than depth-5 edges (Eq. 2), and
+        // there are 16× fewer of them.
+        let per_edge1 = depth1 as f64 / 2.0;
+        let per_edge5 = depth5 as f64 / 32.0;
+        let ratio = per_edge1 / per_edge5;
+        assert!(
+            (15.0..80.0).contains(&ratio),
+            "depth-1/depth-5 per-edge ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Layout explorer: print any named layout for a small tree, with its
+//! position assignment, per-depth edge lengths, and locality functionals.
+//!
+//! ```text
+//! cargo run --example layout_explorer -- MINWEP 5
+//! cargo run --example layout_explorer -- PRE-VEB 4
+//! ```
+
+use cobtree::core::{EdgeWeights, NamedLayout, Tree};
+use cobtree::measures::functionals;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "MINWEP".to_string());
+    let height: u32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .clamp(1, 10);
+
+    let Some(layout) = NamedLayout::from_label(&name) else {
+        eprintln!("unknown layout '{name}'; choose from:");
+        for l in NamedLayout::ALL {
+            eprintln!("  {} ({})", l.label(), l.nomenclature());
+        }
+        std::process::exit(2);
+    };
+
+    let tree = Tree::new(height);
+    let mat = layout.materialize(height);
+    println!(
+        "{} = {}  on a tree of height {height} ({} nodes)\n",
+        layout.label(),
+        layout.nomenclature(),
+        tree.len()
+    );
+
+    // Array view: which BFS node (and key) sits at each position.
+    let by_pos = mat.nodes_by_position();
+    println!("array (position: bfs-node/key):");
+    for (p, &node) in by_pos.iter().enumerate() {
+        print!("{:>3}:{:>3}/{:<3}", p + 1, node, tree.in_order_rank(node));
+        if (p + 1) % 8 == 0 {
+            println!();
+        }
+    }
+    println!("\n");
+
+    // Per-level structure: positions of each level's nodes.
+    for d in 0..height {
+        let ps: Vec<u64> = tree.level(d).map(|i| mat.position(i) + 1).collect();
+        println!("level {d}: positions {ps:?}");
+    }
+
+    let f = functionals(height, mat.edge_lengths(), EdgeWeights::Approximate);
+    println!(
+        "\nnu0 = {:.3}   nu1 = {:.3}   mu1 = {:.3}   mu_inf = {}",
+        f.nu0, f.nu1, f.mu1, f.mu_inf
+    );
+}

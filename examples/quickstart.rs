@@ -1,0 +1,46 @@
+//! Quickstart: build a MINWEP-laid-out search tree, run searches, and
+//! inspect the locality measures that explain why it is fast.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cobtree::core::{EdgeWeights, NamedLayout};
+use cobtree::measures::functionals;
+use cobtree::search::workload::UniformKeys;
+use cobtree::search::ExplicitTree;
+use std::time::Instant;
+
+fn main() {
+    let height = 18; // 262,143 keys
+    println!("== cobtree quickstart: {}-level complete BST ==\n", height);
+
+    // 1. Pick a layout. MINWEP is the paper's contribution; PRE-VEB is
+    //    the classical cache-oblivious layout it improves on.
+    for layout in [NamedLayout::PreVeb, NamedLayout::InVeb, NamedLayout::MinWep] {
+        let mat = layout.materialize(height);
+
+        // 2. Locality measures (§III): lower ν0 ⇒ fewer cache misses
+        //    across every level of the memory hierarchy.
+        let f = functionals(height, mat.edge_lengths(), EdgeWeights::Approximate);
+
+        // 3. Build the pointer-based tree and time a million searches.
+        let tree = ExplicitTree::<u64>::with_rank_keys(&mat);
+        let keys = UniformKeys::for_height(height, 1).take_vec(1_000_000);
+        let start = Instant::now();
+        let checksum = tree.search_batch_checksum(keys.iter().copied());
+        let elapsed = start.elapsed();
+
+        println!(
+            "{:<12} nu0 = {:6.3}   mean search = {:6.1} ns   (checksum {checksum:x})",
+            layout.label(),
+            f.nu0,
+            elapsed.as_nanos() as f64 / keys.len() as f64,
+        );
+    }
+
+    println!(
+        "\nMINWEP should show the lowest nu0 and the fastest searches —\n\
+         the ~20% advantage over PRE-VEB reported in the paper."
+    );
+}

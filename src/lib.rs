@@ -1,0 +1,45 @@
+//! # cobtree — cache-oblivious hierarchical layouts for search trees
+//!
+//! A from-scratch Rust reproduction of *Lindstrom & Rajan, "Optimal
+//! Hierarchical Layouts for Cache-Oblivious Search Trees"* (ICDE 2014),
+//! including the full experimental harness for every table and figure.
+//!
+//! The paper's contribution — the **MINWEP** layout, which minimizes the
+//! *Weighted Edge Product* locality measure and beats the classical van
+//! Emde Boas layout by ~20% on search time — is implemented alongside the
+//! complete family of Hierarchical/Recursive layouts it generalizes, the
+//! locality measures (`ν0`, `ν1`, `µ0`, `µ1`, `µ∞`, `β(N)`), pointer-based
+//! and pointer-less search trees, a Westmere-accurate cache simulator, the
+//! MINLA/MINBW baselines, and the §IV layout-space study.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`core`] | `cobtree-core` | tree model, layout engine, named layouts, Listing 1 |
+//! | [`measures`] | `cobtree-measures` | locality functionals, block transitions |
+//! | [`cachesim`] | `cobtree-cachesim` | set-associative cache hierarchy simulator |
+//! | [`search`] | `cobtree-search` | explicit/implicit search trees, workloads |
+//! | [`optimizer`] | `cobtree-optimizer` | layout-space study, MINLA/MINBW |
+//! | [`analysis`] | `cobtree-analysis` | figure/table generators (`repro` binary) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cobtree::core::NamedLayout;
+//! use cobtree::search::ExplicitTree;
+//!
+//! // A 4095-key static search tree in the paper's MINWEP layout.
+//! let layout = NamedLayout::MinWep.materialize(12);
+//! let keys: Vec<u64> = (1..=layout.len()).map(|k| k * 10).collect();
+//! let tree = ExplicitTree::build(&layout, &keys);
+//! assert!(tree.search(40950).is_some());
+//! assert!(tree.search(41).is_none());
+//! ```
+
+pub use cobtree_analysis as analysis;
+pub use cobtree_cachesim as cachesim;
+pub use cobtree_core as core;
+pub use cobtree_measures as measures;
+pub use cobtree_optimizer as optimizer;
+pub use cobtree_search as search;

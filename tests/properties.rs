@@ -1,0 +1,129 @@
+//! Cross-crate property-based tests: random Recursive Layout specs must
+//! satisfy every structural and measure-level invariant of the paper.
+
+use cobtree::core::engine::materialize;
+use cobtree::core::index::generic::GenericIndexer;
+use cobtree::core::index::PositionIndex;
+use cobtree::core::{CutRule, EdgeWeights, RecursiveSpec, RootOrder, Subscript, Tree};
+use cobtree::measures::{block_transitions, functionals};
+use proptest::prelude::*;
+
+fn arb_cut_rule() -> impl Strategy<Value = CutRule> {
+    prop_oneof![
+        Just(CutRule::One),
+        Just(CutRule::Half),
+        Just(CutRule::HalfOfMinusOne),
+        Just(CutRule::Bender),
+        Just(CutRule::BreadthFirst),
+        Just(CutRule::MinWepPre),
+        // Random per-height table (heights up to 12).
+        proptest::collection::vec(1u32..=11, 13).prop_map(CutRule::Table),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = RecursiveSpec> {
+    (
+        prop_oneof![Just(RootOrder::InOrder), Just(RootOrder::PreOrder)],
+        arb_cut_rule(),
+        arb_cut_rule(),
+        prop_oneof![
+            (1u32..=5).prop_map(Subscript::K),
+            Just(Subscript::Infinity)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(root_order, cut_in, cut_pre, first_in_order, alternating)| RecursiveSpec {
+            root_order,
+            cut_in,
+            cut_pre,
+            first_in_order,
+            alternating,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every spec materializes to a valid permutation at every height.
+    #[test]
+    fn specs_always_yield_permutations(spec in arb_spec(), h in 1u32..=10) {
+        // from_positions inside materialize() panics on non-permutations.
+        let layout = materialize(&spec, h);
+        prop_assert_eq!(layout.len(), (1u64 << h) - 1);
+    }
+
+    /// The generic pointer-less indexer replays the engine exactly.
+    #[test]
+    fn generic_indexer_equals_engine(spec in arb_spec(), h in 1u32..=9) {
+        let layout = materialize(&spec, h);
+        let idx = GenericIndexer::new(spec, h);
+        let tree = Tree::new(h);
+        for i in tree.nodes() {
+            prop_assert_eq!(idx.position(i, tree.depth(i)), layout.position(i));
+        }
+    }
+
+    /// Canonicalization is idempotent and measure-preserving.
+    #[test]
+    fn canonicalization_invariants(spec in arb_spec(), h in 2u32..=9) {
+        let layout = materialize(&spec, h);
+        let canon = layout.canonicalized();
+        let twice = canon.canonicalized();
+        prop_assert_eq!(canon.positions(), twice.positions());
+        let a = functionals(h, layout.edge_lengths(), EdgeWeights::Approximate);
+        let b = functionals(h, canon.edge_lengths(), EdgeWeights::Approximate);
+        prop_assert!((a.nu0 - b.nu0).abs() < 1e-9);
+        prop_assert!((a.nu1 - b.nu1).abs() < 1e-9);
+        prop_assert_eq!(a.mu_inf, b.mu_inf);
+    }
+
+    /// β(N) is 1 at N = 1, non-increasing in N, and bounded by ν1/N.
+    #[test]
+    fn beta_shape(spec in arb_spec(), h in 2u32..=9) {
+        let layout = materialize(&spec, h);
+        let sizes: Vec<u64> = (0..=h + 2).map(|k| 1u64 << k).collect();
+        let beta = block_transitions(h, layout.edge_lengths(), EdgeWeights::Approximate, &sizes);
+        prop_assert!((beta[0] - 1.0).abs() < 1e-12);
+        for w in beta.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        let f = functionals(h, layout.edge_lengths(), EdgeWeights::Approximate);
+        for (k, b) in beta.iter().enumerate() {
+            let n = 1u64 << k;
+            // M_N(ℓ) = min(ℓ/N, 1) ≤ ℓ/N, so β(N) ≤ min(1, ν1/N)…
+            prop_assert!(*b <= (f.nu1 / n as f64).min(1.0) + 1e-12);
+            // …with equality once the block covers every edge (§II-A).
+            if n >= f.mu_inf {
+                prop_assert!((*b - f.nu1 / n as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Weighted geometric mean never exceeds the weighted arithmetic mean
+    /// (ν0 ≤ ν1), and µ∞ bounds µ1.
+    #[test]
+    fn functional_inequalities(spec in arb_spec(), h in 2u32..=9) {
+        let layout = materialize(&spec, h);
+        for w in [EdgeWeights::Approximate, EdgeWeights::Exact, EdgeWeights::Unweighted] {
+            let f = functionals(h, layout.edge_lengths(), w);
+            prop_assert!(f.nu0 <= f.nu1 + 1e-9, "{w:?}");
+            prop_assert!(f.mu0 <= f.mu1 + 1e-9, "{w:?}");
+            prop_assert!(f.mu1 <= f.mu_inf as f64 + 1e-9, "{w:?}");
+            prop_assert!(f.nu0 >= 1.0 - 1e-12, "edge lengths are >= 1");
+        }
+    }
+
+    /// Theorem 2 at property scale: the alternating version of any spec
+    /// never has larger ν0.
+    #[test]
+    fn alternation_never_hurts(spec in arb_spec(), h in 2u32..=9) {
+        let mut plain = spec.clone();
+        plain.alternating = false;
+        let mut alt = spec;
+        alt.alternating = true;
+        let fp = functionals(h, materialize(&plain, h).edge_lengths(), EdgeWeights::Approximate);
+        let fa = functionals(h, materialize(&alt, h).edge_lengths(), EdgeWeights::Approximate);
+        prop_assert!(fa.nu0 <= fp.nu0 + 1e-9, "alt {} vs plain {}", fa.nu0, fp.nu0);
+        prop_assert!((fa.nu1 - fp.nu1).abs() < 1e-9, "nu1 must be unchanged");
+    }
+}
