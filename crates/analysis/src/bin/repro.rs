@@ -13,10 +13,13 @@
 //!   study   the §IV-C cut-height study
 //!   ablate  design-choice ablations
 //!   validate  analytic-vs-simulated beta
+//!   storage   SearchTree facade: explicit vs implicit vs index-only
 //!   all     everything above
 //! ```
 
-use cobtree_analysis::experiments::{cache, extensions, locality, study_exp, timing_exp, Config};
+use cobtree_analysis::experiments::{
+    cache, extensions, facade_exp, locality, study_exp, timing_exp, Config,
+};
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
 use std::path::PathBuf;
@@ -34,10 +37,13 @@ fn emit(cfg: &Config, tables: Vec<Table>) {
 fn run(cfg: &Config, what: &str) {
     let start = Instant::now();
     match what {
-        "fig1" => emit(cfg, vec![
-            locality::fig1_block_transitions(cfg),
-            locality::fig1_edge_cdf(cfg),
-        ]),
+        "fig1" => emit(
+            cfg,
+            vec![
+                locality::fig1_block_transitions(cfg),
+                locality::fig1_edge_cdf(cfg),
+            ],
+        ),
         "fig2" => {
             let mut tables = vec![locality::nu0_vs_height(
                 cfg,
@@ -63,11 +69,7 @@ fn run(cfg: &Config, what: &str) {
                     "fig4_nu0",
                     "Fig 4 (top-left): weighted edge product, all layouts",
                 ),
-                timing_exp::explicit_search_time(
-                    cfg,
-                    &NamedLayout::FIG4_SET,
-                    "fig4_explicit_time",
-                ),
+                timing_exp::explicit_search_time(cfg, &NamedLayout::FIG4_SET, "fig4_explicit_time"),
                 timing_exp::implicit_search_time(cfg, &NamedLayout::FIG4_SET),
                 timing_exp::index_computation_time(cfg, &NamedLayout::FIG4_SET),
             ];
@@ -76,24 +78,37 @@ fn run(cfg: &Config, what: &str) {
         "fig5" => emit(cfg, vec![locality::fig5_table()]),
         "table1" => emit(cfg, vec![locality::table1_nomenclature()]),
         "study" => emit(cfg, vec![study_exp::study_table(cfg)]),
-        "ablate" => emit(cfg, vec![
-            study_exp::cut_height_ablation(cfg),
-            study_exp::subscript_ablation(cfg),
-            study_exp::alternation_ablation(cfg),
-            study_exp::weight_model_ablation(cfg),
-            cache::policy_ablation(cfg),
-        ]),
+        "ablate" => emit(
+            cfg,
+            vec![
+                study_exp::cut_height_ablation(cfg),
+                study_exp::subscript_ablation(cfg),
+                study_exp::alternation_ablation(cfg),
+                study_exp::weight_model_ablation(cfg),
+                cache::policy_ablation(cfg),
+            ],
+        ),
         "validate" => emit(cfg, vec![cache::beta_validation(cfg)]),
-        "extend" => emit(cfg, vec![
-            extensions::range_scan_experiment(cfg),
-            extensions::compression_experiment(cfg),
-            extensions::skew_experiment(cfg),
-            extensions::unrestricted_probe(cfg),
-        ]),
+        "storage" => emit(
+            cfg,
+            vec![
+                facade_exp::storage_backend_comparison(cfg),
+                facade_exp::backend_iteration_demo(cfg),
+            ],
+        ),
+        "extend" => emit(
+            cfg,
+            vec![
+                extensions::range_scan_experiment(cfg),
+                extensions::compression_experiment(cfg),
+                extensions::skew_experiment(cfg),
+                extensions::unrestricted_probe(cfg),
+            ],
+        ),
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "extend",
+                "storage", "extend",
             ] {
                 run(cfg, w);
             }
@@ -121,7 +136,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

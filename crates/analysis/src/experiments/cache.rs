@@ -47,13 +47,25 @@ pub fn fig2_miss_rates(cfg: &Config) -> Vec<Table> {
             let keys = UniformKeys::for_height(h, cfg.seed).take_vec(cfg.searches);
             // Warm-up with a slice of the workload, then measure.
             let warm = keys.len() / 10;
-            search_addresses(idx.as_ref(), NODE_BYTES, 0, keys[..warm].iter().copied(), |a| {
-                sim.access(a);
-            });
+            search_addresses(
+                idx.as_ref(),
+                NODE_BYTES,
+                0,
+                keys[..warm].iter().copied(),
+                |a| {
+                    sim.access(a);
+                },
+            );
             sim.reset_stats();
-            search_addresses(idx.as_ref(), NODE_BYTES, 0, keys[warm..].iter().copied(), |a| {
-                sim.access(a);
-            });
+            search_addresses(
+                idx.as_ref(),
+                NODE_BYTES,
+                0,
+                keys[warm..].iter().copied(),
+                |a| {
+                    sim.access(a);
+                },
+            );
             for (lvl, row) in rows.iter_mut().enumerate() {
                 row.push(pct(sim.global_miss_rate(lvl)));
             }
@@ -122,8 +134,7 @@ pub fn beta_validation(cfg: &Config) -> Table {
         rows: Vec::new(),
     };
     for n in [2u64, 5, 16, 64, 256] {
-        let analytic =
-            block_transitions(h, lay.edge_lengths(), EdgeWeights::Exact, &[n])[0];
+        let analytic = block_transitions(h, lay.edge_lengths(), EdgeWeights::Exact, &[n])[0];
         // Average the simulation over several alignments.
         let mut total_miss = 0u64;
         let mut total_trans = 0u64;

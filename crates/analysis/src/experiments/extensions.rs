@@ -148,8 +148,12 @@ pub fn skew_experiment(cfg: &Config) -> Table {
     for layout in [NamedLayout::PreVeb, NamedLayout::InVeb, NamedLayout::MinWep] {
         let idx = layout.indexer(h);
         let mut rates = Vec::new();
-        let uniform: Vec<u64> = UniformKeys::new(n, cfg.seed).take(cfg.searches / 4).collect();
-        let zipf: Vec<u64> = ZipfKeys::new(n, 1.1, cfg.seed).take(cfg.searches / 4).collect();
+        let uniform: Vec<u64> = UniformKeys::new(n, cfg.seed)
+            .take(cfg.searches / 4)
+            .collect();
+        let zipf: Vec<u64> = ZipfKeys::new(n, 1.1, cfg.seed)
+            .take(cfg.searches / 4)
+            .collect();
         for keys in [&uniform, &zipf] {
             let mut sim = presets::westmere_l1_l2();
             search_addresses(idx.as_ref(), 4, 0, keys.iter().copied(), |a| {
@@ -190,11 +194,7 @@ mod tests {
         let t = compression_experiment(&cfg);
         // The best (IN-ORDER/MINWLA rows) must beat PRE-BREADTH.
         let best: f64 = t.rows[0][2].parse().unwrap();
-        let worst: f64 = t
-            .rows
-            .iter()
-            .find(|r| r[0] == "PRE-BREADTH")
-            .unwrap()[2]
+        let worst: f64 = t.rows.iter().find(|r| r[0] == "PRE-BREADTH").unwrap()[2]
             .parse()
             .unwrap();
         assert!(best < worst);

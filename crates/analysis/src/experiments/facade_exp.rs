@@ -1,0 +1,145 @@
+//! Storage-backend experiment over the unified `SearchTree` facade.
+//!
+//! The facade's contract is that explicit, implicit and index-only
+//! storage built from one configuration share a single position index,
+//! so searches return identical positions (and batch checksums) while
+//! paying very different per-transition costs. This experiment verifies
+//! the contract on real workloads and reports the wall-clock price of
+//! each storage discipline per layout — the facade-level rollup of the
+//! paper's Figure 4 panels.
+
+use super::Config;
+use crate::report::Table;
+use crate::timing::median_time;
+use cobtree_core::NamedLayout;
+use cobtree_search::workload::UniformKeys;
+use cobtree_search::{SearchBackend, SearchTree, Storage};
+
+/// Mean search time (ns) per layout × storage backend, with checksum
+/// parity asserted across backends.
+///
+/// # Panics
+/// Panics if two storage backends of the same configuration disagree on
+/// a batch checksum — that would be a facade correctness bug.
+#[must_use]
+pub fn storage_backend_comparison(cfg: &Config) -> Table {
+    let h = cfg
+        .timing_heights
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(14)
+        .min(18);
+    let n = (1u64 << h) - 1;
+    let keys: Vec<u64> = (1..=n).map(|k| k * 2).collect();
+    let probes: Vec<u64> = UniformKeys::new(n * 2, cfg.seed).take_vec(cfg.searches.min(200_000));
+    let mut cols = vec!["layout".to_string()];
+    cols.extend(Storage::ALL.iter().map(|s| format!("{s} (ns)")));
+    cols.push("checksums_agree".to_string());
+    let mut t = Table {
+        name: "facade_storage_comparison".into(),
+        title: format!(
+            "SearchTree facade: mean search ns per storage backend (h={h}, {} probes)",
+            probes.len()
+        ),
+        columns: cols,
+        rows: Vec::new(),
+    };
+    for layout in [
+        NamedLayout::InOrder,
+        NamedLayout::PreVeb,
+        NamedLayout::InVeb,
+        NamedLayout::MinWep,
+    ] {
+        let mut row = vec![layout.label().to_string()];
+        let mut checksums = Vec::new();
+        for storage in Storage::ALL {
+            let tree = SearchTree::builder()
+                .layout(layout)
+                .storage(storage)
+                .keys(keys.iter().copied())
+                .build()
+                .expect("facade build");
+            let ns = median_time(cfg.repeats, probes.len() as u64, || {
+                tree.search_batch_checksum(&probes)
+            });
+            checksums.push(tree.search_batch_checksum(&probes));
+            row.push(format!("{ns:.1}"));
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "{layout}: storage backends disagree: {checksums:?}"
+        );
+        row.push("yes".to_string());
+        t.push_row(row);
+    }
+    t
+}
+
+/// Iterates heterogeneous backends through `&dyn SearchBackend` — the
+/// generic-iteration pattern the benches and harness rely on — and
+/// reports found-key counts per backend kind.
+#[must_use]
+pub fn backend_iteration_demo(cfg: &Config) -> Table {
+    let keys: Vec<u64> = (1..=5000u64).map(|k| k * 3).collect();
+    let probes = UniformKeys::new(20_000, cfg.seed ^ 1).take_vec(10_000);
+    let trees: Vec<SearchTree<u64>> = Storage::ALL
+        .iter()
+        .map(|&storage| {
+            SearchTree::builder()
+                .layout(NamedLayout::MinWep)
+                .storage(storage)
+                .keys(keys.iter().copied())
+                .build()
+                .expect("facade build")
+        })
+        .collect();
+    let backends: Vec<&dyn SearchBackend<u64>> =
+        trees.iter().map(|t| t as &dyn SearchBackend<u64>).collect();
+    let mut t = Table::new(
+        "facade_backend_iteration",
+        "Generic &dyn SearchBackend iteration: hits per storage kind",
+        &["storage", "probes", "hits", "checksum"],
+    );
+    for (tree, backend) in trees.iter().zip(&backends) {
+        let hits = probes
+            .iter()
+            .filter(|&&p| backend.search(p).is_some())
+            .count();
+        t.push_row(vec![
+            tree.storage().to_string(),
+            probes.len().to_string(),
+            hits.to_string(),
+            format!("{:x}", backend.search_batch_checksum(&probes)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_rows_cover_all_backends() {
+        let cfg = Config::tiny();
+        let t = storage_backend_comparison(&cfg);
+        assert_eq!(t.columns.len(), 2 + Storage::ALL.len());
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row.last().unwrap(), "yes");
+        }
+    }
+
+    #[test]
+    fn backend_iteration_rows_agree() {
+        let cfg = Config::tiny();
+        let t = backend_iteration_demo(&cfg);
+        assert_eq!(t.rows.len(), 3);
+        // All storage kinds must report identical hits and checksums.
+        let hits: Vec<&String> = t.rows.iter().map(|r| &r[2]).collect();
+        let sums: Vec<&String> = t.rows.iter().map(|r| &r[3]).collect();
+        assert!(hits.windows(2).all(|w| w[0] == w[1]));
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+}

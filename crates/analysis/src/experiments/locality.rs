@@ -158,8 +158,16 @@ pub fn fig5_table() -> Table {
         "fig5_functionals",
         "Fig 5: layout functionals at h = 6 (paper / measured)",
         &[
-            "layout", "nu0_paper", "nu0", "nu1_paper", "nu1", "mu1_paper", "mu1", "mu_inf_paper",
-            "mu_inf", "engine_matches_figure",
+            "layout",
+            "nu0_paper",
+            "nu0",
+            "nu1_paper",
+            "nu1",
+            "mu1_paper",
+            "mu1",
+            "mu_inf_paper",
+            "mu_inf",
+            "engine_matches_figure",
         ],
     );
     for entry in FIG5 {

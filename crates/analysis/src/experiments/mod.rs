@@ -6,6 +6,7 @@
 
 pub mod cache;
 pub mod extensions;
+pub mod facade_exp;
 pub mod locality;
 pub mod study_exp;
 pub mod timing_exp;

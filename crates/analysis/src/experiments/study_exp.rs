@@ -133,8 +133,12 @@ pub fn alternation_ablation(cfg: &Config) -> Table {
         ("PRE-VEB", NamedLayout::PreVeb, NamedLayout::PreVebA),
         ("IN-VEB", NamedLayout::InVeb, NamedLayout::InVebA),
     ] {
-        let p = profile_for(plain, h).functionals(EdgeWeights::Approximate).nu0;
-        let a = profile_for(alt, h).functionals(EdgeWeights::Approximate).nu0;
+        let p = profile_for(plain, h)
+            .functionals(EdgeWeights::Approximate)
+            .nu0;
+        let a = profile_for(alt, h)
+            .functionals(EdgeWeights::Approximate)
+            .nu0;
         t.push_row(vec![
             label.to_string(),
             f(p),
@@ -200,10 +204,7 @@ mod tests {
         let t = cut_height_ablation(&cfg);
         // delta = 0 must beat the extremes for the pre family.
         let at = |d: i64| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == d.to_string())
-                .unwrap()[1]
+            t.rows.iter().find(|r| r[0] == d.to_string()).unwrap()[1]
                 .parse()
                 .unwrap()
         };

@@ -35,7 +35,7 @@ pub fn explicit_search_time(cfg: &Config, layouts: &[NamedLayout], name: &str) -
             let layout = l.materialize(h);
             let tree = ExplicitTree::<u64>::with_rank_keys(&layout);
             let ns = median_time(cfg.repeats, keys.len() as u64, || {
-                tree.search_batch_checksum(keys.iter().copied())
+                tree.search_batch_checksum(&keys)
             });
             row.push(format!("{ns:.1}"));
         }
@@ -61,9 +61,9 @@ pub fn implicit_search_time(cfg: &Config, layouts: &[NamedLayout]) -> Table {
         let mut row = vec![h.to_string()];
         for &l in layouts {
             let idx = l.indexer(h);
-            let tree = ImplicitTree::build(idx.as_ref(), &all);
+            let tree = ImplicitTree::build(idx, &all);
             let ns = median_time(cfg.repeats, keys.len() as u64, || {
-                tree.search_batch_checksum(keys.iter().copied())
+                tree.search_batch_checksum(&keys)
             });
             row.push(format!("{ns:.1}"));
         }
@@ -91,7 +91,7 @@ pub fn index_computation_time(cfg: &Config, layouts: &[NamedLayout]) -> Table {
             let idx = l.indexer(h);
             let searcher = IndexOnlySearcher::new(idx.as_ref());
             let ns = median_time(cfg.repeats, keys.len() as u64, || {
-                searcher.search_batch_checksum(keys.iter().copied())
+                searcher.search_batch_checksum(&keys)
             });
             row.push(format!("{ns:.1}"));
         }

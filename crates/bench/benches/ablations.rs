@@ -30,16 +30,17 @@ fn implicit_search(c: &mut Criterion) {
         NamedLayout::HalfWep,
         NamedLayout::MinWep,
     ] {
-        let idx = layout.indexer(h);
         group.bench_function(BenchmarkId::from_parameter(layout.label()), |b| {
-            let tree = ImplicitTree::build(idx.as_ref(), &all);
-            b.iter(|| tree.search_batch_checksum(keys.iter().copied()));
+            let tree = ImplicitTree::build(layout.indexer(h), &all);
+            b.iter(|| tree.search_batch_checksum(&keys));
         });
     }
     group.finish();
 
     let mut weights = c.benchmark_group("weight_models_h14");
-    weights.sample_size(15).measurement_time(Duration::from_secs(3));
+    weights
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
     let layout = NamedLayout::MinWep.materialize(14);
     let edges: Vec<(u32, u64)> = layout.edge_lengths().collect();
     for (label, model) in [

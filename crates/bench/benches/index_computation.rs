@@ -26,7 +26,7 @@ fn index_only(c: &mut Criterion) {
         let idx = layout.indexer(h);
         group.bench_function(BenchmarkId::from_parameter(layout.label()), |b| {
             let searcher = IndexOnlySearcher::new(idx.as_ref());
-            b.iter(|| searcher.search_batch_checksum(keys.iter().copied()));
+            b.iter(|| searcher.search_batch_checksum(&keys));
         });
     }
     group.finish();

@@ -31,7 +31,8 @@ fn generation(c: &mut Criterion) {
     group.finish();
 
     let mut base = c.benchmark_group("baseline_constructions_h12");
-    base.sample_size(10).measurement_time(Duration::from_secs(3));
+    base.sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     base.bench_function("minla", |b| b.iter(|| black_box(minla_layout(12))));
     base.bench_function("minbw", |b| b.iter(|| black_box(minbw_layout(12))));
     base.finish();

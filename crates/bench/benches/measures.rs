@@ -34,11 +34,9 @@ fn measure_eval(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     for layout in [NamedLayout::PreVeb, NamedLayout::MinWep] {
         let mat = layout.materialize(h);
-        gen_group.bench_with_input(
-            BenchmarkId::from_parameter(layout.label()),
-            &mat,
-            |b, m| b.iter(|| m.edge_lengths().map(|(_, l)| l).sum::<u64>()),
-        );
+        gen_group.bench_with_input(BenchmarkId::from_parameter(layout.label()), &mat, |b, m| {
+            b.iter(|| m.edge_lengths().map(|(_, l)| l).sum::<u64>())
+        });
     }
     gen_group.finish();
 }

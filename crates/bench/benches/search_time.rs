@@ -1,31 +1,49 @@
 //! Explicit (pointer-based) search time per layout — the paper's primary
-//! performance metric (Fig 2 top-right, Fig 4 top-right).
+//! performance metric (Fig 2 top-right, Fig 4 top-right) — built through
+//! the unified `SearchTree` facade.
 //!
 //! The headline claim to reproduce: MINWEP ≈ HALFWEP < IN-VEB(A) <
 //! PRE-VEB(A) < BENDER, with MINWEP roughly 20% faster than PRE-VEB at
 //! large heights, and the breadth-first layouts far behind.
+//!
+//! Swapping `STORAGE` below to `Storage::Implicit` or
+//! `Storage::IndexOnly` re-times the identical workload on a different
+//! storage discipline — positions and checksums stay bit-identical.
 
+use cobtree::{SearchTree, Storage};
 use cobtree_bench::{bench_height, bench_layouts};
 use cobtree_search::workload::UniformKeys;
-use cobtree_search::ExplicitTree;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
+/// The storage backend under test — a one-line change swaps all of them.
+const STORAGE: Storage = Storage::Explicit;
+
 fn explicit_search(c: &mut Criterion) {
     let h = bench_height();
-    let keys = UniformKeys::for_height(h, 42).take_vec(10_000);
-    let mut group = c.benchmark_group(format!("explicit_search_h{h}"));
+    let n = (1u64 << h) - 1;
+    let keys: Vec<u64> = (1..=n).collect();
+    let probes = UniformKeys::new(n, 42).take_vec(10_000);
+    let mut group = c.benchmark_group(format!("{STORAGE}_search_h{h}"));
     group
         .sample_size(20)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1))
-        .throughput(Throughput::Elements(keys.len() as u64));
+        .throughput(Throughput::Elements(probes.len() as u64));
     for layout in bench_layouts() {
-        let mat = layout.materialize(h);
-        let tree = ExplicitTree::<u64>::with_rank_keys(&mat);
-        group.bench_with_input(BenchmarkId::from_parameter(layout.label()), &tree, |b, t| {
-            b.iter(|| t.search_batch_checksum(keys.iter().copied()));
-        });
+        let tree = SearchTree::builder()
+            .layout(layout)
+            .storage(STORAGE)
+            .keys(keys.iter().copied())
+            .build()
+            .expect("bench tree");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &tree,
+            |b, t| {
+                b.iter(|| t.search_batch_checksum(&probes));
+            },
+        );
     }
     group.finish();
 }

@@ -1,10 +1,9 @@
 //! A single set-associative cache level.
 
 use crate::policy::{ReplacementPolicy, SetState};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and policy of one cache level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Human-readable level name ("L1", "L2", …).
     pub name: String,
@@ -50,7 +49,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters for one level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
     /// Number of accesses that reached this level.
     pub accesses: u64,

@@ -31,7 +31,9 @@ pub mod cache;
 pub mod hierarchy;
 pub mod policy;
 pub mod presets;
+pub mod replay;
 
 pub use cache::{CacheConfig, CacheLevel, LevelStats};
 pub use hierarchy::CacheHierarchy;
 pub use policy::ReplacementPolicy;
+pub use replay::replay_search_backend;

@@ -5,10 +5,8 @@
 //! for ablation studies of the "replacement policy" attribute the paper's
 //! cache-oblivious argument abstracts over (§I).
 
-use serde::{Deserialize, Serialize};
-
 /// How a set picks its victim when full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReplacementPolicy {
     /// Exact least-recently-used (what cachegrind simulates).
     #[default]

@@ -1,0 +1,97 @@
+//! Replaying live search backends through the simulated hierarchy.
+//!
+//! Figure 2's miss-rate panel traces search workloads through a
+//! Westmere-geometry cache. The original harness derived addresses from
+//! bare position indexers; with the [`SearchBackend`] trait the same
+//! experiment runs against *any* storage backend — explicit, implicit,
+//! index-only, or the whole `SearchTree` facade — by replaying exactly
+//! the positions each backend visits.
+
+use crate::hierarchy::CacheHierarchy;
+use cobtree_search::SearchBackend;
+
+/// Searches every key on `backend`, feeding each visited position
+/// (scaled by `node_bytes`, offset by `base`) through the hierarchy.
+/// Returns the number of keys found.
+pub fn replay_search_backend<K: Copy>(
+    hierarchy: &mut CacheHierarchy,
+    backend: &dyn SearchBackend<K>,
+    node_bytes: u64,
+    base: u64,
+    keys: &[K],
+) -> u64 {
+    let mut found = 0u64;
+    let mut visited = Vec::with_capacity(backend.height() as usize);
+    for &key in keys {
+        visited.clear();
+        if backend.search_traced(key, &mut visited).is_some() {
+            found += 1;
+        }
+        for &p in &visited {
+            hierarchy.access(base + p * node_bytes);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use cobtree_core::NamedLayout;
+    use cobtree_search::trace::search_addresses;
+    use cobtree_search::workload::UniformKeys;
+    use cobtree_search::ImplicitTree;
+
+    #[test]
+    fn backend_replay_matches_index_replay() {
+        // For a full rank-keyed implicit tree the backend trace equals
+        // the index-derived address trace, so both replays must produce
+        // identical counters.
+        let h = 12;
+        let layout = NamedLayout::MinWep;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let tree = ImplicitTree::build(layout.indexer(h), &keys);
+        let workload = UniformKeys::for_height(h, 9).take_vec(20_000);
+
+        let mut via_backend = presets::westmere_l1_l2();
+        let found = replay_search_backend(&mut via_backend, &tree, 4, 0, &workload);
+        assert_eq!(found, workload.len() as u64);
+
+        let mut via_index = presets::westmere_l1_l2();
+        let idx = layout.indexer(h);
+        search_addresses(idx.as_ref(), 4, 0, workload.iter().copied(), |a| {
+            via_index.access(a);
+        });
+
+        for level in 0..2 {
+            assert_eq!(
+                via_backend.level_stats(level),
+                via_index.level_stats(level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_and_implicit_replays_share_miss_counts() {
+        // Same positions (one shared index per layout) ⇒ same addresses
+        // ⇒ identical simulated misses across storage backends.
+        use cobtree_search::{SearchTree, Storage};
+        let keys: Vec<u64> = (1..=4000u64).map(|k| k * 3).collect();
+        let workload = UniformKeys::new(12_000, 5).take_vec(10_000);
+        let mut stats = Vec::new();
+        for storage in Storage::ALL {
+            let tree = SearchTree::builder()
+                .storage(storage)
+                .keys(keys.iter().copied())
+                .build()
+                .unwrap();
+            let mut sim = presets::westmere_l1_l2();
+            replay_search_backend(&mut sim, &tree, 4, 0, &workload);
+            stats.push(sim.level_stats(0));
+        }
+        assert_eq!(stats[0], stats[1]);
+        assert_eq!(stats[1], stats[2]);
+    }
+}

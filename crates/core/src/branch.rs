@@ -125,7 +125,11 @@ impl Branch {
                     (j * s, j, half - j, Mode::PreHigh)
                 } else {
                     let rel = q - half;
-                    let j = if self.alternating { half - 1 - rel } else { rel };
+                    let j = if self.alternating {
+                        half - 1 - rel
+                    } else {
+                        rel
+                    };
                     (half * s + a_size + j * s, half + j, j + 1, Mode::PreLow)
                 }
             }

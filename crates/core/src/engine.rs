@@ -26,21 +26,28 @@
 //! [`Layout::canonicalized`].
 
 use crate::branch::{Branch, Mode};
+use crate::error::{Error, Result};
 use crate::layout::Layout;
 use crate::spec::RecursiveSpec;
 use crate::tree::{NodeId, Tree};
 
+/// Largest height whose permutation can be materialized in memory
+/// (positions are stored as `u32`; use index arithmetic beyond).
+pub const MAX_MATERIALIZE_HEIGHT: u32 = 31;
+
 /// Materializes `spec` for a tree of `height` levels.
 ///
-/// # Panics
-/// Panics if `height` is 0 or large enough that the permutation would not
-/// fit in memory (`height > 31`).
-#[must_use]
-pub fn materialize(spec: &RecursiveSpec, height: u32) -> Layout {
-    assert!(
-        (1..=31).contains(&height),
-        "materialize supports 1 <= h <= 31 (use index functions beyond)"
-    );
+/// # Errors
+/// [`Error::HeightOutOfRange`] if `height` is 0 or large enough that the
+/// permutation would not fit in memory (`height > 31`).
+pub fn try_materialize(spec: &RecursiveSpec, height: u32) -> Result<Layout> {
+    if !(1..=MAX_MATERIALIZE_HEIGHT).contains(&height) {
+        return Err(Error::HeightOutOfRange {
+            height,
+            min: 1,
+            max: MAX_MATERIALIZE_HEIGHT,
+        });
+    }
     let tree = Tree::new(height);
     let mut pos = vec![u32::MAX; tree.len() as usize];
     let mut gen = Generator {
@@ -48,7 +55,19 @@ pub fn materialize(spec: &RecursiveSpec, height: u32) -> Layout {
         pos: &mut pos,
     };
     gen.fill(1, height, 0, Mode::root(spec));
-    Layout::from_positions(height, pos)
+    Layout::try_from_positions(height, pos)
+}
+
+/// Materializes `spec` for a tree of `height` levels.
+///
+/// # Panics
+/// Panics where [`try_materialize`] errors.
+#[must_use]
+pub fn materialize(spec: &RecursiveSpec, height: u32) -> Layout {
+    match try_materialize(spec, height) {
+        Ok(layout) => layout,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 struct Generator<'a> {
@@ -94,7 +113,10 @@ pub fn materialize_from_index(height: u32, f: impl FnMut(NodeId) -> u64) -> Layo
 #[must_use]
 pub fn one_based_positions(spec: &RecursiveSpec, height: u32) -> Vec<u64> {
     let l = materialize(spec, height);
-    Tree::new(height).nodes().map(|i| l.position(i) + 1).collect()
+    Tree::new(height)
+        .nodes()
+        .map(|i| l.position(i) + 1)
+        .collect()
 }
 
 #[cfg(test)]

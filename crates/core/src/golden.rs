@@ -47,9 +47,9 @@ pub const FIG5A_MINWEP: Fig5Entry = Fig5Entry {
     name: "MINWEP",
     layout: Some(NamedLayout::MinWep),
     post_order_listing: &[
-        1, 3, 2, 4, 5, 6, 7, 11, 12, 10, 13, 15, 14, 9, 8, 16, 17, 18, 21, 22, 20, 19, 23, 25,
-        24, 26, 27, 28, 29, 30, 31, 37, 38, 36, 39, 41, 40, 35, 42, 43, 44, 47, 48, 46, 45, 34,
-        49, 51, 50, 52, 53, 54, 55, 59, 60, 58, 61, 63, 62, 57, 56, 33, 32,
+        1, 3, 2, 4, 5, 6, 7, 11, 12, 10, 13, 15, 14, 9, 8, 16, 17, 18, 21, 22, 20, 19, 23, 25, 24,
+        26, 27, 28, 29, 30, 31, 37, 38, 36, 39, 41, 40, 35, 42, 43, 44, 47, 48, 46, 45, 34, 49, 51,
+        50, 52, 53, 54, 55, 59, 60, 58, 61, 63, 62, 57, 56, 33, 32,
     ],
     nu0: 1.818,
     nu1: 4.063,
@@ -62,9 +62,9 @@ pub const FIG5B_HALFWEP: Fig5Entry = Fig5Entry {
     name: "HALFWEP",
     layout: Some(NamedLayout::HalfWep),
     post_order_listing: &[
-        1, 2, 3, 6, 7, 5, 4, 8, 9, 10, 13, 14, 12, 11, 30, 15, 16, 17, 20, 21, 19, 18, 22, 24,
-        23, 25, 26, 27, 28, 29, 31, 38, 39, 37, 40, 42, 41, 36, 43, 44, 45, 48, 49, 47, 46, 35,
-        50, 51, 52, 55, 56, 54, 53, 57, 58, 59, 62, 63, 61, 60, 34, 33, 32,
+        1, 2, 3, 6, 7, 5, 4, 8, 9, 10, 13, 14, 12, 11, 30, 15, 16, 17, 20, 21, 19, 18, 22, 24, 23,
+        25, 26, 27, 28, 29, 31, 38, 39, 37, 40, 42, 41, 36, 43, 44, 45, 48, 49, 47, 46, 35, 50, 51,
+        52, 55, 56, 54, 53, 57, 58, 59, 62, 63, 61, 60, 34, 33, 32,
     ],
     nu0: 1.823,
     nu1: 3.938,
@@ -77,9 +77,9 @@ pub const FIG5C_IN_VEBA: Fig5Entry = Fig5Entry {
     name: "IN-VEBA",
     layout: Some(NamedLayout::InVebA),
     post_order_listing: &[
-        1, 3, 2, 5, 7, 6, 4, 8, 10, 9, 12, 14, 13, 11, 31, 15, 17, 16, 19, 21, 20, 18, 22, 24,
-        23, 26, 28, 27, 25, 29, 30, 36, 38, 37, 40, 42, 41, 39, 43, 45, 44, 47, 49, 48, 46, 35,
-        50, 52, 51, 54, 56, 55, 53, 57, 59, 58, 61, 63, 62, 60, 33, 34, 32,
+        1, 3, 2, 5, 7, 6, 4, 8, 10, 9, 12, 14, 13, 11, 31, 15, 17, 16, 19, 21, 20, 18, 22, 24, 23,
+        26, 28, 27, 25, 29, 30, 36, 38, 37, 40, 42, 41, 39, 43, 45, 44, 47, 49, 48, 46, 35, 50, 52,
+        51, 54, 56, 55, 53, 57, 59, 58, 61, 63, 62, 60, 33, 34, 32,
     ],
     nu0: 2.184,
     nu1: 4.300,
@@ -107,9 +107,9 @@ pub const FIG5E_IN_VEB: Fig5Entry = Fig5Entry {
     name: "IN-VEB",
     layout: Some(NamedLayout::InVeb),
     post_order_listing: &[
-        1, 3, 2, 5, 7, 6, 4, 8, 10, 9, 12, 14, 13, 11, 29, 15, 17, 16, 19, 21, 20, 18, 22, 24,
-        23, 26, 28, 27, 25, 31, 30, 36, 38, 37, 40, 42, 41, 39, 43, 45, 44, 47, 49, 48, 46, 33,
-        50, 52, 51, 54, 56, 55, 53, 57, 59, 58, 61, 63, 62, 60, 35, 34, 32,
+        1, 3, 2, 5, 7, 6, 4, 8, 10, 9, 12, 14, 13, 11, 29, 15, 17, 16, 19, 21, 20, 18, 22, 24, 23,
+        26, 28, 27, 25, 31, 30, 36, 38, 37, 40, 42, 41, 39, 43, 45, 44, 47, 49, 48, 46, 33, 50, 52,
+        51, 54, 56, 55, 53, 57, 59, 58, 61, 63, 62, 60, 35, 34, 32,
     ],
     nu0: 2.227,
     nu1: 4.300,
@@ -137,9 +137,9 @@ pub const FIG5G_IN_ORDER: Fig5Entry = Fig5Entry {
     name: "IN-ORDER",
     layout: Some(NamedLayout::InOrder),
     post_order_listing: &[
-        1, 3, 2, 5, 7, 6, 4, 9, 11, 10, 13, 15, 14, 12, 8, 17, 19, 18, 21, 23, 22, 20, 25, 27,
-        26, 29, 31, 30, 28, 24, 16, 33, 35, 34, 37, 39, 38, 36, 41, 43, 42, 45, 47, 46, 44, 40,
-        49, 51, 50, 53, 55, 54, 52, 57, 59, 58, 61, 63, 62, 60, 56, 48, 32,
+        1, 3, 2, 5, 7, 6, 4, 9, 11, 10, 13, 15, 14, 12, 8, 17, 19, 18, 21, 23, 22, 20, 25, 27, 26,
+        29, 31, 30, 28, 24, 16, 33, 35, 34, 37, 39, 38, 36, 41, 43, 42, 45, 47, 46, 44, 40, 49, 51,
+        50, 53, 55, 54, 52, 57, 59, 58, 61, 63, 62, 60, 56, 48, 32,
     ],
     nu0: 4.000,
     nu1: 6.200,
@@ -153,8 +153,8 @@ pub const FIG5H_PRE_ORDER: Fig5Entry = Fig5Entry {
     layout: Some(NamedLayout::PreOrder),
     post_order_listing: &[
         6, 7, 5, 9, 10, 8, 4, 13, 14, 12, 16, 17, 15, 11, 3, 21, 22, 20, 24, 25, 23, 19, 28, 29,
-        27, 31, 32, 30, 26, 18, 2, 37, 38, 36, 40, 41, 39, 35, 44, 45, 43, 47, 48, 46, 42, 34,
-        52, 53, 51, 55, 56, 54, 50, 59, 60, 58, 62, 63, 61, 57, 49, 33, 1,
+        27, 31, 32, 30, 26, 18, 2, 37, 38, 36, 40, 41, 39, 35, 44, 45, 43, 47, 48, 46, 42, 34, 52,
+        53, 51, 55, 56, 54, 50, 59, 60, 58, 62, 63, 61, 57, 49, 33, 1,
     ],
     nu0: 2.828,
     nu1: 6.700,
@@ -167,9 +167,9 @@ pub const FIG5I_IN_BREADTH: Fig5Entry = Fig5Entry {
     name: "IN-BREADTH",
     layout: Some(NamedLayout::InBreadth),
     post_order_listing: &[
-        1, 2, 17, 3, 4, 18, 25, 5, 6, 19, 7, 8, 20, 26, 29, 9, 10, 21, 11, 12, 22, 27, 13, 14,
-        23, 15, 16, 24, 28, 30, 31, 48, 49, 40, 50, 51, 41, 36, 52, 53, 42, 54, 55, 43, 37, 34,
-        56, 57, 44, 58, 59, 45, 38, 60, 61, 46, 62, 63, 47, 39, 35, 33, 32,
+        1, 2, 17, 3, 4, 18, 25, 5, 6, 19, 7, 8, 20, 26, 29, 9, 10, 21, 11, 12, 22, 27, 13, 14, 23,
+        15, 16, 24, 28, 30, 31, 48, 49, 40, 50, 51, 41, 36, 52, 53, 42, 54, 55, 43, 37, 34, 56, 57,
+        44, 58, 59, 45, 38, 60, 61, 46, 62, 63, 47, 39, 35, 33, 32,
     ],
     nu0: 3.096,
     nu1: 4.700,
@@ -197,9 +197,9 @@ pub const FIG5K_MINWLA: Fig5Entry = Fig5Entry {
     name: "MINWLA",
     layout: Some(NamedLayout::MinWla),
     post_order_listing: &[
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24,
-        25, 26, 27, 28, 29, 30, 31, 37, 38, 36, 40, 41, 39, 35, 44, 45, 43, 47, 48, 46, 42, 34,
-        52, 53, 51, 55, 56, 54, 50, 59, 60, 58, 62, 63, 61, 57, 49, 33, 32,
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        26, 27, 28, 29, 30, 31, 37, 38, 36, 40, 41, 39, 35, 44, 45, 43, 47, 48, 46, 42, 34, 52, 53,
+        51, 55, 56, 54, 50, 59, 60, 58, 62, 63, 61, 57, 49, 33, 32,
     ],
     nu0: 2.000,
     nu1: 3.600,
@@ -212,9 +212,9 @@ pub const FIG5L_BENDER: Fig5Entry = Fig5Entry {
     name: "BENDER",
     layout: Some(NamedLayout::Bender),
     post_order_listing: &[
-        8, 9, 7, 11, 12, 10, 5, 14, 15, 13, 17, 18, 16, 6, 4, 23, 24, 22, 26, 27, 25, 20, 29,
-        30, 28, 32, 33, 31, 21, 19, 2, 38, 39, 37, 41, 42, 40, 35, 44, 45, 43, 47, 48, 46, 36,
-        34, 53, 54, 52, 56, 57, 55, 50, 59, 60, 58, 62, 63, 61, 51, 49, 3, 1,
+        8, 9, 7, 11, 12, 10, 5, 14, 15, 13, 17, 18, 16, 6, 4, 23, 24, 22, 26, 27, 25, 20, 29, 30,
+        28, 32, 33, 31, 21, 19, 2, 38, 39, 37, 41, 42, 40, 35, 44, 45, 43, 47, 48, 46, 36, 34, 53,
+        54, 52, 56, 57, 55, 50, 59, 60, 58, 62, 63, 61, 51, 49, 3, 1,
     ],
     nu0: 2.930,
     nu1: 6.900,
@@ -227,9 +227,9 @@ pub const FIG5M_MINLA: Fig5Entry = Fig5Entry {
     name: "MINLA",
     layout: None,
     post_order_listing: &[
-        1, 2, 3, 4, 7, 5, 6, 8, 9, 10, 14, 15, 13, 11, 12, 16, 17, 18, 19, 22, 20, 21, 25, 28,
-        27, 30, 31, 29, 26, 23, 24, 33, 34, 35, 36, 39, 37, 38, 42, 45, 44, 47, 48, 46, 43, 41,
-        49, 50, 51, 55, 56, 54, 53, 57, 60, 59, 62, 63, 61, 58, 52, 40, 32,
+        1, 2, 3, 4, 7, 5, 6, 8, 9, 10, 14, 15, 13, 11, 12, 16, 17, 18, 19, 22, 20, 21, 25, 28, 27,
+        30, 31, 29, 26, 23, 24, 33, 34, 35, 36, 39, 37, 38, 42, 45, 44, 47, 48, 46, 43, 41, 49, 50,
+        51, 55, 56, 54, 53, 57, 60, 59, 62, 63, 61, 58, 52, 40, 32,
     ],
     nu0: 2.753,
     nu1: 4.175,
@@ -242,9 +242,9 @@ pub const FIG5N_MINBW: Fig5Entry = Fig5Entry {
     name: "MINBW",
     layout: None,
     post_order_listing: &[
-        1, 2, 8, 3, 4, 9, 15, 5, 6, 10, 7, 12, 11, 16, 22, 13, 14, 17, 18, 19, 24, 23, 20, 21,
-        25, 26, 27, 31, 30, 29, 28, 37, 38, 33, 43, 44, 39, 34, 45, 46, 40, 50, 51, 47, 41, 35,
-        52, 57, 53, 58, 59, 54, 48, 60, 61, 55, 62, 63, 56, 49, 42, 36, 32,
+        1, 2, 8, 3, 4, 9, 15, 5, 6, 10, 7, 12, 11, 16, 22, 13, 14, 17, 18, 19, 24, 23, 20, 21, 25,
+        26, 27, 31, 30, 29, 28, 37, 38, 33, 43, 44, 39, 34, 45, 46, 40, 50, 51, 47, 41, 35, 52, 57,
+        53, 58, 59, 54, 48, 60, 61, 55, 62, 63, 56, 49, 42, 36, 32,
     ],
     nu0: 3.629,
     nu1: 4.350,

@@ -19,8 +19,8 @@
 //! All indexers implement [`PositionIndex`]; positions are 0-based.
 
 pub mod generic;
-pub mod stepper;
 pub mod simple;
+pub mod stepper;
 pub mod veb;
 pub mod wep;
 
@@ -75,6 +75,18 @@ impl PositionIndex for MaterializedIndex {
 }
 
 impl NamedLayout {
+    /// Fallible variant of [`NamedLayout::indexer`].
+    ///
+    /// # Errors
+    /// [`crate::Error::HeightOutOfRange`] if `height` is `0` or exceeds
+    /// [`crate::tree::MAX_HEIGHT`].
+    pub fn try_indexer(&self, height: u32) -> crate::error::Result<Box<dyn PositionIndex>> {
+        // The indexers are pure arithmetic, so the only structural
+        // precondition is a representable tree.
+        crate::tree::Tree::try_new(height)?;
+        Ok(self.indexer(height))
+    }
+
     /// The fastest available arithmetic indexer for this layout.
     ///
     /// The alternating vEB variants and HALFWEP fall back to the generic

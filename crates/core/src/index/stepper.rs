@@ -247,7 +247,11 @@ mod tests {
 
     #[test]
     fn stepper_matches_engine_at_moderate_height() {
-        for layout in [NamedLayout::MinWep, NamedLayout::HalfWep, NamedLayout::InVebA] {
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::HalfWep,
+            NamedLayout::InVebA,
+        ] {
             check(layout, 12);
         }
     }

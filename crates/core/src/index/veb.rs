@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn bender_matches_engine() {
         for h in 1..=12 {
-            check(NamedLayout::Bender, &PreVebIndex::new(h, CutRule::Bender), h);
+            check(
+                NamedLayout::Bender,
+                &PreVebIndex::new(h, CutRule::Bender),
+                h,
+            );
         }
     }
 

@@ -161,8 +161,7 @@ mod tests {
     /// suite pins both against the paper's Figure 5a.
     fn check_canonical(layout: NamedLayout, idx: &dyn PositionIndex, h: u32) {
         let t = Tree::new(h);
-        let from_idx =
-            crate::layout::Layout::from_fn(h, |i| idx.position(i, t.depth(i)));
+        let from_idx = crate::layout::Layout::from_fn(h, |i| idx.position(i, t.depth(i)));
         let mat = layout.materialize(h);
         assert!(
             from_idx.equivalent_to(&mat),
@@ -175,11 +174,7 @@ mod tests {
     #[test]
     fn minwep_indexer_matches_engine_canonically() {
         for h in 1..=14 {
-            check_canonical(
-                NamedLayout::MinWep,
-                &WepIndex::new(h, partition_minwep),
-                h,
-            );
+            check_canonical(NamedLayout::MinWep, &WepIndex::new(h, partition_minwep), h);
         }
     }
 

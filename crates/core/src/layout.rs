@@ -17,9 +17,8 @@
 //! compared exactly modulo automorphism — this is how the engine output is
 //! checked against the paper's Figure 5 goldens.
 
+use crate::error::{Error, Result};
 use crate::tree::{NodeId, Tree};
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// A bijection from the nodes of a complete binary tree to positions
 /// `0..2^h − 1` of linear storage.
@@ -28,30 +27,6 @@ pub struct Layout {
     tree: Tree,
     /// `pos[i - 1]` is the 0-based position of BFS node `i`.
     pos: Vec<u32>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct LayoutRepr {
-    height: u32,
-    positions: Vec<u32>,
-}
-
-impl Serialize for Layout {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        LayoutRepr {
-            height: self.height(),
-            positions: self.pos.clone(),
-        }
-        .serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for Layout {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = LayoutRepr::deserialize(deserializer)?;
-        // Re-validate: serialized data may come from untrusted storage.
-        Layout::try_from_positions(repr.height, repr.positions).map_err(D::Error::custom)
-    }
 }
 
 impl std::fmt::Debug for Layout {
@@ -81,22 +56,24 @@ impl Layout {
     /// untrusted storage.
     ///
     /// # Errors
-    /// Returns a description of the defect if `pos` has the wrong length
-    /// or is not a permutation of `0..2^h − 1`.
-    pub fn try_from_positions(height: u32, pos: Vec<u32>) -> Result<Self, String> {
-        let tree = Tree::new(height);
+    /// [`Error::NotAPermutation`] if `pos` has the wrong length or is not
+    /// a permutation of `0..2^h − 1`.
+    pub fn try_from_positions(height: u32, pos: Vec<u32>) -> Result<Self> {
+        let tree = Tree::try_new(height)?;
         if pos.len() as u64 != tree.len() {
-            return Err(format!(
-                "position vector length {} must be 2^{height} - 1 (positions must form a permutation)",
-                pos.len()
-            ));
+            return Err(Error::NotAPermutation {
+                detail: format!(
+                    "position vector length {} must be 2^{height} - 1",
+                    pos.len()
+                ),
+            });
         }
         let mut seen = vec![false; pos.len()];
         for &p in &pos {
             if (p as usize) >= pos.len() || seen[p as usize] {
-                return Err(format!(
-                    "positions must form a permutation (position {p} out of range or repeated)"
-                ));
+                return Err(Error::NotAPermutation {
+                    detail: format!("position {p} out of range or repeated"),
+                });
             }
             seen[p as usize] = true;
         }
@@ -283,6 +260,162 @@ impl Layout {
         }
         s
     }
+
+    /// Serializes the layout as compact JSON,
+    /// `{"height":H,"positions":[..]}` — the stable on-disk format for
+    /// layout artifacts. Hand-rolled so the workspace carries no serde
+    /// dependency (see `shims/README.md`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.pos.len() * 4);
+        out.push_str("{\"height\":");
+        out.push_str(&self.height().to_string());
+        out.push_str(",\"positions\":[");
+        for (idx, &p) in self.pos.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses the [`Layout::to_json`] format, re-validating the
+    /// permutation (the data may come from untrusted storage). Accepts
+    /// arbitrary whitespace between tokens and either key order.
+    ///
+    /// # Errors
+    /// [`Error::Malformed`] on syntax errors, [`Error::NotAPermutation`]
+    /// / [`Error::HeightOutOfRange`] on structurally invalid data.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let mut parser = JsonLayoutParser::new(json);
+        let (height, positions) = parser.parse()?;
+        Self::try_from_positions(height, positions)
+    }
+}
+
+/// Minimal recursive-descent parser for the layout JSON object.
+struct JsonLayoutParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonLayoutParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn error(&self, detail: &str) -> Error {
+        Error::Malformed {
+            detail: format!("{detail} (at byte {})", self.at),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.at).is_some_and(u8::is_ascii_whitespace) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, token: u8) -> Result<()> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&token) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", char::from(token))))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn number(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(self.error("expected a non-negative integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.error("integer out of range"))
+    }
+
+    fn key(&mut self) -> Result<&'a str> {
+        self.expect(b'"')?;
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(|&b| b != b'"') {
+            self.at += 1;
+        }
+        let key = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.error("non-UTF-8 key"))?;
+        self.expect(b'"')?;
+        Ok(key)
+    }
+
+    fn parse(&mut self) -> Result<(u32, Vec<u32>)> {
+        self.expect(b'{')?;
+        let mut height: Option<u32> = None;
+        let mut positions: Option<Vec<u32>> = None;
+        loop {
+            let key = self.key()?;
+            self.expect(b':')?;
+            match key {
+                "height" => {
+                    if height.is_some() {
+                        return Err(self.error("duplicate key 'height'"));
+                    }
+                    let h = self.number()?;
+                    height = Some(u32::try_from(h).map_err(|_| self.error("height too large"))?);
+                }
+                "positions" => {
+                    if positions.is_some() {
+                        return Err(self.error("duplicate key 'positions'"));
+                    }
+                    self.expect(b'[')?;
+                    let mut out = Vec::new();
+                    if self.peek() != Some(b']') {
+                        loop {
+                            let p = self.number()?;
+                            out.push(
+                                u32::try_from(p).map_err(|_| self.error("position too large"))?,
+                            );
+                            match self.peek() {
+                                Some(b',') => self.at += 1,
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(b']')?;
+                    positions = Some(out);
+                }
+                other => return Err(self.error(&format!("unknown key '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                _ => break,
+            }
+        }
+        self.expect(b'}')?;
+        self.skip_ws();
+        if self.at != self.bytes.len() {
+            return Err(self.error("trailing data"));
+        }
+        match (height, positions) {
+            (Some(h), Some(p)) => Ok((h, p)),
+            _ => Err(self.error("missing 'height' or 'positions'")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -369,26 +502,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod serde_tests {
+mod json_tests {
     use super::*;
     use crate::named::NamedLayout;
 
     #[test]
     fn json_round_trip() {
         let l = NamedLayout::MinWep.materialize(6);
-        let json = serde_json::to_string(&l).unwrap();
-        let back: Layout = serde_json::from_str(&json).unwrap();
+        let json = l.to_json();
+        let back = Layout::from_json(&json).unwrap();
         assert_eq!(l.positions(), back.positions());
         assert_eq!(l.height(), back.height());
     }
 
     #[test]
+    fn whitespace_and_key_order_tolerated() {
+        let l = Layout::from_json(" { \"positions\" : [ 0 , 1 , 2 ] , \"height\" : 2 } ").unwrap();
+        assert_eq!(l.positions(), &[0, 1, 2]);
+    }
+
+    #[test]
     fn corrupt_data_is_rejected() {
         // Duplicate position.
-        let bad = r#"{"height":2,"positions":[0,0,2]}"#;
-        assert!(serde_json::from_str::<Layout>(bad).is_err());
+        assert!(Layout::from_json(r#"{"height":2,"positions":[0,0,2]}"#).is_err());
         // Wrong length.
-        let bad = r#"{"height":3,"positions":[0,1,2]}"#;
-        assert!(serde_json::from_str::<Layout>(bad).is_err());
+        assert!(Layout::from_json(r#"{"height":3,"positions":[0,1,2]}"#).is_err());
+        // Invalid height.
+        assert!(Layout::from_json(r#"{"height":0,"positions":[]}"#).is_err());
+        // Syntax errors.
+        assert!(Layout::from_json(r#"{"height":2,"positions":[0,1,2]"#).is_err());
+        assert!(Layout::from_json(r#"{"height":2}"#).is_err());
+        assert!(Layout::from_json(r#"{"height":2,"positions":[0,1,2]} extra"#).is_err());
+        assert!(Layout::from_json(r#"{"other":1}"#).is_err());
+        // Duplicate keys must be rejected, not last-one-wins.
+        assert!(
+            Layout::from_json(r#"{"height":2,"positions":[0,1,2],"positions":[2,1,0]}"#).is_err()
+        );
+        assert!(Layout::from_json(r#"{"height":3,"height":2,"positions":[0,1,2]}"#).is_err());
     }
 }

@@ -25,6 +25,7 @@
 
 pub(crate) mod branch;
 pub mod engine;
+pub mod error;
 pub mod golden;
 pub mod index;
 pub mod layout;
@@ -33,6 +34,7 @@ pub mod spec;
 pub mod tree;
 pub mod weights;
 
+pub use error::{Error, Result};
 pub use layout::Layout;
 pub use named::NamedLayout;
 pub use spec::{CutRule, RecursiveSpec, RootOrder, Subscript};

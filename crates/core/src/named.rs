@@ -4,14 +4,13 @@
 //! MINLA and MINBW live in the `cobtree-optimizer` crate because they are
 //! constructions, not members of the Recursive Layout family.
 
-use serde::{Deserialize, Serialize};
-
-use crate::engine::materialize;
+use crate::engine::{materialize, try_materialize};
+use crate::error::{Error, Result};
 use crate::layout::Layout;
 use crate::spec::{CutRule, RecursiveSpec, RootOrder, Subscript};
 
 /// The Recursive Layouts named in the paper (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NamedLayout {
     /// `P^1_∞` — classic depth-first pre-order.
     PreOrder,
@@ -112,10 +111,7 @@ impl NamedLayout {
     #[must_use]
     pub fn from_label(label: &str) -> Option<Self> {
         let needle = label.to_ascii_uppercase();
-        Self::ALL
-            .iter()
-            .copied()
-            .find(|l| l.label() == needle)
+        Self::ALL.iter().copied().find(|l| l.label() == needle)
     }
 
     /// The [`RecursiveSpec`] describing this layout.
@@ -150,15 +146,39 @@ impl NamedLayout {
     }
 
     /// Materializes the layout for a tree of `height` levels.
+    ///
+    /// # Panics
+    /// Panics where [`NamedLayout::try_materialize`] errors.
     #[must_use]
     pub fn materialize(&self, height: u32) -> Layout {
         materialize(&self.spec(), height)
+    }
+
+    /// Fallible variant of [`NamedLayout::materialize`].
+    ///
+    /// # Errors
+    /// [`Error::HeightOutOfRange`] if the permutation cannot be
+    /// materialized in memory (`height` not in `1..=31`).
+    pub fn try_materialize(&self, height: u32) -> Result<Layout> {
+        try_materialize(&self.spec(), height)
     }
 }
 
 impl std::fmt::Display for NamedLayout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for NamedLayout {
+    type Err = Error;
+
+    /// Parses the paper's display names case-insensitively (`"MINWEP"`,
+    /// `"pre-veb"`, …), the inverse of [`std::fmt::Display`].
+    fn from_str(s: &str) -> Result<Self> {
+        Self::from_label(s).ok_or_else(|| Error::UnknownLayout {
+            name: s.to_string(),
+        })
     }
 }
 
@@ -173,6 +193,34 @@ mod tests {
             assert_eq!(NamedLayout::from_label(&l.label().to_lowercase()), Some(l));
         }
         assert_eq!(NamedLayout::from_label("nope"), None);
+    }
+
+    #[test]
+    fn from_str_parses_display_output() {
+        for l in NamedLayout::ALL {
+            assert_eq!(l.to_string().parse::<NamedLayout>().unwrap(), l);
+            assert_eq!(l.label().to_lowercase().parse::<NamedLayout>().unwrap(), l);
+        }
+        let err = "NOT-A-LAYOUT".parse::<NamedLayout>().unwrap_err();
+        assert_eq!(
+            err,
+            crate::Error::UnknownLayout {
+                name: "NOT-A-LAYOUT".into()
+            }
+        );
+    }
+
+    #[test]
+    fn try_materialize_bounds() {
+        assert!(NamedLayout::MinWep.try_materialize(6).is_ok());
+        assert!(matches!(
+            NamedLayout::MinWep.try_materialize(0),
+            Err(crate::Error::HeightOutOfRange { .. })
+        ));
+        assert!(matches!(
+            NamedLayout::MinWep.try_materialize(32),
+            Err(crate::Error::HeightOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -16,10 +16,8 @@
 //! both the materializing engine ([`crate::engine`]) and the generic
 //! pointer-less indexer.
 
-use serde::{Deserialize, Serialize};
-
 /// Arrangement of a subtree's top block relative to its bottom subtrees.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RootOrder {
     /// `I`: the top subtree sits in the middle of the bottom subtrees.
     InOrder,
@@ -31,7 +29,7 @@ pub enum RootOrder {
 /// Cut-height rule `g(h)` (the nomenclature superscript).
 ///
 /// All rules are clamped to the valid range `1..=h−1` on evaluation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CutRule {
     /// `g = 1`: depth-first family (IN-ORDER, PRE-ORDER, MINEP, MINWLA).
     One,
@@ -67,7 +65,11 @@ impl CutRule {
             CutRule::Bender => {
                 // The bottom-subtree height 2^⌈log2(h/2)⌉ is the largest
                 // power of two strictly smaller than h.
-                let bottom = if h <= 2 { 1 } else { 1 << (31 - (h - 1).leading_zeros()) };
+                let bottom = if h <= 2 {
+                    1
+                } else {
+                    1 << (31 - (h - 1).leading_zeros())
+                };
                 h - bottom
             }
             CutRule::BreadthFirst => h - 1,
@@ -86,7 +88,7 @@ impl CutRule {
 
 /// The nomenclature subscript: outward rank of the first in-order bottom
 /// subtree. Bottom subtrees with outward rank `< k` are pre-order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Subscript {
     /// First in-order bottom subtree at outward position `k ≥ 1`
     /// (so `K(1)` = all bottom subtrees in-order).
@@ -108,7 +110,7 @@ impl Subscript {
 }
 
 /// A complete description of a Recursive Layout (§I-B, Table I).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RecursiveSpec {
     /// Arrangement of the outermost branch of the recursion.
     pub root_order: RootOrder,

@@ -50,6 +50,22 @@ impl Tree {
         Self { height }
     }
 
+    /// Fallible variant of [`Tree::new`].
+    ///
+    /// # Errors
+    /// [`crate::Error::HeightOutOfRange`] if `height` is `0` or exceeds
+    /// [`MAX_HEIGHT`].
+    pub fn try_new(height: u32) -> crate::error::Result<Self> {
+        if !(1..=MAX_HEIGHT).contains(&height) {
+            return Err(crate::error::Error::HeightOutOfRange {
+                height,
+                min: 1,
+                max: MAX_HEIGHT,
+            });
+        }
+        Ok(Self { height })
+    }
+
     /// Number of levels `h` (the paper's *height*). The root is on level 0
     /// and the leaves on level `h − 1`.
     #[inline]
@@ -179,7 +195,10 @@ impl Tree {
     #[inline]
     #[must_use]
     pub fn node_at_in_order(&self, rank: u64) -> NodeId {
-        assert!(rank >= 1 && rank <= self.len(), "in-order rank out of range");
+        assert!(
+            rank >= 1 && rank <= self.len(),
+            "in-order rank out of range"
+        );
         let t = rank.trailing_zeros(); // rank = odd · 2^t ⇒ depth = h − 1 − t
         let d = self.height - 1 - t;
         (1u64 << d) + (rank >> (t + 1))

@@ -12,10 +12,8 @@
 //! experiments; both models are provided so the difference can be
 //! quantified.
 
-use serde::{Deserialize, Serialize};
-
 /// Which edge-weight model to use when evaluating weighted measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EdgeWeights {
     /// `w_d = 2^{−d}` — the paper's default (used for every figure).
     #[default]
@@ -92,7 +90,10 @@ mod tests {
         // (Σ_i depth(node_i)) / n.
         let h = 8;
         let n = (1u64 << h) - 1;
-        let expected: f64 = (1..=n).map(|i| (63 - i.leading_zeros()) as f64).sum::<f64>() / n as f64;
+        let expected: f64 = (1..=n)
+            .map(|i| (63 - i.leading_zeros()) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((EdgeWeights::Exact.total(h) - expected).abs() < 1e-9);
     }
 

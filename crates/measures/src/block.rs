@@ -42,7 +42,10 @@ pub fn multilevel_misses(base: u32, len: u64) -> f64 {
     let k = (len as f64).log(b).floor();
     // Guard against floating log at exact powers: recompute via integers.
     let mut k = k as i32;
-    while base.checked_pow((k + 1) as u32).is_some_and(|p| u64::from(p) <= len) {
+    while base
+        .checked_pow((k + 1) as u32)
+        .is_some_and(|p| u64::from(p) <= len)
+    {
         k += 1;
     }
     while k > 0 && u64::from(base.pow(k as u32)) > len {

@@ -16,10 +16,9 @@
 //! index arithmetic.
 
 use cobtree_core::weights::EdgeWeights;
-use serde::{Deserialize, Serialize};
 
 /// The five locality functionals of §III for one layout.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Functionals {
     /// Weighted edge product `ν0` (Eq. 7) — MINWEP's objective.
     pub nu0: f64,

@@ -12,7 +12,10 @@
 //!   every measure and curve (β over all block sizes, weighted edge-length
 //!   CDF) is derived;
 //! * [`stream`] — edge-length streaming from arithmetic indexers, for
-//!   trees too large to materialize.
+//!   trees too large to materialize;
+//! * [`observed`] — the same measures estimated empirically from live
+//!   [`cobtree_search::SearchBackend`] traces, for backend-vs-analysis
+//!   validation.
 //!
 //! ```
 //! use cobtree_core::{EdgeWeights, NamedLayout};
@@ -25,9 +28,11 @@
 
 pub mod block;
 pub mod functionals;
+pub mod observed;
 pub mod profile;
 pub mod stream;
 
 pub use block::{average_multilevel_misses, block_transitions, multilevel_misses};
 pub use functionals::{functionals, Functionals};
+pub use observed::observed_block_transitions;
 pub use profile::EdgeProfile;

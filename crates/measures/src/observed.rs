@@ -1,0 +1,112 @@
+//! Empirical locality measurement from live search backends.
+//!
+//! The analytic `β(N)` (Eq. 3) averages the single-block miss
+//! probability over the *affinity* edge distribution. These helpers
+//! derive the same quantity from what a storage backend actually does:
+//! replay a workload through [`SearchBackend::search_traced`] and apply
+//! Eq. 1 to every observed position transition. Under the uniform
+//! workload the estimate converges to the analytic curve, which is
+//! exactly the §II-A validation experiment — now runnable against *any*
+//! backend (explicit, implicit, index-only, or the whole facade).
+
+use cobtree_search::SearchBackend;
+
+/// Observed block-transition fraction for each block size: the mean of
+/// `M_N(ℓ) = min(ℓ/N, 1)` (Eq. 1) over every position transition the
+/// backend performs while searching `keys`.
+///
+/// Returns one value per entry of `block_sizes` (all 0 if the workload
+/// produces no transitions, e.g. a height-1 tree).
+#[must_use]
+pub fn observed_block_transitions<K: Copy>(
+    backend: &dyn SearchBackend<K>,
+    keys: &[K],
+    block_sizes: &[u64],
+) -> Vec<f64> {
+    let mut sums = vec![0.0f64; block_sizes.len()];
+    let mut transitions = 0u64;
+    let mut visited = Vec::with_capacity(backend.height() as usize);
+    for &key in keys {
+        visited.clear();
+        backend.search_traced(key, &mut visited);
+        for pair in visited.windows(2) {
+            let len = pair[0].abs_diff(pair[1]);
+            transitions += 1;
+            for (sum, &n) in sums.iter_mut().zip(block_sizes) {
+                debug_assert!(n >= 1);
+                *sum += if len >= n { 1.0 } else { len as f64 / n as f64 };
+            }
+        }
+    }
+    if transitions > 0 {
+        for sum in &mut sums {
+            *sum /= transitions as f64;
+        }
+    }
+    sums
+}
+
+/// Mean observed search-path edge length — the workload-weighted
+/// counterpart of `ν1` computed from a live backend.
+#[must_use]
+pub fn observed_mean_transition_length<K: Copy>(backend: &dyn SearchBackend<K>, keys: &[K]) -> f64 {
+    let mut total = 0u128;
+    let mut transitions = 0u64;
+    let mut visited = Vec::with_capacity(backend.height() as usize);
+    for &key in keys {
+        visited.clear();
+        backend.search_traced(key, &mut visited);
+        for pair in visited.windows(2) {
+            total += u128::from(pair[0].abs_diff(pair[1]));
+            transitions += 1;
+        }
+    }
+    if transitions == 0 {
+        0.0
+    } else {
+        total as f64 / transitions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_transitions;
+    use cobtree_core::{EdgeWeights, NamedLayout};
+    use cobtree_search::workload::UniformKeys;
+    use cobtree_search::ImplicitTree;
+
+    #[test]
+    fn observed_beta_tracks_analytic_beta() {
+        // Uniform random searches on a full rank-keyed tree realize the
+        // affinity edge probabilities (Eq. 2), so the observed fraction
+        // must approach the analytic curve.
+        let h = 10;
+        let layout = NamedLayout::MinWep;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let tree = ImplicitTree::build(layout.indexer(h), &keys);
+        let workload = UniformKeys::for_height(h, 42).take_vec(60_000);
+        let sizes = [1u64, 2, 16, 64];
+        let observed = observed_block_transitions(&tree, &workload, &sizes);
+        let mat = layout.materialize(h);
+        let analytic = block_transitions(h, mat.edge_lengths(), EdgeWeights::Exact, &sizes);
+        for ((o, a), n) in observed.iter().zip(&analytic).zip(sizes) {
+            assert!((o - a).abs() < 0.02, "N={n}: observed {o} vs analytic {a}");
+        }
+        // N = 1: every transition crosses a block boundary.
+        assert!((observed[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_length_positive_and_backend_independent() {
+        let h = 8;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let workload = UniformKeys::for_height(h, 3).take_vec(5_000);
+        let a = ImplicitTree::build(NamedLayout::PreVeb.indexer(h), &keys);
+        let b = ImplicitTree::build(NamedLayout::PreVeb.indexer(h), &keys);
+        let la = observed_mean_transition_length(&a, &workload);
+        let lb = observed_mean_transition_length(&b, &workload);
+        assert!(la > 0.0);
+        assert_eq!(la, lb);
+    }
+}

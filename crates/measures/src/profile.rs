@@ -114,7 +114,8 @@ impl EdgeProfile {
         let mut out = Vec::with_capacity(max_k as usize + 1);
         let w_total: f64 = (1..self.height)
             .map(|d| {
-                weights.weight(d, self.height) * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
+                weights.weight(d, self.height)
+                    * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
             })
             .sum();
         for k in 0..=max_k {
@@ -144,7 +145,8 @@ impl EdgeProfile {
     pub fn weighted_length_cdf(&self, weights: EdgeWeights, max_k: u32) -> Vec<(u64, f64)> {
         let w_total: f64 = (1..self.height)
             .map(|d| {
-                weights.weight(d, self.height) * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
+                weights.weight(d, self.height)
+                    * self.count[(d - 1) as usize].iter().sum::<u64>() as f64
             })
             .sum();
         let mut out = Vec::with_capacity(max_k as usize + 1);
@@ -172,7 +174,11 @@ mod tests {
 
     #[test]
     fn profile_functionals_match_direct_computation() {
-        for layout in [NamedLayout::MinWep, NamedLayout::PreVeb, NamedLayout::InOrder] {
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::PreVeb,
+            NamedLayout::InOrder,
+        ] {
             let l = layout.materialize(10);
             let direct = functionals(10, l.edge_lengths(), EdgeWeights::Approximate);
             let prof = EdgeProfile::build(10, l.edge_lengths());

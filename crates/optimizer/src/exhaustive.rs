@@ -99,9 +99,7 @@ pub fn improve_layout(start: &Layout, objective: Objective) -> (f64, Layout) {
                 let layout = Layout::from_positions(start.height(), pos.clone());
                 let v = objective.eval(&layout);
                 pos.swap(i, j);
-                if v < current - 1e-12
-                    && best_move.is_none_or(|(b, _, _)| v < b)
-                {
+                if v < current - 1e-12 && best_move.is_none_or(|(b, _, _)| v < b) {
                     best_move = Some((v, i, j));
                 }
             }

@@ -11,10 +11,8 @@
 //! * `f(ℓ) = ℓ` gives `ν1` — Theorem 1 says MINWLA (`I^1_∞`) wins;
 //! * `f(ℓ) = ln ℓ` gives `ν0` — Theorem 3 says MINEP (`I^1_2`) wins.
 
-use serde::{Deserialize, Serialize};
-
 /// Subtree arrangement at a `g = 1` branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arr {
     /// Root mid-block.
     InOrder,
@@ -24,7 +22,7 @@ pub enum Arr {
 
 /// Result of the `g = 1` DP for one height: optimal normalized cost and
 /// the decisions taken.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct G1Optimum {
     /// Optimal cost with the top subtree arranged in-order, normalized so
     /// the subtree root sits at depth 0 (divide by `W = h − 1` for `ν`).
@@ -68,10 +66,7 @@ pub fn optimize_g1(max_h: u32, f: impl Fn(u64) -> f64) -> Vec<G1Optimum> {
         for m1 in [Arr::InOrder, Arr::PreOrder] {
             for m2 in [Arr::InOrder, Arr::PreOrder] {
                 let c_in = 0.5
-                    * (sub(m1)
-                        + sub(m2)
-                        + f(1 + near_offset(m1, bh))
-                        + f(1 + near_offset(m2, bh)));
+                    * (sub(m1) + sub(m2) + f(1 + near_offset(m1, bh)) + f(1 + near_offset(m2, bh)));
                 if c_in < best_in.0 {
                     best_in = (c_in, (m1, m2));
                 }
@@ -101,14 +96,23 @@ pub fn optimize_g1(max_h: u32, f: impl Fn(u64) -> f64) -> Vec<G1Optimum> {
 #[must_use]
 pub fn optimal_g1_nu1(h: u32) -> f64 {
     let dp = optimize_g1(h, |len| len as f64);
-    dp.last().expect("h >= 2").cost_in.min(dp.last().unwrap().cost_pre) / f64::from(h - 1)
+    dp.last()
+        .expect("h >= 2")
+        .cost_in
+        .min(dp.last().unwrap().cost_pre)
+        / f64::from(h - 1)
 }
 
 /// Optimal `ν0` over `g = 1` Recursive Layouts for a tree of height `h`.
 #[must_use]
 pub fn optimal_g1_nu0(h: u32) -> f64 {
     let dp = optimize_g1(h, |len| (len as f64).ln());
-    (dp.last().expect("h >= 2").cost_in.min(dp.last().unwrap().cost_pre) / f64::from(h - 1)).exp()
+    (dp.last()
+        .expect("h >= 2")
+        .cost_in
+        .min(dp.last().unwrap().cost_pre)
+        / f64::from(h - 1))
+    .exp()
 }
 
 #[cfg(test)]

@@ -127,7 +127,13 @@ impl MinlaSolver {
                 let base = ea.cost + eb.cost;
                 let (da, db) = (ea.d, eb.d);
                 let (ai, bi) = (ai as u32, bi as u32);
-                qn.push(Entry { cost: base + da + db + 2, d: s, pat: Pat::QMid, a: ai, b: bi });
+                qn.push(Entry {
+                    cost: base + da + db + 2,
+                    d: s,
+                    pat: Pat::QMid,
+                    a: ai,
+                    b: bi,
+                });
                 qn.push(Entry {
                     cost: base + (da + s + 1) + (db + 1),
                     d: 0,
@@ -440,7 +446,11 @@ mod tests {
     fn reproduces_fig5m_mu1() {
         // Figure 5(m): µ1 = 2.323 = 144/62.
         let solver = MinlaSolver::new(6);
-        assert_eq!(solver.optimal_cost(6), 144, "grammar must reach the paper's optimum");
+        assert_eq!(
+            solver.optimal_cost(6),
+            144,
+            "grammar must reach the paper's optimum"
+        );
         let l = solver.layout(6);
         let f = functionals(6, l.edge_lengths(), EdgeWeights::Approximate);
         assert!((f.mu1 - 2.323).abs() < 5.1e-4, "mu1 = {}", f.mu1);
@@ -475,7 +485,11 @@ mod tests {
         // ~6.9 versus in-order's 9.5 — a documented upper bound on the
         // true optimum (which the grammar matches exactly at h = 6).
         let in_order_mu1 = 19.0 * (1u64 << 19) as f64 / ((1u64 << 20) - 2) as f64;
-        assert!(f.mu1 < in_order_mu1, "mu1 = {} vs in-order {in_order_mu1}", f.mu1);
+        assert!(
+            f.mu1 < in_order_mu1,
+            "mu1 = {} vs in-order {in_order_mu1}",
+            f.mu1
+        );
         assert!(f.mu1 < 7.5, "mu1 = {}", f.mu1);
     }
 }

@@ -13,10 +13,9 @@
 use cobtree_core::engine::materialize;
 use cobtree_core::{CutRule, EdgeWeights, RecursiveSpec, RootOrder, Subscript};
 use cobtree_measures::functionals;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of optimizing the cut tables for one `(k, alternating)` cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StudyCell {
     /// Subscript studied.
     pub k: Subscript,
@@ -66,12 +65,7 @@ pub fn optimize_cut_tables(height: u32, k: Subscript, alternating: bool) -> Stud
         .expect("non-empty init set")
 }
 
-fn descend_from(
-    height: u32,
-    k: Subscript,
-    alternating: bool,
-    init: &fn(u32) -> u32,
-) -> StudyCell {
+fn descend_from(height: u32, k: Subscript, alternating: bool, init: &fn(u32) -> u32) -> StudyCell {
     let mut cell = StudyCell {
         k,
         alternating,
@@ -161,7 +155,11 @@ mod tests {
         // The optimized tables must do at least as well as MINWEP and not
         // land meaningfully away from it.
         assert!(cell.nu0 <= reference + 1e-9, "{} > {reference}", cell.nu0);
-        assert!((cell.nu0 - reference).abs() < 5e-3, "{} vs {reference}", cell.nu0);
+        assert!(
+            (cell.nu0 - reference).abs() < 5e-3,
+            "{} vs {reference}",
+            cell.nu0
+        );
     }
 
     #[test]

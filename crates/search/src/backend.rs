@@ -1,0 +1,46 @@
+//! The [`SearchBackend`] trait: one search interface over every storage
+//! discipline.
+//!
+//! The paper's point is that the search *algorithm* is identical across
+//! layouts and storage kinds — only the position computation changes.
+//! This trait makes that literal: pointer-based ([`crate::ExplicitTree`]),
+//! pointer-less ([`crate::ImplicitTree`]), index-only
+//! ([`crate::IndexOnlyTree`]), stepper-driven ([`crate::SteppingTree`])
+//! trees and the [`crate::SearchTree`] facade all expose the same
+//! `search` / `search_traced` / `search_batch_checksum` surface, so
+//! benches, the cache simulator and the analysis harness iterate
+//! backends generically through `&dyn SearchBackend<K>`.
+//!
+//! Positions are 0-based offsets into the backend's layout array,
+//! reported as `u64` regardless of the backend's internal width.
+
+/// Object-safe search interface shared by all storage backends.
+pub trait SearchBackend<K: Copy> {
+    /// Height `h` of the underlying complete tree.
+    fn height(&self) -> u32;
+
+    /// Number of key slots (`2^h − 1`, including any padding).
+    fn key_count(&self) -> u64;
+
+    /// Searches for `key`; returns the 0-based layout position of the
+    /// node holding it, if present.
+    fn search(&self, key: K) -> Option<u64>;
+
+    /// Like [`SearchBackend::search`], recording the layout position of
+    /// every visited node (for cache-simulation traces).
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64>;
+
+    /// Sums the positions of all successful lookups — the benchmark
+    /// kernel whose result must be consumed to defeat dead-code
+    /// elimination. Backends built from the same position index return
+    /// identical checksums for identical keys.
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        let mut acc = 0u64;
+        for &k in keys {
+            if let Some(p) = self.search(k) {
+                acc = acc.wrapping_add(p);
+            }
+        }
+        acc
+    }
+}

@@ -5,6 +5,8 @@
 //! child 'pointers' with each node." (§II-B). Nodes live in layout order;
 //! child pointers are 32-bit positions (`u32::MAX` = missing child).
 
+use crate::backend::SearchBackend;
+use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::Layout;
 
 /// One stored node: key plus two child positions.
@@ -34,17 +36,22 @@ impl<K: Ord + Copy> ExplicitTree<K> {
     /// Missing-child sentinel.
     pub const NIL: u32 = u32::MAX;
 
-    /// Builds the tree from `keys` (must be sorted ascending; its length
-    /// must be `2^h − 1` for the layout's height `h`). Key `keys[r-1]`
-    /// goes to the node with in-order rank `r`.
+    /// Builds the tree from `keys` (must be strictly sorted ascending;
+    /// its length must be `2^h − 1` for the layout's height `h`). Key
+    /// `keys[r-1]` goes to the node with in-order rank `r`.
     ///
-    /// # Panics
-    /// Panics if `keys.len() != layout.len()` or keys are not sorted.
-    #[must_use]
-    pub fn build(layout: &Layout, keys: &[K]) -> Self {
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::KeyCountMismatch`].
+    pub fn try_build(layout: &Layout, keys: &[K]) -> Result<Self> {
         let tree = layout.tree();
-        assert_eq!(keys.len() as u64, tree.len(), "key count mismatch");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+        check_sorted_keys(keys)?;
+        if keys.len() as u64 != tree.len() {
+            return Err(Error::KeyCountMismatch {
+                expected: tree.len(),
+                got: keys.len() as u64,
+            });
+        }
         let mut nodes = vec![
             Node {
                 key: keys[0],
@@ -65,20 +72,24 @@ impl<K: Ord + Copy> ExplicitTree<K> {
                     .map_or(Self::NIL, |c| layout.position(c) as u32),
             };
         }
-        Self {
+        Ok(Self {
             height: tree.height(),
             root_pos: layout.position(1) as u32,
             nodes,
-        }
+        })
     }
 
-    /// Builds with keys equal to in-order ranks `1..=n` (the paper's
-    /// setup).
+    /// Builds the tree, panicking where [`ExplicitTree::try_build`]
+    /// errors — convenience for tests and examples.
+    ///
+    /// # Panics
+    /// See [`ExplicitTree::try_build`].
     #[must_use]
-    pub fn with_rank_keys(layout: &Layout) -> ExplicitTree<u64> {
-        let n = layout.len();
-        let keys: Vec<u64> = (1..=n).collect();
-        ExplicitTree::build(layout, &keys)
+    pub fn build(layout: &Layout, keys: &[K]) -> Self {
+        match Self::try_build(layout, keys) {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Tree height.
@@ -101,8 +112,8 @@ impl<K: Ord + Copy> ExplicitTree<K> {
 
     /// Position of the root node in the array.
     #[must_use]
-    pub fn root_position(&self) -> u32 {
-        self.root_pos
+    pub fn root_position(&self) -> u64 {
+        u64::from(self.root_pos)
     }
 
     /// Raw node array (layout order) — used to derive address traces.
@@ -116,13 +127,13 @@ impl<K: Ord + Copy> ExplicitTree<K> {
     /// This is the hot loop the paper times: follow child positions,
     /// compare keys, no arithmetic.
     #[inline]
-    pub fn search(&self, key: K) -> Option<u32> {
+    pub fn search(&self, key: K) -> Option<u64> {
         let mut pos = self.root_pos;
         while pos != Self::NIL {
             // Safety bounds: positions come from the validated layout.
             let node = &self.nodes[pos as usize];
             pos = match key.cmp(&node.key) {
-                std::cmp::Ordering::Equal => return Some(pos),
+                std::cmp::Ordering::Equal => return Some(u64::from(pos)),
                 std::cmp::Ordering::Less => node.left,
                 std::cmp::Ordering::Greater => node.right,
             };
@@ -132,13 +143,13 @@ impl<K: Ord + Copy> ExplicitTree<K> {
 
     /// Like [`ExplicitTree::search`] but records every visited position
     /// (for cache-simulation traces).
-    pub fn search_traced(&self, key: K, visited: &mut Vec<u32>) -> Option<u32> {
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         let mut pos = self.root_pos;
         while pos != Self::NIL {
-            visited.push(pos);
+            visited.push(u64::from(pos));
             let node = &self.nodes[pos as usize];
             pos = match key.cmp(&node.key) {
-                std::cmp::Ordering::Equal => return Some(pos),
+                std::cmp::Ordering::Equal => return Some(u64::from(pos)),
                 std::cmp::Ordering::Less => node.left,
                 std::cmp::Ordering::Greater => node.right,
             };
@@ -149,14 +160,47 @@ impl<K: Ord + Copy> ExplicitTree<K> {
     /// Sums the positions of many lookups — a benchmark kernel whose
     /// result must be consumed to defeat dead-code elimination.
     #[must_use]
-    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = K>) -> u64 {
+    pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
         let mut acc = 0u64;
-        for k in keys {
+        for &k in keys {
             if let Some(p) = self.search(k) {
-                acc = acc.wrapping_add(u64::from(p));
+                acc = acc.wrapping_add(p);
             }
         }
         acc
+    }
+}
+
+impl ExplicitTree<u64> {
+    /// Builds with keys equal to in-order ranks `1..=n` (the paper's
+    /// setup).
+    #[must_use]
+    pub fn with_rank_keys(layout: &Layout) -> ExplicitTree<u64> {
+        let n = layout.len();
+        let keys: Vec<u64> = (1..=n).collect();
+        ExplicitTree::build(layout, &keys)
+    }
+}
+
+impl<K: Ord + Copy> SearchBackend<K> for ExplicitTree<K> {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn key_count(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn search(&self, key: K) -> Option<u64> {
+        ExplicitTree::search(self, key)
+    }
+
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        ExplicitTree::search_traced(self, key, visited)
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        ExplicitTree::search_batch_checksum(self, keys)
     }
 }
 
@@ -169,11 +213,14 @@ mod tests {
     fn finds_every_key_in_every_layout() {
         for layout in NamedLayout::ALL {
             let l = layout.materialize(8);
-            let t = ExplicitTree::<u64>::with_rank_keys(&l);
+            let t = ExplicitTree::with_rank_keys(&l);
             for k in 1..=l.len() {
-                let pos = t.search(k).unwrap_or_else(|| panic!("{layout} lost {k}"));
-                // The found position must hold the key.
-                assert_eq!(t.nodes()[pos as usize].key, k);
+                // The found position must exist and hold the key.
+                assert_eq!(
+                    t.search(k).map(|pos| t.nodes()[pos as usize].key),
+                    Some(k),
+                    "{layout} lost key {k}"
+                );
             }
             assert_eq!(t.search(0), None);
             assert_eq!(t.search(l.len() + 1), None);
@@ -194,7 +241,7 @@ mod tests {
     #[test]
     fn search_path_length_bounded_by_height() {
         let l = NamedLayout::PreVeb.materialize(10);
-        let t = ExplicitTree::<u64>::with_rank_keys(&l);
+        let t = ExplicitTree::with_rank_keys(&l);
         let mut visited = Vec::new();
         for k in [1u64, 512, 1023] {
             visited.clear();
@@ -207,24 +254,44 @@ mod tests {
     #[test]
     fn traced_path_is_root_to_node_path() {
         let l = NamedLayout::InOrder.materialize(6);
-        let t = ExplicitTree::<u64>::with_rank_keys(&l);
+        let t = ExplicitTree::with_rank_keys(&l);
         let tree = cobtree_core::Tree::new(6);
         let mut visited = Vec::new();
         for key in 1..=tree.len() {
             visited.clear();
             t.search_traced(key, &mut visited);
-            let expect: Vec<u32> = tree
+            let expect: Vec<u64> = tree
                 .search_path(key)
                 .into_iter()
-                .map(|i| l.position(i) as u32)
+                .map(|i| l.position(i))
                 .collect();
             assert_eq!(visited, expect, "key {key}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "sorted")]
-    fn rejects_unsorted_keys() {
+    fn try_build_rejects_bad_keys() {
+        let l = NamedLayout::InOrder.materialize(2);
+        assert_eq!(
+            ExplicitTree::try_build(&l, &[3u64, 2, 1]).unwrap_err(),
+            Error::UnsortedKeys { index: 0 }
+        );
+        assert_eq!(
+            ExplicitTree::<u64>::try_build(&l, &[]).unwrap_err(),
+            Error::EmptyKeys
+        );
+        assert_eq!(
+            ExplicitTree::try_build(&l, &[1u64, 2]).unwrap_err(),
+            Error::KeyCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn build_panics_on_unsorted_keys() {
         let l = NamedLayout::InOrder.materialize(2);
         let _ = ExplicitTree::build(&l, &[3u64, 2, 1]);
     }
@@ -232,9 +299,10 @@ mod tests {
     #[test]
     fn checksum_is_stable() {
         let l = NamedLayout::HalfWep.materialize(8);
-        let t = ExplicitTree::<u64>::with_rank_keys(&l);
-        let a = t.search_batch_checksum(1..=255u64);
-        let b = t.search_batch_checksum(1..=255u64);
+        let t = ExplicitTree::with_rank_keys(&l);
+        let keys: Vec<u64> = (1..=255).collect();
+        let a = t.search_batch_checksum(&keys);
+        let b = t.search_batch_checksum(&keys);
         assert_eq!(a, b);
         assert_ne!(a, 0);
     }

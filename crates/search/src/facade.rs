@@ -1,0 +1,580 @@
+//! The unified `SearchTree` facade: one builder API over every layout ×
+//! storage combination.
+//!
+//! The paper's central claim is that MINWEP is a drop-in *layout choice*
+//! — the search algorithm is identical across vEB, MINWEP, B-tree-ish
+//! and in-order layouts; only the position computation changes. This
+//! module makes the claim operational:
+//!
+//! ```
+//! use cobtree_search::{SearchTree, Storage};
+//! use cobtree_core::NamedLayout;
+//!
+//! let keys: Vec<u64> = (1..=1000).map(|k| k * 3).collect();
+//! let tree = SearchTree::builder()
+//!     .layout(NamedLayout::MinWep)        // or a RecursiveSpec, or a Layout
+//!     .storage(Storage::Implicit)         // ⇄ Explicit ⇄ IndexOnly, one line
+//!     .keys(keys.iter().copied())
+//!     .build()?;
+//! assert!(tree.contains(30));
+//! assert!(!tree.contains(31));
+//! # Ok::<(), cobtree_core::Error>(())
+//! ```
+//!
+//! Key count — not tree height — is the sizing parameter: the builder
+//! picks the smallest complete tree that fits and pads the remainder
+//! with supremum sentinels internally (the same scheme
+//! [`crate::LayoutMap`] uses), so any non-empty strictly-sorted key set
+//! works. All three storage backends built from one configuration share
+//! a single position index, so `search` returns the *same* positions —
+//! and [`SearchTree::search_batch_checksum`] the same checksums — no
+//! matter which storage is selected.
+
+use crate::backend::SearchBackend;
+use crate::explicit::ExplicitTree;
+use crate::implicit::ImplicitTree;
+use crate::index_only::IndexOnlyTree;
+use crate::slot::{padded_slots, Slot};
+use cobtree_core::error::{check_sorted_keys, Error, Result};
+use cobtree_core::index::generic::GenericIndexer;
+use cobtree_core::index::{MaterializedIndex, PositionIndex};
+use cobtree_core::{Layout, NamedLayout, RecursiveSpec, Tree};
+
+/// Hard ceiling on key counts: `2^31 − 1` (positions are stored as
+/// `u32` by the materialized layouts and explicit nodes).
+pub const MAX_KEYS: u64 = (1 << 31) - 1;
+
+/// How the tree is stored and navigated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// Nodes with embedded child pointers, in layout order — the paper's
+    /// wall-clock champion (§II-B).
+    Explicit,
+    /// Keys only, in layout order; every transition recomputes the child
+    /// position arithmetically (§IV-E).
+    Implicit,
+    /// Keys in plain sorted order; layout positions are computed on
+    /// demand and never stored (the §IV-E index-timing discipline,
+    /// generalized to arbitrary keys).
+    IndexOnly,
+}
+
+impl Storage {
+    /// All storage backends, for generic iteration in benches and tests.
+    pub const ALL: [Storage; 3] = [Storage::Explicit, Storage::Implicit, Storage::IndexOnly];
+}
+
+impl std::fmt::Display for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Storage::Explicit => "explicit",
+            Storage::Implicit => "implicit",
+            Storage::IndexOnly => "index-only",
+        })
+    }
+}
+
+/// Where a layout comes from: a named layout from the paper's Table I, a
+/// raw [`RecursiveSpec`], or a pre-materialized [`Layout`] permutation.
+#[derive(Clone)]
+pub enum LayoutSource {
+    /// One of the thirteen named Recursive Layouts (fast dedicated
+    /// indexers where the paper has them).
+    Named(NamedLayout),
+    /// An arbitrary Recursive Layout, served by the generic
+    /// spec-interpreting indexer.
+    Spec(RecursiveSpec),
+    /// A pre-materialized permutation (e.g. MINLA/MINBW baselines or a
+    /// layout loaded from JSON); its height must match the key count.
+    Materialized(Layout),
+}
+
+impl From<NamedLayout> for LayoutSource {
+    fn from(layout: NamedLayout) -> Self {
+        LayoutSource::Named(layout)
+    }
+}
+
+impl From<RecursiveSpec> for LayoutSource {
+    fn from(spec: RecursiveSpec) -> Self {
+        LayoutSource::Spec(spec)
+    }
+}
+
+impl From<Layout> for LayoutSource {
+    fn from(layout: Layout) -> Self {
+        LayoutSource::Materialized(layout)
+    }
+}
+
+impl std::fmt::Debug for LayoutSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl LayoutSource {
+    /// Human-readable description of the source.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            LayoutSource::Named(l) => l.label().to_string(),
+            LayoutSource::Spec(s) => s.nomenclature(),
+            LayoutSource::Materialized(l) => format!("materialized(h={})", l.height()),
+        }
+    }
+
+    /// Resolves the source into a position index for a tree of `height`
+    /// levels. Every backend of one [`SearchTree`] shares this index, so
+    /// positions agree across storage kinds.
+    ///
+    /// # Errors
+    /// [`Error::HeightOutOfRange`] for unrepresentable heights;
+    /// [`Error::HeightMismatch`] if a pre-materialized layout does not
+    /// match `height`.
+    pub fn resolve(&self, height: u32) -> Result<Box<dyn PositionIndex>> {
+        match self {
+            LayoutSource::Named(l) => l.try_indexer(height),
+            LayoutSource::Spec(s) => {
+                Tree::try_new(height)?;
+                Ok(Box::new(GenericIndexer::new(s.clone(), height)))
+            }
+            LayoutSource::Materialized(l) => {
+                if l.height() != height {
+                    return Err(Error::HeightMismatch {
+                        expected: l.height(),
+                        got: height,
+                    });
+                }
+                Ok(Box::new(MaterializedIndex::new(l.clone())))
+            }
+        }
+    }
+}
+
+/// Configures and builds a [`SearchTree`]. Created by
+/// [`SearchTree::builder`].
+pub struct SearchTreeBuilder<K> {
+    source: LayoutSource,
+    storage: Storage,
+    keys: Vec<K>,
+}
+
+impl<K: Ord + Copy> Default for SearchTreeBuilder<K> {
+    fn default() -> Self {
+        Self {
+            source: LayoutSource::Named(NamedLayout::MinWep),
+            storage: Storage::Explicit,
+            keys: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy> SearchTreeBuilder<K> {
+    /// Chooses the layout (default: MINWEP). Accepts a [`NamedLayout`],
+    /// a [`RecursiveSpec`], or a pre-materialized [`Layout`].
+    #[must_use]
+    pub fn layout(mut self, source: impl Into<LayoutSource>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Chooses the storage backend (default: explicit).
+    #[must_use]
+    pub fn storage(mut self, storage: Storage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the key set (must end up non-empty and strictly ascending;
+    /// validated by [`SearchTreeBuilder::build`]).
+    #[must_use]
+    pub fn keys(mut self, keys: impl IntoIterator<Item = K>) -> Self {
+        self.keys = keys.into_iter().collect();
+        self
+    }
+
+    /// Validates the configuration and builds the tree.
+    ///
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::TooManyKeys`] on bad key sets;
+    /// [`Error::HeightMismatch`] when a pre-materialized layout does not
+    /// fit the key count; [`Error::HeightOutOfRange`] if the layout
+    /// source cannot serve the required height.
+    pub fn build(self) -> Result<SearchTree<K>> {
+        check_sorted_keys(&self.keys)?;
+        let n = self.keys.len() as u64;
+        if n > MAX_KEYS {
+            return Err(Error::TooManyKeys {
+                got: n,
+                max: MAX_KEYS,
+            });
+        }
+        // Smallest complete tree that fits every key.
+        let mut height = 1u32;
+        while ((1u64 << height) - 1) < n {
+            height += 1;
+        }
+        let slots = padded_slots(&self.keys, height);
+        let inner = match self.storage {
+            // A pre-materialized source already *is* the layout — use it
+            // directly rather than round-tripping through its index.
+            Storage::Explicit => {
+                if let LayoutSource::Materialized(layout) = &self.source {
+                    if layout.height() != height {
+                        return Err(Error::HeightMismatch {
+                            expected: layout.height(),
+                            got: height,
+                        });
+                    }
+                    Inner::Explicit(ExplicitTree::try_build(layout, &slots)?)
+                } else {
+                    // Materialize the *index* (not the engine) so explicit
+                    // positions are bit-identical to the arithmetic
+                    // backends even where an indexer is an automorphic
+                    // image of the engine's output.
+                    let index = self.source.resolve(height)?;
+                    let tree = Tree::new(height);
+                    let positions: Vec<u32> = tree
+                        .nodes()
+                        .map(|i| index.position(i, tree.depth(i)) as u32)
+                        .collect();
+                    let layout = Layout::try_from_positions(height, positions)?;
+                    Inner::Explicit(ExplicitTree::try_build(&layout, &slots)?)
+                }
+            }
+            Storage::Implicit => Inner::Implicit(ImplicitTree::try_build(
+                self.source.resolve(height)?,
+                &slots,
+            )?),
+            Storage::IndexOnly => Inner::IndexOnly(IndexOnlyTree::try_build(
+                self.source.resolve(height)?,
+                &slots,
+            )?),
+        };
+        Ok(SearchTree {
+            storage: self.storage,
+            layout_label: self.source.label(),
+            height,
+            key_len: n,
+            inner,
+        })
+    }
+}
+
+enum Inner<K> {
+    Explicit(ExplicitTree<Slot<K>>),
+    Implicit(ImplicitTree<Slot<K>>),
+    IndexOnly(IndexOnlyTree<Slot<K>>),
+}
+
+/// A static cache-oblivious search tree: any layout, any storage
+/// backend, one API. Built by [`SearchTree::builder`].
+pub struct SearchTree<K> {
+    storage: Storage,
+    layout_label: String,
+    height: u32,
+    key_len: u64,
+    inner: Inner<K>,
+}
+
+impl<K: Ord + Copy> SearchTree<K> {
+    /// Starts a builder with the defaults (MINWEP layout, explicit
+    /// storage, no keys).
+    #[must_use]
+    pub fn builder() -> SearchTreeBuilder<K> {
+        SearchTreeBuilder::default()
+    }
+
+    /// Number of (real) keys.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.key_len
+    }
+
+    /// `false`; building requires at least one key.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Height of the (padded) complete tree.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total slots including padding, `2^h − 1`.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        (1u64 << self.height) - 1
+    }
+
+    /// The storage backend in use.
+    #[must_use]
+    pub fn storage(&self) -> Storage {
+        self.storage
+    }
+
+    /// Human-readable layout description.
+    #[must_use]
+    pub fn layout_label(&self) -> &str {
+        &self.layout_label
+    }
+
+    /// Searches for `key`; returns the 0-based layout position of its
+    /// node. Positions are identical across storage backends for the
+    /// same layout and keys.
+    #[inline]
+    pub fn search(&self, key: K) -> Option<u64> {
+        let probe = Slot::Key(key);
+        match &self.inner {
+            Inner::Explicit(t) => t.search(probe),
+            Inner::Implicit(t) => t.search(probe),
+            Inner::IndexOnly(t) => t.search(probe),
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, key: K) -> bool {
+        self.search(key).is_some()
+    }
+
+    /// Searches while recording every visited layout position (for cache
+    /// simulation).
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        let probe = Slot::Key(key);
+        match &self.inner {
+            Inner::Explicit(t) => t.search_traced(probe, visited),
+            Inner::Implicit(t) => t.search_traced(probe, visited),
+            Inner::IndexOnly(t) => t.search_traced(probe, visited),
+        }
+    }
+
+    /// Benchmark kernel: sum of found positions, identical across
+    /// storage backends.
+    #[must_use]
+    pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        let mut acc = 0u64;
+        for &k in keys {
+            if let Some(p) = self.search(k) {
+                acc = acc.wrapping_add(p);
+            }
+        }
+        acc
+    }
+}
+
+impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn key_count(&self) -> u64 {
+        self.capacity()
+    }
+
+    fn search(&self, key: K) -> Option<u64> {
+        SearchTree::search(self, key)
+    }
+
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        SearchTree::search_traced(self, key, visited)
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        SearchTree::search_batch_checksum(self, keys)
+    }
+}
+
+impl<K> std::fmt::Debug for SearchTree<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchTree")
+            .field("layout", &self.layout_label)
+            .field("storage", &self.storage)
+            .field("height", &self.height)
+            .field("len", &self.key_len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<u64> {
+        (1..=n).map(|k| k * 7 + 1).collect()
+    }
+
+    #[test]
+    fn storages_return_identical_positions_and_checksums() {
+        let ks = keys(300); // padded: height 9, 511 slots
+        let probes: Vec<u64> = (0..2400).collect();
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::PreVeb,
+            NamedLayout::InVebA,
+        ] {
+            let trees: Vec<SearchTree<u64>> = Storage::ALL
+                .iter()
+                .map(|&storage| {
+                    SearchTree::builder()
+                        .layout(layout)
+                        .storage(storage)
+                        .keys(ks.iter().copied())
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            let reference = trees[0].search_batch_checksum(&probes);
+            assert_ne!(reference, 0);
+            for t in &trees[1..] {
+                assert_eq!(
+                    t.search_batch_checksum(&probes),
+                    reference,
+                    "{layout}/{} checksum diverged",
+                    t.storage()
+                );
+            }
+            for &p in &probes {
+                let expect = trees[0].search(p);
+                for t in &trees[1..] {
+                    assert_eq!(t.search(p), expect, "{layout}/{} probe {p}", t.storage());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_sources_build() {
+        let ks = keys(40);
+        for source in [
+            LayoutSource::Named(NamedLayout::HalfWep),
+            LayoutSource::Spec(NamedLayout::HalfWep.spec()),
+            LayoutSource::Materialized(NamedLayout::HalfWep.materialize(6)),
+        ] {
+            let t = SearchTree::builder()
+                .layout(source)
+                .keys(ks.iter().copied())
+                .build()
+                .unwrap();
+            assert_eq!(t.height(), 6);
+            assert_eq!(t.len(), 40);
+            assert_eq!(t.capacity(), 63);
+            for &k in &ks {
+                assert!(t.contains(k));
+                assert!(!t.contains(k + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn named_and_spec_sources_agree_exactly() {
+        // A spec source uses the generic interpreter, a named source the
+        // fast indexer; when the two agree bit-for-bit (non-automorphic
+        // layouts like IN-ORDER), positions must match across sources.
+        let ks = keys(100);
+        let a = SearchTree::builder()
+            .layout(NamedLayout::InOrder)
+            .keys(ks.iter().copied())
+            .build()
+            .unwrap();
+        let b = SearchTree::builder()
+            .layout(NamedLayout::InOrder.spec())
+            .keys(ks.iter().copied())
+            .build()
+            .unwrap();
+        for &k in &ks {
+            assert_eq!(a.search(k), b.search(k));
+        }
+    }
+
+    #[test]
+    fn builder_error_cases() {
+        // Empty keys.
+        assert_eq!(
+            SearchTree::<u64>::builder().build().unwrap_err(),
+            Error::EmptyKeys
+        );
+        // Unsorted keys.
+        assert_eq!(
+            SearchTree::builder()
+                .keys([3u64, 1, 2])
+                .build()
+                .unwrap_err(),
+            Error::UnsortedKeys { index: 0 }
+        );
+        // Duplicate keys count as unsorted.
+        assert_eq!(
+            SearchTree::builder()
+                .keys([1u64, 2, 2])
+                .build()
+                .unwrap_err(),
+            Error::UnsortedKeys { index: 1 }
+        );
+        // Materialized layout of the wrong height.
+        assert_eq!(
+            SearchTree::builder()
+                .layout(NamedLayout::MinWep.materialize(4))
+                .keys(keys(100))
+                .build()
+                .unwrap_err(),
+            Error::HeightMismatch {
+                expected: 4,
+                got: 7
+            }
+        );
+    }
+
+    #[test]
+    fn trace_depth_bounded_by_height() {
+        let t = SearchTree::builder()
+            .storage(Storage::IndexOnly)
+            .keys(keys(500))
+            .build()
+            .unwrap();
+        let mut visited = Vec::new();
+        for probe in [8u64, 701, 3501, 9999] {
+            visited.clear();
+            t.search_traced(probe, &mut visited);
+            assert!(!visited.is_empty());
+            assert!(visited.len() <= t.height() as usize);
+        }
+    }
+
+    #[test]
+    fn padding_never_matches_probes() {
+        // 5 keys pad a height-3 tree with two suprema; no probe may land
+        // on a padding slot.
+        let t = SearchTree::builder()
+            .storage(Storage::Implicit)
+            .keys([10u64, 20, 30, 40, 50])
+            .build()
+            .unwrap();
+        assert_eq!(t.capacity(), 7);
+        let mut found = 0;
+        for probe in 0..=100u64 {
+            if t.contains(probe) {
+                found += 1;
+                assert_eq!(probe % 10, 0);
+            }
+        }
+        assert_eq!(found, 5);
+    }
+
+    #[test]
+    fn debug_and_labels() {
+        let t = SearchTree::builder()
+            .layout(NamedLayout::MinWep)
+            .keys([1u64, 2, 3])
+            .build()
+            .unwrap();
+        assert_eq!(t.layout_label(), "MINWEP");
+        assert_eq!(t.storage(), Storage::Explicit);
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("MINWEP") && dbg.contains("Explicit"));
+    }
+}

@@ -10,48 +10,58 @@
 //! executes all transitions and index computations with zero memory
 //! accesses.
 
+use crate::backend::SearchBackend;
+use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::index::PositionIndex;
-use cobtree_core::{Layout, Tree};
+use cobtree_core::Tree;
 
 /// A complete BST stored as a key array in layout order, navigated by
-/// index arithmetic.
-pub struct ImplicitTree<'a, K> {
+/// index arithmetic. Owns its position index, so it moves freely into
+/// facades and across threads.
+pub struct ImplicitTree<K> {
     tree: Tree,
-    index: &'a dyn PositionIndex,
+    index: Box<dyn PositionIndex>,
     keys: Vec<K>,
 }
 
-impl<'a, K: Ord + Copy> ImplicitTree<'a, K> {
+impl<K: Ord + Copy> ImplicitTree<K> {
     /// Builds the key array in the order defined by `index`.
     ///
-    /// # Panics
-    /// Panics if `keys` is not sorted or has the wrong length.
-    #[must_use]
-    pub fn build(index: &'a dyn PositionIndex, keys: &[K]) -> Self {
-        let tree = Tree::new(index.height());
-        assert_eq!(keys.len() as u64, tree.len(), "key count mismatch");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::KeyCountMismatch`].
+    pub fn try_build(index: Box<dyn PositionIndex>, keys: &[K]) -> Result<Self> {
+        let tree = Tree::try_new(index.height())?;
+        check_sorted_keys(keys)?;
+        if keys.len() as u64 != tree.len() {
+            return Err(Error::KeyCountMismatch {
+                expected: tree.len(),
+                got: keys.len() as u64,
+            });
+        }
         let mut arranged = vec![keys[0]; keys.len()];
         for i in tree.nodes() {
             let p = index.position(i, tree.depth(i)) as usize;
             arranged[p] = keys[(tree.in_order_rank(i) - 1) as usize];
         }
-        Self {
+        Ok(Self {
             tree,
             index,
             keys: arranged,
-        }
+        })
     }
 
-    /// Builds from a materialized layout (wraps it in an index).
+    /// Builds the tree, panicking where [`ImplicitTree::try_build`]
+    /// errors — convenience for tests and examples.
+    ///
+    /// # Panics
+    /// See [`ImplicitTree::try_build`].
     #[must_use]
-    pub fn from_layout(
-        layout: &Layout,
-        index: &'a dyn PositionIndex,
-        keys: &[K],
-    ) -> Self {
-        assert_eq!(layout.height(), index.height());
-        Self::build(index, keys)
+    pub fn build(index: Box<dyn PositionIndex>, keys: &[K]) -> Self {
+        match Self::try_build(index, keys) {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of keys.
@@ -70,6 +80,12 @@ impl<'a, K: Ord + Copy> ImplicitTree<'a, K> {
     #[must_use]
     pub fn keys(&self) -> &[K] {
         &self.keys
+    }
+
+    /// The position index navigating this tree.
+    #[must_use]
+    pub fn index(&self) -> &dyn PositionIndex {
+        self.index.as_ref()
     }
 
     /// Searches for `key`, computing one layout position per transition.
@@ -117,14 +133,45 @@ impl<'a, K: Ord + Copy> ImplicitTree<'a, K> {
 
     /// Benchmark kernel: sum of found positions.
     #[must_use]
-    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = K>) -> u64 {
+    pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
         let mut acc = 0u64;
-        for k in keys {
+        for &k in keys {
             if let Some(p) = self.search(k) {
                 acc = acc.wrapping_add(p);
             }
         }
         acc
+    }
+}
+
+impl<K> std::fmt::Debug for ImplicitTree<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImplicitTree")
+            .field("height", &self.tree.height())
+            .field("len", &self.keys.len())
+            .finish()
+    }
+}
+
+impl<K: Ord + Copy> SearchBackend<K> for ImplicitTree<K> {
+    fn height(&self) -> u32 {
+        self.tree.height()
+    }
+
+    fn key_count(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn search(&self, key: K) -> Option<u64> {
+        ImplicitTree::search(self, key)
+    }
+
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        ImplicitTree::search_traced(self, key, visited)
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        ImplicitTree::search_batch_checksum(self, keys)
     }
 }
 
@@ -168,9 +215,9 @@ impl<'a> IndexOnlySearcher<'a> {
 
     /// Checksum over a batch of keys.
     #[must_use]
-    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = u64>) -> u64 {
+    pub fn search_batch_checksum(&self, keys: &[u64]) -> u64 {
         let mut acc = 0u64;
-        for k in keys {
+        for &k in keys {
             acc = acc.wrapping_add(self.search(k));
         }
         acc
@@ -188,10 +235,14 @@ mod tests {
         for layout in NamedLayout::ALL {
             let idx = layout.indexer(8);
             let keys: Vec<u64> = (1..=255).collect();
-            let t = ImplicitTree::build(idx.as_ref(), &keys);
+            let t = ImplicitTree::build(idx, &keys);
             for k in 1..=255u64 {
-                let p = t.search(k).unwrap_or_else(|| panic!("{layout} lost {k}"));
-                assert_eq!(t.keys()[p as usize], k);
+                // The match must exist and the found slot must hold it.
+                assert_eq!(
+                    t.search(k).map(|p| t.keys()[p as usize]),
+                    Some(k),
+                    "{layout} lost key {k}"
+                );
             }
             assert_eq!(t.search(0), None);
             assert_eq!(t.search(256), None);
@@ -206,7 +257,7 @@ mod tests {
         let idx = layout.indexer(h);
         let keys: Vec<u64> = (1..=mat.len()).map(|k| k * 3).collect();
         let et = ExplicitTree::build(&mat, &keys);
-        let it = ImplicitTree::build(idx.as_ref(), &keys);
+        let it = ImplicitTree::build(idx, &keys);
         for probe in 0..=(mat.len() * 3 + 2) {
             assert_eq!(
                 et.search(probe).is_some(),
@@ -214,6 +265,23 @@ mod tests {
                 "probe {probe}"
             );
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_keys() {
+        let idx = NamedLayout::MinWep.indexer(3);
+        assert_eq!(
+            ImplicitTree::try_build(idx, &[1u64, 1, 2, 3, 4, 5, 6]).unwrap_err(),
+            Error::UnsortedKeys { index: 0 }
+        );
+        let idx = NamedLayout::MinWep.indexer(3);
+        assert_eq!(
+            ImplicitTree::try_build(idx, &[1u64, 2, 3]).unwrap_err(),
+            Error::KeyCountMismatch {
+                expected: 7,
+                got: 3
+            }
+        );
     }
 
     #[test]
@@ -237,9 +305,10 @@ mod tests {
     fn checksums_deterministic() {
         let idx = NamedLayout::HalfWep.indexer(8);
         let s = IndexOnlySearcher::new(idx.as_ref());
+        let keys: Vec<u64> = (1..=255).collect();
         assert_eq!(
-            s.search_batch_checksum(1..=255),
-            s.search_batch_checksum(1..=255)
+            s.search_batch_checksum(&keys),
+            s.search_batch_checksum(&keys)
         );
     }
 }

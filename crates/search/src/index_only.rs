@@ -1,0 +1,226 @@
+//! The index-only storage backend: keys in plain sorted order, layout
+//! positions computed on demand.
+//!
+//! This generalizes the paper's §IV-E trick (keys `1..=n` inferred from
+//! the BFS index) to arbitrary key sets: the descent compares against
+//! the *in-order* key array — no layout-ordered storage exists at all —
+//! and the position index is consulted only to *report* layout
+//! positions, so results stay interchangeable with the other backends.
+//! When the keys really are `1..=n`, [`crate::IndexOnlySearcher`]
+//! remains the memory-access-free instrument the paper times.
+
+use crate::backend::SearchBackend;
+use cobtree_core::error::{check_sorted_keys, Error, Result};
+use cobtree_core::index::PositionIndex;
+use cobtree_core::Tree;
+
+/// A complete BST stored as a *sorted* key array, searched by BFS
+/// descent with positions derived from an owned arithmetic index.
+pub struct IndexOnlyTree<K> {
+    tree: Tree,
+    index: Box<dyn PositionIndex>,
+    /// `keys[r - 1]` is the key with in-order rank `r` — i.e. the input
+    /// keys verbatim, in sorted order.
+    keys: Vec<K>,
+}
+
+impl<K: Ord + Copy> IndexOnlyTree<K> {
+    /// Builds the backend over `index` and strictly sorted `keys`.
+    ///
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::KeyCountMismatch`].
+    pub fn try_build(index: Box<dyn PositionIndex>, keys: &[K]) -> Result<Self> {
+        let tree = Tree::try_new(index.height())?;
+        check_sorted_keys(keys)?;
+        if keys.len() as u64 != tree.len() {
+            return Err(Error::KeyCountMismatch {
+                expected: tree.len(),
+                got: keys.len() as u64,
+            });
+        }
+        Ok(Self {
+            tree,
+            index,
+            keys: keys.to_vec(),
+        })
+    }
+
+    /// Builds the backend, panicking where [`IndexOnlyTree::try_build`]
+    /// errors.
+    ///
+    /// # Panics
+    /// See [`IndexOnlyTree::try_build`].
+    #[must_use]
+    pub fn build(index: Box<dyn PositionIndex>, keys: &[K]) -> Self {
+        match Self::try_build(index, keys) {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `false`; at least the root exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted key array.
+    #[must_use]
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// The position index used to report layout positions.
+    #[must_use]
+    pub fn index(&self) -> &dyn PositionIndex {
+        self.index.as_ref()
+    }
+
+    /// Searches for `key`; returns the layout position of the matching
+    /// node (computed once, on the match).
+    #[inline]
+    pub fn search(&self, key: K) -> Option<u64> {
+        let h = self.tree.height();
+        let mut i = 1u64;
+        let mut d = 0u32;
+        loop {
+            let k = self.keys[(self.tree.in_order_rank(i) - 1) as usize];
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => return Some(self.index.position(i, d)),
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+            d += 1;
+            if d >= h {
+                return None;
+            }
+        }
+    }
+
+    /// Searches while recording the layout position of every visited
+    /// node — here every transition pays the full index computation,
+    /// exactly the §IV-E cost model.
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        let h = self.tree.height();
+        let mut i = 1u64;
+        let mut d = 0u32;
+        loop {
+            let p = self.index.position(i, d);
+            visited.push(p);
+            let k = self.keys[(self.tree.in_order_rank(i) - 1) as usize];
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => return Some(p),
+                std::cmp::Ordering::Less => i *= 2,
+                std::cmp::Ordering::Greater => i = 2 * i + 1,
+            }
+            d += 1;
+            if d >= h {
+                return None;
+            }
+        }
+    }
+
+    /// Benchmark kernel: sum of found positions.
+    #[must_use]
+    pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        let mut acc = 0u64;
+        for &k in keys {
+            if let Some(p) = self.search(k) {
+                acc = acc.wrapping_add(p);
+            }
+        }
+        acc
+    }
+}
+
+impl<K> std::fmt::Debug for IndexOnlyTree<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexOnlyTree")
+            .field("height", &self.tree.height())
+            .field("len", &self.keys.len())
+            .finish()
+    }
+}
+
+impl<K: Ord + Copy> SearchBackend<K> for IndexOnlyTree<K> {
+    fn height(&self) -> u32 {
+        self.tree.height()
+    }
+
+    fn key_count(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn search(&self, key: K) -> Option<u64> {
+        IndexOnlyTree::search(self, key)
+    }
+
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        IndexOnlyTree::search_traced(self, key, visited)
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        IndexOnlyTree::search_batch_checksum(self, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::ImplicitTree;
+    use cobtree_core::NamedLayout;
+
+    #[test]
+    fn agrees_with_implicit_backend_on_positions() {
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::PreVeb,
+            NamedLayout::InOrder,
+        ] {
+            let h = 8;
+            let keys: Vec<u64> = (1..=(1u64 << h) - 1).map(|k| k * 5 + 1).collect();
+            let io = IndexOnlyTree::build(layout.indexer(h), &keys);
+            let it = ImplicitTree::build(layout.indexer(h), &keys);
+            for probe in 0..=keys.len() as u64 * 5 + 2 {
+                assert_eq!(io.search(probe), it.search(probe), "{layout} probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_positions_match_implicit_trace() {
+        let h = 7;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let io = IndexOnlyTree::build(NamedLayout::HalfWep.indexer(h), &keys);
+        let it = ImplicitTree::build(NamedLayout::HalfWep.indexer(h), &keys);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for key in [1u64, 33, 64, 127] {
+            a.clear();
+            b.clear();
+            io.search_traced(key, &mut a);
+            it.search_traced(key, &mut b);
+            assert_eq!(a, b, "key {key}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_keys() {
+        let idx = NamedLayout::MinWep.indexer(3);
+        assert_eq!(
+            IndexOnlyTree::<u64>::try_build(idx, &[]).unwrap_err(),
+            Error::EmptyKeys
+        );
+        let idx = NamedLayout::MinWep.indexer(3);
+        assert!(matches!(
+            IndexOnlyTree::try_build(idx, &[1u64, 2]).unwrap_err(),
+            Error::KeyCountMismatch { .. }
+        ));
+    }
+}

@@ -1,8 +1,14 @@
 //! # cobtree-search
 //!
 //! Search-tree substrate: the data structures whose wall-clock behaviour
-//! the paper measures (§II-B, §IV-D/E/F).
+//! the paper measures (§II-B, §IV-D/E/F), unified behind one facade.
 //!
+//! * [`facade`] — **start here**: [`SearchTree`] builds any layout ×
+//!   storage combination from a plain sorted key set
+//!   (`SearchTree::builder().layout(..).storage(..).keys(..).build()`),
+//!   padding to the next complete tree internally;
+//! * [`backend`] — the [`SearchBackend`] trait every storage kind
+//!   implements, so harnesses iterate backends generically;
 //! * [`explicit`] — *pointer-based* trees: each node stores its key and
 //!   two child positions, laid out in an arbitrary layout order; a search
 //!   follows positions with no index arithmetic (Figure 2 / Figure 4
@@ -13,20 +19,35 @@
 //!   including the memory-access-free variant used to time pure index
 //!   computation (keys `1..=n` inferred from the BFS index, §IV-E
 //!   footnote 1);
+//! * [`index_only`] — keys in plain sorted order, layout positions
+//!   computed on demand (the §IV-E discipline generalized to arbitrary
+//!   keys);
+//! * [`stepping`] — the incremental [`stepping::SteppingTree`] descent
+//!   optimization this reproduction adds on top of the paper;
+//! * [`map`] — [`LayoutMap`], a dynamic ordered set over the static
+//!   layouts (sorted insert buffer + tombstones + periodic rebuilds);
 //! * [`workload`] — reproducible workloads: uniform random keys (the
 //!   paper's 10 M random searches), the §II-A affinity-graph random walk,
 //!   and skewed variants for extensions;
 //! * [`trace`] — position/address trace collection for the cache
-//!   simulator.
+//!   simulator, from bare indexers or whole backends.
 
+pub mod backend;
 pub mod explicit;
+pub mod facade;
 pub mod implicit;
+pub mod index_only;
 pub mod map;
+pub(crate) mod slot;
 pub mod stepping;
 pub mod trace;
 pub mod workload;
 
+pub use backend::SearchBackend;
 pub use explicit::ExplicitTree;
+pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};
+pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;
+pub use stepping::SteppingTree;
 pub use workload::UniformKeys;

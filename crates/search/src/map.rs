@@ -12,17 +12,10 @@
 //! The static tree is padded to `2^h − 1` slots with *supremum* sentinels
 //! that compare greater than every key, so any key count works.
 
+use crate::slot::Slot;
 use crate::workload::UniformKeys;
 use cobtree_core::index::PositionIndex;
 use cobtree_core::{NamedLayout, Tree};
-
-/// Padding-aware key: real keys sort below all suprema; suprema are kept
-/// distinct (by index) so the padded key sequence stays strictly sorted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Slot<K> {
-    Key(K),
-    Sup(u32),
-}
 
 /// A dynamic ordered set with cache-oblivious bulk storage.
 ///
@@ -332,12 +325,26 @@ mod tests {
         let mut oracle = BTreeSet::new();
         let mut state = 0x1234_5678_u64;
         for step in 0..3000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 33) % 500;
             match state % 3 {
-                0 => assert_eq!(m.insert(key), oracle.insert(key), "step {step} insert {key}"),
-                1 => assert_eq!(m.remove(&key), oracle.remove(&key), "step {step} remove {key}"),
-                _ => assert_eq!(m.contains(&key), oracle.contains(&key), "step {step} get {key}"),
+                0 => assert_eq!(
+                    m.insert(key),
+                    oracle.insert(key),
+                    "step {step} insert {key}"
+                ),
+                1 => assert_eq!(
+                    m.remove(&key),
+                    oracle.remove(&key),
+                    "step {step} remove {key}"
+                ),
+                _ => assert_eq!(
+                    m.contains(&key),
+                    oracle.contains(&key),
+                    "step {step} get {key}"
+                ),
             }
             assert_eq!(m.len(), oracle.len(), "step {step}");
         }
@@ -348,7 +355,11 @@ mod tests {
 
     #[test]
     fn works_with_every_bulk_layout() {
-        for layout in [NamedLayout::PreVeb, NamedLayout::InOrder, NamedLayout::HalfWep] {
+        for layout in [
+            NamedLayout::PreVeb,
+            NamedLayout::InOrder,
+            NamedLayout::HalfWep,
+        ] {
             let mut m = LayoutMap::with_layout(layout);
             for k in 0..100u64 {
                 m.insert(k ^ 0x55);

@@ -1,0 +1,52 @@
+//! Padding-aware key slots, shared by [`crate::LayoutMap`] and the
+//! [`crate::SearchTree`] facade.
+//!
+//! The paper's trees are complete (`2^h − 1` nodes); arbitrary key
+//! counts are supported by padding the key sequence with *supremum*
+//! sentinels that compare greater than every real key. Suprema carry a
+//! distinct index so the padded sequence stays strictly sorted, which is
+//! what the backend constructors require.
+
+/// One storage slot: a real key, or the `i`-th supremum sentinel.
+///
+/// The derived ordering makes every `Key(_)` sort below every `Sup(_)`
+/// (variant order), and suprema sort among themselves by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Slot<K> {
+    /// A real key.
+    Key(K),
+    /// The `i`-th padding sentinel (`i` keeps the sequence strict).
+    Sup(u32),
+}
+
+/// Pads `keys` (strictly sorted) to the `2^height − 1` slots of a
+/// complete tree, in key order: real keys first, then suprema.
+pub(crate) fn padded_slots<K: Ord + Copy>(keys: &[K], height: u32) -> Vec<Slot<K>> {
+    let total = (1u64 << height) - 1;
+    debug_assert!(keys.len() as u64 <= total);
+    let mut slots = Vec::with_capacity(total as usize);
+    slots.extend(keys.iter().map(|&k| Slot::Key(k)));
+    slots.extend((0..total - keys.len() as u64).map(|i| Slot::Sup(i as u32)));
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_keeps_keys_below_suprema() {
+        assert!(Slot::Key(u64::MAX) < Slot::<u64>::Sup(0));
+        assert!(Slot::<u64>::Sup(0) < Slot::<u64>::Sup(1));
+        assert!(Slot::Key(1u64) < Slot::Key(2u64));
+    }
+
+    #[test]
+    fn padding_is_strictly_sorted() {
+        let slots = padded_slots(&[10u64, 20, 30], 3);
+        assert_eq!(slots.len(), 7);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(slots[0], Slot::Key(10));
+        assert_eq!(slots[3], Slot::Sup(0));
+    }
+}

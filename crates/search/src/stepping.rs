@@ -6,6 +6,8 @@
 //! strictly less arithmetic per step — the optimization the stepper
 //! module adds on top of the paper.
 
+use crate::backend::SearchBackend;
+use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::index::stepper::PathStepper;
 use cobtree_core::{RecursiveSpec, Tree};
 use std::cell::RefCell;
@@ -20,13 +22,18 @@ pub struct SteppingTree<K> {
 impl<K: Ord + Copy> SteppingTree<K> {
     /// Builds the key array in the layout order defined by `spec`.
     ///
-    /// # Panics
-    /// Panics if `keys` is unsorted or has the wrong length.
-    #[must_use]
-    pub fn build(spec: RecursiveSpec, height: u32, keys: &[K]) -> Self {
-        let tree = Tree::new(height);
-        assert_eq!(keys.len() as u64, tree.len(), "key count mismatch");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::KeyCountMismatch`].
+    pub fn try_build(spec: RecursiveSpec, height: u32, keys: &[K]) -> Result<Self> {
+        let tree = Tree::try_new(height)?;
+        check_sorted_keys(keys)?;
+        if keys.len() as u64 != tree.len() {
+            return Err(Error::KeyCountMismatch {
+                expected: tree.len(),
+                got: keys.len() as u64,
+            });
+        }
         let mut stepper = PathStepper::new(spec, height);
         let mut arranged = vec![keys[0]; keys.len()];
         // Arrange keys by walking every path once (exercises the stepper;
@@ -39,10 +46,23 @@ impl<K: Ord + Copy> SteppingTree<K> {
             }
             arranged[p as usize] = keys[(tree.in_order_rank(i) - 1) as usize];
         }
-        Self {
+        Ok(Self {
             tree,
             stepper: RefCell::new(stepper),
             keys: arranged,
+        })
+    }
+
+    /// Builds the tree, panicking where [`SteppingTree::try_build`]
+    /// errors.
+    ///
+    /// # Panics
+    /// See [`SteppingTree::try_build`].
+    #[must_use]
+    pub fn build(spec: RecursiveSpec, height: u32, keys: &[K]) -> Self {
+        match Self::try_build(spec, height, keys) {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -86,16 +106,67 @@ impl<K: Ord + Copy> SteppingTree<K> {
         }
     }
 
+    /// Searches while recording every visited position.
+    pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        let mut stepper = self.stepper.borrow_mut();
+        let mut p = stepper.reset();
+        let h = self.tree.height();
+        let mut d = 0;
+        loop {
+            visited.push(p);
+            let k = self.keys[p as usize];
+            match key.cmp(&k) {
+                std::cmp::Ordering::Equal => return Some(p),
+                std::cmp::Ordering::Less => {
+                    d += 1;
+                    if d >= h {
+                        return None;
+                    }
+                    p = stepper.descend(false);
+                }
+                std::cmp::Ordering::Greater => {
+                    d += 1;
+                    if d >= h {
+                        return None;
+                    }
+                    p = stepper.descend(true);
+                }
+            }
+        }
+    }
+
     /// Benchmark kernel: sum of found positions.
     #[must_use]
-    pub fn search_batch_checksum(&self, keys: impl IntoIterator<Item = K>) -> u64 {
+    pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
         let mut acc = 0u64;
-        for k in keys {
+        for &k in keys {
             if let Some(p) = self.search(k) {
                 acc = acc.wrapping_add(p);
             }
         }
         acc
+    }
+}
+
+impl<K: Ord + Copy> SearchBackend<K> for SteppingTree<K> {
+    fn height(&self) -> u32 {
+        self.tree.height()
+    }
+
+    fn key_count(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn search(&self, key: K) -> Option<u64> {
+        SteppingTree::search(self, key)
+    }
+
+    fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        SteppingTree::search_traced(self, key, visited)
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        SteppingTree::search_batch_checksum(self, keys)
     }
 }
 
@@ -107,12 +178,15 @@ mod tests {
 
     #[test]
     fn stepping_search_matches_indexed_search() {
-        for layout in [NamedLayout::MinWep, NamedLayout::HalfWep, NamedLayout::InVebA] {
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::HalfWep,
+            NamedLayout::InVebA,
+        ] {
             let h = 9;
             let keys: Vec<u64> = (1..=(1u64 << h) - 1).map(|k| k * 2).collect();
             let st = SteppingTree::build(layout.spec(), h, &keys);
-            let idx = layout.indexer(h);
-            let it = ImplicitTree::build(idx.as_ref(), &keys);
+            let it = ImplicitTree::build(layout.indexer(h), &keys);
             for probe in 0..=(keys.len() as u64 * 2 + 1) {
                 assert_eq!(
                     st.search(probe).is_some(),

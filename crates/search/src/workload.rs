@@ -37,10 +37,7 @@ impl UniformKeys {
     /// Draws `count` keys into a vector.
     #[must_use]
     pub fn take_vec(&mut self, count: usize) -> Vec<u64> {
-        (&mut self.rng)
-            .sample_iter(self.dist)
-            .take(count)
-            .collect()
+        (&mut self.rng).sample_iter(self.dist).take(count).collect()
     }
 }
 
@@ -70,7 +67,10 @@ impl ZipfKeys {
     /// Panics if `n == 0` or `n > 2^24` (the CDF is materialized).
     #[must_use]
     pub fn new(n: u64, s: f64, seed: u64) -> Self {
-        assert!((1..=(1 << 24)).contains(&n), "materialized Zipf needs n <= 2^24");
+        assert!(
+            (1..=(1 << 24)).contains(&n),
+            "materialized Zipf needs n <= 2^24"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
@@ -133,7 +133,11 @@ impl AffinityWalk {
         let t = self.tree;
         let h = t.height();
         let d = t.depth(self.current);
-        let w_parent = if d > 0 { self.weights.weight(d, h) } else { 0.0 };
+        let w_parent = if d > 0 {
+            self.weights.weight(d, h)
+        } else {
+            0.0
+        };
         let w_child = if d + 1 < h {
             self.weights.weight(d + 1, h)
         } else {
@@ -209,7 +213,11 @@ mod tests {
         let mut prev = walk.current();
         for node in walk.by_ref().take(200_000) {
             assert!(t.contains(node));
-            let (a, b) = if node > prev { (prev, node) } else { (node, prev) };
+            let (a, b) = if node > prev {
+                (prev, node)
+            } else {
+                (node, prev)
+            };
             assert_eq!(b >> 1, a, "walk must follow edges");
             match t.depth(b) {
                 1 => depth1 += 1,

@@ -47,7 +47,7 @@ proptest! {
         let mat = layout.materialize(h);
         let idx = layout.indexer(h);
         let et = ExplicitTree::build(&mat, &keys);
-        let it = ImplicitTree::build(idx.as_ref(), &keys);
+        let it = ImplicitTree::build(idx, &keys);
         for p in probes {
             prop_assert_eq!(et.search(p).is_some(), it.search(p).is_some(), "{:?} probe {}", layout, p);
         }
@@ -66,7 +66,7 @@ proptest! {
         prop_assert!(visited.len() <= h as usize);
         prop_assert_eq!(visited[0], tree.root_position());
         // All visited positions distinct (no cycles).
-        let set: BTreeSet<u32> = visited.iter().copied().collect();
+        let set: BTreeSet<u64> = visited.iter().copied().collect();
         prop_assert_eq!(set.len(), visited.len());
     }
 }

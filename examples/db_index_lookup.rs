@@ -4,47 +4,50 @@
 //! column dictionary) is rebuilt rarely and probed constantly — exactly
 //! the setting where a cache-oblivious static layout pays off. This
 //! example builds the same 1M-key index in PRE-VEB (the literature
-//! default) and MINWEP (the paper's layout), then compares simulated
-//! cache misses and wall-clock throughput under uniform and Zipf-skewed
+//! default) and MINWEP (the paper's layout) through the `SearchTree`
+//! facade, then compares simulated cache misses (via generic backend
+//! replay) and wall-clock throughput under uniform and Zipf-skewed
 //! point lookups.
 //!
 //! ```text
 //! cargo run --release --example db_index_lookup
 //! ```
 
-use cobtree::cachesim::presets;
+use cobtree::cachesim::{presets, replay_search_backend};
 use cobtree::core::NamedLayout;
-use cobtree::search::trace::search_addresses;
 use cobtree::search::workload::{UniformKeys, ZipfKeys};
-use cobtree::search::ExplicitTree;
+use cobtree::{SearchTree, Storage};
 use std::time::Instant;
 
-fn main() {
-    let height = 20; // 1,048,575 keys ≈ a sealed run's index
+fn main() -> Result<(), cobtree::Error> {
+    let height = 20;
+    let n = (1u64 << height) - 1; // 1,048,575 keys ≈ a sealed run's index
     let lookups = 500_000;
-    println!("== static DB index, {} keys ==\n", (1u64 << height) - 1);
+    println!("== static DB index, {n} keys ==\n");
 
-    let uniform: Vec<u64> = UniformKeys::for_height(height, 7).take_vec(lookups);
-    let zipf: Vec<u64> = ZipfKeys::new((1 << height) - 1, 1.1, 7).take(lookups).collect();
+    let keys: Vec<u64> = (1..=n).collect();
+    let uniform: Vec<u64> = UniformKeys::new(n, 7).take_vec(lookups);
+    let zipf: Vec<u64> = ZipfKeys::new(n, 1.1, 7).take(lookups).collect();
 
     for layout in [NamedLayout::PreVeb, NamedLayout::MinWep] {
-        let mat = layout.materialize(height);
-        let tree = ExplicitTree::<u64>::with_rank_keys(&mat);
-        let idx = layout.indexer(height);
+        let tree = SearchTree::builder()
+            .layout(layout)
+            .storage(Storage::Explicit)
+            .keys(keys.iter().copied())
+            .build()?;
 
         // Simulated cache behaviour on the paper's Westmere geometry
-        // (16-byte index entries: key + two child offsets).
+        // (16-byte index entries: key + two child offsets), replayed
+        // from the backend's actual access pattern.
         let mut sim = presets::westmere_l1_l2();
-        search_addresses(idx.as_ref(), 16, 0, uniform.iter().copied(), |a| {
-            sim.access(a);
-        });
+        replay_search_backend(&mut sim, &tree, 16, 0, &uniform);
 
         // Wall-clock probes.
         let t0 = Instant::now();
-        let c1 = tree.search_batch_checksum(uniform.iter().copied());
+        let c1 = tree.search_batch_checksum(&uniform);
         let uniform_ns = t0.elapsed().as_nanos() as f64 / lookups as f64;
         let t1 = Instant::now();
-        let c2 = tree.search_batch_checksum(zipf.iter().copied());
+        let c2 = tree.search_batch_checksum(&zipf);
         let zipf_ns = t1.elapsed().as_nanos() as f64 / lookups as f64;
 
         println!(
@@ -63,4 +66,5 @@ fn main() {
         "\nMINWEP reduces both miss rates and lookup latency; the skewed\n\
          (Zipf) workload narrows the gap because hot paths stay cached."
     );
+    Ok(())
 }

@@ -18,12 +18,16 @@ fn main() {
         .unwrap_or(5)
         .clamp(1, 10);
 
-    let Some(layout) = NamedLayout::from_label(&name) else {
-        eprintln!("unknown layout '{name}'; choose from:");
-        for l in NamedLayout::ALL {
-            eprintln!("  {} ({})", l.label(), l.nomenclature());
+    // NamedLayout implements FromStr, so CLI parsing is just `.parse()`.
+    let layout: NamedLayout = match name.parse() {
+        Ok(layout) => layout,
+        Err(e) => {
+            eprintln!("{e}; choose from:");
+            for l in NamedLayout::ALL {
+                eprintln!("  {} ({})", l.label(), l.nomenclature());
+            }
+            std::process::exit(2);
         }
-        std::process::exit(2);
     };
 
     let tree = Tree::new(height);

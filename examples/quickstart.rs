@@ -1,5 +1,5 @@
-//! Quickstart: build a MINWEP-laid-out search tree, run searches, and
-//! inspect the locality measures that explain why it is fast.
+//! Quickstart: one builder call per layout × storage combination, plus
+//! the locality measures that explain the timing differences.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,34 +8,45 @@
 use cobtree::core::{EdgeWeights, NamedLayout};
 use cobtree::measures::functionals;
 use cobtree::search::workload::UniformKeys;
-use cobtree::search::ExplicitTree;
+use cobtree::{SearchTree, Storage};
 use std::time::Instant;
 
-fn main() {
-    let height = 18; // 262,143 keys
-    println!("== cobtree quickstart: {}-level complete BST ==\n", height);
+fn main() -> Result<(), cobtree::Error> {
+    let height = 18;
+    let n = (1u64 << height) - 1; // 262,143 keys
+    let keys: Vec<u64> = (1..=n).collect();
+    let probes = UniformKeys::new(n, 1).take_vec(1_000_000);
+    println!("== cobtree quickstart: {n} keys, 1M probes ==\n");
 
     // 1. Pick a layout. MINWEP is the paper's contribution; PRE-VEB is
-    //    the classical cache-oblivious layout it improves on.
+    //    the classical cache-oblivious layout it improves on. The
+    //    builder sizes the tree from the key count.
     for layout in [NamedLayout::PreVeb, NamedLayout::InVeb, NamedLayout::MinWep] {
-        let mat = layout.materialize(height);
-
         // 2. Locality measures (§III): lower ν0 ⇒ fewer cache misses
         //    across every level of the memory hierarchy.
+        let mat = layout.try_materialize(height)?;
         let f = functionals(height, mat.edge_lengths(), EdgeWeights::Approximate);
 
-        // 3. Build the pointer-based tree and time a million searches.
-        let tree = ExplicitTree::<u64>::with_rank_keys(&mat);
-        let keys = UniformKeys::for_height(height, 1).take_vec(1_000_000);
+        // 3. Build the tree — swapping `Storage::Explicit` for
+        //    `Storage::Implicit` or `Storage::IndexOnly` below is the
+        //    entire storage-backend change.
+        let tree = SearchTree::builder()
+            .layout(layout)
+            .storage(Storage::Explicit)
+            .keys(keys.iter().copied())
+            .build()?;
+
+        // 4. Time a million searches.
         let start = Instant::now();
-        let checksum = tree.search_batch_checksum(keys.iter().copied());
+        let checksum = tree.search_batch_checksum(&probes);
         let elapsed = start.elapsed();
 
         println!(
-            "{:<12} nu0 = {:6.3}   mean search = {:6.1} ns   (checksum {checksum:x})",
+            "{:<12} [{}] nu0 = {:6.3}   mean search = {:6.1} ns   (checksum {checksum:x})",
             layout.label(),
+            tree.storage(),
             f.nu0,
-            elapsed.as_nanos() as f64 / keys.len() as f64,
+            elapsed.as_nanos() as f64 / probes.len() as f64,
         );
     }
 
@@ -43,4 +54,5 @@ fn main() {
         "\nMINWEP should show the lowest nu0 and the fastest searches —\n\
          the ~20% advantage over PRE-VEB reported in the paper."
     );
+    Ok(())
 }

@@ -1,0 +1,110 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::collections::BTreeSet;
+
+/// Size specifications accepted by the collection strategies: an exact
+/// count or a half-open range of counts.
+pub trait SizeSpec {
+    /// Picks a concrete size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// `Vec` of values from `element`, with `size` elements.
+pub fn vec<S: Strategy, Z: SizeSpec>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` drawn from `element` with (up to) `size` distinct values.
+///
+/// Gives up after `64 × size` draws if the element domain cannot supply
+/// enough distinct values; tests guard the exact size with
+/// `prop_assume!` where it matters.
+pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeSpec,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: SizeSpec,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(64).max(64) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::for_case("vec_sizes", 0);
+        let exact = vec(0u32..10, 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+        let ranged = vec(0u32..10, 1..5);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct() {
+        let mut rng = TestRng::for_case("btree_set_distinct", 1);
+        let s = btree_set(0i64..100_000, 255usize);
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 255);
+    }
+}

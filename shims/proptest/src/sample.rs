@@ -1,0 +1,41 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Uniform choice from a non-empty vector of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options() {
+        let s = select(vec!['a', 'b', 'c']);
+        let mut rng = TestRng::for_case("covers_all_options", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! The [`Strategy`] trait and the combinators cobtree's tests use.
+
+use crate::{RandomValue, TestRng};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// `f` returns for it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Combines the generated value with a forked rng (proptest's escape
+    /// hatch for ad-hoc randomized construction).
+    fn prop_perturb<U, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> U,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+/// Object-safe mirror of [`Strategy`], for heterogeneous `prop_oneof!`
+/// arms.
+pub trait ObjStrategy<V> {
+    /// Generates one value.
+    fn generate_obj(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> ObjStrategy<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn ObjStrategy<V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.as_ref().generate_obj(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Any value of a primitive type.
+#[must_use]
+pub fn any<T: RandomValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: RandomValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        let value = self.inner.generate(rng);
+        (self.f)(value, rng.fork())
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn ObjStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; `arms` must be non-empty.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn ObjStrategy<V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate_obj(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::for_case("ranges_and_maps", 0);
+        let s = (1u32..=6).prop_map(|x| x * 10);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((10..=60).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let mut rng = TestRng::for_case("flat_map_chains", 3);
+        let s = (2u32..=5).prop_flat_map(|n| (0u32..n).prop_map(move |x| (n, x)));
+        for _ in 0..1000 {
+            let (n, x) = s.generate(&mut rng);
+            assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let u = Union::new(vec![
+            Box::new(Just(1u32)) as Box<dyn ObjStrategy<u32>>,
+            Box::new(Just(2u32)),
+            Box::new(3u32..=3),
+        ]);
+        let mut rng = TestRng::for_case("union_hits_every_arm", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

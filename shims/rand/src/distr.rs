@@ -1,0 +1,108 @@
+//! Distributions: the `Uniform` subset of `rand::distr`.
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Error returned by [`Uniform`] constructors on an empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("empty uniform range")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform distribution over a fixed inclusive interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi]`; errors if `hi < lo`.
+    pub fn new_inclusive(lo: T, hi: T) -> Result<Self, Error> {
+        if hi < lo {
+            return Err(Error);
+        }
+        Ok(Self { lo, hi })
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.lo, self.hi)
+    }
+}
+
+/// Endless iterator adapter returned by [`crate::Rng::sample_iter`].
+pub struct DistIter<D, R, T> {
+    dist: D,
+    rng: R,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(dist: D, rng: R) -> Self {
+        Self {
+            dist,
+            rng,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, D: Distribution<T>, R: RngCore> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_empty_and_covers_domain() {
+        assert_eq!(Uniform::new_inclusive(5u64, 4), Err(Error));
+        let d = Uniform::new_inclusive(1u64, 15).unwrap();
+        let mut seen = [false; 16];
+        let mut rng = Lcg(9);
+        for _ in 0..4000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1..].iter().all(|&s| s));
+        assert!(!seen[0]);
+    }
+}

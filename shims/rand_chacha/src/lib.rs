@@ -1,0 +1,163 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha8 keystream generator (Bernstein's ChaCha
+//! with 8 rounds) behind the shim [`rand`] traits. The `seed_from_u64`
+//! key schedule differs from upstream `rand_chacha` (seeds are expanded
+//! with SplitMix64 rather than the upstream PRNG), so streams are *not*
+//! bit-compatible with the real crate — cobtree only needs seeded
+//! determinism within this workspace.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, 64-bit logical block counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + nonce words 4..16 of the initial state (words 0..4 are the
+    /// "expand 32-byte k" constants; words 12..13 the counter).
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    /// Current keystream block, consumed one u64 at a time.
+    block: [u32; 16],
+    /// Next u64 index within `block` (8 per block; 8 = exhausted).
+    cursor: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds then 4 diagonal rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+/// SplitMix64 step, used only to expand the 64-bit seed into a 256-bit key.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut s);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        Self {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            block: [0; 16],
+            cursor: 8,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor >= 8 {
+            self.refill();
+        }
+        let lo = self.block[2 * self.cursor];
+        let hi = self.block[2 * self.cursor + 1];
+        self.cursor += 1;
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..100)
+            .map({
+                let mut r = ChaCha8Rng::seed_from_u64(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..100)
+            .map({
+                let mut r = ChaCha8Rng::seed_from_u64(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..100)
+            .map({
+                let mut r = ChaCha8Rng::seed_from_u64(2);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut r = ChaCha8Rng::seed_from_u64(77);
+        let mut ones = 0u64;
+        const DRAWS: u64 = 10_000;
+        for _ in 0..DRAWS {
+            ones += u64::from(r.next_u64().count_ones());
+        }
+        let mean = ones as f64 / DRAWS as f64;
+        assert!((31.0..33.0).contains(&mean), "bit balance {mean}");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..3 {
+            r.next_u64();
+        }
+        let mut s = r.clone();
+        for _ in 0..20 {
+            assert_eq!(r.next_u64(), s.next_u64());
+        }
+    }
+}

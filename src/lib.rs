@@ -12,30 +12,66 @@
 //! and pointer-less search trees, a Westmere-accurate cache simulator, the
 //! MINLA/MINBW baselines, and the §IV layout-space study.
 //!
+//! ## Quickstart: the `SearchTree` facade
+//!
+//! The paper's point is that MINWEP is a drop-in *layout choice*: the
+//! search algorithm never changes, only the position computation does.
+//! [`SearchTree`] makes that one builder call — pick a layout, pick a
+//! storage backend, hand over sorted keys:
+//!
+//! ```
+//! use cobtree::{SearchTree, Storage};
+//! use cobtree::core::NamedLayout;
+//!
+//! let keys: Vec<u64> = (1..=100_000).map(|k| k * 10).collect();
+//! let tree = SearchTree::builder()
+//!     .layout(NamedLayout::MinWep)      // the paper's layout…
+//!     .storage(Storage::Explicit)       // …with pointer-based storage
+//!     .keys(keys.iter().copied())
+//!     .build()?;
+//! assert!(tree.contains(999_990));
+//! assert!(!tree.contains(41));
+//!
+//! // Key count, not height, sizes the tree: 100k keys pad into the
+//! // smallest complete tree that fits.
+//! assert_eq!(tree.height(), 17);
+//!
+//! // Swapping the storage discipline is a one-line change and returns
+//! // identical positions and checksums for the same keys:
+//! let implicit = SearchTree::builder()
+//!     .layout(NamedLayout::MinWep)
+//!     .storage(Storage::Implicit)
+//!     .keys(keys.iter().copied())
+//!     .build()?;
+//! let probes: Vec<u64> = (0..1000).map(|k| k * 37).collect();
+//! assert_eq!(
+//!     tree.search_batch_checksum(&probes),
+//!     implicit.search_batch_checksum(&probes),
+//! );
+//! # Ok::<(), cobtree::Error>(())
+//! ```
+//!
+//! Layouts come from three kinds of [`LayoutSource`]: a
+//! [`core::NamedLayout`] (Table I), a raw [`core::RecursiveSpec`], or a
+//! pre-materialized [`core::Layout`]. Every fallible constructor in the
+//! workspace returns the crate-wide [`Error`] type.
+//!
+//! Generic code works against any backend through [`SearchBackend`]
+//! (`search` / `search_traced` / `search_batch_checksum`), which the
+//! cache simulator ([`cachesim::replay_search_backend`]) and empirical
+//! measures ([`measures::observed_block_transitions`]) consume as
+//! `&dyn SearchBackend<K>`.
+//!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`core`] | `cobtree-core` | tree model, layout engine, named layouts, Listing 1 |
-//! | [`measures`] | `cobtree-measures` | locality functionals, block transitions |
-//! | [`cachesim`] | `cobtree-cachesim` | set-associative cache hierarchy simulator |
-//! | [`search`] | `cobtree-search` | explicit/implicit search trees, workloads |
+//! | [`core`] | `cobtree-core` | tree model, layout engine, named layouts, Listing 1, [`Error`] |
+//! | [`measures`] | `cobtree-measures` | locality functionals, block transitions, observed traces |
+//! | [`cachesim`] | `cobtree-cachesim` | set-associative cache hierarchy simulator + backend replay |
+//! | [`search`] | `cobtree-search` | storage backends, the [`SearchTree`] facade, workloads |
 //! | [`optimizer`] | `cobtree-optimizer` | layout-space study, MINLA/MINBW |
 //! | [`analysis`] | `cobtree-analysis` | figure/table generators (`repro` binary) |
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use cobtree::core::NamedLayout;
-//! use cobtree::search::ExplicitTree;
-//!
-//! // A 4095-key static search tree in the paper's MINWEP layout.
-//! let layout = NamedLayout::MinWep.materialize(12);
-//! let keys: Vec<u64> = (1..=layout.len()).map(|k| k * 10).collect();
-//! let tree = ExplicitTree::build(&layout, &keys);
-//! assert!(tree.search(40950).is_some());
-//! assert!(tree.search(41).is_none());
-//! ```
 
 pub use cobtree_analysis as analysis;
 pub use cobtree_cachesim as cachesim;
@@ -43,3 +79,11 @@ pub use cobtree_core as core;
 pub use cobtree_measures as measures;
 pub use cobtree_optimizer as optimizer;
 pub use cobtree_search as search;
+
+pub use cobtree_core::{Error, Result};
+pub use cobtree_search::{LayoutSource, SearchBackend, SearchTree, SearchTreeBuilder, Storage};
+
+/// Compiles and runs the README's code examples as doctests.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -95,24 +95,39 @@ fn bender_never_beats_pre_veb_and_ties_at_power_of_two_heights() {
             strictly_worse += 1;
         }
     }
-    assert!(strictly_worse >= 6, "BENDER should lag at most non-pow2 heights");
+    assert!(
+        strictly_worse >= 6,
+        "BENDER should lag at most non-pow2 heights"
+    );
 }
 
 #[test]
 fn explicit_implicit_and_oracle_agree() {
     let h = 10;
     let tree = Tree::new(h);
-    for layout in [NamedLayout::MinWep, NamedLayout::HalfWep, NamedLayout::Bender] {
+    for layout in [
+        NamedLayout::MinWep,
+        NamedLayout::HalfWep,
+        NamedLayout::Bender,
+    ] {
         let mat = layout.materialize(h);
         let idx = layout.indexer(h);
         let keys: Vec<u64> = (1..=tree.len()).map(|k| k * 7 + 3).collect();
         let et = ExplicitTree::build(&mat, &keys);
-        let it = ImplicitTree::build(idx.as_ref(), &keys);
+        let it = ImplicitTree::build(idx, &keys);
         let set: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
         for probe in (0..=keys.len() as u64 * 7 + 10).step_by(3) {
             let expect = set.contains(&probe);
-            assert_eq!(et.search(probe).is_some(), expect, "{layout} explicit {probe}");
-            assert_eq!(it.search(probe).is_some(), expect, "{layout} implicit {probe}");
+            assert_eq!(
+                et.search(probe).is_some(),
+                expect,
+                "{layout} explicit {probe}"
+            );
+            assert_eq!(
+                it.search(probe).is_some(),
+                expect,
+                "{layout} implicit {probe}"
+            );
         }
     }
 }
@@ -161,8 +176,18 @@ fn simulated_l1_misses_follow_the_nu0_ordering() {
         });
         rates.push(sim.global_miss_rate(0));
     }
-    assert!(rates[0] < rates[1], "MINWEP {} !< IN-VEB {}", rates[0], rates[1]);
-    assert!(rates[1] < rates[2], "IN-VEB {} !< PRE-VEB {}", rates[1], rates[2]);
+    assert!(
+        rates[0] < rates[1],
+        "MINWEP {} !< IN-VEB {}",
+        rates[0],
+        rates[1]
+    );
+    assert!(
+        rates[1] < rates[2],
+        "IN-VEB {} !< PRE-VEB {}",
+        rates[1],
+        rates[2]
+    );
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Acceptance tests for the unified `SearchTree` facade: every
+//! `NamedLayout` × `Storage` combination must agree with
+//! `std::collections::BTreeSet` membership on random workloads, and the
+//! builder must reject malformed configurations with typed errors.
+
+use cobtree::core::{Error, NamedLayout};
+use cobtree::{SearchTree, Storage};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every layout × storage combination is a faithful ordered-set: it
+    /// agrees with a BTreeSet oracle on arbitrary u64 keys and probes,
+    /// and all combinations report the same membership.
+    #[test]
+    fn every_layout_and_storage_matches_btreeset(
+        raw in proptest::collection::btree_set(0u64..500_000, 1..260),
+        probes in proptest::collection::vec(0u64..500_000, 64),
+    ) {
+        let keys: Vec<u64> = raw.iter().copied().collect();
+        let oracle: BTreeSet<u64> = raw;
+        for layout in NamedLayout::ALL {
+            for storage in Storage::ALL {
+                let tree = SearchTree::builder()
+                    .layout(layout)
+                    .storage(storage)
+                    .keys(keys.iter().copied())
+                    .build()
+                    .expect("valid configuration must build");
+                for &p in &probes {
+                    prop_assert_eq!(
+                        tree.contains(p),
+                        oracle.contains(&p),
+                        "{}/{} probe {}", layout, storage, p
+                    );
+                }
+                for &k in &keys {
+                    prop_assert!(tree.contains(k), "{}/{} lost key {}", layout, storage, k);
+                }
+            }
+        }
+    }
+
+    /// All storage backends of one layout return identical checksums —
+    /// the facade's interchange guarantee, for every named layout.
+    #[test]
+    fn checksums_identical_across_storage_backends(
+        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        raw in proptest::collection::btree_set(0u64..100_000, 2..200),
+        probes in proptest::collection::vec(0u64..100_000, 64),
+    ) {
+        let keys: Vec<u64> = raw.into_iter().collect();
+        let checksums: Vec<u64> = Storage::ALL
+            .iter()
+            .map(|&storage| {
+                SearchTree::builder()
+                    .layout(layout)
+                    .storage(storage)
+                    .keys(keys.iter().copied())
+                    .build()
+                    .expect("build")
+                    .search_batch_checksum(&probes)
+            })
+            .collect();
+        prop_assert_eq!(checksums[0], checksums[1], "{} explicit vs implicit", layout);
+        prop_assert_eq!(checksums[1], checksums[2], "{} implicit vs index-only", layout);
+    }
+}
+
+#[test]
+fn builder_rejects_empty_keys() {
+    for storage in Storage::ALL {
+        let err = SearchTree::<u64>::builder()
+            .storage(storage)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::EmptyKeys, "{storage}");
+    }
+}
+
+#[test]
+fn builder_rejects_unsorted_and_duplicate_keys() {
+    let err = SearchTree::builder()
+        .keys([5u64, 3, 9])
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::UnsortedKeys { index: 0 });
+    let err = SearchTree::builder()
+        .keys([1u64, 7, 7, 9])
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::UnsortedKeys { index: 1 });
+}
+
+#[test]
+fn builder_rejects_oversized_materialized_height() {
+    // A pre-materialized layout must match the key-derived height: 100
+    // keys need h = 7, the provided layout has h = 10.
+    let oversized = NamedLayout::MinWep.materialize(10);
+    let err = SearchTree::builder()
+        .layout(oversized)
+        .keys((1..=100u64).collect::<Vec<_>>())
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        Error::HeightMismatch {
+            expected: 10,
+            got: 7
+        }
+    );
+}
+
+#[test]
+fn facade_reports_shape_and_storage() {
+    let tree = SearchTree::builder()
+        .layout(NamedLayout::InVeb)
+        .storage(Storage::IndexOnly)
+        .keys((1..=1000u64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    assert_eq!(tree.len(), 1000);
+    assert_eq!(tree.height(), 10);
+    assert_eq!(tree.capacity(), 1023);
+    assert_eq!(tree.storage(), Storage::IndexOnly);
+    assert_eq!(tree.layout_label(), "IN-VEB");
+}

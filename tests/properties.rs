@@ -26,19 +26,18 @@ fn arb_spec() -> impl Strategy<Value = RecursiveSpec> {
         prop_oneof![Just(RootOrder::InOrder), Just(RootOrder::PreOrder)],
         arb_cut_rule(),
         arb_cut_rule(),
-        prop_oneof![
-            (1u32..=5).prop_map(Subscript::K),
-            Just(Subscript::Infinity)
-        ],
+        prop_oneof![(1u32..=5).prop_map(Subscript::K), Just(Subscript::Infinity)],
         any::<bool>(),
     )
-        .prop_map(|(root_order, cut_in, cut_pre, first_in_order, alternating)| RecursiveSpec {
-            root_order,
-            cut_in,
-            cut_pre,
-            first_in_order,
-            alternating,
-        })
+        .prop_map(
+            |(root_order, cut_in, cut_pre, first_in_order, alternating)| RecursiveSpec {
+                root_order,
+                cut_in,
+                cut_pre,
+                first_in_order,
+                alternating,
+            },
+        )
 }
 
 proptest! {
