@@ -14,11 +14,12 @@
 //!   ablate  design-choice ablations
 //!   validate  analytic-vs-simulated beta
 //!   storage   SearchTree facade: explicit vs implicit vs index-only
+//!   range     ordered-query workloads: cursor range scans + sorted batches
 //!   all     everything above
 //! ```
 
 use cobtree_analysis::experiments::{
-    cache, extensions, facade_exp, locality, study_exp, timing_exp, Config,
+    cache, extensions, facade_exp, locality, range_exp, study_exp, timing_exp, Config,
 };
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
@@ -96,6 +97,14 @@ fn run(cfg: &Config, what: &str) {
                 facade_exp::backend_iteration_demo(cfg),
             ],
         ),
+        "range" => emit(
+            cfg,
+            vec![
+                range_exp::range_scan_backend_comparison(cfg),
+                range_exp::sorted_batch_comparison(cfg),
+                range_exp::ordered_interchange_check(cfg),
+            ],
+        ),
         "extend" => emit(
             cfg,
             vec![
@@ -108,7 +117,7 @@ fn run(cfg: &Config, what: &str) {
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "storage", "extend",
+                "storage", "range", "extend",
             ] {
                 run(cfg, w);
             }
@@ -136,7 +145,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

@@ -102,10 +102,7 @@ pub fn backend_iteration_demo(cfg: &Config) -> Table {
         &["storage", "probes", "hits", "checksum"],
     );
     for (tree, backend) in trees.iter().zip(&backends) {
-        let hits = probes
-            .iter()
-            .filter(|&&p| backend.search(p).is_some())
-            .count();
+        let hits = probes.iter().filter(|&&p| backend.contains(p)).count();
         t.push_row(vec![
             tree.storage().to_string(),
             probes.len().to_string(),

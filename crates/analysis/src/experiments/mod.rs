@@ -8,6 +8,7 @@ pub mod cache;
 pub mod extensions;
 pub mod facade_exp;
 pub mod locality;
+pub mod range_exp;
 pub mod study_exp;
 pub mod timing_exp;
 

@@ -1,0 +1,112 @@
+//! Ordered-query workloads per layout — the operations the query-API
+//! redesign opened up: cursor range scans and sorted-batch search with
+//! shared-prefix restarts, each against the independent-point-search
+//! baseline.
+//!
+//! Expected shape: IN-ORDER dominates long scans (contiguous ranks are
+//! contiguous positions) while the point-search-optimal layouts pay.
+//! For sorted batches the shared root-path prefix is fetched once per
+//! batch — a guaranteed win in *node fetches* (see the `range` repro
+//! experiment) that translates to wall clock once position arithmetic
+//! or memory latency dominates; with the cheap implicit indexers here
+//! the two kernels land close, which is the honest baseline to track.
+
+use cobtree::core::NamedLayout;
+use cobtree::{SearchTree, Storage};
+use cobtree_search::workload::{scan_starts, sorted_batches};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const LAYOUTS: [NamedLayout; 3] = [
+    NamedLayout::InOrder,
+    NamedLayout::MinWep,
+    NamedLayout::PreVeb,
+];
+
+fn build(layout: NamedLayout, h: u32) -> SearchTree<u64> {
+    let n = (1u64 << h) - 1;
+    SearchTree::builder()
+        .layout(layout)
+        .storage(Storage::Implicit)
+        .keys((1..=n).map(|k| k * 2))
+        .build()
+        .expect("bench tree")
+}
+
+fn range_scan(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let span = 256u64;
+    let starts = scan_starts(n, span, 200, 11);
+    let mut group = c.benchmark_group(format!("range_scan_h{h}_span{span}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(starts.len() as u64 * span));
+    for layout in LAYOUTS {
+        let tree = build(layout, h);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &tree,
+            |b, t| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &s in &starts {
+                        let lo = t.select(s).expect("start rank is stored");
+                        for k in t.range(lo..).take(span as usize) {
+                            acc = acc.wrapping_add(k);
+                        }
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sorted_batch_vs_points(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let batches = sorted_batches(n * 2, 64, 64, 1.1, 7);
+    let probes: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group(format!("sorted_batch_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(probes));
+    for layout in LAYOUTS {
+        let tree = build(layout, h);
+        group.bench_with_input(
+            BenchmarkId::new("batched", layout.label()),
+            &tree,
+            |b, t| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for batch in &batches {
+                        t.search_sorted_batch(batch, &mut out).expect("ascending");
+                        acc = acc.wrapping_add(out.iter().flatten().sum::<u64>());
+                    }
+                    acc
+                });
+            },
+        );
+        let tree = build(layout, h);
+        group.bench_with_input(BenchmarkId::new("points", layout.label()), &tree, |b, t| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for batch in &batches {
+                    acc = acc.wrapping_add(t.search_batch_checksum(batch));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, range_scan, sorted_batch_vs_points);
+criterion_main!(benches);

@@ -36,4 +36,4 @@ pub mod replay;
 pub use cache::{CacheConfig, CacheLevel, LevelStats};
 pub use hierarchy::CacheHierarchy;
 pub use policy::ReplacementPolicy;
-pub use replay::replay_search_backend;
+pub use replay::{replay_range_scan, replay_search_backend, replay_sorted_batches};

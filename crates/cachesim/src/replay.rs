@@ -5,7 +5,12 @@
 //! bare position indexers; with the [`SearchBackend`] trait the same
 //! experiment runs against *any* storage backend — explicit, implicit,
 //! index-only, or the whole `SearchTree` facade — by replaying exactly
-//! the positions each backend visits.
+//! the positions each backend visits. Since the ordered-query redesign
+//! this covers the richer workloads too: [`replay_range_scan`] feeds
+//! cursor-driven range scans through the hierarchy and
+//! [`replay_sorted_batches`] the shared-prefix sorted-batch searches, so
+//! block transfers can be reported for scans and batches, not just
+//! point queries.
 
 use crate::hierarchy::CacheHierarchy;
 use cobtree_search::SearchBackend;
@@ -13,7 +18,7 @@ use cobtree_search::SearchBackend;
 /// Searches every key on `backend`, feeding each visited position
 /// (scaled by `node_bytes`, offset by `base`) through the hierarchy.
 /// Returns the number of keys found.
-pub fn replay_search_backend<K: Copy>(
+pub fn replay_search_backend<K: Copy + Ord>(
     hierarchy: &mut CacheHierarchy,
     backend: &dyn SearchBackend<K>,
     node_bytes: u64,
@@ -27,6 +32,63 @@ pub fn replay_search_backend<K: Copy>(
         if backend.search_traced(key, &mut visited).is_some() {
             found += 1;
         }
+        for &p in &visited {
+            hierarchy.access(base + p * node_bytes);
+        }
+    }
+    found
+}
+
+/// Replays in-order range scans: for every 1-based start rank in
+/// `starts`, visits `span` consecutive ranks and feeds each element's
+/// layout position through the hierarchy. Returns the number of elements
+/// visited.
+pub fn replay_range_scan<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    backend: &dyn SearchBackend<K>,
+    node_bytes: u64,
+    base: u64,
+    starts: &[u64],
+    span: u64,
+) -> u64 {
+    let mut visited = Vec::with_capacity(span as usize);
+    let mut touched = 0u64;
+    for &start in starts {
+        visited.clear();
+        backend.scan_positions_traced(start, start + span - 1, &mut visited);
+        touched += visited.len() as u64;
+        for &p in &visited {
+            hierarchy.access(base + p * node_bytes);
+        }
+    }
+    touched
+}
+
+/// Replays sorted-batch searches: every batch runs through
+/// [`SearchBackend::search_sorted_batch_traced`], so only the nodes the
+/// shared-prefix descent actually fetches reach the hierarchy. Returns
+/// the number of probes found.
+///
+/// # Panics
+/// Panics if a batch is not ascending (`Error::UnsortedBatch`);
+/// generate batches with
+/// [`cobtree_search::workload::sorted_batches`].
+pub fn replay_sorted_batches<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    backend: &dyn SearchBackend<K>,
+    node_bytes: u64,
+    base: u64,
+    batches: &[Vec<K>],
+) -> u64 {
+    let mut found = 0u64;
+    let mut out = Vec::new();
+    let mut visited = Vec::new();
+    for batch in batches {
+        visited.clear();
+        backend
+            .search_sorted_batch_traced(batch, &mut out, &mut visited)
+            .expect("sorted-batch replay requires ascending batches");
+        found += out.iter().filter(|p| p.is_some()).count() as u64;
         for &p in &visited {
             hierarchy.access(base + p * node_bytes);
         }
@@ -71,6 +133,41 @@ mod tests {
                 "level {level}"
             );
         }
+    }
+
+    #[test]
+    fn range_scan_replay_counts_every_element() {
+        let keys: Vec<u64> = (1..=1023u64).collect();
+        let tree = ImplicitTree::build(NamedLayout::InOrder.indexer(10), &keys);
+        let starts = cobtree_search::workload::scan_starts(1023, 32, 100, 7);
+        let mut sim = presets::westmere_l1_l2();
+        let touched = replay_range_scan(&mut sim, &tree, 4, 0, &starts, 32);
+        assert_eq!(touched, 100 * 32);
+        assert_eq!(sim.level_stats(0).accesses, touched);
+        // IN-ORDER scans are contiguous: misses ≈ touched / 16 per
+        // 64-byte line, far below one per element.
+        assert!(sim.level_stats(0).misses < touched / 8);
+    }
+
+    #[test]
+    fn sorted_batch_replay_accesses_no_more_than_point_replay() {
+        let h = 12;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let tree = ImplicitTree::build(NamedLayout::MinWep.indexer(h), &keys);
+        let batches = cobtree_search::workload::sorted_batches(tree.len() as u64, 64, 50, 0.0, 3);
+
+        let mut batch_sim = presets::westmere_l1_l2();
+        let found = replay_sorted_batches(&mut batch_sim, &tree, 4, 0, &batches);
+        assert_eq!(found, 50 * 64);
+
+        let mut point_sim = presets::westmere_l1_l2();
+        for b in &batches {
+            replay_search_backend(&mut point_sim, &tree, 4, 0, b);
+        }
+        assert!(
+            batch_sim.level_stats(0).accesses < point_sim.level_stats(0).accesses,
+            "batched replay must fetch strictly fewer nodes"
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub enum Error {
         /// Height of the second component (e.g. the index).
         got: u32,
     },
+    /// A probe batch handed to a sorted-batch search was not ascending:
+    /// `batch[index] > batch[index + 1]` (equal adjacent probes are fine).
+    UnsortedBatch {
+        /// Index of the first descending adjacent pair.
+        index: usize,
+    },
     /// A layout name that [`crate::NamedLayout`] does not know.
     UnknownLayout {
         /// The unrecognized name.
@@ -89,6 +95,10 @@ impl std::fmt::Display for Error {
             Error::HeightMismatch { expected, got } => {
                 write!(f, "components disagree on tree height: {expected} vs {got}")
             }
+            Error::UnsortedBatch { index } => write!(
+                f,
+                "sorted-batch probes must be ascending (descending adjacent pair starting at index {index})"
+            ),
             Error::UnknownLayout { name } => write!(f, "unknown layout name '{name}'"),
             Error::Malformed { detail } => write!(f, "malformed data: {detail}"),
         }

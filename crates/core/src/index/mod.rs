@@ -26,12 +26,20 @@ pub mod wep;
 
 use crate::layout::Layout;
 use crate::named::NamedLayout;
-use crate::tree::NodeId;
+use crate::tree::{NodeId, Tree};
 
 /// Arithmetic mapping from BFS node index to layout position.
 ///
 /// `depth` must equal `⌊log2 node⌋`; search loops track it incrementally,
 /// mirroring the paper's `index(i, d, h)` signature.
+///
+/// Beyond the point mapping, the trait provides **in-order navigation**:
+/// the stored keys of a laid-out complete BST are sorted by in-order
+/// rank, so the 1-based rank `r ∈ 1..=2^h − 1` is the ordinal of a key
+/// and [`PositionIndex::position_of_in_order`] /
+/// [`PositionIndex::in_order_of_position`] translate between ordinals
+/// and layout positions — the mapping every ordered-map operation
+/// (rank/select, cursors, range scans) is built on.
 pub trait PositionIndex: Send + Sync {
     /// Tree height `h` this indexer serves.
     fn height(&self) -> u32;
@@ -43,18 +51,62 @@ pub trait PositionIndex: Send + Sync {
     fn position_of(&self, node: NodeId) -> u64 {
         self.position(node, 63 - node.leading_zeros())
     }
+
+    /// Layout position of the node with 1-based in-order rank
+    /// `rank ∈ 1..=2^h − 1` — i.e. the position of the `rank`-th
+    /// smallest key.
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside `1..=2^h − 1`.
+    fn position_of_in_order(&self, rank: u64) -> u64 {
+        let tree = Tree::new(self.height());
+        let node = tree.node_at_in_order(rank);
+        self.position(node, tree.depth(node))
+    }
+
+    /// BFS node stored at layout `position`, or `None` when `position`
+    /// is outside `0..2^h − 1`.
+    ///
+    /// The default inverts the permutation by scanning all `2^h − 1`
+    /// nodes — `O(2^h)`. Implementations holding a materialized inverse
+    /// (e.g. [`MaterializedIndex`]) override it with a table lookup.
+    fn node_at_position(&self, position: u64) -> Option<NodeId> {
+        let tree = Tree::new(self.height());
+        if position >= tree.len() {
+            return None;
+        }
+        tree.nodes()
+            .find(|&i| self.position(i, tree.depth(i)) == position)
+    }
+
+    /// 1-based in-order rank of the key stored at layout `position` —
+    /// the inverse of [`PositionIndex::position_of_in_order`]. `None`
+    /// when `position` is out of range. Costs whatever
+    /// [`PositionIndex::node_at_position`] costs.
+    fn in_order_of_position(&self, position: u64) -> Option<u64> {
+        let tree = Tree::new(self.height());
+        self.node_at_position(position)
+            .map(|node| tree.in_order_rank(node))
+    }
 }
 
-/// A materialized layout used as a [`PositionIndex`] (one array lookup).
+/// A materialized layout used as a [`PositionIndex`] (one array lookup,
+/// both directions: the inverse permutation is materialized too).
 pub struct MaterializedIndex {
     layout: Layout,
+    nodes_by_position: Vec<NodeId>,
 }
 
 impl MaterializedIndex {
-    /// Wraps a materialized layout.
+    /// Wraps a materialized layout (builds the inverse permutation once,
+    /// so position → node queries are `O(1)`).
     #[must_use]
     pub fn new(layout: Layout) -> Self {
-        Self { layout }
+        let nodes_by_position = layout.nodes_by_position();
+        Self {
+            layout,
+            nodes_by_position,
+        }
     }
 
     /// The wrapped layout.
@@ -71,6 +123,10 @@ impl PositionIndex for MaterializedIndex {
 
     fn position(&self, node: NodeId, _depth: u32) -> u64 {
         self.layout.position(node)
+    }
+
+    fn node_at_position(&self, position: u64) -> Option<NodeId> {
+        self.nodes_by_position.get(position as usize).copied()
     }
 }
 
@@ -125,5 +181,39 @@ mod tests {
             assert_eq!(idx.position_of(i), layout.position(i));
         }
         assert_eq!(idx.height(), 8);
+    }
+
+    #[test]
+    fn in_order_navigation_round_trips_on_every_indexer() {
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::PreVeb,
+            NamedLayout::InOrder,
+        ] {
+            let h = 6;
+            let idx = layout.indexer(h);
+            let tree = crate::tree::Tree::new(h);
+            for rank in 1..=tree.len() {
+                let p = idx.position_of_in_order(rank);
+                assert!(p < tree.len());
+                assert_eq!(
+                    idx.in_order_of_position(p),
+                    Some(rank),
+                    "{layout} rank {rank}"
+                );
+            }
+            assert_eq!(idx.node_at_position(tree.len()), None);
+            assert_eq!(idx.in_order_of_position(u64::MAX), None);
+        }
+    }
+
+    #[test]
+    fn materialized_inverse_matches_generic_scan() {
+        let layout = NamedLayout::HalfWep.materialize(7);
+        let mat = MaterializedIndex::new(layout);
+        let generic = NamedLayout::HalfWep.indexer(7);
+        for p in 0..mat.layout().len() {
+            assert_eq!(mat.node_at_position(p), generic.node_at_position(p));
+        }
     }
 }

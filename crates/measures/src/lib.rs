@@ -34,5 +34,7 @@ pub mod stream;
 
 pub use block::{average_multilevel_misses, block_transitions, multilevel_misses};
 pub use functionals::{functionals, Functionals};
-pub use observed::observed_block_transitions;
+pub use observed::{
+    observed_batch_block_transitions, observed_block_transitions, observed_scan_block_transitions,
+};
 pub use profile::EdgeProfile;

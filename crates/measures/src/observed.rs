@@ -11,6 +11,27 @@
 
 use cobtree_search::SearchBackend;
 
+/// Accumulates Eq. 1 over the position transitions of one trace.
+fn accumulate_transitions(visited: &[u64], block_sizes: &[u64], sums: &mut [f64]) -> u64 {
+    for pair in visited.windows(2) {
+        let len = pair[0].abs_diff(pair[1]);
+        for (sum, &n) in sums.iter_mut().zip(block_sizes) {
+            debug_assert!(n >= 1);
+            *sum += if len >= n { 1.0 } else { len as f64 / n as f64 };
+        }
+    }
+    visited.len().saturating_sub(1) as u64
+}
+
+fn normalize(mut sums: Vec<f64>, transitions: u64) -> Vec<f64> {
+    if transitions > 0 {
+        for sum in &mut sums {
+            *sum /= transitions as f64;
+        }
+    }
+    sums
+}
+
 /// Observed block-transition fraction for each block size: the mean of
 /// `M_N(ℓ) = min(ℓ/N, 1)` (Eq. 1) over every position transition the
 /// backend performs while searching `keys`.
@@ -18,7 +39,7 @@ use cobtree_search::SearchBackend;
 /// Returns one value per entry of `block_sizes` (all 0 if the workload
 /// produces no transitions, e.g. a height-1 tree).
 #[must_use]
-pub fn observed_block_transitions<K: Copy>(
+pub fn observed_block_transitions<K: Copy + Ord>(
     backend: &dyn SearchBackend<K>,
     keys: &[K],
     block_sizes: &[u64],
@@ -29,27 +50,69 @@ pub fn observed_block_transitions<K: Copy>(
     for &key in keys {
         visited.clear();
         backend.search_traced(key, &mut visited);
-        for pair in visited.windows(2) {
-            let len = pair[0].abs_diff(pair[1]);
-            transitions += 1;
-            for (sum, &n) in sums.iter_mut().zip(block_sizes) {
-                debug_assert!(n >= 1);
-                *sum += if len >= n { 1.0 } else { len as f64 / n as f64 };
-            }
-        }
+        transitions += accumulate_transitions(&visited, block_sizes, &mut sums);
     }
-    if transitions > 0 {
-        for sum in &mut sums {
-            *sum /= transitions as f64;
-        }
+    normalize(sums, transitions)
+}
+
+/// Observed block-transition fraction of in-order range scans: Eq. 1
+/// averaged over the position transitions of a `span`-element scan from
+/// every 1-based rank in `starts` — the scan-locality counterpart of
+/// [`observed_block_transitions`]. Low fractions mean consecutive keys
+/// share blocks (IN-ORDER is unbeatable here; point-search-optimal
+/// layouts pay).
+#[must_use]
+pub fn observed_scan_block_transitions<K: Copy + Ord>(
+    backend: &dyn SearchBackend<K>,
+    starts: &[u64],
+    span: u64,
+    block_sizes: &[u64],
+) -> Vec<f64> {
+    let mut sums = vec![0.0f64; block_sizes.len()];
+    let mut transitions = 0u64;
+    let mut visited = Vec::with_capacity(span as usize);
+    for &start in starts {
+        visited.clear();
+        backend.scan_positions_traced(start, start + span - 1, &mut visited);
+        transitions += accumulate_transitions(&visited, block_sizes, &mut sums);
     }
-    sums
+    normalize(sums, transitions)
+}
+
+/// Observed block-transition fraction of sorted-batch searches: Eq. 1
+/// over the positions the shared-prefix batch descent actually fetches
+/// ([`SearchBackend::search_sorted_batch_traced`]).
+///
+/// # Panics
+/// Panics if a batch is not ascending; generate batches with
+/// [`cobtree_search::workload::sorted_batches`].
+#[must_use]
+pub fn observed_batch_block_transitions<K: Copy + Ord>(
+    backend: &dyn SearchBackend<K>,
+    batches: &[Vec<K>],
+    block_sizes: &[u64],
+) -> Vec<f64> {
+    let mut sums = vec![0.0f64; block_sizes.len()];
+    let mut transitions = 0u64;
+    let mut out = Vec::new();
+    let mut visited = Vec::new();
+    for batch in batches {
+        visited.clear();
+        backend
+            .search_sorted_batch_traced(batch, &mut out, &mut visited)
+            .expect("observed batches must be ascending");
+        transitions += accumulate_transitions(&visited, block_sizes, &mut sums);
+    }
+    normalize(sums, transitions)
 }
 
 /// Mean observed search-path edge length — the workload-weighted
 /// counterpart of `ν1` computed from a live backend.
 #[must_use]
-pub fn observed_mean_transition_length<K: Copy>(backend: &dyn SearchBackend<K>, keys: &[K]) -> f64 {
+pub fn observed_mean_transition_length<K: Copy + Ord>(
+    backend: &dyn SearchBackend<K>,
+    keys: &[K],
+) -> f64 {
     let mut total = 0u128;
     let mut transitions = 0u64;
     let mut visited = Vec::with_capacity(backend.height() as usize);
@@ -95,6 +158,29 @@ mod tests {
         }
         // N = 1: every transition crosses a block boundary.
         assert!((observed[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_transitions_favor_in_order_and_batches_beat_points() {
+        let h = 12;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let n = keys.len() as u64;
+        let in_order = ImplicitTree::build(NamedLayout::InOrder.indexer(h), &keys);
+        let minwep = ImplicitTree::build(NamedLayout::MinWep.indexer(h), &keys);
+        let starts = cobtree_search::workload::scan_starts(n, 64, 200, 5);
+        let sizes = [16u64];
+        let scan_in_order = observed_scan_block_transitions(&in_order, &starts, 64, &sizes);
+        let scan_minwep = observed_scan_block_transitions(&minwep, &starts, 64, &sizes);
+        // Scans on IN-ORDER cross a 16-element block once per 16 steps.
+        assert!(scan_in_order[0] < 0.1, "in-order {scan_in_order:?}");
+        assert!(scan_in_order[0] < scan_minwep[0]);
+
+        // Batched sorted probes skip the re-fetched root region, so the
+        // per-transition block fraction stays finite and the *number* of
+        // traced transitions shrinks versus independent searches.
+        let batches = cobtree_search::workload::sorted_batches(n, 64, 30, 0.0, 11);
+        let batched = observed_batch_block_transitions(&minwep, &batches, &sizes);
+        assert!(batched[0] > 0.0 && batched[0] <= 1.0);
     }
 
     #[test]

@@ -171,6 +171,30 @@ impl<K: Ord + Copy> ExplicitTree<K> {
     }
 }
 
+impl<K: Ord + Copy> ExplicitTree<K> {
+    /// Array position of the node with 1-based in-order `rank`, found by
+    /// walking child pointers along its root path (`O(depth)`; no index
+    /// arithmetic is stored with an explicit tree).
+    fn walk_to_rank(&self, rank: u64) -> Option<u32> {
+        let tree = cobtree_core::Tree::try_new(self.height).ok()?;
+        if rank < 1 || rank > tree.len() {
+            return None;
+        }
+        let target = tree.node_at_in_order(rank);
+        let d = tree.depth(target);
+        let mut pos = self.root_pos;
+        for k in 1..=d {
+            let node = &self.nodes[pos as usize];
+            pos = if (target >> (d - k)) & 1 == 1 {
+                node.right
+            } else {
+                node.left
+            };
+        }
+        Some(pos)
+    }
+}
+
 impl ExplicitTree<u64> {
     /// Builds with keys equal to in-order ranks `1..=n` (the paper's
     /// setup).
@@ -199,8 +223,133 @@ impl<K: Ord + Copy> SearchBackend<K> for ExplicitTree<K> {
         ExplicitTree::search_traced(self, key, visited)
     }
 
-    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        ExplicitTree::search_batch_checksum(self, keys)
+    fn key_at_rank(&self, rank: u64) -> Option<K> {
+        self.walk_to_rank(rank).map(|p| self.nodes[p as usize].key)
+    }
+
+    fn position_of_rank(&self, rank: u64) -> Option<u64> {
+        self.walk_to_rank(rank).map(u64::from)
+    }
+
+    // The generic descent would pay an O(depth) pointer walk per visited
+    // node; these overrides follow child pointers directly (O(h) total)
+    // while tracking the BFS index for the rank arithmetic.
+
+    fn lower_bound_rank(&self, key: K) -> u64 {
+        self.explicit_lower_bound(key, None)
+    }
+
+    fn lower_bound_rank_traced(&self, key: K, visited: &mut Vec<u64>) -> u64 {
+        self.explicit_lower_bound(key, Some(visited))
+    }
+
+    fn upper_bound_rank(&self, key: K) -> u64 {
+        let mut pos = self.root_pos;
+        let mut i = 1u64;
+        for _ in 0..self.height {
+            let node = &self.nodes[pos as usize];
+            let go_right = key >= node.key;
+            pos = if go_right { node.right } else { node.left };
+            i = (i << 1) | u64::from(go_right);
+        }
+        (i - (1u64 << self.height)) + 1
+    }
+
+    fn search_sorted_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) -> Result<()> {
+        self.explicit_sorted_batch(keys, out, None)
+    }
+
+    fn search_sorted_batch_traced(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<u64>>,
+        visited: &mut Vec<u64>,
+    ) -> Result<()> {
+        self.explicit_sorted_batch(keys, out, Some(visited))
+    }
+}
+
+impl<K: Ord + Copy> ExplicitTree<K> {
+    /// Pointer-stack variant of the generic sorted-batch kernel: the
+    /// descent stack carries array positions, so each newly visited node
+    /// is one pointer dereference instead of an O(depth) root walk.
+    fn explicit_sorted_batch(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<u64>>,
+        mut visited: Option<&mut Vec<u64>>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(keys.len());
+        // (array position, key, exclusive upper bound from ancestors).
+        let mut stack: Vec<(u32, K, Option<K>)> = Vec::with_capacity(self.height as usize);
+        let mut prev: Option<K> = None;
+        for (idx, &probe) in keys.iter().enumerate() {
+            if let Some(p) = prev {
+                if probe < p {
+                    return Err(Error::UnsortedBatch { index: idx - 1 });
+                }
+            }
+            prev = Some(probe);
+            while let Some(&(_, _, upper)) = stack.last() {
+                match upper {
+                    Some(u) if probe >= u => {
+                        stack.pop();
+                    }
+                    _ => break,
+                }
+            }
+            if stack.is_empty() {
+                if let Some(v) = visited.as_deref_mut() {
+                    v.push(u64::from(self.root_pos));
+                }
+                stack.push((self.root_pos, self.nodes[self.root_pos as usize].key, None));
+            }
+            let result = loop {
+                let &(pos, k, upper) = stack.last().expect("stack holds at least the root");
+                let go_right = match probe.cmp(&k) {
+                    std::cmp::Ordering::Equal => break Some(u64::from(pos)),
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Greater => true,
+                };
+                let node = &self.nodes[pos as usize];
+                let child = if go_right { node.right } else { node.left };
+                if child == Self::NIL {
+                    break None;
+                }
+                if let Some(v) = visited.as_deref_mut() {
+                    v.push(u64::from(child));
+                }
+                let cupper = if go_right { upper } else { Some(k) };
+                stack.push((child, self.nodes[child as usize].key, cupper));
+            };
+            out.push(result);
+        }
+        Ok(())
+    }
+
+    fn explicit_lower_bound(&self, key: K, mut visited: Option<&mut Vec<u64>>) -> u64 {
+        let tree = cobtree_core::Tree::new(self.height);
+        let mut pos = self.root_pos;
+        let mut i = 1u64;
+        for _ in 0..self.height {
+            if let Some(v) = visited.as_deref_mut() {
+                v.push(u64::from(pos));
+            }
+            let node = &self.nodes[pos as usize];
+            match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => return tree.in_order_rank(i),
+                std::cmp::Ordering::Less => {
+                    pos = node.left;
+                    i <<= 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    pos = node.right;
+                    i = (i << 1) | 1;
+                }
+            }
+        }
+        (i - (1u64 << self.height)) + 1
     }
 }
 

@@ -31,6 +31,7 @@
 //! matter which storage is selected.
 
 use crate::backend::SearchBackend;
+use crate::cursor::{range_of, Cursor, Range};
 use crate::explicit::ExplicitTree;
 use crate::implicit::ImplicitTree;
 use crate::index_only::IndexOnlyTree;
@@ -323,17 +324,21 @@ impl<K: Ord + Copy> SearchTree<K> {
         &self.layout_label
     }
 
+    /// The inner storage backend as a slot-level trait object.
+    fn inner(&self) -> &dyn SearchBackend<Slot<K>> {
+        match &self.inner {
+            Inner::Explicit(t) => t,
+            Inner::Implicit(t) => t,
+            Inner::IndexOnly(t) => t,
+        }
+    }
+
     /// Searches for `key`; returns the 0-based layout position of its
     /// node. Positions are identical across storage backends for the
     /// same layout and keys.
     #[inline]
     pub fn search(&self, key: K) -> Option<u64> {
-        let probe = Slot::Key(key);
-        match &self.inner {
-            Inner::Explicit(t) => t.search(probe),
-            Inner::Implicit(t) => t.search(probe),
-            Inner::IndexOnly(t) => t.search(probe),
-        }
+        self.inner().search(Slot::Key(key))
     }
 
     /// Membership test.
@@ -346,12 +351,7 @@ impl<K: Ord + Copy> SearchTree<K> {
     /// Searches while recording every visited layout position (for cache
     /// simulation).
     pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
-        let probe = Slot::Key(key);
-        match &self.inner {
-            Inner::Explicit(t) => t.search_traced(probe, visited),
-            Inner::Implicit(t) => t.search_traced(probe, visited),
-            Inner::IndexOnly(t) => t.search_traced(probe, visited),
-        }
+        self.inner().search_traced(Slot::Key(key), visited)
     }
 
     /// Benchmark kernel: sum of found positions, identical across
@@ -366,6 +366,114 @@ impl<K: Ord + Copy> SearchTree<K> {
         }
         acc
     }
+
+    // ------------------------------------------------------------------
+    // Ordered-map queries (inherited from `SearchBackend`, re-exposed
+    // inherently so callers don't need the trait in scope).
+    // ------------------------------------------------------------------
+
+    /// Number of stored keys strictly less than `key`.
+    ///
+    /// ```
+    /// # use cobtree_search::SearchTree;
+    /// let t = SearchTree::builder().keys([10u64, 20, 30]).build()?;
+    /// assert_eq!(t.rank(25), 2);
+    /// assert_eq!(t.select(t.rank(25) + 1), Some(30));
+    /// # Ok::<(), cobtree_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn rank(&self, key: K) -> u64 {
+        SearchBackend::rank(self, key)
+    }
+
+    /// The `rank`-th smallest key (1-based); `None` outside `1..=len`.
+    #[must_use]
+    pub fn select(&self, rank: u64) -> Option<K> {
+        SearchBackend::select(self, rank)
+    }
+
+    /// Smallest stored key `>= key` (`key` itself when present).
+    #[must_use]
+    pub fn lower_bound(&self, key: K) -> Option<K> {
+        SearchBackend::lower_bound(self, key)
+    }
+
+    /// Smallest stored key `> key` — the in-order successor.
+    #[must_use]
+    pub fn upper_bound(&self, key: K) -> Option<K> {
+        SearchBackend::upper_bound(self, key)
+    }
+
+    /// Largest stored key `< key` — the in-order predecessor.
+    #[must_use]
+    pub fn predecessor(&self, key: K) -> Option<K> {
+        SearchBackend::predecessor(self, key)
+    }
+
+    /// Alias for [`SearchTree::upper_bound`].
+    #[must_use]
+    pub fn successor(&self, key: K) -> Option<K> {
+        SearchBackend::successor(self, key)
+    }
+
+    /// A [`Cursor`] positioned before the first key.
+    ///
+    /// ```
+    /// # use cobtree_search::SearchTree;
+    /// let t = SearchTree::builder().keys((1..=50u64).map(|k| k * 2)).build()?;
+    /// let mut cur = t.cursor();
+    /// assert_eq!(cur.seek(31), Some(32));
+    /// assert_eq!(cur.next(), Some(34));
+    /// assert_eq!(cur.prev(), Some(32));
+    /// # Ok::<(), cobtree_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn cursor(&self) -> Cursor<'_, K> {
+        Cursor::new(self)
+    }
+
+    /// The stored keys within `bounds`, ascending — `BTreeSet::range`
+    /// for a cache-oblivious layout.
+    ///
+    /// ```
+    /// # use cobtree_search::SearchTree;
+    /// let t = SearchTree::builder().keys((1..=100u64).map(|k| k * 3)).build()?;
+    /// let window: Vec<u64> = t.range(10..=21).collect();
+    /// assert_eq!(window, vec![12, 15, 18, 21]);
+    /// assert_eq!(t.range(..).count(), 100);
+    /// # Ok::<(), cobtree_core::Error>(())
+    /// ```
+    pub fn range(&self, bounds: impl std::ops::RangeBounds<K>) -> Range<'_, K> {
+        range_of(self, bounds)
+    }
+
+    /// Ascending iterator over all stored keys.
+    pub fn iter(&self) -> Range<'_, K> {
+        self.range(..)
+    }
+
+    /// Searches an ascending probe batch with shared-prefix restarts —
+    /// see [`SearchBackend::search_sorted_batch`].
+    ///
+    /// # Errors
+    /// [`Error::UnsortedBatch`] on a descending adjacent probe pair.
+    pub fn search_sorted_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) -> Result<()> {
+        SearchBackend::search_sorted_batch(self, keys, out)
+    }
+
+    /// Traced variant of [`SearchTree::search_sorted_batch`] — see
+    /// [`SearchBackend::search_sorted_batch_traced`].
+    ///
+    /// # Errors
+    /// [`Error::UnsortedBatch`] on a descending adjacent probe pair.
+    pub fn search_sorted_batch_traced(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<u64>>,
+        visited: &mut Vec<u64>,
+    ) -> Result<()> {
+        SearchBackend::search_sorted_batch_traced(self, keys, out, visited)
+    }
 }
 
 impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
@@ -374,7 +482,7 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
     }
 
     fn key_count(&self) -> u64 {
-        self.capacity()
+        self.key_len
     }
 
     fn search(&self, key: K) -> Option<u64> {
@@ -385,8 +493,58 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
         SearchTree::search_traced(self, key, visited)
     }
 
-    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        SearchTree::search_batch_checksum(self, keys)
+    fn key_at_rank(&self, rank: u64) -> Option<K> {
+        if rank < 1 || rank > self.key_len {
+            return None;
+        }
+        match self.inner().key_at_rank(rank) {
+            Some(Slot::Key(k)) => Some(k),
+            // Ranks 1..=len hold real keys by construction.
+            _ => None,
+        }
+    }
+
+    fn position_of_rank(&self, rank: u64) -> Option<u64> {
+        // Deliberately *not* clamped to `len`: padding nodes have
+        // positions too, and traced descents must record them exactly as
+        // `search_traced` does.
+        self.inner().position_of_rank(rank)
+    }
+
+    // Forwarded to the slot-level backend so storage-specific fast
+    // paths apply (explicit storage descends by pointer instead of the
+    // generic rank walk). Ranks are storage-independent, and supremum
+    // padding sorts above every `Slot::Key` probe, so the inner answer
+    // is at most `len + 1` — exactly this facade's `key_count() + 1`
+    // "absent" sentinel; no clamping is needed.
+
+    fn lower_bound_rank(&self, key: K) -> u64 {
+        self.inner().lower_bound_rank(Slot::Key(key))
+    }
+
+    fn lower_bound_rank_traced(&self, key: K, visited: &mut Vec<u64>) -> u64 {
+        self.inner()
+            .lower_bound_rank_traced(Slot::Key(key), visited)
+    }
+
+    fn upper_bound_rank(&self, key: K) -> u64 {
+        self.inner().upper_bound_rank(Slot::Key(key))
+    }
+
+    fn search_sorted_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) -> Result<()> {
+        let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
+        self.inner().search_sorted_batch(&slots, out)
+    }
+
+    fn search_sorted_batch_traced(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<u64>>,
+        visited: &mut Vec<u64>,
+    ) -> Result<()> {
+        let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
+        self.inner()
+            .search_sorted_batch_traced(&slots, out, visited)
     }
 }
 

@@ -170,8 +170,16 @@ impl<K: Ord + Copy> SearchBackend<K> for ImplicitTree<K> {
         ImplicitTree::search_traced(self, key, visited)
     }
 
-    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        ImplicitTree::search_batch_checksum(self, keys)
+    fn key_at_rank(&self, rank: u64) -> Option<K> {
+        let p = SearchBackend::position_of_rank(self, rank)?;
+        Some(self.keys[p as usize])
+    }
+
+    fn position_of_rank(&self, rank: u64) -> Option<u64> {
+        (rank >= 1 && rank <= self.tree.len()).then(|| {
+            let node = self.tree.node_at_in_order(rank);
+            self.index.position(node, self.tree.depth(node))
+        })
     }
 }
 

@@ -166,8 +166,13 @@ impl<K: Ord + Copy> SearchBackend<K> for IndexOnlyTree<K> {
         IndexOnlyTree::search_traced(self, key, visited)
     }
 
-    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        IndexOnlyTree::search_batch_checksum(self, keys)
+    fn key_at_rank(&self, rank: u64) -> Option<K> {
+        // The key array *is* the in-order sequence.
+        (rank >= 1 && rank <= self.keys.len() as u64).then(|| self.keys[(rank - 1) as usize])
+    }
+
+    fn position_of_rank(&self, rank: u64) -> Option<u64> {
+        (rank >= 1 && rank <= self.tree.len()).then(|| self.index.position_of_in_order(rank))
     }
 }
 

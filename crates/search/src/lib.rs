@@ -8,7 +8,13 @@
 //!   (`SearchTree::builder().layout(..).storage(..).keys(..).build()`),
 //!   padding to the next complete tree internally;
 //! * [`backend`] — the [`SearchBackend`] trait every storage kind
-//!   implements, so harnesses iterate backends generically;
+//!   implements: point search *plus* the full ordered-index surface
+//!   (`lower_bound`/`upper_bound`, `rank`/`select`, sorted-batch search
+//!   with shared-prefix restarts), so harnesses iterate backends
+//!   generically;
+//! * [`cursor`] — lending [`cursor::Cursor`] (seek/next/prev) and
+//!   [`cursor::Range`] iterators over any backend, built on the
+//!   position ⇄ in-order-rank contract;
 //! * [`explicit`] — *pointer-based* trees: each node stores its key and
 //!   two child positions, laid out in an arbitrary layout order; a search
 //!   follows positions with no index arithmetic (Figure 2 / Figure 4
@@ -33,6 +39,7 @@
 //!   simulator, from bare indexers or whole backends.
 
 pub mod backend;
+pub mod cursor;
 pub mod explicit;
 pub mod facade;
 pub mod implicit;
@@ -44,6 +51,7 @@ pub mod trace;
 pub mod workload;
 
 pub use backend::SearchBackend;
+pub use cursor::{range_of, Cursor, Range};
 pub use explicit::ExplicitTree;
 pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};

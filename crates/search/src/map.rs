@@ -3,19 +3,22 @@
 //!
 //! The paper treats static complete trees; real deployments (§I cites
 //! cache-oblivious B-trees) need updates. `LayoutMap` provides the
-//! classical amortized answer: a static MINWEP-laid-out tree holding the
-//! bulk of the keys, a small sorted insertion buffer, a tombstone set for
-//! deletions, and a full rebuild whenever the side structures outgrow a
-//! fraction of the tree. Lookups stay cache-oblivious on the bulk;
-//! updates cost O(log n) amortized plus periodic O(n) rebuilds.
+//! classical amortized answer: a static laid-out [`SearchTree`] holding
+//! the bulk of the keys, a small sorted insertion buffer, a tombstone
+//! set for deletions, and a full rebuild whenever the side structures
+//! outgrow a fraction of the tree. Lookups stay cache-oblivious on the
+//! bulk; updates cost O(log n) amortized plus periodic O(n) rebuilds.
 //!
-//! The static tree is padded to `2^h − 1` slots with *supremum* sentinels
-//! that compare greater than every key, so any key count works.
+//! Since the ordered-query redesign, the bulk is a plain
+//! [`SearchTree`] and every bulk access goes through its public query
+//! API — membership via [`SearchTree::contains`], in-order iteration via
+//! the [`crate::cursor::Range`] cursor ([`SearchTree::range`]) — rather
+//! than a private slot-probing descent. Padding and layout arithmetic
+//! live in one place now.
 
-use crate::slot::Slot;
+use crate::facade::{SearchTree, Storage};
 use crate::workload::UniformKeys;
-use cobtree_core::index::PositionIndex;
-use cobtree_core::{NamedLayout, Tree};
+use cobtree_core::NamedLayout;
 
 /// A dynamic ordered set with cache-oblivious bulk storage.
 ///
@@ -33,17 +36,14 @@ use cobtree_core::{NamedLayout, Tree};
 /// ```
 pub struct LayoutMap<K> {
     layout: NamedLayout,
-    /// Keys of the static tree in layout order (padded).
-    slots: Vec<Slot<K>>,
-    /// Height of the static tree; 0 when empty.
-    height: u32,
-    /// Arithmetic indexer for the current height (rebuilt on compaction).
-    index: Option<Box<dyn PositionIndex>>,
-    /// Number of live keys in the static tree (excludes tombstones).
+    /// The static bulk tree; `None` until the first compaction (or when
+    /// every key was compacted away).
+    bulk: Option<SearchTree<K>>,
+    /// Number of live keys in the bulk (excludes tombstones).
     bulk_live: usize,
     /// Pending insertions, sorted.
     buffer: Vec<K>,
-    /// Keys deleted from the static tree, sorted.
+    /// Keys deleted from the bulk, sorted.
     tombstones: Vec<K>,
 }
 
@@ -65,9 +65,7 @@ impl<K: Ord + Copy> LayoutMap<K> {
     pub fn with_layout(layout: NamedLayout) -> Self {
         Self {
             layout,
-            slots: Vec::new(),
-            height: 0,
-            index: None,
+            bulk: None,
             bulk_live: 0,
             buffer: Vec::new(),
             tombstones: Vec::new(),
@@ -92,26 +90,10 @@ impl<K: Ord + Copy> LayoutMap<K> {
         self.layout
     }
 
-    fn bulk_search(&self, key: &K) -> bool {
-        let Some(index) = self.index.as_deref() else {
-            return false;
-        };
-        let needle = Slot::Key(*key);
-        let mut i = 1u64;
-        let mut d = 0u32;
-        loop {
-            let pos = index.position(i, d);
-            let k = self.slots[pos as usize];
-            match needle.cmp(&k) {
-                std::cmp::Ordering::Equal => return true,
-                std::cmp::Ordering::Less => i *= 2,
-                std::cmp::Ordering::Greater => i = 2 * i + 1,
-            }
-            d += 1;
-            if d >= self.height {
-                return false;
-            }
-        }
+    /// The static bulk tree, when one has been compacted.
+    #[must_use]
+    pub fn bulk(&self) -> Option<&SearchTree<K>> {
+        self.bulk.as_ref()
     }
 
     /// Membership test.
@@ -123,7 +105,7 @@ impl<K: Ord + Copy> LayoutMap<K> {
         if self.tombstones.binary_search(key).is_ok() {
             return false;
         }
-        self.bulk_search(key)
+        self.bulk.as_ref().is_some_and(|t| t.contains(*key))
     }
 
     /// Inserts `key`; returns `false` if it was already present.
@@ -152,7 +134,7 @@ impl<K: Ord + Copy> LayoutMap<K> {
         if self.tombstones.binary_search(key).is_ok() {
             return false;
         }
-        if self.bulk_search(key) {
+        if self.bulk.as_ref().is_some_and(|t| t.contains(*key)) {
             let at = self.tombstones.binary_search(key).unwrap_err();
             self.tombstones.insert(at, *key);
             self.bulk_live -= 1;
@@ -162,21 +144,19 @@ impl<K: Ord + Copy> LayoutMap<K> {
         false
     }
 
-    /// Sorted iteration over the live keys.
+    /// Sorted iteration over the live keys: the bulk tree's range cursor
+    /// (minus tombstones) merged with the insertion buffer.
     pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
-        // Live bulk keys in order = sorted slots minus padding/tombstones.
-        let mut bulk: Vec<K> = self
-            .slots
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Key(k) if self.tombstones.binary_search(k).is_err() => Some(*k),
-                _ => None,
-            })
-            .collect();
-        bulk.sort_unstable();
+        let bulk = self
+            .bulk
+            .as_ref()
+            .map(|t| t.range(..))
+            .into_iter()
+            .flatten()
+            .filter(|k| self.tombstones.binary_search(k).is_err());
         MergeIter {
-            a: bulk.into_iter().peekable(),
-            b: self.buffer.clone().into_iter().peekable(),
+            a: bulk.peekable(),
+            b: self.buffer.iter().copied().peekable(),
         }
     }
 
@@ -186,31 +166,18 @@ impl<K: Ord + Copy> LayoutMap<K> {
         self.buffer.clear();
         self.tombstones.clear();
         self.bulk_live = keys.len();
-        if keys.is_empty() {
-            self.slots.clear();
-            self.height = 0;
-            self.index = None;
-            return;
-        }
-        // Smallest height whose full tree holds every key.
-        let mut h = 1u32;
-        while ((1u64 << h) - 1) < keys.len() as u64 {
-            h += 1;
-        }
-        self.height = h;
-        let tree = Tree::new(h);
-        let idx = self.layout.indexer(h);
-        self.slots = vec![Slot::Sup(0); tree.len() as usize];
-        for i in tree.nodes() {
-            let rank = tree.in_order_rank(i) as usize; // 1-based
-            let slot = if rank <= keys.len() {
-                Slot::Key(keys[rank - 1])
-            } else {
-                Slot::Sup((rank - keys.len()) as u32)
-            };
-            self.slots[idx.position(i, tree.depth(i)) as usize] = slot;
-        }
-        self.index = Some(idx);
+        self.bulk = if keys.is_empty() {
+            None
+        } else {
+            Some(
+                SearchTree::builder()
+                    .layout(self.layout)
+                    .storage(Storage::Implicit)
+                    .keys(keys)
+                    .build()
+                    .expect("live keys are strictly sorted and non-empty"),
+            )
+        };
     }
 
     fn maybe_rebuild(&mut self) {
@@ -304,6 +271,7 @@ mod tests {
         assert!(!m.contains(&50));
         // Padding keys must be unreachable.
         assert_eq!(m.iter().count(), 50);
+        assert_eq!(m.bulk().unwrap().len(), 50);
     }
 
     #[test]
@@ -351,6 +319,55 @@ mod tests {
         let got: Vec<u64> = m.iter().collect();
         let expect: Vec<u64> = oracle.into_iter().collect();
         assert_eq!(got, expect);
+    }
+
+    /// Regression test for the remove + compact interaction: interleave
+    /// inserts, removes and *explicit* compactions (at several cadences,
+    /// so compaction fires with tombstones pending against the bulk in
+    /// every configuration) and require exact agreement with `BTreeSet`,
+    /// including `len`, after every single operation.
+    #[test]
+    fn interleaved_remove_and_compact_match_btreeset_exactly() {
+        for (cadence, seed) in [(3usize, 1u64), (7, 2), (13, 3), (29, 4)] {
+            let mut m = LayoutMap::with_layout(NamedLayout::MinWep);
+            let mut oracle = BTreeSet::new();
+            let mut state = seed;
+            for step in 0..1500usize {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let key = (state >> 33) % 200;
+                if state % 2 == 0 {
+                    assert_eq!(
+                        m.insert(key),
+                        oracle.insert(key),
+                        "cadence {cadence} step {step} insert {key}"
+                    );
+                } else {
+                    assert_eq!(
+                        m.remove(&key),
+                        oracle.remove(&key),
+                        "cadence {cadence} step {step} remove {key}"
+                    );
+                }
+                if step % cadence == 0 {
+                    m.compact();
+                }
+                assert_eq!(m.len(), oracle.len(), "cadence {cadence} step {step} len");
+                assert_eq!(
+                    m.contains(&key),
+                    oracle.contains(&key),
+                    "cadence {cadence} step {step} readback {key}"
+                );
+            }
+            let got: Vec<u64> = m.iter().collect();
+            let expect: Vec<u64> = oracle.iter().copied().collect();
+            assert_eq!(got, expect, "cadence {cadence} final contents");
+            // One more compaction must be a no-op on the contents.
+            m.compact();
+            assert_eq!(m.iter().collect::<Vec<_>>(), expect, "cadence {cadence}");
+            assert_eq!(m.len(), expect.len());
+        }
     }
 
     #[test]

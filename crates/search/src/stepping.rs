@@ -165,8 +165,24 @@ impl<K: Ord + Copy> SearchBackend<K> for SteppingTree<K> {
         SteppingTree::search_traced(self, key, visited)
     }
 
-    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        SteppingTree::search_batch_checksum(self, keys)
+    fn key_at_rank(&self, rank: u64) -> Option<K> {
+        let p = SearchBackend::position_of_rank(self, rank)?;
+        Some(self.keys[p as usize])
+    }
+
+    fn position_of_rank(&self, rank: u64) -> Option<u64> {
+        if rank < 1 || rank > self.tree.len() {
+            return None;
+        }
+        // Walk the stepper down the target's root path (`O(depth)`).
+        let node = self.tree.node_at_in_order(rank);
+        let d = self.tree.depth(node);
+        let mut stepper = self.stepper.borrow_mut();
+        let mut p = stepper.reset();
+        for k in 1..=d {
+            p = stepper.descend((node >> (d - k)) & 1 == 1);
+        }
+        Some(p)
     }
 }
 
@@ -205,6 +221,59 @@ mod tests {
         for k in [1u64, 42, 128, 255] {
             let p = st.search(k).unwrap();
             assert_eq!(st.keys[p as usize], k);
+        }
+    }
+
+    #[test]
+    fn ordered_ops_match_spec_interpreter_and_oracle() {
+        use crate::backend::SearchBackend;
+        use cobtree_core::index::generic::GenericIndexer;
+        // Rank-valued queries (rank/select/bounds/range) are
+        // layout-independent; position-valued ones must agree with the
+        // generic interpreter of the *same spec* (a dedicated indexer
+        // may be an automorphic image with different positions).
+        for layout in [NamedLayout::MinWep, NamedLayout::InVebA] {
+            let h = 7;
+            let n = (1u64 << h) - 1;
+            let keys: Vec<u64> = (1..=n).map(|k| k * 3).collect();
+            let st = SteppingTree::build(layout.spec(), h, &keys);
+            let it = ImplicitTree::build(Box::new(GenericIndexer::new(layout.spec(), h)), &keys);
+            for rank in 1..=n {
+                assert_eq!(st.select(rank), Some(keys[(rank - 1) as usize]), "{layout}");
+                assert_eq!(
+                    SearchBackend::position_of_rank(&st, rank),
+                    SearchBackend::position_of_rank(&it, rank),
+                    "{layout} rank {rank}"
+                );
+            }
+            assert_eq!(st.select(0), None);
+            assert_eq!(st.select(n + 1), None);
+            for probe in 0..=n * 3 + 2 {
+                assert_eq!(st.rank(probe), it.rank(probe), "{layout} rank({probe})");
+                assert_eq!(st.lower_bound(probe), it.lower_bound(probe));
+                assert_eq!(st.upper_bound(probe), it.upper_bound(probe));
+            }
+            let window: Vec<u64> = crate::cursor::range_of(&st, 10u64..=60).collect();
+            let expect: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|k| (10..=60).contains(k))
+                .collect();
+            assert_eq!(window, expect, "{layout} range");
+            // Sorted-batch results and traces agree with the implicit
+            // twin built on the same spec.
+            let batch: Vec<u64> = (0..80u64).map(|i| i * 5).collect();
+            let (mut so, mut io) = (Vec::new(), Vec::new());
+            let (mut sv, mut iv) = (Vec::new(), Vec::new());
+            st.search_sorted_batch_traced(&batch, &mut so, &mut sv)
+                .unwrap();
+            it.search_sorted_batch_traced(&batch, &mut io, &mut iv)
+                .unwrap();
+            assert_eq!(so, io, "{layout} batch results");
+            assert_eq!(sv, iv, "{layout} batch traces");
+            for (i, &p) in batch.iter().enumerate() {
+                assert_eq!(so[i], st.search(p), "{layout} batch vs point {p}");
+            }
         }
     }
 }

@@ -16,7 +16,7 @@ use cobtree_core::Tree;
 /// generic sibling of [`search_addresses`]: where that function assumes
 /// an implicit tree served by a bare index, this one replays whatever
 /// access pattern the backend actually performs.
-pub fn backend_search_addresses<K: Copy>(
+pub fn backend_search_addresses<K: Copy + Ord>(
     backend: &dyn SearchBackend<K>,
     node_bytes: u64,
     base: u64,

@@ -98,6 +98,45 @@ impl Iterator for ZipfKeys {
     }
 }
 
+/// Reproducible range-scan workload: `count` uniformly random 1-based
+/// start ranks such that a scan of `span` consecutive ranks stays inside
+/// `1..=n`. Feed to [`crate::SearchBackend::scan_positions_traced`] or
+/// `cachesim`'s scan replay.
+///
+/// # Panics
+/// Panics if `span` is `0` or exceeds `n`.
+#[must_use]
+pub fn scan_starts(n: u64, span: u64, count: usize, seed: u64) -> Vec<u64> {
+    assert!(span >= 1 && span <= n, "span must be in 1..=n");
+    UniformKeys::new(n - span + 1, seed).take(count).collect()
+}
+
+/// Reproducible sorted probe batches for batch-search workloads: `count`
+/// batches of `batch` keys each, drawn over `1..=n` — uniformly when
+/// `zipf_s == 0.0`, Zipf(`zipf_s`)-skewed otherwise — and sorted within
+/// each batch, ready for
+/// [`crate::SearchBackend::search_sorted_batch`].
+///
+/// # Panics
+/// Panics if `batch` is `0`, or (for the Zipf mix) under the
+/// [`ZipfKeys`] size limits.
+#[must_use]
+pub fn sorted_batches(n: u64, batch: usize, count: usize, zipf_s: f64, seed: u64) -> Vec<Vec<u64>> {
+    assert!(batch >= 1, "batches must be non-empty");
+    let mut draw: Box<dyn Iterator<Item = u64>> = if zipf_s == 0.0 {
+        Box::new(UniformKeys::new(n, seed))
+    } else {
+        Box::new(ZipfKeys::new(n, zipf_s, seed))
+    };
+    (0..count)
+        .map(|_| {
+            let mut b: Vec<u64> = draw.by_ref().take(batch).collect();
+            b.sort_unstable();
+            b
+        })
+        .collect()
+}
+
 /// The §II-A affinity-graph Markov chain: a random walk on the tree whose
 /// stationary edge-traversal distribution is proportional to the edge
 /// weights (exact weights of Eq. 2, or any [`EdgeWeights`] model).
@@ -185,6 +224,39 @@ mod tests {
             seen[k as usize] = true;
         }
         assert!(seen[1..].iter().all(|&x| x));
+    }
+
+    #[test]
+    fn scan_starts_fit_the_key_space() {
+        let starts = scan_starts(1000, 64, 500, 9);
+        assert_eq!(starts.len(), 500);
+        assert!(starts.iter().all(|&s| s >= 1 && s + 64 - 1 <= 1000));
+        assert_eq!(starts, scan_starts(1000, 64, 500, 9));
+        assert_ne!(starts, scan_starts(1000, 64, 500, 10));
+    }
+
+    #[test]
+    fn sorted_batches_are_sorted_and_reproducible() {
+        for s in [0.0, 1.1] {
+            let batches = sorted_batches(5000, 64, 20, s, 3);
+            assert_eq!(batches.len(), 20);
+            for b in &batches {
+                assert_eq!(b.len(), 64);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]));
+                assert!(b.iter().all(|&k| (1..=5000).contains(&k)));
+            }
+            assert_eq!(batches, sorted_batches(5000, 64, 20, s, 3));
+        }
+        // The Zipf mix concentrates probes: far fewer distinct keys.
+        let uniform: std::collections::BTreeSet<u64> = sorted_batches(5000, 64, 20, 0.0, 3)
+            .into_iter()
+            .flatten()
+            .collect();
+        let zipf: std::collections::BTreeSet<u64> = sorted_batches(5000, 64, 20, 1.3, 3)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(zipf.len() < uniform.len());
     }
 
     #[test]

@@ -53,6 +53,42 @@ proptest! {
         }
     }
 
+    /// Ordered navigation agrees across storage backends and with a
+    /// sorted-vector oracle at the raw-backend level (no facade
+    /// padding): lower/upper bounds, rank/select, and range cursors.
+    #[test]
+    fn ordered_ops_agree_between_explicit_and_implicit(
+        layout in arb_named(),
+        h in 2u32..=8,
+        mult in 1u64..40,
+        probes in proptest::collection::vec(0u64..200_000, 40),
+    ) {
+        use cobtree_search::{range_of, SearchBackend};
+        let n = (1u64 << h) - 1;
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        let mat = layout.materialize(h);
+        let et = ExplicitTree::build(&mat, &keys);
+        let it = ImplicitTree::build(layout.indexer(h), &keys);
+        for p in probes {
+            let lb = keys.partition_point(|&k| k < p) as u64;
+            prop_assert_eq!(it.rank(p), lb, "{:?} rank({})", layout, p);
+            prop_assert_eq!(et.rank(p), lb, "{:?} explicit rank({})", layout, p);
+            prop_assert_eq!(it.lower_bound(p), et.lower_bound(p));
+            prop_assert_eq!(it.upper_bound(p), et.upper_bound(p));
+            prop_assert_eq!(it.upper_bound(p), keys.get(keys.partition_point(|&k| k <= p)).copied());
+        }
+        for r in 1..=n {
+            prop_assert_eq!(it.select(r), Some(keys[(r - 1) as usize]));
+            prop_assert_eq!(et.select(r), it.select(r));
+        }
+        let lo = keys[(n / 3) as usize];
+        let hi = keys[(2 * n / 3) as usize];
+        let a: Vec<u64> = range_of(&it, lo..=hi).collect();
+        let b: Vec<u64> = range_of(&et, lo..=hi).collect();
+        prop_assert_eq!(&a, &b, "{:?} range", layout);
+        prop_assert_eq!(a, keys[(n / 3) as usize..=(2 * n / 3) as usize].to_vec());
+    }
+
     /// Traced searches visit at most `h` nodes, starting at the root.
     #[test]
     fn trace_shape(layout in arb_named(), h in 2u32..=8, key in 1u64..255) {

@@ -56,10 +56,52 @@
 //! pre-materialized [`core::Layout`]. Every fallible constructor in the
 //! workspace returns the crate-wide [`Error`] type.
 //!
+//! ## Ordered-map queries: cursors, ranges, rank/select, sorted batches
+//!
+//! The layouts pay off precisely when queries have locality, so the
+//! query surface goes beyond point lookups: every layout × storage
+//! combination answers predecessor/successor queries, rank/select,
+//! lending cursor walks, range scans and sorted-batch searches that
+//! restart from the lowest common ancestor of consecutive probe paths:
+//!
+//! ```
+//! use cobtree::SearchTree;
+//!
+//! let tree = SearchTree::builder()
+//!     .keys((1..=1000u64).map(|k| k * 10))
+//!     .build()?;
+//!
+//! // Predecessor / successor.
+//! assert_eq!(tree.lower_bound(95), Some(100));
+//! assert_eq!(tree.predecessor(95), Some(90));
+//! // rank/select round-trip (rank counts keys < probe; select is 1-based).
+//! assert_eq!(tree.rank(100), 9);
+//! assert_eq!(tree.select(10), Some(100));
+//! // Range scan, any RangeBounds.
+//! let window: Vec<u64> = tree.range(100..=130).collect();
+//! assert_eq!(window, vec![100, 110, 120, 130]);
+//! // Cursor: seek lands on the lower bound, then walk either way.
+//! let mut cur = tree.cursor();
+//! assert_eq!(cur.seek(995), Some(1000));
+//! assert_eq!(cur.next(), Some(1010));
+//! assert_eq!(cur.prev(), Some(1000));
+//! // Sorted-batch search: shared path prefixes are fetched once.
+//! let probes = vec![10, 15, 20, 9990, 10000];
+//! let mut out = Vec::new();
+//! tree.search_sorted_batch(&probes, &mut out)?;
+//! assert_eq!(out.iter().filter(|p| p.is_some()).count(), 4);
+//! # Ok::<(), cobtree::Error>(())
+//! ```
+//!
 //! Generic code works against any backend through [`SearchBackend`]
-//! (`search` / `search_traced` / `search_batch_checksum`), which the
-//! cache simulator ([`cachesim::replay_search_backend`]) and empirical
-//! measures ([`measures::observed_block_transitions`]) consume as
+//! (`search` / `search_traced` / `search_batch_checksum`, plus the full
+//! ordered surface: `lower_bound`/`upper_bound`, `rank`/`select`,
+//! `scan_positions_traced`, `search_sorted_batch{,_traced}`), which the
+//! cache simulator ([`cachesim::replay_search_backend`],
+//! [`cachesim::replay::replay_range_scan`],
+//! [`cachesim::replay::replay_sorted_batches`]) and empirical measures
+//! ([`measures::observed_block_transitions`],
+//! [`measures::observed::observed_scan_block_transitions`]) consume as
 //! `&dyn SearchBackend<K>`.
 //!
 //! ## Crate map
@@ -81,7 +123,9 @@ pub use cobtree_optimizer as optimizer;
 pub use cobtree_search as search;
 
 pub use cobtree_core::{Error, Result};
-pub use cobtree_search::{LayoutSource, SearchBackend, SearchTree, SearchTreeBuilder, Storage};
+pub use cobtree_search::{
+    range_of, Cursor, LayoutSource, Range, SearchBackend, SearchTree, SearchTreeBuilder, Storage,
+};
 
 /// Compiles and runs the README's code examples as doctests.
 #[doc = include_str!("../README.md")]

@@ -1,0 +1,188 @@
+//! Acceptance tests for the ordered-map query API: for **every**
+//! `NamedLayout` × `Storage` combination, `range`, `lower_bound`,
+//! `upper_bound`, `rank`, `select`, cursors and `search_sorted_batch`
+//! must agree with `BTreeSet`/sorted-`Vec` oracles — and the sorted
+//! batch must visit strictly fewer traced positions than the equivalent
+//! loop of independent traced point searches.
+
+use cobtree::core::NamedLayout;
+use cobtree::{SearchTree, Storage};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn build(layout: NamedLayout, storage: Storage, keys: &[u64]) -> SearchTree<u64> {
+    SearchTree::builder()
+        .layout(layout)
+        .storage(storage)
+        .keys(keys.iter().copied())
+        .build()
+        .expect("valid configuration must build")
+}
+
+/// Deterministic sweep of the full matrix: an irregular key set (forcing
+/// padding) checked operation by operation against the sorted vector.
+#[test]
+fn ordered_queries_match_oracle_for_every_layout_and_storage() {
+    let keys: Vec<u64> = (0..200u64).map(|k| k * 7 + (k % 3)).collect();
+    let probes: Vec<u64> = (0..1500u64)
+        .step_by(3)
+        .chain([0, 1, 1392, 1393, 9999])
+        .collect();
+    for layout in NamedLayout::ALL {
+        for storage in Storage::ALL {
+            let tree = build(layout, storage, &keys);
+            for &p in &probes {
+                let lb = keys.partition_point(|&k| k < p);
+                assert_eq!(tree.rank(p), lb as u64, "{layout}/{storage} rank({p})");
+                assert_eq!(
+                    tree.lower_bound(p),
+                    keys.get(lb).copied(),
+                    "{layout}/{storage} lower_bound({p})"
+                );
+                let ub = keys.partition_point(|&k| k <= p);
+                assert_eq!(
+                    tree.upper_bound(p),
+                    keys.get(ub).copied(),
+                    "{layout}/{storage} upper_bound({p})"
+                );
+                assert_eq!(
+                    tree.predecessor(p),
+                    keys[..lb].last().copied(),
+                    "{layout}/{storage} predecessor({p})"
+                );
+            }
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(tree.select(i as u64 + 1), Some(k), "{layout}/{storage}");
+            }
+            assert_eq!(tree.select(0), None);
+            assert_eq!(tree.select(keys.len() as u64 + 1), None);
+            let all: Vec<u64> = tree.iter().collect();
+            assert_eq!(all, keys, "{layout}/{storage} full iteration");
+        }
+    }
+}
+
+/// The acceptance criterion: on sorted batches of >= 64 probes, batched
+/// search returns exactly the independent results while tracing strictly
+/// fewer positions — on every layout × storage combination.
+#[test]
+fn sorted_batches_visit_strictly_fewer_positions_everywhere() {
+    let keys: Vec<u64> = (1..=300u64).map(|k| k * 5).collect();
+    // 96 sorted probes, mixing hits, misses and duplicates.
+    let mut batch: Vec<u64> = (0..96u64).map(|i| (i * 31) % 1600).collect();
+    batch.sort_unstable();
+    assert!(batch.len() >= 64);
+    for layout in NamedLayout::ALL {
+        for storage in Storage::ALL {
+            let tree = build(layout, storage, &keys);
+            let mut out = Vec::new();
+            let mut batch_visits = Vec::new();
+            tree.search_sorted_batch_traced(&batch, &mut out, &mut batch_visits)
+                .expect("batch is ascending");
+            let mut independent_visits = Vec::new();
+            for (i, &p) in batch.iter().enumerate() {
+                assert_eq!(
+                    out[i],
+                    tree.search(p),
+                    "{layout}/{storage} probe {p} diverged from point search"
+                );
+                tree.search_traced(p, &mut independent_visits);
+            }
+            assert!(
+                batch_visits.len() < independent_visits.len(),
+                "{layout}/{storage}: batch visited {} positions, independent loop {}",
+                batch_visits.len(),
+                independent_visits.len()
+            );
+            // The untraced batch agrees with the traced one.
+            let mut out2 = Vec::new();
+            tree.search_sorted_batch(&batch, &mut out2).unwrap();
+            assert_eq!(out, out2, "{layout}/{storage}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// range(a..b) and range(a..=b) equal the BTreeSet oracle's range
+    /// for arbitrary keys and bounds, on arbitrary layout × storage.
+    #[test]
+    fn range_matches_btreeset_oracle(
+        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        raw in proptest::collection::btree_set(0u64..100_000, 1..300),
+        bounds in proptest::collection::vec(0u64..110_000, 8),
+    ) {
+        let keys: Vec<u64> = raw.iter().copied().collect();
+        let oracle: BTreeSet<u64> = raw;
+        let tree = build(layout, storage, &keys);
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+            let got: Vec<u64> = tree.range(a..b).collect();
+            let expect: Vec<u64> = oracle.range(a..b).copied().collect();
+            prop_assert_eq!(got, expect, "{}/{} {}..{}", layout, storage, a, b);
+            let got: Vec<u64> = tree.range(a..=b).collect();
+            let expect: Vec<u64> = oracle.range(a..=b).copied().collect();
+            prop_assert_eq!(got, expect, "{}/{} {}..={}", layout, storage, a, b);
+        }
+        let rev: Vec<u64> = tree.range(..).rev().collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.reverse();
+        prop_assert_eq!(rev, expect);
+    }
+
+    /// lower_bound / rank / select round-trip against a sorted Vec.
+    #[test]
+    fn rank_select_round_trips(
+        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        raw in proptest::collection::btree_set(0u64..50_000, 1..300),
+        probes in proptest::collection::vec(0u64..55_000, 48),
+    ) {
+        let keys: Vec<u64> = raw.into_iter().collect();
+        let tree = build(layout, storage, &keys);
+        for &p in &probes {
+            let lb = keys.partition_point(|&k| k < p) as u64;
+            prop_assert_eq!(tree.rank(p), lb, "{}/{} rank({})", layout, storage, p);
+            prop_assert_eq!(
+                tree.select(lb + 1),
+                keys.get(lb as usize).copied(),
+                "{}/{} select(rank+1) != lower_bound", layout, storage
+            );
+            prop_assert_eq!(tree.lower_bound(p), keys.get(lb as usize).copied());
+        }
+        // Every stored key round-trips exactly.
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(tree.rank(k), i as u64);
+            prop_assert_eq!(tree.select(i as u64 + 1), Some(k));
+        }
+    }
+
+    /// Batched search equals the independent loop on arbitrary sorted
+    /// probe batches (duplicates included), and the cursor seek lands on
+    /// the lower bound.
+    #[test]
+    fn batch_and_cursor_match_point_searches(
+        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        raw in proptest::collection::btree_set(0u64..20_000, 2..200),
+        probes in proptest::collection::vec(0u64..22_000, 80),
+    ) {
+        let keys: Vec<u64> = raw.into_iter().collect();
+        let tree = build(layout, storage, &keys);
+        let mut batch = probes;
+        batch.sort_unstable();
+        let mut out = Vec::new();
+        tree.search_sorted_batch(&batch, &mut out).unwrap();
+        for (i, &p) in batch.iter().enumerate() {
+            prop_assert_eq!(out[i], tree.search(p), "{}/{} probe {}", layout, storage, p);
+        }
+        let mut cur = tree.cursor();
+        for &p in batch.iter().take(8) {
+            let lb = keys.partition_point(|&k| k < p);
+            prop_assert_eq!(cur.seek(p), keys.get(lb).copied());
+            prop_assert_eq!(cur.next(), keys.get(lb + 1).copied());
+        }
+    }
+}
