@@ -15,11 +15,12 @@
 //!   validate  analytic-vs-simulated beta
 //!   storage   SearchTree facade: explicit vs implicit vs index-only
 //!   range     ordered-query workloads: cursor range scans + sorted batches
+//!   serve     zero-copy persistence: mapped tree files vs heap backends
 //!   all     everything above
 //! ```
 
 use cobtree_analysis::experiments::{
-    cache, extensions, facade_exp, locality, range_exp, study_exp, timing_exp, Config,
+    cache, extensions, facade_exp, locality, range_exp, serve_exp, study_exp, timing_exp, Config,
 };
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
@@ -105,6 +106,14 @@ fn run(cfg: &Config, what: &str) {
                 range_exp::ordered_interchange_check(cfg),
             ],
         ),
+        "serve" => emit(
+            cfg,
+            vec![
+                serve_exp::mapped_vs_implicit_block_transfers(cfg),
+                serve_exp::format_geometry_table(cfg),
+                serve_exp::mapped_search_time(cfg),
+            ],
+        ),
         "extend" => emit(
             cfg,
             vec![
@@ -117,7 +126,7 @@ fn run(cfg: &Config, what: &str) {
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "storage", "range", "extend",
+                "storage", "range", "serve", "extend",
             ] {
                 run(cfg, w);
             }
@@ -145,7 +154,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

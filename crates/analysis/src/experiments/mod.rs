@@ -9,6 +9,7 @@ pub mod extensions;
 pub mod facade_exp;
 pub mod locality;
 pub mod range_exp;
+pub mod serve_exp;
 pub mod study_exp;
 pub mod timing_exp;
 

@@ -2,13 +2,17 @@
 //!
 //! The experiment harness: regenerates the data behind **every table and
 //! figure** of the paper (Figures 1–5, Table I, the §IV-C study) plus the
-//! design-choice ablations, writing CSV artifacts and Markdown reports.
+//! design-choice ablations and the reproduction's own extension
+//! experiments (`storage`, `range`, and the `serve` study of mapped
+//! tree files vs heap backends), writing CSV artifacts and Markdown
+//! reports.
 //!
 //! Run it via the `repro` binary:
 //!
 //! ```text
 //! cargo run --release -p cobtree-analysis --bin repro -- all
 //! cargo run --release -p cobtree-analysis --bin repro -- --full fig3
+//! cargo run --release -p cobtree-analysis --bin repro -- serve
 //! ```
 
 pub mod experiments;

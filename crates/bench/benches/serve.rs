@@ -1,0 +1,101 @@
+//! Serving benchmarks: the mapped file backend against the in-memory
+//! backends it interchanges with, on point, scan and sorted-batch
+//! kernels.
+//!
+//! Expected shape: the mapped backend tracks the implicit backend
+//! closely — both run the same descent over a layout-ordered `u64`
+//! array; the mapped one reads keys through validated byte offsets in
+//! the (page-cached) file image instead of a `Vec`. A large gap here
+//! would mean the zero-copy path is paying hidden per-access costs,
+//! which is exactly what this bench exists to catch.
+
+use cobtree::core::NamedLayout;
+use cobtree::{SearchTree, Storage};
+use cobtree_search::workload::{sorted_batches, UniformKeys};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn build_pair(layout: NamedLayout, h: u32) -> (SearchTree<u64>, SearchTree<u64>) {
+    let n = (1u64 << h) - 1;
+    let implicit = SearchTree::builder()
+        .layout(layout)
+        .storage(Storage::Implicit)
+        .keys((1..=n).map(|k| k * 2))
+        .build()
+        .expect("bench tree");
+    let mapped =
+        SearchTree::open_bytes(implicit.to_file_bytes().expect("encode")).expect("open image");
+    (implicit, mapped)
+}
+
+fn point_search(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let probes = UniformKeys::new(n * 2, 7).take_vec(100_000);
+    let mut group = c.benchmark_group(format!("serve_point_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(probes.len() as u64));
+    for layout in [NamedLayout::MinWep, NamedLayout::PreVeb] {
+        let (implicit, mapped) = build_pair(layout, h);
+        for (tag, tree) in [("implicit", &implicit), ("mapped", &mapped)] {
+            group.bench_with_input(BenchmarkId::new(tag, layout.label()), tree, |b, t| {
+                b.iter(|| t.search_batch_checksum(&probes))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn batch_search(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let batches = sorted_batches(n * 2, 64, 500, 1.1, 13);
+    let mut group = c.benchmark_group(format!("serve_batch_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(batches.len() as u64 * 64));
+    let (implicit, mapped) = build_pair(NamedLayout::MinWep, h);
+    for (tag, tree) in [("implicit", &implicit), ("mapped", &mapped)] {
+        group.bench_with_input(BenchmarkId::from_parameter(tag), tree, |b, t| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                let mut acc = 0u64;
+                for batch in &batches {
+                    t.search_sorted_batch(batch, &mut out).expect("ascending");
+                    acc = acc.wrapping_add(out.iter().flatten().sum::<u64>());
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn open_validate(c: &mut Criterion) {
+    // Cost of open: parse + checksum + permutation validation — the
+    // one O(file) pass that buys infallible zero-copy serving after.
+    let h = cobtree_bench::bench_height().min(18);
+    let (implicit, _) = build_pair(NamedLayout::MinWep, h);
+    let image = implicit.to_file_bytes().expect("encode");
+    let mut group = c.benchmark_group(format!("serve_open_h{h}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Bytes(image.len() as u64));
+    group.bench_function("open_bytes_validate", |b| {
+        b.iter(|| {
+            let t: SearchTree<u64> = SearchTree::open_bytes(image.clone()).expect("valid image");
+            t.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, point_search, batch_search, open_validate);
+criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! | `cachesim` | cache-simulator throughput (harness infrastructure) |
 //! | `layout_generation` | engine materialization cost |
 //! | `ablations` | implicit search (Fig 4 bottom-left) + weight models |
+//! | `ordered_ops` | cursor range scans + sorted-batch search per layout |
+//! | `serve` | mapped tree files vs heap backends (point/batch/open) |
 //!
 //! The benches use reduced sample counts so `cargo bench --workspace`
 //! finishes in minutes; set `BENCH_HEIGHT` for paper-scale runs.

@@ -173,22 +173,64 @@ mod tests {
     #[test]
     fn explicit_and_implicit_replays_share_miss_counts() {
         // Same positions (one shared index per layout) ⇒ same addresses
-        // ⇒ identical simulated misses across storage backends.
+        // ⇒ identical simulated misses across storage backends — the
+        // saved-and-reopened mapped backend included.
         use cobtree_search::{SearchTree, Storage};
         let keys: Vec<u64> = (1..=4000u64).map(|k| k * 3).collect();
         let workload = UniformKeys::new(12_000, 5).take_vec(10_000);
         let mut stats = Vec::new();
-        for storage in Storage::ALL {
-            let tree = SearchTree::builder()
-                .storage(storage)
-                .keys(keys.iter().copied())
-                .build()
-                .unwrap();
+        let mut trees: Vec<SearchTree<u64>> = Storage::ALL
+            .iter()
+            .map(|&storage| {
+                SearchTree::builder()
+                    .storage(storage)
+                    .keys(keys.iter().copied())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let image = trees[0].to_file_bytes().unwrap();
+        trees.push(SearchTree::open_bytes(image).unwrap());
+        for tree in &trees {
             let mut sim = presets::westmere_l1_l2();
-            replay_search_backend(&mut sim, &tree, 4, 0, &workload);
+            replay_search_backend(&mut sim, tree, 4, 0, &workload);
             stats.push(sim.level_stats(0));
         }
-        assert_eq!(stats[0], stats[1]);
-        assert_eq!(stats[1], stats[2]);
+        for pair in stats.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn mapped_scan_and_batch_replays_match_implicit() {
+        // The richer workloads also replay identically over a file:
+        // cursor-driven scans and shared-prefix batches visit the same
+        // positions whether the key array lives on the heap or in a
+        // mapped tree file.
+        use cobtree_search::{SearchTree, Storage};
+        let tree = SearchTree::builder()
+            .layout(NamedLayout::MinWep)
+            .storage(Storage::Implicit)
+            .keys((1..=2000u64).map(|k| k * 2))
+            .build()
+            .unwrap();
+        let mapped: SearchTree<u64> =
+            SearchTree::open_bytes(tree.to_file_bytes().unwrap()).unwrap();
+
+        let starts = cobtree_search::workload::scan_starts(2000, 16, 80, 3);
+        let mut heap_sim = presets::westmere_l1_l2();
+        let mut file_sim = presets::westmere_l1_l2();
+        let a = replay_range_scan(&mut heap_sim, &tree, 8, 0, &starts, 16);
+        let b = replay_range_scan(&mut file_sim, &mapped, 8, 0, &starts, 16);
+        assert_eq!(a, b);
+        assert_eq!(heap_sim.level_stats(0), file_sim.level_stats(0));
+
+        let batches = cobtree_search::workload::sorted_batches(4000, 32, 40, 0.8, 11);
+        let mut heap_sim = presets::westmere_l1_l2();
+        let mut file_sim = presets::westmere_l1_l2();
+        let a = replay_sorted_batches(&mut heap_sim, &tree, 8, 0, &batches);
+        let b = replay_sorted_batches(&mut file_sim, &mapped, 8, 0, &batches);
+        assert_eq!(a, b);
+        assert_eq!(heap_sim.level_stats(0), file_sim.level_stats(0));
     }
 }

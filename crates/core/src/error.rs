@@ -65,11 +65,55 @@ pub enum Error {
         /// The unrecognized name.
         name: String,
     },
-    /// Malformed serialized data (e.g. layout JSON).
+    /// Malformed serialized data (e.g. layout JSON or a tree-file
+    /// region that violates the format's structural rules).
     Malformed {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// An I/O operation on a tree file failed. Wraps the
+    /// `std::io::Error` as text so this enum stays `Clone + PartialEq`.
+    Io {
+        /// The `std::io::ErrorKind`, stringified.
+        kind: String,
+        /// The underlying error message.
+        detail: String,
+    },
+    /// A tree file does not start with the `COBT` magic bytes — it is
+    /// not a cobtree file at all.
+    BadMagic {
+        /// The four bytes actually found.
+        got: [u8; 4],
+    },
+    /// A tree file carries a format version this build cannot decode.
+    UnsupportedVersion {
+        /// Version found in the header.
+        got: u16,
+        /// Newest version this build supports.
+        supported: u16,
+    },
+    /// A tree file is shorter than a region its header declares.
+    Truncated {
+        /// Bytes the header (or fixed header size) requires.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// Which checksum failed: `"header"` or `"content"`.
+        region: &'static str,
+    },
+    /// A tree file stores keys of a different type than requested.
+    KeyTypeMismatch {
+        /// Type tag of the requested key type (see `format::FixedKey`).
+        expected: u8,
+        /// Type tag found in the file header.
+        got: u8,
+    },
+    /// `Storage::Mapped` was requested from the key-set builder; mapped
+    /// trees are opened from a saved file, not built from keys.
+    MappedStorageRequiresFile,
 }
 
 impl std::fmt::Display for Error {
@@ -101,6 +145,41 @@ impl std::fmt::Display for Error {
             ),
             Error::UnknownLayout { name } => write!(f, "unknown layout name '{name}'"),
             Error::Malformed { detail } => write!(f, "malformed data: {detail}"),
+            Error::Io { kind, detail } => write!(f, "i/o error ({kind}): {detail}"),
+            Error::BadMagic { got } => {
+                write!(f, "not a cobtree file: magic bytes {got:?} != b\"COBT\"")
+            }
+            Error::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "tree-file format version {got} unsupported (this build reads <= {supported})"
+                )
+            }
+            Error::Truncated { needed, got } => {
+                write!(f, "tree file truncated: need {needed} bytes, have {got}")
+            }
+            Error::ChecksumMismatch { region } => {
+                write!(f, "tree-file {region} checksum mismatch (corrupt or tampered data)")
+            }
+            Error::KeyTypeMismatch { expected, got } => write!(
+                f,
+                "tree file stores key type tag {got}, but key type tag {expected} was requested"
+            ),
+            Error::MappedStorageRequiresFile => f.write_str(
+                "Storage::Mapped serves a saved tree file; build with an in-memory storage, \
+                 then SearchTree::save and SearchTree::open",
+            ),
+        }
+    }
+}
+
+impl Error {
+    /// Wraps a `std::io::Error` (tree-file persistence paths).
+    #[must_use]
+    pub fn io(e: &std::io::Error) -> Self {
+        Error::Io {
+            kind: e.kind().to_string(),
+            detail: e.to_string(),
         }
     }
 }

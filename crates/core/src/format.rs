@@ -1,0 +1,947 @@
+//! The zero-copy on-disk tree-file format (`.cobt`).
+//!
+//! The paper's layouts are *static artifacts*: computed once, then
+//! served from slow storage where the only thing that matters is that
+//! **the byte order on the medium is the layout order** — every block
+//! transfer then fetches exactly the nodes the layout put together.
+//! This module defines the container that makes the claim operational: a
+//! tree file is the padded key array in layout order, preceded by a
+//! fixed header and a layout descriptor, with every region aligned to a
+//! caller-chosen block size. A reader maps the file and serves searches
+//! directly from the mapped bytes — no deserialization step exists.
+//!
+//! The byte-level specification lives in `docs/FORMAT.md`; this module
+//! is its reference implementation. Summary:
+//!
+//! ```text
+//! ┌────────────────────┐ offset 0, 96 bytes, little-endian throughout
+//! │ header             │ magic, version, key type, descriptor kind,
+//! │                    │ height, key count, block size, region table,
+//! │                    │ content + header checksums (FNV-1a 64)
+//! ├────────────────────┤ offset 96
+//! │ descriptor         │ layout name (named kind) or label (table kind)
+//! ├────────────────────┤ aligned up to block_bytes
+//! │ key region         │ (2^h − 1) keys in layout order, fixed width,
+//! │                    │ padding slots zeroed
+//! ├────────────────────┤ aligned up to block_bytes (table kind only)
+//! │ index region       │ u32 position per BFS node — the serialized
+//! │                    │ PositionIndex for non-arithmetic layouts
+//! └────────────────────┘
+//! ```
+//!
+//! Two descriptor kinds cover every [`crate::NamedLayout`] /
+//! `RecursiveSpec` / materialized-[`Layout`](crate::Layout) source:
+//!
+//! * **named** (`kind = 0`) — the descriptor region holds the layout's
+//!   display name (e.g. `MINWEP`); the reader rebuilds the arithmetic
+//!   indexer, so the file carries *no* position table at all;
+//! * **table** (`kind = 1`) — the descriptor region holds a free-form
+//!   label and the index region holds the materialized permutation
+//!   (`u32` position per BFS node), validated as a permutation on open.
+//!
+//! Everything here is pure byte-slicing on `&[u8]`: [`parse`] returns a
+//! [`Geometry`] of offsets (no borrows, no copies), and the accessors
+//! take the file bytes by reference — whether those bytes come from
+//! `std::fs::read` or an `mmap` region is the caller's business
+//! (`cobtree-search`'s `MappedTree` does both).
+
+use crate::error::{Error, Result};
+use crate::named::NamedLayout;
+use crate::tree::Tree;
+
+/// The four magic bytes every tree file starts with.
+pub const MAGIC: [u8; 4] = *b"COBT";
+
+/// Newest format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// The endianness canary stored at offset 6: the format is defined
+/// little-endian, and a writer that stored this constant through a
+/// native-endian path on a big-endian machine is detected on read.
+pub const ENDIAN_MARK: u16 = 0x1234;
+
+/// Fixed header size in bytes; the descriptor region starts here.
+pub const HEADER_LEN: usize = 96;
+
+/// Default region alignment: one cache line / small disk block.
+pub const DEFAULT_BLOCK_BYTES: u64 = 64;
+
+/// Tallest tree the format can carry: positions are stored as `u32`, so
+/// the node count `2^h − 1` must fit in `u32` (this matches the
+/// facade's `MAX_KEYS` ceiling of `2^31 − 1` keys).
+pub const MAX_FORMAT_HEIGHT: u32 = 31;
+
+/// Byte offset of the content-checksum field (bytes `80..88`).
+pub const CONTENT_HASH_OFFSET: usize = 80;
+
+/// Byte offset of the header-checksum field (bytes `88..96`).
+pub const HEADER_HASH_OFFSET: usize = 88;
+
+// ---------------------------------------------------------------------------
+// Fixed-width key codecs
+// ---------------------------------------------------------------------------
+
+/// A key type with a fixed little-endian wire encoding — the bound for
+/// every persistence entry point ([`encode_tree`], `SearchTree::save`,
+/// `MappedTree`). The `TAG` goes into the file header so a reader
+/// opening the file under the wrong type gets a typed
+/// [`Error::KeyTypeMismatch`] instead of garbage keys.
+pub trait FixedKey: Copy + Ord + Send + Sync + 'static {
+    /// Type tag stored in the header (must be unique per type).
+    const TAG: u8;
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Writes `self` into `out[..WIDTH]`, little-endian.
+    fn write_le(self, out: &mut [u8]);
+    /// Reads a key from `bytes[..WIDTH]`, little-endian.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_fixed_key {
+    ($($t:ty => $tag:expr),* $(,)?) => {$(
+        impl FixedKey for $t {
+            const TAG: u8 = $tag;
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out[..Self::WIDTH].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::WIDTH].try_into().expect("validated region"))
+            }
+        }
+    )*};
+}
+
+impl_fixed_key!(u32 => 1, u64 => 2, i32 => 3, i64 => 4, u16 => 5, u128 => 6);
+
+/// Human-readable name for a key type tag, for error messages and the
+/// `serve` experiment's format table.
+#[must_use]
+pub fn key_tag_name(tag: u8) -> &'static str {
+    match tag {
+        1 => "u32",
+        2 => "u64",
+        3 => "i32",
+        4 => "i64",
+        5 => "u16",
+        6 => "u128",
+        _ => "unknown",
+    }
+}
+
+fn known_key_tag(tag: u8) -> bool {
+    (1..=6).contains(&tag)
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor
+// ---------------------------------------------------------------------------
+
+/// How the layout travels inside the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescriptorKind {
+    /// Descriptor region holds a [`NamedLayout`] display name; the
+    /// reader rebuilds the arithmetic indexer (no index region).
+    Named,
+    /// Descriptor region holds a free-form label; the index region
+    /// holds the materialized `u32` position table, node-indexed.
+    Table,
+}
+
+impl DescriptorKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            DescriptorKind::Named => 0,
+            DescriptorKind::Table => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(DescriptorKind::Named),
+            1 => Some(DescriptorKind::Table),
+            _ => None,
+        }
+    }
+}
+
+/// Layout descriptor handed to [`encode_tree`].
+#[derive(Debug, Clone, Copy)]
+pub enum Descriptor<'a> {
+    /// A Table I layout, stored by name — the reader recomputes
+    /// positions arithmetically, and the file carries no table.
+    Named(NamedLayout),
+    /// Any other layout, stored as its materialized permutation.
+    Table {
+        /// Human-readable label (informational; round-trips).
+        label: &'a str,
+        /// `positions_by_node[i - 1]` = 0-based position of BFS node `i`
+        /// (exactly [`crate::Layout::positions`]).
+        positions_by_node: &'a [u32],
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`, continuing from `state` (seed with
+/// [`fnv1a_init`]). Exposed so tests and tools can re-seal patched
+/// files; not a cryptographic hash — it detects corruption, not
+/// adversaries.
+#[must_use]
+pub fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The FNV-1a 64 offset basis (initial state for [`fnv1a`]).
+#[must_use]
+pub fn fnv1a_init() -> u64 {
+    FNV_OFFSET
+}
+
+// ---------------------------------------------------------------------------
+// Geometry: the parsed, validated header
+// ---------------------------------------------------------------------------
+
+/// The validated header of a tree file: plain offsets and sizes, no
+/// borrow of the file bytes — so a self-contained reader can own both
+/// the mapping and this struct side by side.
+#[derive(Debug, Clone)]
+pub struct Geometry {
+    /// Format version found in the file.
+    pub version: u16,
+    /// Key type tag (see [`FixedKey::TAG`] / [`key_tag_name`]).
+    pub key_tag: u8,
+    /// Descriptor kind.
+    pub kind: DescriptorKind,
+    /// Tree height `h`; the key region holds `2^h − 1` slots.
+    pub height: u32,
+    /// Stored (real) keys; ranks `key_count + 1 ..= 2^h − 1` are padding.
+    pub key_count: u64,
+    /// Region alignment the writer used (power of two).
+    pub block_bytes: u64,
+    /// Descriptor region `(offset, length)` in bytes.
+    pub descriptor: (usize, usize),
+    /// Key region `(offset, length)` in bytes.
+    pub keys: (usize, usize),
+    /// Index region `(offset, length)` in bytes (`length == 0` for the
+    /// named kind).
+    pub index: (usize, usize),
+}
+
+impl Geometry {
+    /// Slot count of the complete tree, `2^h − 1`.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        (1u64 << self.height) - 1
+    }
+
+    /// Per-key width in bytes implied by the key region.
+    #[must_use]
+    pub fn key_width(&self) -> usize {
+        (self.keys.1 as u64 / self.capacity()) as usize
+    }
+
+    /// The descriptor string (layout name or label).
+    ///
+    /// # Panics
+    /// Panics if `file` is not the buffer this geometry was parsed from
+    /// (the region was UTF-8-validated by [`parse`]).
+    #[must_use]
+    pub fn descriptor_str<'a>(&self, file: &'a [u8]) -> &'a str {
+        let (off, len) = self.descriptor;
+        std::str::from_utf8(&file[off..off + len]).expect("descriptor validated by parse()")
+    }
+
+    /// The key region bytes.
+    #[must_use]
+    pub fn key_bytes<'a>(&self, file: &'a [u8]) -> &'a [u8] {
+        let (off, len) = self.keys;
+        &file[off..off + len]
+    }
+
+    /// Reads the key stored at layout position `pos` directly from the
+    /// file bytes. Callers are responsible for not reading padding
+    /// slots (their contents are unspecified; the writer zeroes them).
+    #[inline]
+    #[must_use]
+    pub fn key_at_position<K: FixedKey>(&self, file: &[u8], pos: u64) -> K {
+        debug_assert!(pos < self.capacity());
+        let off = self.keys.0 + (pos as usize) * K::WIDTH;
+        K::read_le(&file[off..off + K::WIDTH])
+    }
+
+    /// Reads the layout position of BFS `node` from the index region
+    /// (table kind only).
+    ///
+    /// # Panics
+    /// Panics (debug) if the geometry has no index region.
+    #[inline]
+    #[must_use]
+    pub fn table_position(&self, file: &[u8], node: u64) -> u64 {
+        debug_assert_eq!(self.kind, DescriptorKind::Table);
+        let off = self.index.0 + ((node - 1) as usize) * 4;
+        u64::from(u32::from_le_bytes(
+            file[off..off + 4].try_into().expect("validated region"),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn align_up(off: u64, align: u64) -> u64 {
+    off.div_ceil(align) * align
+}
+
+fn check_shape(height: u32, key_count: u64, block_bytes: u64) -> Result<u64> {
+    Tree::try_new(height)?;
+    if height > MAX_FORMAT_HEIGHT {
+        return Err(Error::HeightOutOfRange {
+            height,
+            min: 1,
+            max: MAX_FORMAT_HEIGHT,
+        });
+    }
+    let capacity = (1u64 << height) - 1;
+    if key_count == 0 {
+        return Err(Error::EmptyKeys);
+    }
+    if key_count > capacity {
+        return Err(Error::KeyCountMismatch {
+            expected: capacity,
+            got: key_count,
+        });
+    }
+    if block_bytes == 0 || !block_bytes.is_power_of_two() || block_bytes > (1 << 30) {
+        return Err(Error::Malformed {
+            detail: format!("block_bytes {block_bytes} must be a power of two in 1..=2^30"),
+        });
+    }
+    Ok(capacity)
+}
+
+/// Serializes a tree into a fresh byte buffer in the `.cobt` format.
+///
+/// `key_at_position(p)` must return the key stored at layout position
+/// `p` for real slots and `None` for padding slots (which are written as
+/// zero bytes). The caller guarantees the mapping is consistent with
+/// the descriptor — `cobtree-search`'s `SearchTree::save` derives both
+/// from one shared position index, and the round-trip property tests
+/// hold it to that.
+///
+/// # Errors
+/// [`Error::HeightOutOfRange`] / [`Error::EmptyKeys`] /
+/// [`Error::KeyCountMismatch`] / [`Error::Malformed`] on an impossible
+/// shape, and [`Error::NotAPermutation`] when a table descriptor's
+/// length does not match the tree.
+pub fn encode_tree<K: FixedKey>(
+    height: u32,
+    key_count: u64,
+    block_bytes: u64,
+    descriptor: &Descriptor<'_>,
+    mut key_at_position: impl FnMut(u64) -> Option<K>,
+) -> Result<Vec<u8>> {
+    let capacity = check_shape(height, key_count, block_bytes)?;
+
+    let (kind, desc_bytes): (DescriptorKind, &[u8]) = match descriptor {
+        Descriptor::Named(layout) => (DescriptorKind::Named, layout.label().as_bytes()),
+        Descriptor::Table {
+            label,
+            positions_by_node,
+        } => {
+            if positions_by_node.len() as u64 != capacity {
+                return Err(Error::NotAPermutation {
+                    detail: format!(
+                        "descriptor table has {} entries, tree needs {capacity}",
+                        positions_by_node.len()
+                    ),
+                });
+            }
+            (DescriptorKind::Table, label.as_bytes())
+        }
+    };
+
+    let desc_off = HEADER_LEN as u64;
+    let desc_len = desc_bytes.len() as u64;
+    let key_off = align_up(desc_off + desc_len, block_bytes);
+    let key_len = capacity * K::WIDTH as u64;
+    let (index_off, index_len) = match kind {
+        DescriptorKind::Named => (align_up(key_off + key_len, block_bytes), 0),
+        DescriptorKind::Table => (align_up(key_off + key_len, block_bytes), capacity * 4),
+    };
+    let total = (index_off + index_len) as usize;
+
+    let mut out = vec![0u8; total];
+    out[0..4].copy_from_slice(&MAGIC);
+    out[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    out[6..8].copy_from_slice(&ENDIAN_MARK.to_le_bytes());
+    out[8] = K::TAG;
+    out[9] = kind.to_byte();
+    // bytes 10..12 reserved, zero.
+    out[12..16].copy_from_slice(&height.to_le_bytes());
+    out[16..24].copy_from_slice(&key_count.to_le_bytes());
+    out[24..32].copy_from_slice(&block_bytes.to_le_bytes());
+    out[32..40].copy_from_slice(&desc_off.to_le_bytes());
+    out[40..48].copy_from_slice(&desc_len.to_le_bytes());
+    out[48..56].copy_from_slice(&key_off.to_le_bytes());
+    out[56..64].copy_from_slice(&key_len.to_le_bytes());
+    out[64..72].copy_from_slice(&index_off.to_le_bytes());
+    out[72..80].copy_from_slice(&index_len.to_le_bytes());
+
+    out[desc_off as usize..(desc_off + desc_len) as usize].copy_from_slice(desc_bytes);
+
+    for p in 0..capacity {
+        if let Some(k) = key_at_position(p) {
+            let off = key_off as usize + (p as usize) * K::WIDTH;
+            k.write_le(&mut out[off..off + K::WIDTH]);
+        }
+    }
+
+    if let Descriptor::Table {
+        positions_by_node, ..
+    } = descriptor
+    {
+        for (i, &p) in positions_by_node.iter().enumerate() {
+            let off = index_off as usize + i * 4;
+            out[off..off + 4].copy_from_slice(&p.to_le_bytes());
+        }
+    }
+
+    seal_content_hash(&mut out);
+    seal_header_hash(&mut out);
+    Ok(out)
+}
+
+/// Recomputes and stores the content checksum of an encoded file (over
+/// every byte after the header — regions *and* their alignment
+/// padding, so no byte of the file escapes integrity coverage). Public
+/// so tests can re-seal deliberately patched files; returns the stored
+/// hash.
+///
+/// # Panics
+/// Panics if `file` is shorter than the header.
+pub fn seal_content_hash(file: &mut [u8]) -> u64 {
+    let hash = content_hash(file);
+    file[CONTENT_HASH_OFFSET..CONTENT_HASH_OFFSET + 8].copy_from_slice(&hash.to_le_bytes());
+    hash
+}
+
+/// Recomputes and stores the header checksum (over bytes
+/// `0..HEADER_HASH_OFFSET`); call after [`seal_content_hash`]. Public
+/// for the same test/tooling reasons; returns the stored hash.
+///
+/// # Panics
+/// Panics if `file` is shorter than the header.
+pub fn seal_header_hash(file: &mut [u8]) -> u64 {
+    let hash = fnv1a(fnv1a_init(), &file[..HEADER_HASH_OFFSET]);
+    file[HEADER_HASH_OFFSET..HEADER_HASH_OFFSET + 8].copy_from_slice(&hash.to_le_bytes());
+    hash
+}
+
+fn content_hash(file: &[u8]) -> u64 {
+    fnv1a(fnv1a_init(), &file[HEADER_LEN..])
+}
+
+// ---------------------------------------------------------------------------
+// Parsing / validation
+// ---------------------------------------------------------------------------
+
+fn read_u16(file: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(file[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn read_u32(file: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(file[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(file: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(file[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn region(file: &[u8], off: u64, len: u64, what: &str) -> Result<(usize, usize)> {
+    let end = off.checked_add(len).ok_or_else(|| Error::Malformed {
+        detail: format!("{what} region offset overflow"),
+    })?;
+    if end > file.len() as u64 {
+        return Err(Error::Truncated {
+            needed: end,
+            got: file.len() as u64,
+        });
+    }
+    Ok((off as usize, len as usize))
+}
+
+/// Parses and fully validates a tree file: magic, version, endianness,
+/// header checksum, shape, region table (bounds, ordering, alignment,
+/// sizes), content checksum, descriptor (UTF-8; a known layout name for
+/// the named kind), and — for the table kind — that the index region is
+/// a genuine permutation of `0..2^h − 1`.
+///
+/// Validation is `O(file size)` (dominated by the checksum); nothing is
+/// copied out of `file`.
+///
+/// # Errors
+/// Every malformed input maps to a typed [`Error`] — this function (and
+/// everything downstream of it) must never panic on untrusted bytes:
+/// [`Error::Truncated`], [`Error::BadMagic`],
+/// [`Error::UnsupportedVersion`], [`Error::ChecksumMismatch`],
+/// [`Error::Malformed`], [`Error::HeightOutOfRange`],
+/// [`Error::EmptyKeys`], [`Error::KeyCountMismatch`],
+/// [`Error::NotAPermutation`], or [`Error::UnknownLayout`].
+pub fn parse(file: &[u8]) -> Result<Geometry> {
+    // Foreign files announce themselves by their first bytes even when
+    // shorter than our header.
+    if file.len() >= 4 && file[0..4] != MAGIC {
+        return Err(Error::BadMagic {
+            got: file[0..4].try_into().expect("length checked"),
+        });
+    }
+    if file.len() < HEADER_LEN {
+        return Err(Error::Truncated {
+            needed: HEADER_LEN as u64,
+            got: file.len() as u64,
+        });
+    }
+    let version = read_u16(file, 4);
+    if version == 0 || version > VERSION {
+        return Err(Error::UnsupportedVersion {
+            got: version,
+            supported: VERSION,
+        });
+    }
+    if read_u16(file, 6) != ENDIAN_MARK {
+        return Err(Error::Malformed {
+            detail: "endianness marker mismatch (file written with non-little-endian encoding)"
+                .into(),
+        });
+    }
+    let stored_header_hash = read_u64(file, HEADER_HASH_OFFSET);
+    if fnv1a(fnv1a_init(), &file[..HEADER_HASH_OFFSET]) != stored_header_hash {
+        return Err(Error::ChecksumMismatch { region: "header" });
+    }
+
+    let key_tag = file[8];
+    if !known_key_tag(key_tag) {
+        return Err(Error::Malformed {
+            detail: format!("unknown key type tag {key_tag}"),
+        });
+    }
+    let kind = DescriptorKind::from_byte(file[9]).ok_or_else(|| Error::Malformed {
+        detail: format!("unknown descriptor kind {}", file[9]),
+    })?;
+    if read_u16(file, 10) != 0 {
+        return Err(Error::Malformed {
+            detail: "reserved header bytes 10..12 must be zero".into(),
+        });
+    }
+
+    let height = read_u32(file, 12);
+    let key_count = read_u64(file, 16);
+    let block_bytes = read_u64(file, 24);
+    let capacity = check_shape(height, key_count, block_bytes)?;
+
+    let descriptor = region(file, read_u64(file, 32), read_u64(file, 40), "descriptor")?;
+    let keys = region(file, read_u64(file, 48), read_u64(file, 56), "key")?;
+    let index = region(file, read_u64(file, 64), read_u64(file, 72), "index")?;
+
+    if descriptor.0 != HEADER_LEN {
+        return Err(Error::Malformed {
+            detail: format!(
+                "descriptor region must start at {HEADER_LEN}, not {}",
+                descriptor.0
+            ),
+        });
+    }
+    if (keys.0 as u64) % block_bytes != 0 || keys.0 < descriptor.0 + descriptor.1 {
+        return Err(Error::Malformed {
+            detail: "key region must be block-aligned after the descriptor".into(),
+        });
+    }
+    let width = key_width_of(key_tag);
+    if keys.1 as u64 != capacity * width as u64 {
+        return Err(Error::Malformed {
+            detail: format!(
+                "key region length {} != capacity {capacity} x key width {width}",
+                keys.1
+            ),
+        });
+    }
+    match kind {
+        DescriptorKind::Named => {
+            if index.1 != 0 {
+                return Err(Error::Malformed {
+                    detail: "named-layout files must not carry an index region".into(),
+                });
+            }
+        }
+        DescriptorKind::Table => {
+            if index.1 as u64 != capacity * 4 {
+                return Err(Error::Malformed {
+                    detail: format!("index region length {} != capacity {capacity} x 4", index.1),
+                });
+            }
+            if (index.0 as u64) % block_bytes != 0 || index.0 < keys.0 + keys.1 {
+                return Err(Error::Malformed {
+                    detail: "index region must be block-aligned after the key region".into(),
+                });
+            }
+        }
+    }
+
+    if content_hash(file) != read_u64(file, CONTENT_HASH_OFFSET) {
+        return Err(Error::ChecksumMismatch { region: "content" });
+    }
+
+    let desc_str =
+        std::str::from_utf8(&file[descriptor.0..descriptor.0 + descriptor.1]).map_err(|_| {
+            Error::Malformed {
+                detail: "descriptor region is not UTF-8".into(),
+            }
+        })?;
+    match kind {
+        DescriptorKind::Named => {
+            // Errors as UnknownLayout with the offending name.
+            let _: NamedLayout = desc_str.parse()?;
+        }
+        DescriptorKind::Table => {
+            // O(n) permutation check over the mapped table — the one
+            // pass that makes every later table_position() infallible.
+            let mut seen = vec![false; capacity as usize];
+            for node in 1..=capacity {
+                let off = index.0 + ((node - 1) as usize) * 4;
+                let p = read_u32(file, off) as u64;
+                if p >= capacity || seen[p as usize] {
+                    return Err(Error::NotAPermutation {
+                        detail: format!(
+                            "index entry for node {node}: position {p} out of range or repeated"
+                        ),
+                    });
+                }
+                seen[p as usize] = true;
+            }
+        }
+    }
+
+    Ok(Geometry {
+        version,
+        key_tag,
+        kind,
+        height,
+        key_count,
+        block_bytes,
+        descriptor,
+        keys,
+        index,
+    })
+}
+
+/// Checks that the file's key type matches `K`, after [`parse`].
+///
+/// # Errors
+/// [`Error::KeyTypeMismatch`] when the tags differ.
+pub fn expect_key_type<K: FixedKey>(geometry: &Geometry) -> Result<()> {
+    if geometry.key_tag != K::TAG {
+        return Err(Error::KeyTypeMismatch {
+            expected: K::TAG,
+            got: geometry.key_tag,
+        });
+    }
+    Ok(())
+}
+
+fn key_width_of(tag: u8) -> usize {
+    match tag {
+        1 => u32::WIDTH,
+        2 => u64::WIDTH,
+        3 => i32::WIDTH,
+        4 => i64::WIDTH,
+        5 => u16::WIDTH,
+        6 => u128::WIDTH,
+        _ => unreachable!("tag validated by known_key_tag"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny height-3 named file with keys 10..=70 at in-order ranks.
+    fn sample_named() -> Vec<u8> {
+        let layout = NamedLayout::MinWep;
+        let idx = layout.indexer(3);
+        let tree = Tree::new(3);
+        encode_tree::<u64>(3, 7, 64, &Descriptor::Named(layout), |p| {
+            // invert: which node sits at position p?
+            tree.nodes()
+                .find(|&i| idx.position(i, tree.depth(i)) == p)
+                .map(|i| tree.in_order_rank(i) * 10)
+        })
+        .unwrap()
+    }
+
+    fn sample_table() -> Vec<u8> {
+        let layout = NamedLayout::HalfWep.materialize(3);
+        let tree = Tree::new(3);
+        encode_tree::<u64>(
+            3,
+            5, // two padding slots
+            128,
+            &Descriptor::Table {
+                label: "halfwep-materialized",
+                positions_by_node: layout.positions(),
+            },
+            |p| {
+                let node = tree
+                    .nodes()
+                    .find(|&i| layout.position(i) == p)
+                    .expect("position covered");
+                let rank = tree.in_order_rank(node);
+                (rank <= 5).then_some(rank * 3)
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn named_file_round_trips_through_parse() {
+        let file = sample_named();
+        let g = parse(&file).unwrap();
+        assert_eq!(g.version, VERSION);
+        assert_eq!(g.kind, DescriptorKind::Named);
+        assert_eq!(g.height, 3);
+        assert_eq!(g.key_count, 7);
+        assert_eq!(g.capacity(), 7);
+        assert_eq!(g.block_bytes, 64);
+        assert_eq!(g.descriptor_str(&file), "MINWEP");
+        assert_eq!(g.key_width(), 8);
+        expect_key_type::<u64>(&g).unwrap();
+        assert_eq!(
+            expect_key_type::<u32>(&g).unwrap_err(),
+            Error::KeyTypeMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        // Key region is block-aligned and zero-copy readable.
+        assert_eq!(g.keys.0 % 64, 0);
+        let idx = NamedLayout::MinWep.indexer(3);
+        let tree = Tree::new(3);
+        for i in tree.nodes() {
+            let p = idx.position(i, tree.depth(i));
+            assert_eq!(
+                g.key_at_position::<u64>(&file, p),
+                tree.in_order_rank(i) * 10
+            );
+        }
+    }
+
+    #[test]
+    fn table_file_round_trips_with_padding() {
+        let file = sample_table();
+        let g = parse(&file).unwrap();
+        assert_eq!(g.kind, DescriptorKind::Table);
+        assert_eq!(g.key_count, 5);
+        assert_eq!(g.descriptor_str(&file), "halfwep-materialized");
+        assert_eq!(g.keys.0 % 128, 0);
+        assert_eq!(g.index.0 % 128, 0);
+        let layout = NamedLayout::HalfWep.materialize(3);
+        for i in 1..=7u64 {
+            assert_eq!(g.table_position(&file, i), layout.position(i));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let file = sample_table();
+        for len in 0..file.len() {
+            let err = parse(&file[..len]).expect_err("truncated file must not parse");
+            assert!(
+                matches!(
+                    err,
+                    Error::Truncated { .. } | Error::ChecksumMismatch { .. }
+                ),
+                "prefix {len}: unexpected error {err:?}"
+            );
+        }
+        assert!(parse(&file).is_ok());
+    }
+
+    #[test]
+    fn header_corruption_is_rejected_typed() {
+        let base = sample_named();
+
+        let mut f = base.clone();
+        f[0] = b'X';
+        assert!(matches!(parse(&f).unwrap_err(), Error::BadMagic { .. }));
+
+        let mut f = base.clone();
+        f[4..6].copy_from_slice(&99u16.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert_eq!(
+            parse(&f).unwrap_err(),
+            Error::UnsupportedVersion {
+                got: 99,
+                supported: VERSION
+            }
+        );
+
+        let mut f = base.clone();
+        f[6..8].copy_from_slice(&0x3412u16.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+
+        // Flipping a header byte without resealing trips the header hash.
+        let mut f = base.clone();
+        f[16] ^= 0xFF;
+        assert_eq!(
+            parse(&f).unwrap_err(),
+            Error::ChecksumMismatch { region: "header" }
+        );
+
+        // Unknown key tag / kind, resealed so the hash is honest.
+        let mut f = base.clone();
+        f[8] = 42;
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+
+        let mut f = base.clone();
+        f[9] = 7;
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+
+        // Height out of the format's range.
+        let mut f = base.clone();
+        f[12..16].copy_from_slice(&40u32.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert!(matches!(
+            parse(&f).unwrap_err(),
+            Error::HeightOutOfRange { .. }
+        ));
+
+        // key_count 0 / beyond capacity.
+        let mut f = base.clone();
+        f[16..24].copy_from_slice(&0u64.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert_eq!(parse(&f).unwrap_err(), Error::EmptyKeys);
+
+        let mut f = base.clone();
+        f[16..24].copy_from_slice(&8u64.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert!(matches!(
+            parse(&f).unwrap_err(),
+            Error::KeyCountMismatch { .. }
+        ));
+
+        // Non-power-of-two block size.
+        let mut f = base;
+        f[24..32].copy_from_slice(&48u64.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+    }
+
+    #[test]
+    fn content_corruption_is_rejected_typed() {
+        // Key-region bit flip without resealing: content checksum.
+        let base = sample_named();
+        let g = parse(&base).unwrap();
+        let mut f = base.clone();
+        f[g.keys.0] ^= 0x01;
+        assert_eq!(
+            parse(&f).unwrap_err(),
+            Error::ChecksumMismatch { region: "content" }
+        );
+
+        // Unknown layout name, honestly resealed.
+        let mut f = base;
+        let (off, len) = g.descriptor;
+        f[off..off + len].copy_from_slice(b"NOPWEP"); // same length as MINWEP
+        seal_content_hash(&mut f);
+        seal_header_hash(&mut f);
+        assert_eq!(
+            parse(&f).unwrap_err(),
+            Error::UnknownLayout {
+                name: "NOPWEP".into()
+            }
+        );
+
+        // Table permutation violation, honestly resealed.
+        let table = sample_table();
+        let gt = parse(&table).unwrap();
+        let mut f = table;
+        let first = gt.index.0;
+        let second = first + 4;
+        let dup = f[first..first + 4].to_vec();
+        f[second..second + 4].copy_from_slice(&dup);
+        seal_content_hash(&mut f);
+        seal_header_hash(&mut f);
+        assert!(matches!(
+            parse(&f).unwrap_err(),
+            Error::NotAPermutation { .. }
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_impossible_shapes() {
+        let d = Descriptor::Named(NamedLayout::MinWep);
+        assert_eq!(
+            encode_tree::<u64>(3, 0, 64, &d, |_| None).unwrap_err(),
+            Error::EmptyKeys
+        );
+        assert!(matches!(
+            encode_tree::<u64>(3, 8, 64, &d, |_| None).unwrap_err(),
+            Error::KeyCountMismatch { .. }
+        ));
+        assert!(matches!(
+            encode_tree::<u64>(0, 1, 64, &d, |_| None).unwrap_err(),
+            Error::HeightOutOfRange { .. }
+        ));
+        assert!(matches!(
+            encode_tree::<u64>(32, 1, 64, &d, |_| None).unwrap_err(),
+            Error::HeightOutOfRange { .. }
+        ));
+        assert!(matches!(
+            encode_tree::<u64>(3, 7, 100, &d, |_| None).unwrap_err(),
+            Error::Malformed { .. }
+        ));
+        let short = [0u32; 3];
+        assert!(matches!(
+            encode_tree::<u64>(
+                3,
+                7,
+                64,
+                &Descriptor::Table {
+                    label: "x",
+                    positions_by_node: &short
+                },
+                |_| None
+            )
+            .unwrap_err(),
+            Error::NotAPermutation { .. }
+        ));
+    }
+
+    #[test]
+    fn fixed_key_codecs_round_trip() {
+        let mut buf = [0u8; 16];
+        7u32.write_le(&mut buf);
+        assert_eq!(u32::read_le(&buf), 7);
+        (-9i64).write_le(&mut buf);
+        assert_eq!(i64::read_le(&buf), -9);
+        (u128::MAX - 5).write_le(&mut buf);
+        assert_eq!(u128::read_le(&buf), u128::MAX - 5);
+        assert_eq!(key_tag_name(u16::TAG), "u16");
+        assert_eq!(key_tag_name(99), "unknown");
+    }
+}

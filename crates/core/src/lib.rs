@@ -12,7 +12,10 @@
 //! * [`named`] — the thirteen named layouts of Table I;
 //! * [`weights`] — exact and approximate affinity edge weights (Eq. 2);
 //! * [`index`] — pointer-less position arithmetic, including a faithful
-//!   port of the paper's Listing 1 (breadth-first → MINWEP translation).
+//!   port of the paper's Listing 1 (breadth-first → MINWEP translation);
+//! * [`format`](mod@format) — the zero-copy `.cobt` on-disk container (header +
+//!   layout descriptor + block-aligned key array in layout order), the
+//!   byte-level spec of which lives in `docs/FORMAT.md`.
 //!
 //! ```
 //! use cobtree_core::named::NamedLayout;
@@ -26,6 +29,7 @@
 pub(crate) mod branch;
 pub mod engine;
 pub mod error;
+pub mod format;
 pub mod golden;
 pub mod index;
 pub mod layout;

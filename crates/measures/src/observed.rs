@@ -140,6 +140,33 @@ mod tests {
     use cobtree_search::ImplicitTree;
 
     #[test]
+    fn mapped_backend_observes_the_same_locality_as_implicit() {
+        // The observed measures are functions of visited positions
+        // only, so a saved-and-reopened tree must report bit-identical
+        // estimates to the in-memory backend it was serialized from.
+        use cobtree_search::{SearchTree, Storage};
+        let built = SearchTree::builder()
+            .layout(NamedLayout::MinWep)
+            .storage(Storage::Implicit)
+            .keys((1..=3000u64).map(|k| k * 5))
+            .build()
+            .unwrap();
+        let mapped: SearchTree<u64> =
+            SearchTree::open_bytes(built.to_file_bytes().unwrap()).unwrap();
+        let workload = UniformKeys::new(15_000, 13).take_vec(20_000);
+        let sizes = [2u64, 16, 64];
+        assert_eq!(
+            observed_block_transitions(&built, &workload, &sizes),
+            observed_block_transitions(&mapped, &workload, &sizes),
+        );
+        let starts = cobtree_search::workload::scan_starts(3000, 32, 100, 7);
+        assert_eq!(
+            observed_scan_block_transitions(&built, &starts, 32, &sizes),
+            observed_scan_block_transitions(&mapped, &starts, 32, &sizes),
+        );
+    }
+
+    #[test]
     fn observed_beta_tracks_analytic_beta() {
         // Uniform random searches on a full rank-keyed tree realize the
         // affinity edge probabilities (Eq. 2), so the observed fraction

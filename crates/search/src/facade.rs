@@ -35,11 +35,14 @@ use crate::cursor::{range_of, Cursor, Range};
 use crate::explicit::ExplicitTree;
 use crate::implicit::ImplicitTree;
 use crate::index_only::IndexOnlyTree;
+use crate::mapped::MappedTree;
 use crate::slot::{padded_slots, Slot};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
+use cobtree_core::format::{self, Descriptor, FixedKey};
 use cobtree_core::index::generic::GenericIndexer;
 use cobtree_core::index::{MaterializedIndex, PositionIndex};
 use cobtree_core::{Layout, NamedLayout, RecursiveSpec, Tree};
+use std::path::Path;
 
 /// Hard ceiling on key counts: `2^31 − 1` (positions are stored as
 /// `u32` by the materialized layouts and explicit nodes).
@@ -58,10 +61,18 @@ pub enum Storage {
     /// demand and never stored (the §IV-E index-timing discipline,
     /// generalized to arbitrary keys).
     IndexOnly,
+    /// Keys served zero-copy from the bytes of a saved tree file
+    /// (`docs/FORMAT.md`), memory-mapped or owned. Created by
+    /// [`SearchTree::open`] / [`SearchTree::open_bytes`] — never by the
+    /// key-set builder, which has no file to map.
+    Mapped,
 }
 
 impl Storage {
-    /// All storage backends, for generic iteration in benches and tests.
+    /// The storage backends the key-set builder can construct, for
+    /// generic iteration in benches and tests. [`Storage::Mapped`] is
+    /// deliberately absent: mapped trees are opened from a saved file
+    /// ([`SearchTree::open`]), not built from keys.
     pub const ALL: [Storage; 3] = [Storage::Explicit, Storage::Implicit, Storage::IndexOnly];
 }
 
@@ -71,6 +82,7 @@ impl std::fmt::Display for Storage {
             Storage::Explicit => "explicit",
             Storage::Implicit => "implicit",
             Storage::IndexOnly => "index-only",
+            Storage::Mapped => "mapped",
         })
     }
 }
@@ -204,6 +216,9 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
     /// fit the key count; [`Error::HeightOutOfRange`] if the layout
     /// source cannot serve the required height.
     pub fn build(self) -> Result<SearchTree<K>> {
+        if self.storage == Storage::Mapped {
+            return Err(Error::MappedStorageRequiresFile);
+        }
         check_sorted_keys(&self.keys)?;
         let n = self.keys.len() as u64;
         if n > MAX_KEYS {
@@ -253,10 +268,16 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                 self.source.resolve(height)?,
                 &slots,
             )?),
+            Storage::Mapped => unreachable!("rejected above"),
+        };
+        let provenance = match &self.source {
+            LayoutSource::Named(layout) => Provenance::Named(*layout),
+            _ => Provenance::Opaque,
         };
         Ok(SearchTree {
             storage: self.storage,
             layout_label: self.source.label(),
+            provenance,
             height,
             key_len: n,
             inner,
@@ -268,6 +289,20 @@ enum Inner<K> {
     Explicit(ExplicitTree<Slot<K>>),
     Implicit(ImplicitTree<Slot<K>>),
     IndexOnly(IndexOnlyTree<Slot<K>>),
+    /// A mapped file backend, type-erased so the facade stays generic
+    /// over plain `Ord + Copy` keys (the `FixedKey` bound applies only
+    /// at open/save time, where the erasure happens).
+    Mapped(Box<dyn SearchBackend<K> + Send + Sync>),
+}
+
+/// Where the layout came from — drives the descriptor kind
+/// [`SearchTree::save`] writes: named layouts travel by name (no
+/// position table in the file), everything else as a materialized
+/// table.
+#[derive(Clone, Copy)]
+enum Provenance {
+    Named(NamedLayout),
+    Opaque,
 }
 
 /// A static cache-oblivious search tree: any layout, any storage
@@ -275,9 +310,18 @@ enum Inner<K> {
 pub struct SearchTree<K> {
     storage: Storage,
     layout_label: String,
+    provenance: Provenance,
     height: u32,
     key_len: u64,
     inner: Inner<K>,
+}
+
+/// The two key disciplines an inner backend can speak: padded
+/// [`Slot`]s (in-memory backends) or raw keys (the mapped backend,
+/// which detects padding arithmetically).
+enum InnerRef<'a, K> {
+    Slots(&'a dyn SearchBackend<Slot<K>>),
+    Keys(&'a dyn SearchBackend<K>),
 }
 
 impl<K: Ord + Copy> SearchTree<K> {
@@ -324,12 +368,13 @@ impl<K: Ord + Copy> SearchTree<K> {
         &self.layout_label
     }
 
-    /// The inner storage backend as a slot-level trait object.
-    fn inner(&self) -> &dyn SearchBackend<Slot<K>> {
+    /// The inner storage backend, in whichever key discipline it speaks.
+    fn inner(&self) -> InnerRef<'_, K> {
         match &self.inner {
-            Inner::Explicit(t) => t,
-            Inner::Implicit(t) => t,
-            Inner::IndexOnly(t) => t,
+            Inner::Explicit(t) => InnerRef::Slots(t),
+            Inner::Implicit(t) => InnerRef::Slots(t),
+            Inner::IndexOnly(t) => InnerRef::Slots(t),
+            Inner::Mapped(t) => InnerRef::Keys(t.as_ref()),
         }
     }
 
@@ -338,7 +383,10 @@ impl<K: Ord + Copy> SearchTree<K> {
     /// same layout and keys.
     #[inline]
     pub fn search(&self, key: K) -> Option<u64> {
-        self.inner().search(Slot::Key(key))
+        match self.inner() {
+            InnerRef::Slots(b) => b.search(Slot::Key(key)),
+            InnerRef::Keys(b) => b.search(key),
+        }
     }
 
     /// Membership test.
@@ -351,7 +399,10 @@ impl<K: Ord + Copy> SearchTree<K> {
     /// Searches while recording every visited layout position (for cache
     /// simulation).
     pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
-        self.inner().search_traced(Slot::Key(key), visited)
+        match self.inner() {
+            InnerRef::Slots(b) => b.search_traced(Slot::Key(key), visited),
+            InnerRef::Keys(b) => b.search_traced(key, visited),
+        }
     }
 
     /// Benchmark kernel: sum of found positions, identical across
@@ -476,6 +527,157 @@ impl<K: Ord + Copy> SearchTree<K> {
     }
 }
 
+/// Persistence: every `SearchTree` whose key type has a fixed wire
+/// encoding ([`FixedKey`]) can be saved to the zero-copy `.cobt` format
+/// and served back through the mapped backend. See `docs/FORMAT.md`
+/// for the byte-level container specification.
+impl<K: Ord + Copy + FixedKey> SearchTree<K> {
+    /// Serializes the tree to the on-disk format with the default block
+    /// alignment ([`cobtree_core::format::DEFAULT_BLOCK_BYTES`]).
+    ///
+    /// Trees built from a [`NamedLayout`] travel by name — the file
+    /// carries no position table and the reader rebuilds the arithmetic
+    /// indexer. Every other source (specs, materialized layouts, opened
+    /// table files) is stored with its materialized `u32` position
+    /// table. Either way, a reopened tree visits the same positions and
+    /// returns the same checksums as this one.
+    ///
+    /// # Errors
+    /// Propagates [`cobtree_core::format::encode_tree`] errors.
+    pub fn to_file_bytes(&self) -> Result<Vec<u8>> {
+        self.to_file_bytes_with(format::DEFAULT_BLOCK_BYTES)
+    }
+
+    /// [`SearchTree::to_file_bytes`] with an explicit region alignment
+    /// (`block_bytes` must be a power of two; pick the serving medium's
+    /// transfer-block size).
+    ///
+    /// # Errors
+    /// Propagates [`cobtree_core::format::encode_tree`] errors.
+    pub fn to_file_bytes_with(&self, block_bytes: u64) -> Result<Vec<u8>> {
+        let tree = Tree::new(self.height);
+        let capacity = tree.len();
+        // Layout-ordered key image, assembled through the public rank
+        // surface so any inner backend — including a mapped one — can
+        // be re-serialized.
+        let mut keys_by_position: Vec<Option<K>> = vec![None; capacity as usize];
+        for rank in 1..=self.key_len {
+            let p = SearchBackend::position_of_rank(self, rank).expect("stored rank has a node");
+            keys_by_position[p as usize] = SearchBackend::key_at_rank(self, rank);
+        }
+        let key_at = |p: u64| keys_by_position[p as usize];
+        match self.provenance {
+            Provenance::Named(layout) => format::encode_tree(
+                self.height,
+                self.key_len,
+                block_bytes,
+                &Descriptor::Named(layout),
+                key_at,
+            ),
+            Provenance::Opaque => {
+                let mut positions_by_node = vec![0u32; capacity as usize];
+                for rank in 1..=capacity {
+                    let node = tree.node_at_in_order(rank);
+                    let p =
+                        SearchBackend::position_of_rank(self, rank).expect("every rank has a node");
+                    positions_by_node[(node - 1) as usize] = p as u32;
+                }
+                format::encode_tree(
+                    self.height,
+                    self.key_len,
+                    block_bytes,
+                    &Descriptor::Table {
+                        label: &self.layout_label,
+                        positions_by_node: &positions_by_node,
+                    },
+                    key_at,
+                )
+            }
+        }
+    }
+
+    /// Writes the tree to `path` in the zero-copy on-disk format, then
+    /// [`SearchTree::open`] serves it back without deserialization:
+    ///
+    /// ```
+    /// use cobtree_search::{SearchTree, Storage};
+    /// use cobtree_core::NamedLayout;
+    ///
+    /// let path = std::env::temp_dir().join(format!("facade-doctest-{}.cobt", std::process::id()));
+    /// let tree = SearchTree::builder()
+    ///     .layout(NamedLayout::MinWep)
+    ///     .keys((1..=1000u64).map(|k| k * 3))
+    ///     .build()?;
+    /// tree.save(&path)?;
+    ///
+    /// let served: SearchTree<u64> = SearchTree::open(&path)?;
+    /// assert_eq!(served.storage(), Storage::Mapped);
+    /// assert_eq!(served.len(), 1000);
+    /// assert!(served.contains(30) && !served.contains(31));
+    /// // Same layout ⇒ same positions ⇒ same checksums as in memory.
+    /// let probes: Vec<u64> = (0..500).collect();
+    /// assert_eq!(
+    ///     served.search_batch_checksum(&probes),
+    ///     tree.search_batch_checksum(&probes),
+    /// );
+    /// # std::fs::remove_file(&path).unwrap();
+    /// # Ok::<(), cobtree_core::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    /// [`Error::Io`] on filesystem failures, plus the
+    /// [`SearchTree::to_file_bytes`] encoding errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.save_with(path, format::DEFAULT_BLOCK_BYTES)
+    }
+
+    /// [`SearchTree::save`] with an explicit block alignment.
+    ///
+    /// # Errors
+    /// As for [`SearchTree::save`].
+    pub fn save_with(&self, path: impl AsRef<Path>, block_bytes: u64) -> Result<()> {
+        let bytes = self.to_file_bytes_with(block_bytes)?;
+        std::fs::write(path, bytes).map_err(|e| Error::io(&e))
+    }
+
+    /// Memory-maps a saved tree file and serves it as a
+    /// [`Storage::Mapped`] tree — the full ordered-map API (cursors,
+    /// ranges, rank/select, sorted batches) over the file bytes with
+    /// zero deserialization.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on filesystem failures, [`Error::KeyTypeMismatch`]
+    /// when the file stores a different key type, and every
+    /// [`cobtree_core::format::parse`] error on malformed bytes.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::from_mapped(MappedTree::open(path)?))
+    }
+
+    /// [`SearchTree::open`] over an in-memory file image (no
+    /// filesystem; the buffer is owned, not mapped).
+    ///
+    /// # Errors
+    /// As for [`SearchTree::open`], minus the I/O cases.
+    pub fn open_bytes(bytes: Vec<u8>) -> Result<Self> {
+        Ok(Self::from_mapped(MappedTree::from_bytes(bytes)?))
+    }
+
+    fn from_mapped(mapped: MappedTree<K>) -> Self {
+        let provenance = match mapped.named_layout() {
+            Some(layout) => Provenance::Named(layout),
+            None => Provenance::Opaque,
+        };
+        SearchTree {
+            storage: Storage::Mapped,
+            layout_label: mapped.label().to_string(),
+            provenance,
+            height: mapped.height(),
+            key_len: mapped.len(),
+            inner: Inner::Mapped(Box::new(mapped)),
+        }
+    }
+}
+
 impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
     fn height(&self) -> u32 {
         self.height
@@ -497,10 +699,13 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
         if rank < 1 || rank > self.key_len {
             return None;
         }
-        match self.inner().key_at_rank(rank) {
-            Some(Slot::Key(k)) => Some(k),
-            // Ranks 1..=len hold real keys by construction.
-            _ => None,
+        match self.inner() {
+            InnerRef::Slots(b) => match b.key_at_rank(rank) {
+                Some(Slot::Key(k)) => Some(k),
+                // Ranks 1..=len hold real keys by construction.
+                _ => None,
+            },
+            InnerRef::Keys(b) => b.key_at_rank(rank),
         }
     }
 
@@ -508,32 +713,49 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
         // Deliberately *not* clamped to `len`: padding nodes have
         // positions too, and traced descents must record them exactly as
         // `search_traced` does.
-        self.inner().position_of_rank(rank)
+        match self.inner() {
+            InnerRef::Slots(b) => b.position_of_rank(rank),
+            InnerRef::Keys(b) => b.position_of_rank(rank),
+        }
     }
 
-    // Forwarded to the slot-level backend so storage-specific fast
-    // paths apply (explicit storage descends by pointer instead of the
-    // generic rank walk). Ranks are storage-independent, and supremum
-    // padding sorts above every `Slot::Key` probe, so the inner answer
-    // is at most `len + 1` — exactly this facade's `key_count() + 1`
-    // "absent" sentinel; no clamping is needed.
+    // Forwarded to the inner backend so storage-specific fast paths
+    // apply (explicit storage descends by pointer instead of the
+    // generic rank walk). Ranks are storage-independent, and both
+    // padding disciplines — supremum slots in memory, rank-derived +∞
+    // in mapped files — sort above every real probe, so the inner
+    // answer is at most `len + 1` — exactly this facade's
+    // `key_count() + 1` "absent" sentinel; no clamping is needed.
 
     fn lower_bound_rank(&self, key: K) -> u64 {
-        self.inner().lower_bound_rank(Slot::Key(key))
+        match self.inner() {
+            InnerRef::Slots(b) => b.lower_bound_rank(Slot::Key(key)),
+            InnerRef::Keys(b) => b.lower_bound_rank(key),
+        }
     }
 
     fn lower_bound_rank_traced(&self, key: K, visited: &mut Vec<u64>) -> u64 {
-        self.inner()
-            .lower_bound_rank_traced(Slot::Key(key), visited)
+        match self.inner() {
+            InnerRef::Slots(b) => b.lower_bound_rank_traced(Slot::Key(key), visited),
+            InnerRef::Keys(b) => b.lower_bound_rank_traced(key, visited),
+        }
     }
 
     fn upper_bound_rank(&self, key: K) -> u64 {
-        self.inner().upper_bound_rank(Slot::Key(key))
+        match self.inner() {
+            InnerRef::Slots(b) => b.upper_bound_rank(Slot::Key(key)),
+            InnerRef::Keys(b) => b.upper_bound_rank(key),
+        }
     }
 
     fn search_sorted_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) -> Result<()> {
-        let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
-        self.inner().search_sorted_batch(&slots, out)
+        match self.inner() {
+            InnerRef::Slots(b) => {
+                let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
+                b.search_sorted_batch(&slots, out)
+            }
+            InnerRef::Keys(b) => b.search_sorted_batch(keys, out),
+        }
     }
 
     fn search_sorted_batch_traced(
@@ -542,9 +764,13 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
         out: &mut Vec<Option<u64>>,
         visited: &mut Vec<u64>,
     ) -> Result<()> {
-        let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
-        self.inner()
-            .search_sorted_batch_traced(&slots, out, visited)
+        match self.inner() {
+            InnerRef::Slots(b) => {
+                let slots: Vec<Slot<K>> = keys.iter().map(|&k| Slot::Key(k)).collect();
+                b.search_sorted_batch_traced(&slots, out, visited)
+            }
+            InnerRef::Keys(b) => b.search_sorted_batch_traced(keys, out, visited),
+        }
     }
 }
 
@@ -604,6 +830,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mapped_backend_joins_the_interchange_guarantee() {
+        // A tree saved and reopened (any source kind) returns the same
+        // positions and checksums as every in-memory storage.
+        let ks = keys(300);
+        let probes: Vec<u64> = (0..2400).collect();
+        for source in [
+            LayoutSource::Named(NamedLayout::MinWep),
+            LayoutSource::Spec(NamedLayout::MinWep.spec()),
+            LayoutSource::Materialized(NamedLayout::MinWep.materialize(9)),
+        ] {
+            let built = SearchTree::builder()
+                .layout(source.clone())
+                .storage(Storage::Implicit)
+                .keys(ks.iter().copied())
+                .build()
+                .unwrap();
+            let opened: SearchTree<u64> =
+                SearchTree::open_bytes(built.to_file_bytes().unwrap()).unwrap();
+            assert_eq!(opened.storage(), Storage::Mapped);
+            assert_eq!(opened.len(), built.len());
+            assert_eq!(opened.height(), built.height());
+            assert_eq!(
+                opened.search_batch_checksum(&probes),
+                built.search_batch_checksum(&probes),
+                "{source:?}"
+            );
+            // Re-saving an opened tree reproduces a working file.
+            let resaved: SearchTree<u64> =
+                SearchTree::open_bytes(opened.to_file_bytes().unwrap()).unwrap();
+            assert_eq!(
+                resaved.search_batch_checksum(&probes),
+                built.search_batch_checksum(&probes),
+                "re-save {source:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_mapped_storage() {
+        assert_eq!(
+            SearchTree::builder()
+                .storage(Storage::Mapped)
+                .keys([1u64, 2, 3])
+                .build()
+                .unwrap_err(),
+            Error::MappedStorageRequiresFile
+        );
     }
 
     #[test]

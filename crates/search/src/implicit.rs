@@ -18,6 +18,23 @@ use cobtree_core::Tree;
 /// A complete BST stored as a key array in layout order, navigated by
 /// index arithmetic. Owns its position index, so it moves freely into
 /// facades and across threads.
+///
+/// ```
+/// use cobtree_search::{ImplicitTree, SearchBackend};
+/// use cobtree_core::NamedLayout;
+///
+/// let keys: Vec<u64> = (1..=127).map(|k| k * 10).collect();
+/// let tree = ImplicitTree::try_build(NamedLayout::MinWep.indexer(7), &keys)?;
+/// let pos = tree.search(640).expect("stored key");
+/// assert_eq!(tree.keys()[pos as usize], 640);
+///
+/// // The key array *is* the layout order — which is why an
+/// // `ImplicitTree` serialized by `SearchTree::save` can be served
+/// // back byte-for-byte by the mapped backend (`SearchTree::open`).
+/// assert_eq!(tree.keys().len(), 127);
+/// assert_eq!(tree.key_count(), 127);
+/// # Ok::<(), cobtree_core::Error>(())
+/// ```
 pub struct ImplicitTree<K> {
     tree: Tree,
     index: Box<dyn PositionIndex>,

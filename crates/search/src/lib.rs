@@ -28,6 +28,10 @@
 //! * [`index_only`] — keys in plain sorted order, layout positions
 //!   computed on demand (the §IV-E discipline generalized to arbitrary
 //!   keys);
+//! * [`mapped`] — the *serving* backend: [`mapped::MappedTree`] answers
+//!   the full ordered surface zero-copy from the bytes of a saved tree
+//!   file (`SearchTree::save`/`open`, format spec in `docs/FORMAT.md`),
+//!   memory-mapped so the byte order on storage *is* the layout order;
 //! * [`stepping`] — the incremental [`stepping::SteppingTree`] descent
 //!   optimization this reproduction adds on top of the paper;
 //! * [`map`] — [`LayoutMap`], a dynamic ordered set over the static
@@ -45,6 +49,7 @@ pub mod facade;
 pub mod implicit;
 pub mod index_only;
 pub mod map;
+pub mod mapped;
 pub(crate) mod slot;
 pub mod stepping;
 pub mod trace;
@@ -57,5 +62,6 @@ pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};
 pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;
+pub use mapped::MappedTree;
 pub use stepping::SteppingTree;
 pub use workload::UniformKeys;

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `memmap2` crate (read-only subset).
+//!
+//! Implements exactly the API surface cobtree uses — `unsafe
+//! Mmap::map(&File)` plus `Deref<Target = [u8]>` — with no dependency
+//! on the `libc` crate (this build environment has no crates.io
+//! access; see `shims/README.md`):
+//!
+//! * on 64-bit Linux and macOS, a genuine `mmap(2)`/`munmap(2)` pair
+//!   declared via `extern "C"` (every Rust binary on these platforms
+//!   already links the system C library; the declared `i64` offset
+//!   matches `off_t` only on 64-bit targets, hence the pointer-width
+//!   gate), so mapped trees are served zero-copy straight from the
+//!   page cache;
+//! * elsewhere, a buffered `read_to_end` fallback that preserves the
+//!   API and the immutability guarantee, trading the shared page cache
+//!   for a private copy.
+//!
+//! As with the other shims, swapping in the real `memmap2` from the
+//! registry requires no source changes in cobtree.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable memory-mapped view of a file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(all(
+        any(target_os = "linux", target_os = "macos"),
+        target_pointer_width = "64"
+    ))]
+    Mapped {
+        ptr: *mut sys::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only for its whole lifetime, so sharing the raw
+// pointer across threads is safe.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    /// As in upstream `memmap2`: the caller must ensure the underlying
+    /// file is not truncated or mutated while the map is alive;
+    /// cobtree's tree files are written once and then only read.
+    ///
+    /// # Errors
+    /// Any `std::io::Error` from metadata or the mapping syscall.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        Self::map_impl(file, len as usize)
+    }
+
+    #[cfg(all(
+        any(target_os = "linux", target_os = "macos"),
+        target_pointer_width = "64"
+    ))]
+    unsafe fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty slice is
+            // the faithful result.
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped { ptr, len },
+        })
+    }
+
+    #[cfg(not(all(
+        any(target_os = "linux", target_os = "macos"),
+        target_pointer_width = "64"
+    )))]
+    unsafe fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(
+                any(target_os = "linux", target_os = "macos"),
+                target_pointer_width = "64"
+            ))]
+            Inner::Mapped { ptr, len } => {
+                // Valid for the mapping's lifetime; PROT_READ only.
+                unsafe { std::slice::from_raw_parts((*ptr).cast::<u8>(), *len) }
+            }
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(
+            any(target_os = "linux", target_os = "macos"),
+            target_pointer_width = "64"
+        ))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // Failure here is unrecoverable and harmless (the address
+            // range simply stays reserved until process exit).
+            unsafe {
+                let _ = sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(all(
+    any(target_os = "linux", target_os = "macos"),
+    target_pointer_width = "64"
+))]
+mod sys {
+    use std::os::raw::c_int;
+    pub use std::os::raw::c_void;
+
+    // POSIX constants shared by Linux and macOS.
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload = b"hello mapped world".repeat(500);
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&*map, &payload[..]);
+        assert!(format!("{map:?}").contains("len"));
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -93,6 +93,42 @@
 //! # Ok::<(), cobtree::Error>(())
 //! ```
 //!
+//! ## Persistence: save once, serve from a mapped file
+//!
+//! A built tree saves to a zero-copy on-disk container (byte-level spec
+//! in `docs/FORMAT.md`) and serves back through the fourth storage
+//! backend, [`Storage::Mapped`] — the full ordered API over the file
+//! bytes, positions and checksums identical to the in-memory backends:
+//!
+//! ```
+//! use cobtree::{SearchTree, Storage};
+//! use cobtree::core::NamedLayout;
+//!
+//! let path = std::env::temp_dir().join(format!("cobtree-umbrella-doc-{}.cobt", std::process::id()));
+//! let built = SearchTree::builder()
+//!     .layout(NamedLayout::MinWep)
+//!     .keys((1..=10_000u64).map(|k| k * 2))
+//!     .build()?;
+//! built.save(&path)?;
+//!
+//! let served: SearchTree<u64> = SearchTree::open(&path)?;
+//! assert_eq!(served.storage(), Storage::Mapped);
+//! assert_eq!(served.len(), 10_000);
+//! assert_eq!(served.range(..=20u64).count(), 10);
+//! let probes: Vec<u64> = (0..2_000).collect();
+//! assert_eq!(
+//!     served.search_batch_checksum(&probes),
+//!     built.search_batch_checksum(&probes),
+//! );
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), cobtree::Error>(())
+//! ```
+//!
+//! Malformed files fail with typed [`Error`]s (`BadMagic`,
+//! `Truncated`, `ChecksumMismatch`, `KeyTypeMismatch`, …), never
+//! panics. The `serve` repro experiment and bench compare mapped
+//! against heap serving under cachesim block counting.
+//!
 //! Generic code works against any backend through [`SearchBackend`]
 //! (`search` / `search_traced` / `search_batch_checksum`, plus the full
 //! ordered surface: `lower_bound`/`upper_bound`, `rank`/`select`,
@@ -108,12 +144,15 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`core`] | `cobtree-core` | tree model, layout engine, named layouts, Listing 1, [`Error`] |
+//! | [`core`] | `cobtree-core` | tree model, layout engine, named layouts, Listing 1, [`Error`], the `.cobt` on-disk format |
 //! | [`measures`] | `cobtree-measures` | locality functionals, block transitions, observed traces |
 //! | [`cachesim`] | `cobtree-cachesim` | set-associative cache hierarchy simulator + backend replay |
-//! | [`search`] | `cobtree-search` | storage backends, the [`SearchTree`] facade, workloads |
+//! | [`search`] | `cobtree-search` | storage backends (incl. mapped files), the [`SearchTree`] facade with save/open, workloads |
 //! | [`optimizer`] | `cobtree-optimizer` | layout-space study, MINLA/MINBW |
 //! | [`analysis`] | `cobtree-analysis` | figure/table generators (`repro` binary) |
+//!
+//! The repo-level `ARCHITECTURE.md` draws the full crate DAG and data
+//! flow; `docs/FORMAT.md` specifies the on-disk format byte by byte.
 
 pub use cobtree_analysis as analysis;
 pub use cobtree_cachesim as cachesim;
@@ -124,7 +163,8 @@ pub use cobtree_search as search;
 
 pub use cobtree_core::{Error, Result};
 pub use cobtree_search::{
-    range_of, Cursor, LayoutSource, Range, SearchBackend, SearchTree, SearchTreeBuilder, Storage,
+    range_of, Cursor, LayoutSource, MappedTree, Range, SearchBackend, SearchTree,
+    SearchTreeBuilder, Storage,
 };
 
 /// Compiles and runs the README's code examples as doctests.

@@ -1,9 +1,11 @@
 //! Acceptance tests for the ordered-map query API: for **every**
-//! `NamedLayout` × `Storage` combination, `range`, `lower_bound`,
-//! `upper_bound`, `rank`, `select`, cursors and `search_sorted_batch`
-//! must agree with `BTreeSet`/sorted-`Vec` oracles — and the sorted
-//! batch must visit strictly fewer traced positions than the equivalent
-//! loop of independent traced point searches.
+//! `NamedLayout` × storage backend — the three builder storages *plus*
+//! a tree saved to the on-disk format and reopened through the mapped
+//! backend — `range`, `lower_bound`, `upper_bound`, `rank`, `select`,
+//! cursors and `search_sorted_batch` must agree with
+//! `BTreeSet`/sorted-`Vec` oracles — and the sorted batch must visit
+//! strictly fewer traced positions than the equivalent loop of
+//! independent traced point searches.
 
 use cobtree::core::NamedLayout;
 use cobtree::{SearchTree, Storage};
@@ -19,6 +21,25 @@ fn build(layout: NamedLayout, storage: Storage, keys: &[u64]) -> SearchTree<u64>
         .expect("valid configuration must build")
 }
 
+/// Backend index space for the matrix tests: `0..3` are the builder
+/// storages, `3` is save → open through the zero-copy mapped backend.
+const BACKENDS: usize = Storage::ALL.len() + 1;
+
+fn build_nth(layout: NamedLayout, nth: usize, keys: &[u64]) -> SearchTree<u64> {
+    if let Some(&storage) = Storage::ALL.get(nth) {
+        build(layout, storage, keys)
+    } else {
+        let source = build(layout, Storage::Implicit, keys);
+        SearchTree::open_bytes(source.to_file_bytes().expect("encode tree file"))
+            .expect("reopen tree file")
+    }
+}
+
+/// The full backend matrix for one layout × key set.
+fn backends(layout: NamedLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
+    (0..BACKENDS).map(|n| build_nth(layout, n, keys)).collect()
+}
+
 /// Deterministic sweep of the full matrix: an irregular key set (forcing
 /// padding) checked operation by operation against the sorted vector.
 #[test]
@@ -29,8 +50,8 @@ fn ordered_queries_match_oracle_for_every_layout_and_storage() {
         .chain([0, 1, 1392, 1393, 9999])
         .collect();
     for layout in NamedLayout::ALL {
-        for storage in Storage::ALL {
-            let tree = build(layout, storage, &keys);
+        for tree in backends(layout, &keys) {
+            let storage = tree.storage();
             for &p in &probes {
                 let lb = keys.partition_point(|&k| k < p);
                 assert_eq!(tree.rank(p), lb as u64, "{layout}/{storage} rank({p})");
@@ -73,8 +94,8 @@ fn sorted_batches_visit_strictly_fewer_positions_everywhere() {
     batch.sort_unstable();
     assert!(batch.len() >= 64);
     for layout in NamedLayout::ALL {
-        for storage in Storage::ALL {
-            let tree = build(layout, storage, &keys);
+        for tree in backends(layout, &keys) {
+            let storage = tree.storage();
             let mut out = Vec::new();
             let mut batch_visits = Vec::new();
             tree.search_sorted_batch_traced(&batch, &mut out, &mut batch_visits)
@@ -110,13 +131,14 @@ proptest! {
     #[test]
     fn range_matches_btreeset_oracle(
         layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
-        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..100_000, 1..300),
         bounds in proptest::collection::vec(0u64..110_000, 8),
     ) {
         let keys: Vec<u64> = raw.iter().copied().collect();
         let oracle: BTreeSet<u64> = raw;
-        let tree = build(layout, storage, &keys);
+        let tree = build_nth(layout, nth, &keys);
+        let storage = tree.storage();
         for w in bounds.windows(2) {
             let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
             let got: Vec<u64> = tree.range(a..b).collect();
@@ -136,12 +158,13 @@ proptest! {
     #[test]
     fn rank_select_round_trips(
         layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
-        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..50_000, 1..300),
         probes in proptest::collection::vec(0u64..55_000, 48),
     ) {
         let keys: Vec<u64> = raw.into_iter().collect();
-        let tree = build(layout, storage, &keys);
+        let tree = build_nth(layout, nth, &keys);
+        let storage = tree.storage();
         for &p in &probes {
             let lb = keys.partition_point(|&k| k < p) as u64;
             prop_assert_eq!(tree.rank(p), lb, "{}/{} rank({})", layout, storage, p);
@@ -165,12 +188,13 @@ proptest! {
     #[test]
     fn batch_and_cursor_match_point_searches(
         layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
-        storage in proptest::sample::select(Storage::ALL.to_vec()),
+        nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..20_000, 2..200),
         probes in proptest::collection::vec(0u64..22_000, 80),
     ) {
         let keys: Vec<u64> = raw.into_iter().collect();
-        let tree = build(layout, storage, &keys);
+        let tree = build_nth(layout, nth, &keys);
+        let storage = tree.storage();
         let mut batch = probes;
         batch.sort_unstable();
         let mut out = Vec::new();
