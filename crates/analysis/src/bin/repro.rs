@@ -16,11 +16,14 @@
 //!   storage   SearchTree facade: explicit vs implicit vs index-only
 //!   range     ordered-query workloads: cursor range scans + sorted batches
 //!   serve     zero-copy persistence: mapped tree files vs heap backends
+//!   forest    sharded serving engine: parity, replay parity, throughput
+//!             (also writes the BENCH_forest.json artifact)
 //!   all     everything above
 //! ```
 
 use cobtree_analysis::experiments::{
-    cache, extensions, facade_exp, locality, range_exp, serve_exp, study_exp, timing_exp, Config,
+    cache, extensions, facade_exp, forest_exp, locality, range_exp, serve_exp, study_exp,
+    timing_exp, Config,
 };
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
@@ -114,6 +117,14 @@ fn run(cfg: &Config, what: &str) {
                 serve_exp::mapped_search_time(cfg),
             ],
         ),
+        "forest" => emit(
+            cfg,
+            vec![
+                forest_exp::single_tree_parity(cfg),
+                forest_exp::replay_parity(cfg),
+                forest_exp::throughput_table(cfg),
+            ],
+        ),
         "extend" => emit(
             cfg,
             vec![
@@ -126,7 +137,7 @@ fn run(cfg: &Config, what: &str) {
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "storage", "range", "serve", "extend",
+                "storage", "range", "serve", "forest", "extend",
             ] {
                 run(cfg, w);
             }
@@ -154,7 +165,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|forest|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

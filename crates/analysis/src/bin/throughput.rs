@@ -1,0 +1,92 @@
+//! `throughput` — the forest serving benchmark driver.
+//!
+//! Replays uniform/zipf/scan/batch workload mixes against a sharded
+//! forest of memory-mapped tree files at a sweep of thread counts, and
+//! writes the machine-readable `BENCH_forest.json` artifact the CI perf
+//! job uploads (ops/s, p50/p99 latency, simulated L1 block transfers
+//! per op, and the 1→max-threads `par_search_batch` scaling headline).
+//!
+//! ```text
+//! throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4]
+//!            [--span N] [--zipf S] [--seed N] [--heap] [--out FILE]
+//! ```
+
+use cobtree_analysis::throughput::{self, ThroughputConfig};
+use std::path::PathBuf;
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: unparseable value"))
+}
+
+fn main() {
+    let mut cfg = ThroughputConfig::ci();
+    let mut out = PathBuf::from("BENCH_forest.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => cfg.shards = parse("--shards", args.next()),
+            "--keys" => cfg.keys = parse("--keys", args.next()),
+            "--ops" => cfg.ops = parse("--ops", args.next()),
+            "--span" => cfg.scan_span = parse("--span", args.next()),
+            "--zipf" => cfg.zipf_s = parse("--zipf", args.next()),
+            "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--heap" => cfg.mapped = false,
+            "--threads" => {
+                let spec: String = parse("--threads", args.next());
+                cfg.threads = spec
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads: unparseable count"))
+                    .collect();
+                assert!(
+                    !cfg.threads.is_empty(),
+                    "--threads needs at least one count"
+                );
+            }
+            "--out" => out = PathBuf::from(parse::<String>("--out", args.next())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4] \
+                     [--span N] [--zipf S] [--seed N] [--heap] [--out FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' — see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "[forest throughput: {} shards x {} keys, {} ops/cell, threads {:?}, {}]",
+        cfg.shards,
+        cfg.keys,
+        cfg.ops,
+        cfg.threads,
+        if cfg.mapped { "mapped" } else { "heap" }
+    );
+    let report = throughput::run(&cfg);
+    println!(
+        "{:<8} {:>7} {:>14} {:>10} {:>10} {:>16}",
+        "mix", "threads", "ops_per_sec", "p50_ns", "p99_ns", "l1_misses_per_op"
+    );
+    for p in &report.points {
+        println!(
+            "{:<8} {:>7} {:>14.0} {:>10.0} {:>10.0} {:>16.3}",
+            p.mix, p.threads, p.ops_per_sec, p.p50_ns, p.p99_ns, p.l1_misses_per_op
+        );
+    }
+    println!(
+        "par batch scaling {} -> {} threads: {:.2}x",
+        report.base_threads, report.max_threads, report.par_batch_scaling
+    );
+    println!(
+        "stitched scan regression: {} keys at {:.1} ns/key",
+        report.stitched_scan_keys, report.stitched_scan_ns_per_key
+    );
+    throughput::write_json(&report, &out).expect("write JSON artifact");
+    println!("written to {}", out.display());
+}

@@ -3,20 +3,30 @@
 //! The experiment harness: regenerates the data behind **every table and
 //! figure** of the paper (Figures 1–5, Table I, the §IV-C study) plus the
 //! design-choice ablations and the reproduction's own extension
-//! experiments (`storage`, `range`, and the `serve` study of mapped
-//! tree files vs heap backends), writing CSV artifacts and Markdown
-//! reports.
+//! experiments (`storage`, `range`, the `serve` study of mapped tree
+//! files vs heap backends, and the `forest` study of the sharded
+//! serving engine), writing CSV artifacts and Markdown reports.
 //!
 //! Run it via the `repro` binary:
 //!
 //! ```text
 //! cargo run --release -p cobtree-analysis --bin repro -- all
 //! cargo run --release -p cobtree-analysis --bin repro -- --full fig3
-//! cargo run --release -p cobtree-analysis --bin repro -- serve
+//! cargo run --release -p cobtree-analysis --bin repro -- serve forest
+//! ```
+//!
+//! The [`throughput`] module is the forest serving benchmark behind the
+//! `throughput` driver binary: workload mixes × thread counts against a
+//! sharded forest of mapped tree files, emitting the
+//! `BENCH_forest.json` artifact CI uploads for perf tracking:
+//!
+//! ```text
+//! cargo run --release -p cobtree-analysis --bin throughput -- --threads 1,2,4
 //! ```
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 pub mod timing;
 
 pub use experiments::Config;

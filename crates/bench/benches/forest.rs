@@ -1,0 +1,133 @@
+//! Forest serving benchmarks: the sharded engine against the unsharded
+//! tree it must match, on point, batch and stitched-scan kernels, plus
+//! the `par_search_batch` thread sweep.
+//!
+//! Expected shape: single-threaded forest point lookups pay a small
+//! router toll over the unsharded tree (one fence binary search per
+//! probe) but descend a shallower shard; `par_search_batch` scales with
+//! cores until the per-shard sub-batches stop amortizing thread spawn;
+//! and the stitched full scan tracks the unsharded cursor walk (the
+//! cursor padding-hoist regression this bench keeps visible).
+
+use cobtree::core::NamedLayout;
+use cobtree::{Forest, SearchTree, Storage};
+use cobtree_search::workload::UniformKeys;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn build(h: u32, shards: usize) -> (SearchTree<u64>, Forest<u64>) {
+    let n = (1u64 << h) - 1;
+    let keys: Vec<u64> = (1..=n).map(|k| k * 2).collect();
+    let single = SearchTree::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .keys(keys.iter().copied())
+        .build()
+        .expect("bench tree");
+    let forest = Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(shards)
+        .keys(keys.iter().copied())
+        .build()
+        .expect("bench forest");
+    (single, forest)
+}
+
+fn point_lookup(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let probes = UniformKeys::new(n * 2, 7).take_vec(100_000);
+    let mut group = c.benchmark_group(format!("forest_point_h{h}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(probes.len() as u64));
+    let (single, forest) = build(h, 4);
+    group.bench_function("single_tree", |b| {
+        b.iter(|| cobtree_search::forest::rank_checksum(&single, &probes))
+    });
+    group.bench_function("forest_4shards", |b| {
+        b.iter(|| forest.rank_checksum(&probes))
+    });
+    group.finish();
+}
+
+fn par_batch(c: &mut Criterion) {
+    let h = cobtree_bench::bench_height();
+    let n = (1u64 << h) - 1;
+    let mut batch = UniformKeys::new(n * 2, 13).take_vec(200_000);
+    batch.sort_unstable();
+    let (single, forest) = build(h, 4);
+    let mut group = c.benchmark_group(format!("forest_par_batch_h{h}"));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("single_tree_serial", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            single
+                .search_sorted_batch(&batch, &mut out)
+                .expect("sorted");
+            out.iter().filter(|p| p.is_some()).count()
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("forest", format!("{threads}t")),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut out = Vec::new();
+                    forest
+                        .par_search_batch(&batch, t, &mut out)
+                        .expect("sorted");
+                    out.iter().filter(|p| p.is_some()).count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn stitched_scan(c: &mut Criterion) {
+    // The cursor padding-hoist regression bench: a full stitched
+    // iteration over padded mapped shards must stay close to the
+    // unsharded walk — and must yield exactly `len` keys (asserted
+    // every iteration).
+    let h = cobtree_bench::bench_height().min(16);
+    let (single, heap_forest) = build(h, 4);
+    let dir = std::env::temp_dir().join(format!("cobtree-bench-forest-{}", std::process::id()));
+    heap_forest.save(&dir).expect("save shards");
+    let forest: Forest<u64> = Forest::open(&dir).expect("open mapped shards");
+    let len = single.len();
+    let mut group = c.benchmark_group(format!("forest_scan_h{h}"));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(len));
+    group.bench_function("single_tree_iter", |b| {
+        b.iter(|| {
+            let count = single.iter().count() as u64;
+            assert_eq!(count, len);
+            count
+        })
+    });
+    group.bench_function("forest_mapped_iter", |b| {
+        b.iter(|| {
+            let count = forest.iter().count() as u64;
+            assert_eq!(count, len, "stitched mapped scan dropped keys");
+            count
+        })
+    });
+    group.finish();
+    drop(forest);
+    std::fs::remove_dir_all(&dir).expect("remove bench dir");
+}
+
+criterion_group!(benches, point_lookup, par_batch, stitched_scan);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | `ablations` | implicit search (Fig 4 bottom-left) + weight models |
 //! | `ordered_ops` | cursor range scans + sorted-batch search per layout |
 //! | `serve` | mapped tree files vs heap backends (point/batch/open) |
+//! | `forest` | sharded serving engine: point/par-batch/stitched-scan |
 //!
 //! The benches use reduced sample counts so `cargo bench --workspace`
 //! finishes in minutes; set `BENCH_HEIGHT` for paper-scale runs.

@@ -36,4 +36,7 @@ pub mod replay;
 pub use cache::{CacheConfig, CacheLevel, LevelStats};
 pub use hierarchy::CacheHierarchy;
 pub use policy::ReplacementPolicy;
-pub use replay::{replay_range_scan, replay_search_backend, replay_sorted_batches};
+pub use replay::{
+    replay_forest_point, replay_forest_scan, replay_forest_sorted_batch, replay_range_scan,
+    replay_search_backend, replay_sorted_batches,
+};

@@ -11,9 +11,19 @@
 //! [`replay_sorted_batches`] the shared-prefix sorted-batch searches, so
 //! block transfers can be reported for scans and batches, not just
 //! point queries.
+//!
+//! The forest replays ([`replay_forest_point`], [`replay_forest_scan`],
+//! [`replay_forest_sorted_batch`]) extend the same discipline to the
+//! sharded serving engine: each shard's tree occupies its own
+//! block-aligned address window (`shard stride` = the largest shard's
+//! footprint, rounded up), and every probe/scan/batch element is routed
+//! exactly as [`Forest`] routes it — so the counters model N mapped
+//! shard files served side by side, and a one-shard forest replays
+//! *identically* to the unsharded backend (the multi-tree parity test
+//! below pins that).
 
 use crate::hierarchy::CacheHierarchy;
-use cobtree_search::SearchBackend;
+use cobtree_search::{Forest, SearchBackend};
 
 /// Searches every key on `backend`, feeding each visited position
 /// (scaled by `node_bytes`, offset by `base`) through the hierarchy.
@@ -91,6 +101,123 @@ pub fn replay_sorted_batches<K: Copy + Ord>(
         found += out.iter().filter(|p| p.is_some()).count() as u64;
         for &p in &visited {
             hierarchy.access(base + p * node_bytes);
+        }
+    }
+    found
+}
+
+/// Byte distance between consecutive shards' address windows: the
+/// largest shard's node footprint, rounded up to a 64-byte block so
+/// shards never share a cache line.
+#[must_use]
+pub fn forest_shard_stride<K: Copy + Ord>(forest: &Forest<K>, node_bytes: u64) -> u64 {
+    let widest = forest.shards().map(|t| t.capacity()).max().unwrap_or(0);
+    (widest * node_bytes).div_ceil(64) * 64
+}
+
+/// Replays point lookups over a sharded forest: each probe is routed to
+/// its shard and the shard's traced descent feeds the hierarchy at that
+/// shard's address window (`base + shard × stride + position ×
+/// node_bytes`). Returns the number of probes found.
+pub fn replay_forest_point<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    forest: &Forest<K>,
+    node_bytes: u64,
+    base: u64,
+    keys: &[K],
+) -> u64 {
+    let stride = forest_shard_stride(forest, node_bytes);
+    let mut found = 0u64;
+    let mut visited = Vec::new();
+    for &key in keys {
+        let Some((shard, tree)) = forest.route(key) else {
+            continue;
+        };
+        visited.clear();
+        if tree.search_traced(key, &mut visited).is_some() {
+            found += 1;
+        }
+        let shard_base = base + shard as u64 * stride;
+        for &p in &visited {
+            hierarchy.access(shard_base + p * node_bytes);
+        }
+    }
+    found
+}
+
+/// Replays stitched range scans over a forest: for every forest-wide
+/// 1-based start rank in `starts`, visits `span` consecutive ranks —
+/// crossing shard fences exactly as [`Forest::range_by_rank`] does —
+/// and feeds each element's position through the hierarchy in its
+/// shard's address window. Returns the number of elements visited.
+pub fn replay_forest_scan<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    forest: &Forest<K>,
+    node_bytes: u64,
+    base: u64,
+    starts: &[u64],
+    span: u64,
+) -> u64 {
+    if span == 0 {
+        // A zero-length scan touches nothing (and `start + span - 1`
+        // must not wrap into a whole-forest scan).
+        return 0;
+    }
+    let stride = forest_shard_stride(forest, node_bytes);
+    let mut visited = Vec::with_capacity(span as usize);
+    let mut touched = 0u64;
+    for &start in starts {
+        for (shard, llo, lhi) in forest.rank_windows(start, start + span - 1) {
+            visited.clear();
+            forest
+                .shard(shard)
+                .expect("window names an active shard")
+                .scan_positions_traced(llo, lhi, &mut visited);
+            touched += visited.len() as u64;
+            let shard_base = base + shard as u64 * stride;
+            for &p in &visited {
+                hierarchy.access(shard_base + p * node_bytes);
+            }
+        }
+    }
+    touched
+}
+
+/// Replays sorted-batch searches over a forest: every batch is split at
+/// the shard fences ([`Forest::shard_batches`]) and each sub-batch runs
+/// through its shard's shared-prefix traced search, feeding the
+/// hierarchy in that shard's address window. Returns the number of
+/// probes found.
+///
+/// # Panics
+/// Panics if a batch is not ascending (`Error::UnsortedBatch`).
+pub fn replay_forest_sorted_batch<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    forest: &Forest<K>,
+    node_bytes: u64,
+    base: u64,
+    batches: &[Vec<K>],
+) -> u64 {
+    let stride = forest_shard_stride(forest, node_bytes);
+    let mut found = 0u64;
+    let mut out = Vec::new();
+    let mut visited = Vec::new();
+    for batch in batches {
+        for (shard, sub) in forest
+            .shard_batches(batch)
+            .expect("forest batch replay requires ascending batches")
+        {
+            visited.clear();
+            forest
+                .shard(shard)
+                .expect("split names an active shard")
+                .search_sorted_batch_traced(sub, &mut out, &mut visited)
+                .expect("sub-batches of an ascending batch are ascending");
+            found += out.iter().filter(|p| p.is_some()).count() as u64;
+            let shard_base = base + shard as u64 * stride;
+            for &p in &visited {
+                hierarchy.access(shard_base + p * node_bytes);
+            }
         }
     }
     found
@@ -199,6 +326,94 @@ mod tests {
         for pair in stats.windows(2) {
             assert_eq!(pair[0], pair[1]);
         }
+    }
+
+    #[test]
+    fn one_shard_forest_replays_identically_to_the_unsharded_backend() {
+        // Multi-tree replay parity, base case: a forest of one shard is
+        // the unsharded tree, so every workload must produce the exact
+        // same counters at every level. (Keys start at 1 so no probe
+        // sorts below the fence — the router rejects those without a
+        // descent, which the unsharded replay has no notion of.)
+        use cobtree_search::{Forest, SearchTree, Storage};
+        let keys: Vec<u64> = (1..=3000u64).map(|k| k * 2 - 1).collect();
+        let single = SearchTree::builder()
+            .storage(Storage::Implicit)
+            .keys(keys.iter().copied())
+            .build()
+            .unwrap();
+        let forest = Forest::builder()
+            .shards(1)
+            .storage(Storage::Implicit)
+            .keys(keys.iter().copied())
+            .build()
+            .unwrap();
+
+        let points = UniformKeys::new(6500, 3).take_vec(8_000);
+        let mut a = presets::westmere_l1_l2();
+        let mut b = presets::westmere_l1_l2();
+        // One shard ⇒ stride is irrelevant; same base, same addresses.
+        let fa = replay_search_backend(&mut a, &single, 8, 0, &points);
+        let fb = replay_forest_point(&mut b, &forest, 8, 0, &points);
+        assert_eq!(fa, fb);
+        for level in 0..2 {
+            assert_eq!(a.level_stats(level), b.level_stats(level), "point L{level}");
+        }
+
+        let starts = cobtree_search::workload::scan_starts(3000, 32, 60, 5);
+        let mut a = presets::westmere_l1_l2();
+        let mut b = presets::westmere_l1_l2();
+        let ta = replay_range_scan(&mut a, &single, 8, 0, &starts, 32);
+        let tb = replay_forest_scan(&mut b, &forest, 8, 0, &starts, 32);
+        assert_eq!(ta, tb);
+        assert_eq!(a.level_stats(0), b.level_stats(0), "scan");
+
+        let batches = cobtree_search::workload::sorted_batches(6500, 48, 30, 0.0, 9);
+        let mut a = presets::westmere_l1_l2();
+        let mut b = presets::westmere_l1_l2();
+        let fa = replay_sorted_batches(&mut a, &single, 8, 0, &batches);
+        let fb = replay_forest_sorted_batch(&mut b, &forest, 8, 0, &batches);
+        assert_eq!(fa, fb);
+        assert_eq!(a.level_stats(0), b.level_stats(0), "batch");
+    }
+
+    #[test]
+    fn sharded_forest_replay_accesses_sum_over_per_shard_replays() {
+        // Multi-tree replay parity, sharded case: routing a workload
+        // through a 4-shard forest touches exactly the accesses of the
+        // four per-shard replays combined. Access counts are
+        // interleave-independent and asserted exactly; miss counts
+        // depend on how the interleaved streams share the cache, so no
+        // bound on them is asserted here.
+        use cobtree_search::{Forest, Storage};
+        let keys: Vec<u64> = (1..=4000u64).map(|k| k * 3).collect();
+        let forest = Forest::builder()
+            .shards(4)
+            .storage(Storage::Implicit)
+            .keys(keys.iter().copied())
+            .build()
+            .unwrap();
+        let points = UniformKeys::new(13_000, 11).take_vec(12_000);
+
+        let mut whole = presets::westmere_l1_l2();
+        let found = replay_forest_point(&mut whole, &forest, 8, 0, &points);
+        assert!(found > 0);
+
+        // Route the same probes manually, replay each shard alone.
+        let mut per_shard_accesses = 0u64;
+        let mut per_shard_found = 0u64;
+        for (i, tree) in forest.shards().enumerate() {
+            let sub: Vec<u64> = points
+                .iter()
+                .copied()
+                .filter(|&k| forest.route(k).map(|(s, _)| s) == Some(i))
+                .collect();
+            let mut sim = presets::westmere_l1_l2();
+            per_shard_found += replay_search_backend(&mut sim, tree, 8, 0, &sub);
+            per_shard_accesses += sim.level_stats(0).accesses;
+        }
+        assert_eq!(found, per_shard_found);
+        assert_eq!(whole.level_stats(0).accesses, per_shard_accesses);
     }
 
     #[test]

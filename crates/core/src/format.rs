@@ -673,6 +673,263 @@ fn key_width_of(tag: u8) -> usize {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Forest manifest (`.cobf`)
+// ---------------------------------------------------------------------------
+
+/// The four magic bytes every forest manifest starts with.
+pub const FOREST_MAGIC: [u8; 4] = *b"COBF";
+
+/// Newest manifest version this build reads and writes.
+pub const FOREST_VERSION: u16 = 1;
+
+/// Fixed manifest header size in bytes; shard entries start here.
+pub const MANIFEST_HEADER_LEN: usize = 40;
+
+/// One shard's row in a forest manifest: how many keys the shard holds
+/// and — for occupied shards — the smallest and largest of them (the
+/// fence data the router is rebuilt from on open). Empty shards (range
+/// partitions that received no keys) carry `bounds: None` and no file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardManifest<K> {
+    /// Keys stored in this shard's tree file (`0` for an empty shard).
+    pub key_count: u64,
+    /// `(first_key, last_key)` of the shard, `None` when empty.
+    pub bounds: Option<(K, K)>,
+}
+
+fn manifest_stride<K: FixedKey>() -> usize {
+    // flag byte + key count + first + last.
+    1 + 8 + 2 * K::WIDTH
+}
+
+/// Serializes a forest manifest: the shard count, total key count and
+/// per-shard `(key_count, first_key, last_key)` rows, sealed with the
+/// same FNV-1a header/content checksums as tree files. Shard order is
+/// the range-partition order; occupied shards must be non-overlapping
+/// and ascending.
+///
+/// # Errors
+/// [`Error::EmptyKeys`] when no shard holds a key, and
+/// [`Error::Malformed`] for zero shards, inverted bounds
+/// (`first > last`), a zero-count shard with bounds (or vice versa), or
+/// occupied shards out of ascending fence order.
+pub fn encode_manifest<K: FixedKey>(shards: &[ShardManifest<K>]) -> Result<Vec<u8>> {
+    if shards.is_empty() {
+        return Err(Error::Malformed {
+            detail: "a forest manifest needs at least one shard".into(),
+        });
+    }
+    if shards.len() > u32::MAX as usize {
+        return Err(Error::Malformed {
+            detail: format!("{} shards exceed the manifest's u32 ceiling", shards.len()),
+        });
+    }
+    let mut total = 0u64;
+    let mut prev_last: Option<K> = None;
+    for (i, s) in shards.iter().enumerate() {
+        match (s.key_count, s.bounds) {
+            (0, None) => {}
+            (0, Some(_)) | (_, None) => {
+                return Err(Error::Malformed {
+                    detail: format!("shard {i}: key count and bounds disagree about emptiness"),
+                });
+            }
+            (_, Some((first, last))) => {
+                if first > last {
+                    return Err(Error::Malformed {
+                        detail: format!("shard {i}: first key sorts above last key"),
+                    });
+                }
+                if let Some(p) = prev_last {
+                    if first <= p {
+                        return Err(Error::Malformed {
+                            detail: format!("shard {i}: fence overlaps the previous shard"),
+                        });
+                    }
+                }
+                prev_last = Some(last);
+            }
+        }
+        total = total.checked_add(s.key_count).ok_or(Error::Malformed {
+            detail: "manifest key counts overflow u64".into(),
+        })?;
+    }
+    if total == 0 {
+        return Err(Error::EmptyKeys);
+    }
+
+    let stride = manifest_stride::<K>();
+    let mut out = vec![0u8; MANIFEST_HEADER_LEN + shards.len() * stride];
+    out[0..4].copy_from_slice(&FOREST_MAGIC);
+    out[4..6].copy_from_slice(&FOREST_VERSION.to_le_bytes());
+    out[6..8].copy_from_slice(&ENDIAN_MARK.to_le_bytes());
+    out[8] = K::TAG;
+    // bytes 9..12 reserved, zero.
+    out[12..16].copy_from_slice(&(shards.len() as u32).to_le_bytes());
+    out[16..24].copy_from_slice(&total.to_le_bytes());
+    for (i, s) in shards.iter().enumerate() {
+        let off = MANIFEST_HEADER_LEN + i * stride;
+        if let Some((first, last)) = s.bounds {
+            out[off] = 1;
+            out[off + 1..off + 9].copy_from_slice(&s.key_count.to_le_bytes());
+            first.write_le(&mut out[off + 9..off + 9 + K::WIDTH]);
+            last.write_le(&mut out[off + 9 + K::WIDTH..off + 9 + 2 * K::WIDTH]);
+        }
+    }
+    // Content hash covers the entry rows; header hash covers bytes 0..24
+    // plus the sealed content hash (same discipline as tree files).
+    let content = fnv1a(fnv1a_init(), &out[MANIFEST_HEADER_LEN..]);
+    out[24..32].copy_from_slice(&content.to_le_bytes());
+    let header = fnv1a(fnv1a_init(), &out[..32]);
+    out[32..40].copy_from_slice(&header.to_le_bytes());
+    Ok(out)
+}
+
+/// Parses and fully validates a forest manifest: magic, version,
+/// endianness, checksums, key type, and the same shard-row invariants
+/// [`encode_manifest`] enforces. Returns the shard rows in partition
+/// order.
+///
+/// # Errors
+/// [`Error::BadMagic`] / [`Error::Truncated`] /
+/// [`Error::UnsupportedVersion`] / [`Error::ChecksumMismatch`] /
+/// [`Error::KeyTypeMismatch`] / [`Error::Malformed`] /
+/// [`Error::EmptyKeys`] — never a panic on untrusted bytes.
+pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>> {
+    if bytes.len() >= 4 && bytes[0..4] != FOREST_MAGIC {
+        return Err(Error::BadMagic {
+            got: bytes[0..4].try_into().expect("length checked"),
+        });
+    }
+    if bytes.len() < MANIFEST_HEADER_LEN {
+        return Err(Error::Truncated {
+            needed: MANIFEST_HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let version = read_u16(bytes, 4);
+    if version == 0 || version > FOREST_VERSION {
+        return Err(Error::UnsupportedVersion {
+            got: version,
+            supported: FOREST_VERSION,
+        });
+    }
+    if read_u16(bytes, 6) != ENDIAN_MARK {
+        return Err(Error::Malformed {
+            detail: "endianness marker mismatch in forest manifest".into(),
+        });
+    }
+    if fnv1a(fnv1a_init(), &bytes[..32]) != read_u64(bytes, 32) {
+        return Err(Error::ChecksumMismatch { region: "header" });
+    }
+    if bytes[8] != K::TAG {
+        return Err(Error::KeyTypeMismatch {
+            expected: K::TAG,
+            got: bytes[8],
+        });
+    }
+    if bytes[9] != 0 || read_u16(bytes, 10) != 0 {
+        return Err(Error::Malformed {
+            detail: "reserved manifest bytes 9..12 must be zero".into(),
+        });
+    }
+    let shard_count = read_u32(bytes, 12) as usize;
+    if shard_count == 0 {
+        return Err(Error::Malformed {
+            detail: "a forest manifest needs at least one shard".into(),
+        });
+    }
+    let stride = manifest_stride::<K>();
+    let needed = MANIFEST_HEADER_LEN as u64 + shard_count as u64 * stride as u64;
+    if (bytes.len() as u64) < needed {
+        return Err(Error::Truncated {
+            needed,
+            got: bytes.len() as u64,
+        });
+    }
+    if bytes.len() as u64 != needed {
+        return Err(Error::Malformed {
+            detail: format!(
+                "manifest is {} bytes, shard table dictates {needed}",
+                bytes.len()
+            ),
+        });
+    }
+    if fnv1a(fnv1a_init(), &bytes[MANIFEST_HEADER_LEN..]) != read_u64(bytes, 24) {
+        return Err(Error::ChecksumMismatch { region: "content" });
+    }
+
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut total = 0u64;
+    let mut prev_last: Option<K> = None;
+    for i in 0..shard_count {
+        let off = MANIFEST_HEADER_LEN + i * stride;
+        let flag = bytes[off];
+        let key_count = read_u64(bytes, off + 1);
+        let entry = match flag {
+            0 => {
+                if key_count != 0 || bytes[off + 9..off + stride].iter().any(|&b| b != 0) {
+                    return Err(Error::Malformed {
+                        detail: format!("shard {i}: empty shard carries non-zero payload"),
+                    });
+                }
+                ShardManifest {
+                    key_count: 0,
+                    bounds: None,
+                }
+            }
+            1 => {
+                if key_count == 0 {
+                    return Err(Error::Malformed {
+                        detail: format!("shard {i}: occupied shard with zero keys"),
+                    });
+                }
+                let first = K::read_le(&bytes[off + 9..off + 9 + K::WIDTH]);
+                let last = K::read_le(&bytes[off + 9 + K::WIDTH..off + 9 + 2 * K::WIDTH]);
+                if first > last {
+                    return Err(Error::Malformed {
+                        detail: format!("shard {i}: first key sorts above last key"),
+                    });
+                }
+                if let Some(p) = prev_last {
+                    if first <= p {
+                        return Err(Error::Malformed {
+                            detail: format!("shard {i}: fence overlaps the previous shard"),
+                        });
+                    }
+                }
+                prev_last = Some(last);
+                ShardManifest {
+                    key_count,
+                    bounds: Some((first, last)),
+                }
+            }
+            other => {
+                return Err(Error::Malformed {
+                    detail: format!("shard {i}: unknown occupancy flag {other}"),
+                });
+            }
+        };
+        total = total.checked_add(entry.key_count).ok_or(Error::Malformed {
+            detail: "manifest key counts overflow u64".into(),
+        })?;
+        shards.push(entry);
+    }
+    if total != read_u64(bytes, 16) {
+        return Err(Error::Malformed {
+            detail: format!(
+                "manifest total {} disagrees with shard rows summing to {total}",
+                read_u64(bytes, 16)
+            ),
+        });
+    }
+    if total == 0 {
+        return Err(Error::EmptyKeys);
+    }
+    Ok(shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -930,6 +1187,135 @@ mod tests {
             .unwrap_err(),
             Error::NotAPermutation { .. }
         ));
+    }
+
+    fn sample_manifest() -> Vec<u8> {
+        encode_manifest::<u64>(&[
+            ShardManifest {
+                key_count: 3,
+                bounds: Some((10, 30)),
+            },
+            ShardManifest {
+                key_count: 0,
+                bounds: None,
+            },
+            ShardManifest {
+                key_count: 2,
+                bounds: Some((40, 50)),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn manifest_round_trips_with_empty_shards() {
+        let bytes = sample_manifest();
+        let shards = parse_manifest::<u64>(&bytes).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].key_count, 3);
+        assert_eq!(shards[0].bounds, Some((10, 30)));
+        assert_eq!(shards[1].key_count, 0);
+        assert_eq!(shards[1].bounds, None);
+        assert_eq!(shards[2].bounds, Some((40, 50)));
+    }
+
+    #[test]
+    fn manifest_rejects_bad_shapes_on_encode() {
+        assert!(matches!(
+            encode_manifest::<u64>(&[]).unwrap_err(),
+            Error::Malformed { .. }
+        ));
+        // All shards empty.
+        assert_eq!(
+            encode_manifest::<u64>(&[ShardManifest {
+                key_count: 0,
+                bounds: None
+            }])
+            .unwrap_err(),
+            Error::EmptyKeys
+        );
+        // Count/bounds disagreement.
+        assert!(matches!(
+            encode_manifest::<u64>(&[ShardManifest {
+                key_count: 5,
+                bounds: None
+            }])
+            .unwrap_err(),
+            Error::Malformed { .. }
+        ));
+        // Overlapping fences.
+        assert!(matches!(
+            encode_manifest::<u64>(&[
+                ShardManifest {
+                    key_count: 2,
+                    bounds: Some((10, 30))
+                },
+                ShardManifest {
+                    key_count: 2,
+                    bounds: Some((30, 40))
+                },
+            ])
+            .unwrap_err(),
+            Error::Malformed { .. }
+        ));
+        // Inverted bounds.
+        assert!(matches!(
+            encode_manifest::<u64>(&[ShardManifest {
+                key_count: 2,
+                bounds: Some((9, 3))
+            }])
+            .unwrap_err(),
+            Error::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn manifest_corruption_is_rejected_typed() {
+        let base = sample_manifest();
+
+        let mut f = base.clone();
+        f[0] = b'X';
+        assert!(matches!(
+            parse_manifest::<u64>(&f).unwrap_err(),
+            Error::BadMagic { .. }
+        ));
+
+        for len in 0..base.len() {
+            let err = parse_manifest::<u64>(&base[..len]).expect_err("truncated manifest");
+            assert!(
+                matches!(
+                    err,
+                    Error::Truncated { .. } | Error::ChecksumMismatch { .. }
+                ),
+                "prefix {len}: unexpected error {err:?}"
+            );
+        }
+
+        // Header bit flip without resealing.
+        let mut f = base.clone();
+        f[16] ^= 0xFF;
+        assert_eq!(
+            parse_manifest::<u64>(&f).unwrap_err(),
+            Error::ChecksumMismatch { region: "header" }
+        );
+
+        // Entry bit flip without resealing.
+        let mut f = base.clone();
+        let off = MANIFEST_HEADER_LEN + 1;
+        f[off] ^= 0x01;
+        assert_eq!(
+            parse_manifest::<u64>(&f).unwrap_err(),
+            Error::ChecksumMismatch { region: "content" }
+        );
+
+        // Wrong key type.
+        assert_eq!(
+            parse_manifest::<u32>(&base).unwrap_err(),
+            Error::KeyTypeMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
     }
 
     #[test]

@@ -71,8 +71,17 @@ impl<'a, K: Copy + Ord> Cursor<'a, K> {
     }
 
     /// Key under the cursor, `None` on a sentinel.
+    ///
+    /// The stored-key bound is hoisted here against the `len` cached at
+    /// construction (and clamped once per [`Cursor::seek`]), so
+    /// navigation never asks the backend about sentinel ranks — on a
+    /// padded mapped tree, `key_at_rank` would otherwise re-derive the
+    /// padding bound arithmetically on every step.
     #[must_use]
     pub fn key(&self) -> Option<K> {
+        if self.rank < 1 || self.rank > self.len {
+            return None;
+        }
         self.backend.key_at_rank(self.rank)
     }
 
@@ -132,7 +141,10 @@ pub struct Range<'a, K: Copy + Ord> {
 
 impl<'a, K: Copy + Ord> Range<'a, K> {
     /// The window of ranks `lo..=hi` (1-based, clamped to the stored
-    /// keys; `lo > hi` yields nothing).
+    /// keys; `lo > hi` yields nothing). Clamping here hoists the
+    /// stored-key bound out of the iteration: every rank the window
+    /// yields is a real key, so per-step `key_at_rank` calls never land
+    /// on padding.
     #[must_use]
     pub fn from_ranks(backend: &'a dyn SearchBackend<K>, lo: u64, hi: u64) -> Self {
         Self {

@@ -32,6 +32,12 @@
 //!   the full ordered surface zero-copy from the bytes of a saved tree
 //!   file (`SearchTree::save`/`open`, format spec in `docs/FORMAT.md`),
 //!   memory-mapped so the byte order on storage *is* the layout order;
+//! * [`forest`] — the *serving engine*: [`forest::Forest`]
+//!   range-partitions a key set across N per-shard `SearchTree`s behind
+//!   a fence router, answers the global ordered surface (rank/select,
+//!   stitched cursors/ranges, split-and-dispatch sorted batches), fans
+//!   reads out over scoped threads (`par_search_batch`/`par_range`),
+//!   and saves/opens as one `.cobt` file per shard plus a manifest;
 //! * [`stepping`] — the incremental [`stepping::SteppingTree`] descent
 //!   optimization this reproduction adds on top of the paper;
 //! * [`map`] — [`LayoutMap`], a dynamic ordered set over the static
@@ -46,6 +52,7 @@ pub mod backend;
 pub mod cursor;
 pub mod explicit;
 pub mod facade;
+pub mod forest;
 pub mod implicit;
 pub mod index_only;
 pub mod map;
@@ -59,6 +66,7 @@ pub use backend::SearchBackend;
 pub use cursor::{range_of, Cursor, Range};
 pub use explicit::ExplicitTree;
 pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
+pub use forest::{Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, ShardRouter};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};
 pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;

@@ -163,8 +163,8 @@ pub use cobtree_search as search;
 
 pub use cobtree_core::{Error, Result};
 pub use cobtree_search::{
-    range_of, Cursor, LayoutSource, MappedTree, Range, SearchBackend, SearchTree,
-    SearchTreeBuilder, Storage,
+    range_of, Cursor, Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, LayoutSource,
+    MappedTree, Range, SearchBackend, SearchTree, SearchTreeBuilder, ShardRouter, Storage,
 };
 
 /// Compiles and runs the README's code examples as doctests.
