@@ -18,12 +18,14 @@
 //!   serve     zero-copy persistence: mapped tree files vs heap backends
 //!   forest    sharded serving engine: parity, replay parity, throughput
 //!             (also writes the BENCH_forest.json artifact)
+//!   kernel    descent kernels: slow-path vs kernel L1-block-sequence
+//!             parity assert + reference/kernel/interleaved timings
 //!   all     everything above
 //! ```
 
 use cobtree_analysis::experiments::{
-    cache, extensions, facade_exp, forest_exp, locality, range_exp, serve_exp, study_exp,
-    timing_exp, Config,
+    cache, extensions, facade_exp, forest_exp, kernel_exp, locality, range_exp, serve_exp,
+    study_exp, timing_exp, Config,
 };
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
@@ -125,6 +127,13 @@ fn run(cfg: &Config, what: &str) {
                 forest_exp::throughput_table(cfg),
             ],
         ),
+        "kernel" => emit(
+            cfg,
+            vec![
+                kernel_exp::kernel_block_parity(cfg),
+                kernel_exp::kernel_paths_table(cfg),
+            ],
+        ),
         "extend" => emit(
             cfg,
             vec![
@@ -137,7 +146,7 @@ fn run(cfg: &Config, what: &str) {
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "storage", "range", "serve", "forest", "extend",
+                "storage", "range", "serve", "forest", "kernel", "extend",
             ] {
                 run(cfg, w);
             }
@@ -165,7 +174,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|forest|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|forest|kernel|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

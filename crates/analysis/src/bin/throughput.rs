@@ -1,17 +1,25 @@
 //! `throughput` — the forest serving benchmark driver.
 //!
-//! Replays uniform/zipf/scan/batch workload mixes against a sharded
-//! forest of memory-mapped tree files at a sweep of thread counts, and
-//! writes the machine-readable `BENCH_forest.json` artifact the CI perf
-//! job uploads (ops/s, p50/p99 latency, simulated L1 block transfers
-//! per op, and the 1→max-threads `par_search_batch` scaling headline).
+//! Replays uniform/zipf/scan/batch/ibatch workload mixes against a
+//! sharded forest of memory-mapped tree files at a sweep of thread
+//! counts, and writes the machine-readable `BENCH_forest.json` artifact
+//! the CI perf job uploads (ops/s, p50/p99 latency, simulated L1 block
+//! transfers per op, and the 1→max-threads `par_search_batch` scaling
+//! headline). Unless `--no-kernel` is passed it then runs the
+//! descent-kernel comparison (pre-kernel loop vs compiled scalar kernel
+//! vs interleaved kernel, checksum parity asserted) and writes
+//! `BENCH_kernel.json` alongside; the Zipf weight table is built once
+//! and shared by both reports.
 //!
 //! ```text
 //! throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4]
 //!            [--span N] [--zipf S] [--seed N] [--heap] [--out FILE]
+//!            [--no-kernel] [--kernel-out FILE]
 //! ```
 
+use cobtree_analysis::kernel_bench::{self, KernelBenchConfig};
 use cobtree_analysis::throughput::{self, ThroughputConfig};
+use cobtree_search::workload::ZipfTable;
 use std::path::PathBuf;
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
@@ -24,6 +32,8 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut cfg = ThroughputConfig::ci();
     let mut out = PathBuf::from("BENCH_forest.json");
+    let mut kernel_out = PathBuf::from("BENCH_kernel.json");
+    let mut run_kernel = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -46,10 +56,15 @@ fn main() {
                 );
             }
             "--out" => out = PathBuf::from(parse::<String>("--out", args.next())),
+            "--kernel-out" => {
+                kernel_out = PathBuf::from(parse::<String>("--kernel-out", args.next()));
+            }
+            "--no-kernel" => run_kernel = false,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4] \
-                     [--span N] [--zipf S] [--seed N] [--heap] [--out FILE]"
+                     [--span N] [--zipf S] [--seed N] [--heap] [--out FILE] \
+                     [--no-kernel] [--kernel-out FILE]"
                 );
                 return;
             }
@@ -68,7 +83,9 @@ fn main() {
         cfg.threads,
         if cfg.mapped { "mapped" } else { "heap" }
     );
-    let report = throughput::run(&cfg);
+    // One Zipf weight table per (n, s) serves both reports.
+    let zipf_table = ZipfTable::new(cfg.keys, cfg.zipf_s);
+    let report = throughput::run_with_zipf(&cfg, &zipf_table);
     println!(
         "{:<8} {:>7} {:>14} {:>10} {:>10} {:>16}",
         "mix", "threads", "ops_per_sec", "p50_ns", "p99_ns", "l1_misses_per_op"
@@ -89,4 +106,37 @@ fn main() {
     );
     throughput::write_json(&report, &out).expect("write JSON artifact");
     println!("written to {}", out.display());
+
+    if !run_kernel {
+        return;
+    }
+    let kcfg = KernelBenchConfig {
+        keys: cfg.keys,
+        ops: cfg.ops,
+        zipf_s: cfg.zipf_s,
+        widths: vec![8, 16],
+        seed: cfg.seed,
+        layout: cfg.layout,
+    };
+    eprintln!(
+        "[descent kernels: {} keys, {} probes/mix, widths {:?}]",
+        kcfg.keys, kcfg.ops, kcfg.widths
+    );
+    let kreport = kernel_bench::run(&kcfg, Some(&zipf_table));
+    println!(
+        "{:<9} {:<8} {:<16} {:>14}",
+        "storage", "mix", "path", "ops_per_sec"
+    );
+    for p in &kreport.points {
+        println!(
+            "{:<9} {:<8} {:<16} {:>14.0}",
+            p.storage, p.mix, p.path, p.ops_per_sec
+        );
+    }
+    println!(
+        "kernel speedup {:.2}x, interleaved speedup {:.2}x (uniform points, implicit, vs reference loop)",
+        kreport.kernel_speedup, kreport.interleaved_speedup
+    );
+    kernel_bench::write_json(&kreport, &kernel_out).expect("write kernel JSON artifact");
+    println!("written to {}", kernel_out.display());
 }

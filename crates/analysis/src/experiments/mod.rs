@@ -8,6 +8,7 @@ pub mod cache;
 pub mod extensions;
 pub mod facade_exp;
 pub mod forest_exp;
+pub mod kernel_exp;
 pub mod locality;
 pub mod range_exp;
 pub mod serve_exp;

@@ -18,13 +18,17 @@
 //! The [`throughput`] module is the forest serving benchmark behind the
 //! `throughput` driver binary: workload mixes × thread counts against a
 //! sharded forest of mapped tree files, emitting the
-//! `BENCH_forest.json` artifact CI uploads for perf tracking:
+//! `BENCH_forest.json` artifact CI uploads for perf tracking. The same
+//! binary also runs the [`kernel_bench`] comparison (pre-kernel loop vs
+//! compiled scalar kernel vs interleaved kernel, with checksum parity
+//! asserted) and writes `BENCH_kernel.json` alongside:
 //!
 //! ```text
 //! cargo run --release -p cobtree-analysis --bin throughput -- --threads 1,2,4
 //! ```
 
 pub mod experiments;
+pub mod kernel_bench;
 pub mod report;
 pub mod throughput;
 pub mod timing;

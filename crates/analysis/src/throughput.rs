@@ -25,7 +25,7 @@ use cobtree_cachesim::replay::{
     replay_forest_point, replay_forest_scan, replay_forest_sorted_batch,
 };
 use cobtree_core::NamedLayout;
-use cobtree_search::workload::{scan_starts, UniformKeys, ZipfKeys};
+use cobtree_search::workload::{scan_starts, UniformKeys, ZipfKeys, ZipfTable};
 use cobtree_search::{Forest, Storage};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -101,7 +101,8 @@ impl ThroughputConfig {
 /// One measured `(mix, threads)` cell.
 #[derive(Debug, Clone)]
 pub struct MixPoint {
-    /// Workload mix name: `uniform`, `zipf`, `scan` or `batch`.
+    /// Workload mix name: `uniform`, `zipf`, `scan`, `batch` or
+    /// `ibatch` (the interleaved-kernel batch).
     pub mix: &'static str,
     /// Worker threads used.
     pub threads: usize,
@@ -158,15 +159,16 @@ pub struct ThroughputReport {
     pub stitched_scan_ns_per_key: f64,
 }
 
-/// Draws the probe set for a point mix.
-fn point_probes(cfg: &ThroughputConfig, skewed: bool) -> Vec<u64> {
-    if skewed {
-        ZipfKeys::new(cfg.keys, cfg.zipf_s, cfg.seed)
+/// Draws the probe set for a point mix. The Zipf weight table is taken
+/// by reference so one `(n, s)` table serves every workload mix and
+/// driver in a process (it used to be rebuilt per draw).
+fn point_probes(cfg: &ThroughputConfig, zipf: Option<&ZipfTable>) -> Vec<u64> {
+    match zipf {
+        Some(table) => ZipfKeys::from_table(table, cfg.seed)
             .map(|r| r * 2)
             .take(cfg.ops)
-            .collect()
-    } else {
-        UniformKeys::new(cfg.keys * 2, cfg.seed).take_vec(cfg.ops)
+            .collect(),
+        None => UniformKeys::new(cfg.keys * 2, cfg.seed).take_vec(cfg.ops),
     }
 }
 
@@ -288,6 +290,18 @@ fn l1_misses(f: impl FnOnce(&mut cobtree_cachesim::CacheHierarchy) -> u64) -> u6
 /// I/O failures.
 #[must_use]
 pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
+    run_with_zipf(cfg, &ZipfTable::new(cfg.keys, cfg.zipf_s))
+}
+
+/// [`run`] with a caller-supplied Zipf weight table (built once per
+/// `(n, s)` and shared with e.g. the kernel benchmark driver).
+///
+/// # Panics
+/// As for [`run`]; additionally if `zipf` was built for a different
+/// key-space size.
+#[must_use]
+pub fn run_with_zipf(cfg: &ThroughputConfig, zipf: &ZipfTable) -> ThroughputReport {
+    assert_eq!(zipf.n(), cfg.keys, "Zipf table size must match cfg.keys");
     let built = Forest::builder()
         .layout(cfg.layout)
         .storage(Storage::Implicit)
@@ -320,8 +334,8 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         "stitched iteration must yield every stored key exactly once"
     );
 
-    let uniform = point_probes(cfg, false);
-    let zipf = point_probes(cfg, true);
+    let uniform = point_probes(cfg, None);
+    let zipf = point_probes(cfg, Some(zipf));
     let scan_ops = (cfg.ops as u64 / cfg.scan_span).clamp(50, 20_000) as usize;
     let starts = scan_starts(total, cfg.scan_span, scan_ops, cfg.seed ^ 0xA5);
     let mut batch = UniformKeys::new(cfg.keys * 2, cfg.seed ^ 0x5A).take_vec(cfg.ops);
@@ -336,6 +350,11 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let batch_misses = l1_misses(|sim| {
         replay_forest_sorted_batch(sim, &forest, 8, 0, std::slice::from_ref(&batch))
     });
+    // The interleaved batch path performs independent per-probe
+    // descents (no shared-prefix restarts), so its simulated access
+    // stream is the per-probe point replay of the same probes — the
+    // kernel's traces are bit-identical to point traces.
+    let ibatch_misses = l1_misses(|sim| replay_forest_point(sim, &forest, 8, 0, &batch));
 
     // Reference answers, once per mix: every thread count must
     // reproduce them exactly (the harness's concurrency self-check).
@@ -425,6 +444,33 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                 l1_misses_per_op: finite(batch_misses as f64 / batch.len() as f64),
             });
         }
+        // The same batch on the interleaved descent kernels
+        // (`par_search_batch_interleaved`): per-shard multi-query
+        // lookups with up to 8 in flight, no sorted-input requirement.
+        // Must reproduce the sorted dispatch's answers exactly.
+        {
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            forest.par_search_batch_interleaved(&batch, 8, threads, &mut out);
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            assert_eq!(
+                black_box(&out),
+                &batch_ref,
+                "ibatch@{threads}: interleaved results diverged from sorted dispatch"
+            );
+            let ops_per_sec = finite(batch.len() as f64 / (wall_ns as f64 / 1e9));
+            let per_op = wall_ns as f64 / batch.len() as f64;
+            points.push(MixPoint {
+                mix: "ibatch",
+                threads,
+                ops: batch.len(),
+                wall_ns,
+                ops_per_sec,
+                p50_ns: finite(per_op),
+                p99_ns: finite(per_op),
+                l1_misses_per_op: finite(ibatch_misses as f64 / batch.len() as f64),
+            });
+        }
     }
 
     // Scaling baseline: the smallest swept thread count (1 when the
@@ -462,8 +508,38 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     report
 }
 
-fn json_f(v: f64) -> String {
+pub(crate) fn json_f(v: f64) -> String {
     format!("{:.3}", finite(v))
+}
+
+/// Minimal structural JSON check shared by the artifact tests:
+/// balanced delimiters outside strings, no `NaN`/`inf` tokens.
+///
+/// # Panics
+/// Panics when `s` is not structurally JSON-ish.
+#[cfg(test)]
+pub(crate) fn jsonish_assertable(s: &str) {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut prev = ' ';
+    for c in s.chars() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {s}");
+        }
+        prev = c;
+    }
+    assert_eq!(depth, 0, "unbalanced JSON: {s}");
+    assert!(!s.contains("NaN") && !s.contains("inf"), "non-finite: {s}");
 }
 
 /// Renders the report as the `BENCH_forest.json` artifact: stable field
@@ -541,38 +617,12 @@ pub fn write_json(r: &ThroughputReport, path: impl AsRef<Path>) -> std::io::Resu
 mod tests {
     use super::*;
 
-    /// Minimal structural JSON check: balanced delimiters outside
-    /// strings, no `NaN`/`inf` tokens.
-    fn assert_jsonish(s: &str) {
-        let mut depth: i64 = 0;
-        let mut in_str = false;
-        let mut prev = ' ';
-        for c in s.chars() {
-            if in_str {
-                if c == '"' && prev != '\\' {
-                    in_str = false;
-                }
-            } else {
-                match c {
-                    '"' => in_str = true,
-                    '{' | '[' => depth += 1,
-                    '}' | ']' => depth -= 1,
-                    _ => {}
-                }
-                assert!(depth >= 0, "unbalanced close in {s}");
-            }
-            prev = c;
-        }
-        assert_eq!(depth, 0, "unbalanced JSON: {s}");
-        assert!(!s.contains("NaN") && !s.contains("inf"), "non-finite: {s}");
-    }
-
     #[test]
     fn tiny_run_produces_a_complete_valid_report() {
         let cfg = ThroughputConfig::tiny();
         let report = run(&cfg);
-        // 4 mixes × 2 thread counts.
-        assert_eq!(report.points.len(), 8);
+        // 5 mixes × 2 thread counts.
+        assert_eq!(report.points.len(), 10);
         assert_eq!(report.storage, "mapped");
         assert_eq!(report.stitched_scan_keys, cfg.keys);
         for p in &report.points {
@@ -582,13 +632,14 @@ mod tests {
         }
         assert!(report.par_batch_scaling > 0.0);
         let json = to_json(&report);
-        assert_jsonish(&json);
+        jsonish_assertable(&json);
         for field in [
             "\"bench\": \"forest_throughput\"",
             "\"mix\": \"uniform\"",
             "\"mix\": \"zipf\"",
             "\"mix\": \"scan\"",
             "\"mix\": \"batch\"",
+            "\"mix\": \"ibatch\"",
             "\"par_batch\"",
             "\"cursor_hoist_regression\"",
             "\"ok\": true",
@@ -604,6 +655,6 @@ mod tests {
         cfg.threads = vec![1];
         let report = run(&cfg);
         assert_eq!(report.storage, "implicit");
-        assert_eq!(report.points.len(), 4);
+        assert_eq!(report.points.len(), 5);
     }
 }

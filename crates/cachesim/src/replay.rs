@@ -49,6 +49,34 @@ pub fn replay_search_backend<K: Copy + Ord>(
     found
 }
 
+/// [`replay_search_backend`] on the backend's **compiled kernel**
+/// trace ([`SearchBackend::search_traced_kernel`]): the branch-free
+/// descent with its match overshoot truncated. Because kernel traces
+/// are bit-identical to slow-path traces, this must produce exactly the
+/// same access stream — and therefore the same hit/miss counters — as
+/// [`replay_search_backend`]; the `kernel` repro experiment asserts
+/// this block-sequence parity per probe.
+pub fn replay_point_kernel<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    backend: &dyn SearchBackend<K>,
+    node_bytes: u64,
+    base: u64,
+    keys: &[K],
+) -> u64 {
+    let mut found = 0u64;
+    let mut visited = Vec::with_capacity(backend.height() as usize);
+    for &key in keys {
+        visited.clear();
+        if backend.search_traced_kernel(key, &mut visited).is_some() {
+            found += 1;
+        }
+        for &p in &visited {
+            hierarchy.access(base + p * node_bytes);
+        }
+    }
+    found
+}
+
 /// Replays in-order range scans: for every 1-based start rank in
 /// `starts`, visits `span` consecutive ranks and feeds each element's
 /// layout position through the hierarchy. Returns the number of elements
@@ -91,8 +119,10 @@ pub fn replay_sorted_batches<K: Copy + Ord>(
     batches: &[Vec<K>],
 ) -> u64 {
     let mut found = 0u64;
-    let mut out = Vec::new();
-    let mut visited = Vec::new();
+    let max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_batch);
+    // A traced batch fetches at most height nodes per probe.
+    let mut visited = Vec::with_capacity(max_batch * backend.height() as usize);
     for batch in batches {
         visited.clear();
         backend
@@ -128,7 +158,10 @@ pub fn replay_forest_point<K: Copy + Ord>(
 ) -> u64 {
     let stride = forest_shard_stride(forest, node_bytes);
     let mut found = 0u64;
-    let mut visited = Vec::new();
+    // Shards share one height bound; reserve it once so no traced
+    // search grows the scratch vector mid-replay.
+    let height = forest.shards().map(|t| t.height()).max().unwrap_or(0);
+    let mut visited = Vec::with_capacity(height as usize);
     for &key in keys {
         let Some((shard, tree)) = forest.route(key) else {
             continue;
@@ -200,8 +233,10 @@ pub fn replay_forest_sorted_batch<K: Copy + Ord>(
 ) -> u64 {
     let stride = forest_shard_stride(forest, node_bytes);
     let mut found = 0u64;
-    let mut out = Vec::new();
-    let mut visited = Vec::new();
+    let max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+    let height = forest.shards().map(|t| t.height()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_batch);
+    let mut visited = Vec::with_capacity(max_batch * height as usize);
     for batch in batches {
         for (shard, sub) in forest
             .shard_batches(batch)
@@ -259,6 +294,37 @@ mod tests {
                 via_index.level_stats(level),
                 "level {level}"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_replay_matches_slow_path_replay_exactly() {
+        // The compiled kernel's traces are bit-identical to the slow
+        // path's, so replaying either must produce identical counters
+        // at every level — the property the `kernel` repro experiment
+        // asserts per probe at block granularity.
+        let h = 11;
+        let keys: Vec<u64> = (1..=(1u64 << h) - 1).map(|k| k * 5).collect();
+        for layout in [
+            NamedLayout::MinWep,
+            NamedLayout::PreVeb,
+            NamedLayout::HalfWep,
+        ] {
+            let tree = ImplicitTree::build(layout.indexer(h), &keys);
+            // Probes mix hits and misses.
+            let workload: Vec<u64> = UniformKeys::new(tree.len() as u64 * 6, 17).take_vec(10_000);
+            let mut slow = presets::westmere_l1_l2();
+            let slow_found = replay_search_backend(&mut slow, &tree, 8, 0, &workload);
+            let mut fast = presets::westmere_l1_l2();
+            let fast_found = replay_point_kernel(&mut fast, &tree, 8, 0, &workload);
+            assert_eq!(slow_found, fast_found, "{layout}");
+            for level in 0..2 {
+                assert_eq!(
+                    slow.level_stats(level),
+                    fast.level_stats(level),
+                    "{layout} level {level}"
+                );
+            }
         }
     }
 

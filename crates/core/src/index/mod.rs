@@ -19,10 +19,13 @@
 //! All indexers implement [`PositionIndex`]; positions are 0-based.
 
 pub mod generic;
+pub mod plan;
 pub mod simple;
 pub mod stepper;
 pub mod veb;
 pub mod wep;
+
+pub use plan::StepPlan;
 
 use crate::layout::Layout;
 use crate::named::NamedLayout;
@@ -88,6 +91,14 @@ pub trait PositionIndex: Send + Sync {
         self.node_at_position(position)
             .map(|node| tree.in_order_rank(node))
     }
+
+    /// Compiles this indexer into a devirtualized [`StepPlan`] for the
+    /// descent kernels, or `None` when no compiled form exists (the
+    /// generic spec interpreter). The plan must be **bit-identical** to
+    /// [`PositionIndex::position`] for every node.
+    fn compile_plan(&self) -> Option<StepPlan> {
+        None
+    }
 }
 
 /// A materialized layout used as a [`PositionIndex`] (one array lookup,
@@ -127,6 +138,17 @@ impl PositionIndex for MaterializedIndex {
 
     fn node_at_position(&self, position: u64) -> Option<NodeId> {
         self.nodes_by_position.get(position as usize).copied()
+    }
+
+    fn compile_plan(&self) -> Option<StepPlan> {
+        // The layout already stores `positions[node − 1]` as `u32`:
+        // copy it once (a memcpy, not a per-node re-derivation). The
+        // plan's copy duplicates 4 bytes/node for the tree's lifetime —
+        // accepted, since this index's own inverse table is twice that.
+        Some(StepPlan::from_positions(
+            self.layout.height(),
+            self.layout.positions().to_vec(),
+        ))
     }
 }
 

@@ -30,6 +30,10 @@ impl PositionIndex for BfsIndex {
     fn position(&self, node: NodeId, _depth: u32) -> u64 {
         node - 1
     }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_bfs(self.height))
+    }
 }
 
 /// IN-ORDER: position equals the in-order rank.
@@ -54,6 +58,10 @@ impl PositionIndex for InOrderIndex {
     fn position(&self, node: NodeId, depth: u32) -> u64 {
         let span = 1u64 << (self.height - depth);
         (node - (1u64 << depth)) * span + span / 2 - 1
+    }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_in_order(self.height))
     }
 }
 
@@ -89,6 +97,10 @@ impl PositionIndex for PreOrderIndex {
             sub >>= 1;
         }
         p
+    }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_pre_order(self.height))
     }
 }
 
@@ -126,6 +138,10 @@ impl PositionIndex for InBreadthIndex {
             // Right halves, shallowest first.
             (1u64 << (h - 1)) + j - 1
         }
+    }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_in_breadth(self.height))
     }
 }
 

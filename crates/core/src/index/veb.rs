@@ -52,6 +52,13 @@ impl PositionIndex for PreVebIndex {
         }
         p
     }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_pre_veb(
+            self.height,
+            self.cut.clone(),
+        ))
+    }
 }
 
 /// IN-VEB: all-in-order recursive layout with the `⌊h/2⌋` cut.
@@ -99,6 +106,10 @@ impl PositionIndex for InVebIndex {
                 dd -= g;
             }
         }
+    }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::compile_in_veb(self.height))
     }
 }
 

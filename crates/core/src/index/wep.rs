@@ -104,6 +104,40 @@ impl PositionIndex for WepIndex {
     fn position(&self, node: NodeId, depth: u32) -> u64 {
         wep_index(self.partition, node, depth, self.height) - 1
     }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::StepPlan::Wep {
+            height: self.height,
+            partition: self.partition,
+        })
+    }
+}
+
+/// MINWLA (`I^1_∞`) closed form: root mid-block, both subtrees
+/// pre-order towards it, then pure pre-order all the way down. Shared
+/// by [`MinWlaIndex`] and [`crate::index::plan::StepPlan::MinWla`].
+#[inline]
+#[must_use]
+pub fn minwla_position(h: u32, node: NodeId, depth: u32) -> u64 {
+    let root_pos = (1u64 << (h - 1)) - 1; // 0-based mid-block
+    if depth == 0 {
+        return root_pos;
+    }
+    // Pre-order offset of `node` within the child subtree of height h−1.
+    let mut off = 0u64;
+    let mut sub = 1u64 << (h - 2); // 2^{subtree height − 1}
+    for k in (0..depth - 1).rev() {
+        off += 1;
+        if (node >> k) & 1 == 1 {
+            off += sub - 1;
+        }
+        sub >>= 1;
+    }
+    if (node >> (depth - 1)) & 1 == 1 {
+        root_pos + 1 + off // right child subtree: pre-order ascending
+    } else {
+        root_pos - 1 - off // left child subtree: mirrored (post-order)
+    }
 }
 
 /// MINWLA (`I^1_∞`): root mid-block, both subtrees pre-order towards it,
@@ -127,26 +161,13 @@ impl PositionIndex for MinWlaIndex {
 
     #[inline]
     fn position(&self, node: NodeId, depth: u32) -> u64 {
-        let h = self.height;
-        let root_pos = (1u64 << (h - 1)) - 1; // 0-based mid-block
-        if depth == 0 {
-            return root_pos;
-        }
-        // Pre-order offset of `node` within the child subtree of height h−1.
-        let mut off = 0u64;
-        let mut sub = 1u64 << (h - 2); // 2^{subtree height − 1}
-        for k in (0..depth - 1).rev() {
-            off += 1;
-            if (node >> k) & 1 == 1 {
-                off += sub - 1;
-            }
-            sub >>= 1;
-        }
-        if (node >> (depth - 1)) & 1 == 1 {
-            root_pos + 1 + off // right child subtree: pre-order ascending
-        } else {
-            root_pos - 1 - off // left child subtree: mirrored (post-order)
-        }
+        minwla_position(self.height, node, depth)
+    }
+
+    fn compile_plan(&self) -> Option<crate::index::plan::StepPlan> {
+        Some(crate::index::plan::StepPlan::MinWla {
+            height: self.height,
+        })
     }
 }
 

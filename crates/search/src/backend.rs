@@ -88,11 +88,44 @@ pub trait SearchBackend<K: Copy + Ord> {
         self.search(key).is_some()
     }
 
+    /// The pre-kernel descent path, kept as the oracle the compiled
+    /// kernels are verified against. Backends with a compiled kernel
+    /// override this with their original per-level loop; for everything
+    /// else `search` *is* the reference, which the default reflects.
+    fn search_reference(&self, key: K) -> Option<u64> {
+        self.search(key)
+    }
+
+    /// [`SearchBackend::search_traced`] on the compiled kernel: a
+    /// branch-free full-height descent whose recorded trace is truncated
+    /// at the match, so the visited sequence is **bit-identical** to the
+    /// slow path's (the repro harness asserts the two hit the same
+    /// simulated-L1 blocks). Backends without a kernel fall back to the
+    /// slow trace, which is trivially identical.
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        self.search_traced(key, visited)
+    }
+
+    /// Searches an arbitrary-order probe batch with up to `width`
+    /// lookups interleaved in flight (memory-level parallelism — see
+    /// [`crate::kernel`]). `out` is cleared and filled with one entry
+    /// per probe, in probe order; results are bit-identical to mapping
+    /// [`SearchBackend::search`] over the batch, which is exactly what
+    /// the default does for backends without an interleaved kernel.
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        let _ = width;
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.search(k)));
+    }
+
     /// Sums the positions of all successful lookups — the benchmark
     /// kernel whose result must be consumed to defeat dead-code
     /// elimination. Backends built from the same position index return
     /// identical checksums for identical keys. Scratch-free: no
-    /// allocation, one [`SearchBackend::search`] per probe.
+    /// allocation, one [`SearchBackend::search`] per probe. The four
+    /// storage backends override this with the shared interleaved
+    /// checksum kernel ([`crate::kernel::batch_checksum`]); the sum is
+    /// identical either way.
     fn search_batch_checksum(&self, keys: &[K]) -> u64 {
         let mut acc = 0u64;
         for &k in keys {

@@ -6,6 +6,7 @@
 //! child pointers are 32-bit positions (`u32::MAX` = missing child).
 
 use crate::backend::SearchBackend;
+use crate::kernel;
 use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::Layout;
 
@@ -124,10 +125,20 @@ impl<K: Ord + Copy> ExplicitTree<K> {
 
     /// Searches for `key`; returns its array position if present.
     ///
-    /// This is the hot loop the paper times: follow child positions,
-    /// compare keys, no arithmetic.
+    /// Runs on the branch-free pointer kernel (conditional child
+    /// select, both children prefetched a level ahead — see
+    /// [`crate::kernel::explicit_search`]); results are bit-identical
+    /// to [`ExplicitTree::search_reference`].
     #[inline]
     pub fn search(&self, key: K) -> Option<u64> {
+        kernel::explicit_search(&self.nodes, self.root_pos, self.height, key)
+    }
+
+    /// The pre-kernel hot loop the paper times — follow child
+    /// positions, compare keys, no arithmetic — kept as the oracle the
+    /// kernel is verified against.
+    #[inline]
+    pub fn search_reference(&self, key: K) -> Option<u64> {
         let mut pos = self.root_pos;
         while pos != Self::NIL {
             // Safety bounds: positions come from the validated layout.
@@ -139,6 +150,24 @@ impl<K: Ord + Copy> ExplicitTree<K> {
             };
         }
         None
+    }
+
+    /// Searches an arbitrary-order probe batch with up to `width`
+    /// pointer descents interleaved in flight
+    /// ([`crate::kernel::explicit_fold_interleaved`]). `out` is cleared
+    /// and filled in probe order, bit-identical to mapping
+    /// [`ExplicitTree::search`].
+    pub fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        kernel::explicit_fold_interleaved(
+            &self.nodes,
+            self.root_pos,
+            self.height,
+            keys,
+            width,
+            |idx, r| out[idx] = r,
+        );
     }
 
     /// Like [`ExplicitTree::search`] but records every visited position
@@ -159,15 +188,17 @@ impl<K: Ord + Copy> ExplicitTree<K> {
 
     /// Sums the positions of many lookups — a benchmark kernel whose
     /// result must be consumed to defeat dead-code elimination.
+    /// Dispatches to the shared interleaved checksum kernel; the sum is
+    /// identical to accumulating per-probe searches.
     #[must_use]
     pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        let mut acc = 0u64;
-        for &k in keys {
-            if let Some(p) = self.search(k) {
-                acc = acc.wrapping_add(p);
-            }
-        }
-        acc
+        kernel::explicit_batch_checksum(
+            &self.nodes,
+            self.root_pos,
+            self.height,
+            keys,
+            kernel::DEFAULT_LANES,
+        )
     }
 }
 
@@ -219,8 +250,24 @@ impl<K: Ord + Copy> SearchBackend<K> for ExplicitTree<K> {
         ExplicitTree::search(self, key)
     }
 
+    fn search_reference(&self, key: K) -> Option<u64> {
+        ExplicitTree::search_reference(self, key)
+    }
+
     fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         ExplicitTree::search_traced(self, key, visited)
+    }
+
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        kernel::explicit_search_traced(&self.nodes, self.root_pos, self.height, key, visited)
+    }
+
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        ExplicitTree::search_batch_interleaved(self, keys, width, out);
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        ExplicitTree::search_batch_checksum(self, keys)
     }
 
     fn key_at_rank(&self, rank: u64) -> Option<K> {

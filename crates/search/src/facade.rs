@@ -35,6 +35,7 @@ use crate::cursor::{range_of, Cursor, Range};
 use crate::explicit::ExplicitTree;
 use crate::implicit::ImplicitTree;
 use crate::index_only::IndexOnlyTree;
+use crate::kernel;
 use crate::mapped::MappedTree;
 use crate::slot::{padded_slots, Slot};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
@@ -405,17 +406,65 @@ impl<K: Ord + Copy> SearchTree<K> {
         }
     }
 
+    /// The pre-kernel descent of the selected backend, kept as the
+    /// oracle the compiled kernels are verified against.
+    #[inline]
+    pub fn search_reference(&self, key: K) -> Option<u64> {
+        match self.inner() {
+            InnerRef::Slots(b) => b.search_reference(Slot::Key(key)),
+            InnerRef::Keys(b) => b.search_reference(key),
+        }
+    }
+
+    /// Searches an arbitrary-order probe batch with up to `width`
+    /// lookups interleaved in flight on the selected backend's kernel
+    /// (see [`crate::kernel`]). `out` is cleared and filled in probe
+    /// order; results are bit-identical to mapping
+    /// [`SearchTree::search`].
+    ///
+    /// Probes for slot-keyed inner backends are converted chunk-wise
+    /// through a lane-sized stack buffer — never a probes-length
+    /// allocation, so the kernel's cost is what gets measured.
+    pub fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        match self.inner() {
+            InnerRef::Slots(b) => {
+                let width = width.clamp(1, kernel::MAX_LANES);
+                out.clear();
+                out.reserve(keys.len());
+                let mut slots = [Slot::Sup(0); kernel::MAX_LANES];
+                let mut lane_out = Vec::with_capacity(kernel::MAX_LANES);
+                for chunk in keys.chunks(width) {
+                    for (slot, &k) in slots.iter_mut().zip(chunk) {
+                        *slot = Slot::Key(k);
+                    }
+                    b.search_batch_interleaved(&slots[..chunk.len()], width, &mut lane_out);
+                    out.extend_from_slice(&lane_out);
+                }
+            }
+            InnerRef::Keys(b) => b.search_batch_interleaved(keys, width, out),
+        }
+    }
+
     /// Benchmark kernel: sum of found positions, identical across
-    /// storage backends.
+    /// storage backends. Dispatches to the selected backend's
+    /// interleaved checksum kernel (chunk-wise slot conversion, as in
+    /// [`SearchTree::search_batch_interleaved`]).
     #[must_use]
     pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        let mut acc = 0u64;
-        for &k in keys {
-            if let Some(p) = self.search(k) {
-                acc = acc.wrapping_add(p);
+        match self.inner() {
+            InnerRef::Slots(b) => {
+                let mut acc = 0u64;
+                let mut slots = [Slot::Sup(0); kernel::MAX_LANES];
+                for chunk in keys.chunks(kernel::DEFAULT_LANES) {
+                    for (slot, &k) in slots.iter_mut().zip(chunk) {
+                        *slot = Slot::Key(k);
+                    }
+                    acc = acc.wrapping_add(b.search_batch_checksum(&slots[..chunk.len()]));
+                }
+                acc
             }
+            InnerRef::Keys(b) => b.search_batch_checksum(keys),
         }
-        acc
     }
 
     // ------------------------------------------------------------------
@@ -691,8 +740,27 @@ impl<K: Ord + Copy> SearchBackend<K> for SearchTree<K> {
         SearchTree::search(self, key)
     }
 
+    fn search_reference(&self, key: K) -> Option<u64> {
+        SearchTree::search_reference(self, key)
+    }
+
     fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         SearchTree::search_traced(self, key, visited)
+    }
+
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        match self.inner() {
+            InnerRef::Slots(b) => b.search_traced_kernel(Slot::Key(key), visited),
+            InnerRef::Keys(b) => b.search_traced_kernel(key, visited),
+        }
+    }
+
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        SearchTree::search_batch_interleaved(self, keys, width, out);
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        SearchTree::search_batch_checksum(self, keys)
     }
 
     fn key_at_rank(&self, rank: u64) -> Option<K> {

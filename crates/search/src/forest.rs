@@ -677,6 +677,10 @@ type BatchJob<'a, K> = (usize, &'a [K], &'a mut [Option<(usize, u64)>]);
 /// rank window and the buffer it fills.
 type ScanJob<'a, K> = ((usize, u64, u64), &'a mut Vec<K>);
 
+/// One unit of interleaved batch work: a shard, the probe indices
+/// routed to it, and the per-shard result buffer its kernel fills.
+type InterleaveJob<'a> = (usize, &'a Vec<u32>, &'a mut Vec<Option<u64>>);
+
 impl<K: Ord + Copy + Send + Sync> Forest<K> {
     /// [`Forest::search_sorted_batch`] with the per-shard sub-batches
     /// fanned out over a scoped thread pool of (at most) `threads`
@@ -759,6 +763,63 @@ impl<K: Ord + Copy + Send + Sync> Forest<K> {
             keys.extend(r);
         }
         keys
+    }
+
+    /// Searches an **arbitrary-order** probe batch on the shards'
+    /// interleaved descent kernels: probes are routed to their shards,
+    /// each shard's sub-batch runs with up to `width` lookups in flight
+    /// ([`crate::kernel`]), and shards are fanned out over a scoped
+    /// thread pool of (at most) `threads` workers. Unlike
+    /// [`Forest::par_search_batch`] the input need not be sorted; `out`
+    /// is cleared and filled with one `(dense shard, in-shard layout
+    /// position)` entry per probe, in probe order — bit-identical to
+    /// routing and searching each probe individually.
+    pub fn par_search_batch_interleaved(
+        &self,
+        keys: &[K],
+        width: usize,
+        threads: usize,
+        out: &mut Vec<Option<(usize, u64)>>,
+    ) {
+        // Group probe indices by the shard that can contain them.
+        let mut indices: Vec<Vec<u32>> = self.trees.iter().map(|_| Vec::new()).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(shard) = self.router.route(k) {
+                indices[shard].push(i as u32);
+            }
+        }
+        out.clear();
+        out.resize(keys.len(), None);
+        let mut results: Vec<Vec<Option<u64>>> = self.trees.iter().map(|_| Vec::new()).collect();
+        let jobs: Vec<InterleaveJob<'_>> = indices
+            .iter()
+            .zip(results.iter_mut())
+            .enumerate()
+            .filter(|(_, (idx, _))| !idx.is_empty())
+            .map(|(shard, (idx, res))| (shard, idx, res))
+            .collect();
+        let workers = threads.clamp(1, jobs.len().max(1));
+        let mut buckets: Vec<Vec<InterleaveJob<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (j, job) in jobs.into_iter().enumerate() {
+            buckets[j % workers].push(job);
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    let mut probes: Vec<K> = Vec::new();
+                    for (shard, idx, res) in bucket {
+                        probes.clear();
+                        probes.extend(idx.iter().map(|&i| keys[i as usize]));
+                        self.trees[shard].search_batch_interleaved(&probes, width, res);
+                    }
+                });
+            }
+        });
+        for (shard, (idx, res)) in indices.iter().zip(results.iter()).enumerate() {
+            for (&i, &p) in idx.iter().zip(res.iter()) {
+                out[i as usize] = p.map(|p| (shard, p));
+            }
+        }
     }
 
     /// Point-lookup throughput kernel: splits `probes` into `threads`

@@ -11,8 +11,9 @@
 //! accesses.
 
 use crate::backend::SearchBackend;
+use crate::kernel::{self, ArrayPlane, PosRef};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
-use cobtree_core::index::PositionIndex;
+use cobtree_core::index::{PositionIndex, StepPlan};
 use cobtree_core::Tree;
 
 /// A complete BST stored as a key array in layout order, navigated by
@@ -39,6 +40,12 @@ pub struct ImplicitTree<K> {
     tree: Tree,
     index: Box<dyn PositionIndex>,
     keys: Vec<K>,
+    /// Compiled descent plan: closed-form coefficients where the layout
+    /// has them, otherwise a flat position table recorded for free while
+    /// arranging the keys. `None` only for uncompilable layouts on
+    /// trees too tall to materialize a `u32` table (`h > 31`), where the
+    /// kernels fall back to the virtual indexer.
+    plan: Option<StepPlan>,
 }
 
 impl<K: Ord + Copy> ImplicitTree<K> {
@@ -56,16 +63,55 @@ impl<K: Ord + Copy> ImplicitTree<K> {
                 got: keys.len() as u64,
             });
         }
+        // Keep a compiled plan whose levels are straight-line arithmetic
+        // or an existing table; for everything else (the WEP family's
+        // data-dependent loops, the generic interpreter) record the
+        // position table during the arrange pass below — the positions
+        // are computed there anyway, so the table is free.
+        let compiled = index.compile_plan();
+        let use_compiled = matches!(
+            compiled,
+            Some(StepPlan::Terms { .. }) | Some(StepPlan::Table { .. })
+        );
+        let mut table = (!use_compiled && tree.height() <= 31).then(|| vec![0u32; keys.len()]);
         let mut arranged = vec![keys[0]; keys.len()];
         for i in tree.nodes() {
             let p = index.position(i, tree.depth(i)) as usize;
             arranged[p] = keys[(tree.in_order_rank(i) - 1) as usize];
+            if let Some(t) = &mut table {
+                t[(i - 1) as usize] = p as u32;
+            }
         }
+        let plan = if use_compiled {
+            compiled
+        } else if let Some(t) = table {
+            Some(StepPlan::from_positions(tree.height(), t))
+        } else {
+            compiled
+        };
         Ok(Self {
             tree,
             index,
             keys: arranged,
+            plan,
         })
+    }
+
+    /// The descent plane the kernels run on (compiled plan when
+    /// available, virtual indexer otherwise).
+    #[inline]
+    fn plane(&self) -> ArrayPlane<'_, K> {
+        let pos = match &self.plan {
+            Some(plan) => PosRef::Plan(plan),
+            None => PosRef::Index(self.index.as_ref()),
+        };
+        ArrayPlane::new(&self.keys, pos, self.tree.height())
+    }
+
+    /// The compiled descent plan, when one exists.
+    #[must_use]
+    pub fn plan(&self) -> Option<&StepPlan> {
+        self.plan.as_ref()
     }
 
     /// Builds the tree, panicking where [`ImplicitTree::try_build`]
@@ -107,8 +153,21 @@ impl<K: Ord + Copy> ImplicitTree<K> {
 
     /// Searches for `key`, computing one layout position per transition.
     /// Returns the array position of the match.
+    ///
+    /// Runs on the compiled descent kernel (branch-free, prefetching,
+    /// zero virtual calls — see [`crate::kernel`]); results are
+    /// bit-identical to [`ImplicitTree::search_reference`].
     #[inline]
     pub fn search(&self, key: K) -> Option<u64> {
+        kernel::search(&self.plane(), key)
+    }
+
+    /// The pre-kernel descent — one virtual position call and one
+    /// three-way branch per level. Kept as the oracle the kernels are
+    /// verified against (and as the comparison baseline in
+    /// `BENCH_kernel.json`).
+    #[inline]
+    pub fn search_reference(&self, key: K) -> Option<u64> {
         let h = self.tree.height();
         let mut i = 1u64;
         let mut d = 0u32;
@@ -125,6 +184,15 @@ impl<K: Ord + Copy> ImplicitTree<K> {
                 return None;
             }
         }
+    }
+
+    /// Searches an arbitrary-order probe batch on the interleaved
+    /// kernel: up to `width` (≤ [`kernel::MAX_LANES`]) descents in
+    /// flight, overlapping their memory latency. `out` is cleared and
+    /// filled with one entry per probe, in probe order — bit-identical
+    /// to mapping [`ImplicitTree::search`] over the batch.
+    pub fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        kernel::search_batch_interleaved(&self.plane(), keys, width, out);
     }
 
     /// Searches while recording each visited position.
@@ -148,16 +216,12 @@ impl<K: Ord + Copy> ImplicitTree<K> {
         }
     }
 
-    /// Benchmark kernel: sum of found positions.
+    /// Benchmark kernel: sum of found positions. Dispatches to the
+    /// shared interleaved checksum kernel ([`kernel::batch_checksum`]);
+    /// the sum is identical to accumulating per-probe searches.
     #[must_use]
     pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        let mut acc = 0u64;
-        for &k in keys {
-            if let Some(p) = self.search(k) {
-                acc = acc.wrapping_add(p);
-            }
-        }
-        acc
+        kernel::batch_checksum(&self.plane(), keys, kernel::DEFAULT_LANES)
     }
 }
 
@@ -197,6 +261,33 @@ impl<K: Ord + Copy> SearchBackend<K> for ImplicitTree<K> {
             let node = self.tree.node_at_in_order(rank);
             self.index.position(node, self.tree.depth(node))
         })
+    }
+
+    // Kernel-backed overrides: identical results, no per-level virtual
+    // dispatch (the generic defaults walk rank lookups per level).
+
+    fn search_reference(&self, key: K) -> Option<u64> {
+        ImplicitTree::search_reference(self, key)
+    }
+
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        kernel::search_traced(&self.plane(), key, visited)
+    }
+
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        ImplicitTree::search_batch_interleaved(self, keys, width, out);
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        ImplicitTree::search_batch_checksum(self, keys)
+    }
+
+    fn lower_bound_rank(&self, key: K) -> u64 {
+        kernel::bound_rank::<_, false>(&self.plane(), key)
+    }
+
+    fn upper_bound_rank(&self, key: K) -> u64 {
+        kernel::bound_rank::<_, true>(&self.plane(), key)
     }
 }
 

@@ -10,8 +10,9 @@
 //! remains the memory-access-free instrument the paper times.
 
 use crate::backend::SearchBackend;
+use crate::kernel::{self, PosRef, RankPlane};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
-use cobtree_core::index::PositionIndex;
+use cobtree_core::index::{PositionIndex, StepPlan};
 use cobtree_core::Tree;
 
 /// A complete BST stored as a *sorted* key array, searched by BFS
@@ -22,6 +23,10 @@ pub struct IndexOnlyTree<K> {
     /// `keys[r - 1]` is the key with in-order rank `r` — i.e. the input
     /// keys verbatim, in sorted order.
     keys: Vec<K>,
+    /// Compiled descent plan where the layout has one (`None` for the
+    /// generic-interpreter layouts — no table is materialized here, so
+    /// building stays O(n) regardless of layout).
+    plan: Option<StepPlan>,
 }
 
 impl<K: Ord + Copy> IndexOnlyTree<K> {
@@ -39,11 +44,25 @@ impl<K: Ord + Copy> IndexOnlyTree<K> {
                 got: keys.len() as u64,
             });
         }
+        let plan = index.compile_plan();
         Ok(Self {
             tree,
             index,
             keys: keys.to_vec(),
+            plan,
         })
+    }
+
+    /// The descent plane the kernels run on: comparisons read the
+    /// sorted key array by rank (no layout-ordered storage exists);
+    /// positions come from the compiled plan when one exists.
+    #[inline]
+    fn plane(&self) -> RankPlane<'_, K> {
+        let pos = match &self.plan {
+            Some(plan) => PosRef::Plan(plan),
+            None => PosRef::Index(self.index.as_ref()),
+        };
+        RankPlane::new(&self.keys, pos, self.tree.height())
     }
 
     /// Builds the backend, panicking where [`IndexOnlyTree::try_build`]
@@ -84,9 +103,16 @@ impl<K: Ord + Copy> IndexOnlyTree<K> {
     }
 
     /// Searches for `key`; returns the layout position of the matching
-    /// node (computed once, on the match).
+    /// node (computed once, on the match — the kernel's hoisted-equality
+    /// descent preserves exactly this discipline).
     #[inline]
     pub fn search(&self, key: K) -> Option<u64> {
+        kernel::search(&self.plane(), key)
+    }
+
+    /// The pre-kernel descent, kept as the verification oracle.
+    #[inline]
+    pub fn search_reference(&self, key: K) -> Option<u64> {
         let h = self.tree.height();
         let mut i = 1u64;
         let mut d = 0u32;
@@ -127,16 +153,17 @@ impl<K: Ord + Copy> IndexOnlyTree<K> {
         }
     }
 
-    /// Benchmark kernel: sum of found positions.
+    /// Searches an arbitrary-order probe batch on the interleaved
+    /// kernel — see [`crate::kernel::fold_interleaved`].
+    pub fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        kernel::search_batch_interleaved(&self.plane(), keys, width, out);
+    }
+
+    /// Benchmark kernel: sum of found positions, via the shared
+    /// interleaved checksum kernel.
     #[must_use]
     pub fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        let mut acc = 0u64;
-        for &k in keys {
-            if let Some(p) = self.search(k) {
-                acc = acc.wrapping_add(p);
-            }
-        }
-        acc
+        kernel::batch_checksum(&self.plane(), keys, kernel::DEFAULT_LANES)
     }
 }
 
@@ -162,8 +189,24 @@ impl<K: Ord + Copy> SearchBackend<K> for IndexOnlyTree<K> {
         IndexOnlyTree::search(self, key)
     }
 
+    fn search_reference(&self, key: K) -> Option<u64> {
+        IndexOnlyTree::search_reference(self, key)
+    }
+
     fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         IndexOnlyTree::search_traced(self, key, visited)
+    }
+
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        kernel::search_traced(&self.plane(), key, visited)
+    }
+
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        IndexOnlyTree::search_batch_interleaved(self, keys, width, out);
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        IndexOnlyTree::search_batch_checksum(self, keys)
     }
 
     fn key_at_rank(&self, rank: u64) -> Option<K> {

@@ -1,0 +1,856 @@
+//! Compiled descent kernels: branch-free search loops over
+//! [`StepPlan`]s, with software prefetch and an interleaved multi-query
+//! variant.
+//!
+//! The slow descent paths (`search` loops written per backend in PR 1)
+//! pay, per level, one virtual `dyn PositionIndex::position` call plus a
+//! data-dependent three-way branch. The paper's layouts make per-depth
+//! position arithmetic statically predictable, which is exactly what a
+//! compiled kernel exploits (cf. Barratt & Zhang, *Cache-Friendly
+//! Search Trees*, 2019). This module provides the shared kernels; the
+//! backends dispatch into them:
+//!
+//! * **Devirtualized positions** — [`PosRef`] resolves positions from a
+//!   compiled [`StepPlan`] (closed-form coefficients or a flat table),
+//!   from a raw little-endian `u32` region of a mapped file, or — for
+//!   the layouts that do not compile — from the original indexer.
+//! * **Branch-free descent** — the three-way compare is replaced by
+//!   `i = 2i + (probe > key)`, with the `Equal` case hoisted out of the
+//!   loop entirely: the kernel tracks the most recent slot whose key
+//!   was `>= probe` (a conditional move, not a branch) and performs a
+//!   single equality check after the loop. Results are **bit-identical**
+//!   to the slow paths, which remain in the backends as the oracle
+//!   (`search_reference`).
+//! * **Chained key locators + software prefetch** — each level's key
+//!   *locator* (the storage coordinate of the key load — layout
+//!   position for layout-ordered storage, in-order rank for the
+//!   index-only backend) is computed once, prefetched, and reused for
+//!   the load at the next level, so no position is ever computed twice.
+//!   When positions are cheap ([`StepPlan::prefetch_is_cheap`]) the
+//!   scalar kernel additionally speculates **both candidate children**
+//!   one level ahead, so the next load is in flight while the current
+//!   compare resolves.
+//! * **Interleaved multi-query search** — [`fold_interleaved`] keeps up
+//!   to [`MAX_LANES`] independent lookups in flight, stepping them
+//!   round-robin one level at a time. The lanes' key loads are
+//!   independent, so the memory system overlaps their misses
+//!   (memory-level parallelism); each lane prefetches its *exact* next
+//!   slot as soon as its branch-free step resolves it — which costs no
+//!   extra position arithmetic at all, so it is on for every plan.
+//!
+//! Three key-storage disciplines are covered by [`DescentPlane`]
+//! implementations: layout-ordered key arrays ([`ArrayPlane`], the
+//! implicit backend), rank-ordered key arrays ([`RankPlane`], the
+//! index-only backend) and raw mapped file bytes ([`MappedPlane`]).
+//! The explicit (pointer-based) backend has no position computation to
+//! devirtualize; it gets dedicated pointer kernels
+//! ([`explicit_search`], [`explicit_fold_interleaved`]) that apply the
+//! same branch-free + prefetch + interleaving treatment to child-pointer
+//! chasing.
+
+use crate::explicit::Node;
+use cobtree_core::format::FixedKey;
+use cobtree_core::index::{PositionIndex, StepPlan};
+
+/// Maximum interleave width (lanes held in flight by the batch kernel).
+pub const MAX_LANES: usize = 16;
+
+/// Default interleave width used by the `search_batch_checksum` /
+/// `search_batch_interleaved` entry points when callers do not pick one.
+/// Eight lanes saturate the load buffers of common cores without
+/// spilling the lane state out of registers.
+pub const DEFAULT_LANES: usize = 8;
+
+/// Locator sentinel meaning "no candidate recorded yet" (locators are
+/// array indices or ranks, far below `u64::MAX`).
+const NO_CAND: u64 = u64::MAX;
+
+/// Issues a read prefetch for `ptr` where the target supports it (a
+/// no-op elsewhere — the kernels stay portable).
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it never faults, and callers
+    // only pass addresses derived from live allocations.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Position sources
+// ---------------------------------------------------------------------------
+
+/// Where a kernel reads layout positions from. One enum dispatch per
+/// position — a perfectly predicted branch, in place of the slow path's
+/// virtual call (kept as [`PosRef::Index`] for the layouts that do not
+/// compile).
+pub enum PosRef<'a> {
+    /// A compiled per-layout plan.
+    Plan(&'a StepPlan),
+    /// Little-endian `u32` position table bytes, indexed by `node − 1`
+    /// — the mapped backend's index region, read in place.
+    Raw32(&'a [u8]),
+    /// Uncompiled fallback: the original virtual indexer.
+    Index(&'a dyn PositionIndex),
+}
+
+impl PosRef<'_> {
+    /// Layout position of `node` at `depth`.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, node: u64, depth: u32) -> u64 {
+        match self {
+            PosRef::Plan(p) => p.position(node, depth),
+            PosRef::Raw32(bytes) => {
+                let off = (node as usize - 1) * 4;
+                u64::from(u32::from_le_bytes(
+                    bytes[off..off + 4].try_into().expect("validated region"),
+                ))
+            }
+            PosRef::Index(ix) => ix.position(node, depth),
+        }
+    }
+
+    /// Whether speculative child-position computations (for the scalar
+    /// kernel's both-children prefetch) are worth issuing.
+    #[must_use]
+    pub fn prefetch_is_cheap(&self) -> bool {
+        match self {
+            PosRef::Plan(p) => p.prefetch_is_cheap(),
+            PosRef::Raw32(_) => true,
+            PosRef::Index(_) => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Descent planes: position source + key storage discipline
+// ---------------------------------------------------------------------------
+
+/// What a descent kernel needs from a backend. The central concept is
+/// the **key locator**: the storage coordinate a key load uses — the
+/// layout position for layout-ordered storage ([`ArrayPlane`],
+/// [`MappedPlane`]), the 0-based in-order rank for rank-ordered storage
+/// ([`RankPlane`]). Kernels compute each level's locator exactly once,
+/// prefetch it, and reuse it for the load. Implementations are
+/// monomorphized into the kernels — no virtual calls on the hot path
+/// (except through an explicit [`PosRef::Index`] fallback).
+pub trait DescentPlane {
+    /// Key type compared during the descent.
+    type Key: Copy + Ord;
+
+    /// Height of the complete tree.
+    fn height(&self) -> u32;
+
+    /// Key locator of BFS `node` at `depth`.
+    fn locate(&self, node: u64, depth: u32) -> u64;
+
+    /// Key behind a locator. For planes whose padding is encoded in the
+    /// key ordering this is total; for [`MappedPlane`] the value is
+    /// unspecified (but loadable) when [`DescentPlane::is_real`] is
+    /// `false`.
+    fn key_at(&self, loc: u64) -> Self::Key;
+
+    /// `false` when `node` is a padding slot that must compare as `+∞`.
+    #[inline]
+    fn is_real(&self, node: u64) -> bool {
+        let _ = node;
+        true
+    }
+
+    /// Layout position of `node` at `depth` (what searches report).
+    fn position(&self, node: u64, depth: u32) -> u64;
+
+    /// Layout position reported for a match whose key was loaded via
+    /// `loc` — the locator *is* the position for layout-ordered planes;
+    /// rank-ordered planes recover the node from the rank.
+    fn result_position(&self, loc: u64) -> u64;
+
+    /// `true` when the locator *is* the layout position (layout-ordered
+    /// planes), letting traced kernels record `loc` instead of paying a
+    /// second position computation per level.
+    #[inline]
+    fn locator_is_position(&self) -> bool {
+        false
+    }
+
+    /// Issues a prefetch for the storage `key_at(loc)` will touch.
+    #[inline]
+    fn prefetch_loc(&self, loc: u64) {
+        let _ = loc;
+    }
+
+    /// Whether the scalar kernels should speculatively compute (and
+    /// prefetch) *both* children's locators a level ahead — worth it
+    /// exactly when locators are cheap (checked once, outside loops).
+    #[inline]
+    fn speculate_children(&self) -> bool {
+        false
+    }
+}
+
+/// Keys stored in layout order (the implicit backend): the locator is
+/// the layout position; one position computation and one array load per
+/// visited node.
+pub struct ArrayPlane<'a, K> {
+    keys: &'a [K],
+    pos: PosRef<'a>,
+    height: u32,
+}
+
+impl<'a, K: Copy + Ord> ArrayPlane<'a, K> {
+    /// Plane over `keys` in layout order, positions from `pos`.
+    #[must_use]
+    pub fn new(keys: &'a [K], pos: PosRef<'a>, height: u32) -> Self {
+        Self { keys, pos, height }
+    }
+}
+
+impl<K: Copy + Ord> DescentPlane for ArrayPlane<'_, K> {
+    type Key = K;
+
+    #[inline]
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn locate(&self, node: u64, depth: u32) -> u64 {
+        self.pos.at(node, depth)
+    }
+
+    #[inline]
+    fn key_at(&self, loc: u64) -> K {
+        self.keys[loc as usize]
+    }
+
+    #[inline]
+    fn position(&self, node: u64, depth: u32) -> u64 {
+        self.pos.at(node, depth)
+    }
+
+    #[inline]
+    fn result_position(&self, loc: u64) -> u64 {
+        loc
+    }
+
+    #[inline]
+    fn locator_is_position(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn prefetch_loc(&self, loc: u64) {
+        // SAFETY: positions of valid nodes index the key array.
+        prefetch_read(unsafe { self.keys.as_ptr().add(loc as usize) });
+    }
+
+    #[inline]
+    fn speculate_children(&self) -> bool {
+        self.pos.prefetch_is_cheap()
+    }
+}
+
+/// 1-based in-order rank of `node` in a height-`h` tree (the
+/// `Tree::in_order_rank` bit trick, kept local so kernels need no
+/// `Tree`).
+#[inline]
+fn in_order_rank(height: u32, node: u64) -> u64 {
+    let d = 63 - node.leading_zeros();
+    let span = 1u64 << (height - d);
+    (node - (1u64 << d)) * span + span / 2
+}
+
+/// Keys stored in sorted (in-order-rank) order — the index-only
+/// backend. The locator is the 0-based rank, so comparisons never touch
+/// positions; the position source is consulted only to *report*
+/// results, preserving the slow path's cost discipline exactly.
+pub struct RankPlane<'a, K> {
+    keys: &'a [K],
+    pos: PosRef<'a>,
+    height: u32,
+}
+
+impl<'a, K: Copy + Ord> RankPlane<'a, K> {
+    /// Plane over `keys` in sorted order, positions from `pos`.
+    #[must_use]
+    pub fn new(keys: &'a [K], pos: PosRef<'a>, height: u32) -> Self {
+        Self { keys, pos, height }
+    }
+}
+
+impl<K: Copy + Ord> DescentPlane for RankPlane<'_, K> {
+    type Key = K;
+
+    #[inline]
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn locate(&self, node: u64, _depth: u32) -> u64 {
+        in_order_rank(self.height, node) - 1
+    }
+
+    #[inline]
+    fn key_at(&self, loc: u64) -> K {
+        self.keys[loc as usize]
+    }
+
+    #[inline]
+    fn position(&self, node: u64, depth: u32) -> u64 {
+        self.pos.at(node, depth)
+    }
+
+    #[inline]
+    fn result_position(&self, loc: u64) -> u64 {
+        // Invert the rank locator (`Tree::node_at_in_order`), then pay
+        // the one position computation the slow path pays on a match.
+        let rank = loc + 1;
+        let t = rank.trailing_zeros();
+        let d = self.height - 1 - t;
+        let node = (1u64 << d) + (rank >> (t + 1));
+        self.pos.at(node, d)
+    }
+
+    #[inline]
+    fn prefetch_loc(&self, loc: u64) {
+        // SAFETY: ranks of valid nodes index the sorted key array.
+        prefetch_read(unsafe { self.keys.as_ptr().add(loc as usize) });
+    }
+
+    #[inline]
+    fn speculate_children(&self) -> bool {
+        // Rank locators are two shifts and an add — always cheap.
+        true
+    }
+}
+
+/// Keys read from the raw bytes of a mapped tree file. Padding is
+/// detected arithmetically (in-order rank beyond the stored key count),
+/// exactly as the mapped slow path does — padding slots' bytes are
+/// loadable (the writer zeroes them) but never influence the descent.
+pub struct MappedPlane<'a, K> {
+    key_bytes: &'a [u8],
+    pos: PosRef<'a>,
+    height: u32,
+    stored: u64,
+    _keys: std::marker::PhantomData<fn() -> K>,
+}
+
+impl<'a, K: FixedKey> MappedPlane<'a, K> {
+    /// Plane over a file's key region (`key_bytes`), positions from
+    /// `pos`; ranks beyond `stored` are padding.
+    #[must_use]
+    pub fn new(key_bytes: &'a [u8], pos: PosRef<'a>, height: u32, stored: u64) -> Self {
+        Self {
+            key_bytes,
+            pos,
+            height,
+            stored,
+            _keys: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: FixedKey> DescentPlane for MappedPlane<'_, K> {
+    type Key = K;
+
+    #[inline]
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn locate(&self, node: u64, depth: u32) -> u64 {
+        self.pos.at(node, depth)
+    }
+
+    #[inline]
+    fn key_at(&self, loc: u64) -> K {
+        let off = loc as usize * K::WIDTH;
+        K::read_le(&self.key_bytes[off..off + K::WIDTH])
+    }
+
+    #[inline]
+    fn is_real(&self, node: u64) -> bool {
+        in_order_rank(self.height, node) <= self.stored
+    }
+
+    #[inline]
+    fn position(&self, node: u64, depth: u32) -> u64 {
+        self.pos.at(node, depth)
+    }
+
+    #[inline]
+    fn result_position(&self, loc: u64) -> u64 {
+        loc
+    }
+
+    #[inline]
+    fn locator_is_position(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn prefetch_loc(&self, loc: u64) {
+        // SAFETY: key offsets of valid nodes lie inside the key region.
+        prefetch_read(unsafe { self.key_bytes.as_ptr().add(loc as usize * K::WIDTH) });
+    }
+
+    #[inline]
+    fn speculate_children(&self) -> bool {
+        self.pos.prefetch_is_cheap()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels
+// ---------------------------------------------------------------------------
+
+/// Branch-free point search: descends all `h` levels with
+/// `i = 2i + (probe > key)`, tracking the locator of the last slot
+/// whose key was `>= probe` with conditional moves, and resolves
+/// equality once after the loop. Returns exactly what the backend's
+/// slow `search` returns.
+#[inline]
+pub fn search<P: DescentPlane>(plane: &P, probe: P::Key) -> Option<u64> {
+    let h = plane.height();
+    let speculate = plane.speculate_children();
+    let mut i = 1u64;
+    let mut loc = plane.locate(1, 0);
+    let mut cand_loc = NO_CAND;
+    let mut cand_key = probe; // only read once `cand_loc != NO_CAND`
+    for d in 0..h {
+        let k = plane.key_at(loc);
+        let real = plane.is_real(i);
+        let go_right = real && probe > k;
+        if real && !go_right {
+            cand_loc = loc;
+            cand_key = k;
+        }
+        let next = (i << 1) | u64::from(go_right);
+        if d + 1 < h {
+            if speculate {
+                // Both children, prefetched before the compare's load
+                // dependency resolves (the CPU hoists these — they
+                // depend only on `i`).
+                let left = plane.locate(i << 1, d + 1);
+                let right = plane.locate((i << 1) | 1, d + 1);
+                plane.prefetch_loc(left);
+                plane.prefetch_loc(right);
+                loc = if go_right { right } else { left };
+            } else {
+                loc = plane.locate(next, d + 1);
+            }
+        }
+        i = next;
+    }
+    (cand_loc != NO_CAND && cand_key == probe).then(|| plane.result_position(cand_loc))
+}
+
+/// [`search`], recording the layout position of every node the *slow
+/// path* would visit: the full root path for misses, the root-to-match
+/// prefix for hits (the branch-free descent continues past the match;
+/// the overshoot is truncated so traces stay bit-identical to
+/// `search_traced`).
+pub fn search_traced<P: DescentPlane>(
+    plane: &P,
+    probe: P::Key,
+    visited: &mut Vec<u64>,
+) -> Option<u64> {
+    let h = plane.height();
+    visited.reserve(h as usize);
+    let start = visited.len();
+    let mut i = 1u64;
+    let mut cand_loc = NO_CAND;
+    let mut cand_depth = 0u32;
+    let mut cand_key = probe;
+    let loc_is_pos = plane.locator_is_position();
+    for d in 0..h {
+        let loc = plane.locate(i, d);
+        visited.push(if loc_is_pos {
+            loc
+        } else {
+            plane.position(i, d)
+        });
+        let k = plane.key_at(loc);
+        let real = plane.is_real(i);
+        let go_right = real && probe > k;
+        if real && !go_right {
+            cand_loc = loc;
+            cand_depth = d;
+            cand_key = k;
+        }
+        i = (i << 1) | u64::from(go_right);
+    }
+    if cand_loc != NO_CAND && cand_key == probe {
+        visited.truncate(start + cand_depth as usize + 1);
+        Some(plane.result_position(cand_loc))
+    } else {
+        None
+    }
+}
+
+/// Branch-free bound-rank descent: the 1-based in-order rank of the
+/// first stored key `>= probe` (`UPPER = false`, i.e. `lower_bound_rank`)
+/// or `> probe` (`UPPER = true`, `upper_bound_rank`). Identical results
+/// to the generic trait descents: padding compares as `+∞`, the final
+/// virtual leaf's gap index counts the keys below the bound.
+#[inline]
+pub fn bound_rank<P: DescentPlane, const UPPER: bool>(plane: &P, probe: P::Key) -> u64 {
+    let h = plane.height();
+    let speculate = plane.speculate_children();
+    let mut i = 1u64;
+    let mut loc = plane.locate(1, 0);
+    for d in 0..h {
+        let k = plane.key_at(loc);
+        let real = plane.is_real(i);
+        let go_right = real && if UPPER { probe >= k } else { probe > k };
+        let next = (i << 1) | u64::from(go_right);
+        if d + 1 < h {
+            if speculate {
+                let left = plane.locate(i << 1, d + 1);
+                let right = plane.locate((i << 1) | 1, d + 1);
+                plane.prefetch_loc(left);
+                plane.prefetch_loc(right);
+                loc = if go_right { right } else { left };
+            } else {
+                loc = plane.locate(next, d + 1);
+            }
+        }
+        i = next;
+    }
+    (i - (1u64 << h)) + 1
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved multi-query kernel
+// ---------------------------------------------------------------------------
+
+/// Interleaved batch search: processes `probes` in chunks of up to
+/// `width` lanes (clamped to `1..=MAX_LANES`), descending all lanes in
+/// depth lockstep. Lane key loads are independent, so their cache
+/// misses overlap; each lane computes its next locator exactly once and
+/// prefetches it the moment its branch-free step resolves (free for
+/// every plan — no speculative arithmetic). `emit` receives
+/// `(probe index, result)` in input order; results are bit-identical to
+/// per-probe [`search`].
+#[inline]
+pub fn fold_interleaved<P: DescentPlane>(
+    plane: &P,
+    probes: &[P::Key],
+    width: usize,
+    mut emit: impl FnMut(usize, Option<u64>),
+) {
+    let h = plane.height();
+    let width = width.clamp(1, MAX_LANES);
+    let root_loc = plane.locate(1, 0);
+    let mut base = 0usize;
+    for chunk in probes.chunks(width) {
+        let mut node = [1u64; MAX_LANES];
+        let mut loc = [root_loc; MAX_LANES];
+        let mut cand_loc = [NO_CAND; MAX_LANES];
+        let mut cand_key = [chunk[0]; MAX_LANES];
+        plane.prefetch_loc(root_loc);
+        for d in 0..h {
+            for (l, &probe) in chunk.iter().enumerate() {
+                let i = node[l];
+                let k = plane.key_at(loc[l]);
+                let real = plane.is_real(i);
+                let go_right = real && probe > k;
+                if real && !go_right {
+                    cand_loc[l] = loc[l];
+                    cand_key[l] = k;
+                }
+                let next = (i << 1) | u64::from(go_right);
+                if d + 1 < h {
+                    let nloc = plane.locate(next, d + 1);
+                    plane.prefetch_loc(nloc);
+                    loc[l] = nloc;
+                }
+                node[l] = next;
+            }
+        }
+        for (l, &probe) in chunk.iter().enumerate() {
+            let hit = cand_loc[l] != NO_CAND && cand_key[l] == probe;
+            emit(base + l, hit.then(|| plane.result_position(cand_loc[l])));
+        }
+        base += chunk.len();
+    }
+}
+
+/// [`fold_interleaved`] collecting results (input order) into `out`.
+pub fn search_batch_interleaved<P: DescentPlane>(
+    plane: &P,
+    probes: &[P::Key],
+    width: usize,
+    out: &mut Vec<Option<u64>>,
+) {
+    out.clear();
+    out.resize(probes.len(), None);
+    fold_interleaved(plane, probes, width, |idx, r| out[idx] = r);
+}
+
+/// [`fold_interleaved`] folding the wrapping sum of found positions —
+/// the shared benchmark-checksum kernel every backend's
+/// `search_batch_checksum` dispatches to (identical to summing the slow
+/// path's results, since per-probe results are bit-identical).
+#[must_use]
+pub fn batch_checksum<P: DescentPlane>(plane: &P, probes: &[P::Key], width: usize) -> u64 {
+    let mut acc = 0u64;
+    fold_interleaved(plane, probes, width, |_, r| {
+        if let Some(p) = r {
+            acc = acc.wrapping_add(p);
+        }
+    });
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Explicit (pointer) kernels
+// ---------------------------------------------------------------------------
+
+/// Branch-free pointer descent over an explicit node array: child
+/// positions come from the nodes themselves (no index arithmetic), the
+/// three-way compare is replaced by a conditional child select, and both
+/// children are prefetched one level ahead. Completeness of the tree
+/// guarantees `h − 1` valid child steps, so the loop never tests NIL.
+#[inline]
+pub fn explicit_search<K: Copy + Ord>(
+    nodes: &[Node<K>],
+    root: u32,
+    height: u32,
+    probe: K,
+) -> Option<u64> {
+    let mut pos = root;
+    let mut cand_pos = u32::MAX;
+    let mut cand_key = probe;
+    for _ in 0..height - 1 {
+        let n = nodes[pos as usize];
+        prefetch_read(std::ptr::addr_of!(nodes[n.left as usize]));
+        prefetch_read(std::ptr::addr_of!(nodes[n.right as usize]));
+        let go_right = probe > n.key;
+        if !go_right {
+            cand_pos = pos;
+            cand_key = n.key;
+        }
+        pos = if go_right { n.right } else { n.left };
+    }
+    // Leaf level: compare only (children are NIL).
+    let n = nodes[pos as usize];
+    if probe <= n.key {
+        cand_pos = pos;
+        cand_key = n.key;
+    }
+    (cand_pos != u32::MAX && cand_key == probe).then(|| u64::from(cand_pos))
+}
+
+/// [`explicit_search`] with slow-path-identical traces (full path for
+/// misses, truncated at the match for hits).
+pub fn explicit_search_traced<K: Copy + Ord>(
+    nodes: &[Node<K>],
+    root: u32,
+    height: u32,
+    probe: K,
+    visited: &mut Vec<u64>,
+) -> Option<u64> {
+    let h = height;
+    visited.reserve(h as usize);
+    let start = visited.len();
+    let mut pos = root;
+    let mut cand_pos = u32::MAX;
+    let mut cand_depth = 0u32;
+    let mut cand_key = probe;
+    for d in 0..h {
+        visited.push(u64::from(pos));
+        let n = nodes[pos as usize];
+        let go_right = probe > n.key;
+        if !go_right {
+            cand_pos = pos;
+            cand_depth = d;
+            cand_key = n.key;
+        }
+        if d + 1 < h {
+            pos = if go_right { n.right } else { n.left };
+        }
+    }
+    if cand_pos != u32::MAX && cand_key == probe {
+        visited.truncate(start + cand_depth as usize + 1);
+        Some(u64::from(cand_pos))
+    } else {
+        None
+    }
+}
+
+/// Interleaved pointer-chasing batch kernel: up to `width` descents in
+/// flight, stepped round-robin per level; each lane's next node load is
+/// prefetched as soon as its child select resolves. `emit` receives
+/// `(probe index, result)` in input order.
+#[inline]
+pub fn explicit_fold_interleaved<K: Copy + Ord>(
+    nodes: &[Node<K>],
+    root: u32,
+    height: u32,
+    probes: &[K],
+    width: usize,
+    mut emit: impl FnMut(usize, Option<u64>),
+) {
+    let width = width.clamp(1, MAX_LANES);
+    let mut base = 0usize;
+    for chunk in probes.chunks(width) {
+        let mut pos = [root; MAX_LANES];
+        let mut cand_pos = [u32::MAX; MAX_LANES];
+        let mut cand_key = [chunk[0]; MAX_LANES];
+        for d in 0..height {
+            for (l, &probe) in chunk.iter().enumerate() {
+                let n = nodes[pos[l] as usize];
+                let go_right = probe > n.key;
+                if !go_right {
+                    cand_pos[l] = pos[l];
+                    cand_key[l] = n.key;
+                }
+                if d + 1 < height {
+                    let next = if go_right { n.right } else { n.left };
+                    pos[l] = next;
+                    prefetch_read(std::ptr::addr_of!(nodes[next as usize]));
+                }
+            }
+        }
+        for (l, &probe) in chunk.iter().enumerate() {
+            let hit = cand_pos[l] != u32::MAX && cand_key[l] == probe;
+            emit(base + l, hit.then(|| u64::from(cand_pos[l])));
+        }
+        base += chunk.len();
+    }
+}
+
+/// [`explicit_fold_interleaved`] folding the wrapping sum of found
+/// positions — the explicit backend's arm of the shared
+/// `search_batch_checksum` kernel.
+#[must_use]
+pub fn explicit_batch_checksum<K: Copy + Ord>(
+    nodes: &[Node<K>],
+    root: u32,
+    height: u32,
+    probes: &[K],
+    width: usize,
+) -> u64 {
+    let mut acc = 0u64;
+    explicit_fold_interleaved(nodes, root, height, probes, width, |_, r| {
+        if let Some(p) = r {
+            acc = acc.wrapping_add(p);
+        }
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+
+    fn plane_for(layout: NamedLayout, h: u32) -> (Vec<u64>, StepPlan) {
+        let n = (1u64 << h) - 1;
+        let idx = layout.indexer(h);
+        let plan = layout
+            .compile_plan(h)
+            .or_else(|| StepPlan::table_from_index(idx.as_ref()))
+            .expect("plan");
+        let tree = cobtree_core::Tree::new(h);
+        let keys: Vec<u64> = (1..=n).map(|k| k * 3).collect();
+        let mut arranged = vec![0u64; n as usize];
+        for i in tree.nodes() {
+            arranged[plan.position(i, tree.depth(i)) as usize] =
+                keys[(tree.in_order_rank(i) - 1) as usize];
+        }
+        (arranged, plan)
+    }
+
+    #[test]
+    fn scalar_kernel_finds_every_key_and_rejects_absent() {
+        for layout in NamedLayout::ALL {
+            let h = 7;
+            let (keys, plan) = plane_for(layout, h);
+            let plane = ArrayPlane::new(&keys, PosRef::Plan(&plan), h);
+            for r in 1..=(1u64 << h) - 1 {
+                let p = search(&plane, r * 3).expect("present");
+                assert_eq!(keys[p as usize], r * 3, "{layout} rank {r}");
+                assert_eq!(search(&plane, r * 3 - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_scalar_at_every_width() {
+        let h = 6;
+        let (keys, plan) = plane_for(NamedLayout::MinWep, h);
+        let plane = ArrayPlane::new(&keys, PosRef::Plan(&plan), h);
+        let probes: Vec<u64> = (0..200u64).collect();
+        let scalar: Vec<Option<u64>> = probes.iter().map(|&p| search(&plane, p)).collect();
+        for width in [1usize, 2, 3, 5, 8, 16, 64] {
+            let mut out = Vec::new();
+            search_batch_interleaved(&plane, &probes, width, &mut out);
+            assert_eq!(out, scalar, "width {width}");
+        }
+        // Batch shorter than the width.
+        let mut out = Vec::new();
+        search_batch_interleaved(&plane, &probes[..3], 16, &mut out);
+        assert_eq!(out, scalar[..3]);
+        // Empty batch.
+        search_batch_interleaved(&plane, &[], 8, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn checksum_equals_sum_of_scalar_hits() {
+        let h = 8;
+        let (keys, plan) = plane_for(NamedLayout::PreVeb, h);
+        let plane = ArrayPlane::new(&keys, PosRef::Plan(&plan), h);
+        let probes: Vec<u64> = (0..1000u64).map(|k| k * 7 % 800).collect();
+        let expect = probes
+            .iter()
+            .filter_map(|&p| search(&plane, p))
+            .fold(0u64, u64::wrapping_add);
+        assert_eq!(batch_checksum(&plane, &probes, DEFAULT_LANES), expect);
+        assert_eq!(batch_checksum(&plane, &probes, 1), expect);
+    }
+
+    #[test]
+    fn bound_rank_matches_partition_point() {
+        let h = 6;
+        let (keys, plan) = plane_for(NamedLayout::InVeb, h);
+        let plane = ArrayPlane::new(&keys, PosRef::Plan(&plan), h);
+        let sorted: Vec<u64> = (1..=(1u64 << h) - 1).map(|k| k * 3).collect();
+        for probe in 0..=200u64 {
+            let lb = sorted.partition_point(|&k| k < probe) as u64 + 1;
+            let ub = sorted.partition_point(|&k| k <= probe) as u64 + 1;
+            assert_eq!(bound_rank::<_, false>(&plane, probe), lb, "lb({probe})");
+            assert_eq!(bound_rank::<_, true>(&plane, probe), ub, "ub({probe})");
+        }
+    }
+
+    #[test]
+    fn rank_plane_result_positions_match_position_source() {
+        // `result_position` must invert the rank locator exactly.
+        let h = 7;
+        let layout = NamedLayout::MinWep;
+        let plan = layout.compile_plan(h).unwrap();
+        let sorted: Vec<u64> = (1..=(1u64 << h) - 1).collect();
+        let plane = RankPlane::new(&sorted, PosRef::Plan(&plan), h);
+        let tree = cobtree_core::Tree::new(h);
+        for i in tree.nodes() {
+            let loc = plane.locate(i, tree.depth(i));
+            assert_eq!(
+                plane.result_position(loc),
+                plan.position(i, tree.depth(i)),
+                "node {i}"
+            );
+        }
+    }
+}

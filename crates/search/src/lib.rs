@@ -28,6 +28,13 @@
 //! * [`index_only`] — keys in plain sorted order, layout positions
 //!   computed on demand (the §IV-E discipline generalized to arbitrary
 //!   keys);
+//! * [`kernel`] — the *compiled descent kernels* every backend's hot
+//!   path dispatches into: devirtualized per-layout
+//!   [`cobtree_core::index::StepPlan`]s, branch-free descent with the
+//!   equality check hoisted out of the loop, software prefetch of both
+//!   candidate children, and an interleaved multi-query kernel that
+//!   keeps up to 16 lookups in flight (the original per-level loops
+//!   remain as `search_reference`, the verification oracle);
 //! * [`mapped`] — the *serving* backend: [`mapped::MappedTree`] answers
 //!   the full ordered surface zero-copy from the bytes of a saved tree
 //!   file (`SearchTree::save`/`open`, format spec in `docs/FORMAT.md`),
@@ -55,6 +62,7 @@ pub mod facade;
 pub mod forest;
 pub mod implicit;
 pub mod index_only;
+pub mod kernel;
 pub mod map;
 pub mod mapped;
 pub(crate) mod slot;
@@ -72,4 +80,4 @@ pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;
 pub use mapped::MappedTree;
 pub use stepping::SteppingTree;
-pub use workload::UniformKeys;
+pub use workload::{UniformKeys, ZipfKeys, ZipfTable};

@@ -29,9 +29,10 @@
 //! navigation are oblivious to which.
 
 use crate::backend::SearchBackend;
+use crate::kernel::{self, MappedPlane, PosRef};
 use cobtree_core::error::{Error, Result};
 use cobtree_core::format::{self, FixedKey, Geometry};
-use cobtree_core::index::PositionIndex;
+use cobtree_core::index::{PositionIndex, StepPlan};
 use cobtree_core::{NamedLayout, Tree};
 use std::marker::PhantomData;
 use std::path::Path;
@@ -83,6 +84,11 @@ pub struct MappedTree<K> {
     /// `Some` for named-layout files (arithmetic positions); `None` for
     /// table files (positions read from the mapped index region).
     arithmetic: Option<Box<dyn PositionIndex>>,
+    /// Compiled descent plan for named-layout files whose arithmetic
+    /// compiles (see [`cobtree_core::index::StepPlan`]). Deliberately
+    /// *not* a materialized table: open stays zero-copy — table files
+    /// read positions from the mapped index region instead.
+    plan: Option<StepPlan>,
     /// The named layout, when the file carries one (drives re-save).
     named: Option<NamedLayout>,
     label: String,
@@ -136,15 +142,41 @@ impl<K: FixedKey> MappedTree<K> {
             }
             format::DescriptorKind::Table => (None, None),
         };
+        let plan = arithmetic.as_ref().and_then(|ix| ix.compile_plan());
         Ok(Self {
             region,
             geometry,
             tree,
             arithmetic,
             named,
+            plan,
             label,
             _keys: PhantomData,
         })
+    }
+
+    /// The descent plane the kernels run on: keys straight from the
+    /// mapped key region, positions from the compiled plan (named
+    /// layouts), the mapped `u32` index region (table files), or the
+    /// virtual indexer (named layouts that do not compile).
+    #[inline]
+    fn plane(&self) -> MappedPlane<'_, K> {
+        let file = self.region.bytes();
+        let pos = match (&self.plan, &self.arithmetic) {
+            (Some(plan), _) => PosRef::Plan(plan),
+            (None, Some(ix)) => PosRef::Index(ix.as_ref()),
+            (None, None) => {
+                let (off, len) = self.geometry.index;
+                PosRef::Raw32(&file[off..off + len])
+            }
+        };
+        let (koff, klen) = self.geometry.keys;
+        MappedPlane::new(
+            &file[koff..koff + klen],
+            pos,
+            self.geometry.height,
+            self.geometry.key_count,
+        )
     }
 
     /// Tree height `h` of the (padded) complete tree.
@@ -207,9 +239,19 @@ impl<K: FixedKey> MappedTree<K> {
 
     /// Searches for `key`, reading one mapped key per visited node;
     /// returns the layout position of the match.
+    ///
+    /// Runs on the compiled descent kernel; bit-identical to
+    /// [`MappedTree::search_reference`].
     #[inline]
     #[must_use]
     pub fn search(&self, key: K) -> Option<u64> {
+        kernel::search(&self.plane(), key)
+    }
+
+    /// The pre-kernel descent, kept as the verification oracle.
+    #[inline]
+    #[must_use]
+    pub fn search_reference(&self, key: K) -> Option<u64> {
         let h = self.tree.height();
         let n = self.geometry.key_count;
         let mut i = 1u64;
@@ -298,8 +340,32 @@ impl<K: FixedKey> SearchBackend<K> for MappedTree<K> {
         MappedTree::search(self, key)
     }
 
+    fn search_reference(&self, key: K) -> Option<u64> {
+        MappedTree::search_reference(self, key)
+    }
+
     fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         MappedTree::search_traced(self, key, visited)
+    }
+
+    fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
+        kernel::search_traced(&self.plane(), key, visited)
+    }
+
+    fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
+        kernel::search_batch_interleaved(&self.plane(), keys, width, out);
+    }
+
+    fn search_batch_checksum(&self, keys: &[K]) -> u64 {
+        kernel::batch_checksum(&self.plane(), keys, kernel::DEFAULT_LANES)
+    }
+
+    fn lower_bound_rank(&self, key: K) -> u64 {
+        kernel::bound_rank::<_, false>(&self.plane(), key)
+    }
+
+    fn upper_bound_rank(&self, key: K) -> u64 {
+        kernel::bound_rank::<_, true>(&self.plane(), key)
     }
 
     fn key_at_rank(&self, rank: u64) -> Option<K> {

@@ -49,29 +49,29 @@ impl Iterator for UniformKeys {
     }
 }
 
-/// A Zipf-like skewed key workload (extension): rank `r` drawn with
-/// probability ∝ `1/r^s` over a random permutation of the key space, via
-/// rejection-free inverse-CDF on a truncated harmonic series.
+/// The materialized weight table of a Zipf(s) distribution over
+/// `1..=n`: the normalized harmonic CDF. Building it is the O(n · powf)
+/// part of a Zipf workload, and it depends only on `(n, s)` — build it
+/// once and share it across every generator and workload mix that draws
+/// from the same distribution ([`ZipfKeys::from_table`] takes it by
+/// reference; the CDF is behind an `Arc`, so generators clone cheaply).
 #[derive(Debug, Clone)]
-pub struct ZipfKeys {
-    rng: ChaCha8Rng,
-    cdf: Vec<f64>,
-    perm: Vec<u64>,
+pub struct ZipfTable {
+    n: u64,
+    cdf: std::sync::Arc<[f64]>,
 }
 
-impl ZipfKeys {
-    /// Zipf(s) over `1..=n` with ranks shuffled by `seed` (so hot keys are
-    /// spread over the tree rather than clustered at small in-order ranks).
+impl ZipfTable {
+    /// Builds the normalized CDF of Zipf(s) over `1..=n`.
     ///
     /// # Panics
     /// Panics if `n == 0` or `n > 2^24` (the CDF is materialized).
     #[must_use]
-    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+    pub fn new(n: u64, s: f64) -> Self {
         assert!(
             (1..=(1 << 24)).contains(&n),
             "materialized Zipf needs n <= 2^24"
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
         for r in 1..=n {
@@ -82,9 +82,53 @@ impl ZipfKeys {
         for v in &mut cdf {
             *v /= total;
         }
-        let mut perm: Vec<u64> = (1..=n).collect();
+        Self { n, cdf: cdf.into() }
+    }
+
+    /// The key-space size `n` the table was built for.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A Zipf-like skewed key workload (extension): rank `r` drawn with
+/// probability ∝ `1/r^s` over a random permutation of the key space, via
+/// rejection-free inverse-CDF on a truncated harmonic series.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    rng: ChaCha8Rng,
+    cdf: std::sync::Arc<[f64]>,
+    perm: Vec<u64>,
+}
+
+impl ZipfKeys {
+    /// Zipf(s) over `1..=n` with ranks shuffled by `seed` (so hot keys are
+    /// spread over the tree rather than clustered at small in-order ranks).
+    ///
+    /// Builds a fresh weight table; callers drawing several workloads
+    /// from one distribution should build a [`ZipfTable`] once and use
+    /// [`ZipfKeys::from_table`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > 2^24` (the CDF is materialized).
+    #[must_use]
+    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+        Self::from_table(&ZipfTable::new(n, s), seed)
+    }
+
+    /// Zipf keys drawing from a pre-built weight table (shared, not
+    /// rebuilt); only the rank permutation depends on `seed`.
+    #[must_use]
+    pub fn from_table(table: &ZipfTable, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut perm: Vec<u64> = (1..=table.n).collect();
         perm.shuffle(&mut rng);
-        Self { rng, cdf, perm }
+        Self {
+            rng,
+            cdf: table.cdf.clone(),
+            perm,
+        }
     }
 }
 
@@ -257,6 +301,18 @@ mod tests {
             .flatten()
             .collect();
         assert!(zipf.len() < uniform.len());
+    }
+
+    #[test]
+    fn zipf_table_reuse_matches_fresh_generator() {
+        let table = ZipfTable::new(3000, 1.2);
+        assert_eq!(table.n(), 3000);
+        let fresh: Vec<u64> = ZipfKeys::new(3000, 1.2, 9).take(2000).collect();
+        let shared: Vec<u64> = ZipfKeys::from_table(&table, 9).take(2000).collect();
+        assert_eq!(fresh, shared);
+        // Different seeds over one table draw different streams.
+        let other: Vec<u64> = ZipfKeys::from_table(&table, 10).take(2000).collect();
+        assert_ne!(shared, other);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Property tests pinning the compiled descent kernels to the slow
+//! paths they replace: result positions, visited traces and batch
+//! checksums must be **bit-identical** across all 13 named layouts and
+//! all 4 storage backends (explicit, implicit, index-only, and the
+//! mapped backend opened from the implicit tree's file image),
+//! including supremum-padded trees, and the interleaved kernel must
+//! agree at every width — including batches shorter than the width.
+
+use cobtree_core::NamedLayout;
+use cobtree_search::{SearchBackend, SearchTree, Storage};
+use proptest::prelude::*;
+
+fn arb_named() -> impl Strategy<Value = NamedLayout> {
+    proptest::sample::select(NamedLayout::ALL.to_vec())
+}
+
+/// The four storage backends over one (usually padded) key set: the
+/// three the builder constructs plus the mapped backend served from the
+/// implicit tree's file bytes.
+fn all_backends(layout: NamedLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
+    let mut trees: Vec<SearchTree<u64>> = Storage::ALL
+        .iter()
+        .map(|&storage| {
+            SearchTree::builder()
+                .layout(layout)
+                .storage(storage)
+                .keys(keys.iter().copied())
+                .build()
+                .expect("parity tree")
+        })
+        .collect();
+    let bytes = trees
+        .iter()
+        .find(|t| t.storage() == Storage::Implicit)
+        .expect("implicit built")
+        .to_file_bytes()
+        .expect("encode");
+    trees.push(SearchTree::open_bytes(bytes).expect("reopen"));
+    trees
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Point parity: kernel `search` and `search_traced_kernel` agree
+    /// with the slow `search_reference` / `search_traced` on result
+    /// position *and* visited position sequence, for hits, misses, and
+    /// probes landing in the padding region.
+    #[test]
+    fn kernel_point_search_and_trace_match_slow_path(
+        layout in arb_named(),
+        n in 3u64..=180,
+        mult in 1u64..32,
+        probes in proptest::collection::vec(0u64..8_000, 48),
+    ) {
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        for tree in all_backends(layout, &keys) {
+            let storage = tree.storage();
+            let (mut slow, mut fast) = (Vec::new(), Vec::new());
+            for probe in probes.iter().copied().chain(keys.iter().copied()) {
+                prop_assert_eq!(
+                    tree.search(probe),
+                    tree.search_reference(probe),
+                    "{}/{} result for {}", layout, storage, probe
+                );
+                slow.clear();
+                fast.clear();
+                let a = tree.search_traced(probe, &mut slow);
+                let b = tree.search_traced_kernel(probe, &mut fast);
+                prop_assert_eq!(a, b, "{}/{} traced result for {}", layout, storage, probe);
+                prop_assert_eq!(&slow, &fast, "{}/{} trace for {}", layout, storage, probe);
+            }
+        }
+    }
+
+    /// Checksum parity: the shared interleaved checksum kernel equals
+    /// the slow per-probe accumulation on every backend.
+    #[test]
+    fn kernel_checksum_matches_slow_accumulation(
+        layout in arb_named(),
+        n in 3u64..=180,
+        mult in 1u64..32,
+        probes in proptest::collection::vec(0u64..8_000, 96),
+    ) {
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        for tree in all_backends(layout, &keys) {
+            let slow = probes
+                .iter()
+                .filter_map(|&p| tree.search_reference(p))
+                .fold(0u64, u64::wrapping_add);
+            prop_assert_eq!(
+                tree.search_batch_checksum(&probes),
+                slow,
+                "{}/{}", layout, tree.storage()
+            );
+        }
+    }
+
+    /// Interleaved parity at W ∈ {1, 3, 8, 16}, including batches
+    /// shorter than the width and the empty batch.
+    #[test]
+    fn interleaved_matches_scalar_at_every_width(
+        layout in arb_named(),
+        n in 3u64..=180,
+        mult in 1u64..32,
+        probes in proptest::collection::vec(0u64..8_000, 40),
+    ) {
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        for tree in all_backends(layout, &keys) {
+            let scalar: Vec<Option<u64>> = probes.iter().map(|&p| tree.search(p)).collect();
+            let mut out = Vec::new();
+            for width in [1usize, 3, 8, 16] {
+                tree.search_batch_interleaved(&probes, width, &mut out);
+                prop_assert_eq!(&out, &scalar, "{}/{} w={}", layout, tree.storage(), width);
+                // Batch strictly shorter than the interleave width.
+                let short = width.saturating_sub(1).min(probes.len());
+                tree.search_batch_interleaved(&probes[..short], width, &mut out);
+                prop_assert_eq!(&out, &scalar[..short].to_vec(), "{}/{} short w={}", layout, tree.storage(), width);
+            }
+            tree.search_batch_interleaved(&[], 8, &mut out);
+            prop_assert!(out.is_empty());
+        }
+    }
+
+    /// The kernel bound-rank descents (implicit + mapped overrides)
+    /// agree with a sorted-vector oracle through the facade's ordered
+    /// API, padding included.
+    #[test]
+    fn kernel_bound_ranks_match_sorted_oracle(
+        layout in arb_named(),
+        n in 3u64..=180,
+        mult in 1u64..32,
+        probes in proptest::collection::vec(0u64..8_000, 48),
+    ) {
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        for tree in all_backends(layout, &keys) {
+            for &p in &probes {
+                let lb = keys.partition_point(|&k| k < p) as u64;
+                let ub = keys.partition_point(|&k| k <= p) as u64;
+                prop_assert_eq!(tree.rank(p), lb, "{}/{} rank({})", layout, tree.storage(), p);
+                prop_assert_eq!(
+                    tree.lower_bound(p),
+                    keys.get(lb as usize).copied(),
+                    "{}/{} lower_bound({})", layout, tree.storage(), p
+                );
+                prop_assert_eq!(
+                    tree.upper_bound(p),
+                    keys.get(ub as usize).copied(),
+                    "{}/{} upper_bound({})", layout, tree.storage(), p
+                );
+            }
+        }
+    }
+}
+
+/// Forest: the interleaved fan-out answers exactly like routing and
+/// searching each probe individually, on sorted and unsorted batches.
+#[test]
+fn forest_interleaved_batch_matches_point_lookups() {
+    use cobtree_search::Forest;
+    let keys: Vec<u64> = (1..=5_000u64).map(|k| k * 2).collect();
+    let forest = Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(4)
+        .keys(keys.iter().copied())
+        .build()
+        .expect("forest");
+    // Unsorted probe order, hits and misses interleaved.
+    let probes: Vec<u64> = (0..3_000u64)
+        .map(|i| (i * 2_654_435_761) % 11_000)
+        .collect();
+    let expect: Vec<Option<(usize, u64)>> = probes
+        .iter()
+        .map(|&p| {
+            forest
+                .route(p)
+                .and_then(|(shard, tree)| tree.search(p).map(|pos| (shard, pos)))
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (width, threads) in [(1, 1), (8, 1), (8, 4), (16, 3)] {
+        forest.par_search_batch_interleaved(&probes, width, threads, &mut out);
+        assert_eq!(out, expect, "w={width} t={threads}");
+    }
+    // Sorted input must agree with the sorted dispatch path too.
+    let mut sorted = probes.clone();
+    sorted.sort_unstable();
+    let mut via_sorted = Vec::new();
+    forest
+        .par_search_batch(&sorted, 2, &mut via_sorted)
+        .expect("ascending");
+    forest.par_search_batch_interleaved(&sorted, 8, 2, &mut out);
+    assert_eq!(out, via_sorted);
+}
