@@ -9,18 +9,23 @@
 //! descent-kernel comparison (pre-kernel loop vs compiled scalar kernel
 //! vs interleaved kernel, checksum parity asserted) and writes
 //! `BENCH_kernel.json` alongside; the Zipf weight table is built once
-//! and shared by both reports.
+//! and shared by both reports. Unless `--no-tiered` is passed it
+//! finally runs the tiered read-write mix (read-only forest baseline,
+//! idle tiered engine, tiered engine under a concurrent writer) and
+//! writes `BENCH_tiered.json`.
 //!
 //! ```text
 //! throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4]
 //!            [--span N] [--zipf S] [--seed N] [--heap] [--out FILE]
 //!            [--no-kernel] [--kernel-out FILE]
+//!            [--no-tiered] [--tiered-out FILE]
 //! ```
 
 use cobtree_analysis::kernel_bench::{self, KernelBenchConfig};
 use cobtree_analysis::throughput::{self, ThroughputConfig};
+use cobtree_analysis::tiered_bench::{self, TieredBenchConfig};
 use cobtree_search::workload::ZipfTable;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     value
@@ -34,6 +39,8 @@ fn main() {
     let mut out = PathBuf::from("BENCH_forest.json");
     let mut kernel_out = PathBuf::from("BENCH_kernel.json");
     let mut run_kernel = true;
+    let mut tiered_out = PathBuf::from("BENCH_tiered.json");
+    let mut run_tiered = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -60,11 +67,15 @@ fn main() {
                 kernel_out = PathBuf::from(parse::<String>("--kernel-out", args.next()));
             }
             "--no-kernel" => run_kernel = false,
+            "--tiered-out" => {
+                tiered_out = PathBuf::from(parse::<String>("--tiered-out", args.next()));
+            }
+            "--no-tiered" => run_tiered = false,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--shards N] [--keys N] [--ops N] [--threads 1,2,4] \
                      [--span N] [--zipf S] [--seed N] [--heap] [--out FILE] \
-                     [--no-kernel] [--kernel-out FILE]"
+                     [--no-kernel] [--kernel-out FILE] [--no-tiered] [--tiered-out FILE]"
                 );
                 return;
             }
@@ -107,9 +118,15 @@ fn main() {
     throughput::write_json(&report, &out).expect("write JSON artifact");
     println!("written to {}", out.display());
 
-    if !run_kernel {
-        return;
+    if run_kernel {
+        run_kernel_bench(&cfg, &zipf_table, &kernel_out);
     }
+    if run_tiered {
+        run_tiered_bench(&cfg, &tiered_out);
+    }
+}
+
+fn run_kernel_bench(cfg: &ThroughputConfig, zipf_table: &ZipfTable, kernel_out: &Path) {
     let kcfg = KernelBenchConfig {
         keys: cfg.keys,
         ops: cfg.ops,
@@ -122,7 +139,7 @@ fn main() {
         "[descent kernels: {} keys, {} probes/mix, widths {:?}]",
         kcfg.keys, kcfg.ops, kcfg.widths
     );
-    let kreport = kernel_bench::run(&kcfg, Some(&zipf_table));
+    let kreport = kernel_bench::run(&kcfg, Some(zipf_table));
     println!(
         "{:<9} {:<8} {:<16} {:>14}",
         "storage", "mix", "path", "ops_per_sec"
@@ -137,6 +154,40 @@ fn main() {
         "kernel speedup {:.2}x, interleaved speedup {:.2}x (uniform points, implicit, vs reference loop)",
         kreport.kernel_speedup, kreport.interleaved_speedup
     );
-    kernel_bench::write_json(&kreport, &kernel_out).expect("write kernel JSON artifact");
+    kernel_bench::write_json(&kreport, kernel_out).expect("write kernel JSON artifact");
     println!("written to {}", kernel_out.display());
+}
+
+fn run_tiered_bench(cfg: &ThroughputConfig, tiered_out: &Path) {
+    let mut tcfg = TieredBenchConfig::ci();
+    tcfg.shards = cfg.shards;
+    tcfg.keys = cfg.keys;
+    tcfg.reads = cfg.ops;
+    tcfg.layout = cfg.layout;
+    tcfg.seed = cfg.seed;
+    eprintln!(
+        "[tiered read-write: {} shards x {} keys, {} reads/phase, {} writes]",
+        tcfg.shards, tcfg.keys, tcfg.reads, tcfg.writes
+    );
+    let treport = tiered_bench::run(&tcfg);
+    println!(
+        "{:<16} {:>14} {:>10} {:>10} {:>9}",
+        "phase", "ops_per_sec", "p50_ns", "p99_ns", "hit_rate"
+    );
+    for p in &treport.phases {
+        println!(
+            "{:<16} {:>14.0} {:>10.0} {:>10.0} {:>9.3}",
+            p.phase, p.ops_per_sec, p.p50_ns, p.p99_ns, p.hit_rate
+        );
+    }
+    println!(
+        "mixed read p99 vs read-only: {:.2}x ({} writes at {:.0} writes/s, {} flushes, final epoch {})",
+        treport.read_p99_ratio_vs_readonly,
+        treport.write_ops,
+        treport.writes_per_sec,
+        treport.flushes,
+        treport.final_epoch
+    );
+    tiered_bench::write_json(&treport, tiered_out).expect("write tiered JSON artifact");
+    println!("written to {}", tiered_out.display());
 }

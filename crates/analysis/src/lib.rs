@@ -26,11 +26,18 @@
 //! ```text
 //! cargo run --release -p cobtree-analysis --bin throughput -- --threads 1,2,4
 //! ```
+//!
+//! The [`tiered_bench`] module measures the write path's cost to
+//! readers — point-read p50/p99 against a read-only mapped forest, an
+//! idle tiered engine, and a tiered engine absorbing concurrent writes
+//! with background compaction — and writes `BENCH_tiered.json` (same
+//! driver binary, `--tiered-out FILE` / `--no-tiered`).
 
 pub mod experiments;
 pub mod kernel_bench;
 pub mod report;
 pub mod throughput;
+pub mod tiered_bench;
 pub mod timing;
 
 pub use experiments::Config;

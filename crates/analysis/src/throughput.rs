@@ -255,7 +255,7 @@ fn scan_cell(
     (checksum, start.elapsed().as_nanos() as u64, latencies)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -263,7 +263,7 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)] as f64
 }
 
-fn finite(v: f64) -> f64 {
+pub(crate) fn finite(v: f64) -> f64 {
     if v.is_finite() {
         v
     } else {

@@ -20,10 +20,13 @@
 //! exactly as [`Forest`] routes it — so the counters model N mapped
 //! shard files served side by side, and a one-shard forest replays
 //! *identically* to the unsharded backend (the multi-tree parity test
-//! below pins that).
+//! below pins that). [`replay_tiered_point`] extends the discipline to
+//! the tiered write engine's merged read path: buffer-resolved probes
+//! cost no modeled traffic, base-resolved probes replay exactly like
+//! the read-only forest.
 
 use crate::hierarchy::CacheHierarchy;
-use cobtree_search::{Forest, SearchBackend};
+use cobtree_search::{Forest, SearchBackend, TieredSnapshot};
 
 /// Searches every key on `backend`, feeding each visited position
 /// (scaled by `node_bytes`, offset by `base`) through the hierarchy.
@@ -253,6 +256,53 @@ pub fn replay_forest_sorted_batch<K: Copy + Ord>(
             for &p in &visited {
                 hierarchy.access(shard_base + p * node_bytes);
             }
+        }
+    }
+    found
+}
+
+/// Replays point lookups over a **tiered engine snapshot**: probes the
+/// buffer tiers first (the memtable and frozen buffer resolve a probe
+/// with zero modeled memory traffic — they are small and hot by
+/// construction), and only probes the buffers leave unresolved descend
+/// into the snapshot's base forest, traced and addressed exactly like
+/// [`replay_forest_point`]. With empty buffers this replays
+/// *bit-identically* to the read-only forest replay — the merged read
+/// path's cache parity contract (pinned by a test below). Returns the
+/// number of probes found live.
+pub fn replay_tiered_point<K: Copy + Ord>(
+    hierarchy: &mut CacheHierarchy,
+    snapshot: &TieredSnapshot<K>,
+    node_bytes: u64,
+    base: u64,
+    keys: &[K],
+) -> u64 {
+    let mut found = 0u64;
+    let Some(forest) = snapshot.base() else {
+        // Memtable-only engine: every probe resolves in the buffers.
+        return keys
+            .iter()
+            .filter(|&&k| snapshot.buffer_lookup(k) == Some(true))
+            .count() as u64;
+    };
+    let stride = forest_shard_stride(forest, node_bytes);
+    let height = forest.shards().map(|t| t.height()).max().unwrap_or(0);
+    let mut visited = Vec::with_capacity(height as usize);
+    for &key in keys {
+        if let Some(live) = snapshot.buffer_lookup(key) {
+            found += u64::from(live);
+            continue;
+        }
+        let Some((shard, tree)) = forest.route(key) else {
+            continue;
+        };
+        visited.clear();
+        if tree.search_traced(key, &mut visited).is_some() {
+            found += 1;
+        }
+        let shard_base = base + shard as u64 * stride;
+        for &p in &visited {
+            hierarchy.access(shard_base + p * node_bytes);
         }
     }
     found
@@ -513,5 +563,76 @@ mod tests {
         let b = replay_sorted_batches(&mut file_sim, &mapped, 8, 0, &batches);
         assert_eq!(a, b);
         assert_eq!(heap_sim.level_stats(0), file_sim.level_stats(0));
+    }
+
+    #[test]
+    fn tiered_replay_with_empty_buffers_matches_forest_replay() {
+        // The merged read path's cache parity contract: an engine whose
+        // buffers are drained replays bit-identically to the read-only
+        // forest over the same keys — the write path costs nothing once
+        // compacted.
+        use cobtree_search::TieredForest;
+        let keys: Vec<u64> = (1..=4000u64).map(|k| k * 3).collect();
+        let forest = Forest::builder()
+            .layout(NamedLayout::MinWep)
+            .shards(4)
+            .keys(keys.iter().copied())
+            .build()
+            .unwrap();
+        let engine = TieredForest::<u64>::builder()
+            .layout(NamedLayout::MinWep)
+            .shards(4)
+            .keys(keys.iter().copied())
+            .build()
+            .unwrap();
+        let probes = UniformKeys::new(13_000, 23).take_vec(10_000);
+
+        let mut read_only = presets::westmere_l1_l2();
+        let a = replay_forest_point(&mut read_only, &forest, 8, 0, &probes);
+        let mut tiered = presets::westmere_l1_l2();
+        let b = replay_tiered_point(&mut tiered, &engine.snapshot(), 8, 0, &probes);
+        assert_eq!(a, b, "found counts diverge");
+        for level in 0..2 {
+            assert_eq!(
+                read_only.level_stats(level),
+                tiered.level_stats(level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_replay_resolves_buffered_probes_without_traffic() {
+        use cobtree_search::TieredForest;
+        let engine = TieredForest::<u64>::builder()
+            .shards(2)
+            .keys((1..=500u64).map(|k| k * 4))
+            .build()
+            .unwrap();
+        engine.insert(5); // buffered insert
+        engine.remove(8); // tombstone over a base key
+        let snap = engine.snapshot();
+
+        // Buffer-resolved probes (a live buffered insert, a tombstoned
+        // base key) produce zero modeled accesses.
+        let mut sim = presets::westmere_l1_l2();
+        let found = replay_tiered_point(&mut sim, &snap, 8, 0, &[5, 8]);
+        assert_eq!(found, 1, "insert live, tombstone dead");
+        assert_eq!(sim.level_stats(0).accesses, 0);
+
+        // A base-resolved probe descends into its routed shard.
+        let mut sim = presets::westmere_l1_l2();
+        assert_eq!(replay_tiered_point(&mut sim, &snap, 8, 0, &[12]), 1);
+        assert!(sim.level_stats(0).accesses > 0);
+
+        // A memtable-only engine resolves everything in the buffers.
+        let buffered = TieredForest::<u64>::builder().build().unwrap();
+        buffered.insert(9);
+        let mut sim = presets::westmere_l1_l2();
+        assert_eq!(
+            replay_tiered_point(&mut sim, &buffered.snapshot(), 8, 0, &[9, 10]),
+            1
+        );
+        assert_eq!(sim.level_stats(0).accesses, 0);
     }
 }

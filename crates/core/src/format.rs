@@ -680,11 +680,22 @@ fn key_width_of(tag: u8) -> usize {
 /// The four magic bytes every forest manifest starts with.
 pub const FOREST_MAGIC: [u8; 4] = *b"COBF";
 
-/// Newest manifest version this build reads and writes.
+/// The static-forest manifest version ([`encode_manifest`] writes it;
+/// both parsers accept it).
 pub const FOREST_VERSION: u16 = 1;
 
-/// Fixed manifest header size in bytes; shard entries start here.
+/// The tiered-engine manifest version: adds the epoch counter, the
+/// memtable flush record and per-shard file generations
+/// ([`encode_manifest_v2`] writes it; both parsers accept it).
+pub const FOREST_VERSION_V2: u16 = 2;
+
+/// Fixed version-1 manifest header size in bytes; shard entries start
+/// here.
 pub const MANIFEST_HEADER_LEN: usize = 40;
+
+/// Fixed version-2 manifest header size in bytes (the extra 24 bytes
+/// hold the epoch and the memtable flush record).
+pub const MANIFEST_V2_HEADER_LEN: usize = 64;
 
 /// One shard's row in a forest manifest: how many keys the shard holds
 /// and — for occupied shards — the smallest and largest of them (the
@@ -789,14 +800,194 @@ pub fn encode_manifest<K: FixedKey>(shards: &[ShardManifest<K>]) -> Result<Vec<u
 /// Parses and fully validates a forest manifest: magic, version,
 /// endianness, checksums, key type, and the same shard-row invariants
 /// [`encode_manifest`] enforces. Returns the shard rows in partition
-/// order.
+/// order. Accepts both version-1 and version-2 manifests; version-2
+/// extras (epoch, flush record, generations) are dropped — use
+/// [`parse_manifest_v2`] to keep them.
 ///
 /// # Errors
 /// [`Error::BadMagic`] / [`Error::Truncated`] /
 /// [`Error::UnsupportedVersion`] / [`Error::ChecksumMismatch`] /
 /// [`Error::KeyTypeMismatch`] / [`Error::Malformed`] /
-/// [`Error::EmptyKeys`] — never a panic on untrusted bytes.
+/// [`Error::EmptyKeys`] — never a panic on untrusted bytes. A
+/// version-2 manifest recording zero keys (legal for a drained tiered
+/// engine) is [`Error::EmptyKeys`] here, because the static forest
+/// this row shape describes cannot be empty.
 pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>> {
+    let m = parse_manifest_v2::<K>(bytes)?;
+    if m.total_keys() == 0 {
+        return Err(Error::EmptyKeys);
+    }
+    Ok(m.shards
+        .into_iter()
+        .map(|r| ShardManifest {
+            key_count: r.key_count,
+            bounds: r.bounds,
+        })
+        .collect())
+}
+
+/// One shard's row in a **version-2** manifest: the v1 fence data plus
+/// the shard file's *generation* — a store-wide unique file id, so a
+/// compaction can publish rebuilt shards under fresh names while
+/// carrying untouched shard files forward without renaming them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecord<K> {
+    /// Keys stored in this shard's tree file (`0` for an empty slot).
+    pub key_count: u64,
+    /// `(first_key, last_key)` of the shard, `None` when empty.
+    pub bounds: Option<(K, K)>,
+    /// File generation the shard was written under (`0` for empty
+    /// slots and for rows converted from a version-1 manifest).
+    pub generation: u64,
+}
+
+/// A parsed **version-2** forest manifest: the epoch counter that
+/// orders published states, the memtable flush record (how many buffer
+/// insertions and tombstones the publishing flush applied), and the
+/// generation-stamped shard rows. Version-1 bytes parse into this
+/// shape with `epoch`, the flush record and every generation zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestV2<K> {
+    /// Publication counter: each successful flush/compaction writes a
+    /// new manifest with the next epoch. `0` only for v1 conversions.
+    pub epoch: u64,
+    /// Memtable insertions applied by the flush that published this
+    /// epoch (observability; not needed to rebuild the router).
+    pub flushed_inserts: u64,
+    /// Tombstones applied by that flush.
+    pub flushed_tombstones: u64,
+    /// Shard rows in partition order.
+    pub shards: Vec<ShardRecord<K>>,
+}
+
+impl<K> ManifestV2<K> {
+    /// Total key count across the rows. Unlike version 1, zero is
+    /// legal: it represents a fully drained tiered engine.
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.shards.iter().map(|r| r.key_count).sum()
+    }
+}
+
+fn manifest_stride_v2<K: FixedKey>() -> usize {
+    // flag byte + key count + generation + first + last.
+    1 + 8 + 8 + 2 * K::WIDTH
+}
+
+/// Shared row-shape validation for both manifest encoders: bounds
+/// agree with the count, `first <= last`, occupied fences strictly
+/// ascending. Returns the total key count.
+fn check_manifest_rows<K: Ord + Copy>(
+    rows: impl Iterator<Item = (u64, Option<(K, K)>)>,
+) -> Result<u64> {
+    let mut total = 0u64;
+    let mut prev_last: Option<K> = None;
+    for (i, (key_count, bounds)) in rows.enumerate() {
+        match (key_count, bounds) {
+            (0, None) => {}
+            (0, Some(_)) | (_, None) => {
+                return Err(Error::Malformed {
+                    detail: format!("shard {i}: key count and bounds disagree about emptiness"),
+                });
+            }
+            (_, Some((first, last))) => {
+                if first > last {
+                    return Err(Error::Malformed {
+                        detail: format!("shard {i}: first key sorts above last key"),
+                    });
+                }
+                if let Some(p) = prev_last {
+                    if first <= p {
+                        return Err(Error::Malformed {
+                            detail: format!("shard {i}: fence overlaps the previous shard"),
+                        });
+                    }
+                }
+                prev_last = Some(last);
+            }
+        }
+        total = total.checked_add(key_count).ok_or(Error::Malformed {
+            detail: "manifest key counts overflow u64".into(),
+        })?;
+    }
+    Ok(total)
+}
+
+/// Serializes a **version-2** forest manifest: the v1 row data plus
+/// the epoch counter, the memtable flush record and per-shard file
+/// generations, sealed with the same FNV-1a header/content checksum
+/// discipline. Unlike [`encode_manifest`], a zero total key count is
+/// accepted — a tiered engine whose every key was tombstoned away
+/// still publishes a (fully empty) state.
+///
+/// # Errors
+/// [`Error::Malformed`] for zero shards, inverted bounds, a
+/// count/bounds disagreement, occupied shards out of ascending fence
+/// order, or a non-zero generation on an empty slot.
+pub fn encode_manifest_v2<K: FixedKey>(manifest: &ManifestV2<K>) -> Result<Vec<u8>> {
+    let shards = &manifest.shards;
+    if shards.is_empty() {
+        return Err(Error::Malformed {
+            detail: "a forest manifest needs at least one shard".into(),
+        });
+    }
+    if shards.len() > u32::MAX as usize {
+        return Err(Error::Malformed {
+            detail: format!("{} shards exceed the manifest's u32 ceiling", shards.len()),
+        });
+    }
+    let total = check_manifest_rows(shards.iter().map(|r| (r.key_count, r.bounds)))?;
+    if let Some(i) = shards
+        .iter()
+        .position(|r| r.bounds.is_none() && r.generation != 0)
+    {
+        return Err(Error::Malformed {
+            detail: format!("shard {i}: empty slot carries a non-zero generation"),
+        });
+    }
+
+    let stride = manifest_stride_v2::<K>();
+    let mut out = vec![0u8; MANIFEST_V2_HEADER_LEN + shards.len() * stride];
+    out[0..4].copy_from_slice(&FOREST_MAGIC);
+    out[4..6].copy_from_slice(&FOREST_VERSION_V2.to_le_bytes());
+    out[6..8].copy_from_slice(&ENDIAN_MARK.to_le_bytes());
+    out[8] = K::TAG;
+    // bytes 9..12 reserved, zero.
+    out[12..16].copy_from_slice(&(shards.len() as u32).to_le_bytes());
+    out[16..24].copy_from_slice(&total.to_le_bytes());
+    out[24..32].copy_from_slice(&manifest.epoch.to_le_bytes());
+    out[32..40].copy_from_slice(&manifest.flushed_inserts.to_le_bytes());
+    out[40..48].copy_from_slice(&manifest.flushed_tombstones.to_le_bytes());
+    for (i, r) in shards.iter().enumerate() {
+        let off = MANIFEST_V2_HEADER_LEN + i * stride;
+        if let Some((first, last)) = r.bounds {
+            out[off] = 1;
+            out[off + 1..off + 9].copy_from_slice(&r.key_count.to_le_bytes());
+            out[off + 9..off + 17].copy_from_slice(&r.generation.to_le_bytes());
+            first.write_le(&mut out[off + 17..off + 17 + K::WIDTH]);
+            last.write_le(&mut out[off + 17 + K::WIDTH..off + 17 + 2 * K::WIDTH]);
+        }
+    }
+    let content = fnv1a(fnv1a_init(), &out[MANIFEST_V2_HEADER_LEN..]);
+    out[48..56].copy_from_slice(&content.to_le_bytes());
+    let header = fnv1a(fnv1a_init(), &out[..56]);
+    out[56..64].copy_from_slice(&header.to_le_bytes());
+    Ok(out)
+}
+
+/// Parses and fully validates a forest manifest of **either version**,
+/// returning the version-2 view: version-1 bytes surface with `epoch`,
+/// the flush record and every generation zero; version-2 bytes carry
+/// them through. Validation mirrors [`parse_manifest`] (typed errors,
+/// never panics), except that a zero total key count is accepted for
+/// version-2 bytes.
+///
+/// # Errors
+/// [`Error::BadMagic`] / [`Error::Truncated`] /
+/// [`Error::UnsupportedVersion`] / [`Error::ChecksumMismatch`] /
+/// [`Error::KeyTypeMismatch`] / [`Error::Malformed`] /
+/// [`Error::EmptyKeys`] (version-1 bytes only).
+pub fn parse_manifest_v2<K: FixedKey>(bytes: &[u8]) -> Result<ManifestV2<K>> {
     if bytes.len() >= 4 && bytes[0..4] != FOREST_MAGIC {
         return Err(Error::BadMagic {
             got: bytes[0..4].try_into().expect("length checked"),
@@ -809,10 +1000,22 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
         });
     }
     let version = read_u16(bytes, 4);
-    if version == 0 || version > FOREST_VERSION {
+    if version == 0 || version > FOREST_VERSION_V2 {
         return Err(Error::UnsupportedVersion {
             got: version,
-            supported: FOREST_VERSION,
+            supported: FOREST_VERSION_V2,
+        });
+    }
+    let v2 = version == FOREST_VERSION_V2;
+    let header_len = if v2 {
+        MANIFEST_V2_HEADER_LEN
+    } else {
+        MANIFEST_HEADER_LEN
+    };
+    if bytes.len() < header_len {
+        return Err(Error::Truncated {
+            needed: header_len as u64,
+            got: bytes.len() as u64,
         });
     }
     if read_u16(bytes, 6) != ENDIAN_MARK {
@@ -820,7 +1023,10 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
             detail: "endianness marker mismatch in forest manifest".into(),
         });
     }
-    if fnv1a(fnv1a_init(), &bytes[..32]) != read_u64(bytes, 32) {
+    // v1 seals the header hash over bytes 0..32 at offset 32; v2 over
+    // bytes 0..56 at offset 56 (the wider header).
+    let (header_covered, header_at, content_at) = if v2 { (56, 56, 48) } else { (32, 32, 24) };
+    if fnv1a(fnv1a_init(), &bytes[..header_covered]) != read_u64(bytes, header_at) {
         return Err(Error::ChecksumMismatch { region: "header" });
     }
     if bytes[8] != K::TAG {
@@ -840,8 +1046,12 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
             detail: "a forest manifest needs at least one shard".into(),
         });
     }
-    let stride = manifest_stride::<K>();
-    let needed = MANIFEST_HEADER_LEN as u64 + shard_count as u64 * stride as u64;
+    let stride = if v2 {
+        manifest_stride_v2::<K>()
+    } else {
+        manifest_stride::<K>()
+    };
+    let needed = header_len as u64 + shard_count as u64 * stride as u64;
     if (bytes.len() as u64) < needed {
         return Err(Error::Truncated {
             needed,
@@ -856,15 +1066,16 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
             ),
         });
     }
-    if fnv1a(fnv1a_init(), &bytes[MANIFEST_HEADER_LEN..]) != read_u64(bytes, 24) {
+    if fnv1a(fnv1a_init(), &bytes[header_len..]) != read_u64(bytes, content_at) {
         return Err(Error::ChecksumMismatch { region: "content" });
     }
 
+    // Occupied-row payload starts after the flag + key count (+ the v2
+    // generation); empty rows must be all-zero past the flag.
+    let keys_at = if v2 { 17 } else { 9 };
     let mut shards = Vec::with_capacity(shard_count);
-    let mut total = 0u64;
-    let mut prev_last: Option<K> = None;
     for i in 0..shard_count {
-        let off = MANIFEST_HEADER_LEN + i * stride;
+        let off = header_len + i * stride;
         let flag = bytes[off];
         let key_count = read_u64(bytes, off + 1);
         let entry = match flag {
@@ -874,9 +1085,10 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
                         detail: format!("shard {i}: empty shard carries non-zero payload"),
                     });
                 }
-                ShardManifest {
+                ShardRecord {
                     key_count: 0,
                     bounds: None,
+                    generation: 0,
                 }
             }
             1 => {
@@ -885,24 +1097,14 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
                         detail: format!("shard {i}: occupied shard with zero keys"),
                     });
                 }
-                let first = K::read_le(&bytes[off + 9..off + 9 + K::WIDTH]);
-                let last = K::read_le(&bytes[off + 9 + K::WIDTH..off + 9 + 2 * K::WIDTH]);
-                if first > last {
-                    return Err(Error::Malformed {
-                        detail: format!("shard {i}: first key sorts above last key"),
-                    });
-                }
-                if let Some(p) = prev_last {
-                    if first <= p {
-                        return Err(Error::Malformed {
-                            detail: format!("shard {i}: fence overlaps the previous shard"),
-                        });
-                    }
-                }
-                prev_last = Some(last);
-                ShardManifest {
+                let generation = if v2 { read_u64(bytes, off + 9) } else { 0 };
+                let first = K::read_le(&bytes[off + keys_at..off + keys_at + K::WIDTH]);
+                let last =
+                    K::read_le(&bytes[off + keys_at + K::WIDTH..off + keys_at + 2 * K::WIDTH]);
+                ShardRecord {
                     key_count,
                     bounds: Some((first, last)),
+                    generation,
                 }
             }
             other => {
@@ -911,11 +1113,9 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
                 });
             }
         };
-        total = total.checked_add(entry.key_count).ok_or(Error::Malformed {
-            detail: "manifest key counts overflow u64".into(),
-        })?;
         shards.push(entry);
     }
+    let total = check_manifest_rows(shards.iter().map(|r| (r.key_count, r.bounds)))?;
     if total != read_u64(bytes, 16) {
         return Err(Error::Malformed {
             detail: format!(
@@ -924,10 +1124,24 @@ pub fn parse_manifest<K: FixedKey>(bytes: &[u8]) -> Result<Vec<ShardManifest<K>>
             ),
         });
     }
-    if total == 0 {
+    if total == 0 && !v2 {
         return Err(Error::EmptyKeys);
     }
-    Ok(shards)
+    let (epoch, flushed_inserts, flushed_tombstones) = if v2 {
+        (
+            read_u64(bytes, 24),
+            read_u64(bytes, 32),
+            read_u64(bytes, 40),
+        )
+    } else {
+        (0, 0, 0)
+    };
+    Ok(ManifestV2 {
+        epoch,
+        flushed_inserts,
+        flushed_tombstones,
+        shards,
+    })
 }
 
 #[cfg(test)]
@@ -1316,6 +1530,129 @@ mod tests {
                 got: 2
             }
         );
+    }
+
+    fn sample_manifest_v2() -> ManifestV2<u64> {
+        ManifestV2 {
+            epoch: 7,
+            flushed_inserts: 120,
+            flushed_tombstones: 13,
+            shards: vec![
+                ShardRecord {
+                    key_count: 3,
+                    bounds: Some((10, 30)),
+                    generation: 4,
+                },
+                ShardRecord {
+                    key_count: 0,
+                    bounds: None,
+                    generation: 0,
+                },
+                ShardRecord {
+                    key_count: 2,
+                    bounds: Some((40, 50)),
+                    generation: 9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_v2_round_trips_epoch_flush_record_and_generations() {
+        let m = sample_manifest_v2();
+        let bytes = encode_manifest_v2(&m).unwrap();
+        assert_eq!(read_u16(&bytes, 4), FOREST_VERSION_V2);
+        let back = parse_manifest_v2::<u64>(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_keys(), 5);
+        // The v1-shaped view drops the extras but keeps the rows.
+        let rows = parse_manifest::<u64>(&bytes).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].key_count, 3);
+        assert_eq!(rows[0].bounds, Some((10, 30)));
+        assert_eq!(rows[1].bounds, None);
+    }
+
+    /// Backward compatibility: version-1 bytes keep parsing — through
+    /// the original entry point *and* the v2 view, where the epoch,
+    /// flush record and generations surface as zero.
+    #[test]
+    fn manifest_v1_files_still_parse_after_v2() {
+        let v1 = sample_manifest();
+        let rows = parse_manifest::<u64>(&v1).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].bounds, Some((40, 50)));
+        let m = parse_manifest_v2::<u64>(&v1).unwrap();
+        assert_eq!(m.epoch, 0);
+        assert_eq!(m.flushed_inserts, 0);
+        assert_eq!(m.flushed_tombstones, 0);
+        assert!(m.shards.iter().all(|r| r.generation == 0));
+        assert_eq!(m.total_keys(), 5);
+    }
+
+    #[test]
+    fn manifest_v2_accepts_a_drained_store_but_v1_view_refuses_it() {
+        let drained = ManifestV2::<u64> {
+            epoch: 3,
+            flushed_inserts: 0,
+            flushed_tombstones: 8,
+            shards: vec![
+                ShardRecord {
+                    key_count: 0,
+                    bounds: None,
+                    generation: 0,
+                };
+                2
+            ],
+        };
+        let bytes = encode_manifest_v2(&drained).unwrap();
+        let back = parse_manifest_v2::<u64>(&bytes).unwrap();
+        assert_eq!(back.total_keys(), 0);
+        assert_eq!(back.epoch, 3);
+        // The static-forest view cannot represent an empty store.
+        assert_eq!(parse_manifest::<u64>(&bytes).unwrap_err(), Error::EmptyKeys);
+    }
+
+    #[test]
+    fn manifest_v2_corruption_and_truncation_fail_typed() {
+        let base = encode_manifest_v2(&sample_manifest_v2()).unwrap();
+        for len in 0..base.len() {
+            let err = parse_manifest_v2::<u64>(&base[..len]).expect_err("truncated manifest");
+            assert!(
+                matches!(
+                    err,
+                    Error::Truncated { .. } | Error::ChecksumMismatch { .. }
+                ),
+                "prefix {len}: unexpected error {err:?}"
+            );
+        }
+        for at in 0..base.len() {
+            let mut f = base.clone();
+            f[at] ^= 0x20;
+            assert!(
+                parse_manifest_v2::<u64>(&f).is_err(),
+                "byte {at}: corruption accepted"
+            );
+        }
+        // A future version is refused with the v2 ceiling.
+        let mut f = base.clone();
+        f[4..6].copy_from_slice(&3u16.to_le_bytes());
+        let header = fnv1a(fnv1a_init(), &f[..56]);
+        f[56..64].copy_from_slice(&header.to_le_bytes());
+        assert_eq!(
+            parse_manifest_v2::<u64>(&f).unwrap_err(),
+            Error::UnsupportedVersion {
+                got: 3,
+                supported: FOREST_VERSION_V2
+            }
+        );
+        // Empty slots must not smuggle a generation.
+        let mut bad = sample_manifest_v2();
+        bad.shards[1].generation = 5;
+        assert!(matches!(
+            encode_manifest_v2(&bad).unwrap_err(),
+            Error::Malformed { .. }
+        ));
     }
 
     #[test]

@@ -23,8 +23,7 @@
 //!
 //! Key count — not tree height — is the sizing parameter: the builder
 //! picks the smallest complete tree that fits and pads the remainder
-//! with supremum sentinels internally (the same scheme
-//! [`crate::LayoutMap`] uses), so any non-empty strictly-sorted key set
+//! with supremum sentinels internally, so any non-empty strictly-sorted key set
 //! works. All three storage backends built from one configuration share
 //! a single position index, so `search` returns the *same* positions —
 //! and [`SearchTree::search_batch_checksum`] the same checksums — no

@@ -308,7 +308,10 @@ impl<K: Ord + Copy> Forest<K> {
         ForestBuilder::default()
     }
 
-    fn assemble(
+    /// Crate-internal constructor from pre-built shard trees — shared
+    /// by the builder, [`Forest::open`] and the tiered engine's
+    /// compaction publisher ([`crate::tiered`]).
+    pub(crate) fn assemble(
         storage: Storage,
         slots: usize,
         counts_by_slot: Vec<u64>,

@@ -47,8 +47,13 @@
 //!   and saves/opens as one `.cobt` file per shard plus a manifest;
 //! * [`stepping`] — the incremental [`stepping::SteppingTree`] descent
 //!   optimization this reproduction adds on top of the paper;
-//! * [`map`] — [`LayoutMap`], a dynamic ordered set over the static
-//!   layouts (sorted insert buffer + tombstones + periodic rebuilds);
+//! * [`tiered`] — the *write path*: [`TieredForest`] layers an
+//!   LSM-style memtable (sorted inserts + tombstones) over an immutable
+//!   `Forest` base, keeps the full ordered surface rank-correct across
+//!   tiers, and compacts in the background into fresh `.cobt` shards
+//!   published by atomic epoch-versioned manifest swap;
+//! * [`map`] — [`LayoutMap`], a minimal dynamic ordered-set facade over
+//!   a single-shard in-memory [`TieredForest`];
 //! * [`workload`] — reproducible workloads: uniform random keys (the
 //!   paper's 10 M random searches), the §II-A affinity-graph random walk,
 //!   and skewed variants for extensions;
@@ -67,6 +72,7 @@ pub mod map;
 pub mod mapped;
 pub(crate) mod slot;
 pub mod stepping;
+pub mod tiered;
 pub mod trace;
 pub mod workload;
 
@@ -80,4 +86,8 @@ pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;
 pub use mapped::MappedTree;
 pub use stepping::SteppingTree;
+pub use tiered::{
+    TierPlace, TieredBuilder, TieredConfig, TieredCursor, TieredForest, TieredHit, TieredRange,
+    TieredSnapshot,
+};
 pub use workload::{UniformKeys, ZipfKeys, ZipfTable};

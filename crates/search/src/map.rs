@@ -1,26 +1,31 @@
-//! `LayoutMap` — a dynamic ordered set on top of static cache-oblivious
-//! layouts.
+//! `LayoutMap` — a minimal dynamic ordered set over the static
+//! cache-oblivious layouts.
 //!
 //! The paper treats static complete trees; real deployments (§I cites
-//! cache-oblivious B-trees) need updates. `LayoutMap` provides the
-//! classical amortized answer: a static laid-out [`SearchTree`] holding
-//! the bulk of the keys, a small sorted insertion buffer, a tombstone
-//! set for deletions, and a full rebuild whenever the side structures
-//! outgrow a fraction of the tree. Lookups stay cache-oblivious on the
-//! bulk; updates cost O(log n) amortized plus periodic O(n) rebuilds.
+//! cache-oblivious B-trees) need updates. Historically this module
+//! carried its own private answer — a sorted insertion buffer, a
+//! tombstone set and a rebuild-on-growth heuristic. That machinery is
+//! now the [`crate::tiered`] subsystem's job: `LayoutMap` is a thin
+//! facade over a single-shard, in-memory [`TieredForest`], kept for its
+//! small `&mut`-style set API and as the simplest possible entry point
+//! to the write path. One write-path story, one set of invariants.
 //!
-//! Since the ordered-query redesign, the bulk is a plain
-//! [`SearchTree`] and every bulk access goes through its public query
-//! API — membership via [`SearchTree::contains`], in-order iteration via
-//! the [`crate::cursor::Range`] cursor ([`SearchTree::range`]) — rather
-//! than a private slot-probing descent. Padding and layout arithmetic
-//! live in one place now.
+//! Lookups stay cache-oblivious on the compacted bulk; updates cost
+//! O(log n) amortized plus the engine's periodic compactions.
 
-use crate::facade::{SearchTree, Storage};
+use crate::forest::Forest;
+use crate::tiered::TieredForest;
 use crate::workload::UniformKeys;
+use cobtree_core::format::FixedKey;
 use cobtree_core::NamedLayout;
+use std::sync::Arc;
 
-/// A dynamic ordered set with cache-oblivious bulk storage.
+/// Memtable entry budget of the facade's engine: small enough that the
+/// bulk absorbs updates promptly, large enough to amortize rebuilds.
+const BUFFER_BUDGET: usize = 256;
+
+/// A dynamic ordered set with cache-oblivious bulk storage — a facade
+/// over a single-shard in-memory [`TieredForest`].
 ///
 /// ```
 /// use cobtree_search::map::LayoutMap;
@@ -36,24 +41,16 @@ use cobtree_core::NamedLayout;
 /// ```
 pub struct LayoutMap<K> {
     layout: NamedLayout,
-    /// The static bulk tree; `None` until the first compaction (or when
-    /// every key was compacted away).
-    bulk: Option<SearchTree<K>>,
-    /// Number of live keys in the bulk (excludes tombstones).
-    bulk_live: usize,
-    /// Pending insertions, sorted.
-    buffer: Vec<K>,
-    /// Keys deleted from the bulk, sorted.
-    tombstones: Vec<K>,
+    tiered: TieredForest<K>,
 }
 
-impl<K: Ord + Copy> Default for LayoutMap<K> {
+impl<K: FixedKey> Default for LayoutMap<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Copy> LayoutMap<K> {
+impl<K: FixedKey> LayoutMap<K> {
     /// Empty map with the MINWEP bulk layout.
     #[must_use]
     pub fn new() -> Self {
@@ -63,25 +60,25 @@ impl<K: Ord + Copy> LayoutMap<K> {
     /// Empty map with a chosen bulk layout (for comparisons).
     #[must_use]
     pub fn with_layout(layout: NamedLayout) -> Self {
-        Self {
-            layout,
-            bulk: None,
-            bulk_live: 0,
-            buffer: Vec::new(),
-            tombstones: Vec::new(),
-        }
+        let tiered = TieredForest::builder()
+            .layout(layout)
+            .shards(1)
+            .memtable_entries(BUFFER_BUDGET)
+            .build()
+            .expect("an empty in-memory engine cannot fail to build");
+        Self { layout, tiered }
     }
 
     /// Number of live keys.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.bulk_live + self.buffer.len()
+        usize::try_from(self.tiered.len()).expect("in-memory set fits usize")
     }
 
     /// `true` when no live keys remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.tiered.is_empty()
     }
 
     /// The bulk layout in use.
@@ -90,101 +87,41 @@ impl<K: Ord + Copy> LayoutMap<K> {
         self.layout
     }
 
-    /// The static bulk tree, when one has been compacted.
+    /// The compacted bulk (the engine's immutable base forest), when
+    /// one has been published.
     #[must_use]
-    pub fn bulk(&self) -> Option<&SearchTree<K>> {
-        self.bulk.as_ref()
+    pub fn bulk(&self) -> Option<Arc<Forest<K>>> {
+        self.tiered.snapshot().base_arc()
     }
 
     /// Membership test.
     #[must_use]
     pub fn contains(&self, key: &K) -> bool {
-        if self.buffer.binary_search(key).is_ok() {
-            return true;
-        }
-        if self.tombstones.binary_search(key).is_ok() {
-            return false;
-        }
-        self.bulk.as_ref().is_some_and(|t| t.contains(*key))
+        self.tiered.contains(*key)
     }
 
     /// Inserts `key`; returns `false` if it was already present.
     pub fn insert(&mut self, key: K) -> bool {
-        if let Ok(t) = self.tombstones.binary_search(&key) {
-            self.tombstones.remove(t);
-            self.bulk_live += 1;
-            self.maybe_rebuild();
-            return true;
-        }
-        if self.contains(&key) {
-            return false;
-        }
-        let at = self.buffer.binary_search(&key).unwrap_err();
-        self.buffer.insert(at, key);
-        self.maybe_rebuild();
-        true
+        self.tiered.insert(key)
     }
 
     /// Removes `key`; returns `false` if it was absent.
     pub fn remove(&mut self, key: &K) -> bool {
-        if let Ok(b) = self.buffer.binary_search(key) {
-            self.buffer.remove(b);
-            return true;
-        }
-        if self.tombstones.binary_search(key).is_ok() {
-            return false;
-        }
-        if self.bulk.as_ref().is_some_and(|t| t.contains(*key)) {
-            let at = self.tombstones.binary_search(key).unwrap_err();
-            self.tombstones.insert(at, *key);
-            self.bulk_live -= 1;
-            self.maybe_rebuild();
-            return true;
-        }
-        false
+        self.tiered.remove(*key)
     }
 
-    /// Sorted iteration over the live keys: the bulk tree's range cursor
-    /// (minus tombstones) merged with the insertion buffer.
+    /// Sorted iteration over the live keys — the engine's three-tier
+    /// merge.
     pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
-        let bulk = self
-            .bulk
-            .as_ref()
-            .map(|t| t.range(..))
-            .into_iter()
-            .flatten()
-            .filter(|k| self.tombstones.binary_search(k).is_err());
-        MergeIter {
-            a: bulk.peekable(),
-            b: self.buffer.iter().copied().peekable(),
-        }
+        let keys: Vec<K> = self.tiered.snapshot().iter().collect();
+        keys.into_iter()
     }
 
-    /// Rebuilds the static tree from all live keys (also shrinks).
+    /// Compacts every buffered update into the bulk (also shrinks).
     pub fn compact(&mut self) {
-        let keys: Vec<K> = self.iter().collect();
-        self.buffer.clear();
-        self.tombstones.clear();
-        self.bulk_live = keys.len();
-        self.bulk = if keys.is_empty() {
-            None
-        } else {
-            Some(
-                SearchTree::builder()
-                    .layout(self.layout)
-                    .storage(Storage::Implicit)
-                    .keys(keys)
-                    .build()
-                    .expect("live keys are strictly sorted and non-empty"),
-            )
-        };
-    }
-
-    fn maybe_rebuild(&mut self) {
-        let side = self.buffer.len() + self.tombstones.len();
-        if side > 8 && side * 4 > self.bulk_live.max(1) {
-            self.compact();
-        }
+        self.tiered
+            .compact()
+            .expect("in-memory compaction cannot fail");
     }
 
     /// Fills the map with `n` random distinct u64-convertible keys — test
@@ -198,34 +135,6 @@ impl<K: Ord + Copy> LayoutMap<K> {
                 break;
             }
             self.insert(K::from(k));
-        }
-    }
-}
-
-struct MergeIter<A: Iterator<Item = K>, B: Iterator<Item = K>, K> {
-    a: std::iter::Peekable<A>,
-    b: std::iter::Peekable<B>,
-}
-
-impl<A, B, K> Iterator for MergeIter<A, B, K>
-where
-    K: Ord + Copy,
-    A: Iterator<Item = K>,
-    B: Iterator<Item = K>,
-{
-    type Item = K;
-
-    fn next(&mut self) -> Option<K> {
-        match (self.a.peek(), self.b.peek()) {
-            (Some(x), Some(y)) => {
-                if x <= y {
-                    self.a.next()
-                } else {
-                    self.b.next()
-                }
-            }
-            (Some(_), None) => self.a.next(),
-            (None, _) => self.b.next(),
         }
     }
 }

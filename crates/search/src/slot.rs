@@ -1,5 +1,6 @@
-//! Padding-aware key slots, shared by [`crate::LayoutMap`] and the
-//! [`crate::SearchTree`] facade.
+//! Padding-aware key slots, used by the [`crate::SearchTree`] facade
+//! (and through it by every engine that builds trees — the forest and
+//! the tiered write path included).
 //!
 //! The paper's trees are complete (`2^h − 1` nodes); arbitrary key
 //! counts are supported by padding the key sequence with *supremum*

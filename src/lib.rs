@@ -165,6 +165,8 @@ pub use cobtree_core::{Error, Result};
 pub use cobtree_search::{
     range_of, Cursor, Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, LayoutSource,
     MappedTree, Range, SearchBackend, SearchTree, SearchTreeBuilder, ShardRouter, Storage,
+    TierPlace, TieredBuilder, TieredConfig, TieredCursor, TieredForest, TieredHit, TieredRange,
+    TieredSnapshot,
 };
 
 /// Compiles and runs the README's code examples as doctests.
