@@ -21,11 +21,10 @@
 //! in-memory implicit tree and the same tree served from mapped file
 //! bytes.
 
-use crate::throughput::json_f;
+use crate::json::{ops_per_sec as rate, safe_div, JsonObject};
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::{UniformKeys, ZipfKeys, ZipfTable};
 use cobtree_search::{SearchTree, Storage};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
@@ -281,65 +280,41 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
     }
 }
 
-fn rate(ops: usize, wall_ns: u64) -> f64 {
-    let v = ops as f64 / (wall_ns as f64 / 1e9);
-    if v.is_finite() {
-        v
-    } else {
-        0.0
-    }
-}
-
-fn safe_div(a: f64, b: f64) -> f64 {
-    let v = a / b;
-    if v.is_finite() {
-        v
-    } else {
-        0.0
-    }
-}
-
 /// Renders the report as the `BENCH_kernel.json` artifact (stable field
-/// order, finite numbers, schema-free parseable).
+/// order, finite numbers, schema-free parseable — the shared
+/// [`crate::json`] writer).
 #[must_use]
 pub fn to_json(r: &KernelReport) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"descent_kernel\",\n");
-    s.push_str("  \"schema_version\": 1,\n");
-    let _ = writeln!(
-        s,
-        "  \"config\": {{\"keys\": {}, \"ops\": {}, \"layout\": \"{}\", \"zipf_s\": {}}},",
-        r.keys,
-        r.ops,
-        r.layout,
-        json_f(r.zipf_s),
-    );
-    s.push_str("  \"paths\": [\n");
-    for (i, p) in r.points.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"storage\": \"{}\", \"mix\": \"{}\", \"path\": \"{}\", \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {}, \"checksum\": {}}}",
-            p.storage,
-            p.mix,
-            p.path,
-            p.ops,
-            p.wall_ns,
-            json_f(p.ops_per_sec),
-            p.checksum,
-        );
-        s.push_str(if i + 1 < r.points.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ],\n");
-    let _ = writeln!(s, "  \"kernel_speedup\": {},", json_f(r.kernel_speedup),);
-    let _ = writeln!(
-        s,
-        "  \"interleaved_speedup\": {}",
-        json_f(r.interleaved_speedup),
-    );
-    s.push('}');
-    s.push('\n');
-    s
+    JsonObject::new()
+        .with("bench", "descent_kernel")
+        .with("schema_version", 1u64)
+        .with(
+            "config",
+            JsonObject::new()
+                .with("keys", r.keys)
+                .with("ops", r.ops)
+                .with("layout", r.layout.as_str())
+                .with("zipf_s", r.zipf_s),
+        )
+        .with(
+            "paths",
+            r.points
+                .iter()
+                .map(|p| {
+                    JsonObject::new()
+                        .with("storage", p.storage)
+                        .with("mix", p.mix)
+                        .with("path", p.path.as_str())
+                        .with("ops", p.ops)
+                        .with("wall_ns", p.wall_ns)
+                        .with("ops_per_sec", p.ops_per_sec)
+                        .with("checksum", p.checksum)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .with("kernel_speedup", r.kernel_speedup)
+        .with("interleaved_speedup", r.interleaved_speedup)
+        .render()
 }
 
 /// Writes [`to_json`] to `path` (parent directories created).
@@ -382,7 +357,7 @@ mod tests {
         assert_eq!(ck("implicit", "uniform"), ck("mapped", "uniform"));
         assert_eq!(ck("implicit", "zipf"), ck("mapped", "zipf"));
         let json = to_json(&report);
-        crate::throughput::jsonish_assertable(&json);
+        crate::json::assert_jsonish(&json);
         for field in [
             "\"bench\": \"descent_kernel\"",
             "\"path\": \"reference\"",

@@ -32,8 +32,13 @@
 //! idle tiered engine, and a tiered engine absorbing concurrent writes
 //! with background compaction — and writes `BENCH_tiered.json` (same
 //! driver binary, `--tiered-out FILE` / `--no-tiered`).
+//!
+//! All of those artifacts (and `cobtree-serve`'s `BENCH_serve.json`)
+//! render through one shared writer, [`mod@json`] — stable field
+//! order, one field per line, every float finite.
 
 pub mod experiments;
+pub mod json;
 pub mod kernel_bench;
 pub mod report;
 pub mod throughput;

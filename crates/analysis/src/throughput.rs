@@ -17,9 +17,10 @@
 //!
 //! The driver binary (`cargo run -p cobtree-analysis --bin throughput`)
 //! and the `forest` repro experiment both run through [`run`]; the JSON
-//! comes from [`to_json`] (hand-rolled — the workspace builds offline,
-//! no serde).
+//! comes from [`to_json`] via the shared [`crate::json`] writer (the
+//! workspace builds offline, no serde).
 
+use crate::json::{finite, percentile, JsonObject};
 use cobtree_cachesim::presets;
 use cobtree_cachesim::replay::{
     replay_forest_point, replay_forest_scan, replay_forest_sorted_batch,
@@ -27,7 +28,6 @@ use cobtree_cachesim::replay::{
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::{scan_starts, UniformKeys, ZipfKeys, ZipfTable};
 use cobtree_search::{Forest, Storage};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
@@ -253,22 +253,6 @@ fn scan_cell(
         }
     });
     (checksum, start.elapsed().as_nanos() as u64, latencies)
-}
-
-pub(crate) fn percentile(sorted: &[u64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)] as f64
-}
-
-pub(crate) fn finite(v: f64) -> f64 {
-    if v.is_finite() {
-        v
-    } else {
-        0.0
-    }
 }
 
 /// Replays `f` through a fresh Westmere L1/L2 hierarchy and returns the
@@ -508,95 +492,58 @@ pub fn run_with_zipf(cfg: &ThroughputConfig, zipf: &ZipfTable) -> ThroughputRepo
     report
 }
 
-pub(crate) fn json_f(v: f64) -> String {
-    format!("{:.3}", finite(v))
-}
-
-/// Minimal structural JSON check shared by the artifact tests:
-/// balanced delimiters outside strings, no `NaN`/`inf` tokens.
-///
-/// # Panics
-/// Panics when `s` is not structurally JSON-ish.
-#[cfg(test)]
-pub(crate) fn jsonish_assertable(s: &str) {
-    let mut depth: i64 = 0;
-    let mut in_str = false;
-    let mut prev = ' ';
-    for c in s.chars() {
-        if in_str {
-            if c == '"' && prev != '\\' {
-                in_str = false;
-            }
-        } else {
-            match c {
-                '"' => in_str = true,
-                '{' | '[' => depth += 1,
-                '}' | ']' => depth -= 1,
-                _ => {}
-            }
-            assert!(depth >= 0, "unbalanced close in {s}");
-        }
-        prev = c;
-    }
-    assert_eq!(depth, 0, "unbalanced JSON: {s}");
-    assert!(!s.contains("NaN") && !s.contains("inf"), "non-finite: {s}");
-}
-
 /// Renders the report as the `BENCH_forest.json` artifact: stable field
 /// order, every number finite, no trailing commas — parseable by any
-/// JSON reader without a schema.
+/// JSON reader without a schema (the shared [`crate::json`] writer).
 #[must_use]
 pub fn to_json(r: &ThroughputReport) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"forest_throughput\",\n");
-    s.push_str("  \"schema_version\": 1,\n");
-    let _ = writeln!(
-        s,
-        "  \"config\": {{\"shards\": {}, \"active_shards\": {}, \"keys\": {}, \"ops\": {}, \"layout\": \"{}\", \"storage\": \"{}\", \"zipf_s\": {}, \"scan_span\": {}}},",
-        r.shards,
-        r.active_shards,
-        r.keys,
-        r.ops,
-        r.layout,
-        r.storage,
-        json_f(r.zipf_s),
-        r.scan_span,
-    );
-    s.push_str("  \"mixes\": [\n");
-    for (i, p) in r.points.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"mix\": \"{}\", \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"l1_misses_per_op\": {}}}",
-            p.mix,
-            p.threads,
-            p.ops,
-            p.wall_ns,
-            json_f(p.ops_per_sec),
-            json_f(p.p50_ns),
-            json_f(p.p99_ns),
-            json_f(p.l1_misses_per_op),
-        );
-        s.push_str(if i + 1 < r.points.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ],\n");
-    let _ = writeln!(
-        s,
-        "  \"par_batch\": {{\"threads_base\": {}, \"threads_max\": {}, \"scaling_base_to_max\": {}}},",
-        r.base_threads,
-        r.max_threads,
-        json_f(r.par_batch_scaling),
-    );
-    let _ = writeln!(
-        s,
-        "  \"cursor_hoist_regression\": {{\"stitched_scan_keys\": {}, \"ns_per_key\": {}, \"ok\": {}}}",
-        r.stitched_scan_keys,
-        json_f(r.stitched_scan_ns_per_key),
-        r.stitched_scan_keys == r.keys,
-    );
-    s.push('}');
-    s.push('\n');
-    s
+    JsonObject::new()
+        .with("bench", "forest_throughput")
+        .with("schema_version", 1u64)
+        .with(
+            "config",
+            JsonObject::new()
+                .with("shards", r.shards)
+                .with("active_shards", r.active_shards)
+                .with("keys", r.keys)
+                .with("ops", r.ops)
+                .with("layout", r.layout.as_str())
+                .with("storage", r.storage.as_str())
+                .with("zipf_s", r.zipf_s)
+                .with("scan_span", r.scan_span),
+        )
+        .with(
+            "mixes",
+            r.points
+                .iter()
+                .map(|p| {
+                    JsonObject::new()
+                        .with("mix", p.mix)
+                        .with("threads", p.threads)
+                        .with("ops", p.ops)
+                        .with("wall_ns", p.wall_ns)
+                        .with("ops_per_sec", p.ops_per_sec)
+                        .with("p50_ns", p.p50_ns)
+                        .with("p99_ns", p.p99_ns)
+                        .with("l1_misses_per_op", p.l1_misses_per_op)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .with(
+            "par_batch",
+            JsonObject::new()
+                .with("threads_base", r.base_threads)
+                .with("threads_max", r.max_threads)
+                .with("scaling_base_to_max", r.par_batch_scaling),
+        )
+        .with(
+            "cursor_hoist_regression",
+            JsonObject::new()
+                .with("stitched_scan_keys", r.stitched_scan_keys)
+                .with("ns_per_key", r.stitched_scan_ns_per_key)
+                .with("ok", r.stitched_scan_keys == r.keys),
+        )
+        .render()
 }
 
 /// Writes [`to_json`] to `path` (parent directories created).
@@ -632,7 +579,7 @@ mod tests {
         }
         assert!(report.par_batch_scaling > 0.0);
         let json = to_json(&report);
-        jsonish_assertable(&json);
+        crate::json::assert_jsonish(&json);
         for field in [
             "\"bench\": \"forest_throughput\"",
             "\"mix\": \"uniform\"",

@@ -20,15 +20,15 @@
 //! Alongside it the report records writer throughput (`writes_per_sec`)
 //! and how many compactions the run forced (`flushes`, `final_epoch`).
 //!
-//! Like [`crate::throughput`], the JSON is hand-rolled (the workspace
-//! builds offline, no serde) with a stable field order.
+//! Like [`crate::throughput`], the JSON comes from the shared
+//! [`crate::json`] writer (the workspace builds offline, no serde) with
+//! a stable field order.
 
-use crate::throughput::{finite, json_f, percentile};
+use crate::json::{finite, percentile, JsonObject};
 use cobtree_core::NamedLayout;
 use cobtree_search::tiered::TieredForest;
 use cobtree_search::workload::UniformKeys;
 use cobtree_search::{Forest, Storage};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
@@ -261,49 +261,51 @@ pub fn run(cfg: &TieredBenchConfig) -> TieredBenchReport {
     }
 }
 
-/// Renders the report as stable-field-order JSON.
+/// Renders the report as stable-field-order JSON (the shared
+/// [`crate::json`] writer).
 #[must_use]
 pub fn to_json(report: &TieredBenchReport) -> String {
     let cfg = &report.config;
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"tiered_readwrite\",\n");
-    s.push_str("  \"schema_version\": 1,\n");
-    let _ = writeln!(
-        s,
-        "  \"config\": {{\"shards\": {}, \"keys\": {}, \"reads\": {}, \"writes\": {}, \
-         \"memtable_entries\": {}, \"layout\": \"{}\", \"seed\": {}}},",
-        cfg.shards, cfg.keys, cfg.reads, cfg.writes, cfg.memtable_entries, cfg.layout, cfg.seed
-    );
-    s.push_str("  \"phases\": [\n");
-    for (i, p) in report.phases.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"phase\": \"{}\", \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {}, \
-             \"p50_ns\": {}, \"p99_ns\": {}, \"hit_rate\": {}}}{}",
-            p.phase,
-            p.ops,
-            p.wall_ns,
-            json_f(p.ops_per_sec),
-            json_f(p.p50_ns),
-            json_f(p.p99_ns),
-            json_f(p.hit_rate),
-            if i + 1 < report.phases.len() { "," } else { "" }
-        );
-    }
-    s.push_str("  ],\n");
-    let _ = write!(
-        s,
-        "  \"write_ops\": {},\n  \"writes_per_sec\": {},\n  \"flushes\": {},\n  \
-         \"final_epoch\": {},\n  \"read_p99_ratio_vs_readonly\": {}\n",
-        report.write_ops,
-        json_f(report.writes_per_sec),
-        report.flushes,
-        report.final_epoch,
-        json_f(report.read_p99_ratio_vs_readonly)
-    );
-    s.push_str("}\n");
-    s
+    JsonObject::new()
+        .with("bench", "tiered_readwrite")
+        .with("schema_version", 1u64)
+        .with(
+            "config",
+            JsonObject::new()
+                .with("shards", cfg.shards)
+                .with("keys", cfg.keys)
+                .with("reads", cfg.reads)
+                .with("writes", cfg.writes)
+                .with("memtable_entries", cfg.memtable_entries)
+                .with("layout", cfg.layout.to_string())
+                .with("seed", cfg.seed),
+        )
+        .with(
+            "phases",
+            report
+                .phases
+                .iter()
+                .map(|p| {
+                    JsonObject::new()
+                        .with("phase", p.phase)
+                        .with("ops", p.ops)
+                        .with("wall_ns", p.wall_ns)
+                        .with("ops_per_sec", p.ops_per_sec)
+                        .with("p50_ns", p.p50_ns)
+                        .with("p99_ns", p.p99_ns)
+                        .with("hit_rate", p.hit_rate)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .with("write_ops", report.write_ops)
+        .with("writes_per_sec", report.writes_per_sec)
+        .with("flushes", report.flushes)
+        .with("final_epoch", report.final_epoch)
+        .with(
+            "read_p99_ratio_vs_readonly",
+            report.read_p99_ratio_vs_readonly,
+        )
+        .render()
 }
 
 /// Writes the JSON artifact, creating parent directories.
@@ -319,7 +321,7 @@ pub fn write_json(report: &TieredBenchReport, path: &Path) -> std::io::Result<()
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::throughput::jsonish_assertable;
+    use crate::json::assert_jsonish;
 
     #[test]
     fn tiny_run_produces_complete_report() {
@@ -350,7 +352,7 @@ mod tests {
         assert!(report.read_p99_ratio_vs_readonly > 0.0);
 
         let json = to_json(&report);
-        jsonish_assertable(&json);
+        assert_jsonish(&json);
         for field in [
             "\"bench\": \"tiered_readwrite\"",
             "\"schema_version\": 1",

@@ -114,6 +114,21 @@ pub enum Error {
     /// `Storage::Mapped` was requested from the key-set builder; mapped
     /// trees are opened from a saved file, not built from keys.
     MappedStorageRequiresFile,
+    /// A wire-protocol frame names an opcode this build does not know
+    /// (see [`crate::protocol`]).
+    UnknownOpcode {
+        /// The unrecognized opcode byte.
+        op: u8,
+    },
+    /// A wire-protocol frame declares a body larger than the hard
+    /// per-frame ceiling — treated as a framing error (desync or abuse)
+    /// and grounds for closing the connection.
+    FrameTooLarge {
+        /// Declared body length.
+        got: u64,
+        /// Hard ceiling ([`crate::protocol::MAX_FRAME_BYTES`]).
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -169,6 +184,10 @@ impl std::fmt::Display for Error {
                 "Storage::Mapped serves a saved tree file; build with an in-memory storage, \
                  then SearchTree::save and SearchTree::open",
             ),
+            Error::UnknownOpcode { op } => write!(f, "unknown protocol opcode {op:#04x}"),
+            Error::FrameTooLarge { got, max } => {
+                write!(f, "protocol frame body of {got} bytes exceeds the {max}-byte ceiling")
+            }
         }
     }
 }

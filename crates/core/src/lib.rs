@@ -15,7 +15,9 @@
 //!   port of the paper's Listing 1 (breadth-first → MINWEP translation);
 //! * [`format`](mod@format) — the zero-copy `.cobt` on-disk container (header +
 //!   layout descriptor + block-aligned key array in layout order), the
-//!   byte-level spec of which lives in `docs/FORMAT.md`.
+//!   byte-level spec of which lives in `docs/FORMAT.md`;
+//! * [`protocol`] — the `cobtree-serve` wire protocol (length-prefixed
+//!   binary frames; byte-level spec in `docs/PROTOCOL.md`).
 //!
 //! ```
 //! use cobtree_core::named::NamedLayout;
@@ -34,6 +36,7 @@ pub mod golden;
 pub mod index;
 pub mod layout;
 pub mod named;
+pub mod protocol;
 pub mod spec;
 pub mod tree;
 pub mod weights;

@@ -1,0 +1,1141 @@
+//! The `cobtree-serve` wire protocol: compact length-prefixed binary
+//! frames over a byte stream (TCP or Unix domain sockets).
+//!
+//! This module is pure bytes — no sockets, no threads — so the same
+//! codec serves the server, the blocking client, the load generator,
+//! and the fuzz tests. The byte-level contract is documented in
+//! `docs/PROTOCOL.md`; the encoders and decoders here are the
+//! normative implementation.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*: a little-endian `u32` body length
+//! followed by that many body bytes. Bodies are capped at
+//! [`MAX_FRAME_BYTES`]; a larger declared length is a framing error
+//! ([`Error::FrameTooLarge`]) and grounds for closing the connection,
+//! since the stream can no longer be trusted to be in sync.
+//!
+//! # Requests and responses
+//!
+//! A request body is `opcode u8 | key_tag u8 | req_id u32 LE | payload`.
+//! A response body is `status u8 | opcode u8 | req_id u32 LE | payload`.
+//! The `req_id` is chosen by the client and echoed verbatim, so clients
+//! may pipeline requests and correlate out-of-order completions. The
+//! `key_tag` is the [`FixedKey::TAG`] of the key type the client speaks;
+//! this protocol revision serves `u64` keys ([`KEY_TAG`]) and rejects
+//! anything else with a typed error rather than misreading the payload.
+//!
+//! ```
+//! use cobtree_core::protocol::{self, Request, Reply, Status};
+//!
+//! let mut wire = Vec::new();
+//! protocol::encode_request(7, &Request::Get { key: 42 }, &mut wire);
+//!
+//! let mut dec = protocol::FrameDecoder::new();
+//! dec.feed(&wire);
+//! let body = dec.next_frame().unwrap().unwrap();
+//! let (req_id, req) = protocol::decode_request(&body).unwrap();
+//! assert_eq!((req_id, req), (7, Request::Get { key: 42 }));
+//! ```
+
+use crate::error::{Error, Result};
+use crate::format::FixedKey;
+
+/// Hard ceiling on a frame *body* (the length prefix itself excluded).
+///
+/// Large enough for a full [`MAX_BATCH_KEYS`] batch response with
+/// headroom, small enough that a corrupt or hostile length prefix
+/// cannot make a connection buffer gigabytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Most probes accepted in one `Batch` request.
+pub const MAX_BATCH_KEYS: usize = 8192;
+
+/// Most keys returned by one `Range` response; longer scans set the
+/// `truncated` flag and the client continues from the last key.
+pub const MAX_RANGE_KEYS: usize = 4096;
+
+/// The [`FixedKey::TAG`] this protocol revision serves (`u64`).
+pub const KEY_TAG: u8 = <u64 as FixedKey>::TAG;
+
+/// Bytes in a request/response header (`op/status u8 | tag/op u8 |
+/// req_id u32`), i.e. the smallest legal body.
+pub const HEADER_BYTES: usize = 6;
+
+/// Shard number reported for hits resolved from the tiered engine's
+/// write buffer (memtable or frozen run) rather than a mapped shard.
+pub const BUFFER_SHARD: u32 = u32::MAX;
+
+/// Request opcodes. Values are wire bytes and must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness check; empty payload, empty reply.
+    Ping = 1,
+    /// Point lookup: returns found/shard/position.
+    Get = 2,
+    /// Smallest stored key `>=` probe.
+    LowerBound = 3,
+    /// Smallest stored key `>` probe.
+    UpperBound = 4,
+    /// Number of stored keys `<` probe.
+    Rank = 5,
+    /// The `rank`-th smallest stored key (1-based).
+    Select = 6,
+    /// Ascending keys in `[lo, hi]`, up to a client-supplied limit.
+    Range = 7,
+    /// Sorted multi-probe point lookup (the interleaved-kernel path).
+    Batch = 8,
+    /// Insert one key (tiered engines only).
+    Insert = 9,
+    /// Remove one key (tiered engines only).
+    Remove = 10,
+    /// Snapshot of the server's live counters and latency histogram.
+    Stats = 11,
+    /// Force the tiered engine to flush its memtable.
+    Flush = 12,
+    /// Ask the server to drain and exit.
+    Shutdown = 13,
+}
+
+impl Opcode {
+    /// Decodes a wire byte.
+    ///
+    /// # Errors
+    /// [`Error::UnknownOpcode`] for bytes no revision has assigned.
+    pub fn from_wire(op: u8) -> Result<Self> {
+        Ok(match op {
+            1 => Opcode::Ping,
+            2 => Opcode::Get,
+            3 => Opcode::LowerBound,
+            4 => Opcode::UpperBound,
+            5 => Opcode::Rank,
+            6 => Opcode::Select,
+            7 => Opcode::Range,
+            8 => Opcode::Batch,
+            9 => Opcode::Insert,
+            10 => Opcode::Remove,
+            11 => Opcode::Stats,
+            12 => Opcode::Flush,
+            13 => Opcode::Shutdown,
+            op => return Err(Error::UnknownOpcode { op }),
+        })
+    }
+
+    /// Short lower-case label (`"get"`, `"range"`, …) for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Get => "get",
+            Opcode::LowerBound => "lower_bound",
+            Opcode::UpperBound => "upper_bound",
+            Opcode::Rank => "rank",
+            Opcode::Select => "select",
+            Opcode::Range => "range",
+            Opcode::Batch => "batch",
+            Opcode::Insert => "insert",
+            Opcode::Remove => "remove",
+            Opcode::Stats => "stats",
+            Opcode::Flush => "flush",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+
+    /// All opcodes, in wire order (drives per-op report breakdowns).
+    pub const ALL: [Opcode; 13] = [
+        Opcode::Ping,
+        Opcode::Get,
+        Opcode::LowerBound,
+        Opcode::UpperBound,
+        Opcode::Rank,
+        Opcode::Select,
+        Opcode::Range,
+        Opcode::Batch,
+        Opcode::Insert,
+        Opcode::Remove,
+        Opcode::Stats,
+        Opcode::Flush,
+        Opcode::Shutdown,
+    ];
+}
+
+/// Response status. Values are wire bytes and must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; the payload is the opcode's reply.
+    Ok = 0,
+    /// Explicit backpressure: a bounded queue was full. Retry later.
+    Busy = 1,
+    /// The request sat queued past the per-op deadline and was shed.
+    Timeout = 2,
+    /// The request body was well-framed but semantically malformed.
+    BadRequest = 3,
+    /// The opcode is known but this engine cannot serve it (e.g. a
+    /// write against a read-only forest).
+    Unsupported = 4,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown = 5,
+    /// The engine failed internally (e.g. a compaction error).
+    Internal = 6,
+}
+
+impl Status {
+    /// Decodes a wire byte.
+    ///
+    /// # Errors
+    /// [`Error::Malformed`] for unassigned status bytes.
+    pub fn from_wire(status: u8) -> Result<Self> {
+        Ok(match status {
+            0 => Status::Ok,
+            1 => Status::Busy,
+            2 => Status::Timeout,
+            3 => Status::BadRequest,
+            4 => Status::Unsupported,
+            5 => Status::ShuttingDown,
+            6 => Status::Internal,
+            other => {
+                return Err(Error::Malformed {
+                    detail: format!("unknown response status byte {other:#04x}"),
+                })
+            }
+        })
+    }
+}
+
+/// A decoded request payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Point lookup.
+    Get {
+        /// Probe key.
+        key: u64,
+    },
+    /// Smallest stored key `>=` probe.
+    LowerBound {
+        /// Probe key.
+        key: u64,
+    },
+    /// Smallest stored key `>` probe.
+    UpperBound {
+        /// Probe key.
+        key: u64,
+    },
+    /// Count of stored keys `<` probe.
+    Rank {
+        /// Probe key.
+        key: u64,
+    },
+    /// The `rank`-th smallest stored key.
+    Select {
+        /// 1-based rank (`select(1)` is the smallest stored key).
+        rank: u64,
+    },
+    /// Ascending keys in `[lo, hi]`, at most `limit` of them.
+    Range {
+        /// Inclusive low end.
+        lo: u64,
+        /// Inclusive high end.
+        hi: u64,
+        /// Client-side result cap, `1..=MAX_RANGE_KEYS`.
+        limit: u32,
+    },
+    /// Sorted multi-probe point lookup.
+    Batch {
+        /// Ascending probes (equal adjacent probes allowed).
+        keys: Vec<u64>,
+    },
+    /// Insert one key.
+    Insert {
+        /// Key to insert.
+        key: u64,
+    },
+    /// Remove one key.
+    Remove {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Counter snapshot.
+    Stats,
+    /// Flush the tiered memtable.
+    Flush,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The opcode this request encodes as.
+    #[must_use]
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Get { .. } => Opcode::Get,
+            Request::LowerBound { .. } => Opcode::LowerBound,
+            Request::UpperBound { .. } => Opcode::UpperBound,
+            Request::Rank { .. } => Opcode::Rank,
+            Request::Select { .. } => Opcode::Select,
+            Request::Range { .. } => Opcode::Range,
+            Request::Batch { .. } => Opcode::Batch,
+            Request::Insert { .. } => Opcode::Insert,
+            Request::Remove { .. } => Opcode::Remove,
+            Request::Stats => Opcode::Stats,
+            Request::Flush => Opcode::Flush,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+}
+
+/// One entry of a `Batch` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchHit {
+    /// Whether the probe key is stored.
+    pub found: bool,
+    /// Shard that holds it ([`BUFFER_SHARD`] for write-buffer hits).
+    pub shard: u32,
+    /// Slot within that shard's layout array.
+    pub position: u64,
+}
+
+/// A decoded success-reply payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `Ping` / `Flush` / `Shutdown` style acknowledgements carry one
+    /// `applied` flag (always `true` for `Ping`).
+    Applied {
+        /// Whether the operation changed / performed anything.
+        applied: bool,
+    },
+    /// Point-lookup result.
+    Hit {
+        /// Whether the key is stored.
+        found: bool,
+        /// Shard that holds it ([`BUFFER_SHARD`] for buffer hits).
+        shard: u32,
+        /// Slot within that shard's layout array.
+        position: u64,
+    },
+    /// Bounds and `Select` results: an optional key.
+    KeyOpt {
+        /// Whether such a key exists.
+        found: bool,
+        /// The key (0 when `found` is false).
+        key: u64,
+    },
+    /// `Rank` result.
+    Rank {
+        /// Stored keys strictly below the probe.
+        rank: u64,
+    },
+    /// `Range` result.
+    Keys {
+        /// True when the scan stopped at the limit, not at `hi`.
+        truncated: bool,
+        /// Ascending keys.
+        keys: Vec<u64>,
+    },
+    /// `Batch` result, one entry per probe in request order.
+    Batch {
+        /// Per-probe hits.
+        hits: Vec<BatchHit>,
+    },
+    /// `Stats` result.
+    Stats(Box<StatsSnapshot>),
+}
+
+/// A fully decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echoed client request id.
+    pub req_id: u32,
+    /// Echoed opcode.
+    pub opcode: Opcode,
+    /// Outcome.
+    pub status: Status,
+    /// Payload; present iff `status == Status::Ok`.
+    pub reply: Option<Reply>,
+}
+
+/// Number of log₂-nanosecond latency buckets in [`StatsSnapshot`].
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Number of `u64` words a [`StatsSnapshot`] serializes to.
+pub const STATS_WORDS: usize = 10 + LATENCY_BUCKETS;
+
+/// A point-in-time copy of the server's live counters, shipped over the
+/// wire by the `Stats` op so harnesses and CI can scrape the server
+/// without a metrics dependency.
+///
+/// Serialized as a `u32` word count followed by that many `u64` LE
+/// words; decoders accept *more* words than they know (forward
+/// compatibility) but never fewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests decoded (all opcodes, before any shedding).
+    pub requests: u64,
+    /// Responses written back (every request gets exactly one).
+    pub responses: u64,
+    /// Responses with [`Status::Busy`].
+    pub busy: u64,
+    /// Responses with [`Status::Timeout`].
+    pub timeouts: u64,
+    /// Responses with [`Status::BadRequest`] (malformed bodies).
+    pub bad_requests: u64,
+    /// Framing errors that closed a connection (desynced streams).
+    pub frame_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: u64,
+    /// Connections closed (hangup, framing error, or write stall).
+    pub connections_closed: u64,
+    /// Point lookups handed off to the owning worker's shard queue.
+    pub handoffs: u64,
+    /// Instantaneous depth across all workers' handoff queues.
+    pub queue_depth: u64,
+    /// Sampled server-side latency histogram: bucket `i` counts
+    /// requests whose queue+execute time `ns` satisfies
+    /// `latency_bucket(ns) == i` (log₂ buckets).
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl StatsSnapshot {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(STATS_WORDS as u32).to_le_bytes());
+        for w in [
+            self.requests,
+            self.responses,
+            self.busy,
+            self.timeouts,
+            self.bad_requests,
+            self.frame_errors,
+            self.connections_opened,
+            self.connections_closed,
+            self.handoffs,
+            self.queue_depth,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for b in &self.latency_buckets {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+
+    fn read(cur: &mut Cursor<'_>) -> Result<Self> {
+        let words = cur.u32()? as usize;
+        if words < STATS_WORDS {
+            return Err(Error::Malformed {
+                detail: format!("stats snapshot has {words} words, need >= {STATS_WORDS}"),
+            });
+        }
+        let mut s = StatsSnapshot {
+            requests: cur.u64()?,
+            responses: cur.u64()?,
+            busy: cur.u64()?,
+            timeouts: cur.u64()?,
+            bad_requests: cur.u64()?,
+            frame_errors: cur.u64()?,
+            connections_opened: cur.u64()?,
+            connections_closed: cur.u64()?,
+            handoffs: cur.u64()?,
+            queue_depth: cur.u64()?,
+            ..StatsSnapshot::default()
+        };
+        for b in &mut s.latency_buckets {
+            *b = cur.u64()?;
+        }
+        for _ in STATS_WORDS..words {
+            cur.u64()?; // unknown future counters: skip
+        }
+        Ok(s)
+    }
+
+    /// Total sampled requests in the latency histogram.
+    #[must_use]
+    pub fn sampled(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Approximate `q`-quantile (0..=1) of the sampled latency
+    /// histogram in nanoseconds, reported as the upper bound of the
+    /// bucket the quantile falls in; 0.0 when nothing was sampled.
+    #[must_use]
+    pub fn latency_quantile_ns(&self, q: f64) -> f64 {
+        let total = self.sampled();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return bucket_upper_ns(i) as f64;
+            }
+        }
+        bucket_upper_ns(LATENCY_BUCKETS - 1) as f64
+    }
+}
+
+/// Maps a nanosecond latency to its log₂ histogram bucket: bucket 0
+/// holds `ns <= 1`, bucket `i` holds `2^(i-1) < ns <= 2^i`, and the
+/// last bucket absorbs everything from ~2 seconds up.
+#[must_use]
+pub fn latency_bucket(ns: u64) -> usize {
+    if ns <= 1 {
+        return 0;
+    }
+    let bits = 64 - (ns - 1).leading_zeros() as usize;
+    bits.min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) in nanoseconds of histogram bucket `i`.
+#[must_use]
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    1u64 << i.min(LATENCY_BUCKETS - 1)
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    at
+}
+
+fn end_frame(out: &mut [u8], at: usize) {
+    let body = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&body.to_le_bytes());
+}
+
+/// Appends one complete request frame (length prefix included) to `out`.
+pub fn encode_request(req_id: u32, req: &Request, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    out.push(req.opcode() as u8);
+    out.push(KEY_TAG);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    match req {
+        Request::Ping | Request::Stats | Request::Flush | Request::Shutdown => {}
+        Request::Get { key }
+        | Request::LowerBound { key }
+        | Request::UpperBound { key }
+        | Request::Rank { key }
+        | Request::Insert { key }
+        | Request::Remove { key } => out.extend_from_slice(&key.to_le_bytes()),
+        Request::Select { rank } => out.extend_from_slice(&rank.to_le_bytes()),
+        Request::Range { lo, hi, limit } => {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
+        Request::Batch { keys } => {
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for k in keys {
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+    end_frame(out, at);
+}
+
+/// Appends one complete success-response frame to `out`.
+///
+/// # Panics
+/// Debug-asserts that `reply`'s shape matches `opcode`; release builds
+/// trust the caller (the server constructs both together).
+pub fn encode_ok(req_id: u32, opcode: Opcode, reply: &Reply, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    out.push(Status::Ok as u8);
+    out.push(opcode as u8);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    match reply {
+        Reply::Applied { applied } => out.push(u8::from(*applied)),
+        Reply::Hit {
+            found,
+            shard,
+            position,
+        } => {
+            out.push(u8::from(*found));
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&position.to_le_bytes());
+        }
+        Reply::KeyOpt { found, key } => {
+            out.push(u8::from(*found));
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Reply::Rank { rank } => out.extend_from_slice(&rank.to_le_bytes()),
+        Reply::Keys { truncated, keys } => {
+            out.push(u8::from(*truncated));
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for k in keys {
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        Reply::Batch { hits } => {
+            out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+            for h in hits {
+                out.push(u8::from(h.found));
+                out.extend_from_slice(&h.shard.to_le_bytes());
+                out.extend_from_slice(&h.position.to_le_bytes());
+            }
+        }
+        Reply::Stats(s) => s.write(out),
+    }
+    end_frame(out, at);
+}
+
+/// Appends one complete error-response frame (no payload) to `out`.
+pub fn encode_error(req_id: u32, opcode: Opcode, status: Status, out: &mut Vec<u8>) {
+    debug_assert!(status != Status::Ok, "use encode_ok for successes");
+    let at = begin_frame(out);
+    out.push(status as u8);
+    out.push(opcode as u8);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    end_frame(out, at);
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A strict little-endian reader over a frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.off < n {
+            return Err(Error::Truncated {
+                needed: (self.off + n) as u64,
+                got: self.bytes.len() as u64,
+            });
+        }
+        let s = &self.bytes[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::Malformed {
+                detail: format!("flag byte must be 0 or 1, got {other}"),
+            }),
+        }
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.off != self.bytes.len() {
+            return Err(Error::Malformed {
+                detail: format!(
+                    "{} trailing bytes after a complete payload",
+                    self.bytes.len() - self.off
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort `req_id` extraction from a request body that may be too
+/// malformed to decode fully — lets the server address its
+/// `BadRequest` reply to the right in-flight request. `None` when the
+/// body is shorter than a header.
+#[must_use]
+pub fn peek_req_id(body: &[u8]) -> Option<u32> {
+    if body.len() < HEADER_BYTES {
+        return None;
+    }
+    Some(u32::from_le_bytes(body[2..6].try_into().unwrap()))
+}
+
+/// Best-effort opcode extraction, same contract as [`peek_req_id`].
+#[must_use]
+pub fn peek_opcode(body: &[u8]) -> Option<Opcode> {
+    body.first().and_then(|&op| Opcode::from_wire(op).ok())
+}
+
+/// Decodes a request frame body into `(req_id, request)`.
+///
+/// # Errors
+/// [`Error::Truncated`] for short bodies, [`Error::UnknownOpcode`],
+/// [`Error::KeyTypeMismatch`] for a non-`u64` key tag,
+/// [`Error::Malformed`] for oversized counts / trailing bytes, and
+/// [`Error::UnsortedBatch`] for descending batch probes.
+pub fn decode_request(body: &[u8]) -> Result<(u32, Request)> {
+    let mut cur = Cursor::new(body);
+    let opcode = Opcode::from_wire(cur.u8()?)?;
+    let tag = cur.u8()?;
+    if tag != KEY_TAG {
+        return Err(Error::KeyTypeMismatch {
+            expected: KEY_TAG,
+            got: tag,
+        });
+    }
+    let req_id = cur.u32()?;
+    let req = match opcode {
+        Opcode::Ping => Request::Ping,
+        Opcode::Stats => Request::Stats,
+        Opcode::Flush => Request::Flush,
+        Opcode::Shutdown => Request::Shutdown,
+        Opcode::Get => Request::Get { key: cur.u64()? },
+        Opcode::LowerBound => Request::LowerBound { key: cur.u64()? },
+        Opcode::UpperBound => Request::UpperBound { key: cur.u64()? },
+        Opcode::Rank => Request::Rank { key: cur.u64()? },
+        Opcode::Select => Request::Select { rank: cur.u64()? },
+        Opcode::Insert => Request::Insert { key: cur.u64()? },
+        Opcode::Remove => Request::Remove { key: cur.u64()? },
+        Opcode::Range => {
+            let lo = cur.u64()?;
+            let hi = cur.u64()?;
+            let limit = cur.u32()?;
+            if limit == 0 || limit as usize > MAX_RANGE_KEYS {
+                return Err(Error::Malformed {
+                    detail: format!("range limit {limit} outside 1..={MAX_RANGE_KEYS}"),
+                });
+            }
+            if lo > hi {
+                return Err(Error::Malformed {
+                    detail: format!("range lo {lo} > hi {hi}"),
+                });
+            }
+            Request::Range { lo, hi, limit }
+        }
+        Opcode::Batch => {
+            let count = cur.u32()? as usize;
+            if count == 0 || count > MAX_BATCH_KEYS {
+                return Err(Error::Malformed {
+                    detail: format!("batch of {count} probes outside 1..={MAX_BATCH_KEYS}"),
+                });
+            }
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                keys.push(cur.u64()?);
+            }
+            for (index, pair) in keys.windows(2).enumerate() {
+                if pair[0] > pair[1] {
+                    return Err(Error::UnsortedBatch { index });
+                }
+            }
+            Request::Batch { keys }
+        }
+    };
+    cur.finish()?;
+    Ok((req_id, req))
+}
+
+/// Decodes a response frame body.
+///
+/// # Errors
+/// [`Error::Truncated`], [`Error::UnknownOpcode`], or
+/// [`Error::Malformed`] when the body contradicts its own framing.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut cur = Cursor::new(body);
+    let status = Status::from_wire(cur.u8()?)?;
+    let opcode = Opcode::from_wire(cur.u8()?)?;
+    let req_id = cur.u32()?;
+    if status != Status::Ok {
+        cur.finish()?;
+        return Ok(Response {
+            req_id,
+            opcode,
+            status,
+            reply: None,
+        });
+    }
+    let reply = match opcode {
+        Opcode::Ping | Opcode::Insert | Opcode::Remove | Opcode::Flush | Opcode::Shutdown => {
+            Reply::Applied {
+                applied: cur.bool()?,
+            }
+        }
+        Opcode::Get => Reply::Hit {
+            found: cur.bool()?,
+            shard: cur.u32()?,
+            position: cur.u64()?,
+        },
+        Opcode::LowerBound | Opcode::UpperBound | Opcode::Select => Reply::KeyOpt {
+            found: cur.bool()?,
+            key: cur.u64()?,
+        },
+        Opcode::Rank => Reply::Rank { rank: cur.u64()? },
+        Opcode::Range => {
+            let truncated = cur.bool()?;
+            let count = cur.u32()? as usize;
+            if count > MAX_RANGE_KEYS {
+                return Err(Error::Malformed {
+                    detail: format!("range reply of {count} keys exceeds {MAX_RANGE_KEYS}"),
+                });
+            }
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                keys.push(cur.u64()?);
+            }
+            Reply::Keys { truncated, keys }
+        }
+        Opcode::Batch => {
+            let count = cur.u32()? as usize;
+            if count > MAX_BATCH_KEYS {
+                return Err(Error::Malformed {
+                    detail: format!("batch reply of {count} hits exceeds {MAX_BATCH_KEYS}"),
+                });
+            }
+            let mut hits = Vec::with_capacity(count);
+            for _ in 0..count {
+                hits.push(BatchHit {
+                    found: cur.bool()?,
+                    shard: cur.u32()?,
+                    position: cur.u64()?,
+                });
+            }
+            Reply::Batch { hits }
+        }
+        Opcode::Stats => Reply::Stats(Box::new(StatsSnapshot::read(&mut cur)?)),
+    };
+    cur.finish()?;
+    Ok(Response {
+        req_id,
+        opcode,
+        status,
+        reply: Some(reply),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------
+
+/// Incremental frame extractor for a byte stream.
+///
+/// Feed it whatever the socket produced; [`FrameDecoder::next_frame`]
+/// yields complete frame bodies as they become available. A declared
+/// body length over [`MAX_FRAME_BYTES`] is unrecoverable
+/// ([`Error::FrameTooLarge`]) — the caller should drop the connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its unread bytes.
+        if self.off > 0 && (self.off >= self.buf.len() || self.off > 4096) {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    /// Extracts the next complete frame body, `Ok(None)` when more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    /// [`Error::FrameTooLarge`] when the stream declares a body over
+    /// [`MAX_FRAME_BYTES`]; the decoder is then poisoned garbage and
+    /// the connection should be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.off;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.off..self.off + 4].try_into().unwrap();
+        let body_len = u32::from_le_bytes(len_bytes) as usize;
+        if body_len > MAX_FRAME_BYTES {
+            return Err(Error::FrameTooLarge {
+                got: body_len as u64,
+                max: MAX_FRAME_BYTES as u64,
+            });
+        }
+        if avail < 4 + body_len {
+            return Ok(None);
+        }
+        let start = self.off + 4;
+        let body = self.buf[start..start + body_len].to_vec();
+        self.off = start + body_len;
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(99, &req, &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let body = dec.next_frame().unwrap().unwrap();
+        assert_eq!(decode_request(&body).unwrap(), (99, req));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Get { key: u64::MAX });
+        roundtrip_request(Request::LowerBound { key: 0 });
+        roundtrip_request(Request::UpperBound { key: 7 });
+        roundtrip_request(Request::Rank { key: 1 << 40 });
+        roundtrip_request(Request::Select { rank: 12345 });
+        roundtrip_request(Request::Range {
+            lo: 5,
+            hi: 500,
+            limit: 64,
+        });
+        roundtrip_request(Request::Batch {
+            keys: vec![1, 2, 2, 9],
+        });
+        roundtrip_request(Request::Insert { key: 3 });
+        roundtrip_request(Request::Remove { key: 4 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Flush);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    fn roundtrip_ok(opcode: Opcode, reply: Reply) {
+        let mut wire = Vec::new();
+        encode_ok(7, opcode, &reply, &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let body = dec.next_frame().unwrap().unwrap();
+        let resp = decode_response(&body).unwrap();
+        assert_eq!(resp.req_id, 7);
+        assert_eq!(resp.opcode, opcode);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.reply, Some(reply));
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        roundtrip_ok(Opcode::Ping, Reply::Applied { applied: true });
+        roundtrip_ok(
+            Opcode::Get,
+            Reply::Hit {
+                found: true,
+                shard: 3,
+                position: 42,
+            },
+        );
+        roundtrip_ok(
+            Opcode::Get,
+            Reply::Hit {
+                found: false,
+                shard: 0,
+                position: 0,
+            },
+        );
+        roundtrip_ok(
+            Opcode::LowerBound,
+            Reply::KeyOpt {
+                found: true,
+                key: 11,
+            },
+        );
+        roundtrip_ok(Opcode::Rank, Reply::Rank { rank: 1 << 33 });
+        roundtrip_ok(
+            Opcode::Range,
+            Reply::Keys {
+                truncated: true,
+                keys: vec![1, 5, 9],
+            },
+        );
+        roundtrip_ok(
+            Opcode::Batch,
+            Reply::Batch {
+                hits: vec![
+                    BatchHit {
+                        found: true,
+                        shard: 0,
+                        position: 9,
+                    },
+                    BatchHit {
+                        found: false,
+                        shard: 0,
+                        position: 0,
+                    },
+                ],
+            },
+        );
+        let mut stats = StatsSnapshot {
+            requests: 10,
+            responses: 9,
+            busy: 1,
+            ..StatsSnapshot::default()
+        };
+        stats.latency_buckets[10] = 5;
+        roundtrip_ok(Opcode::Stats, Reply::Stats(Box::new(stats)));
+    }
+
+    #[test]
+    fn error_responses_roundtrip() {
+        let mut wire = Vec::new();
+        encode_error(13, Opcode::Insert, Status::Busy, &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let resp = decode_response(&dec.next_frame().unwrap().unwrap()).unwrap();
+        assert_eq!(resp.status, Status::Busy);
+        assert_eq!(resp.opcode, Opcode::Insert);
+        assert_eq!(resp.req_id, 13);
+        assert_eq!(resp.reply, None);
+    }
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_frames() {
+        let mut wire = Vec::new();
+        encode_request(1, &Request::Get { key: 5 }, &mut wire);
+        encode_request(2, &Request::Rank { key: 6 }, &mut wire);
+        // Feed byte by byte: frames must pop exactly when complete.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(body) = dec.next_frame().unwrap() {
+                got.push(decode_request(&body).unwrap());
+            }
+        }
+        assert_eq!(
+            got,
+            vec![(1, Request::Get { key: 5 }), (2, Request::Rank { key: 6 })]
+        );
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_is_typed_error() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(Error::FrameTooLarge {
+                got: MAX_FRAME_BYTES as u64 + 1,
+                max: MAX_FRAME_BYTES as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_bodies_are_typed_errors() {
+        assert!(matches!(decode_request(&[]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            decode_request(&[0xEE, KEY_TAG, 0, 0, 0, 0]),
+            Err(Error::UnknownOpcode { op: 0xEE })
+        ));
+        // Wrong key tag.
+        let mut wire = Vec::new();
+        encode_request(1, &Request::Get { key: 5 }, &mut wire);
+        let mut body = wire[4..].to_vec();
+        body[1] = 6; // u128 tag
+        assert_eq!(
+            decode_request(&body),
+            Err(Error::KeyTypeMismatch {
+                expected: KEY_TAG,
+                got: 6
+            })
+        );
+        // Trailing garbage.
+        let mut body = wire[4..].to_vec();
+        body.push(0);
+        assert!(matches!(
+            decode_request(&body),
+            Err(Error::Malformed { .. })
+        ));
+        // Descending batch.
+        let mut wire = Vec::new();
+        encode_request(1, &Request::Batch { keys: vec![9, 3] }, &mut wire);
+        assert_eq!(
+            decode_request(&wire[4..]),
+            Err(Error::UnsortedBatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn peek_helpers() {
+        let mut wire = Vec::new();
+        encode_request(77, &Request::Flush, &mut wire);
+        assert_eq!(peek_req_id(&wire[4..]), Some(77));
+        assert_eq!(peek_opcode(&wire[4..]), Some(Opcode::Flush));
+        assert_eq!(peek_req_id(&[1, 2]), None);
+    }
+
+    #[test]
+    fn latency_buckets_cover_u64() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 2);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(1025), 11);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        for ns in [0u64, 1, 2, 7, 100, 1_000_000, u64::MAX] {
+            let b = latency_bucket(ns);
+            assert!(ns <= bucket_upper_ns(b) || b == LATENCY_BUCKETS - 1);
+        }
+    }
+
+    #[test]
+    fn stats_quantiles() {
+        let mut s = StatsSnapshot::default();
+        assert_eq!(s.latency_quantile_ns(0.99), 0.0);
+        s.latency_buckets[5] = 90; // <= 32 ns
+        s.latency_buckets[20] = 10; // <= ~1 ms
+        assert_eq!(s.latency_quantile_ns(0.5), bucket_upper_ns(5) as f64);
+        assert_eq!(s.latency_quantile_ns(0.99), bucket_upper_ns(20) as f64);
+        assert_eq!(s.sampled(), 100);
+    }
+
+    #[test]
+    fn stats_forward_compatible_with_extra_words() {
+        let snap = StatsSnapshot {
+            requests: 4,
+            ..StatsSnapshot::default()
+        };
+        let mut wire = Vec::new();
+        encode_ok(1, Opcode::Stats, &Reply::Stats(Box::new(snap)), &mut wire);
+        // Splice two future counters into the payload.
+        let mut body = wire[4..].to_vec();
+        let words_at = HEADER_BYTES;
+        let words = u32::from_le_bytes(body[words_at..words_at + 4].try_into().unwrap());
+        body[words_at..words_at + 4].copy_from_slice(&(words + 2).to_le_bytes());
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&8u64.to_le_bytes());
+        let resp = decode_response(&body).unwrap();
+        assert_eq!(resp.reply, Some(Reply::Stats(Box::new(snap))));
+    }
+}

@@ -825,6 +825,46 @@ impl<K: Ord + Copy + Send + Sync> Forest<K> {
         }
     }
 
+    /// Single-threaded shard-affine variant of
+    /// [`Forest::par_search_batch_interleaved`]: probes (any order) are
+    /// routed to their shards and each shard's sub-batch descends on
+    /// that shard's interleaved kernel with up to `width` lookups in
+    /// flight — all on the **calling** thread. This is the serving
+    /// entry point for a thread-per-core worker that owns a subset of
+    /// shards: the worker batches the point lookups it owns and keeps
+    /// every descent (and the cache lines it touches) on its own core.
+    /// `out` is cleared and filled with one `(dense shard, in-shard
+    /// layout position)` entry per probe, in probe order —
+    /// bit-identical to routing and searching each probe individually.
+    pub fn search_batch_interleaved(
+        &self,
+        keys: &[K],
+        width: usize,
+        out: &mut Vec<Option<(usize, u64)>>,
+    ) {
+        let mut indices: Vec<Vec<u32>> = self.trees.iter().map(|_| Vec::new()).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(shard) = self.router.route(k) {
+                indices[shard].push(i as u32);
+            }
+        }
+        out.clear();
+        out.resize(keys.len(), None);
+        let mut probes: Vec<K> = Vec::new();
+        let mut res: Vec<Option<u64>> = Vec::new();
+        for (shard, idx) in indices.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            probes.clear();
+            probes.extend(idx.iter().map(|&i| keys[i as usize]));
+            self.trees[shard].search_batch_interleaved(&probes, width, &mut res);
+            for (&i, &p) in idx.iter().zip(res.iter()) {
+                out[i as usize] = p.map(|p| (shard, p));
+            }
+        }
+    }
+
     /// Point-lookup throughput kernel: splits `probes` into `threads`
     /// contiguous chunks, each worker routing and searching its chunk,
     /// and returns the wrapping sum of found forest-wide ranks (the

@@ -192,4 +192,12 @@ fn forest_interleaved_batch_matches_point_lookups() {
         .expect("ascending");
     forest.par_search_batch_interleaved(&sorted, 8, 2, &mut out);
     assert_eq!(out, via_sorted);
+    // The single-threaded shard-affine serving entry point agrees with
+    // both the parallel fan-out and the point-lookup oracle.
+    for width in [1, 8, 16] {
+        forest.search_batch_interleaved(&probes, width, &mut out);
+        assert_eq!(out, expect, "serial w={width}");
+    }
+    forest.search_batch_interleaved(&sorted, 8, &mut out);
+    assert_eq!(out, via_sorted);
 }

@@ -1,0 +1,92 @@
+//! `cobtree-bomber` — the open-loop load generator for
+//! `cobtree-serve`, emitting the `BENCH_serve.json` artifact.
+//!
+//! ```text
+//! cobtree-bomber --addr tcp:127.0.0.1:7878 [--connections N]
+//!                [--users N] [--zipf S] [--rate OPS_PER_SEC]
+//!                [--window N] [--mix GET,INS,REM,RANGE,RANK]
+//!                [--duration-ms N] [--span N] [--seed N]
+//!                [--out BENCH_serve.json] [--shutdown]
+//! ```
+//!
+//! `--rate 0` (the default) keeps every connection's pipeline window
+//! full instead of pacing arrivals — maximum offered load. With a
+//! positive rate, arrivals are Poisson and latency is measured from
+//! each request's *scheduled* arrival, so server queueing delay shows
+//! up in the tail instead of being coordinated away. `--shutdown`
+//! sends the server a `Shutdown` request after the run (and after the
+//! final stats scrape).
+
+use cobtree_serve::bomber::{self, BomberConfig, OpMix};
+use cobtree_serve::Client;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: unparseable value"))
+}
+
+fn main() {
+    let mut cfg = BomberConfig::default();
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = parse("--addr", args.next()),
+            "--connections" => cfg.connections = parse("--connections", args.next()),
+            "--users" => cfg.users = parse("--users", args.next()),
+            "--zipf" => cfg.zipf_s = parse("--zipf", args.next()),
+            "--rate" => cfg.target_rate = parse("--rate", args.next()),
+            "--window" => cfg.window = parse("--window", args.next()),
+            "--mix" => {
+                cfg.mix = OpMix::parse(&parse::<String>("--mix", args.next())).expect("--mix");
+            }
+            "--duration-ms" => {
+                cfg.duration = Duration::from_millis(parse("--duration-ms", args.next()));
+            }
+            "--span" => cfg.scan_span = parse("--span", args.next()),
+            "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--out" => out = PathBuf::from(parse::<String>("--out", args.next())),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: cobtree-bomber --addr tcp:HOST:PORT|unix:PATH [--connections N] \
+                     [--users N] [--zipf S] [--rate OPS] [--window N] [--mix G,I,R,S,K] \
+                     [--duration-ms N] [--span N] [--seed N] [--out FILE] [--shutdown]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    assert!(!cfg.addr.is_empty(), "--addr is required (try --help)");
+
+    bomber::await_ready(&cfg.addr, Duration::from_secs(10)).expect("server never became ready");
+    let report = bomber::run(&cfg).expect("bombing run failed");
+    std::fs::write(&out, report.to_json()).expect("write artifact");
+    eprintln!(
+        "[bomber] {:.0} ops/s over {} conns; p50 {:.0}us p99 {:.0}us p999 {:.0}us; \
+         busy rate {:.4}; {} sent / {} completed / {} lost -> {}",
+        report.ops_per_sec,
+        report.config.connections,
+        report.p50_ns / 1e3,
+        report.p99_ns / 1e3,
+        report.p999_ns / 1e3,
+        report.busy_rate,
+        report.sent,
+        report.completed,
+        report.lost,
+        out.display()
+    );
+
+    if shutdown {
+        Client::connect(&cfg.addr)
+            .and_then(|mut c| c.shutdown_server())
+            .expect("shutdown request");
+    }
+    assert!(report.completed > 0, "no requests completed");
+}

@@ -1,0 +1,726 @@
+//! The open-loop load generator behind `cobtree-bomber`.
+//!
+//! Open loop means arrivals are *scheduled*, not paced by responses: a
+//! Poisson process (exponential inter-arrival gaps at the target rate)
+//! decides when each request should have been sent, and latency is
+//! measured from that scheduled arrival to completion. A server that
+//! falls behind therefore pays for its queueing delay in the reported
+//! tail — the coordinated-omission mistake of closed-loop "send, wait,
+//! repeat" harnesses is deliberately impossible here.
+//!
+//! Key popularity is Zipf over a large keyspace of `users` ranks,
+//! reusing the exact [`ZipfTable`]/[`ZipfKeys`] generators the
+//! `cobtree-analysis` throughput harness replays (a regression test
+//! pins the two streams bit-identical for a fixed seed). Rank `r`
+//! maps to key `2r` for reads — the server is expected to be seeded
+//! with the even keys — and to key `2r + 1` for insert/remove churn,
+//! so writes never collide with the read working set.
+
+use crate::client::Client;
+use crate::net::{Addr, NetStream};
+use cobtree_analysis::json::{finite, percentile, safe_div, JsonObject};
+use cobtree_core::protocol::{
+    encode_request, FrameDecoder, Opcode, Request, StatsSnapshot, Status, LATENCY_BUCKETS,
+};
+use cobtree_core::{Error, Result};
+use cobtree_search::workload::{ZipfKeys, ZipfTable};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Relative weights of the five request kinds in the blend.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Point lookups.
+    pub get: u32,
+    /// Inserts of odd (never-read) keys.
+    pub insert: u32,
+    /// Removes of odd keys.
+    pub remove: u32,
+    /// Bounded range scans.
+    pub range: u32,
+    /// Rank queries.
+    pub rank: u32,
+}
+
+impl Default for OpMix {
+    /// The CI blend: read-heavy with a real write fraction.
+    fn default() -> Self {
+        OpMix {
+            get: 80,
+            insert: 8,
+            remove: 4,
+            range: 4,
+            rank: 4,
+        }
+    }
+}
+
+/// The op kinds the blend draws from, in fixed order.
+const KINDS: [Opcode; 5] = [
+    Opcode::Get,
+    Opcode::Insert,
+    Opcode::Remove,
+    Opcode::Range,
+    Opcode::Rank,
+];
+
+impl OpMix {
+    /// Parses `"get,insert,remove,range,rank"` weights, e.g.
+    /// `80,8,4,4,4`.
+    ///
+    /// # Errors
+    /// [`Error::Malformed`] unless exactly five non-negative integers
+    /// with a positive sum are given.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let bad = || Error::Malformed {
+            detail: format!("op mix '{spec}' is not five comma-separated weights"),
+        };
+        if parts.len() != 5 {
+            return Err(bad());
+        }
+        let mut w = [0u32; 5];
+        for (slot, p) in w.iter_mut().zip(&parts) {
+            *slot = p.trim().parse().map_err(|_| bad())?;
+        }
+        if w.iter().sum::<u32>() == 0 {
+            return Err(bad());
+        }
+        Ok(OpMix {
+            get: w[0],
+            insert: w[1],
+            remove: w[2],
+            range: w[3],
+            rank: w[4],
+        })
+    }
+
+    fn total(self) -> u32 {
+        self.get + self.insert + self.remove + self.range + self.rank
+    }
+
+    /// Draws one kind index (into [`KINDS`]) from the blend.
+    fn pick(self, rng: &mut ChaCha8Rng) -> usize {
+        let mut t = (rng.random::<f64>() * f64::from(self.total())) as u32;
+        t = t.min(self.total() - 1);
+        for (i, w) in [self.get, self.insert, self.remove, self.range, self.rank]
+            .into_iter()
+            .enumerate()
+        {
+            if t < w {
+                return i;
+            }
+            t -= w;
+        }
+        0
+    }
+}
+
+/// Everything `run` needs to aim the bomber.
+#[derive(Debug, Clone)]
+pub struct BomberConfig {
+    /// Server address (`tcp:HOST:PORT` / `unix:PATH`).
+    pub addr: String,
+    /// Concurrent connections, one thread each.
+    pub connections: usize,
+    /// Keyspace size: Zipf ranks `1..=users` (max `2^24`).
+    pub users: u64,
+    /// Zipf skew exponent (0 = uniform popularity).
+    pub zipf_s: f64,
+    /// Total offered load in ops/s across all connections; 0 means
+    /// unpaced (each connection keeps its window full).
+    pub target_rate: f64,
+    /// Max in-flight requests per connection.
+    pub window: usize,
+    /// The op blend.
+    pub mix: OpMix,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Span of each range scan in key units.
+    pub scan_span: u64,
+    /// RNG seed: the whole run is reproducible given the seed.
+    pub seed: u64,
+}
+
+impl Default for BomberConfig {
+    fn default() -> Self {
+        BomberConfig {
+            addr: String::new(),
+            connections: 4,
+            users: 1 << 16,
+            zipf_s: 0.99,
+            target_rate: 0.0,
+            window: 64,
+            mix: OpMix::default(),
+            duration: Duration::from_secs(2),
+            scan_span: 128,
+            seed: 42,
+        }
+    }
+}
+
+/// The bomber's deterministic per-connection key-rank stream —
+/// exactly the `cobtree-analysis` generators, re-seeded per
+/// connection so streams are independent but reproducible.
+#[must_use]
+pub fn key_stream(table: &ZipfTable, seed: u64, conn: usize) -> ZipfKeys {
+    ZipfKeys::from_table(table, conn_seed(seed, conn))
+}
+
+/// The per-connection sub-seed (connection 0 keeps the base seed, so
+/// single-stream runs line up with the analysis harness exactly).
+#[must_use]
+pub fn conn_seed(seed: u64, conn: usize) -> u64 {
+    seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Per-kind completion tally.
+#[derive(Debug, Clone, Default)]
+struct OpTally {
+    ok: u64,
+    busy: u64,
+    timeout: u64,
+    other_err: u64,
+    /// End-to-end (scheduled arrival → completion) latencies of `Ok`
+    /// completions, nanoseconds.
+    lats: Vec<u64>,
+}
+
+/// One connection thread's results.
+#[derive(Debug, Clone, Default)]
+struct ConnTally {
+    sent: u64,
+    completed: u64,
+    /// Scheduled arrivals shed client-side because the backlog grew
+    /// past any plausible catch-up (the server was saturated).
+    shed: u64,
+    /// Requests still unanswered when the drain grace expired.
+    lost: u64,
+    per_op: [OpTally; 5],
+}
+
+impl ConnTally {
+    fn merge(&mut self, other: ConnTally) {
+        self.sent += other.sent;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.lost += other.lost;
+        for (a, b) in self.per_op.iter_mut().zip(other.per_op) {
+            a.ok += b.ok;
+            a.busy += b.busy;
+            a.timeout += b.timeout;
+            a.other_err += b.other_err;
+            a.lats.extend(b.lats);
+        }
+    }
+}
+
+/// The aggregated result of one bombing run.
+#[derive(Debug, Clone)]
+pub struct BombReport {
+    /// The config the run used.
+    pub config: BomberConfig,
+    /// Wall time actually spent generating + draining, ns.
+    pub wall_ns: u64,
+    /// Requests sent / completions seen.
+    pub sent: u64,
+    /// Completions (any status).
+    pub completed: u64,
+    /// Client-side shed arrivals and drain-expired requests.
+    pub shed: u64,
+    /// Requests unanswered at drain expiry.
+    pub lost: u64,
+    /// `Ok` completions per second of wall time.
+    pub ops_per_sec: f64,
+    /// `BUSY` completions / all completions.
+    pub busy_rate: f64,
+    /// `TIMEOUT` completions / all completions.
+    pub timeout_rate: f64,
+    /// End-to-end latency quantiles over `Ok` completions, ns.
+    pub p50_ns: f64,
+    /// 99th percentile, ns.
+    pub p99_ns: f64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: f64,
+    /// Per-kind `(label, ok, busy, timeout, other, p50_ns, p99_ns)`.
+    pub per_op: Vec<(String, u64, u64, u64, u64, f64, f64)>,
+    /// Server-side counter delta over the run (STATS scrape before and
+    /// after).
+    pub server: Option<ServerDelta>,
+}
+
+/// Server counters over the run window, from the `STATS` opcode.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerDelta {
+    /// Requests the server decoded during the window.
+    pub requests: u64,
+    /// Responses it wrote.
+    pub responses: u64,
+    /// `BUSY` responses.
+    pub busy: u64,
+    /// `TIMEOUT` responses.
+    pub timeouts: u64,
+    /// Malformed-body refusals.
+    pub bad_requests: u64,
+    /// Desync-level failures that closed connections.
+    pub frame_errors: u64,
+    /// Cross-worker lookup handoffs.
+    pub handoffs: u64,
+    /// Server-side service-time quantiles (decode → reply encode), ns.
+    pub p50_ns: f64,
+    /// 99th percentile, ns.
+    pub p99_ns: f64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: f64,
+}
+
+impl ServerDelta {
+    fn from_snapshots(before: &StatsSnapshot, after: &StatsSnapshot) -> Self {
+        let mut delta = StatsSnapshot {
+            requests: after.requests - before.requests,
+            responses: after.responses - before.responses,
+            busy: after.busy - before.busy,
+            timeouts: after.timeouts - before.timeouts,
+            bad_requests: after.bad_requests - before.bad_requests,
+            frame_errors: after.frame_errors - before.frame_errors,
+            handoffs: after.handoffs - before.handoffs,
+            ..StatsSnapshot::default()
+        };
+        for i in 0..LATENCY_BUCKETS {
+            delta.latency_buckets[i] = after.latency_buckets[i] - before.latency_buckets[i];
+        }
+        ServerDelta {
+            requests: delta.requests,
+            responses: delta.responses,
+            busy: delta.busy,
+            timeouts: delta.timeouts,
+            bad_requests: delta.bad_requests,
+            frame_errors: delta.frame_errors,
+            handoffs: delta.handoffs,
+            p50_ns: delta.latency_quantile_ns(0.50),
+            p99_ns: delta.latency_quantile_ns(0.99),
+            p999_ns: delta.latency_quantile_ns(0.999),
+        }
+    }
+}
+
+impl BombReport {
+    /// Renders the `BENCH_serve.json` artifact (one top-level field per
+    /// line, greppable by the CI gates).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mix = &self.config.mix;
+        let mut obj = JsonObject::new()
+            .with("bench", "serve")
+            .with("schema_version", 1u64)
+            .with(
+                "config",
+                JsonObject::new()
+                    .with("addr", self.config.addr.as_str())
+                    .with("connections", self.config.connections)
+                    .with("users", self.config.users)
+                    .with("zipf_s", self.config.zipf_s)
+                    .with("target_rate", self.config.target_rate)
+                    .with("window", self.config.window)
+                    .with(
+                        "mix",
+                        format!(
+                            "{},{},{},{},{}",
+                            mix.get, mix.insert, mix.remove, mix.range, mix.rank
+                        ),
+                    )
+                    .with("duration_ms", self.config.duration.as_millis() as u64)
+                    .with("scan_span", self.config.scan_span)
+                    .with("seed", self.config.seed),
+            )
+            .with("wall_ns", self.wall_ns)
+            .with("sent", self.sent)
+            .with("completed", self.completed)
+            .with("shed", self.shed)
+            .with("lost", self.lost)
+            .with("ops_per_sec", self.ops_per_sec)
+            .with("busy_rate", self.busy_rate)
+            .with("timeout_rate", self.timeout_rate)
+            .with("p50_ns", self.p50_ns)
+            .with("p99_ns", self.p99_ns)
+            .with("p999_ns", self.p999_ns);
+        let per_op: Vec<JsonObject> = self
+            .per_op
+            .iter()
+            .map(|(label, ok, busy, timeout, other, p50, p99)| {
+                JsonObject::new()
+                    .with("op", label.as_str())
+                    .with("ok", *ok)
+                    .with("busy", *busy)
+                    .with("timeout", *timeout)
+                    .with("other_err", *other)
+                    .with("p50_ns", *p50)
+                    .with("p99_ns", *p99)
+            })
+            .collect();
+        obj.field("per_op", per_op);
+        if let Some(s) = &self.server {
+            obj.field(
+                "server",
+                JsonObject::new()
+                    .with("requests", s.requests)
+                    .with("responses", s.responses)
+                    .with("busy", s.busy)
+                    .with("timeouts", s.timeouts)
+                    .with("bad_requests", s.bad_requests)
+                    .with("frame_errors", s.frame_errors)
+                    .with("handoffs", s.handoffs)
+                    .with("p50_ns", s.p50_ns)
+                    .with("p99_ns", s.p99_ns)
+                    .with("p999_ns", s.p999_ns),
+            );
+        }
+        obj.render()
+    }
+}
+
+/// Retries `Ping` until the server answers or `timeout` expires — the
+/// CI boot handshake.
+///
+/// # Errors
+/// The last connect/ping failure when the deadline passes.
+pub fn await_ready(addr: &str, timeout: Duration) -> Result<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Client::connect_timeout(addr, Duration::from_millis(500)).and_then(|mut c| c.ping()) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Runs the full bombing run: spawns one thread per connection,
+/// scrapes server stats before and after, aggregates.
+///
+/// # Errors
+/// Connect failures and stats-scrape protocol failures. Individual
+/// request failures are tallied, not raised.
+pub fn run(cfg: &BomberConfig) -> Result<BombReport> {
+    let table = ZipfTable::new(cfg.users, cfg.zipf_s);
+    let before = Client::connect(&cfg.addr)?.stats().ok();
+
+    let started = Instant::now();
+    let stop = started + cfg.duration;
+    let mut threads = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let cfg = cfg.clone();
+        let table = table.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("bomber-{conn}"))
+                .spawn(move || run_conn(&cfg, &table, conn, stop))
+                .expect("spawn bomber thread"),
+        );
+    }
+    let mut total = ConnTally::default();
+    let mut first_err: Option<Error> = None;
+    for t in threads {
+        match t.join().expect("bomber thread panicked") {
+            Ok(tally) => total.merge(tally),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if total.completed == 0 {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let after = Client::connect(&cfg.addr).and_then(|mut c| c.stats()).ok();
+
+    let mut all_lats: Vec<u64> = Vec::new();
+    let mut per_op = Vec::new();
+    let mut ok_total = 0u64;
+    let mut busy_total = 0u64;
+    let mut timeout_total = 0u64;
+    for (kind, tally) in KINDS.iter().zip(&mut total.per_op) {
+        tally.lats.sort_unstable();
+        ok_total += tally.ok;
+        busy_total += tally.busy;
+        timeout_total += tally.timeout;
+        per_op.push((
+            kind.label().to_string(),
+            tally.ok,
+            tally.busy,
+            tally.timeout,
+            tally.other_err,
+            percentile(&tally.lats, 0.50),
+            percentile(&tally.lats, 0.99),
+        ));
+        all_lats.extend(&tally.lats);
+    }
+    all_lats.sort_unstable();
+    let server = match (before, after) {
+        (Some(b), Some(a)) => Some(ServerDelta::from_snapshots(&b, &a)),
+        _ => None,
+    };
+    Ok(BombReport {
+        config: cfg.clone(),
+        wall_ns,
+        sent: total.sent,
+        completed: total.completed,
+        shed: total.shed,
+        lost: total.lost,
+        ops_per_sec: finite(ok_total as f64 * 1e9 / wall_ns as f64),
+        busy_rate: safe_div(busy_total as f64, total.completed as f64),
+        timeout_rate: safe_div(timeout_total as f64, total.completed as f64),
+        p50_ns: percentile(&all_lats, 0.50),
+        p99_ns: percentile(&all_lats, 0.99),
+        p999_ns: percentile(&all_lats, 0.999),
+        per_op,
+        server,
+    })
+}
+
+/// Backlog length past which scheduled-but-unsent arrivals are shed:
+/// the server has fallen hopelessly behind the offered rate and
+/// unbounded client-side queues would only measure the client's RAM.
+const MAX_BACKLOG: usize = 65_536;
+
+/// How long after the load window the connection waits for stragglers.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// One connection's open-loop send/receive loop.
+#[allow(clippy::too_many_lines)]
+fn run_conn(
+    cfg: &BomberConfig,
+    table: &ZipfTable,
+    conn: usize,
+    stop: Instant,
+) -> Result<ConnTally> {
+    let addr = Addr::parse(&cfg.addr)?;
+    let stream = NetStream::connect(&addr)?;
+    stream.set_nodelay();
+    stream.set_nonblocking(true)?;
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new();
+    let mut zipf = key_stream(table, cfg.seed, conn);
+    let mut rng = ChaCha8Rng::seed_from_u64(conn_seed(cfg.seed, conn) ^ 0xB0B);
+    let per_conn_rate = cfg.target_rate / cfg.connections.max(1) as f64;
+
+    let mut tally = ConnTally::default();
+    let mut pending: HashMap<u32, (Instant, usize)> = HashMap::new();
+    let mut due: VecDeque<Instant> = VecDeque::new();
+    let mut next_arrival = Instant::now();
+    let mut next_req: u32 = 1;
+    let mut outbuf: Vec<u8> = Vec::new();
+    let mut written = 0usize;
+    let mut scratch = [0u8; 16 * 1024];
+    let hard_stop = stop + DRAIN_GRACE;
+
+    loop {
+        let now = Instant::now();
+        if now >= hard_stop {
+            tally.lost += pending.len() as u64;
+            break;
+        }
+        if now >= stop && pending.is_empty() && written == outbuf.len() {
+            break;
+        }
+        let mut progressed = false;
+
+        // Schedule arrivals (open loop: timestamps come from the
+        // Poisson process, not from responses).
+        if now < stop {
+            if per_conn_rate > 0.0 {
+                while next_arrival <= now {
+                    due.push_back(next_arrival);
+                    let gap = -rng.random::<f64>().max(1e-12).ln() / per_conn_rate;
+                    next_arrival += Duration::from_secs_f64(gap.min(1.0));
+                    if due.len() > MAX_BACKLOG {
+                        due.pop_front();
+                        tally.shed += 1;
+                    }
+                }
+            } else {
+                while due.len() + pending.len() < cfg.window {
+                    due.push_back(now);
+                }
+            }
+        } else {
+            tally.shed += due.len() as u64;
+            due.clear();
+        }
+
+        // Send while the window allows.
+        while pending.len() < cfg.window {
+            let Some(sched) = due.pop_front() else { break };
+            let rank = zipf.next().expect("zipf stream is infinite");
+            let kind = cfg.mix.pick(&mut rng);
+            let req = match KINDS[kind] {
+                Opcode::Insert => Request::Insert { key: rank * 2 + 1 },
+                Opcode::Remove => Request::Remove { key: rank * 2 + 1 },
+                Opcode::Range => Request::Range {
+                    lo: rank * 2,
+                    hi: (rank * 2).saturating_add(cfg.scan_span),
+                    limit: 64,
+                },
+                Opcode::Rank => Request::Rank { key: rank * 2 },
+                _ => Request::Get { key: rank * 2 },
+            };
+            let req_id = next_req;
+            next_req = next_req.wrapping_add(1).max(1);
+            encode_request(req_id, &req, &mut outbuf);
+            pending.insert(req_id, (sched, kind));
+            tally.sent += 1;
+            progressed = true;
+        }
+
+        // Flush the send buffer.
+        while written < outbuf.len() {
+            match stream.write(&outbuf[written..]) {
+                Ok(0) => return Err(Error::Truncated { needed: 1, got: 0 }),
+                Ok(n) => {
+                    written += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::io(&e)),
+            }
+        }
+        if written == outbuf.len() {
+            outbuf.clear();
+            written = 0;
+        }
+
+        // Reap completions.
+        loop {
+            match stream.read(&mut scratch) {
+                Ok(0) => {
+                    tally.lost += pending.len() as u64;
+                    return Ok(tally);
+                }
+                Ok(n) => {
+                    decoder.feed(&scratch[..n]);
+                    progressed = true;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::io(&e)),
+            }
+        }
+        while let Some(body) = decoder.next_frame()? {
+            let resp = cobtree_core::protocol::decode_response(&body)?;
+            let Some((sched, kind)) = pending.remove(&resp.req_id) else {
+                continue;
+            };
+            tally.completed += 1;
+            let op = &mut tally.per_op[kind];
+            match resp.status {
+                Status::Ok => {
+                    op.ok += 1;
+                    let ns = u64::try_from(sched.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    op.lats.push(ns);
+                }
+                Status::Busy => op.busy += 1,
+                Status::Timeout => op.timeout += 1,
+                _ => op.other_err += 1,
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parse_and_pick() {
+        let mix = OpMix::parse("80,8,4,4,4").unwrap();
+        assert_eq!(mix.get, 80);
+        assert_eq!(mix.rank, 4);
+        assert!(OpMix::parse("1,2,3").is_err());
+        assert!(OpMix::parse("0,0,0,0,0").is_err());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            counts[mix.pick(&mut rng)] += 1;
+        }
+        assert!(counts[0] > 7_000, "get weight dominates: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every kind drawn: {counts:?}"
+        );
+    }
+
+    /// Satellite regression: the bomber's key stream IS the analysis
+    /// harness's generator — same table, same seed, same keys.
+    #[test]
+    fn key_stream_matches_analysis_generator() {
+        let table = ZipfTable::new(10_000, 0.99);
+        let ours: Vec<u64> = key_stream(&table, 42, 0).take(512).collect();
+        let harness: Vec<u64> = ZipfKeys::from_table(&table, 42).take(512).collect();
+        assert_eq!(ours, harness);
+        // Distinct connections draw distinct (but reproducible) streams.
+        let conn1: Vec<u64> = key_stream(&table, 42, 1).take(512).collect();
+        let conn1b: Vec<u64> = key_stream(&table, 42, 1).take(512).collect();
+        assert_eq!(conn1, conn1b);
+        assert_ne!(ours, conn1);
+    }
+
+    #[test]
+    fn report_json_is_gateable() {
+        let report = BombReport {
+            config: BomberConfig {
+                addr: "tcp:127.0.0.1:1".to_string(),
+                ..BomberConfig::default()
+            },
+            wall_ns: 2_000_000_000,
+            sent: 1000,
+            completed: 990,
+            shed: 0,
+            lost: 10,
+            ops_per_sec: 495.0,
+            busy_rate: 0.001,
+            timeout_rate: 0.0,
+            p50_ns: 1_000.0,
+            p99_ns: 9_000.0,
+            p999_ns: 20_000.0,
+            per_op: vec![("get".to_string(), 900, 1, 0, 0, 1_000.0, 9_000.0)],
+            server: Some(ServerDelta {
+                requests: 1000,
+                responses: 990,
+                busy: 1,
+                timeouts: 0,
+                bad_requests: 0,
+                frame_errors: 0,
+                handoffs: 500,
+                p50_ns: 800.0,
+                p99_ns: 7_000.0,
+                p999_ns: 15_000.0,
+            }),
+        };
+        let json = report.to_json();
+        cobtree_analysis::json::assert_jsonish(&json);
+        // The CI gates grep these exact one-line shapes.
+        assert!(json.contains("\"busy_rate\": 0.001"), "{json}");
+        assert!(json.contains("\"ops_per_sec\": 495.000"), "{json}");
+        assert!(
+            json.lines()
+                .any(|l| l.trim_start().starts_with("\"p99_ns\":")),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! A small blocking protocol client: one request in flight, a read
+//! timeout so a wedged server can never hang the caller.
+//!
+//! This is the client the tests, the CLI and the harness's stats
+//! scrapes use. The load generator in [`crate::bomber`] does *not* use
+//! it — open-loop load needs pipelining — but both speak exactly the
+//! same frames from [`cobtree_core::protocol`].
+
+use crate::net::{Addr, NetStream};
+use cobtree_core::protocol::{
+    decode_response, encode_request, FrameDecoder, Reply, Request, Response, StatsSnapshot, Status,
+};
+use cobtree_core::{Error, Result};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// A connected blocking client.
+pub struct Client {
+    stream: NetStream,
+    decoder: FrameDecoder,
+    next_req: u32,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with a 5-second read timeout.
+    ///
+    /// # Errors
+    /// Address parse or connect failure.
+    pub fn connect(spec: &str) -> Result<Self> {
+        Self::connect_timeout(spec, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit read timeout (`None` blocks forever —
+    /// only sensible in tests that kill the server themselves).
+    ///
+    /// # Errors
+    /// Address parse or connect failure.
+    pub fn connect_timeout(spec: &str, read_timeout: impl Into<Option<Duration>>) -> Result<Self> {
+        let addr = Addr::parse(spec)?;
+        let stream = NetStream::connect(&addr)?;
+        stream.set_read_timeout(read_timeout.into())?;
+        stream.set_nodelay();
+        Ok(Client {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_req: 1,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on socket failure or timeout, decode errors on a
+    /// malformed response, [`Error::Malformed`] when the response
+    /// correlates to a different request id.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let req_id = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1);
+        self.buf.clear();
+        encode_request(req_id, req, &mut self.buf);
+        let frame = std::mem::take(&mut self.buf);
+        self.stream.write_all(&frame).map_err(|e| Error::io(&e))?;
+        self.buf = frame;
+        let body = self.read_frame()?;
+        let resp = decode_response(&body)?;
+        if resp.req_id != req_id {
+            return Err(Error::Malformed {
+                detail: format!(
+                    "response correlates to request {} but {} is in flight",
+                    resp.req_id, req_id
+                ),
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Writes one request without waiting for its response. The reply
+    /// still arrives on the stream and will desynchronize `call`'s
+    /// correlation check — this exists for tests that deliberately
+    /// misbehave (pipelining floods, slow readers), not for normal use.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on socket failure.
+    pub fn send_only(&mut self, req: &Request) -> Result<()> {
+        let req_id = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1);
+        self.buf.clear();
+        encode_request(req_id, req, &mut self.buf);
+        let frame = std::mem::take(&mut self.buf);
+        let res = self.stream.write_all(&frame).map_err(|e| Error::io(&e));
+        self.buf = frame;
+        res
+    }
+
+    /// Blocks until one whole frame body arrives.
+    fn read_frame(&mut self) -> Result<Vec<u8>> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(body) = self.decoder.next_frame()? {
+                return Ok(body);
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(Error::Truncated { needed: 1, got: 0 }),
+                Ok(n) => self.decoder.feed(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::io(&e)),
+            }
+        }
+    }
+
+    /// `call` that demands [`Status::Ok`] and unwraps the payload.
+    ///
+    /// # Errors
+    /// Everything `call` raises, plus [`Error::Malformed`] for a
+    /// non-`Ok` status (the status label is in the message).
+    pub fn call_ok(&mut self, req: &Request) -> Result<Reply> {
+        let resp = self.call(req)?;
+        if resp.status != Status::Ok {
+            return Err(Error::Malformed {
+                detail: format!(
+                    "{} request refused with status {:?}",
+                    resp.opcode.label(),
+                    resp.status
+                ),
+            });
+        }
+        resp.reply.ok_or_else(|| Error::Malformed {
+            detail: "ok response with no payload".to_string(),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Socket or protocol failure.
+    pub fn ping(&mut self) -> Result<()> {
+        self.call_ok(&Request::Ping).map(|_| ())
+    }
+
+    /// Scrapes the server's live counters.
+    ///
+    /// # Errors
+    /// Socket or protocol failure.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        match self.call_ok(&Request::Stats)? {
+            Reply::Stats(s) => Ok(*s),
+            other => Err(Error::Malformed {
+                detail: format!("stats reply has wrong shape: {other:?}"),
+            }),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    /// Socket or protocol failure.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.call_ok(&Request::Shutdown).map(|_| ())
+    }
+}

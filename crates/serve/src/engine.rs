@@ -1,0 +1,430 @@
+//! [`ServeEngine`]: one handle over the two things a server can put
+//! behind the wire — an immutable mapped [`Forest`] or the LSM-style
+//! [`TieredForest`] write path — answering every protocol op with the
+//! exact same semantics as the in-process API (the parity tests hold
+//! the server to bit-identical answers).
+
+use cobtree_core::protocol::{BatchHit, Reply, Status, BUFFER_SHARD, MAX_RANGE_KEYS};
+use cobtree_search::tiered::{TierPlace, TieredForest};
+use cobtree_search::Forest;
+use std::sync::Arc;
+
+/// The store a server serves: reads go to whichever engine is mounted,
+/// writes only exist on the tiered one.
+#[derive(Clone)]
+pub enum ServeEngine {
+    /// An immutable (typically memory-mapped) forest: reads only.
+    Forest(Arc<Forest<u64>>),
+    /// The tiered write path: reads *and* inserts/removes/flushes.
+    Tiered(Arc<TieredForest<u64>>),
+}
+
+/// What an engine op produced: a success reply or a typed failure
+/// status (`Unsupported` for writes against an immutable forest,
+/// `Internal` for engine errors).
+pub type EngineResult = Result<Reply, Status>;
+
+impl ServeEngine {
+    /// `"forest"` or `"tiered"` — for logs and the stats harness.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeEngine::Forest(_) => "forest",
+            ServeEngine::Tiered(_) => "tiered",
+        }
+    }
+
+    /// Live key count.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            ServeEngine::Forest(f) => f.len(),
+            ServeEngine::Tiered(t) => t.len(),
+        }
+    }
+
+    /// Whether no key is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dense base-forest shard that could hold `key`, for worker
+    /// affinity: `None` when the key routes outside every shard's fence
+    /// interval (or, on a tiered engine, when no base forest exists
+    /// yet) — such keys are answered inline by the connection's own
+    /// worker instead of being handed off.
+    #[must_use]
+    pub fn route_shard(&self, key: u64) -> Option<usize> {
+        match self {
+            ServeEngine::Forest(f) => f.router().route(key),
+            ServeEngine::Tiered(t) => {
+                let snap = t.snapshot();
+                snap.base().and_then(|b| b.router().route(key))
+            }
+        }
+    }
+
+    /// Base-forest shard count (1 minimum, so `shard % workers`
+    /// ownership is always defined).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ServeEngine::Forest(f) => f.shard_count().max(1),
+            ServeEngine::Tiered(t) => {
+                let snap = t.snapshot();
+                snap.base().map_or(1, |b| b.shard_count().max(1))
+            }
+        }
+    }
+
+    /// Point lookup → the protocol's `Hit` reply. Buffer-tier hits on
+    /// the tiered engine report shard [`BUFFER_SHARD`] and position 0.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Reply {
+        match self {
+            ServeEngine::Forest(f) => match f.locate(key) {
+                Some(hit) => Reply::Hit {
+                    found: true,
+                    shard: hit.shard as u32,
+                    position: hit.position,
+                },
+                None => MISS,
+            },
+            ServeEngine::Tiered(t) => match t.locate(key) {
+                Some(hit) => Reply::Hit {
+                    found: true,
+                    shard: match hit.place {
+                        TierPlace::Shard { shard, .. } => shard as u32,
+                        TierPlace::Buffer => BUFFER_SHARD,
+                    },
+                    position: match hit.place {
+                        TierPlace::Shard { position, .. } => position,
+                        TierPlace::Buffer => 0,
+                    },
+                },
+                None => MISS,
+            },
+        }
+    }
+
+    /// A whole batch of point lookups on the **calling** thread — the
+    /// worker-affinity hot path. On the immutable forest this runs the
+    /// serial interleaved descent kernel
+    /// ([`Forest::search_batch_interleaved`]) with `width` lookups in
+    /// flight; the tiered engine must merge mutable tiers under its
+    /// read lock, so it resolves per key. `out` gets one `Hit` reply
+    /// per probe, in probe order.
+    pub fn get_batch(&self, keys: &[u64], width: usize, out: &mut Vec<Reply>) {
+        out.clear();
+        match self {
+            ServeEngine::Forest(f) => {
+                let mut hits = Vec::new();
+                f.search_batch_interleaved(keys, width, &mut hits);
+                out.extend(hits.into_iter().map(|h| match h {
+                    Some((shard, position)) => Reply::Hit {
+                        found: true,
+                        shard: shard as u32,
+                        position,
+                    },
+                    None => MISS,
+                }));
+            }
+            ServeEngine::Tiered(_) => {
+                out.extend(keys.iter().map(|&k| self.get(k)));
+            }
+        }
+    }
+
+    /// Smallest stored key `>=` / `>` the probe.
+    #[must_use]
+    pub fn bound(&self, key: u64, upper: bool) -> Reply {
+        let found = match (self, upper) {
+            (ServeEngine::Forest(f), false) => f.lower_bound(key),
+            (ServeEngine::Forest(f), true) => f.upper_bound(key),
+            (ServeEngine::Tiered(t), false) => t.lower_bound(key),
+            (ServeEngine::Tiered(t), true) => t.upper_bound(key),
+        };
+        Reply::KeyOpt {
+            found: found.is_some(),
+            key: found.unwrap_or(0),
+        }
+    }
+
+    /// Stored keys strictly below the probe (0-based rank).
+    #[must_use]
+    pub fn rank(&self, key: u64) -> Reply {
+        Reply::Rank {
+            rank: match self {
+                ServeEngine::Forest(f) => f.rank(key),
+                ServeEngine::Tiered(t) => t.rank(key),
+            },
+        }
+    }
+
+    /// The `rank`-th smallest stored key (1-based).
+    #[must_use]
+    pub fn select(&self, rank: u64) -> Reply {
+        let found = match self {
+            ServeEngine::Forest(f) => f.select(rank),
+            ServeEngine::Tiered(t) => t.select(rank),
+        };
+        Reply::KeyOpt {
+            found: found.is_some(),
+            key: found.unwrap_or(0),
+        }
+    }
+
+    /// Ascending keys in `[lo, hi]`, at most `limit`; sets `truncated`
+    /// when the scan stopped at the limit with keys remaining.
+    #[must_use]
+    pub fn range(&self, lo: u64, hi: u64, limit: u32) -> Reply {
+        let cap = (limit as usize).min(MAX_RANGE_KEYS);
+        let mut keys = Vec::with_capacity(cap.min(256));
+        let mut truncated = false;
+        match self {
+            ServeEngine::Forest(f) => {
+                for k in f.range(lo..=hi) {
+                    if keys.len() == cap {
+                        truncated = true;
+                        break;
+                    }
+                    keys.push(k);
+                }
+            }
+            ServeEngine::Tiered(t) => {
+                for k in t.snapshot().range(lo..=hi) {
+                    if keys.len() == cap {
+                        truncated = true;
+                        break;
+                    }
+                    keys.push(k);
+                }
+            }
+        }
+        Reply::Keys { truncated, keys }
+    }
+
+    /// The sorted-batch protocol op: ascending probes answered like
+    /// per-probe `get`s. Tiered hits coming from the buffer tiers
+    /// report [`BUFFER_SHARD`].
+    pub fn sorted_batch(&self, keys: &[u64]) -> EngineResult {
+        let mut hits = Vec::with_capacity(keys.len());
+        match self {
+            ServeEngine::Forest(f) => {
+                let mut out = Vec::new();
+                f.search_sorted_batch(keys, &mut out)
+                    .map_err(|_| Status::BadRequest)?;
+                hits.extend(out.into_iter().map(|h| match h {
+                    Some((shard, position)) => BatchHit {
+                        found: true,
+                        shard: shard as u32,
+                        position,
+                    },
+                    None => BATCH_MISS,
+                }));
+            }
+            ServeEngine::Tiered(t) => {
+                let mut out = Vec::new();
+                t.search_sorted_batch(keys, &mut out)
+                    .map_err(|_| Status::BadRequest)?;
+                hits.extend(out.into_iter().map(|h| match h {
+                    Some(hit) => match hit.place {
+                        TierPlace::Shard { shard, position } => BatchHit {
+                            found: true,
+                            shard: shard as u32,
+                            position,
+                        },
+                        TierPlace::Buffer => BatchHit {
+                            found: true,
+                            shard: BUFFER_SHARD,
+                            position: 0,
+                        },
+                    },
+                    None => BATCH_MISS,
+                }));
+            }
+        }
+        Ok(Reply::Batch { hits })
+    }
+
+    /// Insert (`remove == false`) or remove one key. `Unsupported` on
+    /// an immutable forest; `applied` reports whether the store
+    /// changed.
+    pub fn write(&self, key: u64, remove: bool) -> EngineResult {
+        match self {
+            ServeEngine::Forest(_) => Err(Status::Unsupported),
+            ServeEngine::Tiered(t) => {
+                let applied = if remove { t.remove(key) } else { t.insert(key) };
+                if let Some(err) = t.take_compaction_error() {
+                    eprintln!("[serve] background compaction failed: {err}");
+                    return Err(Status::Internal);
+                }
+                Ok(Reply::Applied { applied })
+            }
+        }
+    }
+
+    /// Flushes the tiered memtable to durable shards; `applied` is
+    /// whether anything was buffered. `Unsupported` on a forest.
+    pub fn flush(&self) -> EngineResult {
+        match self {
+            ServeEngine::Forest(_) => Err(Status::Unsupported),
+            ServeEngine::Tiered(t) => match t.flush() {
+                Ok(applied) => Ok(Reply::Applied { applied }),
+                Err(err) => {
+                    eprintln!("[serve] flush failed: {err}");
+                    Err(Status::Internal)
+                }
+            },
+        }
+    }
+}
+
+/// The not-found `Hit` reply (found = false, zeroed coordinates).
+const MISS: Reply = Reply::Hit {
+    found: false,
+    shard: 0,
+    position: 0,
+};
+
+/// The not-found batch entry.
+const BATCH_MISS: BatchHit = BatchHit {
+    found: false,
+    shard: 0,
+    position: 0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+    use cobtree_search::Storage;
+
+    fn forest_engine(n: u64) -> ServeEngine {
+        let forest = Forest::builder()
+            .layout(NamedLayout::MinWep)
+            .storage(Storage::Implicit)
+            .shards(3)
+            .keys((1..=n).map(|k| k * 2))
+            .build()
+            .expect("forest");
+        ServeEngine::Forest(Arc::new(forest))
+    }
+
+    #[test]
+    fn forest_engine_answers_match_direct_calls() {
+        let engine = forest_engine(500);
+        let ServeEngine::Forest(f) = engine.clone() else {
+            unreachable!()
+        };
+        for k in [0u64, 1, 2, 499, 500, 1000, 1001, 5000] {
+            let expect = match f.locate(k) {
+                Some(h) => Reply::Hit {
+                    found: true,
+                    shard: h.shard as u32,
+                    position: h.position,
+                },
+                None => MISS,
+            };
+            assert_eq!(engine.get(k), expect, "get({k})");
+        }
+        assert_eq!(engine.rank(11), Reply::Rank { rank: f.rank(11) });
+        assert_eq!(
+            engine.bound(11, false),
+            Reply::KeyOpt {
+                found: true,
+                key: 12
+            }
+        );
+        assert_eq!(
+            engine.select(0),
+            Reply::KeyOpt {
+                found: false,
+                key: 0
+            }
+        );
+        // Writes are refused, not mis-applied.
+        assert_eq!(engine.write(7, false), Err(Status::Unsupported));
+        assert_eq!(engine.flush(), Err(Status::Unsupported));
+    }
+
+    #[test]
+    fn range_truncation_flags() {
+        let engine = forest_engine(100);
+        let Reply::Keys { truncated, keys } = engine.range(2, 60, 10) else {
+            panic!("range reply shape")
+        };
+        assert!(truncated);
+        assert_eq!(keys, (1..=10).map(|k| k * 2).collect::<Vec<_>>());
+        let Reply::Keys { truncated, keys } = engine.range(2, 20, 100) else {
+            panic!("range reply shape")
+        };
+        assert!(!truncated);
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn batch_paths_agree_with_point_gets() {
+        let engine = forest_engine(300);
+        let keys: Vec<u64> = (0..200).map(|i| (i * 37) % 700).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut out = Vec::new();
+        engine.get_batch(&sorted, 8, &mut out);
+        let direct: Vec<Reply> = sorted.iter().map(|&k| engine.get(k)).collect();
+        assert_eq!(out, direct);
+        let Ok(Reply::Batch { hits }) = engine.sorted_batch(&sorted) else {
+            panic!("batch reply shape")
+        };
+        for (hit, d) in hits.iter().zip(&direct) {
+            let Reply::Hit {
+                found,
+                shard,
+                position,
+            } = *d
+            else {
+                panic!()
+            };
+            assert_eq!(
+                (hit.found, hit.shard, hit.position),
+                (found, shard, position)
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_engine_serves_buffer_hits_and_writes() {
+        let t: TieredForest<u64> = TieredForest::builder()
+            .layout(NamedLayout::MinWep)
+            .shards(2)
+            .memtable_entries(1 << 20)
+            .keys((1..=200u64).map(|k| k * 2))
+            .build()
+            .expect("tiered");
+        let engine = ServeEngine::Tiered(Arc::new(t));
+        assert_eq!(engine.kind(), "tiered");
+        // A fresh odd key lands in the memtable: buffer-tier hit.
+        assert_eq!(engine.write(7, false), Ok(Reply::Applied { applied: true }));
+        assert_eq!(
+            engine.write(7, false),
+            Ok(Reply::Applied { applied: false })
+        );
+        let Reply::Hit { found, shard, .. } = engine.get(7) else {
+            panic!("hit shape")
+        };
+        assert!(found);
+        assert_eq!(shard, BUFFER_SHARD);
+        // Base hits still carry real shard coordinates.
+        let Reply::Hit { found, shard, .. } = engine.get(100) else {
+            panic!("hit shape")
+        };
+        assert!(found);
+        assert_ne!(shard, BUFFER_SHARD);
+        assert_eq!(engine.write(7, true), Ok(Reply::Applied { applied: true }));
+        let Reply::Hit { found, .. } = engine.get(7) else {
+            panic!("hit shape")
+        };
+        assert!(!found);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cobtree-serve
+//!
+//! The network serving subsystem: everything between a socket and a
+//! mapped [`cobtree_search::Forest`] / [`cobtree_search::TieredForest`].
+//!
+//! * [`net`] — address parsing (`tcp:host:port` / `unix:/path`) and the
+//!   TCP-or-Unix stream/listener abstraction;
+//! * [`engine`] — [`engine::ServeEngine`], one enum over the immutable
+//!   forest and the tiered write path, answering every protocol op;
+//! * [`server`] — the thread-per-core server: an acceptor thread deals
+//!   connections to workers, each worker owns its connections *and* a
+//!   subset of shards (shard `s` belongs to worker `s mod N`), point
+//!   lookups are handed off to their owning worker and answered with
+//!   the interleaved descent kernel, bounded queues reply `BUSY`
+//!   instead of buffering without limit, queued work is shed with
+//!   `TIMEOUT` past its deadline, and shutdown drains in-flight
+//!   requests before flushing the memtable;
+//! * [`client`] — a small blocking client (one request in flight) used
+//!   by tests, the CLI and the harness's stats scrapes;
+//! * [`bomber`] — the open-loop load generator behind `cobtree-bomber`:
+//!   Zipf key popularity over millions of distinct users, Poisson
+//!   arrivals, mixed op blends, true arrival-to-completion latency, and
+//!   the `BENCH_serve.json` artifact.
+//!
+//! The wire protocol itself (framing, opcodes, typed decode errors)
+//! lives in [`cobtree_core::protocol`] and is specified byte-by-byte in
+//! `docs/PROTOCOL.md`.
+
+pub mod bomber;
+pub mod client;
+pub mod engine;
+pub mod net;
+pub mod server;
+
+pub use client::Client;
+pub use engine::ServeEngine;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,928 @@
+//! The thread-per-core serving loop.
+//!
+//! One acceptor thread deals incoming connections round-robin to `N`
+//! worker threads. Each worker owns two things for its whole life:
+//!
+//! * **its connections** — it alone reads their sockets, decodes their
+//!   frames, and writes their replies;
+//! * **its shards** — base-forest shard `s` belongs to worker
+//!   `s mod N`, and only that worker descends it.
+//!
+//! Point lookups (`Get`) are therefore *handed off*: the connection's
+//! worker routes the key, and if the owning shard belongs to another
+//! worker it pushes a job onto that worker's bounded handoff queue.
+//! The owner drains its queue in batches and answers them with the
+//! serial interleaved descent kernel
+//! ([`Forest::search_batch_interleaved`](cobtree_search::Forest::search_batch_interleaved)),
+//! so each shard is only ever walked by the core that keeps its hot
+//! nodes in cache. Every other opcode executes inline on the
+//! connection's own worker.
+//!
+//! Overload never buffers without bound:
+//!
+//! * a full handoff queue or a connection at its in-flight cap replies
+//!   [`Status::Busy`] immediately;
+//! * a handed-off job past its deadline is shed with
+//!   [`Status::Timeout`] instead of being descended;
+//! * a connection whose peer stops reading (write buffer stalled past
+//!   `write_stall_timeout`) is closed rather than allowed to wedge its
+//!   worker.
+//!
+//! Shutdown comes in two flavours: [`Server::shutdown`] drains — the
+//! acceptor stops, in-flight requests finish, late arrivals get
+//! [`Status::ShuttingDown`], and the tiered memtable is flushed —
+//! while [`Server::abort`] kills the threads with work still queued,
+//! deliberately simulating a crash for the recovery tests.
+
+use crate::engine::ServeEngine;
+use crate::net::{Addr, NetListener, NetStream};
+use cobtree_core::protocol::{
+    decode_request, encode_error, encode_ok, latency_bucket, peek_opcode, peek_req_id,
+    FrameDecoder, Opcode, Reply, Request, StatsSnapshot, Status, LATENCY_BUCKETS,
+};
+use cobtree_core::Result;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server lifecycle states (stored in one shared atomic).
+const RUNNING: u8 = 0;
+/// Draining: no new connections/requests, in-flight work finishes.
+const DRAINING: u8 = 1;
+/// Killed: threads exit as fast as possible, work is abandoned.
+const KILLED: u8 = 2;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count; 0 means one per available core (capped
+    /// at 8 — beyond that loopback serving is accept-bound anyway).
+    pub workers: usize,
+    /// Max handed-off lookups a single connection may have in flight
+    /// before further `Get`s are refused with `BUSY`.
+    pub inflight_per_conn: usize,
+    /// Capacity of each worker's bounded handoff queue; a full queue
+    /// refuses with `BUSY` instead of buffering.
+    pub handoff_queue: usize,
+    /// Deadline for handed-off lookups, measured from decode; jobs
+    /// past it are shed with `TIMEOUT`. Zero sheds every handoff —
+    /// degenerate, but deterministic for tests.
+    pub op_timeout: Duration,
+    /// Interleave width for the batched descent kernel.
+    pub batch_width: usize,
+    /// Group-commit mode: when true, `Insert`/`Remove` acks are held
+    /// until the memtable has been flushed to durable shards, so every
+    /// acknowledged write survives a crash.
+    pub durable_writes: bool,
+    /// How long a connection's write buffer may sit unflushable (peer
+    /// not reading) before the connection is dropped.
+    pub write_stall_timeout: Duration,
+    /// Pending-reply bytes above which a connection's socket stops
+    /// being read (backpressure on pipelining clients).
+    pub write_buffer_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            inflight_per_conn: 256,
+            handoff_queue: 4096,
+            op_timeout: Duration::from_secs(1),
+            batch_width: 8,
+            durable_writes: false,
+            write_stall_timeout: Duration::from_secs(2),
+            write_buffer_cap: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker count `start` will actually spawn.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map_or(2, |n| n.get().min(8))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live counters
+// ---------------------------------------------------------------------
+
+/// The server's live counters; scraped lock-free by the `Stats` opcode
+/// and by [`Server::stats`].
+struct Counters {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    busy: AtomicU64,
+    timeouts: AtomicU64,
+    bad_requests: AtomicU64,
+    frame_errors: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    handoffs: AtomicU64,
+    queue_depth: AtomicU64,
+    /// Connections accepted but not yet retired — includes ones still
+    /// in transit to their worker, so drain can wait on this alone.
+    live_conns: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            ..StatsSnapshot::default()
+        };
+        for (slot, b) in s.latency_buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Books one response: the status tally and the service-time
+    /// histogram bucket.
+    fn respond(&self, status: Status, elapsed: Duration) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        let counter = match status {
+            Status::Busy => Some(&self.busy),
+            Status::Timeout => Some(&self.timeouts),
+            Status::BadRequest => Some(&self.bad_requests),
+            _ => None,
+        };
+        if let Some(c) = counter {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-to-worker messages
+// ---------------------------------------------------------------------
+
+/// A point lookup handed off to the worker that owns the key's shard.
+struct Job {
+    /// Worker that owns the requesting connection.
+    origin: usize,
+    /// Connection id within the origin worker.
+    conn: u64,
+    /// Client request id to echo.
+    req_id: u32,
+    /// Probe key.
+    key: u64,
+    /// Decode time — latency is measured from here.
+    t0: Instant,
+    /// Shed the job with `TIMEOUT` past this instant.
+    deadline: Instant,
+}
+
+/// A finished handoff travelling back to the origin worker.
+struct Done {
+    conn: u64,
+    req_id: u32,
+    t0: Instant,
+    result: std::result::Result<Reply, Status>,
+}
+
+/// One live connection, owned by exactly one worker.
+struct Conn {
+    stream: NetStream,
+    decoder: FrameDecoder,
+    /// Encoded-but-unsent reply bytes.
+    out: Vec<u8>,
+    /// Prefix of `out` already written to the socket.
+    written: usize,
+    /// Handed-off lookups awaiting their `Done`.
+    inflight: usize,
+    /// Peer sent EOF; close once in-flight work and writes finish.
+    closing: bool,
+    /// Set while `out` has unsent bytes; cleared on write progress.
+    stalled_since: Option<Instant>,
+}
+
+/// A `Get` whose shard the connection's own worker owns: resolved
+/// locally in the same iteration, no handoff.
+struct LocalGet {
+    conn: u64,
+    req_id: u32,
+    t0: Instant,
+    key: u64,
+}
+
+/// A write applied to the engine whose ack is deferred to the
+/// group-commit flush at the end of the iteration.
+struct WriteAck {
+    conn: u64,
+    req_id: u32,
+    t0: Instant,
+    opcode: Opcode,
+    result: std::result::Result<Reply, Status>,
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+struct Worker {
+    index: usize,
+    workers: usize,
+    engine: ServeEngine,
+    cfg: ServerConfig,
+    state: Arc<AtomicU8>,
+    stats: Arc<Counters>,
+    conn_rx: Receiver<NetStream>,
+    handoff_rx: Receiver<Job>,
+    handoff_tx: Vec<SyncSender<Job>>,
+    done_rx: Receiver<Done>,
+    done_tx: Vec<Sender<Done>>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Whether the current iteration moved any bytes or jobs (idle
+    /// iterations sleep briefly instead of spinning).
+    active: bool,
+}
+
+/// Encodes the response for one finished request into the
+/// connection's write buffer and books the counters.
+fn finish(
+    stats: &Counters,
+    conn: &mut Conn,
+    req_id: u32,
+    opcode: Opcode,
+    t0: Instant,
+    result: std::result::Result<Reply, Status>,
+) {
+    let status = match &result {
+        Ok(_) => Status::Ok,
+        Err(s) => *s,
+    };
+    match result {
+        Ok(reply) => encode_ok(req_id, opcode, &reply, &mut conn.out),
+        Err(s) => encode_error(req_id, opcode, s, &mut conn.out),
+    }
+    stats.respond(status, t0.elapsed());
+}
+
+impl Worker {
+    fn run(mut self) {
+        let mut locals: Vec<LocalGet> = Vec::new();
+        let mut acks: Vec<WriteAck> = Vec::new();
+        loop {
+            self.active = false;
+            let state = self.state.load(Ordering::Acquire);
+            if state == KILLED {
+                break;
+            }
+            self.adopt_conns();
+            self.serve_handoffs();
+            self.apply_completions();
+            self.serve_conns(&mut locals, &mut acks, state == DRAINING);
+            self.resolve_locals(&mut locals);
+            self.commit_writes(&mut acks);
+            if state == DRAINING
+                && !self.active
+                && self.conns.is_empty()
+                && self.stats.live_conns.load(Ordering::Relaxed) == 0
+            {
+                break;
+            }
+            if !self.active {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// Takes ownership of connections the acceptor dealt to this
+    /// worker.
+    fn adopt_conns(&mut self) {
+        while let Ok(stream) = self.conn_rx.try_recv() {
+            self.active = true;
+            let id = self.next_conn;
+            self.next_conn += 1;
+            self.conns.insert(
+                id,
+                Conn {
+                    stream,
+                    decoder: FrameDecoder::new(),
+                    out: Vec::new(),
+                    written: 0,
+                    inflight: 0,
+                    closing: false,
+                    stalled_since: None,
+                },
+            );
+        }
+    }
+
+    /// Drains this worker's handoff queue and descends its own shards
+    /// for every still-live job, batched through the interleaved
+    /// kernel.
+    fn serve_handoffs(&mut self) {
+        let mut jobs: Vec<Job> = Vec::new();
+        while jobs.len() < 4096 {
+            match self.handoff_rx.try_recv() {
+                Ok(j) => jobs.push(j),
+                Err(_) => break,
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        self.active = true;
+        self.stats
+            .queue_depth
+            .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            if now > j.deadline {
+                let _ = self.done_tx[j.origin].send(Done {
+                    conn: j.conn,
+                    req_id: j.req_id,
+                    t0: j.t0,
+                    result: Err(Status::Timeout),
+                });
+            } else {
+                live.push(j);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let keys: Vec<u64> = live.iter().map(|j| j.key).collect();
+        let mut replies = Vec::new();
+        self.engine
+            .get_batch(&keys, self.cfg.batch_width, &mut replies);
+        for (j, reply) in live.into_iter().zip(replies) {
+            let _ = self.done_tx[j.origin].send(Done {
+                conn: j.conn,
+                req_id: j.req_id,
+                t0: j.t0,
+                result: Ok(reply),
+            });
+        }
+    }
+
+    /// Books finished handoffs back onto their connections.
+    fn apply_completions(&mut self) {
+        while let Ok(d) = self.done_rx.try_recv() {
+            self.active = true;
+            // The connection may have died while its lookup was queued
+            // elsewhere; the reply is then dropped on the floor.
+            if let Some(conn) = self.conns.get_mut(&d.conn) {
+                conn.inflight = conn.inflight.saturating_sub(1);
+                finish(&self.stats, conn, d.req_id, Opcode::Get, d.t0, d.result);
+            }
+        }
+    }
+
+    /// Reads, decodes, dispatches and flushes every owned connection.
+    fn serve_conns(
+        &mut self,
+        locals: &mut Vec<LocalGet>,
+        acks: &mut Vec<WriteAck>,
+        draining: bool,
+    ) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            if self.serve_one(id, &mut conn, locals, acks, draining) {
+                self.conns.insert(id, conn);
+            } else {
+                self.retire(conn);
+            }
+        }
+    }
+
+    /// Services one connection; returns whether to keep it.
+    fn serve_one(
+        &mut self,
+        id: u64,
+        conn: &mut Conn,
+        locals: &mut Vec<LocalGet>,
+        acks: &mut Vec<WriteAck>,
+        draining: bool,
+    ) -> bool {
+        // Read — unless the peer owes us a drained write buffer.
+        let backpressured = conn.out.len() - conn.written >= self.cfg.write_buffer_cap;
+        if !conn.closing && !backpressured {
+            let mut scratch = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.active = true;
+                        conn.decoder.feed(&scratch[..n]);
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+        // Frame and dispatch.
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(body)) => {
+                    if !self.dispatch(id, conn, &body, locals, acks, draining) {
+                        self.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Oversized length prefix: the stream is desynced
+                    // beyond recovery.
+                    self.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        // Flush pending replies.
+        if !self.flush_conn(conn) {
+            return false;
+        }
+        if let Some(since) = conn.stalled_since {
+            if since.elapsed() > self.cfg.write_stall_timeout {
+                // Peer stopped reading; shed the connection rather
+                // than let it pin worker memory.
+                return false;
+            }
+        }
+        let drained = conn.inflight == 0 && conn.out.len() == conn.written;
+        if (conn.closing || draining) && drained {
+            return false;
+        }
+        true
+    }
+
+    /// Decodes one frame body and routes the request; returns `false`
+    /// only for desync-level garbage that must close the connection.
+    fn dispatch(
+        &mut self,
+        id: u64,
+        conn: &mut Conn,
+        body: &[u8],
+        locals: &mut Vec<LocalGet>,
+        acks: &mut Vec<WriteAck>,
+        draining: bool,
+    ) -> bool {
+        self.active = true;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let (req_id, req) = match decode_request(body) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                // A malformed body is survivable when we can still tell
+                // which request to refuse; anything shorter than a
+                // header (or with an opcode we do not know) means the
+                // stream is desynced.
+                match (peek_req_id(body), peek_opcode(body)) {
+                    (Some(req_id), Some(op)) => {
+                        finish(&self.stats, conn, req_id, op, t0, Err(Status::BadRequest));
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        };
+        let op = req.opcode();
+        if draining {
+            finish(&self.stats, conn, req_id, op, t0, Err(Status::ShuttingDown));
+            return true;
+        }
+        match req {
+            Request::Get { key } => self.dispatch_get(id, conn, req_id, key, t0, locals),
+            Request::Insert { key } | Request::Remove { key } => {
+                let remove = op == Opcode::Remove;
+                acks.push(WriteAck {
+                    conn: id,
+                    req_id,
+                    t0,
+                    opcode: op,
+                    result: self.engine.write(key, remove),
+                });
+            }
+            other => {
+                let result = self.answer_inline(other);
+                finish(&self.stats, conn, req_id, op, t0, result);
+            }
+        }
+        true
+    }
+
+    /// Routes one point lookup: local shard → same-iteration batch,
+    /// foreign shard → bounded handoff (or `BUSY`), unrouteable key
+    /// (memtable-only or out of every fence interval) → immediate
+    /// answer from the full engine.
+    fn dispatch_get(
+        &mut self,
+        id: u64,
+        conn: &mut Conn,
+        req_id: u32,
+        key: u64,
+        t0: Instant,
+        locals: &mut Vec<LocalGet>,
+    ) {
+        let Some(shard) = self.engine.route_shard(key) else {
+            let reply = self.engine.get(key);
+            finish(&self.stats, conn, req_id, Opcode::Get, t0, Ok(reply));
+            return;
+        };
+        let owner = shard % self.workers;
+        if owner == self.index {
+            locals.push(LocalGet {
+                conn: id,
+                req_id,
+                t0,
+                key,
+            });
+            return;
+        }
+        if conn.inflight >= self.cfg.inflight_per_conn {
+            finish(
+                &self.stats,
+                conn,
+                req_id,
+                Opcode::Get,
+                t0,
+                Err(Status::Busy),
+            );
+            return;
+        }
+        let job = Job {
+            origin: self.index,
+            conn: id,
+            req_id,
+            key,
+            t0,
+            deadline: t0 + self.cfg.op_timeout,
+        };
+        match self.handoff_tx[owner].try_send(job) {
+            Ok(()) => {
+                conn.inflight += 1;
+                self.stats.handoffs.fetch_add(1, Ordering::Relaxed);
+                self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) => {
+                finish(
+                    &self.stats,
+                    conn,
+                    req_id,
+                    Opcode::Get,
+                    t0,
+                    Err(Status::Busy),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                finish(
+                    &self.stats,
+                    conn,
+                    req_id,
+                    Opcode::Get,
+                    t0,
+                    Err(Status::ShuttingDown),
+                );
+            }
+        }
+    }
+
+    /// Executes an opcode that needs no handoff and no group commit.
+    fn answer_inline(&self, req: Request) -> std::result::Result<Reply, Status> {
+        match req {
+            Request::Ping => Ok(Reply::Applied { applied: true }),
+            Request::LowerBound { key } => Ok(self.engine.bound(key, false)),
+            Request::UpperBound { key } => Ok(self.engine.bound(key, true)),
+            Request::Rank { key } => Ok(self.engine.rank(key)),
+            Request::Select { rank } => Ok(self.engine.select(rank)),
+            Request::Range { lo, hi, limit } => Ok(self.engine.range(lo, hi, limit)),
+            Request::Batch { keys } => self.engine.sorted_batch(&keys),
+            Request::Flush => self.engine.flush(),
+            Request::Stats => Ok(Reply::Stats(Box::new(self.stats.snapshot()))),
+            Request::Shutdown => {
+                self.state.store(DRAINING, Ordering::Release);
+                Ok(Reply::Applied { applied: true })
+            }
+            Request::Get { .. } | Request::Insert { .. } | Request::Remove { .. } => {
+                unreachable!("routed before answer_inline")
+            }
+        }
+    }
+
+    /// Answers the iteration's own-shard lookups in one interleaved
+    /// batch.
+    fn resolve_locals(&mut self, locals: &mut Vec<LocalGet>) {
+        if locals.is_empty() {
+            return;
+        }
+        self.active = true;
+        let keys: Vec<u64> = locals.iter().map(|l| l.key).collect();
+        let mut replies = Vec::new();
+        self.engine
+            .get_batch(&keys, self.cfg.batch_width, &mut replies);
+        for (l, reply) in locals.drain(..).zip(replies) {
+            if let Some(conn) = self.conns.get_mut(&l.conn) {
+                finish(&self.stats, conn, l.req_id, Opcode::Get, l.t0, Ok(reply));
+            }
+        }
+    }
+
+    /// Group commit: one memtable flush covers every write applied
+    /// this iteration, then all their acks are released.
+    fn commit_writes(&mut self, acks: &mut Vec<WriteAck>) {
+        if acks.is_empty() {
+            return;
+        }
+        self.active = true;
+        let mut flush_failed = false;
+        if self.cfg.durable_writes && acks.iter().any(|a| a.result.is_ok()) {
+            flush_failed = self.engine.flush().is_err();
+        }
+        for a in acks.drain(..) {
+            let result = if flush_failed && a.result.is_ok() {
+                // The write sits in the memtable but is not durable;
+                // the client must not treat it as committed.
+                Err(Status::Internal)
+            } else {
+                a.result
+            };
+            if let Some(conn) = self.conns.get_mut(&a.conn) {
+                finish(&self.stats, conn, a.req_id, a.opcode, a.t0, result);
+            }
+        }
+    }
+
+    /// Writes as much pending reply data as the socket accepts;
+    /// returns `false` on a dead socket.
+    fn flush_conn(&mut self, conn: &mut Conn) -> bool {
+        while conn.written < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.active = true;
+                    conn.written += n;
+                    conn.stalled_since = None;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if conn.written == conn.out.len() {
+            conn.out.clear();
+            conn.written = 0;
+            conn.stalled_since = None;
+        } else if conn.stalled_since.is_none() {
+            conn.stalled_since = Some(Instant::now());
+        }
+        true
+    }
+
+    /// Books a closed connection.
+    fn retire(&mut self, conn: Conn) {
+        conn.stream.shutdown_write();
+        self.stats
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats.live_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------
+
+fn run_acceptor(
+    listener: NetListener,
+    state: &AtomicU8,
+    stats: &Counters,
+    conn_tx: &[Sender<NetStream>],
+) {
+    let mut next = 0usize;
+    while state.load(Ordering::Acquire) == RUNNING {
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                let _ = stream.set_nonblocking(true);
+                stream.set_nodelay();
+                stats.connections_opened.fetch_add(1, Ordering::Relaxed);
+                stats.live_conns.fetch_add(1, Ordering::Relaxed);
+                if conn_tx[next % conn_tx.len()].send(stream).is_err() {
+                    stats.live_conns.fetch_sub(1, Ordering::Relaxed);
+                    stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+                }
+                next = next.wrapping_add(1);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_micros(250)),
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server handle
+// ---------------------------------------------------------------------
+
+/// A running server: the acceptor plus its worker threads.
+///
+/// Dropping the handle without calling [`Server::shutdown`] kills the
+/// threads abruptly (same as [`Server::abort`]).
+pub struct Server {
+    addr: Addr,
+    engine: ServeEngine,
+    state: Arc<AtomicU8>,
+    stats: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `spec` (`tcp:HOST:PORT`, `unix:PATH`, or bare
+    /// `HOST:PORT`) and starts serving `engine`.
+    ///
+    /// # Errors
+    /// Address parse and bind/listen failures.
+    pub fn start(engine: ServeEngine, spec: &str, cfg: ServerConfig) -> Result<Server> {
+        let addr = Addr::parse(spec)?;
+        let listener = NetListener::bind(&addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = cfg.effective_workers();
+        let state = Arc::new(AtomicU8::new(RUNNING));
+        let stats = Arc::new(Counters::new());
+
+        let mut conn_txs = Vec::with_capacity(workers);
+        let mut conn_rxs = Vec::with_capacity(workers);
+        let mut handoff_txs = Vec::with_capacity(workers);
+        let mut handoff_rxs = Vec::with_capacity(workers);
+        let mut done_txs = Vec::with_capacity(workers);
+        let mut done_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (ctx, crx) = mpsc::channel::<NetStream>();
+            conn_txs.push(ctx);
+            conn_rxs.push(crx);
+            let (htx, hrx) = mpsc::sync_channel::<Job>(cfg.handoff_queue.max(1));
+            handoff_txs.push(htx);
+            handoff_rxs.push(hrx);
+            let (dtx, drx) = mpsc::channel::<Done>();
+            done_txs.push(dtx);
+            done_rxs.push(drx);
+        }
+
+        let mut handles = Vec::with_capacity(workers);
+        for (index, (conn_rx, (handoff_rx, done_rx))) in conn_rxs
+            .into_iter()
+            .zip(handoff_rxs.into_iter().zip(done_rxs))
+            .enumerate()
+        {
+            let worker = Worker {
+                index,
+                workers,
+                engine: engine.clone(),
+                cfg: cfg.clone(),
+                state: Arc::clone(&state),
+                stats: Arc::clone(&stats),
+                conn_rx,
+                handoff_rx,
+                handoff_tx: handoff_txs.clone(),
+                done_rx,
+                done_tx: done_txs.clone(),
+                conns: HashMap::new(),
+                next_conn: 0,
+                active: false,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{index}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker thread"),
+            );
+        }
+        // The worker structs own the cross-worker sender clones; the
+        // originals must drop so channels disconnect when workers exit.
+        drop(handoff_txs);
+        drop(done_txs);
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || run_acceptor(listener, &state, &stats, &conn_txs))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr: bound,
+            engine,
+            state,
+            stats,
+            acceptor: Some(acceptor),
+            workers: handles,
+        })
+    }
+
+    /// The actually-bound address (TCP port 0 resolved).
+    #[must_use]
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// A live counter snapshot — the same data the `Stats` opcode
+    /// returns over the wire.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Whether a client's `Shutdown` request has moved the server out
+    /// of the running state.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.load(Ordering::Acquire) != RUNNING
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+        NetListener::cleanup(&self.addr);
+    }
+
+    /// Graceful shutdown: stops accepting, finishes in-flight
+    /// requests (late arrivals get `SHUTTING_DOWN`), joins every
+    /// thread, flushes the tiered memtable, and returns the final
+    /// counter snapshot.
+    ///
+    /// # Errors
+    /// The final memtable flush failing.
+    pub fn shutdown(mut self) -> Result<StatsSnapshot> {
+        self.state.store(DRAINING, Ordering::Release);
+        self.join_threads();
+        if let ServeEngine::Tiered(t) = &self.engine {
+            t.flush()?;
+        }
+        Ok(self.stats.snapshot())
+    }
+
+    /// Hard kill: threads exit without draining queues or flushing the
+    /// memtable — from the store's point of view this is a crash, and
+    /// the recovery tests use it as one.
+    pub fn abort(mut self) {
+        self.state.store(KILLED, Ordering::Release);
+        self.join_threads();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.store(KILLED, Ordering::Release);
+        self.join_threads();
+    }
+}

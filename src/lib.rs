@@ -149,7 +149,8 @@
 //! | [`cachesim`] | `cobtree-cachesim` | set-associative cache hierarchy simulator + backend replay |
 //! | [`search`] | `cobtree-search` | storage backends (incl. mapped files), the [`SearchTree`] facade with save/open, workloads |
 //! | [`optimizer`] | `cobtree-optimizer` | layout-space study, MINLA/MINBW |
-//! | [`analysis`] | `cobtree-analysis` | figure/table generators (`repro` binary) |
+//! | [`analysis`] | `cobtree-analysis` | figure/table generators (`repro` binary), shared bench JSON emitter |
+//! | [`serve`] | `cobtree-serve` | thread-per-core network server (`cobtree-serve`), open-loop load generator (`cobtree-bomber`) |
 //!
 //! The repo-level `ARCHITECTURE.md` draws the full crate DAG and data
 //! flow; `docs/FORMAT.md` specifies the on-disk format byte by byte.
@@ -160,6 +161,7 @@ pub use cobtree_core as core;
 pub use cobtree_measures as measures;
 pub use cobtree_optimizer as optimizer;
 pub use cobtree_search as search;
+pub use cobtree_serve as serve;
 
 pub use cobtree_core::{Error, Result};
 pub use cobtree_search::{

@@ -1,0 +1,284 @@
+//! Failure-mode robustness for the network server: a killed server
+//! must not lose acknowledged durable writes (the tiered engine's
+//! epoch scan recovers them), per-op timeouts must shed work without
+//! taking the worker down, and a client that stops reading must get
+//! its connection dropped rather than wedging the event loop.
+
+use cobtree::core::protocol::{Reply, Request, Status};
+use cobtree::core::NamedLayout;
+use cobtree::serve::{Client, ServeEngine, Server, ServerConfig};
+use cobtree::{Forest, Storage, TierPlace, TieredForest};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str, salt: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cobtree-serve-it-{}-{tag}-{salt:x}",
+        std::process::id()
+    ))
+}
+
+fn tiered_server(dir: &std::path::Path, durable: bool) -> Server {
+    let tiered = TieredForest::builder()
+        .layout(NamedLayout::MinWep)
+        .shards(3)
+        .memtable_entries(1 << 12)
+        .path(dir)
+        .background(false)
+        .keys((1..=500u64).map(|k| k * 2))
+        .build()
+        .expect("build tiered");
+    Server::start(
+        ServeEngine::Tiered(Arc::new(tiered)),
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            durable_writes: durable,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server")
+}
+
+/// The headline recovery guarantee: with `durable_writes` on, every
+/// write the server *acknowledged* before being killed mid-load is
+/// recovered by `TieredForest::open`'s epoch scan. Unacknowledged
+/// writes may or may not survive; acknowledged ones must.
+#[test]
+fn killed_server_loses_no_acknowledged_durable_writes() {
+    let dir = temp_dir("kill", 0xAC);
+    std::fs::remove_dir_all(&dir).ok();
+    let server = tiered_server(&dir, true);
+    let addr = server.addr().to_spec();
+
+    // Drive acknowledged writes from two connections while the server
+    // is live; record exactly the keys whose ack came back Ok.
+    let mut acked: Vec<u64> = Vec::new();
+    for conn in 0..2u64 {
+        let mut client = Client::connect(&addr).expect("connect");
+        for i in 0..120u64 {
+            let key = 10_001 + 2 * (conn * 1_000 + i); // odd: disjoint from seed
+            match client.call(&Request::Insert { key }).expect("call").status {
+                Status::Ok => acked.push(key),
+                other => panic!("insert refused: {other:?}"),
+            }
+        }
+    }
+    assert!(!acked.is_empty());
+
+    // Kill without drain or flush — the simulated crash.
+    server.abort();
+
+    // Recovery must surface every acknowledged key.
+    let recovered: TieredForest<u64> = TieredForest::open(&dir).expect("epoch-scan recovery");
+    for &key in &acked {
+        assert!(
+            recovered.locate(key).is_some(),
+            "acked write {key} lost after kill"
+        );
+    }
+    // The base seed survives too.
+    assert!(recovered.locate(2).is_some());
+    assert!(recovered.locate(1_000).is_some());
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `durable_writes` the ack is advisory; this test only pins
+/// down that a kill mid-load never corrupts the store — reopening
+/// still succeeds and serves the durable prefix.
+#[test]
+fn killed_volatile_server_leaves_store_openable() {
+    let dir = temp_dir("volatile", 0xBD);
+    std::fs::remove_dir_all(&dir).ok();
+    let server = tiered_server(&dir, false);
+    let addr = server.addr().to_spec();
+    let mut client = Client::connect(&addr).expect("connect");
+    for i in 0..200u64 {
+        client
+            .call(&Request::Insert {
+                key: 20_001 + 2 * i,
+            })
+            .expect("call");
+    }
+    server.abort();
+    let recovered: TieredForest<u64> = TieredForest::open(&dir).expect("reopen after kill");
+    assert!(recovered.locate(2).is_some(), "seed data lost");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `op_timeout = 0` makes every cross-worker handoff expire before it
+/// is served — a degenerate setting that deterministically exercises
+/// the shedding path. The worker must answer `TIMEOUT` (not hang, not
+/// die) and keep serving its own traffic.
+#[test]
+fn expired_handoffs_are_shed_with_timeout_and_worker_survives() {
+    let forest = Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(4)
+        .keys((1..=2_000u64).map(|k| k * 2))
+        .build()
+        .expect("build forest");
+    let forest = Arc::new(forest);
+    let server = Server::start(
+        ServeEngine::Forest(Arc::clone(&forest)),
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            op_timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+
+    let mut client = Client::connect(&server.addr().to_spec()).expect("connect");
+    let mut timed_out = 0usize;
+    let mut served = 0usize;
+    for probe in (2..=4_000u64).step_by(37) {
+        let resp = client.call(&Request::Get { key: probe }).expect("call");
+        match resp.status {
+            // Keys owned by a different worker than the connection's
+            // expire in the queue; the conn-owner's shards and
+            // unrouteable keys are answered inline, unexpired.
+            Status::Timeout => timed_out += 1,
+            Status::Ok => {
+                served += 1;
+                let direct = forest.locate(probe).map(|h| (h.shard, h.position));
+                match resp.reply {
+                    Some(Reply::Hit {
+                        found,
+                        shard,
+                        position,
+                    }) => {
+                        assert_eq!(
+                            found.then_some((shard as usize, position)),
+                            direct,
+                            "inline path diverged for {probe}"
+                        );
+                    }
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert!(timed_out > 0, "no handoff expired under a zero deadline");
+    assert!(served > 0, "no locally-owned key was served");
+
+    // The worker that shed those jobs is still alive and well.
+    client.ping().expect("worker survives shedding");
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.timeouts, timed_out as u64);
+    assert_eq!(stats.responses, stats.requests);
+}
+
+/// A client that floods large requests and never reads its socket
+/// must be disconnected by the write-stall watchdog; a well-behaved
+/// client on the same worker keeps getting answers throughout.
+#[test]
+fn slow_client_is_dropped_without_stalling_the_worker() {
+    let forest = Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(2)
+        .keys((1..=60_000u64).map(|k| k * 2))
+        .build()
+        .expect("build forest");
+    let server = Server::start(
+        ServeEngine::Forest(Arc::new(forest)),
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            write_buffer_cap: 4 << 10,
+            write_stall_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr().to_spec();
+
+    // The offender: pipeline big range scans, never read a byte. Each
+    // reply is ~32 KiB (4096 keys); ~32 MiB total overwhelms both the
+    // 4 KiB server-side buffer cap and any kernel socket buffering, so
+    // the server's flush must hit `WouldBlock` and arm the watchdog.
+    let mut slow = Client::connect_timeout(&addr, None).expect("connect slow");
+    for _ in 0..1024 {
+        // Sends may start failing once the server drops us — fine.
+        if slow
+            .send_only(&Request::Range {
+                lo: 0,
+                hi: u64::MAX,
+                limit: 4096,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+
+    // Meanwhile the same worker must keep serving a healthy client.
+    let mut healthy = Client::connect(&addr).expect("connect healthy");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut dropped = false;
+    while Instant::now() < deadline {
+        healthy.ping().expect("healthy client starved");
+        let stats = healthy.stats().expect("stats");
+        if stats.connections_closed >= 1 {
+            dropped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(dropped, "write-stall watchdog never fired");
+    healthy
+        .ping()
+        .expect("worker alive after dropping slow client");
+    server.shutdown().expect("shutdown");
+}
+
+/// TierPlace is part of this test's contract surface: a key acked but
+/// not yet flushed reports from the buffer; after an explicit flush it
+/// must come from a shard. This ties the ack semantics the crash test
+/// relies on to an observable place.
+#[test]
+fn acked_write_moves_from_buffer_to_shard_on_flush() {
+    let dir = temp_dir("place", 0xCE);
+    std::fs::remove_dir_all(&dir).ok();
+    let tiered = TieredForest::builder()
+        .layout(NamedLayout::MinWep)
+        .shards(2)
+        .path(&dir)
+        .background(false)
+        .keys((1..=100u64).map(|k| k * 2))
+        .build()
+        .expect("build tiered");
+    let tiered = Arc::new(tiered);
+    let server = Server::start(
+        ServeEngine::Tiered(Arc::clone(&tiered)),
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = Client::connect(&server.addr().to_spec()).expect("connect");
+
+    let resp = client.call(&Request::Insert { key: 777 }).expect("insert");
+    assert_eq!(resp.status, Status::Ok);
+    assert!(matches!(
+        tiered.locate(777).map(|h| h.place),
+        Some(TierPlace::Buffer)
+    ));
+
+    let resp = client.call(&Request::Flush).expect("flush");
+    assert_eq!(resp.status, Status::Ok);
+    assert!(matches!(
+        tiered.locate(777).map(|h| h.place),
+        Some(TierPlace::Shard { .. })
+    ));
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
