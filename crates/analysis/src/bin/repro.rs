@@ -131,6 +131,7 @@ fn run(cfg: &Config, what: &str) {
             cfg,
             vec![
                 kernel_exp::kernel_block_parity(cfg),
+                kernel_exp::fat_block_savings(cfg),
                 kernel_exp::kernel_paths_table(cfg),
             ],
         ),

@@ -134,6 +134,7 @@ fn run_kernel_bench(cfg: &ThroughputConfig, zipf_table: &ZipfTable, kernel_out: 
         widths: vec![8, 16],
         seed: cfg.seed,
         layout: cfg.layout,
+        fat_layout: KernelBenchConfig::ci().fat_layout,
     };
     eprintln!(
         "[descent kernels: {} keys, {} probes/mix, widths {:?}]",

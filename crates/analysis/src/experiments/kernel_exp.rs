@@ -26,6 +26,7 @@ use crate::kernel_bench::{self, KernelBenchConfig};
 use crate::report::{f, Table};
 use cobtree_cachesim::presets::{self, WESTMERE_LINE};
 use cobtree_cachesim::replay::{replay_point_kernel, replay_search_backend};
+use cobtree_core::fat::FatLayout;
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::UniformKeys;
 use cobtree_search::{SearchBackend, SearchTree, Storage};
@@ -146,6 +147,107 @@ pub fn kernel_block_parity(cfg: &Config) -> Table {
     t
 }
 
+/// Fat-node cachesim parity + block savings: for each fat vEB layout
+/// over `u32` keys, the heap backend and the mapped backend serving the
+/// same tree from file bytes must replay the **identical chunk-granular
+/// position sequence** per probe (slow path and kernel alike), and the
+/// B=16 fat vEB — whose 16 × 4-byte chunks are exactly one Westmere
+/// line — must cut simulated L1 misses per op versus the binary vEB
+/// layout over the same keys and probes.
+///
+/// # Panics
+/// Panics on any heap/mapped or slow/kernel trace divergence, or if
+/// `FAT16-VEB` fails to beat the binary vEB on simulated L1 misses/op —
+/// the former would be a serving bug, the latter would mean the wide
+/// nodes stopped paying for themselves in the cache model.
+#[must_use]
+pub fn fat_block_savings(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "fat_block_savings",
+        "Fat-node plane: heap/mapped replay parity and simulated L1 misses/op vs binary vEB (u32 keys)",
+        &["layout", "storage", "probes", "l1_misses_per_op", "l2_misses_per_op"],
+    );
+    // u32 keys: a B=16 chunk is exactly one 64-byte line. A key count
+    // larger than L1 (32 KiB = 8192 u32 slots) so the replay actually
+    // misses, and not a power of two so partial chunks stay on paths.
+    let n = (1u64 << 14) - 333;
+    let keys: Vec<u32> = (1..=n as u32).map(|k| k * 3).collect();
+    let probes: Vec<u32> = UniformKeys::new(n * 4, cfg.seed ^ 0xFA7)
+        .take_vec(cfg.searches.min(4_000))
+        .into_iter()
+        .map(|p| p as u32)
+        .collect();
+    let mut replay = |tree: &SearchTree<u32>, label: &str, storage: &str| -> f64 {
+        let mut hier = presets::westmere_l1_l2();
+        // 4 bytes per slot: the mapped key region stores bare `u32`s.
+        replay_search_backend(&mut hier, tree, 4, 0, &probes);
+        let l1 = hier.level_stats(0).misses as f64 / probes.len() as f64;
+        let l2 = hier.level_stats(1).misses as f64 / probes.len() as f64;
+        t.push_row(vec![
+            label.to_string(),
+            storage.to_string(),
+            probes.len().to_string(),
+            f(l1),
+            f(l2),
+        ]);
+        l1
+    };
+    let binary = SearchTree::<u32>::builder()
+        .layout(NamedLayout::PreVeb)
+        .storage(Storage::Implicit)
+        .keys(keys.iter().copied())
+        .build()
+        .expect("binary vEB tree");
+    let binary_l1 = replay(&binary, NamedLayout::PreVeb.label(), "implicit");
+    let mut fat16_l1 = f64::INFINITY;
+    for layout in FatLayout::ALL {
+        if !layout.label().ends_with("VEB") {
+            continue;
+        }
+        let heap = SearchTree::<u32>::builder()
+            .layout(layout)
+            .storage(Storage::Implicit)
+            .keys(keys.iter().copied())
+            .build()
+            .expect("fat heap tree");
+        let mapped: SearchTree<u32> =
+            SearchTree::open_bytes(heap.to_file_bytes().expect("encode fat tree"))
+                .expect("reopen fat tree");
+        // Pin the mapped replay to the heap backend's chunk-granular
+        // position sequence, per probe, on the slow path and the
+        // kernel alike.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for &p in &probes {
+            a.clear();
+            b.clear();
+            let ra = heap.search_traced(p, &mut a);
+            let rb = mapped.search_traced(p, &mut b);
+            assert_eq!(ra, rb, "{layout}: heap/mapped result for {p}");
+            assert_eq!(a, b, "{layout}: heap/mapped slow trace for {p}");
+            a.clear();
+            b.clear();
+            let ra = heap.search_traced_kernel(p, &mut a);
+            let rb = mapped.search_traced_kernel(p, &mut b);
+            assert_eq!(ra, rb, "{layout}: heap/mapped kernel trace for {p}");
+            assert_eq!(a, b, "{layout}: heap/mapped kernel trace for {p}");
+        }
+        let heap_l1 = replay(&heap, layout.label(), "implicit");
+        let mapped_l1 = replay(&mapped, layout.label(), "mapped");
+        assert!(
+            (heap_l1 - mapped_l1).abs() < 1e-12,
+            "{layout}: heap and mapped replays must miss identically"
+        );
+        if layout.label() == "FAT16-VEB" {
+            fat16_l1 = mapped_l1;
+        }
+    }
+    assert!(
+        fat16_l1 < binary_l1,
+        "FAT16-VEB must cut simulated L1 misses/op vs binary vEB: fat {fat16_l1} >= binary {binary_l1}"
+    );
+    t
+}
+
 /// Wall-clock comparison of the three search paths on a repro-sized
 /// workload (checksum parity asserted inside the benchmark run).
 #[must_use]
@@ -157,6 +259,7 @@ pub fn kernel_paths_table(cfg: &Config) -> Table {
         widths: vec![8, 16],
         seed: cfg.seed,
         layout: NamedLayout::MinWep,
+        fat_layout: KernelBenchConfig::ci().fat_layout,
     };
     let report = kernel_bench::run(&kcfg, None);
     let mut t = Table::new(
@@ -188,11 +291,23 @@ mod tests {
     }
 
     #[test]
+    fn fat_block_savings_holds_on_the_tiny_profile() {
+        let t = fat_block_savings(&Config::tiny());
+        // 1 binary baseline row + 2 fat vEB layouts × (heap + mapped);
+        // the FAT16 < binary misses/op assert ran inside the builder.
+        assert_eq!(t.rows.len(), 5);
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "FAT16-VEB" && r[1] == "mapped"));
+    }
+
+    #[test]
     fn paths_table_covers_every_path() {
         let mut cfg = Config::tiny();
         cfg.searches = 1_000;
         let t = kernel_paths_table(&cfg);
-        assert_eq!(t.rows.len(), 2 * 3 * 4);
+        assert_eq!(t.rows.len(), 4 * 3 * 4);
         assert!(t.rows.iter().any(|r| r[2] == "interleaved_w16"));
     }
 }

@@ -17,11 +17,15 @@
 //! kernel/slow-path parity assertion on the CI workload. Mixes cover
 //! uniform and Zipf point probes plus a sorted batch (where the
 //! `reference` path is the shared-prefix LCA batch search of PR 2 and
-//! the kernel paths answer the same batch probe-by-probe), over both an
+//! the kernel paths answer the same batch probe-by-probe), over an
 //! in-memory implicit tree and the same tree served from mapped file
-//! bytes.
+//! bytes — and, since the fat-node plane landed, over a B-ary fat tree
+//! (`fat_implicit`) and its mapped serving twin (`fat_mapped`), whose
+//! rank-of-key descent rows track what SIMD chunk search buys over the
+//! one-comparison-per-level binary kernels.
 
 use crate::json::{ops_per_sec as rate, safe_div, JsonObject};
+use cobtree_core::fat::{FatLayout, FatOrder};
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::{UniformKeys, ZipfKeys, ZipfTable};
 use cobtree_search::{SearchTree, Storage};
@@ -45,6 +49,9 @@ pub struct KernelBenchConfig {
     pub seed: u64,
     /// Layout under test.
     pub layout: NamedLayout,
+    /// Fat-node layout measured alongside it (the `fat_implicit` /
+    /// `fat_mapped` rows).
+    pub fat_layout: FatLayout,
 }
 
 impl KernelBenchConfig {
@@ -59,6 +66,7 @@ impl KernelBenchConfig {
             widths: vec![8, 16],
             seed: 0x5EED_4EE1_0C0B,
             layout: NamedLayout::MinWep,
+            fat_layout: FatLayout::new(FatOrder::Veb, 16).expect("FAT16-VEB"),
         }
     }
 
@@ -72,6 +80,7 @@ impl KernelBenchConfig {
             widths: vec![3, 8],
             seed: 11,
             layout: NamedLayout::MinWep,
+            fat_layout: FatLayout::new(FatOrder::Veb, 16).expect("FAT16-VEB"),
         }
     }
 }
@@ -79,7 +88,7 @@ impl KernelBenchConfig {
 /// One measured `(storage, mix, path)` cell.
 #[derive(Debug, Clone)]
 pub struct KernelPoint {
-    /// `implicit` or `mapped`.
+    /// `implicit`, `mapped`, `fat_implicit` or `fat_mapped`.
     pub storage: &'static str,
     /// `uniform`, `zipf` or `batch`.
     pub mix: &'static str,
@@ -104,6 +113,8 @@ pub struct KernelReport {
     pub ops: usize,
     /// Layout label.
     pub layout: String,
+    /// Fat layout label of the `fat_*` rows.
+    pub fat_layout: String,
     /// Zipf skew.
     pub zipf_s: f64,
     /// Every measured cell.
@@ -176,6 +187,15 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
     let mapped: SearchTree<u64> =
         SearchTree::open_bytes(implicit.to_file_bytes().expect("encode tree"))
             .expect("reopen tree from bytes");
+    let fat = SearchTree::builder()
+        .layout(cfg.fat_layout)
+        .storage(Storage::Implicit)
+        .keys((1..=cfg.keys).map(|k| k * 2))
+        .build()
+        .expect("kernel bench fat tree");
+    let fat_mapped: SearchTree<u64> =
+        SearchTree::open_bytes(fat.to_file_bytes().expect("encode fat tree"))
+            .expect("reopen fat tree from bytes");
 
     let uniform = UniformKeys::new(cfg.keys * 2, cfg.seed).take_vec(cfg.ops);
     let local_table;
@@ -195,7 +215,12 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
 
     let mut points: Vec<KernelPoint> = Vec::new();
     let mut out: Vec<Option<u64>> = Vec::new();
-    for (storage, tree) in [("implicit", &implicit), ("mapped", &mapped)] {
+    for (storage, tree) in [
+        ("implicit", &implicit),
+        ("mapped", &mapped),
+        ("fat_implicit", &fat),
+        ("fat_mapped", &fat_mapped),
+    ] {
         for (mix, probes) in [
             ("uniform", &uniform),
             ("zipf", &zipf_probes),
@@ -273,6 +298,7 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
         keys: cfg.keys,
         ops: cfg.ops,
         layout: implicit.layout_label().to_string(),
+        fat_layout: fat.layout_label().to_string(),
         zipf_s: cfg.zipf_s,
         interleaved_speedup,
         kernel_speedup,
@@ -294,6 +320,7 @@ pub fn to_json(r: &KernelReport) -> String {
                 .with("keys", r.keys)
                 .with("ops", r.ops)
                 .with("layout", r.layout.as_str())
+                .with("fat_layout", r.fat_layout.as_str())
                 .with("zipf_s", r.zipf_s),
         )
         .with(
@@ -339,8 +366,10 @@ mod tests {
     fn tiny_run_produces_parity_checked_report() {
         let cfg = KernelBenchConfig::tiny();
         let report = run(&cfg, None);
-        // 2 storages × 3 mixes × (reference + kernel + 2 widths).
-        assert_eq!(report.points.len(), 2 * 3 * 4);
+        // 4 storages (binary + fat, heap + mapped each) × 3 mixes ×
+        // (reference + kernel + 2 widths).
+        assert_eq!(report.points.len(), 4 * 3 * 4);
+        assert_eq!(report.fat_layout, "FAT16-VEB");
         for p in &report.points {
             assert!(p.ops > 0 && p.ops_per_sec > 0.0, "{}/{}", p.mix, p.path);
         }
@@ -356,6 +385,10 @@ mod tests {
         };
         assert_eq!(ck("implicit", "uniform"), ck("mapped", "uniform"));
         assert_eq!(ck("implicit", "zipf"), ck("mapped", "zipf"));
+        // The fat plane serves the same tree from heap and mapped bytes.
+        assert_eq!(ck("fat_implicit", "uniform"), ck("fat_mapped", "uniform"));
+        assert_eq!(ck("fat_implicit", "zipf"), ck("fat_mapped", "zipf"));
+        assert_eq!(ck("fat_implicit", "batch"), ck("fat_mapped", "batch"));
         let json = to_json(&report);
         crate::json::assert_jsonish(&json);
         for field in [
@@ -364,6 +397,9 @@ mod tests {
             "\"path\": \"kernel\"",
             "\"path\": \"interleaved_w3\"",
             "\"path\": \"interleaved_w8\"",
+            "\"storage\": \"fat_implicit\"",
+            "\"storage\": \"fat_mapped\"",
+            "\"fat_layout\": \"FAT16-VEB\"",
             "\"kernel_speedup\"",
             "\"interleaved_speedup\"",
         ] {

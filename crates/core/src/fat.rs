@@ -1,0 +1,832 @@
+//! B-ary "fat node" layout family: hierarchical layouts over
+//! multi-key nodes.
+//!
+//! The paper's framework (§II) parameterizes layouts by recursion
+//! shape, not branching factor — a van Emde Boas recursion over
+//! 2^s-ary nodes is the same framework with a larger radix. This
+//! module grows the layout engine in that direction: a *fat node*
+//! (chunk) packs `s` consecutive binary levels — `2^s − 1` keys plus
+//! at least one padding slot — into a `2^s`-slot aligned block, so one
+//! cache-line load answers `s` binary comparisons with a single
+//! rank-of-key scan (SIMD-friendly: compare + movemask + popcount).
+//!
+//! A height-`h` binary tree becomes a tree of `H = ⌈h/s⌉` fat levels.
+//! The *partial* span (when `s ∤ h`) is placed at the **top**: fat
+//! level 0 spans `sp₀ = h − (H−1)·s ∈ 1..=s` binary levels, every
+//! deeper fat level spans exactly `s`. Putting the remainder at the
+//! root wastes slots in exactly one chunk; putting it at the bottom
+//! would underfill the (exponentially many) leaf chunks.
+//!
+//! Within a chunk, keys sit in **local in-order** order, so the
+//! chunk's real keys are sorted and — because padding keys have the
+//! largest in-order ranks of the whole tree — real keys always form a
+//! *prefix* of the chunk ([`FatIndex::chunk_real_count`] gives its
+//! closed-form length). Descent therefore needs only "count keys
+//! `< probe` in a sorted prefix", the rank-of-key kernel.
+//!
+//! Chunks themselves are arranged by one of three [`FatOrder`]s
+//! (breadth-first, pre-order DFS, or a van Emde Boas recursion over
+//! fat levels). All three compile to the existing
+//! [`StepPlan::Terms`] closed form, so the devirtualized descent
+//! kernels of `cobtree-search` serve fat layouts with zero new plan
+//! machinery.
+
+use crate::error::{Error, Result};
+use crate::index::plan::{LevelPlan, MaskTerm};
+use crate::index::{PositionIndex, StepPlan};
+use crate::tree::NodeId;
+
+/// Tallest binary tree a fat layout serves. Matches the `.cobt`
+/// format ceiling: slot positions (and explicit child pointers) must
+/// fit `u32`, and `slot_capacity(31, s) < 2^32` for every span.
+pub const MAX_FAT_HEIGHT: u32 = 31;
+
+/// Fat-node arities with cache-line-relevant sizes: `2..=64` keys per
+/// chunk (spans `1..=6` binary levels).
+pub const MIN_FAT_ARITY: u32 = 2;
+/// See [`MIN_FAT_ARITY`].
+pub const MAX_FAT_ARITY: u32 = 64;
+
+/// How the chunks (fat nodes) of a fat layout are ordered in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FatOrder {
+    /// Fat levels laid out level by level (the B-tree layout).
+    Bfs,
+    /// Pre-order depth-first over fat nodes.
+    Dfs,
+    /// Van Emde Boas recursion over fat levels (halving cut) — the
+    /// paper's PRE-VEB shape with radix `2^s`.
+    Veb,
+}
+
+impl FatOrder {
+    /// All chunk orders.
+    pub const ALL: [FatOrder; 3] = [FatOrder::Bfs, FatOrder::Dfs, FatOrder::Veb];
+}
+
+/// A fat-node layout: chunk order × arity (`2^span` slots per chunk).
+///
+/// Labels follow the grammar `FAT<arity>-<ORDER>`, e.g. `FAT8-VEB`
+/// (8 slots = 7 keys + 1 pad per chunk, vEB chunk order). The label is
+/// what the `.cobt` descriptor region stores for fat files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FatLayout {
+    order: FatOrder,
+    span: u32,
+}
+
+impl FatLayout {
+    /// The canonical test/bench matrix: every order at the two
+    /// cache-line arities (8 slots of `u64` = 64 B; 16 slots of `u32`
+    /// = 64 B, of `u64` = 128 B).
+    pub const ALL: [FatLayout; 6] = [
+        FatLayout {
+            order: FatOrder::Bfs,
+            span: 3,
+        },
+        FatLayout {
+            order: FatOrder::Dfs,
+            span: 3,
+        },
+        FatLayout {
+            order: FatOrder::Veb,
+            span: 3,
+        },
+        FatLayout {
+            order: FatOrder::Bfs,
+            span: 4,
+        },
+        FatLayout {
+            order: FatOrder::Dfs,
+            span: 4,
+        },
+        FatLayout {
+            order: FatOrder::Veb,
+            span: 4,
+        },
+    ];
+
+    /// Builds a layout from a chunk order and an arity (slots per
+    /// chunk).
+    ///
+    /// # Errors
+    /// [`Error::Malformed`] unless `arity` is a power of two in
+    /// `2..=64`.
+    pub fn new(order: FatOrder, arity: u32) -> Result<Self> {
+        if !(MIN_FAT_ARITY..=MAX_FAT_ARITY).contains(&arity) || !arity.is_power_of_two() {
+            return Err(Error::Malformed {
+                detail: format!(
+                    "fat arity {arity} unsupported (power of two in \
+                     {MIN_FAT_ARITY}..={MAX_FAT_ARITY})"
+                ),
+            });
+        }
+        Ok(FatLayout {
+            order,
+            span: arity.trailing_zeros(),
+        })
+    }
+
+    /// The chunk order.
+    #[must_use]
+    pub fn order(self) -> FatOrder {
+        self.order
+    }
+
+    /// Binary levels per chunk (`log2` of the arity).
+    #[must_use]
+    pub fn span(self) -> u32 {
+        self.span
+    }
+
+    /// Slots per chunk (`2^span`): `arity − 1` keys + padding.
+    #[must_use]
+    pub fn arity(self) -> u32 {
+        1 << self.span
+    }
+
+    /// The `FAT<arity>-<ORDER>` label stored in `.cobt` descriptors.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match (self.order, self.span) {
+            (FatOrder::Bfs, 1) => "FAT2-BFS",
+            (FatOrder::Dfs, 1) => "FAT2-DFS",
+            (FatOrder::Veb, 1) => "FAT2-VEB",
+            (FatOrder::Bfs, 2) => "FAT4-BFS",
+            (FatOrder::Dfs, 2) => "FAT4-DFS",
+            (FatOrder::Veb, 2) => "FAT4-VEB",
+            (FatOrder::Bfs, 3) => "FAT8-BFS",
+            (FatOrder::Dfs, 3) => "FAT8-DFS",
+            (FatOrder::Veb, 3) => "FAT8-VEB",
+            (FatOrder::Bfs, 4) => "FAT16-BFS",
+            (FatOrder::Dfs, 4) => "FAT16-DFS",
+            (FatOrder::Veb, 4) => "FAT16-VEB",
+            (FatOrder::Bfs, 5) => "FAT32-BFS",
+            (FatOrder::Dfs, 5) => "FAT32-DFS",
+            (FatOrder::Veb, 5) => "FAT32-VEB",
+            (FatOrder::Bfs, _) => "FAT64-BFS",
+            (FatOrder::Dfs, _) => "FAT64-DFS",
+            (FatOrder::Veb, _) => "FAT64-VEB",
+        }
+    }
+
+    /// Builds the position index for this layout at binary height
+    /// `height`.
+    ///
+    /// # Errors
+    /// [`Error::HeightOutOfRange`] outside `1..=31`.
+    pub fn try_index(self, height: u32) -> Result<FatIndex> {
+        FatIndex::try_new(self, height)
+    }
+}
+
+impl std::fmt::Display for FatLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for FatLayout {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let unknown = || Error::UnknownLayout { name: s.into() };
+        let rest = s.strip_prefix("FAT").ok_or_else(unknown)?;
+        let (arity, order) = rest.split_once('-').ok_or_else(unknown)?;
+        let arity: u32 = arity.parse().map_err(|_| unknown())?;
+        let order = match order {
+            "BFS" => FatOrder::Bfs,
+            "DFS" => FatOrder::Dfs,
+            "VEB" => FatOrder::Veb,
+            _ => return Err(unknown()),
+        };
+        FatLayout::new(order, arity).map_err(|_| unknown())
+    }
+}
+
+/// Total slots (keys + padding) of a fat layout with the given span at
+/// binary height `height`: `2^span × (number of chunks)`.
+///
+/// # Panics
+/// Panics when `height` is 0 or exceeds [`MAX_FAT_HEIGHT`], or when
+/// `span` is outside `1..=6` — validated constructors gate both.
+#[must_use]
+pub fn fat_slot_capacity(height: u32, span: u32) -> u64 {
+    assert!((1..=MAX_FAT_HEIGHT).contains(&height));
+    assert!((1..=6).contains(&span));
+    let fat_levels = height.div_ceil(span);
+    let top_span = height - (fat_levels - 1) * span;
+    let mut chunks = 0u64;
+    let mut depth = 0u32;
+    for fat_depth in 0..fat_levels {
+        chunks += 1u64 << depth;
+        depth += if fat_depth == 0 { top_span } else { span };
+    }
+    chunks << span
+}
+
+/// Position arithmetic for one [`FatLayout`] at one binary height.
+///
+/// Implements [`PositionIndex`] over *slot* positions: binary node `i`
+/// at depth `d` lives at `chunk_position(D, t) · 2^span + offset`,
+/// where `(D, t)` is the chunk holding `i` and `offset` is `i`'s local
+/// in-order index within the chunk. Slot positions are **sparse** —
+/// padding slots map to no binary node ([`PositionIndex::node_at_position`]
+/// returns `None` there) and [`PositionIndex::slot_capacity`] exceeds
+/// `2^h − 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct FatIndex {
+    layout: FatLayout,
+    height: u32,
+    /// `H = ⌈h/s⌉`.
+    fat_levels: u32,
+    /// `sp₀ = h − (H−1)·s` — the (possibly partial) span of fat
+    /// level 0.
+    top_span: u32,
+}
+
+impl FatIndex {
+    /// Builds the index.
+    ///
+    /// # Errors
+    /// [`Error::HeightOutOfRange`] outside `1..=31`.
+    pub fn try_new(layout: FatLayout, height: u32) -> Result<Self> {
+        if height == 0 || height > MAX_FAT_HEIGHT {
+            return Err(Error::HeightOutOfRange {
+                height,
+                min: 1,
+                max: MAX_FAT_HEIGHT,
+            });
+        }
+        let span = layout.span();
+        let fat_levels = height.div_ceil(span);
+        let top_span = height - (fat_levels - 1) * span;
+        Ok(FatIndex {
+            layout,
+            height,
+            fat_levels,
+            top_span,
+        })
+    }
+
+    /// The layout this index serves.
+    #[must_use]
+    pub fn layout(&self) -> FatLayout {
+        self.layout
+    }
+
+    /// Binary levels per full chunk.
+    #[must_use]
+    pub fn span(&self) -> u32 {
+        self.layout.span()
+    }
+
+    /// Slots per chunk (`2^span`).
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        1 << self.layout.span()
+    }
+
+    /// Number of fat levels `H`.
+    #[must_use]
+    pub fn fat_levels(&self) -> u32 {
+        self.fat_levels
+    }
+
+    /// Binary levels spanned by fat level `fat_depth` (`sp₀` at the
+    /// top, `span` below).
+    #[must_use]
+    pub fn span_of(&self, fat_depth: u32) -> u32 {
+        if fat_depth == 0 {
+            self.top_span
+        } else {
+            self.span()
+        }
+    }
+
+    /// First binary depth of fat level `fat_depth`.
+    #[must_use]
+    pub fn depth_base(&self, fat_depth: u32) -> u32 {
+        if fat_depth == 0 {
+            0
+        } else {
+            self.top_span + (fat_depth - 1) * self.span()
+        }
+    }
+
+    /// Fat level containing binary depth `depth`.
+    #[must_use]
+    pub fn fat_depth_of(&self, depth: u32) -> u32 {
+        if depth < self.top_span {
+            0
+        } else {
+            1 + (depth - self.top_span) / self.span()
+        }
+    }
+
+    /// Chunks on fat level `fat_depth` (`2^depth_base`).
+    #[must_use]
+    pub fn chunk_count(&self, fat_depth: u32) -> u64 {
+        1u64 << self.depth_base(fat_depth)
+    }
+
+    /// Total chunks across all fat levels.
+    #[must_use]
+    pub fn total_chunks(&self) -> u64 {
+        self.band_size(0, self.fat_levels)
+    }
+
+    /// Fat nodes in a subtree rooted at one chunk of fat level `first`
+    /// spanning `levels` fat levels (counted with the digit widths the
+    /// fat tree has *at those levels*).
+    fn band_size(&self, first: u32, levels: u32) -> u64 {
+        let base = self.depth_base(first);
+        let mut size = 0u64;
+        for m in 0..levels {
+            size += 1u64 << (self.depth_base(first + m) - base);
+        }
+        size
+    }
+
+    /// Index of the chunk holding the binary subtree rooted at fat
+    /// level `fat_depth`, sibling ordinal `t ∈ 0..2^depth_base`, in
+    /// this layout's chunk order.
+    #[must_use]
+    pub fn chunk_position(&self, fat_depth: u32, t: u64) -> u64 {
+        match self.layout.order() {
+            FatOrder::Bfs => {
+                let mut base = 0u64;
+                for j in 0..fat_depth {
+                    base += self.chunk_count(j);
+                }
+                base + t
+            }
+            FatOrder::Dfs => {
+                let db = self.depth_base(fat_depth);
+                let mut pos = u64::from(fat_depth);
+                for j in 0..fat_depth {
+                    let width = self.span_of(j);
+                    let shift = db - self.depth_base(j + 1);
+                    let digit = (t >> shift) & ((1u64 << width) - 1);
+                    pos += digit * self.band_size(j + 1, self.fat_levels - (j + 1));
+                }
+                pos
+            }
+            FatOrder::Veb => {
+                let db = self.depth_base(fat_depth);
+                let mut first = 0u32;
+                let mut band = self.fat_levels;
+                let mut rel = fat_depth;
+                let mut pos = 0u64;
+                while rel > 0 {
+                    let cut = band / 2;
+                    if rel < cut {
+                        band = cut;
+                    } else {
+                        pos += self.band_size(first, cut);
+                        let width = self.depth_base(first + cut) - self.depth_base(first);
+                        let sel =
+                            (t >> (db - self.depth_base(first + cut))) & ((1u64 << width) - 1);
+                        pos += sel * self.band_size(first + cut, band - cut);
+                        first += cut;
+                        band -= cut;
+                        rel -= cut;
+                    }
+                }
+                pos
+            }
+        }
+    }
+
+    /// Inverse of [`FatIndex::chunk_position`]: `(fat_depth, t)` of the
+    /// chunk at `chunk_index`, or `None` past [`FatIndex::total_chunks`].
+    #[must_use]
+    pub fn chunk_at(&self, chunk_index: u64) -> Option<(u32, u64)> {
+        if chunk_index >= self.total_chunks() {
+            return None;
+        }
+        match self.layout.order() {
+            FatOrder::Bfs => {
+                let mut rem = chunk_index;
+                for fat_depth in 0..self.fat_levels {
+                    let count = self.chunk_count(fat_depth);
+                    if rem < count {
+                        return Some((fat_depth, rem));
+                    }
+                    rem -= count;
+                }
+                None
+            }
+            FatOrder::Dfs => {
+                let mut fat_depth = 0u32;
+                let mut t = 0u64;
+                let mut rem = chunk_index;
+                loop {
+                    if rem == 0 {
+                        return Some((fat_depth, t));
+                    }
+                    if fat_depth + 1 >= self.fat_levels {
+                        return None;
+                    }
+                    rem -= 1;
+                    let child_size = self.band_size(fat_depth + 1, self.fat_levels - fat_depth - 1);
+                    let digit = rem / child_size;
+                    rem %= child_size;
+                    t = (t << self.span_of(fat_depth)) | digit;
+                    fat_depth += 1;
+                }
+            }
+            FatOrder::Veb => self.veb_chunk_at(0, self.fat_levels, chunk_index),
+        }
+    }
+
+    /// `(relative fat depth, relative sibling ordinal)` of chunk `p`
+    /// within a vEB-ordered subtree spanning fat levels
+    /// `first..first + band`.
+    fn veb_chunk_at(&self, first: u32, band: u32, p: u64) -> Option<(u32, u64)> {
+        if p == 0 {
+            return Some((0, 0));
+        }
+        if band == 1 {
+            return None;
+        }
+        let cut = band / 2;
+        let top = self.band_size(first, cut);
+        if p < top {
+            return self.veb_chunk_at(first, cut, p);
+        }
+        let q = p - top;
+        let bottom_size = self.band_size(first + cut, band - cut);
+        let sel = q / bottom_size;
+        let sel_width = self.depth_base(first + cut) - self.depth_base(first);
+        if sel >= (1u64 << sel_width) {
+            return None;
+        }
+        let (rel, t_rel) = self.veb_chunk_at(first + cut, band - cut, q % bottom_size)?;
+        let rel_width = self.depth_base(first + cut + rel) - self.depth_base(first + cut);
+        Some((cut + rel, (sel << rel_width) | t_rel))
+    }
+
+    /// Number of **real** (non-padding) keys in chunk `(fat_depth, t)`
+    /// of a tree holding `key_count` real keys.
+    ///
+    /// The chunk's local in-order slot `m − 1` (for `m ∈ 1..2^span`)
+    /// holds the key of global rank `t·2^(h−db) + m·2^(h−db−sp)`;
+    /// padding ranks (`> key_count`) are the largest, so real keys are
+    /// a prefix and this closed form is its length.
+    #[must_use]
+    pub fn chunk_real_count(&self, fat_depth: u32, t: u64, key_count: u64) -> u32 {
+        let db = self.depth_base(fat_depth);
+        let sp = self.span_of(fat_depth);
+        let full = (1u64 << sp) - 1;
+        let base_rank = t << (self.height - db);
+        if key_count <= base_rank {
+            return 0;
+        }
+        let fit = (key_count - base_rank) >> (self.height - db - sp);
+        fit.min(full) as u32
+    }
+
+    /// 1-based global in-order rank of local slot `local`
+    /// (0-based) in chunk `(fat_depth, t)`.
+    #[must_use]
+    pub fn rank_of_chunk_slot(&self, fat_depth: u32, t: u64, local: u32) -> u64 {
+        let db = self.depth_base(fat_depth);
+        let sp = self.span_of(fat_depth);
+        (t << (self.height - db)) + (u64::from(local) + 1) * (1u64 << (self.height - db - sp))
+    }
+}
+
+impl PositionIndex for FatIndex {
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn position(&self, node: NodeId, depth: u32) -> u64 {
+        let fat_depth = self.fat_depth_of(depth);
+        let db = self.depth_base(fat_depth);
+        let dd = depth - db;
+        let sp = self.span_of(fat_depth);
+        let t = (node >> dd) - (1u64 << db);
+        let within = node & ((1u64 << dd) - 1);
+        let offset = (within << (sp - dd)) + (1u64 << (sp - dd - 1)) - 1;
+        self.chunk_position(fat_depth, t) * self.stride() + offset
+    }
+
+    fn slot_capacity(&self) -> u64 {
+        self.total_chunks() * self.stride()
+    }
+
+    fn node_at_position(&self, position: u64) -> Option<NodeId> {
+        let stride = self.stride();
+        let (fat_depth, t) = self.chunk_at(position / stride)?;
+        let offset = position % stride;
+        let sp = self.span_of(fat_depth);
+        let m = offset + 1;
+        if m >= (1u64 << sp) {
+            return None; // padding slot — no binary node lives here
+        }
+        let tz = m.trailing_zeros();
+        let dd = sp - 1 - tz;
+        let within = m >> (tz + 1);
+        Some((((1u64 << self.depth_base(fat_depth)) + t) << dd) | within)
+    }
+
+    fn compile_plan(&self) -> Option<StepPlan> {
+        let stride = self.stride();
+        let mut levels = Vec::with_capacity(self.height as usize);
+        for depth in 0..self.height {
+            let fat_depth = self.fat_depth_of(depth);
+            let db = self.depth_base(fat_depth);
+            let dd = depth - db;
+            let sp = self.span_of(fat_depth);
+            // Local in-order offset within the chunk:
+            // (node & (2^dd − 1)) · 2^(sp−dd) + 2^(sp−dd−1) − 1.
+            let mut base = (1u64 << (sp - dd - 1)) - 1;
+            let mut terms = Vec::new();
+            if dd > 0 {
+                terms.push(MaskTerm {
+                    shift: 0,
+                    mask: (1u64 << dd) - 1,
+                    stride: 1u64 << (sp - dd),
+                });
+            }
+            match self.layout.order() {
+                FatOrder::Bfs => {
+                    // chunk = Σ_{j<D} 2^db(j) + (node >> dd) − 2^db.
+                    let mut fb = 0u64;
+                    for j in 0..fat_depth {
+                        fb += self.chunk_count(j);
+                    }
+                    base = base.wrapping_add(fb.wrapping_sub(1u64 << db).wrapping_mul(stride));
+                    terms.push(MaskTerm {
+                        shift: dd,
+                        mask: (1u64 << (db + 1)) - 1,
+                        stride,
+                    });
+                }
+                FatOrder::Dfs => {
+                    // chunk = D + Σ_j digit_j · subtree(j+1); digit_j is
+                    // span_of(j) bits of the node.
+                    base = base.wrapping_add(u64::from(fat_depth).wrapping_mul(stride));
+                    for j in 0..fat_depth {
+                        terms.push(MaskTerm {
+                            shift: dd + (db - self.depth_base(j + 1)),
+                            mask: (1u64 << self.span_of(j)) - 1,
+                            stride: self.band_size(j + 1, self.fat_levels - (j + 1)) * stride,
+                        });
+                    }
+                }
+                FatOrder::Veb => {
+                    // Unroll the vEB descent for this fat depth: one
+                    // term per cut crossed (the fat analogue of
+                    // compile_pre_veb).
+                    let mut first = 0u32;
+                    let mut band = self.fat_levels;
+                    let mut rel = fat_depth;
+                    while rel > 0 {
+                        let cut = band / 2;
+                        if rel < cut {
+                            band = cut;
+                        } else {
+                            base =
+                                base.wrapping_add(self.band_size(first, cut).wrapping_mul(stride));
+                            let width = self.depth_base(first + cut) - self.depth_base(first);
+                            terms.push(MaskTerm {
+                                shift: dd + (db - self.depth_base(first + cut)),
+                                mask: (1u64 << width) - 1,
+                                stride: self.band_size(first + cut, band - cut) * stride,
+                            });
+                            first += cut;
+                            band -= cut;
+                            rel -= cut;
+                        }
+                    }
+                }
+            }
+            levels.push(LevelPlan { base, terms });
+        }
+        Some(StepPlan::Terms {
+            height: self.height,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+    use std::collections::HashSet;
+
+    fn layouts() -> Vec<FatLayout> {
+        let mut out = Vec::new();
+        for order in FatOrder::ALL {
+            for span in 1..=6 {
+                out.push(FatLayout::new(order, 1 << span).unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for layout in layouts() {
+            let parsed: FatLayout = layout.label().parse().unwrap();
+            assert_eq!(parsed, layout);
+        }
+        assert!("FAT8-VEB".parse::<FatLayout>().is_ok());
+        for bad in [
+            "FAT7-VEB",
+            "FAT8-XYZ",
+            "FAT128-BFS",
+            "FAT0-BFS",
+            "VEB",
+            "FAT8",
+        ] {
+            assert!(
+                matches!(bad.parse::<FatLayout>(), Err(Error::UnknownLayout { .. })),
+                "{bad} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_validation() {
+        for bad in [0, 1, 3, 5, 7, 12, 128, 256] {
+            assert!(FatLayout::new(FatOrder::Veb, bad).is_err(), "arity {bad}");
+        }
+        assert!(FatIndex::try_new(FatLayout::ALL[0], 0).is_err());
+        assert!(FatIndex::try_new(FatLayout::ALL[0], 32).is_err());
+    }
+
+    /// Positions are injective, land within `slot_capacity`, invert
+    /// correctly, and padding slots invert to `None`.
+    #[test]
+    fn positions_are_sparse_injective_and_invertible() {
+        for layout in layouts() {
+            for height in 1..=9 {
+                let index = layout.try_index(height).unwrap();
+                let tree = Tree::new(height);
+                let capacity = index.slot_capacity();
+                assert_eq!(capacity, fat_slot_capacity(height, layout.span()));
+                assert!(capacity >= tree.len());
+                let mut seen = HashSet::new();
+                for node in tree.nodes() {
+                    let pos = index.position(node, tree.depth(node));
+                    assert!(pos < capacity, "{layout} h={height} node {node}");
+                    assert!(
+                        seen.insert(pos),
+                        "{layout} h={height} position {pos} reused"
+                    );
+                    assert_eq!(
+                        index.node_at_position(pos),
+                        Some(node),
+                        "{layout} h={height} node {node} @ {pos}"
+                    );
+                }
+                // Every unused slot is a hole.
+                for pos in 0..capacity {
+                    if !seen.contains(&pos) {
+                        assert_eq!(index.node_at_position(pos), None);
+                    }
+                }
+                assert_eq!(index.node_at_position(capacity), None);
+            }
+        }
+    }
+
+    /// The compiled plan is bit-identical to the virtual index.
+    #[test]
+    fn compiled_plan_matches_index() {
+        for layout in layouts() {
+            for height in 1..=9 {
+                let index = layout.try_index(height).unwrap();
+                let plan = index.compile_plan().unwrap();
+                let tree = Tree::new(height);
+                for node in tree.nodes() {
+                    let depth = tree.depth(node);
+                    assert_eq!(
+                        plan.position(node, depth),
+                        index.position(node, depth),
+                        "{layout} h={height} node {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Spot-check tall trees (exhaustive sweeps stop at height 9).
+    #[test]
+    fn compiled_plan_matches_index_tall() {
+        for layout in FatLayout::ALL {
+            for height in [13, 20, 31] {
+                let index = layout.try_index(height).unwrap();
+                let plan = index.compile_plan().unwrap();
+                let mut node: NodeId = 1;
+                let mut state = 0x9e37_79b9_7f4a_7c15u64;
+                for depth in 0..height {
+                    let pos = index.position(node, depth);
+                    assert_eq!(plan.position(node, depth), pos);
+                    assert!(pos < index.slot_capacity());
+                    assert_eq!(index.node_at_position(pos), Some(node));
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    node = node * 2 + (state >> 63);
+                }
+            }
+        }
+    }
+
+    /// Chunk-local in-order ranks agree with the binary tree's global
+    /// in-order ranks, and the real-prefix closed form matches a
+    /// brute-force count.
+    #[test]
+    fn chunk_ranks_and_real_counts() {
+        for layout in layouts() {
+            for height in 1..=8 {
+                let index = layout.try_index(height).unwrap();
+                let tree = Tree::new(height);
+                for node in tree.nodes() {
+                    let pos = index.position(node, tree.depth(node));
+                    let chunk = pos / index.stride();
+                    let local = (pos % index.stride()) as u32;
+                    let (fat_depth, t) = index.chunk_at(chunk).unwrap();
+                    assert_eq!(
+                        index.rank_of_chunk_slot(fat_depth, t, local),
+                        tree.in_order_rank(node)
+                    );
+                }
+                for key_count in [0, 1, 2, tree.len() / 2, tree.len()] {
+                    for chunk in 0..index.total_chunks() {
+                        let (fat_depth, t) = index.chunk_at(chunk).unwrap();
+                        let sp = index.span_of(fat_depth);
+                        let brute = (0..(1u32 << sp) - 1)
+                            .filter(|&m| index.rank_of_chunk_slot(fat_depth, t, m) <= key_count)
+                            .count() as u32;
+                        assert_eq!(
+                            index.chunk_real_count(fat_depth, t, key_count),
+                            brute,
+                            "{layout} h={height} n={key_count} chunk {chunk}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Real keys form a *prefix* of every chunk: if local slot `m` is
+    /// real, every smaller local slot is real too.
+    #[test]
+    fn real_keys_are_chunk_prefixes() {
+        for layout in layouts() {
+            for height in 1..=8 {
+                let index = layout.try_index(height).unwrap();
+                let tree = Tree::new(height);
+                for key_count in 0..=tree.len() {
+                    for chunk in 0..index.total_chunks() {
+                        let (fat_depth, t) = index.chunk_at(chunk).unwrap();
+                        let sp = index.span_of(fat_depth);
+                        let mut seen_pad = false;
+                        for m in 0..(1u32 << sp) - 1 {
+                            let real = index.rank_of_chunk_slot(fat_depth, t, m) <= key_count;
+                            assert!(!(real && seen_pad), "padding before a real key");
+                            seen_pad |= !real;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `position_of_in_order` (the default impl) stays consistent with
+    /// `in_order_of_position` through the sparse mapping.
+    #[test]
+    fn in_order_round_trips() {
+        for layout in FatLayout::ALL {
+            let index = layout.try_index(6).unwrap();
+            let tree = Tree::new(6);
+            for rank in 1..=tree.len() {
+                let pos = index.position_of_in_order(rank);
+                assert_eq!(index.in_order_of_position(pos), Some(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_overhead_is_bounded() {
+        // Partial span at the top: overhead ≤ stride/(stride−1) plus
+        // one (mostly empty) root chunk.
+        for layout in layouts() {
+            for height in 1..=20 {
+                let index = layout.try_index(height).unwrap();
+                let keys = (1u64 << height) - 1;
+                let slots = index.slot_capacity();
+                let stride = index.stride();
+                assert!(
+                    slots <= (keys + 1) * stride / (stride - 1).max(1) + 2 * stride,
+                    "{layout} h={height}: {slots} slots for {keys} keys"
+                );
+            }
+        }
+    }
+}

@@ -39,6 +39,16 @@
 //!   label and the index region holds the materialized permutation
 //!   (`u32` position per BFS node), validated as a permutation on open.
 //!
+//! **Format v2** adds B-ary *fat-node* geometry: header byte 10 stores
+//! the node arity (`0` = binary, else a power of two in `2..=64` —
+//! slots per chunk). Fat files use the named kind with a
+//! [`crate::fat::FatLayout`] label (`FAT8-VEB`, …); their key region
+//! holds [`crate::fat::fat_slot_capacity`] slots (chunks are padded to
+//! the power-of-two stride, so the region exceeds `2^h − 1` slots) and
+//! every structural rule is cross-checked on parse: arity must match
+//! the label, the table kind must not carry an arity, and v1 files must
+//! keep byte 10 zero. Version-1 files remain readable unchanged.
+//!
 //! Everything here is pure byte-slicing on `&[u8]`: [`parse`] returns a
 //! [`Geometry`] of offsets (no borrows, no copies), and the accessors
 //! take the file bytes by reference — whether those bytes come from
@@ -52,8 +62,10 @@ use crate::tree::Tree;
 /// The four magic bytes every tree file starts with.
 pub const MAGIC: [u8; 4] = *b"COBT";
 
-/// Newest format version this build reads and writes.
-pub const VERSION: u16 = 1;
+/// Newest format version this build reads and writes. Version 2 added
+/// the fat-node arity byte (header byte 10); version-1 files are still
+/// accepted (their byte 10 is reserved-zero, i.e. binary).
+pub const VERSION: u16 = 2;
 
 /// The endianness canary stored at offset 6: the format is defined
 /// little-endian, and a writer that stored this constant through a
@@ -91,6 +103,10 @@ pub trait FixedKey: Copy + Ord + Send + Sync + 'static {
     const TAG: u8;
     /// Encoded width in bytes.
     const WIDTH: usize;
+    /// `true` for two's-complement signed encodings — the SIMD
+    /// rank-of-key kernels use it to pick between signed comparison and
+    /// sign-bias + signed comparison on the raw lanes.
+    const SIGNED: bool = false;
     /// Writes `self` into `out[..WIDTH]`, little-endian.
     fn write_le(self, out: &mut [u8]);
     /// Reads a key from `bytes[..WIDTH]`, little-endian.
@@ -98,10 +114,11 @@ pub trait FixedKey: Copy + Ord + Send + Sync + 'static {
 }
 
 macro_rules! impl_fixed_key {
-    ($($t:ty => $tag:expr),* $(,)?) => {$(
+    ($($t:ty => $tag:expr, $signed:expr),* $(,)?) => {$(
         impl FixedKey for $t {
             const TAG: u8 = $tag;
             const WIDTH: usize = std::mem::size_of::<$t>();
+            const SIGNED: bool = $signed;
             #[inline]
             fn write_le(self, out: &mut [u8]) {
                 out[..Self::WIDTH].copy_from_slice(&self.to_le_bytes());
@@ -114,7 +131,14 @@ macro_rules! impl_fixed_key {
     )*};
 }
 
-impl_fixed_key!(u32 => 1, u64 => 2, i32 => 3, i64 => 4, u16 => 5, u128 => 6);
+impl_fixed_key!(
+    u32 => 1, false,
+    u64 => 2, false,
+    i32 => 3, true,
+    i64 => 4, true,
+    u16 => 5, false,
+    u128 => 6, false,
+);
 
 /// Human-readable name for a key type tag, for error messages and the
 /// `serve` experiment's format table.
@@ -173,6 +197,12 @@ pub enum Descriptor<'a> {
     /// A Table I layout, stored by name — the reader recomputes
     /// positions arithmetically, and the file carries no table.
     Named(NamedLayout),
+    /// A B-ary fat-node layout (format v2): stored by its
+    /// `FAT<arity>-<ORDER>` label with the arity duplicated in header
+    /// byte 10, key region sized to the fat slot capacity. The reader
+    /// rebuilds the arithmetic [`crate::fat::FatIndex`]; no index
+    /// region.
+    Fat(crate::fat::FatLayout),
     /// Any other layout, stored as its materialized permutation.
     Table {
         /// Human-readable label (informational; round-trips).
@@ -228,6 +258,9 @@ pub struct Geometry {
     pub height: u32,
     /// Stored (real) keys; ranks `key_count + 1 ..= 2^h − 1` are padding.
     pub key_count: u64,
+    /// Fat-node arity (slots per chunk): `0` for binary files, else a
+    /// power of two in `2..=64` (format v2, matching the `FAT*` label).
+    pub arity: u8,
     /// Region alignment the writer used (power of two).
     pub block_bytes: u64,
     /// Descriptor region `(offset, length)` in bytes.
@@ -240,16 +273,29 @@ pub struct Geometry {
 }
 
 impl Geometry {
-    /// Slot count of the complete tree, `2^h − 1`.
+    /// Slot count of the complete tree, `2^h − 1`. Ranks and key
+    /// counts are bounded by this regardless of arity.
     #[must_use]
     pub fn capacity(&self) -> u64 {
         (1u64 << self.height) - 1
     }
 
+    /// Storage slots in the key region: [`Geometry::capacity`] for
+    /// binary files, [`crate::fat::fat_slot_capacity`] for fat files
+    /// (chunk padding makes it larger).
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        if self.arity == 0 {
+            self.capacity()
+        } else {
+            crate::fat::fat_slot_capacity(self.height, u32::from(self.arity).trailing_zeros())
+        }
+    }
+
     /// Per-key width in bytes implied by the key region.
     #[must_use]
     pub fn key_width(&self) -> usize {
-        (self.keys.1 as u64 / self.capacity()) as usize
+        (self.keys.1 as u64 / self.slots()) as usize
     }
 
     /// The descriptor string (layout name or label).
@@ -276,7 +322,7 @@ impl Geometry {
     #[inline]
     #[must_use]
     pub fn key_at_position<K: FixedKey>(&self, file: &[u8], pos: u64) -> K {
-        debug_assert!(pos < self.capacity());
+        debug_assert!(pos < self.slots());
         let off = self.keys.0 + (pos as usize) * K::WIDTH;
         K::read_le(&file[off..off + K::WIDTH])
     }
@@ -355,8 +401,13 @@ pub fn encode_tree<K: FixedKey>(
 ) -> Result<Vec<u8>> {
     let capacity = check_shape(height, key_count, block_bytes)?;
 
-    let (kind, desc_bytes): (DescriptorKind, &[u8]) = match descriptor {
-        Descriptor::Named(layout) => (DescriptorKind::Named, layout.label().as_bytes()),
+    let (kind, arity, desc_label): (DescriptorKind, u8, String) = match descriptor {
+        Descriptor::Named(layout) => (DescriptorKind::Named, 0, layout.label().to_string()),
+        Descriptor::Fat(layout) => (
+            DescriptorKind::Named,
+            layout.arity() as u8,
+            layout.label().to_string(),
+        ),
         Descriptor::Table {
             label,
             positions_by_node,
@@ -369,14 +420,22 @@ pub fn encode_tree<K: FixedKey>(
                     ),
                 });
             }
-            (DescriptorKind::Table, label.as_bytes())
+            (DescriptorKind::Table, 0, (*label).to_string())
         }
     };
+    let slots = match descriptor {
+        Descriptor::Fat(layout) => {
+            crate::fat::FatIndex::try_new(*layout, height)?;
+            crate::fat::fat_slot_capacity(height, layout.span())
+        }
+        _ => capacity,
+    };
+    let desc_bytes = desc_label.as_bytes();
 
     let desc_off = HEADER_LEN as u64;
     let desc_len = desc_bytes.len() as u64;
     let key_off = align_up(desc_off + desc_len, block_bytes);
-    let key_len = capacity * K::WIDTH as u64;
+    let key_len = slots * K::WIDTH as u64;
     let (index_off, index_len) = match kind {
         DescriptorKind::Named => (align_up(key_off + key_len, block_bytes), 0),
         DescriptorKind::Table => (align_up(key_off + key_len, block_bytes), capacity * 4),
@@ -389,7 +448,8 @@ pub fn encode_tree<K: FixedKey>(
     out[6..8].copy_from_slice(&ENDIAN_MARK.to_le_bytes());
     out[8] = K::TAG;
     out[9] = kind.to_byte();
-    // bytes 10..12 reserved, zero.
+    out[10] = arity;
+    // byte 11 reserved, zero.
     out[12..16].copy_from_slice(&height.to_le_bytes());
     out[16..24].copy_from_slice(&key_count.to_le_bytes());
     out[24..32].copy_from_slice(&block_bytes.to_le_bytes());
@@ -402,7 +462,7 @@ pub fn encode_tree<K: FixedKey>(
 
     out[desc_off as usize..(desc_off + desc_len) as usize].copy_from_slice(desc_bytes);
 
-    for p in 0..capacity {
+    for p in 0..slots {
         if let Some(k) = key_at_position(p) {
             let off = key_off as usize + (p as usize) * K::WIDTH;
             k.write_le(&mut out[off..off + K::WIDTH]);
@@ -541,9 +601,25 @@ pub fn parse(file: &[u8]) -> Result<Geometry> {
     let kind = DescriptorKind::from_byte(file[9]).ok_or_else(|| Error::Malformed {
         detail: format!("unknown descriptor kind {}", file[9]),
     })?;
-    if read_u16(file, 10) != 0 {
+    let arity = file[10];
+    if version < 2 && arity != 0 {
         return Err(Error::Malformed {
             detail: "reserved header bytes 10..12 must be zero".into(),
+        });
+    }
+    if arity != 0 && (!arity.is_power_of_two() || !(2..=64).contains(&arity)) {
+        return Err(Error::Malformed {
+            detail: format!("fat arity {arity} unsupported (power of two in 2..=64, or 0)"),
+        });
+    }
+    if arity != 0 && kind != DescriptorKind::Named {
+        return Err(Error::Malformed {
+            detail: "fat geometry requires the named descriptor kind".into(),
+        });
+    }
+    if file[11] != 0 {
+        return Err(Error::Malformed {
+            detail: "reserved header byte 11 must be zero".into(),
         });
     }
 
@@ -551,6 +627,11 @@ pub fn parse(file: &[u8]) -> Result<Geometry> {
     let key_count = read_u64(file, 16);
     let block_bytes = read_u64(file, 24);
     let capacity = check_shape(height, key_count, block_bytes)?;
+    let slots = if arity == 0 {
+        capacity
+    } else {
+        crate::fat::fat_slot_capacity(height, u32::from(arity).trailing_zeros())
+    };
 
     let descriptor = region(file, read_u64(file, 32), read_u64(file, 40), "descriptor")?;
     let keys = region(file, read_u64(file, 48), read_u64(file, 56), "key")?;
@@ -570,10 +651,10 @@ pub fn parse(file: &[u8]) -> Result<Geometry> {
         });
     }
     let width = key_width_of(key_tag);
-    if keys.1 as u64 != capacity * width as u64 {
+    if keys.1 as u64 != slots * width as u64 {
         return Err(Error::Malformed {
             detail: format!(
-                "key region length {} != capacity {capacity} x key width {width}",
+                "key region length {} != slot count {slots} x key width {width}",
                 keys.1
             ),
         });
@@ -611,6 +692,19 @@ pub fn parse(file: &[u8]) -> Result<Geometry> {
             }
         })?;
     match kind {
+        DescriptorKind::Named if arity != 0 => {
+            // Fat geometry: the label must be a fat layout AND agree
+            // with the header's arity byte (errors as UnknownLayout for
+            // an unparseable label, Malformed for a disagreement).
+            let layout: crate::fat::FatLayout = desc_str.parse()?;
+            if layout.arity() != u32::from(arity) {
+                return Err(Error::Malformed {
+                    detail: format!(
+                        "descriptor label {desc_str} disagrees with header arity {arity}"
+                    ),
+                });
+            }
+        }
         DescriptorKind::Named => {
             // Errors as UnknownLayout with the offending name.
             let _: NamedLayout = desc_str.parse()?;
@@ -640,6 +734,7 @@ pub fn parse(file: &[u8]) -> Result<Geometry> {
         kind,
         height,
         key_count,
+        arity,
         block_bytes,
         descriptor,
         keys,
@@ -1147,6 +1242,7 @@ pub fn parse_manifest_v2<K: FixedKey>(bytes: &[u8]) -> Result<ManifestV2<K>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::PositionIndex;
 
     /// A tiny height-3 named file with keys 10..=70 at in-order ranks.
     fn sample_named() -> Vec<u8> {
@@ -1231,6 +1327,91 @@ mod tests {
         for i in 1..=7u64 {
             assert_eq!(g.table_position(&file, i), layout.position(i));
         }
+    }
+
+    /// A height-5 FAT8-VEB file with 23 real keys (rank × 10).
+    fn sample_fat() -> Vec<u8> {
+        let layout: crate::fat::FatLayout = "FAT8-VEB".parse().unwrap();
+        let index = layout.try_index(5).unwrap();
+        let tree = Tree::new(5);
+        encode_tree::<u64>(5, 23, 64, &Descriptor::Fat(layout), |p| {
+            let node = index.node_at_position(p)?;
+            let rank = tree.in_order_rank(node);
+            (rank <= 23).then_some(rank * 10)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fat_file_round_trips_through_parse() {
+        let file = sample_fat();
+        let g = parse(&file).unwrap();
+        assert_eq!(g.version, VERSION);
+        assert_eq!(g.kind, DescriptorKind::Named);
+        assert_eq!(g.arity, 8);
+        assert_eq!(g.height, 5);
+        assert_eq!(g.key_count, 23);
+        assert_eq!(g.capacity(), 31);
+        assert_eq!(g.slots(), crate::fat::fat_slot_capacity(5, 3));
+        assert!(g.slots() > g.capacity());
+        assert_eq!(g.key_width(), 8);
+        assert_eq!(g.descriptor_str(&file), "FAT8-VEB");
+        assert_eq!(g.keys.1 as u64, g.slots() * 8);
+        let layout: crate::fat::FatLayout = "FAT8-VEB".parse().unwrap();
+        let index = layout.try_index(5).unwrap();
+        let tree = Tree::new(5);
+        for node in tree.nodes() {
+            let rank = tree.in_order_rank(node);
+            if rank <= 23 {
+                let p = index.position(node, tree.depth(node));
+                assert_eq!(g.key_at_position::<u64>(&file, p), rank * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn fat_geometry_violations_are_typed() {
+        let base = sample_fat();
+
+        // Arity not a power of two / out of range.
+        for bad in [3u8, 7, 128, 255] {
+            let mut f = base.clone();
+            f[10] = bad;
+            seal_header_hash(&mut f);
+            assert!(
+                matches!(parse(&f).unwrap_err(), Error::Malformed { .. }),
+                "arity {bad}"
+            );
+        }
+
+        // Arity zeroed under a FAT label: the label no longer parses as
+        // a NamedLayout.
+        let mut f = base.clone();
+        f[10] = 0;
+        seal_header_hash(&mut f);
+        assert!(matches!(
+            parse(&f).unwrap_err(),
+            Error::UnknownLayout { .. } | Error::Malformed { .. }
+        ));
+
+        // Arity flipped to a *different valid* arity: key-region size
+        // (and the label cross-check) no longer agree.
+        let mut f = base.clone();
+        f[10] = 16;
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+
+        // A v1 header may not carry an arity.
+        let mut f = base.clone();
+        f[4..6].copy_from_slice(&1u16.to_le_bytes());
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
+
+        // The table kind may not carry an arity.
+        let mut f = sample_table();
+        f[10] = 8;
+        seal_header_hash(&mut f);
+        assert!(matches!(parse(&f).unwrap_err(), Error::Malformed { .. }));
     }
 
     #[test]

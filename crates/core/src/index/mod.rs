@@ -55,6 +55,16 @@ pub trait PositionIndex: Send + Sync {
         self.position(node, 63 - node.leading_zeros())
     }
 
+    /// Number of storage slots the layout addresses — the exclusive
+    /// upper bound of [`PositionIndex::position`]. For permutation
+    /// layouts this is exactly `2^h − 1`; *sparse* layouts (the fat
+    /// family, which pads chunks to a power-of-two stride) override it
+    /// with something larger, and positions that hold no node return
+    /// `None` from [`PositionIndex::node_at_position`].
+    fn slot_capacity(&self) -> u64 {
+        (1u64 << self.height()) - 1
+    }
+
     /// Layout position of the node with 1-based in-order rank
     /// `rank ∈ 1..=2^h − 1` — i.e. the position of the `rank`-th
     /// smallest key.

@@ -31,6 +31,7 @@
 pub(crate) mod branch;
 pub mod engine;
 pub mod error;
+pub mod fat;
 pub mod format;
 pub mod golden;
 pub mod index;
@@ -42,6 +43,7 @@ pub mod tree;
 pub mod weights;
 
 pub use error::{Error, Result};
+pub use fat::{FatIndex, FatLayout, FatOrder};
 pub use layout::Layout;
 pub use named::NamedLayout;
 pub use spec::{CutRule, RecursiveSpec, RootOrder, Subscript};

@@ -26,10 +26,18 @@ pub struct Node<K> {
 }
 
 /// A complete BST stored as an array of [`Node`]s in layout order.
+///
+/// Permutation layouts fill the array densely (`2^h − 1` nodes). Sparse
+/// layouts — the fat-node family, which pads every chunk to a
+/// power-of-two stride — leave holes ([`ExplicitTree::try_build_from_index`]);
+/// holes carry [`ExplicitTree::NIL`] children and are never reachable
+/// from the root, so every search path sees only real nodes.
 #[derive(Debug, Clone)]
 pub struct ExplicitTree<K> {
     height: u32,
     root_pos: u32,
+    /// Stored keys: `2^h − 1`, regardless of array holes.
+    key_count: u64,
     nodes: Vec<Node<K>>,
 }
 
@@ -76,6 +84,60 @@ impl<K: Ord + Copy> ExplicitTree<K> {
         Ok(Self {
             height: tree.height(),
             root_pos: layout.position(1) as u32,
+            key_count: tree.len(),
+            nodes,
+        })
+    }
+
+    /// Builds from any [`PositionIndex`](cobtree_core::index::PositionIndex)
+    /// — including *sparse* ones, where
+    /// [`slot_capacity`](cobtree_core::index::PositionIndex::slot_capacity)
+    /// exceeds `2^h − 1`. The node array gets one slot per layout
+    /// position; slots no node maps to hold the smallest key with `NIL`
+    /// children and are unreachable (the root path only ever follows
+    /// real child pointers). This is how the `Explicit` storage serves
+    /// fat-node layouts: same chunked addresses as the implicit fat
+    /// plane, navigated purely by pointers.
+    ///
+    /// # Errors
+    /// [`Error::EmptyKeys`] / [`Error::UnsortedKeys`] /
+    /// [`Error::KeyCountMismatch`].
+    pub fn try_build_from_index(
+        index: &dyn cobtree_core::index::PositionIndex,
+        keys: &[K],
+    ) -> Result<Self> {
+        let tree = cobtree_core::Tree::try_new(index.height())?;
+        check_sorted_keys(keys)?;
+        if keys.len() as u64 != tree.len() {
+            return Err(Error::KeyCountMismatch {
+                expected: tree.len(),
+                got: keys.len() as u64,
+            });
+        }
+        let mut nodes = vec![
+            Node {
+                key: keys[0],
+                left: Self::NIL,
+                right: Self::NIL,
+            };
+            index.slot_capacity() as usize
+        ];
+        for i in tree.nodes() {
+            let p = index.position(i, tree.depth(i)) as usize;
+            nodes[p] = Node {
+                key: keys[(tree.in_order_rank(i) - 1) as usize],
+                left: tree
+                    .left(i)
+                    .map_or(Self::NIL, |c| index.position(c, tree.depth(c)) as u32),
+                right: tree
+                    .right(i)
+                    .map_or(Self::NIL, |c| index.position(c, tree.depth(c)) as u32),
+            };
+        }
+        Ok(Self {
+            height: tree.height(),
+            root_pos: index.position(1, 0) as u32,
+            key_count: tree.len(),
             nodes,
         })
     }
@@ -243,7 +305,7 @@ impl<K: Ord + Copy> SearchBackend<K> for ExplicitTree<K> {
     }
 
     fn key_count(&self) -> u64 {
-        self.nodes.len() as u64
+        self.key_count
     }
 
     fn search(&self, key: K) -> Option<u64> {
@@ -490,6 +552,37 @@ mod tests {
     fn build_panics_on_unsorted_keys() {
         let l = NamedLayout::InOrder.materialize(2);
         let _ = ExplicitTree::build(&l, &[3u64, 2, 1]);
+    }
+
+    #[test]
+    fn sparse_fat_index_build_matches_dense_semantics() {
+        use cobtree_core::fat::{FatIndex, FatLayout, FatOrder};
+        use cobtree_core::index::PositionIndex;
+        let index = FatIndex::try_new(FatLayout::new(FatOrder::Veb, 16).unwrap(), 7).unwrap();
+        let keys: Vec<u64> = (1..=127).map(|k| k * 5).collect();
+        let t = ExplicitTree::try_build_from_index(&index, &keys).unwrap();
+        assert_eq!(t.nodes().len() as u64, index.slot_capacity());
+        assert_eq!(SearchBackend::key_count(&t), 127);
+        assert_eq!(t.root_position(), index.position(1, 0));
+        let tree = cobtree_core::Tree::new(7);
+        for k in 1..=127u64 {
+            // Found at the fat-layout position of the in-order node.
+            let node = tree.node_at_in_order(k);
+            assert_eq!(
+                t.search(k * 5),
+                Some(index.position(node, tree.depth(node)))
+            );
+            assert_eq!(t.search(k * 5 + 1), None);
+        }
+        let sorted: Vec<u64> = keys.clone();
+        for probe in 0..=640u64 {
+            let lb = sorted.partition_point(|&k| k < probe) as u64 + 1;
+            assert_eq!(
+                SearchBackend::lower_bound_rank(&t, probe),
+                lb,
+                "lb({probe})"
+            );
+        }
     }
 
     #[test]

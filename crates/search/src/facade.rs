@@ -32,12 +32,14 @@
 use crate::backend::SearchBackend;
 use crate::cursor::{range_of, Cursor, Range};
 use crate::explicit::ExplicitTree;
+use crate::fat::FatHeapTree;
 use crate::implicit::ImplicitTree;
 use crate::index_only::IndexOnlyTree;
 use crate::kernel;
 use crate::mapped::MappedTree;
 use crate::slot::{padded_slots, Slot};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
+use cobtree_core::fat::{FatIndex, FatLayout};
 use cobtree_core::format::{self, Descriptor, FixedKey};
 use cobtree_core::index::generic::GenericIndexer;
 use cobtree_core::index::{MaterializedIndex, PositionIndex};
@@ -100,6 +102,11 @@ pub enum LayoutSource {
     /// A pre-materialized permutation (e.g. MINLA/MINBW baselines or a
     /// layout loaded from JSON); its height must match the key count.
     Materialized(Layout),
+    /// A B-ary fat-node layout (wide nodes searched by rank-of-key —
+    /// see [`cobtree_core::fat`]). Sparse: chunks are padded to a
+    /// power-of-two stride, so positions exceed `2^h − 1` and each
+    /// storage builds through its sparse path.
+    Fat(FatLayout),
 }
 
 impl From<NamedLayout> for LayoutSource {
@@ -120,6 +127,12 @@ impl From<Layout> for LayoutSource {
     }
 }
 
+impl From<FatLayout> for LayoutSource {
+    fn from(layout: FatLayout) -> Self {
+        LayoutSource::Fat(layout)
+    }
+}
+
 impl std::fmt::Debug for LayoutSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.label())
@@ -134,6 +147,7 @@ impl LayoutSource {
             LayoutSource::Named(l) => l.label().to_string(),
             LayoutSource::Spec(s) => s.nomenclature(),
             LayoutSource::Materialized(l) => format!("materialized(h={})", l.height()),
+            LayoutSource::Fat(l) => l.label().to_string(),
         }
     }
 
@@ -161,6 +175,7 @@ impl LayoutSource {
                 }
                 Ok(Box::new(MaterializedIndex::new(l.clone())))
             }
+            LayoutSource::Fat(l) => Ok(Box::new(FatIndex::try_new(*l, height)?)),
         }
     }
 }
@@ -245,6 +260,12 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                         });
                     }
                     Inner::Explicit(ExplicitTree::try_build(layout, &slots)?)
+                } else if matches!(self.source, LayoutSource::Fat(_)) {
+                    // Fat layouts are sparse (positions beyond
+                    // `2^h − 1`), so they skip the permutation
+                    // materialization and build node-per-slot directly.
+                    let index = self.source.resolve(height)?;
+                    Inner::Explicit(ExplicitTree::try_build_from_index(index.as_ref(), &slots)?)
                 } else {
                     // Materialize the *index* (not the engine) so explicit
                     // positions are bit-identical to the arithmetic
@@ -260,10 +281,21 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                     Inner::Explicit(ExplicitTree::try_build(&layout, &slots)?)
                 }
             }
-            Storage::Implicit => Inner::Implicit(ImplicitTree::try_build(
-                self.source.resolve(height)?,
-                &slots,
-            )?),
+            Storage::Implicit => {
+                if let LayoutSource::Fat(layout) = &self.source {
+                    // The implicit realization of a fat layout is the
+                    // chunked heap plane searched by rank-of-key.
+                    Inner::FatHeap(FatHeapTree::try_build(
+                        FatIndex::try_new(*layout, height)?,
+                        &slots,
+                    )?)
+                } else {
+                    Inner::Implicit(ImplicitTree::try_build(
+                        self.source.resolve(height)?,
+                        &slots,
+                    )?)
+                }
+            }
             Storage::IndexOnly => Inner::IndexOnly(IndexOnlyTree::try_build(
                 self.source.resolve(height)?,
                 &slots,
@@ -272,6 +304,7 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
         };
         let provenance = match &self.source {
             LayoutSource::Named(layout) => Provenance::Named(*layout),
+            LayoutSource::Fat(layout) => Provenance::Fat(*layout),
             _ => Provenance::Opaque,
         };
         Ok(SearchTree {
@@ -288,6 +321,8 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
 enum Inner<K> {
     Explicit(ExplicitTree<Slot<K>>),
     Implicit(ImplicitTree<Slot<K>>),
+    /// Implicit storage of a fat layout: the chunked heap plane.
+    FatHeap(FatHeapTree<Slot<K>>),
     IndexOnly(IndexOnlyTree<Slot<K>>),
     /// A mapped file backend, type-erased so the facade stays generic
     /// over plain `Ord + Copy` keys (the `FixedKey` bound applies only
@@ -302,6 +337,9 @@ enum Inner<K> {
 #[derive(Clone, Copy)]
 enum Provenance {
     Named(NamedLayout),
+    /// Fat layouts travel by label + header arity; the file's key
+    /// region is sized by the sparse slot capacity.
+    Fat(FatLayout),
     Opaque,
 }
 
@@ -373,6 +411,7 @@ impl<K: Ord + Copy> SearchTree<K> {
         match &self.inner {
             Inner::Explicit(t) => InnerRef::Slots(t),
             Inner::Implicit(t) => InnerRef::Slots(t),
+            Inner::FatHeap(t) => InnerRef::Slots(t),
             Inner::IndexOnly(t) => InnerRef::Slots(t),
             Inner::Mapped(t) => InnerRef::Keys(t.as_ref()),
         }
@@ -605,10 +644,16 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     pub fn to_file_bytes_with(&self, block_bytes: u64) -> Result<Vec<u8>> {
         let tree = Tree::new(self.height);
         let capacity = tree.len();
+        // Sparse fat layouts address more slots than ranks; the extra
+        // slots stay `None` (zero bytes in the file).
+        let slot_capacity = match self.provenance {
+            Provenance::Fat(layout) => FatIndex::try_new(layout, self.height)?.slot_capacity(),
+            _ => capacity,
+        };
         // Layout-ordered key image, assembled through the public rank
         // surface so any inner backend — including a mapped one — can
         // be re-serialized.
-        let mut keys_by_position: Vec<Option<K>> = vec![None; capacity as usize];
+        let mut keys_by_position: Vec<Option<K>> = vec![None; slot_capacity as usize];
         for rank in 1..=self.key_len {
             let p = SearchBackend::position_of_rank(self, rank).expect("stored rank has a node");
             keys_by_position[p as usize] = SearchBackend::key_at_rank(self, rank);
@@ -620,6 +665,13 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
                 self.key_len,
                 block_bytes,
                 &Descriptor::Named(layout),
+                key_at,
+            ),
+            Provenance::Fat(layout) => format::encode_tree(
+                self.height,
+                self.key_len,
+                block_bytes,
+                &Descriptor::Fat(layout),
                 key_at,
             ),
             Provenance::Opaque => {
@@ -711,9 +763,10 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     }
 
     fn from_mapped(mapped: MappedTree<K>) -> Self {
-        let provenance = match mapped.named_layout() {
-            Some(layout) => Provenance::Named(layout),
-            None => Provenance::Opaque,
+        let provenance = match (mapped.named_layout(), mapped.fat_layout()) {
+            (Some(layout), _) => Provenance::Named(layout),
+            (None, Some(layout)) => Provenance::Fat(layout),
+            (None, None) => Provenance::Opaque,
         };
         SearchTree {
             storage: Storage::Mapped,
@@ -934,6 +987,49 @@ mod tests {
                 built.search_batch_checksum(&probes),
                 "re-save {source:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fat_layouts_join_the_interchange_guarantee() {
+        // Every storage of a fat layout — including a saved-and-reopened
+        // mapped file — returns the same positions and checksums.
+        let ks = keys(300); // height 9, sparse slot capacity > 511
+        let probes: Vec<u64> = (0..2400).collect();
+        for layout in FatLayout::ALL {
+            let trees: Vec<SearchTree<u64>> = Storage::ALL
+                .iter()
+                .map(|&storage| {
+                    SearchTree::builder()
+                        .layout(layout)
+                        .storage(storage)
+                        .keys(ks.iter().copied())
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            let reference = trees[0].search_batch_checksum(&probes);
+            assert_ne!(reference, 0);
+            for t in &trees[1..] {
+                assert_eq!(
+                    t.search_batch_checksum(&probes),
+                    reference,
+                    "{layout}/{} checksum diverged",
+                    t.storage()
+                );
+            }
+            let opened: SearchTree<u64> =
+                SearchTree::open_bytes(trees[0].to_file_bytes().unwrap()).unwrap();
+            assert_eq!(opened.storage(), Storage::Mapped);
+            assert_eq!(opened.layout_label(), layout.label());
+            assert_eq!(opened.search_batch_checksum(&probes), reference, "{layout}");
+            for &p in &probes {
+                assert_eq!(opened.search(p), trees[0].search(p), "{layout} probe {p}");
+            }
+            // Re-saving the mapped tree reproduces a working fat file.
+            let resaved: SearchTree<u64> =
+                SearchTree::open_bytes(opened.to_file_bytes().unwrap()).unwrap();
+            assert_eq!(resaved.search_batch_checksum(&probes), reference);
         }
     }
 

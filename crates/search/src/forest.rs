@@ -1376,6 +1376,44 @@ mod tests {
     }
 
     #[test]
+    fn serial_interleaved_batch_matches_point_lookups() {
+        let f = forest(400, 5);
+        // Unsorted probes: hits, misses, probes below the first fence
+        // (unrouted → None), and duplicates.
+        let probes: Vec<u64> = (0..600u64).map(|i| (i * 7_919) % 1_500).collect();
+        let expect: Vec<Option<(usize, u64)>> = probes
+            .iter()
+            .map(|&p| {
+                f.route(p)
+                    .and_then(|(shard, tree)| tree.search(p).map(|pos| (shard, pos)))
+            })
+            .collect();
+        assert!(expect.iter().any(Option::is_none), "want unrouted probes");
+        assert!(expect.iter().any(Option::is_some), "want hits");
+        // Stale contents in `out` must be cleared, at every width
+        // including 1 (degenerates to the point kernel) and widths
+        // larger than any shard's sub-batch.
+        let mut out = vec![Some((99usize, 99u64)); 3];
+        for width in [1usize, 2, 8, 16, 1024] {
+            f.search_batch_interleaved(&probes, width, &mut out);
+            assert_eq!(out, expect, "width {width}");
+        }
+        // Empty batch clears the output and returns nothing.
+        f.search_batch_interleaved(&[], 8, &mut out);
+        assert!(out.is_empty());
+        // Single-shard forest: every routed probe lands in shard 0.
+        let single = forest(64, 1);
+        let sub: Vec<u64> = probes.iter().copied().take(100).collect();
+        single.search_batch_interleaved(&sub, 8, &mut out);
+        for (&p, &r) in sub.iter().zip(out.iter()) {
+            let want = single
+                .route(p)
+                .and_then(|(shard, tree)| tree.search(p).map(|pos| (shard, pos)));
+            assert_eq!(r, want, "single-shard probe {p}");
+        }
+    }
+
+    #[test]
     fn par_range_and_par_checksum_agree_with_serial() {
         let f = forest(350, 5);
         let probes: Vec<u64> = (0..1500).collect();

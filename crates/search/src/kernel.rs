@@ -49,6 +49,7 @@
 //! chasing.
 
 use crate::explicit::Node;
+use cobtree_core::fat::FatIndex;
 use cobtree_core::format::FixedKey;
 use cobtree_core::index::{PositionIndex, StepPlan};
 
@@ -68,7 +69,7 @@ const NO_CAND: u64 = u64::MAX;
 /// Issues a read prefetch for `ptr` where the target supports it (a
 /// no-op elsewhere — the kernels stay portable).
 #[inline(always)]
-fn prefetch_read<T>(ptr: *const T) {
+pub(crate) fn prefetch_read<T>(ptr: *const T) {
     #[cfg(target_arch = "x86_64")]
     // SAFETY: `_mm_prefetch` is a hint; it never faults, and callers
     // only pass addresses derived from live allocations.
@@ -750,6 +751,424 @@ pub fn explicit_batch_checksum<K: Copy + Ord>(
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Fat-node (B-ary) kernels
+// ---------------------------------------------------------------------------
+
+/// What the fat descent kernels need from a backend serving a B-ary
+/// fat-node layout (`cobtree_core::fat`). The unit of work is the
+/// **chunk**: `2^span` slots holding the chunk's keys in local in-order
+/// order, real keys first ([`FatIndex::chunk_real_count`]). One
+/// rank-of-key over the live prefix replaces `span` binary compares —
+/// and is where the SIMD compare+movemask kernel plugs in
+/// ([`byte_rank_in_chunk`]).
+pub trait FatPlane {
+    /// Key type compared during the descent.
+    type Key: Copy + Ord;
+
+    /// The layout's position arithmetic.
+    fn fat_index(&self) -> &FatIndex;
+
+    /// Number of comparable slots at the front of chunk
+    /// `(fat_depth, t)` — the rest are padding or structural holes and
+    /// must compare as `+∞` (heap planes store explicit suprema and
+    /// report the full `2^span − 1`; mapped planes report the real-key
+    /// prefix length).
+    fn live_count(&self, fat_depth: u32, t: u64) -> u32;
+
+    /// Rank-of-key in the chunk starting at slot `base`: the number of
+    /// live keys `< probe` (`<= probe` when `upper`), plus the slot
+    /// index (0-based, chunk-local) of the key equal to `probe` if one
+    /// exists. Live keys are strictly ascending, so the count *is* the
+    /// exit gap and at most one slot can be equal.
+    fn rank_in_chunk(
+        &self,
+        base: u64,
+        live: u32,
+        probe: Self::Key,
+        upper: bool,
+    ) -> (u32, Option<u32>);
+
+    /// Issues a prefetch for the storage behind chunk slot `base`.
+    #[inline]
+    fn prefetch_chunk(&self, base: u64) {
+        let _ = base;
+    }
+}
+
+/// Fat point search: one rank-of-key per fat level. The exit gap `r`
+/// (count of live keys `< probe`) *is* the child chunk selector:
+/// `t' = t·2^span + r`. Returns the layout slot position of the node
+/// holding `probe` — identical to the binary slow descent over the same
+/// fat positions.
+#[inline]
+pub fn fat_search<P: FatPlane>(plane: &P, probe: P::Key) -> Option<u64> {
+    let ix = plane.fat_index();
+    let stride = ix.stride();
+    let mut t = 0u64;
+    for fat_depth in 0..ix.fat_levels() {
+        let base = ix.chunk_position(fat_depth, t) * stride;
+        let live = plane.live_count(fat_depth, t);
+        let (r, eq) = plane.rank_in_chunk(base, live, probe, false);
+        if let Some(j) = eq {
+            return Some(base + u64::from(j));
+        }
+        t = (t << ix.span_of(fat_depth)) | u64::from(r);
+    }
+    None
+}
+
+/// [`fat_search`], recording every slot of every visited chunk (the
+/// whole chunk is the load unit — a rank-of-key touches all of it, so
+/// cache replay must charge all of it). On a hit the trace ends with
+/// the matching chunk.
+pub fn fat_search_traced<P: FatPlane>(
+    plane: &P,
+    probe: P::Key,
+    visited: &mut Vec<u64>,
+) -> Option<u64> {
+    let ix = plane.fat_index();
+    let stride = ix.stride();
+    visited.reserve((ix.fat_levels() as u64 * stride) as usize);
+    let mut t = 0u64;
+    for fat_depth in 0..ix.fat_levels() {
+        let base = ix.chunk_position(fat_depth, t) * stride;
+        for off in 0..stride {
+            visited.push(base + off);
+        }
+        let live = plane.live_count(fat_depth, t);
+        let (r, eq) = plane.rank_in_chunk(base, live, probe, false);
+        if let Some(j) = eq {
+            return Some(base + u64::from(j));
+        }
+        t = (t << ix.span_of(fat_depth)) | u64::from(r);
+    }
+    None
+}
+
+/// Fat bound-rank descent: the 1-based in-order rank of the first live
+/// key `>= probe` (`UPPER = false`) or `> probe` (`UPPER = true`) —
+/// bit-identical to the generic binary trait descents, because the
+/// per-chunk exit gap equals the number of left/right binary turns
+/// through the chunk.
+#[inline]
+pub fn fat_bound_rank<P: FatPlane, const UPPER: bool>(plane: &P, probe: P::Key) -> u64 {
+    let ix = plane.fat_index();
+    let stride = ix.stride();
+    let mut t = 0u64;
+    for fat_depth in 0..ix.fat_levels() {
+        let base = ix.chunk_position(fat_depth, t) * stride;
+        let live = plane.live_count(fat_depth, t);
+        let (r, eq) = plane.rank_in_chunk(base, live, probe, UPPER);
+        if !UPPER {
+            if let Some(j) = eq {
+                return ix.rank_of_chunk_slot(fat_depth, t, j);
+            }
+        }
+        t = (t << ix.span_of(fat_depth)) | u64::from(r);
+    }
+    // `t` is the virtual-leaf gap index: exactly `t` slots sort below
+    // the bound.
+    t + 1
+}
+
+/// Interleaved fat batch search: up to `width` descents in flight,
+/// stepped round-robin one *fat* level at a time; each lane prefetches
+/// its next chunk the moment its rank-of-key resolves, so lane chunk
+/// loads overlap. `emit` receives `(probe index, result)` in input
+/// order; results are bit-identical to per-probe [`fat_search`].
+#[inline]
+pub fn fat_fold_interleaved<P: FatPlane>(
+    plane: &P,
+    probes: &[P::Key],
+    width: usize,
+    mut emit: impl FnMut(usize, Option<u64>),
+) {
+    let ix = plane.fat_index();
+    let stride = ix.stride();
+    let levels = ix.fat_levels();
+    let width = width.clamp(1, MAX_LANES);
+    let mut base_idx = 0usize;
+    for chunk in probes.chunks(width) {
+        let mut t = [0u64; MAX_LANES];
+        let mut result: [Option<u64>; MAX_LANES] = [None; MAX_LANES];
+        let mut done = [false; MAX_LANES];
+        plane.prefetch_chunk(0);
+        for fat_depth in 0..levels {
+            for (l, &probe) in chunk.iter().enumerate() {
+                if done[l] {
+                    continue;
+                }
+                let base = ix.chunk_position(fat_depth, t[l]) * stride;
+                let live = plane.live_count(fat_depth, t[l]);
+                let (r, eq) = plane.rank_in_chunk(base, live, probe, false);
+                if let Some(j) = eq {
+                    result[l] = Some(base + u64::from(j));
+                    done[l] = true;
+                    continue;
+                }
+                let next = (t[l] << ix.span_of(fat_depth)) | u64::from(r);
+                t[l] = next;
+                if fat_depth + 1 < levels {
+                    plane.prefetch_chunk(ix.chunk_position(fat_depth + 1, next) * stride);
+                }
+            }
+        }
+        for (l, _) in chunk.iter().enumerate() {
+            emit(base_idx + l, result[l]);
+        }
+        base_idx += chunk.len();
+    }
+}
+
+/// [`fat_fold_interleaved`] collecting results (input order) into `out`.
+pub fn fat_search_batch_interleaved<P: FatPlane>(
+    plane: &P,
+    probes: &[P::Key],
+    width: usize,
+    out: &mut Vec<Option<u64>>,
+) {
+    out.clear();
+    out.resize(probes.len(), None);
+    fat_fold_interleaved(plane, probes, width, |idx, r| out[idx] = r);
+}
+
+/// [`fat_fold_interleaved`] folding the wrapping sum of found positions
+/// — the fat backends' arm of `search_batch_checksum`.
+#[must_use]
+pub fn fat_batch_checksum<P: FatPlane>(plane: &P, probes: &[P::Key], width: usize) -> u64 {
+    let mut acc = 0u64;
+    fat_fold_interleaved(plane, probes, width, |_, r| {
+        if let Some(p) = r {
+            acc = acc.wrapping_add(p);
+        }
+    });
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Rank-of-key over raw key bytes: scalar always, SIMD when available
+// ---------------------------------------------------------------------------
+
+/// Scalar rank-of-key over a chunk's raw little-endian key bytes — the
+/// always-compiled fallback the SIMD path must be bit-identical to
+/// (and the only path for key widths/strides without a vector kernel).
+#[inline]
+pub fn scalar_byte_rank<K: FixedKey>(
+    bytes: &[u8],
+    base: u64,
+    live: u32,
+    probe: K,
+    upper: bool,
+) -> (u32, Option<u32>) {
+    let start = base as usize * K::WIDTH;
+    let mut count = 0u32;
+    let mut eq = None;
+    for j in 0..live {
+        let off = start + j as usize * K::WIDTH;
+        let k = K::read_le(&bytes[off..off + K::WIDTH]);
+        if k < probe || (upper && k == probe) {
+            count += 1;
+        }
+        if k == probe {
+            eq = Some(j);
+        }
+    }
+    (count, eq)
+}
+
+/// Whether the SIMD rank-of-key path is compiled in, supported by this
+/// CPU, and not force-disabled (`COBTREE_FORCE_SCALAR` in the
+/// environment, or [`force_scalar_rank`]).
+#[must_use]
+pub fn simd_rank_enabled() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd_ctl::enabled()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Test hook: force the scalar rank-of-key fallback on (`true`) or
+/// re-enable SIMD where supported (`false`). The SIMD and scalar paths
+/// are bit-identical, so flipping this mid-run is safe; it exists so
+/// parity tests can exercise both paths in one process.
+#[doc(hidden)]
+pub fn force_scalar_rank(force: bool) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    simd_ctl::force_scalar(force);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = force;
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd_ctl {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNKNOWN: u8 = 0;
+    const ON: u8 = 1;
+    const OFF: u8 = 2;
+    static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+    pub fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            ON => true,
+            OFF => false,
+            _ => {
+                let on = std::env::var_os("COBTREE_FORCE_SCALAR").is_none() && supported();
+                STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    pub fn force_scalar(force: bool) {
+        let state = if force {
+            OFF
+        } else if supported() {
+            ON
+        } else {
+            OFF
+        };
+        STATE.store(state, Ordering::Relaxed);
+    }
+
+    fn supported() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `(lt, eq)` bit masks (bit `j` = slot `j`) of `probe > key` /
+    /// `probe == key` over `slots` 8-byte keys at `ptr`. Every lane is
+    /// XOR-ed with `bias` before the signed compare — the sign-bias
+    /// trick that makes unsigned order equal signed order of biased
+    /// lanes (`bias = 0` for genuinely signed keys).
+    ///
+    /// # Safety
+    /// Requires AVX2, `slots % 4 == 0`, and `slots * 8` readable bytes
+    /// at `ptr`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rank_w8(ptr: *const u8, slots: u32, probe_biased: i64, bias: i64) -> (u64, u64) {
+        let pv = _mm256_set1_epi64x(probe_biased);
+        let bv = _mm256_set1_epi64x(bias);
+        let mut lt = 0u64;
+        let mut eq = 0u64;
+        let mut v = 0u32;
+        while v < slots {
+            let lanes = _mm256_loadu_si256(ptr.add(v as usize * 8).cast());
+            let lanes = _mm256_xor_si256(lanes, bv);
+            let mlt = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(pv, lanes)));
+            let meq = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(pv, lanes)));
+            lt |= u64::from(mlt as u32 & 0xf) << v;
+            eq |= u64::from(meq as u32 & 0xf) << v;
+            v += 4;
+        }
+        (lt, eq)
+    }
+
+    /// [`rank_w8`] for 4-byte keys (8 lanes per vector).
+    ///
+    /// # Safety
+    /// Requires AVX2, `slots % 8 == 0`, and `slots * 4` readable bytes
+    /// at `ptr`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rank_w4(ptr: *const u8, slots: u32, probe_biased: i32, bias: i32) -> (u64, u64) {
+        let pv = _mm256_set1_epi32(probe_biased);
+        let bv = _mm256_set1_epi32(bias);
+        let mut lt = 0u64;
+        let mut eq = 0u64;
+        let mut v = 0u32;
+        while v < slots {
+            let lanes = _mm256_loadu_si256(ptr.add(v as usize * 4).cast());
+            let lanes = _mm256_xor_si256(lanes, bv);
+            let mlt = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(pv, lanes)));
+            let meq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(pv, lanes)));
+            lt |= u64::from(mlt as u32 & 0xff) << v;
+            eq |= u64::from(meq as u32 & 0xff) << v;
+            v += 8;
+        }
+        (lt, eq)
+    }
+}
+
+/// SIMD `(lt, eq)` masks over a whole chunk's `stride` slots, or `None`
+/// when no vector kernel fits this key width / stride. Reads the full
+/// chunk (padding bytes are zeroed by the writer and masked off by the
+/// caller); chunks never straddle the key region's end, so whole-chunk
+/// loads stay in bounds.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn simd_chunk_masks<K: FixedKey>(
+    bytes: &[u8],
+    base: u64,
+    stride: u64,
+    probe: K,
+) -> Option<(u64, u64)> {
+    let start = base as usize * K::WIDTH;
+    if start + stride as usize * K::WIDTH > bytes.len() {
+        return None;
+    }
+    let mut raw = [0u8; 16];
+    probe.write_le(&mut raw);
+    match K::WIDTH {
+        8 if stride >= 4 => {
+            let bias = if K::SIGNED { 0 } else { i64::MIN };
+            let p = i64::from_le_bytes(raw[..8].try_into().expect("width 8")) ^ bias;
+            // SAFETY: AVX2 gated by the caller (`simd_rank_enabled`);
+            // stride is a power of two >= 4, and bounds were checked.
+            Some(unsafe { avx2::rank_w8(bytes.as_ptr().add(start), stride as u32, p, bias) })
+        }
+        4 if stride >= 8 => {
+            let bias = if K::SIGNED { 0 } else { i32::MIN };
+            let p = i32::from_le_bytes(raw[..4].try_into().expect("width 4")) ^ bias;
+            // SAFETY: as above; stride is a power of two >= 8.
+            Some(unsafe { avx2::rank_w4(bytes.as_ptr().add(start), stride as u32, p, bias) })
+        }
+        _ => None,
+    }
+}
+
+/// Rank-of-key over a chunk of raw little-endian key bytes: the SIMD
+/// compare+movemask kernel when compiled, supported and enabled, the
+/// scalar loop otherwise. The two are **bit-identical** (pinned by the
+/// SIMD-parity proptests); `stride` is the chunk's full slot count,
+/// `live` the comparable prefix.
+#[inline]
+pub fn byte_rank_in_chunk<K: FixedKey>(
+    bytes: &[u8],
+    base: u64,
+    stride: u64,
+    live: u32,
+    probe: K,
+    upper: bool,
+) -> (u32, Option<u32>) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_ctl::enabled() {
+        if let Some((lt, eq)) = simd_chunk_masks::<K>(bytes, base, stride, probe) {
+            let live_mask = (1u64 << live) - 1;
+            let lt = lt & live_mask;
+            let eq = eq & live_mask;
+            let count = if upper {
+                (lt | eq).count_ones()
+            } else {
+                lt.count_ones()
+            };
+            let eq_idx = (eq != 0).then(|| eq.trailing_zeros());
+            return (count, eq_idx);
+        }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = stride;
+    scalar_byte_rank::<K>(bytes, base, live, probe, upper)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -852,5 +1271,73 @@ mod tests {
                 "node {i}"
             );
         }
+    }
+
+    /// Writes `keys` (ascending, real prefix) followed by zero padding
+    /// into a raw LE byte chunk of `stride` slots.
+    fn chunk_bytes<K: FixedKey>(keys: &[K], stride: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; stride * K::WIDTH];
+        for (j, &k) in keys.iter().enumerate() {
+            k.write_le(&mut bytes[j * K::WIDTH..]);
+        }
+        bytes
+    }
+
+    fn assert_rank_parity<K: FixedKey>(keys: &[K], stride: u64, probes: &[K]) {
+        let bytes = chunk_bytes(keys, stride as usize);
+        let live = keys.len() as u32;
+        for &probe in probes {
+            for upper in [false, true] {
+                let scalar = scalar_byte_rank::<K>(&bytes, 0, live, probe, upper);
+                let auto = byte_rank_in_chunk::<K>(&bytes, 0, stride, live, probe, upper);
+                assert_eq!(auto, scalar, "live {live} stride {stride} upper {upper}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_rank_matches_scalar_u64() {
+        // Covers the w8 AVX2 kernel when available (stride 8/16 >= 4
+        // lanes) and the scalar path when not; results must agree
+        // either way. Extremes exercise the sign-bias trick.
+        for live in 0..=15u64 {
+            let keys: Vec<u64> = (0..live).map(|j| j * 3 + 1).collect();
+            let mut probes: Vec<u64> = (0..=50).collect();
+            probes.extend([u64::MAX, u64::MAX - 1, 1u64 << 63]);
+            assert_rank_parity(&keys, 16, &probes);
+            if live <= 7 {
+                assert_rank_parity(&keys, 8, &probes);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_rank_matches_scalar_i64_and_u32() {
+        for live in 0..=7u32 {
+            let i_keys: Vec<i64> = (0..live).map(|j| i64::from(j) * 5 - 12).collect();
+            let i_probes: Vec<i64> = (-20..=25).collect();
+            assert_rank_parity(&i_keys, 8, &i_probes);
+
+            let u_keys: Vec<u32> = (0..live).map(|j| j * 7 + 2).collect();
+            let mut u_probes: Vec<u32> = (0..=60).collect();
+            u_probes.extend([u32::MAX, 1u32 << 31]);
+            assert_rank_parity(&u_keys, 8, &u_probes);
+        }
+    }
+
+    #[test]
+    fn force_scalar_rank_flips_the_dispatch() {
+        // Whatever the hardware, the forced-scalar result must equal
+        // the auto-dispatch result (parity), and the control flag must
+        // report scalar while forced.
+        let keys: Vec<u64> = (0..15).map(|j| j * 2 + 1).collect();
+        let bytes = chunk_bytes(&keys, 16);
+        let auto = byte_rank_in_chunk::<u64>(&bytes, 0, 16, 15, 9, false);
+        force_scalar_rank(true);
+        assert!(!simd_rank_enabled());
+        let forced = byte_rank_in_chunk::<u64>(&bytes, 0, 16, 15, 9, false);
+        force_scalar_rank(false);
+        assert_eq!(auto, forced);
+        assert_eq!(forced, (4, Some(4)));
     }
 }

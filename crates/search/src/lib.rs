@@ -64,6 +64,7 @@ pub mod backend;
 pub mod cursor;
 pub mod explicit;
 pub mod facade;
+pub mod fat;
 pub mod forest;
 pub mod implicit;
 pub mod index_only;
@@ -80,6 +81,7 @@ pub use backend::SearchBackend;
 pub use cursor::{range_of, Cursor, Range};
 pub use explicit::ExplicitTree;
 pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
+pub use fat::FatHeapTree;
 pub use forest::{Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, ShardRouter};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};
 pub use index_only::IndexOnlyTree;

@@ -29,8 +29,9 @@
 //! navigation are oblivious to which.
 
 use crate::backend::SearchBackend;
-use crate::kernel::{self, MappedPlane, PosRef};
+use crate::kernel::{self, FatPlane, MappedPlane, PosRef};
 use cobtree_core::error::{Error, Result};
+use cobtree_core::fat::{FatIndex, FatLayout};
 use cobtree_core::format::{self, FixedKey, Geometry};
 use cobtree_core::index::{PositionIndex, StepPlan};
 use cobtree_core::{NamedLayout, Tree};
@@ -91,8 +92,49 @@ pub struct MappedTree<K> {
     plan: Option<StepPlan>,
     /// The named layout, when the file carries one (drives re-save).
     named: Option<NamedLayout>,
+    /// `Some` for fat-node files (header arity > 0): rank-of-key
+    /// descent over whole mapped chunks instead of binary descent.
+    fat_index: Option<FatIndex>,
     label: String,
     _keys: PhantomData<fn() -> K>,
+}
+
+/// The fat kernels' view of a mapped fat-node file: raw little-endian
+/// key bytes in chunk order, padding masked by real-key count (padding
+/// slot *bytes* are zeros in the file and must never be compared —
+/// unlike the heap plane's explicit suprema).
+struct FatBytesPlane<'a, K> {
+    index: &'a FatIndex,
+    bytes: &'a [u8],
+    key_count: u64,
+    _keys: PhantomData<fn() -> K>,
+}
+
+impl<K: FixedKey> FatPlane for FatBytesPlane<'_, K> {
+    type Key = K;
+
+    #[inline]
+    fn fat_index(&self) -> &FatIndex {
+        self.index
+    }
+
+    #[inline]
+    fn live_count(&self, fat_depth: u32, t: u64) -> u32 {
+        self.index.chunk_real_count(fat_depth, t, self.key_count)
+    }
+
+    #[inline]
+    fn rank_in_chunk(&self, base: u64, live: u32, probe: K, upper: bool) -> (u32, Option<u32>) {
+        kernel::byte_rank_in_chunk::<K>(self.bytes, base, self.index.stride(), live, probe, upper)
+    }
+
+    #[inline]
+    fn prefetch_chunk(&self, base: u64) {
+        let off = base as usize * K::WIDTH;
+        if off < self.bytes.len() {
+            kernel::prefetch_read(&self.bytes[off]);
+        }
+    }
 }
 
 impl<K: FixedKey> MappedTree<K> {
@@ -135,12 +177,27 @@ impl<K: FixedKey> MappedTree<K> {
         format::expect_key_type::<K>(&geometry)?;
         let tree = Tree::try_new(geometry.height)?;
         let label = geometry.descriptor_str(region.bytes()).to_string();
-        let (arithmetic, named) = match geometry.kind {
-            format::DescriptorKind::Named => {
-                let layout: NamedLayout = label.parse()?;
-                (Some(layout.try_indexer(geometry.height)?), Some(layout))
+        let (arithmetic, named, fat_index) = if geometry.arity > 0 {
+            // `parse` already cross-checked the label against the
+            // header arity, so this parse cannot fail on a valid file.
+            let layout: FatLayout = label.parse()?;
+            (
+                None,
+                None,
+                Some(FatIndex::try_new(layout, geometry.height)?),
+            )
+        } else {
+            match geometry.kind {
+                format::DescriptorKind::Named => {
+                    let layout: NamedLayout = label.parse()?;
+                    (
+                        Some(layout.try_indexer(geometry.height)?),
+                        Some(layout),
+                        None,
+                    )
+                }
+                format::DescriptorKind::Table => (None, None, None),
             }
-            format::DescriptorKind::Table => (None, None),
         };
         let plan = arithmetic.as_ref().and_then(|ix| ix.compile_plan());
         Ok(Self {
@@ -149,6 +206,7 @@ impl<K: FixedKey> MappedTree<K> {
             tree,
             arithmetic,
             named,
+            fat_index,
             plan,
             label,
             _keys: PhantomData,
@@ -177,6 +235,20 @@ impl<K: FixedKey> MappedTree<K> {
             self.geometry.height,
             self.geometry.key_count,
         )
+    }
+
+    /// The fat descent plane, when the file stores a fat-node layout.
+    #[inline]
+    fn fat_plane(&self) -> Option<FatBytesPlane<'_, K>> {
+        self.fat_index.as_ref().map(|index| {
+            let (koff, klen) = self.geometry.keys;
+            FatBytesPlane {
+                index,
+                bytes: &self.region.bytes()[koff..koff + klen],
+                key_count: self.geometry.key_count,
+                _keys: PhantomData,
+            }
+        })
     }
 
     /// Tree height `h` of the (padded) complete tree.
@@ -215,6 +287,12 @@ impl<K: FixedKey> MappedTree<K> {
         self.named
     }
 
+    /// The fat-node layout, when the file stores one (header arity > 0).
+    #[must_use]
+    pub fn fat_layout(&self) -> Option<FatLayout> {
+        self.fat_index.as_ref().map(FatIndex::layout)
+    }
+
     /// Block alignment the writer used.
     #[must_use]
     pub fn block_bytes(&self) -> u64 {
@@ -222,9 +300,12 @@ impl<K: FixedKey> MappedTree<K> {
     }
 
     /// Layout position of BFS `node` at `depth` — arithmetic for named
-    /// layouts, one mapped `u32` read for table files.
+    /// and fat layouts, one mapped `u32` read for table files.
     #[inline]
     fn position(&self, node: u64, depth: u32) -> u64 {
+        if let Some(fi) = &self.fat_index {
+            return fi.position(node, depth);
+        }
         match &self.arithmetic {
             Some(index) => index.position(node, depth),
             None => self.geometry.table_position(self.region.bytes(), node),
@@ -237,15 +318,20 @@ impl<K: FixedKey> MappedTree<K> {
         self.geometry.key_at_position::<K>(self.region.bytes(), pos)
     }
 
-    /// Searches for `key`, reading one mapped key per visited node;
-    /// returns the layout position of the match.
+    /// Searches for `key`, reading one mapped key per visited node (one
+    /// mapped chunk per fat level for fat files); returns the layout
+    /// position of the match.
     ///
-    /// Runs on the compiled descent kernel; bit-identical to
+    /// Runs on the compiled descent kernel (the rank-of-key fat kernel
+    /// for fat files); bit-identical to
     /// [`MappedTree::search_reference`].
     #[inline]
     #[must_use]
     pub fn search(&self, key: K) -> Option<u64> {
-        kernel::search(&self.plane(), key)
+        match self.fat_plane() {
+            Some(p) => kernel::fat_search(&p, key),
+            None => kernel::search(&self.plane(), key),
+        }
     }
 
     /// The pre-kernel descent, kept as the verification oracle.
@@ -278,14 +364,31 @@ impl<K: FixedKey> MappedTree<K> {
     }
 
     /// [`MappedTree::search`], recording every visited layout position.
+    /// Fat files record at **chunk granularity** (all slots of each
+    /// entered chunk — a rank-of-key loads the whole chunk), matching
+    /// the heap fat backend's traces slot for slot.
     pub fn search_traced(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
         let h = self.tree.height();
         let n = self.geometry.key_count;
+        let stride = self.fat_index.as_ref().map(FatIndex::stride);
+        let mut last_chunk = u64::MAX;
         let mut i = 1u64;
         let mut d = 0u32;
         loop {
             let p = self.position(i, d);
-            visited.push(p);
+            match stride {
+                None => visited.push(p),
+                Some(s) => {
+                    let chunk = p / s;
+                    if chunk != last_chunk {
+                        let base = chunk * s;
+                        for off in 0..s {
+                            visited.push(base + off);
+                        }
+                        last_chunk = chunk;
+                    }
+                }
+            }
             let go_right = if self.tree.in_order_rank(i) > n {
                 false
             } else {
@@ -349,23 +452,38 @@ impl<K: FixedKey> SearchBackend<K> for MappedTree<K> {
     }
 
     fn search_traced_kernel(&self, key: K, visited: &mut Vec<u64>) -> Option<u64> {
-        kernel::search_traced(&self.plane(), key, visited)
+        match self.fat_plane() {
+            Some(p) => kernel::fat_search_traced(&p, key, visited),
+            None => kernel::search_traced(&self.plane(), key, visited),
+        }
     }
 
     fn search_batch_interleaved(&self, keys: &[K], width: usize, out: &mut Vec<Option<u64>>) {
-        kernel::search_batch_interleaved(&self.plane(), keys, width, out);
+        match self.fat_plane() {
+            Some(p) => kernel::fat_search_batch_interleaved(&p, keys, width, out),
+            None => kernel::search_batch_interleaved(&self.plane(), keys, width, out),
+        }
     }
 
     fn search_batch_checksum(&self, keys: &[K]) -> u64 {
-        kernel::batch_checksum(&self.plane(), keys, kernel::DEFAULT_LANES)
+        match self.fat_plane() {
+            Some(p) => kernel::fat_batch_checksum(&p, keys, kernel::DEFAULT_LANES),
+            None => kernel::batch_checksum(&self.plane(), keys, kernel::DEFAULT_LANES),
+        }
     }
 
     fn lower_bound_rank(&self, key: K) -> u64 {
-        kernel::bound_rank::<_, false>(&self.plane(), key)
+        match self.fat_plane() {
+            Some(p) => kernel::fat_bound_rank::<_, false>(&p, key),
+            None => kernel::bound_rank::<_, false>(&self.plane(), key),
+        }
     }
 
     fn upper_bound_rank(&self, key: K) -> u64 {
-        kernel::bound_rank::<_, true>(&self.plane(), key)
+        match self.fat_plane() {
+            Some(p) => kernel::fat_bound_rank::<_, true>(&p, key),
+            None => kernel::bound_rank::<_, true>(&self.plane(), key),
+        }
     }
 
     fn key_at_rank(&self, rank: u64) -> Option<K> {

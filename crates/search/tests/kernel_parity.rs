@@ -5,13 +5,22 @@
 //! mapped backend opened from the implicit tree's file image),
 //! including supremum-padded trees, and the interleaved kernel must
 //! agree at every width — including batches shorter than the width.
+//! The fat-node (B-ary) plane is additionally pinned SIMD-vs-scalar:
+//! the AVX2 rank-of-key kernels and the always-compiled scalar fallback
+//! must be bit-identical on every observable output.
 
+use cobtree_core::fat::FatLayout;
 use cobtree_core::NamedLayout;
+use cobtree_search::kernel::{force_scalar_rank, simd_rank_enabled};
 use cobtree_search::{SearchBackend, SearchTree, Storage};
 use proptest::prelude::*;
 
 fn arb_named() -> impl Strategy<Value = NamedLayout> {
     proptest::sample::select(NamedLayout::ALL.to_vec())
+}
+
+fn arb_fat() -> impl Strategy<Value = FatLayout> {
+    proptest::sample::select(FatLayout::ALL.to_vec())
 }
 
 /// The four storage backends over one (usually padded) key set: the
@@ -119,6 +128,91 @@ proptest! {
             }
             tree.search_batch_interleaved(&[], 8, &mut out);
             prop_assert!(out.is_empty());
+        }
+    }
+
+    /// SIMD/scalar bit-parity on the fat-node plane: every observable
+    /// output of the rank-of-key kernels — point results, visited
+    /// traces, batch checksums, interleaved results at every width, and
+    /// bound ranks — must be **bit-identical** with the AVX2 path
+    /// enabled and with it force-disabled, on the heap fat backends and
+    /// the mapped backend serving the same tree from file bytes. (On a
+    /// host without AVX2 both passes take the scalar path and the test
+    /// degenerates to self-consistency.)
+    ///
+    /// This is the only test in the binary that flips the global rank
+    /// dispatch, and the binary's other tests use binary layouts that
+    /// never reach it, so parallel test threads cannot observe the flip.
+    #[test]
+    fn simd_and_scalar_fat_rank_kernels_are_bit_identical(
+        layout in arb_fat(),
+        n in 1u64..=200,
+        mult in 1u64..32,
+        probes in proptest::collection::vec(0u64..8_000, 64),
+    ) {
+        let keys: Vec<u64> = (1..=n).map(|k| k * mult).collect();
+        let mut trees: Vec<SearchTree<u64>> = Storage::ALL
+            .iter()
+            .map(|&storage| {
+                SearchTree::builder()
+                    .layout(layout)
+                    .storage(storage)
+                    .keys(keys.iter().copied())
+                    .build()
+                    .expect("fat parity tree")
+            })
+            .collect();
+        let bytes = trees
+            .iter()
+            .find(|t| t.storage() == Storage::Implicit)
+            .expect("implicit built")
+            .to_file_bytes()
+            .expect("encode");
+        trees.push(SearchTree::open_bytes(bytes).expect("reopen"));
+        let widths = [1usize, 3, 8, 16];
+        for tree in &trees {
+            let storage = tree.storage();
+            // Pass 1: runtime dispatch as shipped (AVX2 where detected).
+            force_scalar_rank(false);
+            let simd_results: Vec<Option<u64>> = probes.iter().map(|&p| tree.search(p)).collect();
+            let mut simd_trace = Vec::new();
+            for &p in &probes {
+                tree.search_traced_kernel(p, &mut simd_trace);
+            }
+            let simd_sum = tree.search_batch_checksum(&probes);
+            let mut simd_inter = Vec::new();
+            for &w in &widths {
+                let mut out = Vec::new();
+                tree.search_batch_interleaved(&probes, w, &mut out);
+                simd_inter.push(out);
+            }
+            let simd_bounds: Vec<(u64, Option<u64>, Option<u64>)> = probes
+                .iter()
+                .map(|&p| (tree.rank(p), tree.lower_bound(p), tree.upper_bound(p)))
+                .collect();
+            // Pass 2: the always-compiled scalar fallback, force-selected.
+            force_scalar_rank(true);
+            prop_assert!(!simd_rank_enabled());
+            let scalar_results: Vec<Option<u64>> = probes.iter().map(|&p| tree.search(p)).collect();
+            let mut scalar_trace = Vec::new();
+            for &p in &probes {
+                tree.search_traced_kernel(p, &mut scalar_trace);
+            }
+            let scalar_sum = tree.search_batch_checksum(&probes);
+            let scalar_bounds: Vec<(u64, Option<u64>, Option<u64>)> = probes
+                .iter()
+                .map(|&p| (tree.rank(p), tree.lower_bound(p), tree.upper_bound(p)))
+                .collect();
+            prop_assert_eq!(&simd_results, &scalar_results, "{}/{} point results", layout, storage);
+            prop_assert_eq!(&simd_trace, &scalar_trace, "{}/{} traces", layout, storage);
+            prop_assert_eq!(simd_sum, scalar_sum, "{}/{} checksum", layout, storage);
+            prop_assert_eq!(&simd_bounds, &scalar_bounds, "{}/{} bounds", layout, storage);
+            for (i, &w) in widths.iter().enumerate() {
+                let mut out = Vec::new();
+                tree.search_batch_interleaved(&probes, w, &mut out);
+                prop_assert_eq!(&simd_inter[i], &out, "{}/{} interleaved w={}", layout, storage, w);
+            }
+            force_scalar_rank(false);
         }
     }
 

@@ -1,20 +1,56 @@
 //! Acceptance tests for the ordered-map query API: for **every**
-//! `NamedLayout` × storage backend — the three builder storages *plus*
-//! a tree saved to the on-disk format and reopened through the mapped
-//! backend — `range`, `lower_bound`, `upper_bound`, `rank`, `select`,
-//! cursors and `search_sorted_batch` must agree with
-//! `BTreeSet`/sorted-`Vec` oracles — and the sorted batch must visit
-//! strictly fewer traced positions than the equivalent loop of
-//! independent traced point searches.
+//! `NamedLayout` *and* fat-node `FatLayout` × storage backend — the
+//! three builder storages *plus* a tree saved to the on-disk format and
+//! reopened through the zero-copy mapped backend — `range`,
+//! `lower_bound`, `upper_bound`, `rank`, `select`, cursors and
+//! `search_sorted_batch` must agree with `BTreeSet`/sorted-`Vec`
+//! oracles — and the sorted batch must visit strictly fewer traced
+//! positions than the equivalent loop of independent traced point
+//! searches.
 
+use cobtree::core::fat::FatLayout;
 use cobtree::core::NamedLayout;
-use cobtree::{SearchTree, Storage};
+use cobtree::{LayoutSource, SearchTree, Storage};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn build(layout: NamedLayout, storage: Storage, keys: &[u64]) -> SearchTree<u64> {
+/// One cell of the layout axis: the thirteen binary named layouts plus
+/// the six fat-node (B-ary) layouts.
+#[derive(Debug, Clone, Copy)]
+enum AnyLayout {
+    Named(NamedLayout),
+    Fat(FatLayout),
+}
+
+impl AnyLayout {
+    fn all() -> Vec<AnyLayout> {
+        NamedLayout::ALL
+            .into_iter()
+            .map(AnyLayout::Named)
+            .chain(FatLayout::ALL.into_iter().map(AnyLayout::Fat))
+            .collect()
+    }
+
+    fn source(self) -> LayoutSource {
+        match self {
+            AnyLayout::Named(l) => l.into(),
+            AnyLayout::Fat(l) => l.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AnyLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyLayout::Named(l) => l.fmt(f),
+            AnyLayout::Fat(l) => l.fmt(f),
+        }
+    }
+}
+
+fn build(layout: AnyLayout, storage: Storage, keys: &[u64]) -> SearchTree<u64> {
     SearchTree::builder()
-        .layout(layout)
+        .layout(layout.source())
         .storage(storage)
         .keys(keys.iter().copied())
         .build()
@@ -25,7 +61,7 @@ fn build(layout: NamedLayout, storage: Storage, keys: &[u64]) -> SearchTree<u64>
 /// storages, `3` is save → open through the zero-copy mapped backend.
 const BACKENDS: usize = Storage::ALL.len() + 1;
 
-fn build_nth(layout: NamedLayout, nth: usize, keys: &[u64]) -> SearchTree<u64> {
+fn build_nth(layout: AnyLayout, nth: usize, keys: &[u64]) -> SearchTree<u64> {
     if let Some(&storage) = Storage::ALL.get(nth) {
         build(layout, storage, keys)
     } else {
@@ -36,7 +72,7 @@ fn build_nth(layout: NamedLayout, nth: usize, keys: &[u64]) -> SearchTree<u64> {
 }
 
 /// The full backend matrix for one layout × key set.
-fn backends(layout: NamedLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
+fn backends(layout: AnyLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
     (0..BACKENDS).map(|n| build_nth(layout, n, keys)).collect()
 }
 
@@ -49,7 +85,7 @@ fn ordered_queries_match_oracle_for_every_layout_and_storage() {
         .step_by(3)
         .chain([0, 1, 1392, 1393, 9999])
         .collect();
-    for layout in NamedLayout::ALL {
+    for layout in AnyLayout::all() {
         for tree in backends(layout, &keys) {
             let storage = tree.storage();
             for &p in &probes {
@@ -83,6 +119,47 @@ fn ordered_queries_match_oracle_for_every_layout_and_storage() {
     }
 }
 
+/// Fat-node edge cases: key counts that are not powers of the arity
+/// (partial last chunks, partial top chunks), the 1-key tree, and
+/// exact-fill counts — on every fat layout × all four backends, against
+/// the sorted-`Vec` oracle.
+#[test]
+fn fat_layouts_handle_edge_key_counts() {
+    // 1 key; counts around the arities (7..9, 15..17); a count that is
+    // a power of the arity; exact complete-tree fills (2^h − 1); and a
+    // count leaving a deeply partial top chunk.
+    let counts: [u64; 12] = [1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 100];
+    for layout in FatLayout::ALL {
+        for &n in &counts {
+            let keys: Vec<u64> = (0..n).map(|k| k * 13 + 5).collect();
+            for tree in backends(AnyLayout::Fat(layout), &keys) {
+                let storage = tree.storage();
+                assert_eq!(tree.len(), n, "{layout}/{storage} n={n}");
+                for p in 0..=(n * 13 + 20) {
+                    let lb = keys.partition_point(|&k| k < p);
+                    assert_eq!(
+                        tree.contains(p),
+                        keys.binary_search(&p).is_ok(),
+                        "{layout}/{storage} n={n} contains({p})"
+                    );
+                    assert_eq!(
+                        tree.rank(p),
+                        lb as u64,
+                        "{layout}/{storage} n={n} rank({p})"
+                    );
+                    assert_eq!(
+                        tree.lower_bound(p),
+                        keys.get(lb).copied(),
+                        "{layout}/{storage} n={n} lower_bound({p})"
+                    );
+                }
+                let all: Vec<u64> = tree.iter().collect();
+                assert_eq!(all, keys, "{layout}/{storage} n={n} iteration");
+            }
+        }
+    }
+}
+
 /// The acceptance criterion: on sorted batches of >= 64 probes, batched
 /// search returns exactly the independent results while tracing strictly
 /// fewer positions — on every layout × storage combination.
@@ -93,7 +170,7 @@ fn sorted_batches_visit_strictly_fewer_positions_everywhere() {
     let mut batch: Vec<u64> = (0..96u64).map(|i| (i * 31) % 1600).collect();
     batch.sort_unstable();
     assert!(batch.len() >= 64);
-    for layout in NamedLayout::ALL {
+    for layout in AnyLayout::all() {
         for tree in backends(layout, &keys) {
             let storage = tree.storage();
             let mut out = Vec::new();
@@ -130,7 +207,7 @@ proptest! {
     /// for arbitrary keys and bounds, on arbitrary layout × storage.
     #[test]
     fn range_matches_btreeset_oracle(
-        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        layout in proptest::sample::select(AnyLayout::all()),
         nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..100_000, 1..300),
         bounds in proptest::collection::vec(0u64..110_000, 8),
@@ -157,7 +234,7 @@ proptest! {
     /// lower_bound / rank / select round-trip against a sorted Vec.
     #[test]
     fn rank_select_round_trips(
-        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        layout in proptest::sample::select(AnyLayout::all()),
         nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..50_000, 1..300),
         probes in proptest::collection::vec(0u64..55_000, 48),
@@ -187,7 +264,7 @@ proptest! {
     /// the lower bound.
     #[test]
     fn batch_and_cursor_match_point_searches(
-        layout in proptest::sample::select(NamedLayout::ALL.to_vec()),
+        layout in proptest::sample::select(AnyLayout::all()),
         nth in 0..BACKENDS,
         raw in proptest::collection::btree_set(0u64..20_000, 2..200),
         probes in proptest::collection::vec(0u64..22_000, 80),

@@ -161,12 +161,12 @@ fn truncations_and_corruptions_never_panic() {
 
     // A future format version is refused up front.
     let mut future = image.clone();
-    future[4..6].copy_from_slice(&2u16.to_le_bytes());
+    future[4..6].copy_from_slice(&(format::VERSION + 1).to_le_bytes());
     format::seal_header_hash(&mut future);
     assert_eq!(
         SearchTree::<u64>::open_bytes(future).unwrap_err(),
         Error::UnsupportedVersion {
-            got: 2,
+            got: format::VERSION + 1,
             supported: format::VERSION
         }
     );
@@ -182,6 +182,85 @@ fn truncations_and_corruptions_never_panic() {
         SearchTree::<u64>::open(temp_path("does-not-exist")).unwrap_err(),
         Error::Io { .. }
     ));
+}
+
+/// Fat-node files (format v2, header arity > 0) under hostile bytes:
+/// every truncation and every probed bit flip fails typed, and every
+/// node-geometry violation — zeroed/invalid/inconsistent arity, version
+/// downgrades, reserved-byte abuse — is a typed decode error. Never a
+/// panic. Re-sealing the header hash after each mutation ensures the
+/// *geometry* validation is what rejects the file, not the checksum.
+#[test]
+fn fat_geometry_fuzz_never_panics() {
+    use cobtree::core::fat::{FatLayout, FatOrder};
+
+    let tree = SearchTree::builder()
+        .layout(FatLayout::new(FatOrder::Veb, 8).unwrap())
+        .storage(Storage::Implicit)
+        .keys((1..=60u64).map(|k| k * 9))
+        .build()
+        .expect("build");
+    let image = tree.to_file_bytes().expect("encode");
+    assert_eq!(image[10], 8, "header byte 10 carries the arity");
+
+    // Truncations: typed failures on every prefix.
+    for len in 0..image.len() {
+        match SearchTree::<u64>::open_bytes(image[..len].to_vec()) {
+            Err(Error::Truncated { .. } | Error::ChecksumMismatch { .. }) => {}
+            other => panic!("prefix {len}: expected typed failure, got {other:?}"),
+        }
+    }
+
+    // Bit flips across the file: typed error, never a panic.
+    for at in (0..image.len()).step_by(11) {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupt = image.clone();
+            corrupt[at] ^= bit;
+            if SearchTree::<u64>::open_bytes(corrupt).is_ok() {
+                panic!("byte {at} bit {bit:#x}: corruption accepted");
+            }
+        }
+    }
+
+    // Geometry-field mutations with a valid header checksum: the
+    // node-geometry validation itself must reject the bytes.
+    let reseal = |f: &mut Vec<u8>| {
+        format::seal_content_hash(f);
+        format::seal_header_hash(f);
+    };
+    // Every possible arity byte other than the true one: zero (binary,
+    // contradicting the FAT label), non-powers of two, out-of-range
+    // powers, and valid-but-inconsistent arities (key region and label
+    // no longer agree). 255 covers the "arity way out of range" edge.
+    for arity in (0..=255u8).filter(|&a| a != 8) {
+        let mut f = image.clone();
+        f[10] = arity;
+        reseal(&mut f);
+        match SearchTree::<u64>::open_bytes(f) {
+            Err(Error::Malformed { .. } | Error::UnknownLayout { .. }) => {}
+            other => panic!("arity {arity}: expected geometry rejection, got {other:?}"),
+        }
+    }
+    // Downgrading to v1 while the arity byte is set: v1 has no geometry
+    // fields, so the reserved bytes must read zero.
+    let mut v1 = image.clone();
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    reseal(&mut v1);
+    assert!(matches!(
+        SearchTree::<u64>::open_bytes(v1).unwrap_err(),
+        Error::Malformed { .. }
+    ));
+    // Reserved byte 11 must stay zero on either version.
+    let mut reserved = image.clone();
+    reserved[11] = 1;
+    reseal(&mut reserved);
+    assert!(matches!(
+        SearchTree::<u64>::open_bytes(reserved).unwrap_err(),
+        Error::Malformed { .. }
+    ));
+    // The unmutated image still opens — the mutations above, not some
+    // unrelated defect, drove the rejections.
+    assert!(SearchTree::<u64>::open_bytes(image).is_ok());
 }
 
 proptest! {
