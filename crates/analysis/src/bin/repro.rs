@@ -20,12 +20,14 @@
 //!             (also writes the BENCH_forest.json artifact)
 //!   kernel    descent kernels: slow-path vs kernel L1-block-sequence
 //!             parity assert + reference/kernel/interleaved timings
+//!   adaptive  traffic-adaptive layouts: zipf replay miss reduction
+//!             assert + hot-swap ordered-surface parity
 //!   all     everything above
 //! ```
 
 use cobtree_analysis::experiments::{
-    cache, extensions, facade_exp, forest_exp, kernel_exp, locality, range_exp, serve_exp,
-    study_exp, timing_exp, Config,
+    adaptive_exp, cache, extensions, facade_exp, forest_exp, kernel_exp, locality, range_exp,
+    serve_exp, study_exp, timing_exp, Config,
 };
 use cobtree_analysis::report::Table;
 use cobtree_core::NamedLayout;
@@ -135,6 +137,13 @@ fn run(cfg: &Config, what: &str) {
                 kernel_exp::kernel_paths_table(cfg),
             ],
         ),
+        "adaptive" => emit(
+            cfg,
+            vec![
+                adaptive_exp::reoptimization_miss_table(cfg),
+                adaptive_exp::hot_swap_parity_table(cfg),
+            ],
+        ),
         "extend" => emit(
             cfg,
             vec![
@@ -147,7 +156,7 @@ fn run(cfg: &Config, what: &str) {
         "all" => {
             for w in [
                 "table1", "fig5", "fig1", "fig2", "fig3", "fig4", "study", "ablate", "validate",
-                "storage", "range", "serve", "forest", "kernel", "extend",
+                "storage", "range", "serve", "forest", "kernel", "adaptive", "extend",
             ] {
                 run(cfg, w);
             }
@@ -175,7 +184,7 @@ fn main() {
                 cfg.results_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|forest|kernel|extend|all>...");
+                println!("usage: repro [--full] [--out DIR] <fig1|fig2|fig3|fig4|fig5|table1|study|ablate|validate|storage|range|serve|forest|kernel|adaptive|extend|all>...");
                 return;
             }
             other => targets.push(other.to_string()),

@@ -1,0 +1,307 @@
+//! The `adaptive` experiment: the traffic-adaptive layout loop held to
+//! its acceptance bar. A shard re-optimized from *observed* zipf
+//! traffic must take strictly fewer simulated L1 misses per probe on
+//! that same traffic than the uniform-traffic MINWEP layout it
+//! replaces, and the hot swap must be invisible to the ordered query
+//! surface — checksum-identical answers before and after.
+//!
+//! This is the offline twin of the serving loop in `cobtree-serve`:
+//! the sampler there thins the stream, the planner gates on
+//! divergence; here the experiment counts *every* probe and
+//! re-optimizes unconditionally, so the tables isolate what the
+//! weighted layouts themselves buy, with the cache simulator as judge.
+
+use super::Config;
+use crate::report::Table;
+use cobtree_cachesim::presets;
+use cobtree_cachesim::replay::{replay_forest_point, replay_search_backend};
+use cobtree_core::{NamedLayout, ObservedProfile};
+use cobtree_optimizer::optimize_for_profile;
+use cobtree_search::workload::{ZipfKeys, ZipfTable};
+use cobtree_search::{AdaptiveForest, Forest, SearchTree, Storage};
+use std::sync::Arc;
+
+/// Modeled node width: one `u64` key per node.
+const NODE_BYTES: u64 = 8;
+
+/// Builds the uniform-layout forest the experiments start from: even
+/// keys `2..=2n` over MINWEP implicit shards.
+fn uniform_forest(n: u64, shards: usize) -> Forest<u64> {
+    Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(shards)
+        .keys((1..=n).map(|k| k * 2))
+        .build()
+        .expect("uniform forest")
+}
+
+/// The zipf probe stream: `take` keys drawn rank-first so every probe
+/// is a stored key — the serving loop's sampler counts hits only.
+fn zipf_probes(n: u64, s: f64, seed: u64, take: usize) -> Vec<u64> {
+    let table = ZipfTable::new(n, s);
+    ZipfKeys::from_table(&table, seed)
+        .take(take)
+        .map(|rank| rank * 2)
+        .collect()
+}
+
+/// Exact per-shard, per-rank access counts for `probes` — what the
+/// serving sampler accumulates, without the thinning.
+fn shard_counts(forest: &Forest<u64>, probes: &[u64]) -> Vec<Vec<u64>> {
+    let mut counts: Vec<Vec<u64>> = forest
+        .shards()
+        .map(|t| vec![0u64; t.len() as usize])
+        .collect();
+    for &key in probes {
+        let Some(hit) = forest.locate(key) else {
+            continue;
+        };
+        let base = forest.rank_base(hit.shard).expect("dense shard");
+        counts[hit.shard][(hit.rank - base - 1) as usize] += 1;
+    }
+    counts
+}
+
+/// Re-optimizes every sufficiently-sampled shard for its observed
+/// counts and returns the adapted forest plus the per-shard profiles.
+fn adapt(forest: &Forest<u64>, counts: &[Vec<u64>]) -> (Forest<u64>, Vec<ObservedProfile>) {
+    let mut adapted: Option<Forest<u64>> = None;
+    let mut profiles = Vec::new();
+    for (shard, shard_counts) in counts.iter().enumerate() {
+        let tree = forest.shard(shard).expect("dense shard");
+        let profile = ObservedProfile::with_height(shard_counts, tree.height());
+        let (_, layout) = optimize_for_profile(&profile);
+        let rebuilt = SearchTree::builder()
+            .layout(layout)
+            .storage(Storage::Implicit)
+            .keys(tree.iter())
+            .build()
+            .expect("rebuild shard");
+        let base = adapted.as_ref().unwrap_or(forest);
+        adapted = Some(
+            base.with_swapped_shard(shard, Arc::new(rebuilt))
+                .expect("swap shard"),
+        );
+        profiles.push(profile);
+    }
+    (adapted.expect("at least one shard"), profiles)
+}
+
+/// Replays zipf traffic through the cache hierarchy over the uniform
+/// forest and over the same forest re-optimized for that traffic's
+/// observed profile, reporting per-shard and whole-forest L1 misses
+/// per probe.
+///
+/// # Panics
+/// Panics if the adapted forest does not take strictly fewer L1
+/// misses than the uniform one on the traffic it was re-optimized
+/// for — the adaptive loop's acceptance criterion — or if it drops
+/// probes.
+#[must_use]
+pub fn reoptimization_miss_table(cfg: &Config) -> Table {
+    let n = (cfg.searches as u64).clamp(32_768, 131_072);
+    let shards = 2usize;
+    let probes = zipf_probes(n, 1.2, cfg.seed, cfg.searches.clamp(20_000, 150_000));
+    let forest = uniform_forest(n, shards);
+    let counts = shard_counts(&forest, &probes);
+    let (adapted, profiles) = adapt(&forest, &counts);
+
+    let mut t = Table::new(
+        "adaptive_reopt_misses",
+        &format!(
+            "Adaptive: simulated L1 misses/probe, uniform MINWEP vs re-optimized \
+             (n={n}, {shards} shards, zipf s=1.2, {} probes)",
+            probes.len()
+        ),
+        &[
+            "scope",
+            "samples",
+            "divergence",
+            "uniform_l1_mpo",
+            "adapted_l1_mpo",
+            "improvement_pct",
+        ],
+    );
+
+    for (shard, profile) in profiles.iter().enumerate() {
+        let own: Vec<u64> = probes
+            .iter()
+            .copied()
+            .filter(|&k| forest.route(k).map(|(s, _)| s) == Some(shard))
+            .collect();
+        if own.is_empty() {
+            continue;
+        }
+        let uniform_tree = forest.shard(shard).expect("dense shard");
+        let adapted_tree = adapted.shard(shard).expect("dense shard");
+        let mut before = presets::westmere_l1_l2();
+        let found_before = replay_search_backend(&mut before, uniform_tree, NODE_BYTES, 0, &own);
+        let mut after = presets::westmere_l1_l2();
+        let found_after = replay_search_backend(&mut after, adapted_tree, NODE_BYTES, 0, &own);
+        assert_eq!(found_before, own.len() as u64, "zipf probes are stored");
+        assert_eq!(found_before, found_after, "swap lost probes");
+        let mpo_before = before.level_stats(0).misses as f64 / own.len() as f64;
+        let mpo_after = after.level_stats(0).misses as f64 / own.len() as f64;
+        let uniform = ObservedProfile::with_height(&[], uniform_tree.height());
+        t.push_row(vec![
+            format!("shard {shard}"),
+            own.len().to_string(),
+            format!("{:.3}", profile.divergence(&uniform)),
+            format!("{mpo_before:.3}"),
+            format!("{mpo_after:.3}"),
+            format!("{:+.1}", 100.0 * (1.0 - mpo_after / mpo_before)),
+        ]);
+    }
+
+    // The whole-forest replay is the gate: re-optimization must pay
+    // off on the interleaved stream, not just shard by shard.
+    let mut before = presets::westmere_l1_l2();
+    let found_before = replay_forest_point(&mut before, &forest, NODE_BYTES, 0, &probes);
+    let mut after = presets::westmere_l1_l2();
+    let found_after = replay_forest_point(&mut after, &adapted, NODE_BYTES, 0, &probes);
+    assert_eq!(found_before, found_after, "swap lost probes");
+    let misses_before = before.level_stats(0).misses;
+    let misses_after = after.level_stats(0).misses;
+    assert!(
+        misses_after < misses_before,
+        "re-optimized forest must take fewer L1 misses on the traffic it \
+         was built for: {misses_after} >= {misses_before}"
+    );
+    let ops = probes.len() as f64;
+    t.push_row(vec![
+        "forest".into(),
+        probes.len().to_string(),
+        "-".into(),
+        format!("{:.3}", misses_before as f64 / ops),
+        format!("{:.3}", misses_after as f64 / ops),
+        format!(
+            "{:+.1}",
+            100.0 * (1.0 - misses_after as f64 / misses_before as f64)
+        ),
+    ]);
+    t
+}
+
+/// Hot-swaps every shard of an [`AdaptiveForest`] under zipf traffic
+/// and reports ordered-surface checksums before and after: the swap
+/// must be invisible to point, range, rank/select and parallel-batch
+/// queries.
+///
+/// # Panics
+/// Panics if any checksum changes across the swap, if no shard swaps,
+/// or if a second planner pass still sees divergence (the loop must
+/// converge once layouts match traffic).
+#[must_use]
+pub fn hot_swap_parity_table(cfg: &Config) -> Table {
+    let n = (cfg.searches as u64).clamp(8_192, 65_536);
+    let shards = 3usize;
+    let probes = zipf_probes(n, 1.2, cfg.seed ^ 5, cfg.searches.clamp(10_000, 60_000));
+    let engine = AdaptiveForest::new(uniform_forest(n, shards));
+    let pinned = engine.snapshot();
+    let counts = shard_counts(&pinned, &probes);
+
+    let sweep: Vec<u64> = (0..=2 * n + 2).step_by(7).collect();
+    let mut sorted_probes = probes.clone();
+    sorted_probes.sort_unstable();
+    let checksums = |f: &Forest<u64>| -> [u64; 4] {
+        let point = f.rank_checksum(&sweep);
+        let range = f.range(n / 2..=n * 2).fold(0u64, u64::wrapping_add);
+        let mut rs = 0u64;
+        for r in (1..=n).step_by(61) {
+            let k = f.select(r).expect("rank in range");
+            rs = rs.wrapping_add(k).wrapping_add(f.rank(k));
+        }
+        let mut out = Vec::new();
+        f.par_search_batch(&sorted_probes, 4, &mut out)
+            .expect("sorted");
+        let batch = out.iter().filter(|p| p.is_some()).count() as u64;
+        [point, range, rs, batch]
+    };
+    let before = checksums(&pinned);
+
+    // Publish a re-optimized layout for every shard, as the serving
+    // planner would after a divergence trigger.
+    for (shard, shard_counts) in counts.iter().enumerate() {
+        let tree = pinned.shard(shard).expect("dense shard");
+        let profile = ObservedProfile::with_height(shard_counts, tree.height());
+        assert!(
+            engine.should_reoptimize(shard, &profile, 0.05),
+            "zipf traffic diverges from the uniform built-for profile"
+        );
+        let (_, layout) = optimize_for_profile(&profile);
+        let rebuilt = SearchTree::builder()
+            .layout(layout)
+            .storage(Storage::Implicit)
+            .keys(tree.iter())
+            .build()
+            .expect("rebuild shard");
+        engine
+            .swap_shard(shard, Arc::new(rebuilt), Some(Arc::new(profile)))
+            .expect("swap shard");
+    }
+    assert_eq!(engine.swaps(), shards as u64);
+    let swapped = engine.snapshot();
+    assert!(!Arc::ptr_eq(&pinned, &swapped), "swap published");
+    let after = checksums(&swapped);
+
+    // Convergence: the observed traffic now matches each shard's
+    // built-for profile, so the divergence gate stays closed.
+    for (shard, shard_counts) in counts.iter().enumerate() {
+        let tree = swapped.shard(shard).expect("dense shard");
+        let profile = ObservedProfile::with_height(shard_counts, tree.height());
+        assert!(
+            !engine.should_reoptimize(shard, &profile, 0.05),
+            "shard {shard} still diverges after adapting to its traffic"
+        );
+    }
+
+    let mut t = Table::new(
+        "adaptive_swap_parity",
+        &format!(
+            "Adaptive: ordered-surface checksums across a full hot swap \
+             (n={n}, {shards} shards re-optimized)"
+        ),
+        &["workload", "before_swap", "after_swap", "equal"],
+    );
+    for (name, b, a) in [
+        ("point rank checksum", before[0], after[0]),
+        ("range window key sum", before[1], after[1]),
+        ("rank/select sweep", before[2], after[2]),
+        ("parallel batch found count", before[3], after[3]),
+    ] {
+        assert_eq!(b, a, "{name}: hot swap changed an ordered answer");
+        t.push_row(vec![
+            name.to_string(),
+            b.to_string(),
+            a.to_string(),
+            "yes".into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_table_reports_forest_improvement() {
+        let t = reoptimization_miss_table(&Config::tiny());
+        let total = t.rows.last().expect("forest row");
+        assert_eq!(total[0], "forest");
+        assert!(
+            total[5].starts_with('+'),
+            "forest improvement must be positive: {total:?}"
+        );
+    }
+
+    #[test]
+    fn parity_table_is_all_equal() {
+        let t = hot_swap_parity_table(&Config::tiny());
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row.last().unwrap(), "yes", "{}", row[0]);
+        }
+    }
+}

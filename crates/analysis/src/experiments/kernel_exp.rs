@@ -29,7 +29,7 @@ use cobtree_cachesim::replay::{replay_point_kernel, replay_search_backend};
 use cobtree_core::fat::FatLayout;
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::UniformKeys;
-use cobtree_search::{SearchBackend, SearchTree, Storage};
+use cobtree_search::{SaveOptions, SearchBackend, SearchTree, Storage};
 
 /// Bytes per stored node assumed when mapping positions to cache
 /// blocks: a `u64` key for the keys-only backends, key + two `u32`
@@ -58,7 +58,7 @@ fn backends(layout: NamedLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
         .iter()
         .find(|t| t.storage() == Storage::Implicit)
         .expect("implicit built")
-        .to_file_bytes()
+        .encode(&SaveOptions::new())
         .expect("encode implicit tree");
     trees.push(SearchTree::open_bytes(bytes).expect("reopen tree"));
     trees
@@ -211,7 +211,7 @@ pub fn fat_block_savings(cfg: &Config) -> Table {
             .build()
             .expect("fat heap tree");
         let mapped: SearchTree<u32> =
-            SearchTree::open_bytes(heap.to_file_bytes().expect("encode fat tree"))
+            SearchTree::open_bytes(heap.encode(&SaveOptions::new()).expect("encode fat tree"))
                 .expect("reopen fat tree");
         // Pin the mapped replay to the heap backend's chunk-granular
         // position sequence, per probe, on the slow path and the

@@ -4,6 +4,7 @@
 //! regenerate the corresponding figure's data series. The `repro` binary
 //! dispatches to these and records paper-vs-measured in EXPERIMENTS.md.
 
+pub mod adaptive_exp;
 pub mod cache;
 pub mod extensions;
 pub mod facade_exp;

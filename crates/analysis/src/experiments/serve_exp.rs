@@ -20,7 +20,7 @@ use cobtree_cachesim::replay::{replay_range_scan, replay_search_backend, replay_
 use cobtree_core::format;
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::{scan_starts, sorted_batches, UniformKeys};
-use cobtree_search::{MappedTree, SearchTree, Storage};
+use cobtree_search::{MappedTree, SaveOptions, SearchTree, Storage};
 use std::path::PathBuf;
 
 /// The layouts the serving comparison reports: the paper's point-search
@@ -88,7 +88,9 @@ pub fn mapped_vs_implicit_block_transfers(cfg: &Config) -> Table {
     for layout in SERVE_LAYOUTS {
         let built = build_implicit(layout, h);
         let path = temp_file(layout.label());
-        built.save(&path).expect("save to temp file");
+        built
+            .write_file(&path, &SaveOptions::new())
+            .expect("save to temp file");
         let served: SearchTree<u64> = SearchTree::open(&path).expect("open saved file");
         assert_eq!(served.storage(), Storage::Mapped);
         assert_eq!(
@@ -163,7 +165,7 @@ pub fn format_geometry_table(cfg: &Config) -> Table {
                 .expect("experiment tree")
         }),
     ] {
-        let image = tree.to_file_bytes().expect("encode");
+        let image = tree.encode(&SaveOptions::new()).expect("encode");
         let mapped: MappedTree<u64> = MappedTree::from_bytes(image).expect("parse");
         assert_eq!(mapped.key_region_offset() % mapped.block_bytes(), 0);
         // Whatever follows the key region (capacity × 8 bytes of u64
@@ -197,7 +199,7 @@ pub fn mapped_search_time(cfg: &Config) -> Table {
     let n = (1u64 << h) - 1;
     let built = build_implicit(NamedLayout::MinWep, h);
     let served: SearchTree<u64> =
-        SearchTree::open_bytes(built.to_file_bytes().expect("encode")).expect("open");
+        SearchTree::open_bytes(built.encode(&SaveOptions::new()).expect("encode")).expect("open");
     let probes: Vec<u64> = UniformKeys::new(n * 2, cfg.seed).take_vec(cfg.searches.min(100_000));
     let mut t = Table::new(
         "serve_search_time",

@@ -28,7 +28,7 @@ use crate::json::{ops_per_sec as rate, safe_div, JsonObject};
 use cobtree_core::fat::{FatLayout, FatOrder};
 use cobtree_core::NamedLayout;
 use cobtree_search::workload::{UniformKeys, ZipfKeys, ZipfTable};
-use cobtree_search::{SearchTree, Storage};
+use cobtree_search::{SaveOptions, SearchTree, Storage};
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
@@ -185,7 +185,7 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
         .build()
         .expect("kernel bench tree");
     let mapped: SearchTree<u64> =
-        SearchTree::open_bytes(implicit.to_file_bytes().expect("encode tree"))
+        SearchTree::open_bytes(implicit.encode(&SaveOptions::new()).expect("encode tree"))
             .expect("reopen tree from bytes");
     let fat = SearchTree::builder()
         .layout(cfg.fat_layout)
@@ -194,7 +194,7 @@ pub fn run(cfg: &KernelBenchConfig, zipf: Option<&ZipfTable>) -> KernelReport {
         .build()
         .expect("kernel bench fat tree");
     let fat_mapped: SearchTree<u64> =
-        SearchTree::open_bytes(fat.to_file_bytes().expect("encode fat tree"))
+        SearchTree::open_bytes(fat.encode(&SaveOptions::new()).expect("encode fat tree"))
             .expect("reopen fat tree from bytes");
 
     let uniform = UniformKeys::new(cfg.keys * 2, cfg.seed).take_vec(cfg.ops);

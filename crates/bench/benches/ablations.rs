@@ -49,7 +49,7 @@ fn implicit_search(c: &mut Criterion) {
         ("unweighted", EdgeWeights::Unweighted),
     ] {
         weights.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(functionals(14, edges.iter().copied(), model)));
+            b.iter(|| black_box(functionals(14, edges.iter().copied(), model.clone())));
         });
     }
     weights.finish();

@@ -10,7 +10,7 @@
 //! produce the same checksum — asserted here before timing.
 
 use cobtree::core::NamedLayout;
-use cobtree::{SearchTree, Storage};
+use cobtree::{SaveOptions, SearchTree, Storage};
 use cobtree_search::workload::UniformKeys;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
@@ -24,7 +24,8 @@ fn build(h: u32) -> (SearchTree<u64>, SearchTree<u64>) {
         .build()
         .expect("bench tree");
     let mapped: SearchTree<u64> =
-        SearchTree::open_bytes(implicit.to_file_bytes().expect("encode")).expect("reopen");
+        SearchTree::open_bytes(implicit.encode(&SaveOptions::new()).expect("encode"))
+            .expect("reopen");
     (implicit, mapped)
 }
 

@@ -10,7 +10,7 @@
 //! which is exactly what this bench exists to catch.
 
 use cobtree::core::NamedLayout;
-use cobtree::{SearchTree, Storage};
+use cobtree::{SaveOptions, SearchTree, Storage};
 use cobtree_search::workload::{sorted_batches, UniformKeys};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -23,8 +23,8 @@ fn build_pair(layout: NamedLayout, h: u32) -> (SearchTree<u64>, SearchTree<u64>)
         .keys((1..=n).map(|k| k * 2))
         .build()
         .expect("bench tree");
-    let mapped =
-        SearchTree::open_bytes(implicit.to_file_bytes().expect("encode")).expect("open image");
+    let mapped = SearchTree::open_bytes(implicit.encode(&SaveOptions::new()).expect("encode"))
+        .expect("open image");
     (implicit, mapped)
 }
 
@@ -81,7 +81,7 @@ fn open_validate(c: &mut Criterion) {
     // one O(file) pass that buys infallible zero-copy serving after.
     let h = cobtree_bench::bench_height().min(18);
     let (implicit, _) = build_pair(NamedLayout::MinWep, h);
-    let image = implicit.to_file_bytes().expect("encode");
+    let image = implicit.encode(&SaveOptions::new()).expect("encode");
     let mut group = c.benchmark_group(format!("serve_open_h{h}"));
     group
         .sample_size(10)

@@ -418,7 +418,7 @@ mod tests {
         // Same positions (one shared index per layout) ⇒ same addresses
         // ⇒ identical simulated misses across storage backends — the
         // saved-and-reopened mapped backend included.
-        use cobtree_search::{SearchTree, Storage};
+        use cobtree_search::{SaveOptions, SearchTree, Storage};
         let keys: Vec<u64> = (1..=4000u64).map(|k| k * 3).collect();
         let workload = UniformKeys::new(12_000, 5).take_vec(10_000);
         let mut stats = Vec::new();
@@ -432,7 +432,7 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let image = trees[0].to_file_bytes().unwrap();
+        let image = trees[0].encode(&SaveOptions::new()).unwrap();
         trees.push(SearchTree::open_bytes(image).unwrap());
         for tree in &trees {
             let mut sim = presets::westmere_l1_l2();
@@ -538,7 +538,7 @@ mod tests {
         // cursor-driven scans and shared-prefix batches visit the same
         // positions whether the key array lives on the heap or in a
         // mapped tree file.
-        use cobtree_search::{SearchTree, Storage};
+        use cobtree_search::{SaveOptions, SearchTree, Storage};
         let tree = SearchTree::builder()
             .layout(NamedLayout::MinWep)
             .storage(Storage::Implicit)
@@ -546,7 +546,7 @@ mod tests {
             .build()
             .unwrap();
         let mapped: SearchTree<u64> =
-            SearchTree::open_bytes(tree.to_file_bytes().unwrap()).unwrap();
+            SearchTree::open_bytes(tree.encode(&SaveOptions::new()).unwrap()).unwrap();
 
         let starts = cobtree_search::workload::scan_starts(2000, 16, 80, 3);
         let mut heap_sim = presets::westmere_l1_l2();

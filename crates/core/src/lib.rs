@@ -48,4 +48,4 @@ pub use layout::Layout;
 pub use named::NamedLayout;
 pub use spec::{CutRule, RecursiveSpec, RootOrder, Subscript};
 pub use tree::{NodeId, Tree};
-pub use weights::EdgeWeights;
+pub use weights::{EdgeWeights, ObservedProfile};

@@ -96,6 +96,11 @@ pub enum Opcode {
     Flush = 12,
     /// Ask the server to drain and exit.
     Shutdown = 13,
+    /// Run one traffic-adaptive re-optimization pass (adaptive
+    /// engines only): scan the sampled hot-key profiles, rebuild any
+    /// shard whose observed traffic diverged from its built-for
+    /// profile, and hot-swap the result in.
+    Reopt = 14,
 }
 
 impl Opcode {
@@ -118,6 +123,7 @@ impl Opcode {
             11 => Opcode::Stats,
             12 => Opcode::Flush,
             13 => Opcode::Shutdown,
+            14 => Opcode::Reopt,
             op => return Err(Error::UnknownOpcode { op }),
         })
     }
@@ -139,11 +145,12 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::Flush => "flush",
             Opcode::Shutdown => "shutdown",
+            Opcode::Reopt => "reopt",
         }
     }
 
     /// All opcodes, in wire order (drives per-op report breakdowns).
-    pub const ALL: [Opcode; 13] = [
+    pub const ALL: [Opcode; 14] = [
         Opcode::Ping,
         Opcode::Get,
         Opcode::LowerBound,
@@ -157,6 +164,7 @@ impl Opcode {
         Opcode::Stats,
         Opcode::Flush,
         Opcode::Shutdown,
+        Opcode::Reopt,
     ];
 }
 
@@ -264,6 +272,9 @@ pub enum Request {
     Flush,
     /// Drain and exit.
     Shutdown,
+    /// Run one adaptive re-optimization pass over the sampled traffic
+    /// profiles.
+    Reopt,
 }
 
 impl Request {
@@ -284,6 +295,7 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::Flush => Opcode::Flush,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Reopt => Opcode::Reopt,
         }
     }
 }
@@ -343,6 +355,13 @@ pub enum Reply {
     },
     /// `Stats` result.
     Stats(Box<StatsSnapshot>),
+    /// `Reopt` result.
+    Reopt {
+        /// Shards whose sampled profile was examined this pass.
+        scanned: u32,
+        /// Shards re-optimized and hot-swapped this pass.
+        swapped: u32,
+    },
 }
 
 /// A fully decoded response frame.
@@ -362,7 +381,7 @@ pub struct Response {
 pub const LATENCY_BUCKETS: usize = 32;
 
 /// Number of `u64` words a [`StatsSnapshot`] serializes to.
-pub const STATS_WORDS: usize = 10 + LATENCY_BUCKETS;
+pub const STATS_WORDS: usize = 13 + LATENCY_BUCKETS;
 
 /// A point-in-time copy of the server's live counters, shipped over the
 /// wire by the `Stats` op so harnesses and CI can scrape the server
@@ -393,6 +412,13 @@ pub struct StatsSnapshot {
     pub handoffs: u64,
     /// Instantaneous depth across all workers' handoff queues.
     pub queue_depth: u64,
+    /// Point-lookup hits the adaptive engine's traffic sampler
+    /// recorded into its hot-key sketch (0 on non-adaptive engines).
+    pub sampled_reads: u64,
+    /// Shards examined by `Reopt` passes over the server's lifetime.
+    pub reopt_scans: u64,
+    /// Shards re-optimized and hot-swapped by `Reopt` passes.
+    pub reopt_swaps: u64,
     /// Sampled server-side latency histogram: bucket `i` counts
     /// requests whose queue+execute time `ns` satisfies
     /// `latency_bucket(ns) == i` (log₂ buckets).
@@ -413,6 +439,9 @@ impl StatsSnapshot {
             self.connections_closed,
             self.handoffs,
             self.queue_depth,
+            self.sampled_reads,
+            self.reopt_scans,
+            self.reopt_swaps,
         ] {
             out.extend_from_slice(&w.to_le_bytes());
         }
@@ -439,6 +468,9 @@ impl StatsSnapshot {
             connections_closed: cur.u64()?,
             handoffs: cur.u64()?,
             queue_depth: cur.u64()?,
+            sampled_reads: cur.u64()?,
+            reopt_scans: cur.u64()?,
+            reopt_swaps: cur.u64()?,
             ..StatsSnapshot::default()
         };
         for b in &mut s.latency_buckets {
@@ -517,7 +549,7 @@ pub fn encode_request(req_id: u32, req: &Request, out: &mut Vec<u8>) {
     out.push(KEY_TAG);
     out.extend_from_slice(&req_id.to_le_bytes());
     match req {
-        Request::Ping | Request::Stats | Request::Flush | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Flush | Request::Shutdown | Request::Reopt => {}
         Request::Get { key }
         | Request::LowerBound { key }
         | Request::UpperBound { key }
@@ -582,6 +614,10 @@ pub fn encode_ok(req_id: u32, opcode: Opcode, reply: &Reply, out: &mut Vec<u8>) 
             }
         }
         Reply::Stats(s) => s.write(out),
+        Reply::Reopt { scanned, swapped } => {
+            out.extend_from_slice(&scanned.to_le_bytes());
+            out.extend_from_slice(&swapped.to_le_bytes());
+        }
     }
     end_frame(out, at);
 }
@@ -699,6 +735,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u32, Request)> {
         Opcode::Stats => Request::Stats,
         Opcode::Flush => Request::Flush,
         Opcode::Shutdown => Request::Shutdown,
+        Opcode::Reopt => Request::Reopt,
         Opcode::Get => Request::Get { key: cur.u64()? },
         Opcode::LowerBound => Request::LowerBound { key: cur.u64()? },
         Opcode::UpperBound => Request::UpperBound { key: cur.u64()? },
@@ -812,6 +849,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response> {
             Reply::Batch { hits }
         }
         Opcode::Stats => Reply::Stats(Box::new(StatsSnapshot::read(&mut cur)?)),
+        Opcode::Reopt => Reply::Reopt {
+            scanned: cur.u32()?,
+            swapped: cur.u32()?,
+        },
     };
     cur.finish()?;
     Ok(Response {
@@ -927,6 +968,7 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Flush);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Reopt);
     }
 
     fn roundtrip_ok(opcode: Opcode, reply: Reply) {
@@ -997,10 +1039,20 @@ mod tests {
             requests: 10,
             responses: 9,
             busy: 1,
+            sampled_reads: 17,
+            reopt_scans: 4,
+            reopt_swaps: 2,
             ..StatsSnapshot::default()
         };
         stats.latency_buckets[10] = 5;
         roundtrip_ok(Opcode::Stats, Reply::Stats(Box::new(stats)));
+        roundtrip_ok(
+            Opcode::Reopt,
+            Reply::Reopt {
+                scanned: 4,
+                swapped: 1,
+            },
+        );
     }
 
     #[test]

@@ -165,9 +165,9 @@ mod tests {
         // §II-A: for N beyond every edge length, β(N) = ν1/N.
         let l = NamedLayout::MinWep.materialize(10);
         let w = cobtree_core::EdgeWeights::Approximate;
-        let f = functionals(10, l.edge_lengths(), w);
+        let f = functionals(10, l.edge_lengths(), w.clone());
         let n = 1u64 << 20;
-        let beta = block_transitions(10, l.edge_lengths(), w, &[n]);
+        let beta = block_transitions(10, l.edge_lengths(), w.clone(), &[n]);
         assert!((beta[0] - f.nu1 / n as f64).abs() < 1e-12);
     }
 
@@ -180,7 +180,7 @@ mod tests {
         let sizes: Vec<u64> = (0..=14).map(|k| 1u64 << k).collect();
         let pre = NamedLayout::PreVeb.materialize(h);
         let inv = NamedLayout::InVeb.materialize(h);
-        let beta_pre = block_transitions(h, pre.edge_lengths(), w, &sizes);
+        let beta_pre = block_transitions(h, pre.edge_lengths(), w.clone(), &sizes);
         let beta_in = block_transitions(h, inv.edge_lengths(), w, &sizes);
         for (k, (bi, bp)) in beta_in.iter().zip(&beta_pre).enumerate().skip(1) {
             assert!(*bi <= bp + 1e-12, "N=2^{k}: IN-VEB {bi} vs PRE-VEB {bp}");
@@ -197,8 +197,8 @@ mod tests {
             .iter()
             .map(|l| {
                 let lay = l.materialize(h);
-                let m = average_multilevel_misses(h, lay.edge_lengths(), w, 2);
-                let f = functionals(h, lay.edge_lengths(), w);
+                let m = average_multilevel_misses(h, lay.edge_lengths(), w.clone(), 2);
+                let f = functionals(h, lay.edge_lengths(), w.clone());
                 (l.label().to_string(), m, f.nu0.ln())
             })
             .collect();

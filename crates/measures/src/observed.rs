@@ -144,7 +144,7 @@ mod tests {
         // The observed measures are functions of visited positions
         // only, so a saved-and-reopened tree must report bit-identical
         // estimates to the in-memory backend it was serialized from.
-        use cobtree_search::{SearchTree, Storage};
+        use cobtree_search::{SaveOptions, SearchTree, Storage};
         let built = SearchTree::builder()
             .layout(NamedLayout::MinWep)
             .storage(Storage::Implicit)
@@ -152,7 +152,7 @@ mod tests {
             .build()
             .unwrap();
         let mapped: SearchTree<u64> =
-            SearchTree::open_bytes(built.to_file_bytes().unwrap()).unwrap();
+            SearchTree::open_bytes(built.encode(&SaveOptions::new()).unwrap()).unwrap();
         let workload = UniformKeys::new(15_000, 13).take_vec(20_000);
         let sizes = [2u64, 16, 64];
         assert_eq!(

@@ -19,13 +19,20 @@
 //!   parent-embedding patterns of the optimal arrangement;
 //! * [`minbw`] — the MINBW baseline (Fig. 3/5n): deadline-driven greedy
 //!   placement with binary-searched bandwidth, validated against the
-//!   density lower bound `⌈(2^{h−1}−1)/(h−1)⌉`.
+//!   density lower bound `⌈(2^{h−1}−1)/(h−1)⌉`;
+//! * [`profile`] — observed-traffic optimization: minimizes the
+//!   empirical weighted edge length of a measured access profile
+//!   (exhaustive / seeded swap descent / greedy hot-path packing,
+//!   dispatched by tree size) — the planner core of the serving
+//!   engine's adaptive layout loop.
 
 pub mod exhaustive;
 pub mod g1;
 pub mod minbw;
 pub mod minla;
+pub mod profile;
 pub mod study;
 
 pub use minbw::minbw_layout;
 pub use minla::minla_layout;
+pub use profile::{hot_path_layout, observed_cost, optimize_for_profile};

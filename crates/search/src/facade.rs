@@ -43,8 +43,10 @@ use cobtree_core::fat::{FatIndex, FatLayout};
 use cobtree_core::format::{self, Descriptor, FixedKey};
 use cobtree_core::index::generic::GenericIndexer;
 use cobtree_core::index::{MaterializedIndex, PositionIndex};
-use cobtree_core::{Layout, NamedLayout, RecursiveSpec, Tree};
-use std::path::Path;
+use cobtree_core::weights::{encode_weight_profile, hot_path_layout, parse_weight_profile};
+use cobtree_core::{EdgeWeights, Layout, NamedLayout, ObservedProfile, RecursiveSpec, Tree};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Hard ceiling on key counts: `2^31 − 1` (positions are stored as
 /// `u32` by the materialized layouts and explicit nodes).
@@ -107,6 +109,24 @@ pub enum LayoutSource {
     /// power-of-two stride, so positions exceed `2^h − 1` and each
     /// storage builds through its sparse path.
     Fat(FatLayout),
+    /// Any base source annotated with an edge-weight model — the
+    /// first-class form of "build this layout for that traffic".
+    /// Geometric models ([`EdgeWeights::Approximate`] /
+    /// [`EdgeWeights::Exact`] / [`EdgeWeights::Unweighted`]) are
+    /// provenance only: the named layouts are already the paper's
+    /// optima for them, so the base resolves unchanged. An
+    /// [`EdgeWeights::Observed`] profile with real mass and a matching
+    /// height *re-materializes* the layout via greedy hot-path packing
+    /// ([`cobtree_core::weights::hot_path_layout`]); the adaptive
+    /// planner substitutes the optimizer crate's stronger
+    /// `optimize_for_profile` result as a [`LayoutSource::Materialized`]
+    /// when it has one.
+    Weighted {
+        /// The underlying layout choice.
+        base: Box<LayoutSource>,
+        /// The traffic model the tree is built for.
+        weights: EdgeWeights,
+    },
 }
 
 impl From<NamedLayout> for LayoutSource {
@@ -140,7 +160,8 @@ impl std::fmt::Debug for LayoutSource {
 }
 
 impl LayoutSource {
-    /// Human-readable description of the source.
+    /// Human-readable description of the source. Weighted sources
+    /// report their provenance as `base+model`, e.g. `MINWEP+observed`.
     #[must_use]
     pub fn label(&self) -> String {
         match self {
@@ -148,6 +169,41 @@ impl LayoutSource {
             LayoutSource::Spec(s) => s.nomenclature(),
             LayoutSource::Materialized(l) => format!("materialized(h={})", l.height()),
             LayoutSource::Fat(l) => l.label().to_string(),
+            LayoutSource::Weighted { base, weights } => {
+                format!("{}+{}", base.label(), weights.tag())
+            }
+        }
+    }
+
+    /// Annotates this source with an edge-weight model (builder sugar
+    /// for constructing [`LayoutSource::Weighted`] by hand).
+    #[must_use]
+    pub fn with_weights(self, weights: EdgeWeights) -> LayoutSource {
+        LayoutSource::Weighted {
+            base: Box::new(self),
+            weights,
+        }
+    }
+
+    /// Collapses weighted annotations into a resolvable source for a
+    /// tree of `height`: an observed profile with real mass and a
+    /// matching height re-materializes the layout by hot-path packing;
+    /// every other annotation resolves as its base (the geometric
+    /// models are exactly what the named layouts already optimize).
+    fn normalized(self, height: u32) -> LayoutSource {
+        match self {
+            LayoutSource::Weighted { base, weights } => {
+                let base = base.normalized(height);
+                if !matches!(base, LayoutSource::Fat(_)) {
+                    if let Some(p) = weights.observed() {
+                        if p.height() == height && p.total() > 0 {
+                            return LayoutSource::Materialized(hot_path_layout(p));
+                        }
+                    }
+                }
+                base
+            }
+            other => other,
         }
     }
 
@@ -176,6 +232,7 @@ impl LayoutSource {
                 Ok(Box::new(MaterializedIndex::new(l.clone())))
             }
             LayoutSource::Fat(l) => Ok(Box::new(FatIndex::try_new(*l, height)?)),
+            LayoutSource::Weighted { .. } => self.clone().normalized(height).resolve(height),
         }
     }
 }
@@ -185,6 +242,7 @@ impl LayoutSource {
 pub struct SearchTreeBuilder<K> {
     source: LayoutSource,
     storage: Storage,
+    weights: Option<EdgeWeights>,
     keys: Vec<K>,
 }
 
@@ -193,6 +251,7 @@ impl<K: Ord + Copy> Default for SearchTreeBuilder<K> {
         Self {
             source: LayoutSource::Named(NamedLayout::MinWep),
             storage: Storage::Explicit,
+            weights: None,
             keys: Vec::new(),
         }
     }
@@ -211,6 +270,31 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
     #[must_use]
     pub fn storage(mut self, storage: Storage) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Annotates the layout with an edge-weight model; composes with
+    /// any named/spec/fat source. An [`EdgeWeights::Observed`] traffic
+    /// profile (with mass, at the tree's height) re-materializes the
+    /// layout for that traffic; the geometric models record provenance.
+    /// Either way [`SearchTree::layout_label`] reports `base+model`.
+    ///
+    /// ```
+    /// use cobtree_search::SearchTree;
+    /// use cobtree_core::EdgeWeights;
+    ///
+    /// // Height-3 tree (7 slots); rank 1 is scorching hot.
+    /// let tree = SearchTree::builder()
+    ///     .weights(EdgeWeights::from_access_counts(&[900, 1, 1, 1, 1, 1, 1]))
+    ///     .keys([10u64, 20, 30, 40, 50, 60, 70])
+    ///     .build()?;
+    /// assert_eq!(tree.layout_label(), "MINWEP+observed");
+    /// assert!(tree.contains(10));
+    /// # Ok::<(), cobtree_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn weights(mut self, weights: EdgeWeights) -> Self {
+        self.weights = Some(weights);
         self
     }
 
@@ -248,11 +332,21 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
             height += 1;
         }
         let slots = padded_slots(&self.keys, height);
+        // Fold the builder's weight annotation into the source, keep
+        // its provenance label, then collapse it into a directly
+        // resolvable source (an observed profile may re-materialize
+        // the layout for its traffic).
+        let source = match self.weights {
+            Some(weights) => self.source.with_weights(weights),
+            None => self.source,
+        };
+        let layout_label = source.label();
+        let source = source.normalized(height);
         let inner = match self.storage {
             // A pre-materialized source already *is* the layout — use it
             // directly rather than round-tripping through its index.
             Storage::Explicit => {
-                if let LayoutSource::Materialized(layout) = &self.source {
+                if let LayoutSource::Materialized(layout) = &source {
                     if layout.height() != height {
                         return Err(Error::HeightMismatch {
                             expected: layout.height(),
@@ -260,18 +354,18 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                         });
                     }
                     Inner::Explicit(ExplicitTree::try_build(layout, &slots)?)
-                } else if matches!(self.source, LayoutSource::Fat(_)) {
+                } else if matches!(source, LayoutSource::Fat(_)) {
                     // Fat layouts are sparse (positions beyond
                     // `2^h − 1`), so they skip the permutation
                     // materialization and build node-per-slot directly.
-                    let index = self.source.resolve(height)?;
+                    let index = source.resolve(height)?;
                     Inner::Explicit(ExplicitTree::try_build_from_index(index.as_ref(), &slots)?)
                 } else {
                     // Materialize the *index* (not the engine) so explicit
                     // positions are bit-identical to the arithmetic
                     // backends even where an indexer is an automorphic
                     // image of the engine's output.
-                    let index = self.source.resolve(height)?;
+                    let index = source.resolve(height)?;
                     let tree = Tree::new(height);
                     let positions: Vec<u32> = tree
                         .nodes()
@@ -282,7 +376,7 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                 }
             }
             Storage::Implicit => {
-                if let LayoutSource::Fat(layout) = &self.source {
+                if let LayoutSource::Fat(layout) = &source {
                     // The implicit realization of a fat layout is the
                     // chunked heap plane searched by rank-of-key.
                     Inner::FatHeap(FatHeapTree::try_build(
@@ -290,26 +384,22 @@ impl<K: Ord + Copy> SearchTreeBuilder<K> {
                         &slots,
                     )?)
                 } else {
-                    Inner::Implicit(ImplicitTree::try_build(
-                        self.source.resolve(height)?,
-                        &slots,
-                    )?)
+                    Inner::Implicit(ImplicitTree::try_build(source.resolve(height)?, &slots)?)
                 }
             }
-            Storage::IndexOnly => Inner::IndexOnly(IndexOnlyTree::try_build(
-                self.source.resolve(height)?,
-                &slots,
-            )?),
+            Storage::IndexOnly => {
+                Inner::IndexOnly(IndexOnlyTree::try_build(source.resolve(height)?, &slots)?)
+            }
             Storage::Mapped => unreachable!("rejected above"),
         };
-        let provenance = match &self.source {
+        let provenance = match &source {
             LayoutSource::Named(layout) => Provenance::Named(*layout),
             LayoutSource::Fat(layout) => Provenance::Fat(*layout),
             _ => Provenance::Opaque,
         };
         Ok(SearchTree {
             storage: self.storage,
-            layout_label: self.source.label(),
+            layout_label,
             provenance,
             height,
             key_len: n,
@@ -614,34 +704,126 @@ impl<K: Ord + Copy> SearchTree<K> {
     }
 }
 
+/// Which layout descriptor a saved tree file carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DescriptorKind {
+    /// Provenance-driven (the default): trees built from a
+    /// [`NamedLayout`] travel by name (no position table in the file,
+    /// the reader rebuilds the arithmetic indexer), fat layouts by
+    /// label + arity, everything else as a materialized `u32` position
+    /// table.
+    #[default]
+    Auto,
+    /// Force the materialized position table even for named layouts —
+    /// for readers that must not depend on the named-indexer registry.
+    /// Fat layouts ignore this (their sparse geometry has no dense
+    /// table form) and still travel by label.
+    Table,
+}
+
+/// One builder for every way a [`SearchTree`] reaches disk: block
+/// alignment, descriptor kind, and the traffic profile the layout was
+/// built for (written as a `.cobw` sidecar next to the tree file —
+/// byte spec in `docs/FORMAT.md`). Consumed by [`SearchTree::encode`]
+/// and [`SearchTree::write_file`]; the pre-redesign methods
+/// (`save`/`save_with`/`to_file_bytes`/`to_file_bytes_with`) remain as
+/// deprecated wrappers over these two.
+///
+/// ```
+/// use cobtree_search::{SaveOptions, SearchTree};
+///
+/// let tree = SearchTree::builder().keys((1..=100u64).map(|k| k * 2)).build()?;
+/// let bytes = tree.encode(&SaveOptions::new().block_bytes(1 << 12))?;
+/// let reopened: SearchTree<u64> = SearchTree::open_bytes(bytes)?;
+/// assert_eq!(reopened.len(), 100);
+/// # Ok::<(), cobtree_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SaveOptions {
+    block_bytes: Option<u64>,
+    descriptor: DescriptorKind,
+    weights: Option<Arc<ObservedProfile>>,
+}
+
+impl SaveOptions {
+    /// Default options: [`cobtree_core::format::DEFAULT_BLOCK_BYTES`]
+    /// alignment, provenance-driven descriptor, no weight sidecar.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Region alignment for the encoded file (must be a power of two;
+    /// pick the serving medium's transfer-block size).
+    #[must_use]
+    pub fn block_bytes(mut self, block_bytes: u64) -> Self {
+        self.block_bytes = Some(block_bytes);
+        self
+    }
+
+    /// Which layout descriptor the file carries.
+    #[must_use]
+    pub fn descriptor(mut self, kind: DescriptorKind) -> Self {
+        self.descriptor = kind;
+        self
+    }
+
+    /// The observed traffic profile this tree's layout was optimized
+    /// for. [`SearchTree::write_file`] records it as a checksummed
+    /// `.cobw` sidecar next to the tree file (the `.cobt` bytes
+    /// themselves are unchanged), so the adaptive planner can later
+    /// measure how far live traffic has drifted from it.
+    #[must_use]
+    pub fn weight_profile(mut self, profile: impl Into<Arc<ObservedProfile>>) -> Self {
+        self.weights = Some(profile.into());
+        self
+    }
+
+    /// Where the weight sidecar for a tree file lives: the same path
+    /// with the extension swapped to `cobw`.
+    #[must_use]
+    pub fn sidecar_path(tree_path: &Path) -> PathBuf {
+        tree_path.with_extension("cobw")
+    }
+}
+
+/// Reads the `.cobw` weight sidecar accompanying a tree file, if one
+/// exists. `Ok(None)` when there is no sidecar; parse errors on a
+/// present-but-corrupt sidecar are real errors.
+///
+/// # Errors
+/// [`Error::Io`] on filesystem failures other than absence, plus every
+/// [`cobtree_core::weights::parse_weight_profile`] error.
+pub fn read_weight_sidecar(tree_path: impl AsRef<Path>) -> Result<Option<ObservedProfile>> {
+    let sidecar = SaveOptions::sidecar_path(tree_path.as_ref());
+    match std::fs::read(&sidecar) {
+        Ok(bytes) => Ok(Some(parse_weight_profile(&bytes)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(Error::io(&e)),
+    }
+}
+
 /// Persistence: every `SearchTree` whose key type has a fixed wire
 /// encoding ([`FixedKey`]) can be saved to the zero-copy `.cobt` format
 /// and served back through the mapped backend. See `docs/FORMAT.md`
 /// for the byte-level container specification.
 impl<K: Ord + Copy + FixedKey> SearchTree<K> {
-    /// Serializes the tree to the on-disk format with the default block
-    /// alignment ([`cobtree_core::format::DEFAULT_BLOCK_BYTES`]).
+    /// Serializes the tree to the on-disk format under `opts` (block
+    /// alignment and descriptor kind; the weight profile, being a
+    /// sidecar, only affects [`SearchTree::write_file`]).
     ///
-    /// Trees built from a [`NamedLayout`] travel by name — the file
-    /// carries no position table and the reader rebuilds the arithmetic
-    /// indexer. Every other source (specs, materialized layouts, opened
-    /// table files) is stored with its materialized `u32` position
-    /// table. Either way, a reopened tree visits the same positions and
-    /// returns the same checksums as this one.
-    ///
-    /// # Errors
-    /// Propagates [`cobtree_core::format::encode_tree`] errors.
-    pub fn to_file_bytes(&self) -> Result<Vec<u8>> {
-        self.to_file_bytes_with(format::DEFAULT_BLOCK_BYTES)
-    }
-
-    /// [`SearchTree::to_file_bytes`] with an explicit region alignment
-    /// (`block_bytes` must be a power of two; pick the serving medium's
-    /// transfer-block size).
+    /// With the default [`DescriptorKind::Auto`], trees built from a
+    /// [`NamedLayout`] travel by name — the file carries no position
+    /// table and the reader rebuilds the arithmetic indexer. Every
+    /// other source (specs, materialized layouts, opened table files)
+    /// is stored with its materialized `u32` position table. Either
+    /// way, a reopened tree visits the same positions and returns the
+    /// same checksums as this one.
     ///
     /// # Errors
     /// Propagates [`cobtree_core::format::encode_tree`] errors.
-    pub fn to_file_bytes_with(&self, block_bytes: u64) -> Result<Vec<u8>> {
+    pub fn encode(&self, opts: &SaveOptions) -> Result<Vec<u8>> {
+        let block_bytes = opts.block_bytes.unwrap_or(format::DEFAULT_BLOCK_BYTES);
         let tree = Tree::new(self.height);
         let capacity = tree.len();
         // Sparse fat layouts address more slots than ranks; the extra
@@ -660,13 +842,15 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
         }
         let key_at = |p: u64| keys_by_position[p as usize];
         match self.provenance {
-            Provenance::Named(layout) => format::encode_tree(
-                self.height,
-                self.key_len,
-                block_bytes,
-                &Descriptor::Named(layout),
-                key_at,
-            ),
+            Provenance::Named(layout) if opts.descriptor != DescriptorKind::Table => {
+                format::encode_tree(
+                    self.height,
+                    self.key_len,
+                    block_bytes,
+                    &Descriptor::Named(layout),
+                    key_at,
+                )
+            }
             Provenance::Fat(layout) => format::encode_tree(
                 self.height,
                 self.key_len,
@@ -674,7 +858,7 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
                 &Descriptor::Fat(layout),
                 key_at,
             ),
-            Provenance::Opaque => {
+            _ => {
                 let mut positions_by_node = vec![0u32; capacity as usize];
                 for rank in 1..=capacity {
                     let node = tree.node_at_in_order(rank);
@@ -700,7 +884,7 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     /// [`SearchTree::open`] serves it back without deserialization:
     ///
     /// ```
-    /// use cobtree_search::{SearchTree, Storage};
+    /// use cobtree_search::{SaveOptions, SearchTree, Storage};
     /// use cobtree_core::NamedLayout;
     ///
     /// let path = std::env::temp_dir().join(format!("facade-doctest-{}.cobt", std::process::id()));
@@ -708,7 +892,7 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     ///     .layout(NamedLayout::MinWep)
     ///     .keys((1..=1000u64).map(|k| k * 3))
     ///     .build()?;
-    /// tree.save(&path)?;
+    /// tree.write_file(&path, &SaveOptions::new())?;
     ///
     /// let served: SearchTree<u64> = SearchTree::open(&path)?;
     /// assert_eq!(served.storage(), Storage::Mapped);
@@ -724,20 +908,72 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     /// # Ok::<(), cobtree_core::Error>(())
     /// ```
     ///
-    /// # Errors
-    /// [`Error::Io`] on filesystem failures, plus the
-    /// [`SearchTree::to_file_bytes`] encoding errors.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        self.save_with(path, format::DEFAULT_BLOCK_BYTES)
-    }
-
-    /// [`SearchTree::save`] with an explicit block alignment.
+    /// When `opts` carries a weight profile, it is written as a
+    /// checksummed `.cobw` sidecar at
+    /// [`SaveOptions::sidecar_path`]`(path)`; without one, any stale
+    /// sidecar from a previous save is removed so a profile on disk
+    /// always describes the tree bytes next to it.
     ///
     /// # Errors
-    /// As for [`SearchTree::save`].
+    /// [`Error::Io`] on filesystem failures, plus the
+    /// [`SearchTree::encode`] encoding errors.
+    pub fn write_file(&self, path: impl AsRef<Path>, opts: &SaveOptions) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = self.encode(opts)?;
+        std::fs::write(path, bytes).map_err(|e| Error::io(&e))?;
+        let sidecar = SaveOptions::sidecar_path(path);
+        match &opts.weights {
+            Some(profile) => {
+                std::fs::write(&sidecar, encode_weight_profile(profile)).map_err(|e| Error::io(&e))
+            }
+            None => match std::fs::remove_file(&sidecar) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(Error::io(&e)),
+            },
+        }
+    }
+
+    /// Serializes with all-default [`SaveOptions`].
+    ///
+    /// # Errors
+    /// As for [`SearchTree::encode`].
+    #[deprecated(since = "0.3.0", note = "use `encode(&SaveOptions::new())`")]
+    pub fn to_file_bytes(&self) -> Result<Vec<u8>> {
+        self.encode(&SaveOptions::new())
+    }
+
+    /// Serializes with an explicit block alignment.
+    ///
+    /// # Errors
+    /// As for [`SearchTree::encode`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `encode(&SaveOptions::new().block_bytes(...))`"
+    )]
+    pub fn to_file_bytes_with(&self, block_bytes: u64) -> Result<Vec<u8>> {
+        self.encode(&SaveOptions::new().block_bytes(block_bytes))
+    }
+
+    /// Writes to `path` with all-default [`SaveOptions`].
+    ///
+    /// # Errors
+    /// As for [`SearchTree::write_file`].
+    #[deprecated(since = "0.3.0", note = "use `write_file(path, &SaveOptions::new())`")]
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.write_file(path, &SaveOptions::new())
+    }
+
+    /// Writes to `path` with an explicit block alignment.
+    ///
+    /// # Errors
+    /// As for [`SearchTree::write_file`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `write_file(path, &SaveOptions::new().block_bytes(...))`"
+    )]
     pub fn save_with(&self, path: impl AsRef<Path>, block_bytes: u64) -> Result<()> {
-        let bytes = self.to_file_bytes_with(block_bytes)?;
-        std::fs::write(path, bytes).map_err(|e| Error::io(&e))
+        self.write_file(path, &SaveOptions::new().block_bytes(block_bytes))
     }
 
     /// Memory-maps a saved tree file and serves it as a
@@ -970,7 +1206,7 @@ mod tests {
                 .build()
                 .unwrap();
             let opened: SearchTree<u64> =
-                SearchTree::open_bytes(built.to_file_bytes().unwrap()).unwrap();
+                SearchTree::open_bytes(built.encode(&SaveOptions::new()).unwrap()).unwrap();
             assert_eq!(opened.storage(), Storage::Mapped);
             assert_eq!(opened.len(), built.len());
             assert_eq!(opened.height(), built.height());
@@ -981,7 +1217,7 @@ mod tests {
             );
             // Re-saving an opened tree reproduces a working file.
             let resaved: SearchTree<u64> =
-                SearchTree::open_bytes(opened.to_file_bytes().unwrap()).unwrap();
+                SearchTree::open_bytes(opened.encode(&SaveOptions::new()).unwrap()).unwrap();
             assert_eq!(
                 resaved.search_batch_checksum(&probes),
                 built.search_batch_checksum(&probes),
@@ -1019,7 +1255,7 @@ mod tests {
                 );
             }
             let opened: SearchTree<u64> =
-                SearchTree::open_bytes(trees[0].to_file_bytes().unwrap()).unwrap();
+                SearchTree::open_bytes(trees[0].encode(&SaveOptions::new()).unwrap()).unwrap();
             assert_eq!(opened.storage(), Storage::Mapped);
             assert_eq!(opened.layout_label(), layout.label());
             assert_eq!(opened.search_batch_checksum(&probes), reference, "{layout}");
@@ -1028,7 +1264,7 @@ mod tests {
             }
             // Re-saving the mapped tree reproduces a working fat file.
             let resaved: SearchTree<u64> =
-                SearchTree::open_bytes(opened.to_file_bytes().unwrap()).unwrap();
+                SearchTree::open_bytes(opened.encode(&SaveOptions::new()).unwrap()).unwrap();
             assert_eq!(resaved.search_batch_checksum(&probes), reference);
         }
     }

@@ -51,12 +51,14 @@
 
 use crate::backend::SearchBackend;
 use crate::cursor::Range;
-use crate::facade::{LayoutSource, SearchTree, Storage};
+use crate::facade::{LayoutSource, SaveOptions, SearchTree, Storage};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::format::{self, FixedKey, ShardManifest};
 use cobtree_core::NamedLayout;
+use cobtree_core::ObservedProfile;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// File name of the forest manifest inside a saved forest directory.
 pub const MANIFEST_FILE: &str = "forest.cobf";
@@ -289,8 +291,11 @@ pub struct Forest<K> {
     slots: usize,
     /// Keys per partition slot (zeros mark empty slots).
     counts_by_slot: Vec<u64>,
-    /// The non-empty shard trees, in ascending key order.
-    trees: Vec<SearchTree<K>>,
+    /// The non-empty shard trees, in ascending key order. Each shard is
+    /// reference-counted so a re-optimized forest
+    /// ([`Forest::with_swapped_shard`]) shares the unchanged shards
+    /// with its predecessor instead of copying them.
+    trees: Vec<Arc<SearchTree<K>>>,
     /// Partition slot of each tree in `trees`.
     slot_of: Vec<usize>,
     router: ShardRouter<K>,
@@ -316,6 +321,25 @@ impl<K: Ord + Copy> Forest<K> {
         slots: usize,
         counts_by_slot: Vec<u64>,
         trees: Vec<SearchTree<K>>,
+        slot_of: Vec<usize>,
+    ) -> Result<Self> {
+        Self::assemble_arcs(
+            storage,
+            slots,
+            counts_by_slot,
+            trees.into_iter().map(Arc::new).collect(),
+            slot_of,
+        )
+    }
+
+    /// [`Forest::assemble`] from already reference-counted shards —
+    /// the shard-swap path ([`Forest::with_swapped_shard`]) re-assembles
+    /// here so unchanged shards are shared, not rebuilt.
+    pub(crate) fn assemble_arcs(
+        storage: Storage,
+        slots: usize,
+        counts_by_slot: Vec<u64>,
+        trees: Vec<Arc<SearchTree<K>>>,
         slot_of: Vec<usize>,
     ) -> Result<Self> {
         debug_assert_eq!(trees.len(), slot_of.len());
@@ -391,13 +415,74 @@ impl<K: Ord + Copy> Forest<K> {
 
     /// The non-empty shard trees, in ascending key order.
     pub fn shards(&self) -> impl ExactSizeIterator<Item = &SearchTree<K>> {
-        self.trees.iter()
+        self.trees.iter().map(AsRef::as_ref)
     }
 
     /// The `shard`-th non-empty shard tree (dense index).
     #[must_use]
     pub fn shard(&self, shard: usize) -> Option<&SearchTree<K>> {
-        self.trees.get(shard)
+        self.trees.get(shard).map(AsRef::as_ref)
+    }
+
+    /// Partition slot occupied by the `shard`-th non-empty tree (dense
+    /// index) — the slot names the on-disk file ([`shard_file_name`]).
+    #[must_use]
+    pub fn slot_of(&self, shard: usize) -> Option<usize> {
+        self.slot_of.get(shard).copied()
+    }
+
+    /// The `shard`-th non-empty shard tree as a shared handle (dense
+    /// index) — the currency of [`Forest::with_swapped_shard`] and the
+    /// adaptive engine ([`crate::adaptive`]).
+    #[must_use]
+    pub fn shard_arc(&self, shard: usize) -> Option<Arc<SearchTree<K>>> {
+        self.trees.get(shard).cloned()
+    }
+
+    /// Number of keys stored in shards before dense shard `shard`, i.e.
+    /// the offset that turns an in-shard 1-based rank into the
+    /// forest-wide rank [`Forest::locate`] reports (and back).
+    #[must_use]
+    pub fn rank_base(&self, shard: usize) -> Option<u64> {
+        (shard < self.trees.len()).then(|| self.prefix[shard])
+    }
+
+    /// A new forest identical to this one except that dense shard
+    /// `shard` is replaced by `tree` — the unchanged shards are
+    /// *shared* (reference-counted), so the swap is O(shards), not
+    /// O(keys). The replacement must hold exactly the keys the old
+    /// shard held (validated cheaply by count and both endpoints, which
+    /// also pins the fences, so the router and every forest-wide rank
+    /// are unchanged); layout and storage are free to differ — that is
+    /// the point.
+    ///
+    /// # Errors
+    /// [`Error::Malformed`] for an out-of-range shard index or a
+    /// replacement tree whose key count or endpoints differ from the
+    /// shard it replaces.
+    pub fn with_swapped_shard(&self, shard: usize, tree: Arc<SearchTree<K>>) -> Result<Self> {
+        let Some(old) = self.trees.get(shard) else {
+            return Err(Error::Malformed {
+                detail: format!("no dense shard {shard} to swap"),
+            });
+        };
+        if tree.len() != old.len()
+            || tree.select(1) != old.select(1)
+            || tree.select(tree.len()) != old.select(old.len())
+        {
+            return Err(Error::Malformed {
+                detail: "replacement shard must hold the same keys".into(),
+            });
+        }
+        let mut trees = self.trees.clone();
+        trees[shard] = tree;
+        Self::assemble_arcs(
+            self.storage,
+            self.slots,
+            self.counts_by_slot.clone(),
+            trees,
+            self.slot_of.clone(),
+        )
     }
 
     /// Routes `key` to its shard: the dense index and tree of the only
@@ -405,7 +490,7 @@ impl<K: Ord + Copy> Forest<K> {
     /// every fence.
     #[must_use]
     pub fn route(&self, key: K) -> Option<(usize, &SearchTree<K>)> {
-        self.router.route(key).map(|i| (i, &self.trees[i]))
+        self.router.route(key).map(|i| (i, self.trees[i].as_ref()))
     }
 
     /// Membership test.
@@ -543,7 +628,7 @@ impl<K: Ord + Copy> Forest<K> {
         let segments = self
             .rank_windows(lo, hi)
             .into_iter()
-            .map(|(i, llo, lhi)| Range::from_ranks(&self.trees[i], llo, lhi))
+            .map(|(i, llo, lhi)| Range::from_ranks(self.trees[i].as_ref(), llo, lhi))
             .collect();
         ForestRange { segments }
     }
@@ -756,7 +841,7 @@ impl<K: Ord + Copy + Send + Sync> Forest<K> {
             for bucket in buckets {
                 scope.spawn(move || {
                     for ((shard, llo, lhi), slot) in bucket {
-                        slot.extend(Range::from_ranks(&self.trees[shard], llo, lhi));
+                        slot.extend(Range::from_ranks(self.trees[shard].as_ref(), llo, lhi));
                     }
                 });
             }
@@ -911,6 +996,25 @@ impl<K: Ord + Copy + FixedKey> Forest<K> {
     /// # Errors
     /// As for [`Forest::save`].
     pub fn save_with(&self, dir: impl AsRef<Path>, block_bytes: u64) -> Result<()> {
+        self.save_with_profiles(dir, block_bytes, &[])
+    }
+
+    /// [`Forest::save_with`], additionally recording each dense shard's
+    /// built-for traffic profile as a `.cobw` sidecar next to its
+    /// `.cobt` file (shards whose entry is `None` — or beyond
+    /// `profiles.len()` — get no sidecar, and any stale one is
+    /// removed). Shard files are written first and the manifest last,
+    /// so a torn save never yields a manifest pointing at missing
+    /// shards.
+    ///
+    /// # Errors
+    /// As for [`Forest::save`].
+    pub fn save_with_profiles(
+        &self,
+        dir: impl AsRef<Path>,
+        block_bytes: u64,
+        profiles: &[Option<Arc<ObservedProfile>>],
+    ) -> Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| Error::io(&e))?;
         // Empty rows for every slot; occupied slots are overwritten below.
@@ -931,7 +1035,11 @@ impl<K: Ord + Copy + FixedKey> Forest<K> {
                     tree.select(tree.len()).expect("non-empty shard"),
                 )),
             };
-            tree.save_with(dir.join(shard_file_name(slot)), block_bytes)?;
+            let mut opts = SaveOptions::new().block_bytes(block_bytes);
+            if let Some(profile) = profiles.get(dense).and_then(Option::as_ref) {
+                opts = opts.weight_profile(Arc::clone(profile));
+            }
+            tree.write_file(dir.join(shard_file_name(slot)), &opts)?;
         }
         let manifest = format::encode_manifest(&entries)?;
         std::fs::write(dir.join(MANIFEST_FILE), manifest).map_err(|e| Error::io(&e))

@@ -39,6 +39,12 @@
 //!   the full ordered surface zero-copy from the bytes of a saved tree
 //!   file (`SearchTree::save`/`open`, format spec in `docs/FORMAT.md`),
 //!   memory-mapped so the byte order on storage *is* the layout order;
+//! * [`adaptive`] — the *adaptive serving engine*:
+//!   [`adaptive::AdaptiveForest`] wraps a forest behind an atomically
+//!   swappable handle so the traffic-adaptive layout loop can publish
+//!   re-optimized shards (validated to serve the identical key set)
+//!   while readers keep pinned snapshots — plus built-for profile
+//!   bookkeeping and `.cobw` sidecar persistence;
 //! * [`forest`] — the *serving engine*: [`forest::Forest`]
 //!   range-partitions a key set across N per-shard `SearchTree`s behind
 //!   a fence router, answers the global ordered surface (rank/select,
@@ -60,6 +66,7 @@
 //! * [`trace`] — position/address trace collection for the cache
 //!   simulator, from bare indexers or whole backends.
 
+pub mod adaptive;
 pub mod backend;
 pub mod cursor;
 pub mod explicit;
@@ -77,10 +84,14 @@ pub mod tiered;
 pub mod trace;
 pub mod workload;
 
+pub use adaptive::AdaptiveForest;
 pub use backend::SearchBackend;
 pub use cursor::{range_of, Cursor, Range};
 pub use explicit::ExplicitTree;
-pub use facade::{LayoutSource, SearchTree, SearchTreeBuilder, Storage};
+pub use facade::{
+    read_weight_sidecar, DescriptorKind, LayoutSource, SaveOptions, SearchTree, SearchTreeBuilder,
+    Storage,
+};
 pub use fat::FatHeapTree;
 pub use forest::{Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, ShardRouter};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};

@@ -64,7 +64,7 @@ impl Region {
 /// descent visits.
 ///
 /// ```
-/// use cobtree_search::{MappedTree, SearchBackend, SearchTree, Storage};
+/// use cobtree_search::{MappedTree, SaveOptions, SearchBackend, SearchTree, Storage};
 /// use cobtree_core::NamedLayout;
 ///
 /// let tree = SearchTree::builder()
@@ -72,7 +72,7 @@ impl Region {
 ///     .storage(Storage::Implicit)
 ///     .keys((1..=100u64).map(|k| k * 3))
 ///     .build()?;
-/// let mapped: MappedTree<u64> = MappedTree::from_bytes(tree.to_file_bytes()?)?;
+/// let mapped: MappedTree<u64> = MappedTree::from_bytes(tree.encode(&SaveOptions::new())?)?;
 /// assert_eq!(mapped.key_count(), 100);
 /// assert_eq!(mapped.search(30), tree.search(30)); // identical positions
 /// assert_eq!(mapped.search(31), None);
@@ -163,7 +163,7 @@ impl<K: FixedKey> MappedTree<K> {
     }
 
     /// Serves a tree from an in-memory image (e.g. the output of
-    /// `SearchTree::to_file_bytes`, or bytes fetched from object
+    /// `SearchTree::encode`, or bytes fetched from object
     /// storage).
     ///
     /// # Errors
@@ -516,7 +516,7 @@ impl<K> std::fmt::Debug for MappedTree<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::facade::{SearchTree, Storage};
+    use crate::facade::{SaveOptions, SearchTree, Storage};
     use cobtree_core::NamedLayout;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -536,7 +536,7 @@ mod tests {
     fn mapped_file_agrees_with_implicit_on_everything() {
         let source = build(NamedLayout::MinWep, 300);
         let path = temp_path("agree");
-        source.save(&path).unwrap();
+        source.write_file(&path, &SaveOptions::new()).unwrap();
         let mapped: MappedTree<u64> = MappedTree::open(&path).unwrap();
         assert!(mapped.is_memory_mapped());
         assert_eq!(mapped.len(), 300);
@@ -562,7 +562,7 @@ mod tests {
     fn read_and_open_validate_identically() {
         let source = build(NamedLayout::PreVeb, 64);
         let path = temp_path("read");
-        source.save(&path).unwrap();
+        source.write_file(&path, &SaveOptions::new()).unwrap();
         let via_read: MappedTree<u64> = MappedTree::read(&path).unwrap();
         assert!(!via_read.is_memory_mapped());
         let via_open: MappedTree<u64> = MappedTree::open(&path).unwrap();
@@ -580,7 +580,9 @@ mod tests {
             MappedTree::<u64>::open(temp_path("nonexistent")).unwrap_err(),
             Error::Io { .. }
         ));
-        let bytes = build(NamedLayout::InOrder, 20).to_file_bytes().unwrap();
+        let bytes = build(NamedLayout::InOrder, 20)
+            .encode(&SaveOptions::new())
+            .unwrap();
         assert_eq!(
             MappedTree::<u32>::from_bytes(bytes).unwrap_err(),
             Error::KeyTypeMismatch {
@@ -602,7 +604,7 @@ mod tests {
             .build()
             .unwrap();
         let mapped: MappedTree<u64> =
-            MappedTree::from_bytes(tree.to_file_bytes().unwrap()).unwrap();
+            MappedTree::from_bytes(tree.encode(&SaveOptions::new()).unwrap()).unwrap();
         assert_eq!(mapped.named_layout(), None);
         for probe in 0..=130u64 {
             assert_eq!(mapped.search(probe), tree.search(probe), "probe {probe}");

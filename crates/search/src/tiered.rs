@@ -78,7 +78,7 @@
 //! # Ok::<(), cobtree_core::Error>(())
 //! ```
 
-use crate::facade::{SearchTree, Storage};
+use crate::facade::{SaveOptions, SearchTree, Storage};
 use crate::forest::{Forest, ForestRange};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::format::{self, FixedKey, ManifestV2, ShardRecord};
@@ -1523,7 +1523,7 @@ fn publish_to_dir<K: FixedKey>(
                     .storage(Storage::Implicit)
                     .keys(keys.iter().copied())
                     .build()?;
-                let bytes = tree.to_file_bytes()?;
+                let bytes = tree.encode(&SaveOptions::new())?;
                 writer.write(&dir.join(tiered_shard_name(gen)), &bytes)?;
                 rows.push(ShardRecord {
                     key_count: keys.len() as u64,

@@ -12,7 +12,7 @@
 use cobtree_core::fat::FatLayout;
 use cobtree_core::NamedLayout;
 use cobtree_search::kernel::{force_scalar_rank, simd_rank_enabled};
-use cobtree_search::{SearchBackend, SearchTree, Storage};
+use cobtree_search::{SaveOptions, SearchBackend, SearchTree, Storage};
 use proptest::prelude::*;
 
 fn arb_named() -> impl Strategy<Value = NamedLayout> {
@@ -42,7 +42,7 @@ fn all_backends(layout: NamedLayout, keys: &[u64]) -> Vec<SearchTree<u64>> {
         .iter()
         .find(|t| t.storage() == Storage::Implicit)
         .expect("implicit built")
-        .to_file_bytes()
+        .encode(&SaveOptions::new())
         .expect("encode");
     trees.push(SearchTree::open_bytes(bytes).expect("reopen"));
     trees
@@ -166,7 +166,7 @@ proptest! {
             .iter()
             .find(|t| t.storage() == Storage::Implicit)
             .expect("implicit built")
-            .to_file_bytes()
+            .encode(&SaveOptions::new())
             .expect("encode");
         trees.push(SearchTree::open_bytes(bytes).expect("reopen"));
         let widths = [1usize, 3, 8, 16];

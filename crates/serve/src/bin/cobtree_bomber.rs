@@ -6,7 +6,7 @@
 //!                [--users N] [--zipf S] [--rate OPS_PER_SEC]
 //!                [--window N] [--mix GET,INS,REM,RANGE,RANK]
 //!                [--duration-ms N] [--span N] [--seed N]
-//!                [--out BENCH_serve.json] [--shutdown]
+//!                [--out BENCH_serve.json] [--shutdown] [--adaptive]
 //! ```
 //!
 //! `--rate 0` (the default) keeps every connection's pipeline window
@@ -15,7 +15,10 @@
 //! each request's *scheduled* arrival, so server queueing delay shows
 //! up in the tail instead of being coordinated away. `--shutdown`
 //! sends the server a `Shutdown` request after the run (and after the
-//! final stats scrape).
+//! final stats scrape). `--adaptive` runs the two-phase adaptive
+//! drill instead — bomb, send `Reopt`, bomb again with identical load
+//! — and emits the `BENCH_adaptive.json` shape (the server must be
+//! running `--engine adaptive`).
 
 use cobtree_serve::bomber::{self, BomberConfig, OpMix};
 use cobtree_serve::Client;
@@ -31,8 +34,9 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 
 fn main() {
     let mut cfg = BomberConfig::default();
-    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut out: Option<PathBuf> = None;
     let mut shutdown = false;
+    let mut adaptive = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,13 +54,15 @@ fn main() {
             }
             "--span" => cfg.scan_span = parse("--span", args.next()),
             "--seed" => cfg.seed = parse("--seed", args.next()),
-            "--out" => out = PathBuf::from(parse::<String>("--out", args.next())),
+            "--out" => out = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--shutdown" => shutdown = true,
+            "--adaptive" => adaptive = true,
             "--help" | "-h" => {
                 println!(
                     "usage: cobtree-bomber --addr tcp:HOST:PORT|unix:PATH [--connections N] \
                      [--users N] [--zipf S] [--rate OPS] [--window N] [--mix G,I,R,S,K] \
-                     [--duration-ms N] [--span N] [--seed N] [--out FILE] [--shutdown]"
+                     [--duration-ms N] [--span N] [--seed N] [--out FILE] [--shutdown] \
+                     [--adaptive]"
                 );
                 return;
             }
@@ -66,27 +72,48 @@ fn main() {
     assert!(!cfg.addr.is_empty(), "--addr is required (try --help)");
 
     bomber::await_ready(&cfg.addr, Duration::from_secs(10)).expect("server never became ready");
-    let report = bomber::run(&cfg).expect("bombing run failed");
-    std::fs::write(&out, report.to_json()).expect("write artifact");
-    eprintln!(
-        "[bomber] {:.0} ops/s over {} conns; p50 {:.0}us p99 {:.0}us p999 {:.0}us; \
-         busy rate {:.4}; {} sent / {} completed / {} lost -> {}",
-        report.ops_per_sec,
-        report.config.connections,
-        report.p50_ns / 1e3,
-        report.p99_ns / 1e3,
-        report.p999_ns / 1e3,
-        report.busy_rate,
-        report.sent,
-        report.completed,
-        report.lost,
-        out.display()
-    );
+    let completed = if adaptive {
+        let out = out.unwrap_or_else(|| PathBuf::from("BENCH_adaptive.json"));
+        let report = bomber::run_adaptive(&cfg).expect("adaptive bombing run failed");
+        std::fs::write(&out, report.to_json()).expect("write artifact");
+        eprintln!(
+            "[bomber] adaptive: scanned {} / swapped {} shards, {} sampled reads; \
+             p99 pre {:.0}us -> post {:.0}us; {:.0} -> {:.0} ops/s -> {}",
+            report.scanned,
+            report.swapped,
+            report.sampled_reads,
+            report.pre.p99_ns / 1e3,
+            report.post.p99_ns / 1e3,
+            report.pre.ops_per_sec,
+            report.post.ops_per_sec,
+            out.display()
+        );
+        report.pre.completed + report.post.completed
+    } else {
+        let out = out.unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
+        let report = bomber::run(&cfg).expect("bombing run failed");
+        std::fs::write(&out, report.to_json()).expect("write artifact");
+        eprintln!(
+            "[bomber] {:.0} ops/s over {} conns; p50 {:.0}us p99 {:.0}us p999 {:.0}us; \
+             busy rate {:.4}; {} sent / {} completed / {} lost -> {}",
+            report.ops_per_sec,
+            report.config.connections,
+            report.p50_ns / 1e3,
+            report.p99_ns / 1e3,
+            report.p999_ns / 1e3,
+            report.busy_rate,
+            report.sent,
+            report.completed,
+            report.lost,
+            out.display()
+        );
+        report.completed
+    };
 
     if shutdown {
         Client::connect(&cfg.addr)
             .and_then(|mut c| c.shutdown_server())
             .expect("shutdown request");
     }
-    assert!(report.completed > 0, "no requests completed");
+    assert!(completed > 0, "no requests completed");
 }

@@ -2,10 +2,11 @@
 //! forest or tiered engine and runs until a client sends `Shutdown`.
 //!
 //! ```text
-//! cobtree-serve --listen tcp:127.0.0.1:0 [--engine forest|tiered]
+//! cobtree-serve --listen tcp:127.0.0.1:0 [--engine forest|adaptive|tiered]
 //!               [--keys N] [--shards N] [--path DIR] [--workers N]
 //!               [--durable] [--op-timeout-ms N] [--inflight N]
 //!               [--handoff N] [--width N]
+//!               [--sample-interval N] [--reopt-threshold F]
 //! ```
 //!
 //! The store is seeded with the even keys `2, 4, …, 2·N` — the same
@@ -18,7 +19,9 @@
 use cobtree_core::NamedLayout;
 use cobtree_search::tiered::TieredForest;
 use cobtree_search::{Forest, Storage};
-use cobtree_serve::{ServeEngine, Server, ServerConfig};
+use cobtree_serve::planner::DEFAULT_REOPT_THRESHOLD;
+use cobtree_serve::sampler::DEFAULT_SAMPLE_INTERVAL;
+use cobtree_serve::{AdaptiveEngine, ServeEngine, Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,6 +39,8 @@ fn main() {
     let mut keys: u64 = 1 << 16;
     let mut shards: usize = 4;
     let mut path: Option<PathBuf> = None;
+    let mut sample_interval: u64 = DEFAULT_SAMPLE_INTERVAL;
+    let mut reopt_threshold: f64 = DEFAULT_REOPT_THRESHOLD;
     let mut cfg = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,12 +58,14 @@ fn main() {
             "--inflight" => cfg.inflight_per_conn = parse("--inflight", args.next()),
             "--handoff" => cfg.handoff_queue = parse("--handoff", args.next()),
             "--width" => cfg.batch_width = parse("--width", args.next()),
+            "--sample-interval" => sample_interval = parse("--sample-interval", args.next()),
+            "--reopt-threshold" => reopt_threshold = parse("--reopt-threshold", args.next()),
             "--help" | "-h" => {
                 println!(
                     "usage: cobtree-serve --listen tcp:HOST:PORT|unix:PATH \
-                     [--engine forest|tiered] [--keys N] [--shards N] [--path DIR] \
+                     [--engine forest|adaptive|tiered] [--keys N] [--shards N] [--path DIR] \
                      [--workers N] [--durable] [--op-timeout-ms N] [--inflight N] \
-                     [--handoff N] [--width N]"
+                     [--handoff N] [--width N] [--sample-interval N] [--reopt-threshold F]"
                 );
                 return;
             }
@@ -68,7 +75,7 @@ fn main() {
 
     let seed_keys = (1..=keys).map(|k| k * 2);
     let engine = match engine_kind.as_str() {
-        "forest" => {
+        "forest" | "adaptive" => {
             let forest = Forest::builder()
                 .layout(NamedLayout::MinWep)
                 .storage(Storage::Implicit)
@@ -76,7 +83,15 @@ fn main() {
                 .keys(seed_keys)
                 .build()
                 .expect("build forest");
-            ServeEngine::Forest(Arc::new(forest))
+            if engine_kind == "adaptive" {
+                ServeEngine::Adaptive(Arc::new(AdaptiveEngine::with_config(
+                    forest,
+                    sample_interval,
+                    reopt_threshold,
+                )))
+            } else {
+                ServeEngine::Forest(Arc::new(forest))
+            }
         }
         "tiered" => {
             let mut b = TieredForest::builder()
@@ -89,7 +104,7 @@ fn main() {
             }
             ServeEngine::Tiered(Arc::new(b.build().expect("build tiered engine")))
         }
-        other => panic!("--engine must be forest or tiered, got {other}"),
+        other => panic!("--engine must be forest, adaptive or tiered, got {other}"),
     };
 
     eprintln!(

@@ -312,6 +312,13 @@ impl BombReport {
     /// line, greppable by the CI gates).
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.to_json_object().render()
+    }
+
+    /// The artifact as a composable object — the adaptive report nests
+    /// one per phase.
+    #[must_use]
+    pub fn to_json_object(&self) -> JsonObject {
         let mix = &self.config.mix;
         let mut obj = JsonObject::new()
             .with("bench", "serve")
@@ -378,8 +385,70 @@ impl BombReport {
                     .with("p999_ns", s.p999_ns),
             );
         }
-        obj.render()
+        obj
     }
+}
+
+/// The result of a two-phase adaptive bombing run: identical load
+/// before and after one `Reopt` pass, plus what the pass did.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBombReport {
+    /// The run against the layouts the server booted with.
+    pub pre: BombReport,
+    /// The run against the re-optimized (hot-swapped) layouts.
+    pub post: BombReport,
+    /// Shards the planner examined.
+    pub scanned: u32,
+    /// Shards it re-optimized and swapped.
+    pub swapped: u32,
+    /// Accesses the traffic sampler had recorded by the end of the
+    /// run (from the final stats scrape).
+    pub sampled_reads: u64,
+}
+
+impl AdaptiveBombReport {
+    /// Renders the `BENCH_adaptive.json` artifact. The headline
+    /// pre/post numbers are top-level one-line fields so the CI gates
+    /// can grep them; the full per-phase reports are nested.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .with("bench", "adaptive")
+            .with("schema_version", 1u64)
+            .with("scanned", u64::from(self.scanned))
+            .with("swapped", u64::from(self.swapped))
+            .with("sampled_reads", self.sampled_reads)
+            .with("ops_per_sec_pre", self.pre.ops_per_sec)
+            .with("ops_per_sec_post", self.post.ops_per_sec)
+            .with("p50_pre_ns", self.pre.p50_ns)
+            .with("p50_post_ns", self.post.p50_ns)
+            .with("p99_pre_ns", self.pre.p99_ns)
+            .with("p99_post_ns", self.post.p99_ns)
+            .with("pre", self.pre.to_json_object())
+            .with("post", self.post.to_json_object())
+            .render()
+    }
+}
+
+/// Runs the full adaptive loop against a live server: one bombing run
+/// to feed the traffic sampler, one `Reopt` pass, and a second,
+/// identically-configured run against the swapped layouts.
+///
+/// # Errors
+/// Everything [`run`] raises, plus the `Reopt` refusal of a
+/// non-adaptive engine and stats-scrape protocol failures.
+pub fn run_adaptive(cfg: &BomberConfig) -> Result<AdaptiveBombReport> {
+    let pre = run(cfg)?;
+    let (scanned, swapped) = Client::connect(&cfg.addr)?.reopt()?;
+    let post = run(cfg)?;
+    let sampled_reads = Client::connect(&cfg.addr)?.stats()?.sampled_reads;
+    Ok(AdaptiveBombReport {
+        pre,
+        post,
+        scanned,
+        swapped,
+        sampled_reads,
+    })
 }
 
 /// Retries `Ping` until the server answers or `timeout` expires — the
@@ -722,5 +791,34 @@ mod tests {
                 .any(|l| l.trim_start().starts_with("\"p99_ns\":")),
             "{json}"
         );
+
+        // The adaptive wrapper keeps its own headline fields greppable
+        // at top level.
+        let adaptive = AdaptiveBombReport {
+            pre: report.clone(),
+            post: report,
+            scanned: 4,
+            swapped: 2,
+            sampled_reads: 12345,
+        };
+        let json = adaptive.to_json();
+        cobtree_analysis::json::assert_jsonish(&json);
+        for field in [
+            "\"swapped\": 2",
+            "\"scanned\": 4",
+            "\"sampled_reads\": 12345",
+        ] {
+            assert!(json.contains(field), "{field} missing:\n{json}");
+        }
+        for line in [
+            "\"p99_pre_ns\":",
+            "\"p99_post_ns\":",
+            "\"bench\": \"adaptive\"",
+        ] {
+            assert!(
+                json.lines().any(|l| l.trim_start().starts_with(line)),
+                "{line} not a one-line field:\n{json}"
+            );
+        }
     }
 }

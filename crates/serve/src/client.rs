@@ -152,6 +152,21 @@ impl Client {
         }
     }
 
+    /// Asks the server to run one adaptive re-optimization pass;
+    /// returns `(scanned, swapped)` shard counts.
+    ///
+    /// # Errors
+    /// Socket or protocol failure, including the `Unsupported` refusal
+    /// a non-adaptive engine answers with.
+    pub fn reopt(&mut self) -> Result<(u32, u32)> {
+        match self.call_ok(&Request::Reopt)? {
+            Reply::Reopt { scanned, swapped } => Ok((scanned, swapped)),
+            other => Err(Error::Malformed {
+                detail: format!("reopt reply has wrong shape: {other:?}"),
+            }),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors

@@ -1,20 +1,26 @@
-//! [`ServeEngine`]: one handle over the two things a server can put
-//! behind the wire — an immutable mapped [`Forest`] or the LSM-style
+//! [`ServeEngine`]: one handle over the three things a server can put
+//! behind the wire — an immutable mapped [`Forest`], the traffic-
+//! adaptive [`AdaptiveEngine`] wrapper around one, or the LSM-style
 //! [`TieredForest`] write path — answering every protocol op with the
 //! exact same semantics as the in-process API (the parity tests hold
 //! the server to bit-identical answers).
 
+use crate::planner::AdaptiveEngine;
 use cobtree_core::protocol::{BatchHit, Reply, Status, BUFFER_SHARD, MAX_RANGE_KEYS};
 use cobtree_search::tiered::{TierPlace, TieredForest};
 use cobtree_search::Forest;
 use std::sync::Arc;
 
 /// The store a server serves: reads go to whichever engine is mounted,
-/// writes only exist on the tiered one.
+/// writes only exist on the tiered one, and `Reopt` only on the
+/// adaptive one.
 #[derive(Clone)]
 pub enum ServeEngine {
     /// An immutable (typically memory-mapped) forest: reads only.
     Forest(Arc<Forest<u64>>),
+    /// An adaptive forest: reads feed the traffic sampler, `Reopt`
+    /// hot-swaps re-optimized shard layouts, answers stay identical.
+    Adaptive(Arc<AdaptiveEngine>),
     /// The tiered write path: reads *and* inserts/removes/flushes.
     Tiered(Arc<TieredForest<u64>>),
 }
@@ -25,11 +31,13 @@ pub enum ServeEngine {
 pub type EngineResult = Result<Reply, Status>;
 
 impl ServeEngine {
-    /// `"forest"` or `"tiered"` — for logs and the stats harness.
+    /// `"forest"`, `"adaptive"` or `"tiered"` — for logs and the stats
+    /// harness.
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             ServeEngine::Forest(_) => "forest",
+            ServeEngine::Adaptive(_) => "adaptive",
             ServeEngine::Tiered(_) => "tiered",
         }
     }
@@ -39,6 +47,7 @@ impl ServeEngine {
     pub fn len(&self) -> u64 {
         match self {
             ServeEngine::Forest(f) => f.len(),
+            ServeEngine::Adaptive(a) => a.snapshot().len(),
             ServeEngine::Tiered(t) => t.len(),
         }
     }
@@ -58,6 +67,9 @@ impl ServeEngine {
     pub fn route_shard(&self, key: u64) -> Option<usize> {
         match self {
             ServeEngine::Forest(f) => f.router().route(key),
+            // The router is pinned across swaps (same fences, same key
+            // sets), so worker affinity never migrates mid-flight.
+            ServeEngine::Adaptive(a) => a.snapshot().router().route(key),
             ServeEngine::Tiered(t) => {
                 let snap = t.snapshot();
                 snap.base().and_then(|b| b.router().route(key))
@@ -71,6 +83,7 @@ impl ServeEngine {
     pub fn shard_count(&self) -> usize {
         match self {
             ServeEngine::Forest(f) => f.shard_count().max(1),
+            ServeEngine::Adaptive(a) => a.snapshot().shard_count().max(1),
             ServeEngine::Tiered(t) => {
                 let snap = t.snapshot();
                 snap.base().map_or(1, |b| b.shard_count().max(1))
@@ -83,14 +96,12 @@ impl ServeEngine {
     #[must_use]
     pub fn get(&self, key: u64) -> Reply {
         match self {
-            ServeEngine::Forest(f) => match f.locate(key) {
-                Some(hit) => Reply::Hit {
-                    found: true,
-                    shard: hit.shard as u32,
-                    position: hit.position,
-                },
-                None => MISS,
-            },
+            ServeEngine::Forest(f) => forest_get(f, key),
+            ServeEngine::Adaptive(a) => {
+                let f = a.snapshot();
+                a.sampler().observe(&f, key);
+                forest_get(&f, key)
+            }
             ServeEngine::Tiered(t) => match t.locate(key) {
                 Some(hit) => Reply::Hit {
                     found: true,
@@ -118,17 +129,13 @@ impl ServeEngine {
     pub fn get_batch(&self, keys: &[u64], width: usize, out: &mut Vec<Reply>) {
         out.clear();
         match self {
-            ServeEngine::Forest(f) => {
-                let mut hits = Vec::new();
-                f.search_batch_interleaved(keys, width, &mut hits);
-                out.extend(hits.into_iter().map(|h| match h {
-                    Some((shard, position)) => Reply::Hit {
-                        found: true,
-                        shard: shard as u32,
-                        position,
-                    },
-                    None => MISS,
-                }));
+            ServeEngine::Forest(f) => forest_get_batch(f, keys, width, out),
+            ServeEngine::Adaptive(a) => {
+                let f = a.snapshot();
+                for &k in keys {
+                    a.sampler().observe(&f, k);
+                }
+                forest_get_batch(&f, keys, width, out);
             }
             ServeEngine::Tiered(_) => {
                 out.extend(keys.iter().map(|&k| self.get(k)));
@@ -142,6 +149,8 @@ impl ServeEngine {
         let found = match (self, upper) {
             (ServeEngine::Forest(f), false) => f.lower_bound(key),
             (ServeEngine::Forest(f), true) => f.upper_bound(key),
+            (ServeEngine::Adaptive(a), false) => a.snapshot().lower_bound(key),
+            (ServeEngine::Adaptive(a), true) => a.snapshot().upper_bound(key),
             (ServeEngine::Tiered(t), false) => t.lower_bound(key),
             (ServeEngine::Tiered(t), true) => t.upper_bound(key),
         };
@@ -157,6 +166,7 @@ impl ServeEngine {
         Reply::Rank {
             rank: match self {
                 ServeEngine::Forest(f) => f.rank(key),
+                ServeEngine::Adaptive(a) => a.snapshot().rank(key),
                 ServeEngine::Tiered(t) => t.rank(key),
             },
         }
@@ -167,6 +177,7 @@ impl ServeEngine {
     pub fn select(&self, rank: u64) -> Reply {
         let found = match self {
             ServeEngine::Forest(f) => f.select(rank),
+            ServeEngine::Adaptive(a) => a.snapshot().select(rank),
             ServeEngine::Tiered(t) => t.select(rank),
         };
         Reply::KeyOpt {
@@ -184,6 +195,16 @@ impl ServeEngine {
         let mut truncated = false;
         match self {
             ServeEngine::Forest(f) => {
+                for k in f.range(lo..=hi) {
+                    if keys.len() == cap {
+                        truncated = true;
+                        break;
+                    }
+                    keys.push(k);
+                }
+            }
+            ServeEngine::Adaptive(a) => {
+                let f = a.snapshot();
                 for k in f.range(lo..=hi) {
                     if keys.len() == cap {
                         truncated = true;
@@ -211,18 +232,13 @@ impl ServeEngine {
     pub fn sorted_batch(&self, keys: &[u64]) -> EngineResult {
         let mut hits = Vec::with_capacity(keys.len());
         match self {
-            ServeEngine::Forest(f) => {
-                let mut out = Vec::new();
-                f.search_sorted_batch(keys, &mut out)
-                    .map_err(|_| Status::BadRequest)?;
-                hits.extend(out.into_iter().map(|h| match h {
-                    Some((shard, position)) => BatchHit {
-                        found: true,
-                        shard: shard as u32,
-                        position,
-                    },
-                    None => BATCH_MISS,
-                }));
+            ServeEngine::Forest(f) => forest_sorted_batch(f, keys, &mut hits)?,
+            ServeEngine::Adaptive(a) => {
+                let f = a.snapshot();
+                for &k in keys {
+                    a.sampler().observe(&f, k);
+                }
+                forest_sorted_batch(&f, keys, &mut hits)?;
             }
             ServeEngine::Tiered(t) => {
                 let mut out = Vec::new();
@@ -253,7 +269,7 @@ impl ServeEngine {
     /// changed.
     pub fn write(&self, key: u64, remove: bool) -> EngineResult {
         match self {
-            ServeEngine::Forest(_) => Err(Status::Unsupported),
+            ServeEngine::Forest(_) | ServeEngine::Adaptive(_) => Err(Status::Unsupported),
             ServeEngine::Tiered(t) => {
                 let applied = if remove { t.remove(key) } else { t.insert(key) };
                 if let Some(err) = t.take_compaction_error() {
@@ -269,7 +285,7 @@ impl ServeEngine {
     /// whether anything was buffered. `Unsupported` on a forest.
     pub fn flush(&self) -> EngineResult {
         match self {
-            ServeEngine::Forest(_) => Err(Status::Unsupported),
+            ServeEngine::Forest(_) | ServeEngine::Adaptive(_) => Err(Status::Unsupported),
             ServeEngine::Tiered(t) => match t.flush() {
                 Ok(applied) => Ok(Reply::Applied { applied }),
                 Err(err) => {
@@ -279,6 +295,81 @@ impl ServeEngine {
             },
         }
     }
+
+    /// Runs one adaptive re-optimization pass
+    /// ([`AdaptiveEngine::reoptimize`]) on the calling thread.
+    /// `Unsupported` on the non-adaptive engines.
+    pub fn reopt(&self) -> EngineResult {
+        match self {
+            ServeEngine::Adaptive(a) => match a.reoptimize() {
+                Ok(out) => Ok(Reply::Reopt {
+                    scanned: out.scanned,
+                    swapped: out.swapped,
+                }),
+                Err(err) => {
+                    eprintln!("[serve] reopt pass failed: {err}");
+                    Err(Status::Internal)
+                }
+            },
+            ServeEngine::Forest(_) | ServeEngine::Tiered(_) => Err(Status::Unsupported),
+        }
+    }
+
+    /// `(sampled_reads, reopt_scans, reopt_swaps)` for the stats
+    /// snapshot; zeros on non-adaptive engines.
+    #[must_use]
+    pub fn adaptive_counters(&self) -> (u64, u64, u64) {
+        match self {
+            ServeEngine::Adaptive(a) => a.counters(),
+            ServeEngine::Forest(_) | ServeEngine::Tiered(_) => (0, 0, 0),
+        }
+    }
+}
+
+/// `Forest::locate` → the protocol's `Hit` reply.
+fn forest_get(f: &Forest<u64>, key: u64) -> Reply {
+    match f.locate(key) {
+        Some(hit) => Reply::Hit {
+            found: true,
+            shard: hit.shard as u32,
+            position: hit.position,
+        },
+        None => MISS,
+    }
+}
+
+/// The interleaved-kernel batch path shared by the forest engines.
+fn forest_get_batch(f: &Forest<u64>, keys: &[u64], width: usize, out: &mut Vec<Reply>) {
+    let mut hits = Vec::new();
+    f.search_batch_interleaved(keys, width, &mut hits);
+    out.extend(hits.into_iter().map(|h| match h {
+        Some((shard, position)) => Reply::Hit {
+            found: true,
+            shard: shard as u32,
+            position,
+        },
+        None => MISS,
+    }));
+}
+
+/// The sorted-batch path shared by the forest engines.
+fn forest_sorted_batch(
+    f: &Forest<u64>,
+    keys: &[u64],
+    hits: &mut Vec<BatchHit>,
+) -> Result<(), Status> {
+    let mut out = Vec::new();
+    f.search_sorted_batch(keys, &mut out)
+        .map_err(|_| Status::BadRequest)?;
+    hits.extend(out.into_iter().map(|h| match h {
+        Some((shard, position)) => BatchHit {
+            found: true,
+            shard: shard as u32,
+            position,
+        },
+        None => BATCH_MISS,
+    }));
+    Ok(())
 }
 
 /// The not-found `Hit` reply (found = false, zeroed coordinates).
@@ -391,6 +482,92 @@ mod tests {
                 (found, shard, position)
             );
         }
+    }
+
+    #[test]
+    fn adaptive_engine_matches_forest_engine_and_serves_reopt() {
+        let build = || {
+            Forest::builder()
+                .layout(NamedLayout::MinWep)
+                .storage(Storage::Implicit)
+                .shards(3)
+                .keys((1..=500u64).map(|k| k * 2))
+                .build()
+                .expect("forest")
+        };
+        let plain = ServeEngine::Forest(Arc::new(build()));
+        let adaptive = ServeEngine::Adaptive(Arc::new(AdaptiveEngine::with_config(
+            build(),
+            1,
+            crate::planner::DEFAULT_REOPT_THRESHOLD,
+        )));
+        assert_eq!(adaptive.kind(), "adaptive");
+        assert_eq!(adaptive.len(), plain.len());
+
+        // Drive enough skewed traffic through the sampled gets that a
+        // reopt pass swaps at least one shard, then re-check parity.
+        // A swap may relocate keys within their shard's layout array,
+        // so `position` is compared only before the swap; the ordered
+        // surface (found/shard/key/rank) must never change.
+        let strip = |r: &Reply| match *r {
+            Reply::Hit { found, shard, .. } => (found, shard),
+            _ => panic!("hit shape"),
+        };
+        for round in 0..2 {
+            for k in 0u64..100 {
+                if round == 0 {
+                    assert_eq!(adaptive.get(k), plain.get(k), "get({k})");
+                } else {
+                    assert_eq!(strip(&adaptive.get(k)), strip(&plain.get(k)), "get({k})");
+                }
+                assert_eq!(adaptive.rank(k), plain.rank(k), "rank({k})");
+                assert_eq!(adaptive.bound(k, false), plain.bound(k, false));
+                assert_eq!(adaptive.bound(k, true), plain.bound(k, true));
+            }
+            for _ in 0..200 {
+                // Hammer one hot key to skew the sampled profile.
+                let _ = adaptive.get(2);
+            }
+            assert_eq!(adaptive.range(2, 60, 10), plain.range(2, 60, 10));
+            assert_eq!(adaptive.select(17), plain.select(17));
+            let sorted: Vec<u64> = (0..300).map(|i| i * 3).collect();
+            let Ok(Reply::Batch { hits: a_hits }) = adaptive.sorted_batch(&sorted) else {
+                panic!("batch reply shape")
+            };
+            let Ok(Reply::Batch { hits: p_hits }) = plain.sorted_batch(&sorted) else {
+                panic!("batch reply shape")
+            };
+            let mut a_out = Vec::new();
+            let mut p_out = Vec::new();
+            adaptive.get_batch(&sorted, 8, &mut a_out);
+            plain.get_batch(&sorted, 8, &mut p_out);
+            if round == 0 {
+                assert_eq!(a_hits, p_hits);
+                assert_eq!(a_out, p_out);
+                let Ok(Reply::Reopt { scanned, swapped }) = adaptive.reopt() else {
+                    panic!("reopt reply shape")
+                };
+                assert_eq!(scanned, 3);
+                assert!(swapped >= 1, "hot-key traffic must trigger a swap");
+            } else {
+                for (a, p) in a_hits.iter().zip(&p_hits) {
+                    assert_eq!((a.found, a.shard), (p.found, p.shard));
+                }
+                for (a, p) in a_out.iter().zip(&p_out) {
+                    assert_eq!(strip(a), strip(p));
+                }
+            }
+        }
+        let (sampled, scans, swaps) = adaptive.adaptive_counters();
+        assert!(sampled > 0);
+        assert_eq!(scans, 3);
+        assert!(swaps >= 1);
+
+        // The non-adaptive engines refuse the op.
+        assert_eq!(plain.reopt(), Err(Status::Unsupported));
+        assert_eq!(plain.adaptive_counters(), (0, 0, 0));
+        assert_eq!(adaptive.write(7, false), Err(Status::Unsupported));
+        assert_eq!(adaptive.flush(), Err(Status::Unsupported));
     }
 
     #[test]

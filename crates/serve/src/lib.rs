@@ -6,7 +6,18 @@
 //! * [`net`] — address parsing (`tcp:host:port` / `unix:/path`) and the
 //!   TCP-or-Unix stream/listener abstraction;
 //! * [`engine`] — [`engine::ServeEngine`], one enum over the immutable
-//!   forest and the tiered write path, answering every protocol op;
+//!   forest, the traffic-adaptive forest and the tiered write path,
+//!   answering every protocol op;
+//! * [`sampler`] — the lock-free sampled per-key access sketch
+//!   ([`sampler::TrafficSampler`]) the adaptive engine's point lookups
+//!   feed: one in N gets resolves its in-shard rank and bumps a dense
+//!   atomic counter;
+//! * [`planner`] — the re-optimization planner
+//!   ([`planner::AdaptiveEngine`]): aggregates the sketch into
+//!   per-shard observed profiles, gates on total-variation divergence
+//!   from each shard's built-for profile, reruns the weighted layout
+//!   optimizer and hot-swaps the rebuilt shard (the protocol's `Reopt`
+//!   op);
 //! * [`server`] — the thread-per-core server: an acceptor thread deals
 //!   connections to workers, each worker owns its connections *and* a
 //!   subset of shards (shard `s` belongs to worker `s mod N`), point
@@ -30,8 +41,12 @@ pub mod bomber;
 pub mod client;
 pub mod engine;
 pub mod net;
+pub mod planner;
+pub mod sampler;
 pub mod server;
 
 pub use client::Client;
 pub use engine::ServeEngine;
+pub use planner::{AdaptiveEngine, ReoptOutcome};
+pub use sampler::TrafficSampler;
 pub use server::{Server, ServerConfig};

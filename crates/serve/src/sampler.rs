@@ -1,0 +1,185 @@
+//! Sampled per-key access counters for the adaptive serving engine.
+//!
+//! Point-lookup traffic is the signal the adaptive layout loop
+//! optimizes for, but counting every access would put an atomic
+//! increment (and a second descent to resolve the key's rank) on the
+//! hot path. [`TrafficSampler`] instead counts roughly one in
+//! `interval` lookups: a single relaxed fetch-add decides whether an
+//! access is sampled, and only sampled accesses pay for the rank
+//! resolution and the per-rank counter bump. The sketch is lock-free —
+//! workers share it through plain `AtomicU64`s and never block each
+//! other — and *dense*: one counter per stored key, indexed by the
+//! key's in-shard in-order rank, which is exactly the index space
+//! [`ObservedProfile::with_height`] consumes.
+//!
+//! Shard swaps performed by the re-optimization planner preserve each
+//! shard's key set (validated by
+//! [`cobtree_search::Forest::with_swapped_shard`]), so rank indices
+//! stay meaningful across swaps and the sketch never needs a resize.
+//!
+//! [`ObservedProfile::with_height`]: cobtree_core::ObservedProfile::with_height
+
+use cobtree_search::{Forest, SearchBackend};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default sampling interval: one in 64 point lookups is recorded.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 64;
+
+/// A lock-free sampled sketch of per-key point-lookup traffic, one
+/// dense counter row per forest shard.
+#[derive(Debug)]
+pub struct TrafficSampler {
+    interval: u64,
+    tick: AtomicU64,
+    sampled: AtomicU64,
+    shards: Vec<Box<[AtomicU64]>>,
+}
+
+impl TrafficSampler {
+    /// A zeroed sketch sized to `forest`'s shards. `interval` is
+    /// clamped to at least 1 (1 samples every lookup).
+    #[must_use]
+    pub fn new(forest: &Forest<u64>, interval: u64) -> Self {
+        TrafficSampler {
+            interval: interval.max(1),
+            tick: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            shards: forest
+                .shards()
+                .map(|t| {
+                    (0..t.len())
+                        .map(|_| AtomicU64::new(0))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                })
+                .collect(),
+        }
+    }
+
+    /// The configured sampling interval.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Accesses actually recorded into the sketch (hits on sampled
+    /// ticks), across all shards — the `sampled_reads` stats word.
+    #[must_use]
+    pub fn sampled(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Books one point lookup: advances the sampling clock and, on a
+    /// sampled tick where `key` is stored, resolves its in-shard rank
+    /// (one extra descent, paid only by the ~`1/interval` sampled
+    /// fraction) and bumps that rank's counter.
+    pub fn observe(&self, forest: &Forest<u64>, key: u64) {
+        if self.tick.fetch_add(1, Ordering::Relaxed) % self.interval != 0 {
+            return;
+        }
+        let Some((shard, tree)) = forest.route(key) else {
+            return;
+        };
+        let rank = SearchBackend::lower_bound_rank(tree, key);
+        if SearchBackend::key_at_rank(tree, rank) != Some(key) {
+            return; // miss: only stored keys have a layout node to favor
+        }
+        self.record(shard, rank);
+    }
+
+    /// Bumps the counter for 1-based in-shard rank `rank` of dense
+    /// shard `shard`; out-of-range coordinates are ignored.
+    pub fn record(&self, shard: usize, rank: u64) {
+        let Some(row) = self.shards.get(shard) else {
+            return;
+        };
+        let Some(slot) = rank.checked_sub(1).and_then(|r| row.get(r as usize)) else {
+            return;
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of shard `shard`'s counter row (index `i`
+    /// counts in-shard rank `i + 1`), or `None` for an unknown shard.
+    #[must_use]
+    pub fn counts(&self, shard: usize) -> Option<Vec<u64>> {
+        self.shards
+            .get(shard)
+            .map(|row| row.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+    }
+
+    /// Total sampled accesses recorded against shard `shard`.
+    #[must_use]
+    pub fn total(&self, shard: usize) -> u64 {
+        self.shards
+            .get(shard)
+            .map_or(0, |row| row.iter().map(|c| c.load(Ordering::Relaxed)).sum())
+    }
+
+    /// Zeroes shard `shard`'s counters — called after a swap so the
+    /// next divergence decision reflects post-swap traffic only.
+    pub fn reset(&self, shard: usize) {
+        if let Some(row) = self.shards.get(shard) {
+            for c in row.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobtree_core::NamedLayout;
+    use cobtree_search::Storage;
+
+    fn forest(n: u64, shards: usize) -> Forest<u64> {
+        Forest::builder()
+            .layout(NamedLayout::MinWep)
+            .storage(Storage::Implicit)
+            .shards(shards)
+            .keys((1..=n).map(|k| k * 2))
+            .build()
+            .expect("forest")
+    }
+
+    #[test]
+    fn interval_one_counts_every_stored_hit() {
+        let f = forest(100, 2);
+        let s = TrafficSampler::new(&f, 1);
+        for _ in 0..3 {
+            s.observe(&f, 2); // rank 1 of shard 0
+        }
+        s.observe(&f, 3); // miss: never recorded
+        s.observe(&f, 200); // stored, some rank of the second shard
+        assert_eq!(s.sampled(), 4);
+        assert_eq!(s.counts(0).unwrap()[0], 3);
+        assert_eq!(s.total(0), 3);
+        assert_eq!(s.total(1), 1);
+        s.reset(0);
+        assert_eq!(s.total(0), 0);
+        assert_eq!(s.total(1), 1);
+    }
+
+    #[test]
+    fn interval_thins_the_stream() {
+        let f = forest(100, 1);
+        let s = TrafficSampler::new(&f, 8);
+        for _ in 0..64 {
+            s.observe(&f, 2);
+        }
+        assert_eq!(s.sampled(), 8, "every 8th access lands");
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_ignored() {
+        let f = forest(10, 1);
+        let s = TrafficSampler::new(&f, 1);
+        s.record(5, 1);
+        s.record(0, 0);
+        s.record(0, 11);
+        assert_eq!(s.sampled(), 0);
+        assert_eq!(s.counts(5), None);
+    }
+}

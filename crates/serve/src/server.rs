@@ -641,7 +641,16 @@ impl Worker {
             Request::Range { lo, hi, limit } => Ok(self.engine.range(lo, hi, limit)),
             Request::Batch { keys } => self.engine.sorted_batch(&keys),
             Request::Flush => self.engine.flush(),
-            Request::Stats => Ok(Reply::Stats(Box::new(self.stats.snapshot()))),
+            // The planner runs on this worker's thread: Reopt is an
+            // explicit admin op, so its cost lands on the connection
+            // that asked for it, never on the serving hot path.
+            Request::Reopt => self.engine.reopt(),
+            Request::Stats => {
+                let mut snap = self.stats.snapshot();
+                (snap.sampled_reads, snap.reopt_scans, snap.reopt_swaps) =
+                    self.engine.adaptive_counters();
+                Ok(Reply::Stats(Box::new(snap)))
+            }
             Request::Shutdown => {
                 self.state.store(DRAINING, Ordering::Release);
                 Ok(Reply::Applied { applied: true })
@@ -875,7 +884,9 @@ impl Server {
     /// returns over the wire.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        (snap.sampled_reads, snap.reopt_scans, snap.reopt_swaps) = self.engine.adaptive_counters();
+        snap
     }
 
     /// Whether a client's `Shutdown` request has moved the server out

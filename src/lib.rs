@@ -109,7 +109,7 @@
 //!     .layout(NamedLayout::MinWep)
 //!     .keys((1..=10_000u64).map(|k| k * 2))
 //!     .build()?;
-//! built.save(&path)?;
+//! built.write_file(&path, &cobtree::search::SaveOptions::new())?;
 //!
 //! let served: SearchTree<u64> = SearchTree::open(&path)?;
 //! assert_eq!(served.storage(), Storage::Mapped);
@@ -165,10 +165,10 @@ pub use cobtree_serve as serve;
 
 pub use cobtree_core::{Error, Result};
 pub use cobtree_search::{
-    range_of, Cursor, Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, LayoutSource,
-    MappedTree, Range, SearchBackend, SearchTree, SearchTreeBuilder, ShardRouter, Storage,
-    TierPlace, TieredBuilder, TieredConfig, TieredCursor, TieredForest, TieredHit, TieredRange,
-    TieredSnapshot,
+    range_of, read_weight_sidecar, AdaptiveForest, Cursor, DescriptorKind, Forest, ForestBuilder,
+    ForestCursor, ForestHit, ForestRange, LayoutSource, MappedTree, Range, SaveOptions,
+    SearchBackend, SearchTree, SearchTreeBuilder, ShardRouter, Storage, TierPlace, TieredBuilder,
+    TieredConfig, TieredCursor, TieredForest, TieredHit, TieredRange, TieredSnapshot,
 };
 
 /// Compiles and runs the README's code examples as doctests.

@@ -1,0 +1,152 @@
+//! Property tests for the adaptive hot-swap loop: re-optimizing and
+//! publishing shard layouts mid-traffic must be invisible to the
+//! ordered API — every answer bit-identical to a never-swapped oracle
+//! forest — including when swaps race `par_search_batch` readers.
+
+use cobtree::core::NamedLayout;
+use cobtree::{AdaptiveForest, Forest, SearchTree, Storage};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_named() -> impl Strategy<Value = NamedLayout> {
+    proptest::sample::select(NamedLayout::ALL.to_vec())
+}
+
+fn build(n: u64, shards: usize, mult: u64) -> Forest<u64> {
+    Forest::builder()
+        .layout(NamedLayout::MinWep)
+        .storage(Storage::Implicit)
+        .shards(shards)
+        .keys((1..=n).map(|k| k * mult))
+        .build()
+        .expect("build forest")
+}
+
+/// Rebuilds dense shard `shard` of the current snapshot under `layout`
+/// and publishes it — the planner's swap, with an arbitrary layout in
+/// place of the optimizer's.
+fn swap_with_layout(adaptive: &AdaptiveForest<u64>, shard: usize, layout: NamedLayout) {
+    let snap = adaptive.snapshot();
+    let tree = snap.shard(shard).expect("dense shard");
+    let rebuilt = SearchTree::builder()
+        .layout(layout)
+        .storage(Storage::Implicit)
+        .keys(tree.iter())
+        .build()
+        .expect("rebuild shard");
+    adaptive
+        .swap_shard(shard, Arc::new(rebuilt), None)
+        .expect("swap shard");
+}
+
+/// The full ordered surface of `f` against the oracle: point
+/// membership, rank, bounds, select, and a range window.
+fn check_ordered(
+    f: &Forest<u64>,
+    oracle: &Forest<u64>,
+    probes: &[u64],
+    n: u64,
+    mult: u64,
+) -> Result<(), TestCaseError> {
+    for &p in probes {
+        prop_assert_eq!(f.contains(p), oracle.contains(p), "contains({})", p);
+        prop_assert_eq!(f.rank(p), oracle.rank(p), "rank({})", p);
+        prop_assert_eq!(
+            f.lower_bound(p),
+            oracle.lower_bound(p),
+            "lower_bound({})",
+            p
+        );
+        prop_assert_eq!(
+            f.upper_bound(p),
+            oracle.upper_bound(p),
+            "upper_bound({})",
+            p
+        );
+    }
+    for r in [0, 1, n / 2, n.saturating_sub(1), n, n + 1] {
+        prop_assert_eq!(f.select(r), oracle.select(r), "select({})", r);
+    }
+    let (lo, hi) = (mult * (n / 4), mult * (3 * n / 4) + 1);
+    let a: Vec<u64> = f.range(lo..=hi).collect();
+    let b: Vec<u64> = oracle.range(lo..=hi).collect();
+    prop_assert_eq!(a, b, "range({}..={})", lo, hi);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaving swaps with ordered queries never changes an answer:
+    /// after every published swap the forest still answers exactly like
+    /// the never-swapped oracle.
+    #[test]
+    fn hot_swaps_are_invisible_to_the_ordered_api(
+        n in 64u64..1200,
+        shards in 1usize..=5,
+        mult in 1u64..16,
+        schedule in proptest::collection::vec((0usize..64, arb_named()), 1..6),
+        probes in proptest::collection::vec(0u64..40_000, 48),
+    ) {
+        let oracle = build(n, shards, mult);
+        let adaptive = AdaptiveForest::new(build(n, shards, mult));
+        check_ordered(&adaptive.snapshot(), &oracle, &probes, n, mult)?;
+        for (pick, layout) in schedule {
+            let snap = adaptive.snapshot();
+            swap_with_layout(&adaptive, pick % snap.active_shards(), layout);
+            check_ordered(&adaptive.snapshot(), &oracle, &probes, n, mult)?;
+        }
+        prop_assert!(adaptive.swaps() >= 1);
+    }
+
+    /// Swaps racing concurrent `par_search_batch` readers: every batch,
+    /// whichever snapshot it pinned, reports the oracle's found/shard
+    /// answers. (Positions are layout coordinates and move with the
+    /// swap, so they are exactly what is *not* compared.)
+    #[test]
+    fn swaps_race_par_search_batch_without_changing_answers(
+        n in 256u64..1024,
+        shards in 2usize..=4,
+        layouts in proptest::collection::vec(arb_named(), 3),
+    ) {
+        let oracle = build(n, shards, 3);
+        let adaptive = AdaptiveForest::new(build(n, shards, 3));
+        let sorted: Vec<u64> = (0..=3 * n + 2).step_by(3).collect();
+        let mut expect = Vec::new();
+        oracle.par_search_batch(&sorted, 2, &mut expect).expect("oracle batch");
+        let expected: Vec<Option<usize>> = expect.iter().map(|h| h.map(|(s, _)| s)).collect();
+
+        let mismatches = std::thread::scope(|scope| {
+            let swapper = scope.spawn(|| {
+                for (i, layout) in layouts.iter().cycle().take(12).enumerate() {
+                    let snap = adaptive.snapshot();
+                    swap_with_layout(&adaptive, i % snap.active_shards(), *layout);
+                }
+            });
+            let mut mismatches = 0usize;
+            let mut out = Vec::new();
+            // Keep reading while the swapper publishes, plus one final
+            // pass against the fully-swapped forest.
+            while !swapper.is_finished() {
+                let f = adaptive.snapshot();
+                f.par_search_batch(&sorted, 2, &mut out).expect("batch");
+                mismatches += out
+                    .iter()
+                    .zip(&expected)
+                    .filter(|(got, want)| got.map(|(s, _)| s) != **want)
+                    .count();
+            }
+            swapper.join().expect("swapper");
+            let f = adaptive.snapshot();
+            f.par_search_batch(&sorted, 2, &mut out).expect("batch");
+            mismatches += out
+                .iter()
+                .zip(&expected)
+                .filter(|(got, want)| got.map(|(s, _)| s) != **want)
+                .count();
+            mismatches
+        });
+        prop_assert_eq!(mismatches, 0, "a batch diverged from the oracle mid-swap");
+        prop_assert_eq!(adaptive.swaps(), 12);
+    }
+}

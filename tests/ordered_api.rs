@@ -10,7 +10,7 @@
 
 use cobtree::core::fat::FatLayout;
 use cobtree::core::NamedLayout;
-use cobtree::{LayoutSource, SearchTree, Storage};
+use cobtree::{LayoutSource, SaveOptions, SearchTree, Storage};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -66,8 +66,12 @@ fn build_nth(layout: AnyLayout, nth: usize, keys: &[u64]) -> SearchTree<u64> {
         build(layout, storage, keys)
     } else {
         let source = build(layout, Storage::Implicit, keys);
-        SearchTree::open_bytes(source.to_file_bytes().expect("encode tree file"))
-            .expect("reopen tree file")
+        SearchTree::open_bytes(
+            source
+                .encode(&SaveOptions::new())
+                .expect("encode tree file"),
+        )
+        .expect("reopen tree file")
     }
 }
 

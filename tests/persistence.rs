@@ -7,7 +7,7 @@
 
 use cobtree::core::format::{self, FixedKey};
 use cobtree::core::NamedLayout;
-use cobtree::{Error, SearchTree, Storage};
+use cobtree::{Error, SaveOptions, SearchTree, Storage};
 use proptest::prelude::*;
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -34,7 +34,9 @@ fn saved_files_serve_identically_for_every_layout() {
             })
             .collect();
         let path = temp_path(layout.label());
-        in_memory[1].save(&path).expect("save");
+        in_memory[1]
+            .write_file(&path, &SaveOptions::new())
+            .expect("save");
         let served: SearchTree<u64> = SearchTree::open(&path).expect("open");
         std::fs::remove_file(&path).expect("cleanup");
 
@@ -89,7 +91,9 @@ fn alignments_and_key_types_round_trip() {
             .keys((1..=200u64).map(|k| k * 3))
             .build()
             .expect("build");
-        let image = tree.to_file_bytes_with(block).expect("encode");
+        let image = tree
+            .encode(&SaveOptions::new().block_bytes(block))
+            .expect("encode");
         let geometry = format::parse(&image).expect("parse");
         assert_eq!(geometry.block_bytes, block);
         assert_eq!(geometry.keys.0 as u64 % block, 0, "key region aligned");
@@ -104,7 +108,8 @@ fn alignments_and_key_types_round_trip() {
         .keys(keys.iter().copied())
         .build()
         .expect("build");
-    let served: SearchTree<i64> = SearchTree::open_bytes(tree.to_file_bytes().unwrap()).unwrap();
+    let served: SearchTree<i64> =
+        SearchTree::open_bytes(tree.encode(&SaveOptions::new()).unwrap()).unwrap();
     let all: Vec<i64> = served.iter().collect();
     assert_eq!(all, keys);
     assert_eq!(served.predecessor(-699), Some(-700));
@@ -115,7 +120,7 @@ fn alignments_and_key_types_round_trip() {
         .keys((1..=50u32).map(|k| k * 2))
         .build()
         .expect("build");
-    let image = tree32.to_file_bytes().unwrap();
+    let image = tree32.encode(&SaveOptions::new()).unwrap();
     assert_eq!(
         SearchTree::<u64>::open_bytes(image.clone()).unwrap_err(),
         Error::KeyTypeMismatch {
@@ -138,7 +143,7 @@ fn truncations_and_corruptions_never_panic() {
         .keys((1..=60u64).map(|k| k * 9))
         .build()
         .expect("build");
-    let image = tree.to_file_bytes().expect("encode");
+    let image = tree.encode(&SaveOptions::new()).expect("encode");
 
     // Truncations: every prefix must fail with a typed error.
     for len in 0..image.len() {
@@ -200,7 +205,7 @@ fn fat_geometry_fuzz_never_panics() {
         .keys((1..=60u64).map(|k| k * 9))
         .build()
         .expect("build");
-    let image = tree.to_file_bytes().expect("encode");
+    let image = tree.encode(&SaveOptions::new()).expect("encode");
     assert_eq!(image[10], 8, "header byte 10 carries the arity");
 
     // Truncations: typed failures on every prefix.
@@ -293,7 +298,7 @@ proptest! {
         } else {
             builder.layout(layout).build().expect("build")
         };
-        let image = built.to_file_bytes_with(1u64 << block_exp).expect("encode");
+        let image = built.encode(&SaveOptions::new().block_bytes(1u64 << block_exp)).expect("encode");
         let served: SearchTree<u64> = SearchTree::open_bytes(image).expect("open");
         prop_assert_eq!(served.len(), keys.len() as u64);
         prop_assert_eq!(

@@ -104,7 +104,7 @@ proptest! {
     fn functional_inequalities(spec in arb_spec(), h in 2u32..=9) {
         let layout = materialize(&spec, h);
         for w in [EdgeWeights::Approximate, EdgeWeights::Exact, EdgeWeights::Unweighted] {
-            let f = functionals(h, layout.edge_lengths(), w);
+            let f = functionals(h, layout.edge_lengths(), w.clone());
             prop_assert!(f.nu0 <= f.nu1 + 1e-9, "{w:?}");
             prop_assert!(f.mu0 <= f.mu1 + 1e-9, "{w:?}");
             prop_assert!(f.mu1 <= f.mu_inf as f64 + 1e-9, "{w:?}");

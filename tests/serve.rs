@@ -284,6 +284,138 @@ fn tiered_engine_round_trip_with_writes() {
     assert_eq!(stats.requests, stats.responses);
 }
 
+/// The adaptive engine over the wire: skewed traffic is sampled, a
+/// `Reopt` request swaps at least one shard, the ordered query surface
+/// stays bit-identical to a never-swapped oracle forest across the
+/// swap, and the adaptive stats words ship over the wire.
+#[test]
+fn adaptive_engine_reopt_over_the_wire() {
+    use cobtree::search::workload::{ZipfKeys, ZipfTable};
+    use cobtree::serve::AdaptiveEngine;
+
+    // 3 shards of 2048 keys: tall enough that the planner's optimizer
+    // takes its greedy path (heights ≤ 10 descend a far slower local
+    // search — fine offline, too slow for a debug-build wire test).
+    let n = 6_144u64;
+    let build = || {
+        Forest::builder()
+            .layout(NamedLayout::MinWep)
+            .storage(Storage::Implicit)
+            .shards(3)
+            .keys((1..=n).map(|k| k * 2))
+            .build()
+            .expect("build forest")
+    };
+    // The oracle never sees traffic and never swaps; the served forest
+    // starts identical to it.
+    let oracle = build();
+    let engine = ServeEngine::Adaptive(Arc::new(AdaptiveEngine::with_config(build(), 1, 0.15)));
+    let server = Server::start(engine, "tcp:127.0.0.1:0", one_worker()).expect("start");
+    let mut client = Client::connect(&server.addr().to_spec()).expect("connect");
+
+    // The adaptive engine is read-only, exactly like the plain forest.
+    assert_eq!(
+        client
+            .call(&Request::Insert { key: 7 })
+            .expect("insert")
+            .status,
+        Status::Unsupported
+    );
+
+    // Drive skewed traffic through batch gets (sample interval 1, so
+    // every served key lands in the sketch). Batches must be sorted.
+    let table = ZipfTable::new(n, 1.2);
+    let ranks: Vec<u64> = ZipfKeys::from_table(&table, 7).take(24_000).collect();
+    for chunk in ranks.chunks(4_096) {
+        let mut keys: Vec<u64> = chunk.iter().map(|r| r * 2).collect();
+        keys.sort_unstable();
+        let Reply::Batch { hits } = client.call_ok(&Request::Batch { keys }).expect("batch") else {
+            panic!("batch reply shape");
+        };
+        assert!(hits.iter().all(|h| h.found), "zipf probes are stored keys");
+    }
+
+    let (scanned, swapped) = client.reopt().expect("reopt");
+    assert_eq!(scanned, 3, "every dense shard is scanned");
+    assert!(
+        swapped >= 1,
+        "skewed traffic re-optimizes at least one shard"
+    );
+
+    // Across the swap the ordered surface matches the oracle exactly.
+    // `position` is a layout coordinate and legitimately moves when a
+    // shard's layout is rebuilt, so Get compares (found, shard) only.
+    let mut probes: Vec<u64> = (0..=(2 * n + 5)).step_by(17).collect();
+    probes.extend([0, 1, 2, 2 * n - 1, 2 * n, 2 * n + 1, u64::MAX]);
+    for &key in &probes {
+        let Reply::Hit { found, shard, .. } = client.call_ok(&Request::Get { key }).expect("get")
+        else {
+            panic!("hit shape");
+        };
+        let expect = oracle.locate(key);
+        assert_eq!(found, expect.is_some(), "get({key}) across swap");
+        if let Some(h) = expect {
+            assert_eq!(shard, h.shard as u32, "get({key}) shard across swap");
+        }
+        let lb = oracle.lower_bound(key);
+        assert_eq!(
+            client.call_ok(&Request::LowerBound { key }).expect("lb"),
+            Reply::KeyOpt {
+                found: lb.is_some(),
+                key: lb.unwrap_or(0)
+            },
+            "lower_bound({key}) across swap"
+        );
+        assert_eq!(
+            client.call_ok(&Request::Rank { key }).expect("rank"),
+            Reply::Rank {
+                rank: oracle.rank(key)
+            },
+            "rank({key}) across swap"
+        );
+    }
+    for rank in [0u64, 1, n / 2, n, n + 1] {
+        let expect = oracle.select(rank);
+        assert_eq!(
+            client.call_ok(&Request::Select { rank }).expect("select"),
+            Reply::KeyOpt {
+                found: expect.is_some(),
+                key: expect.unwrap_or(0)
+            },
+            "select({rank}) across swap"
+        );
+    }
+    let window: Vec<u64> = oracle.range(101..=999).collect();
+    assert_eq!(
+        client
+            .call_ok(&Request::Range {
+                lo: 101,
+                hi: 999,
+                limit: 4_096
+            })
+            .expect("range"),
+        Reply::Keys {
+            truncated: false,
+            keys: window
+        },
+        "range across swap"
+    );
+
+    // The adaptive counters ride the ordinary STATS reply.
+    let wire = client.stats().expect("stats");
+    assert!(
+        wire.sampled_reads >= 24_000,
+        "interval 1 samples every batch get: {}",
+        wire.sampled_reads
+    );
+    assert_eq!(wire.reopt_scans, 3);
+    assert_eq!(wire.reopt_swaps, u64::from(swapped));
+
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.requests, stats.responses);
+    assert_eq!(stats.bad_requests, 0);
+}
+
 /// Explicit backpressure: a connection at its in-flight cap gets
 /// `BUSY`, not unbounded buffering — and the refused requests are
 /// still answered (every request gets exactly one response).
