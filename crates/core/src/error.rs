@@ -114,6 +114,13 @@ pub enum Error {
     /// `Storage::Mapped` was requested from the key-set builder; mapped
     /// trees are opened from a saved file, not built from keys.
     MappedStorageRequiresFile,
+    /// The shard that owns the requested key range is quarantined
+    /// (failed a scrub or read-path checksum) and is not serving until
+    /// the next flush heals it. Other shards remain available.
+    ShardUnavailable {
+        /// Dense index of the quarantined shard.
+        shard: u32,
+    },
     /// A wire-protocol frame names an opcode this build does not know
     /// (see [`crate::protocol`]).
     UnknownOpcode {
@@ -184,6 +191,9 @@ impl std::fmt::Display for Error {
                 "Storage::Mapped serves a saved tree file; build with an in-memory storage, \
                  then SearchTree::save and SearchTree::open",
             ),
+            Error::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is quarantined and unavailable until healed")
+            }
             Error::UnknownOpcode { op } => write!(f, "unknown protocol opcode {op:#04x}"),
             Error::FrameTooLarge { got, max } => {
                 write!(f, "protocol frame body of {got} bytes exceeds the {max}-byte ceiling")

@@ -35,6 +35,7 @@ pub mod fat;
 pub mod format;
 pub mod golden;
 pub mod index;
+pub mod io;
 pub mod layout;
 pub mod named;
 pub mod protocol;
@@ -44,6 +45,7 @@ pub mod weights;
 
 pub use error::{Error, Result};
 pub use fat::{FatIndex, FatLayout, FatOrder};
+pub use io::{FaultIo, FaultKind, FaultRule, IoOp, RealIo, StorageIo};
 pub use layout::Layout;
 pub use named::NamedLayout;
 pub use spec::{CutRule, RecursiveSpec, RootOrder, Subscript};

@@ -187,6 +187,11 @@ pub enum Status {
     ShuttingDown = 5,
     /// The engine failed internally (e.g. a compaction error).
     Internal = 6,
+    /// The shard owning the requested key range is quarantined
+    /// (failed a scrub or read-path checksum) and will not serve until
+    /// the next flush heals it. Other key ranges remain available —
+    /// retry with backoff, or route around the range.
+    Unavail = 7,
 }
 
 impl Status {
@@ -203,6 +208,7 @@ impl Status {
             4 => Status::Unsupported,
             5 => Status::ShuttingDown,
             6 => Status::Internal,
+            7 => Status::Unavail,
             other => {
                 return Err(Error::Malformed {
                     detail: format!("unknown response status byte {other:#04x}"),
@@ -380,8 +386,12 @@ pub struct Response {
 /// Number of log₂-nanosecond latency buckets in [`StatsSnapshot`].
 pub const LATENCY_BUCKETS: usize = 32;
 
-/// Number of `u64` words a [`StatsSnapshot`] serializes to.
-pub const STATS_WORDS: usize = 13 + LATENCY_BUCKETS;
+/// Number of `u64` words a [`StatsSnapshot`] serializes to. The four
+/// health words (scrub passes, quarantined shards, heals, unavail
+/// responses) are serialized *after* the latency buckets so that older
+/// decoders — which read positionally and skip trailing words — still
+/// parse snapshots from newer servers.
+pub const STATS_WORDS: usize = 13 + LATENCY_BUCKETS + 4;
 
 /// A point-in-time copy of the server's live counters, shipped over the
 /// wire by the `Stats` op so harnesses and CI can scrape the server
@@ -423,6 +433,17 @@ pub struct StatsSnapshot {
     /// requests whose queue+execute time `ns` satisfies
     /// `latency_bucket(ns) == i` (log₂ buckets).
     pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Completed background scrub passes over the engine's shards.
+    pub scrub_passes: u64,
+    /// Shards currently quarantined (point-in-time gauge, not a
+    /// counter).
+    pub quarantined_shards: u64,
+    /// Quarantined shards healed by flush-time rebuilds over the
+    /// server's lifetime.
+    pub heals: u64,
+    /// Responses with [`Status::Unavail`] (keys routed to a
+    /// quarantined shard).
+    pub unavail: u64,
 }
 
 impl StatsSnapshot {
@@ -447,6 +468,14 @@ impl StatsSnapshot {
         }
         for b in &self.latency_buckets {
             out.extend_from_slice(&b.to_le_bytes());
+        }
+        for w in [
+            self.scrub_passes,
+            self.quarantined_shards,
+            self.heals,
+            self.unavail,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
         }
     }
 
@@ -476,6 +505,10 @@ impl StatsSnapshot {
         for b in &mut s.latency_buckets {
             *b = cur.u64()?;
         }
+        s.scrub_passes = cur.u64()?;
+        s.quarantined_shards = cur.u64()?;
+        s.heals = cur.u64()?;
+        s.unavail = cur.u64()?;
         for _ in STATS_WORDS..words {
             cur.u64()?; // unknown future counters: skip
         }
@@ -1042,6 +1075,10 @@ mod tests {
             sampled_reads: 17,
             reopt_scans: 4,
             reopt_swaps: 2,
+            scrub_passes: 3,
+            quarantined_shards: 1,
+            heals: 2,
+            unavail: 6,
             ..StatsSnapshot::default()
         };
         stats.latency_buckets[10] = 5;

@@ -918,19 +918,30 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     /// [`Error::Io`] on filesystem failures, plus the
     /// [`SearchTree::encode`] encoding errors.
     pub fn write_file(&self, path: impl AsRef<Path>, opts: &SaveOptions) -> Result<()> {
+        self.write_file_io(path, opts, &cobtree_core::io::RealIo)
+    }
+
+    /// [`SearchTree::write_file`] through an explicit storage seam:
+    /// the tree image and any `.cobw` sidecar are published with
+    /// `io`'s atomic-write discipline (temp file → fsync → rename →
+    /// parent-dir fsync), and fault schedules
+    /// ([`cobtree_core::io::FaultIo`]) can fail or tear any step.
+    ///
+    /// # Errors
+    /// As for [`SearchTree::write_file`].
+    pub fn write_file_io(
+        &self,
+        path: impl AsRef<Path>,
+        opts: &SaveOptions,
+        io: &dyn cobtree_core::io::StorageIo,
+    ) -> Result<()> {
         let path = path.as_ref();
         let bytes = self.encode(opts)?;
-        std::fs::write(path, bytes).map_err(|e| Error::io(&e))?;
+        io.write_atomic(path, &bytes)?;
         let sidecar = SaveOptions::sidecar_path(path);
         match &opts.weights {
-            Some(profile) => {
-                std::fs::write(&sidecar, encode_weight_profile(profile)).map_err(|e| Error::io(&e))
-            }
-            None => match std::fs::remove_file(&sidecar) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-                Err(e) => Err(Error::io(&e)),
-            },
+            Some(profile) => io.write_atomic(&sidecar, &encode_weight_profile(profile)),
+            None => io.remove(&sidecar),
         }
     }
 
@@ -987,6 +998,23 @@ impl<K: Ord + Copy + FixedKey> SearchTree<K> {
     /// [`cobtree_core::format::parse`] error on malformed bytes.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         Ok(Self::from_mapped(MappedTree::open(path)?))
+    }
+
+    /// [`SearchTree::open`] through an explicit storage seam. When
+    /// `io` supports `mmap` (the real seam) this is plain
+    /// [`SearchTree::open`]; fault schedules answer
+    /// `supports_mmap() == false`, routing the file through `io.read`
+    /// into owned memory so scripted read faults (short reads, bit
+    /// flips) hit the open path deterministically — and are caught by
+    /// the container checksums.
+    ///
+    /// # Errors
+    /// As for [`SearchTree::open`].
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        io: &dyn cobtree_core::io::StorageIo,
+    ) -> Result<Self> {
+        Ok(Self::from_mapped(MappedTree::open_with_io(path, io)?))
     }
 
     /// [`SearchTree::open`] over an in-memory file image (no

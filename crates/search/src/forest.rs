@@ -54,10 +54,11 @@ use crate::cursor::Range;
 use crate::facade::{LayoutSource, SaveOptions, SearchTree, Storage};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::format::{self, FixedKey, ShardManifest};
+use cobtree_core::io::{RealIo, StorageIo};
 use cobtree_core::NamedLayout;
 use cobtree_core::ObservedProfile;
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// File name of the forest manifest inside a saved forest directory.
@@ -263,6 +264,29 @@ impl<K: Ord + Copy> ForestBuilder<K> {
 // Forest
 // ---------------------------------------------------------------------------
 
+/// What one scrub step ([`Forest::scrub_step`]) observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Dense shards the step examined (budget consumed).
+    pub scanned: usize,
+    /// Shards skipped — already quarantined or without a backing file.
+    pub skipped: usize,
+    /// Dense indices newly quarantined by this step.
+    pub newly_quarantined: Vec<usize>,
+    /// Whether this step completed a full cycle over all shards.
+    pub completed_pass: bool,
+}
+
+impl ScrubReport {
+    /// Folds another step's observations into this report.
+    pub fn merge(&mut self, other: ScrubReport) {
+        self.scanned += other.scanned;
+        self.skipped += other.skipped;
+        self.newly_quarantined.extend(other.newly_quarantined);
+        self.completed_pass |= other.completed_pass;
+    }
+}
+
 /// Where a found key lives inside a [`Forest`]: which shard, the layout
 /// position inside that shard's tree, and the forest-wide in-order
 /// rank.
@@ -303,6 +327,17 @@ pub struct Forest<K> {
     /// is the total — the translation table between forest-wide ranks
     /// and (shard, in-shard rank) pairs.
     prefix: Vec<u64>,
+    /// Per-dense-shard health flag: 0 = healthy, 1 = quarantined.
+    /// Atomic because quarantine is declared through shared `Arc`
+    /// handles (the scrubber and the read path race benignly).
+    health: Vec<AtomicU8>,
+    /// On-disk file backing each dense shard — what the scrubber
+    /// re-reads. `None` for shards without a file (in-memory builds).
+    shard_paths: Vec<Option<PathBuf>>,
+    /// Completed scrub cycles over all shards.
+    scrub_passes: AtomicU64,
+    /// Next dense shard the paced scrubber will examine.
+    scrub_cursor: AtomicUsize,
 }
 
 impl<K: Ord + Copy> Forest<K> {
@@ -359,6 +394,7 @@ impl<K: Ord + Copy> Forest<K> {
             .first()
             .map(|t| t.layout_label().to_string())
             .unwrap_or_default();
+        let dense = trees.len();
         Ok(Self {
             storage,
             layout_label,
@@ -368,6 +404,10 @@ impl<K: Ord + Copy> Forest<K> {
             slot_of,
             router: ShardRouter::new(fences),
             prefix,
+            health: (0..dense).map(|_| AtomicU8::new(0)).collect(),
+            shard_paths: vec![None; dense],
+            scrub_passes: AtomicU64::new(0),
+            scrub_cursor: AtomicUsize::new(0),
         })
     }
 
@@ -447,6 +487,120 @@ impl<K: Ord + Copy> Forest<K> {
         (shard < self.trees.len()).then(|| self.prefix[shard])
     }
 
+    // -----------------------------------------------------------------
+    // Shard health: quarantine + scrubbing
+    // -----------------------------------------------------------------
+
+    /// Whether dense shard `shard` is quarantined (failed a scrub or a
+    /// read-path integrity check and is not serving until healed).
+    #[must_use]
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.health
+            .get(shard)
+            .is_some_and(|h| h.load(Ordering::SeqCst) != 0)
+    }
+
+    /// Quarantines dense shard `shard`: its key range answers
+    /// [`Error::ShardUnavailable`] from [`Forest::check_available`]
+    /// until a flush rebuild (tiered engines) or re-open heals it.
+    /// Returns `true` when this call transitioned the shard from
+    /// healthy, `false` when it was already quarantined (or the index
+    /// is out of range).
+    pub fn quarantine(&self, shard: usize) -> bool {
+        self.health
+            .get(shard)
+            .is_some_and(|h| h.swap(1, Ordering::SeqCst) == 0)
+    }
+
+    /// Number of currently quarantined shards.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| h.load(Ordering::SeqCst) != 0)
+            .count()
+    }
+
+    /// Dense indices of every quarantined shard, ascending.
+    #[must_use]
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.trees.len())
+            .filter(|&i| self.is_quarantined(i))
+            .collect()
+    }
+
+    /// Completed full scrub cycles over this forest's shards.
+    #[must_use]
+    pub fn scrub_passes(&self) -> u64 {
+        self.scrub_passes.load(Ordering::SeqCst)
+    }
+
+    /// Verifies that `key`'s owning shard is serving.
+    ///
+    /// # Errors
+    /// [`Error::ShardUnavailable`] when the shard that owns `key`'s
+    /// range is quarantined. Keys below every fence (which no shard
+    /// owns) are always "available" — they answer misses.
+    pub fn check_available(&self, key: K) -> Result<()> {
+        match self.router.route(key) {
+            Some(shard) if self.is_quarantined(shard) => Err(Error::ShardUnavailable {
+                shard: u32::try_from(shard).unwrap_or(u32::MAX),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// One paced scrub step: re-reads up to `budget` shard files
+    /// (0 = all of them) through `io`, re-validating the full `.cobt`
+    /// container — header checksum, content checksum, geometry — and
+    /// quarantining any shard whose bytes no longer verify. The cursor
+    /// persists across calls, so repeated small-budget calls cycle the
+    /// whole forest; each completed cycle counts one scrub pass.
+    /// Shards without a backing file (in-memory builds) and shards
+    /// already quarantined are skipped but still consume budget.
+    pub fn scrub_step(&self, io: &dyn StorageIo, budget: usize) -> ScrubReport {
+        let total = self.trees.len();
+        let limit = if budget == 0 {
+            total
+        } else {
+            budget.min(total)
+        };
+        let start = self.scrub_cursor.load(Ordering::SeqCst) % total.max(1);
+        let mut report = ScrubReport::default();
+        for step in 0..limit {
+            let shard = (start + step) % total;
+            report.scanned += 1;
+            if self.is_quarantined(shard) {
+                report.skipped += 1;
+                continue;
+            }
+            let Some(path) = self.shard_paths.get(shard).and_then(Option::as_ref) else {
+                report.skipped += 1;
+                continue;
+            };
+            let verified = io
+                .read(path)
+                .and_then(|bytes| format::parse(&bytes).map(|_| ()));
+            if verified.is_err() && self.quarantine(shard) {
+                report.newly_quarantined.push(shard);
+            }
+        }
+        self.scrub_cursor
+            .store((start + limit) % total.max(1), Ordering::SeqCst);
+        if start + limit >= total {
+            self.scrub_passes.fetch_add(1, Ordering::SeqCst);
+            report.completed_pass = true;
+        }
+        report
+    }
+
+    /// Installs the backing-file paths the scrubber re-reads (one per
+    /// dense shard) — called by the open/publish paths that know them.
+    pub(crate) fn set_shard_paths(&mut self, paths: Vec<Option<PathBuf>>) {
+        debug_assert_eq!(paths.len(), self.trees.len());
+        self.shard_paths = paths;
+    }
+
     /// A new forest identical to this one except that dense shard
     /// `shard` is replaced by `tree` — the unchanged shards are
     /// *shared* (reference-counted), so the swap is O(shards), not
@@ -476,13 +630,24 @@ impl<K: Ord + Copy> Forest<K> {
         }
         let mut trees = self.trees.clone();
         trees[shard] = tree;
-        Self::assemble_arcs(
+        let mut next = Self::assemble_arcs(
             self.storage,
             self.slots,
             self.counts_by_slot.clone(),
             trees,
             self.slot_of.clone(),
-        )
+        )?;
+        // Health and backing-file bookkeeping carries over, except for
+        // the swapped shard itself: its replacement is a fresh in-memory
+        // tree (no file until the next save) and definitionally healthy.
+        next.shard_paths = self.shard_paths.clone();
+        next.shard_paths[shard] = None;
+        for (i, h) in self.health.iter().enumerate() {
+            if i != shard && h.load(Ordering::SeqCst) != 0 {
+                next.health[i].store(1, Ordering::SeqCst);
+            }
+        }
+        Ok(next)
     }
 
     /// Routes `key` to its shard: the dense index and tree of the only
@@ -1015,8 +1180,25 @@ impl<K: Ord + Copy + FixedKey> Forest<K> {
         block_bytes: u64,
         profiles: &[Option<Arc<ObservedProfile>>],
     ) -> Result<()> {
+        self.save_with_profiles_io(dir, block_bytes, profiles, &RealIo)
+    }
+
+    /// [`Forest::save_with_profiles`] through an explicit storage seam
+    /// — every shard file and the manifest are written atomically via
+    /// `io` (temp → fsync → rename → dir fsync), and fault schedules
+    /// ([`cobtree_core::io::FaultIo`]) can fail any of those steps.
+    ///
+    /// # Errors
+    /// As for [`Forest::save`].
+    pub fn save_with_profiles_io(
+        &self,
+        dir: impl AsRef<Path>,
+        block_bytes: u64,
+        profiles: &[Option<Arc<ObservedProfile>>],
+        io: &dyn StorageIo,
+    ) -> Result<()> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| Error::io(&e))?;
+        io.create_dir_all(dir)?;
         // Empty rows for every slot; occupied slots are overwritten below.
         let mut entries: Vec<ShardManifest<K>> = self
             .counts_by_slot
@@ -1039,55 +1221,79 @@ impl<K: Ord + Copy + FixedKey> Forest<K> {
             if let Some(profile) = profiles.get(dense).and_then(Option::as_ref) {
                 opts = opts.weight_profile(Arc::clone(profile));
             }
-            tree.write_file(dir.join(shard_file_name(slot)), &opts)?;
+            tree.write_file_io(dir.join(shard_file_name(slot)), &opts, io)?;
         }
         let manifest = format::encode_manifest(&entries)?;
-        std::fs::write(dir.join(MANIFEST_FILE), manifest).map_err(|e| Error::io(&e))
+        io.write_atomic(&dir.join(MANIFEST_FILE), &manifest)
     }
 
     /// Opens a saved forest directory: parses and validates the
     /// manifest, memory-maps every shard file ([`Storage::Mapped`]
     /// trees), and cross-checks each shard against its manifest row
-    /// (key count and fence bounds) so a mismatched or swapped shard
-    /// file is a typed error, not silent misrouting.
+    /// (key count and fence bounds). A shard whose checksummed file
+    /// parses clean but disagrees with its manifest row is **trusted
+    /// from the file and quarantined** — its key range answers
+    /// [`Error::ShardUnavailable`] until the next publish heals it —
+    /// while every other shard serves normally.
     ///
     /// # Errors
-    /// [`Error::Io`] on filesystem failures, every manifest/tree-file
-    /// parse error, and [`Error::Malformed`] when a shard file
-    /// disagrees with its manifest row.
+    /// [`Error::Io`] on filesystem failures and every manifest or
+    /// tree-file parse error (an unreadable or corrupt shard *file* is
+    /// still a hard error: with no replica there is nothing to serve).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_io(dir, &RealIo)
+    }
+
+    /// [`Forest::open`] through an explicit storage seam: the manifest
+    /// read goes through `io`, and when `io` does not support `mmap`
+    /// (fault schedules), shard files are loaded through `io.read`
+    /// into owned memory so read faults (short reads, bit flips) hit
+    /// the open path deterministically.
+    ///
+    /// # Errors
+    /// As for [`Forest::open`].
+    pub fn open_with_io(dir: impl AsRef<Path>, io: &dyn StorageIo) -> Result<Self> {
         let dir = dir.as_ref();
-        let manifest = std::fs::read(dir.join(MANIFEST_FILE)).map_err(|e| Error::io(&e))?;
+        let manifest = io.read(&dir.join(MANIFEST_FILE))?;
         let entries: Vec<ShardManifest<K>> = format::parse_manifest(&manifest)?;
-        let counts_by_slot: Vec<u64> = entries.iter().map(|e| e.key_count).collect();
+        let mut counts_by_slot: Vec<u64> = entries.iter().map(|e| e.key_count).collect();
         let mut trees = Vec::new();
         let mut slot_of = Vec::new();
+        let mut paths = Vec::new();
+        let mut quarantined = Vec::new();
         for (slot, entry) in entries.iter().enumerate() {
             let Some((first, last)) = entry.bounds else {
                 continue;
             };
-            let tree: SearchTree<K> = SearchTree::open(dir.join(shard_file_name(slot)))?;
+            let path = dir.join(shard_file_name(slot));
+            let tree: SearchTree<K> = SearchTree::open_with_io(&path, io)?;
             if tree.len() != entry.key_count
                 || tree.select(1) != Some(first)
                 || tree.select(tree.len()) != Some(last)
             {
-                return Err(Error::Malformed {
-                    detail: format!(
-                        "shard file {} disagrees with its manifest row",
-                        shard_file_name(slot)
-                    ),
-                });
+                // The shard file is checksummed end to end and parsed
+                // clean; the manifest row is the liar. Trust the file,
+                // quarantine the shard (its routing metadata is
+                // suspect), and keep serving everything else.
+                counts_by_slot[slot] = tree.len();
+                quarantined.push(trees.len());
             }
+            paths.push(Some(path));
             trees.push(tree);
             slot_of.push(slot);
         }
-        Self::assemble(
+        let mut forest = Self::assemble(
             Storage::Mapped,
             entries.len(),
             counts_by_slot,
             trees,
             slot_of,
-        )
+        )?;
+        forest.set_shard_paths(paths);
+        for dense in quarantined {
+            forest.quarantine(dense);
+        }
+        Ok(forest)
     }
 }
 

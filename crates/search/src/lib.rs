@@ -93,7 +93,9 @@ pub use facade::{
     Storage,
 };
 pub use fat::FatHeapTree;
-pub use forest::{Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, ShardRouter};
+pub use forest::{
+    Forest, ForestBuilder, ForestCursor, ForestHit, ForestRange, ScrubReport, ShardRouter,
+};
 pub use implicit::{ImplicitTree, IndexOnlySearcher};
 pub use index_only::IndexOnlyTree;
 pub use map::LayoutMap;

@@ -162,6 +162,25 @@ impl<K: FixedKey> MappedTree<K> {
         Self::from_bytes(bytes)
     }
 
+    /// [`MappedTree::open`] through an explicit storage seam: real
+    /// seams memory-map as usual, while fault schedules
+    /// (`supports_mmap() == false`) load the file through `io.read`
+    /// into owned memory so scripted read faults reach the validation
+    /// path instead of being hidden by the page cache.
+    ///
+    /// # Errors
+    /// As for [`MappedTree::open`].
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        io: &dyn cobtree_core::io::StorageIo,
+    ) -> Result<Self> {
+        if io.supports_mmap() {
+            Self::open(path)
+        } else {
+            Self::from_bytes(io.read(path.as_ref())?)
+        }
+    }
+
     /// Serves a tree from an in-memory image (e.g. the output of
     /// `SearchTree::encode`, or bytes fetched from object
     /// storage).

@@ -79,9 +79,10 @@
 //! ```
 
 use crate::facade::{SaveOptions, SearchTree, Storage};
-use crate::forest::{Forest, ForestRange};
+use crate::forest::{Forest, ForestRange, ScrubReport};
 use cobtree_core::error::{check_sorted_keys, Error, Result};
 use cobtree_core::format::{self, FixedKey, ManifestV2, ShardRecord};
+use cobtree_core::io::{FaultIo, FaultKind, FaultRule, IoOp, RealIo, StorageIo};
 use cobtree_core::NamedLayout;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
@@ -131,6 +132,11 @@ pub struct TieredConfig {
     /// Memtable byte budget (entries × key width); crossing it triggers
     /// a flush even below the entry budget.
     pub memtable_bytes: usize,
+    /// The storage seam every durable write, recovery read and scrub
+    /// read goes through. [`RealIo`] in production; a
+    /// [`FaultIo`] schedule turns the same engine into a deterministic
+    /// chaos rig.
+    pub io: Arc<dyn StorageIo>,
 }
 
 impl Default for TieredConfig {
@@ -140,6 +146,7 @@ impl Default for TieredConfig {
             shards: 4,
             memtable_entries: 4096,
             memtable_bytes: 1 << 20,
+            io: Arc::new(RealIo),
         }
     }
 }
@@ -226,6 +233,15 @@ impl<K: FixedKey> TieredBuilder<K> {
     #[must_use]
     pub fn background(mut self, background: bool) -> Self {
         self.background = background;
+        self
+    }
+
+    /// Installs the storage seam (default [`RealIo`]); pass a
+    /// [`FaultIo`] schedule to drive the whole engine — publishes,
+    /// recovery, scrubbing — through scripted failures.
+    #[must_use]
+    pub fn io(mut self, io: Arc<dyn StorageIo>) -> Self {
+        self.cfg.io = io;
         self
     }
 
@@ -1124,45 +1140,6 @@ enum FlushMode {
     Full,
 }
 
-/// A write-counting failpoint for crash-consistency tests: the
-/// `budget`-th file write fails (after optionally writing *half* the
-/// bytes, simulating a torn write), mimicking a crash at an arbitrary
-/// point of the publish sequence.
-#[derive(Clone, Copy)]
-struct FailPoint {
-    budget: usize,
-    partial_last: bool,
-}
-
-/// Durable file writer with the optional failpoint threaded through.
-struct StoreWriter {
-    fail: Option<FailPoint>,
-}
-
-impl StoreWriter {
-    fn write(&mut self, path: &Path, bytes: &[u8]) -> Result<()> {
-        if let Some(fp) = &mut self.fail {
-            if fp.budget == 0 {
-                if fp.partial_last {
-                    let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
-                }
-                return Err(Error::Io {
-                    kind: "simulated-crash".into(),
-                    detail: format!("failpoint hit writing {}", path.display()),
-                });
-            }
-            fp.budget -= 1;
-        }
-        let write = || -> std::io::Result<()> {
-            use std::io::Write as _;
-            let mut file = std::fs::File::create(path)?;
-            file.write_all(bytes)?;
-            file.sync_all()
-        };
-        write().map_err(|e| Error::io(&e))
-    }
-}
-
 /// What one shard of the next epoch is made from.
 enum ShardPlan<K> {
     /// Reuse the existing shard file (no buffered delta routed to it).
@@ -1198,6 +1175,11 @@ struct Shared<K> {
     /// Successful flushes since the engine was built (monotone; cheap
     /// to read without the tier lock).
     flushes: AtomicU64,
+    /// Completed scrub cycles over the base tier (survives the base
+    /// forest being replaced at each flush).
+    scrub_passes: AtomicU64,
+    /// Quarantined shards healed by flush-time rebuilds.
+    heals: AtomicU64,
 }
 
 fn relock<G>(result: std::result::Result<G, PoisonError<G>>) -> G {
@@ -1234,6 +1216,8 @@ impl<K: FixedKey> Shared<K> {
             wake: Condvar::new(),
             last_error: Mutex::new(None),
             flushes: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
         }
     }
 
@@ -1242,7 +1226,7 @@ impl<K: FixedKey> Shared<K> {
     /// checksums *and* every referenced shard file), and ignores
     /// younger invalid leftovers — the crash-recovery contract.
     fn open_dir(dir: &Path, cfg: TieredConfig) -> Result<Self> {
-        std::fs::create_dir_all(dir).map_err(|e| Error::io(&e))?;
+        cfg.io.create_dir_all(dir)?;
         let mut epochs: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(dir).map_err(|e| Error::io(&e))? {
             let entry = entry.map_err(|e| Error::io(&e))?;
@@ -1255,7 +1239,7 @@ impl<K: FixedKey> Shared<K> {
         epochs.sort_unstable_by(|a, b| b.cmp(a));
         let mut last_err = None;
         for &epoch in &epochs {
-            match Self::load_epoch(dir, epoch) {
+            match Self::load_epoch(dir, epoch, cfg.io.as_ref()) {
                 Ok(tiers) => {
                     let mut shared = Self::fresh(cfg, Some(dir.to_path_buf()));
                     shared.tiers = RwLock::new(tiers);
@@ -1271,9 +1255,8 @@ impl<K: FixedKey> Shared<K> {
         }
     }
 
-    fn load_epoch(dir: &Path, epoch: u64) -> Result<Tiers<K>> {
-        let bytes =
-            std::fs::read(dir.join(tiered_manifest_name(epoch))).map_err(|e| Error::io(&e))?;
+    fn load_epoch(dir: &Path, epoch: u64, io: &dyn StorageIo) -> Result<Tiers<K>> {
+        let bytes = io.read(&dir.join(tiered_manifest_name(epoch)))?;
         let manifest: ManifestV2<K> = format::parse_manifest_v2(&bytes)?;
         if manifest.epoch != epoch {
             return Err(Error::Malformed {
@@ -1283,7 +1266,7 @@ impl<K: FixedKey> Shared<K> {
                 ),
             });
         }
-        let (base, gens) = open_rows(dir, &manifest.shards)?;
+        let (base, gens) = open_rows(dir, &manifest.shards, io)?;
         let next_gen = manifest
             .shards
             .iter()
@@ -1305,9 +1288,10 @@ impl<K: FixedKey> Shared<K> {
     /// artifacts with no locks held, publish under a brief write lock,
     /// then clean up superseded files. Returns whether anything was
     /// published.
-    fn flush(&self, mode: FlushMode, fail: Option<FailPoint>) -> Result<bool> {
+    fn flush(&self, mode: FlushMode, io_override: Option<&dyn StorageIo>) -> Result<bool> {
         let _serial = relock(self.flush_serial.lock());
-        let (base, gens, next_gen, frozen, epoch) = {
+        let io: &dyn StorageIo = io_override.unwrap_or(self.cfg.io.as_ref());
+        let (base, gens, next_gen, frozen, epoch, healing) = {
             let mut tiers = self.write_tiers();
             if !tiers.mem.is_empty() {
                 // Fold the active buffer into the frozen one (which is
@@ -1317,7 +1301,13 @@ impl<K: FixedKey> Shared<K> {
                 combined.absorb(std::mem::take(&mut tiers.mem));
                 tiers.frozen = Arc::new(combined);
             }
-            if tiers.frozen.is_empty() && !(mode == FlushMode::Full && tiers.base.is_some()) {
+            // A quarantined shard in the base forces a publish even
+            // with nothing buffered: the rebuild is the heal.
+            let healing = tiers.base.as_deref().map_or(0, Forest::quarantined_count);
+            if tiers.frozen.is_empty()
+                && healing == 0
+                && !(mode == FlushMode::Full && tiers.base.is_some())
+            {
                 return Ok(false);
             }
             (
@@ -1326,6 +1316,7 @@ impl<K: FixedKey> Shared<K> {
                 tiers.next_gen,
                 Arc::clone(&tiers.frozen),
                 tiers.epoch,
+                healing,
             )
         };
         // Build phase — no locks held; readers and writers proceed
@@ -1349,7 +1340,7 @@ impl<K: FixedKey> Shared<K> {
                 &frozen,
                 new_epoch,
                 mode,
-                fail,
+                io,
             )?,
         };
         {
@@ -1361,6 +1352,12 @@ impl<K: FixedKey> Shared<K> {
             tiers.next_gen = new_next;
         }
         self.flushes.fetch_add(1, Ordering::Relaxed);
+        if healing > 0 {
+            // The re-published base starts with every shard healthy —
+            // the quarantined ranges were rebuilt from the surviving
+            // tiers and are serving again.
+            self.heals.fetch_add(healing as u64, Ordering::Relaxed);
+        }
         if let Some(dir) = &self.dir {
             let keep: Vec<u64> = self.read_tiers().gens.clone();
             cleanup_dir(dir, new_epoch, &keep);
@@ -1436,7 +1433,10 @@ fn plan_shards<K: FixedKey>(
         }
         let mut plans = Vec::with_capacity(dense);
         for (i, tree) in f.shards().enumerate() {
-            if ins_by[i].is_empty() && !tomb_by[i] {
+            // A quarantined shard is never carried: rebuilding it from
+            // the still-intact in-memory tree under a fresh generation
+            // IS the heal.
+            if ins_by[i].is_empty() && !tomb_by[i] && !f.is_quarantined(i) {
                 let count = tree.len();
                 let bounds = (
                     tree.select(1).expect("shards are non-empty"),
@@ -1495,10 +1495,9 @@ fn publish_to_dir<K: FixedKey>(
     frozen: &Memtable<K>,
     new_epoch: u64,
     mode: FlushMode,
-    fail: Option<FailPoint>,
+    io: &dyn StorageIo,
 ) -> Result<(OpenedBase<K>, u64)> {
     let plans = plan_shards(cfg, base, gens, frozen, mode);
-    let mut writer = StoreWriter { fail };
     let mut gen = next_gen;
     let mut rows: Vec<ShardRecord<K>> = Vec::with_capacity(plans.len());
     for plan in plans {
@@ -1524,7 +1523,7 @@ fn publish_to_dir<K: FixedKey>(
                     .keys(keys.iter().copied())
                     .build()?;
                 let bytes = tree.encode(&SaveOptions::new())?;
-                writer.write(&dir.join(tiered_shard_name(gen)), &bytes)?;
+                io.write_atomic(&dir.join(tiered_shard_name(gen)), &bytes)?;
                 rows.push(ShardRecord {
                     key_count: keys.len() as u64,
                     bounds: Some((keys[0], *keys.last().expect("non-empty"))),
@@ -1541,37 +1540,48 @@ fn publish_to_dir<K: FixedKey>(
         shards: rows.clone(),
     };
     let bytes = format::encode_manifest_v2(&manifest)?;
-    writer.write(&dir.join(tiered_manifest_name(new_epoch)), &bytes)?;
-    let opened = open_rows(dir, &rows)?;
+    io.write_atomic(&dir.join(tiered_manifest_name(new_epoch)), &bytes)?;
+    let opened = open_rows(dir, &rows, io)?;
     Ok((opened, gen))
 }
 
 /// Re-opens the shard files a manifest's rows reference as a mapped
 /// [`Forest`], cross-checking each file against its row (count and
-/// fence bounds), exactly like [`Forest::open`] does for v1 stores.
-fn open_rows<K: FixedKey>(dir: &Path, rows: &[ShardRecord<K>]) -> Result<OpenedBase<K>> {
+/// fence bounds), exactly like [`Forest::open`] does for v1 stores. A
+/// checksummed shard file that parses clean but disagrees with its row
+/// is trusted from the file and **quarantined** (its range answers
+/// `UNAVAIL` until the next flush rebuilds it); an unreadable or
+/// corrupt file remains a hard error, which the epoch recovery scan
+/// turns into a fall-back to the previous manifest.
+fn open_rows<K: FixedKey>(
+    dir: &Path,
+    rows: &[ShardRecord<K>],
+    io: &dyn StorageIo,
+) -> Result<OpenedBase<K>> {
     let mut counts_by_slot = Vec::with_capacity(rows.len());
     let mut trees = Vec::new();
     let mut slot_of = Vec::new();
     let mut gens = Vec::new();
+    let mut paths = Vec::new();
+    let mut quarantined = Vec::new();
     for (slot, row) in rows.iter().enumerate() {
         counts_by_slot.push(row.key_count);
         let Some((first, last)) = row.bounds else {
             continue;
         };
         let path = dir.join(tiered_shard_name(row.generation));
-        let tree: SearchTree<K> = SearchTree::open(&path)?;
+        let tree: SearchTree<K> = SearchTree::open_with_io(&path, io)?;
         if tree.len() != row.key_count
             || tree.select(1) != Some(first)
-            || tree.select(row.key_count) != Some(last)
+            || tree.select(tree.len()) != Some(last)
         {
-            return Err(Error::Malformed {
-                detail: format!(
-                    "shard file {} disagrees with its manifest row",
-                    path.display()
-                ),
-            });
+            // The file's own checksums held; the manifest row is the
+            // corrupt side. Serve the rest of the store and quarantine
+            // this shard until a flush republishes consistent state.
+            counts_by_slot[slot] = tree.len();
+            quarantined.push(trees.len());
         }
+        paths.push(Some(path));
         trees.push(tree);
         slot_of.push(slot);
         gens.push(row.generation);
@@ -1579,7 +1589,11 @@ fn open_rows<K: FixedKey>(dir: &Path, rows: &[ShardRecord<K>]) -> Result<OpenedB
     if trees.is_empty() {
         return Ok((None, gens));
     }
-    let forest = Forest::assemble(Storage::Mapped, rows.len(), counts_by_slot, trees, slot_of)?;
+    let mut forest = Forest::assemble(Storage::Mapped, rows.len(), counts_by_slot, trees, slot_of)?;
+    forest.set_shard_paths(paths);
+    for dense in quarantined {
+        forest.quarantine(dense);
+    }
     Ok((Some(Arc::new(forest)), gens))
 }
 
@@ -1600,7 +1614,10 @@ fn cleanup_dir(dir: &Path, current_epoch: u64, keep: &[u64]) {
         ) {
             (Some(epoch), _) => epoch < current_epoch,
             (_, Some(generation)) => !keep.contains(&generation),
-            _ => false,
+            // Staging leftovers from a crashed atomic write: publishes
+            // are serialized, so any `.tmp` present after a successful
+            // one is garbage.
+            _ => name.ends_with(".tmp"),
         };
         if stale {
             let _ = std::fs::remove_file(entry.path());
@@ -1745,16 +1762,100 @@ impl<K: FixedKey> TieredForest<K> {
 
     /// Test-only flush whose `budget`-th file write fails — after
     /// writing half the bytes when `partial_last` is set — simulating
-    /// a crash at an arbitrary point of the publish sequence.
+    /// a crash at an arbitrary point of the publish sequence. A thin
+    /// compatibility shim over [`TieredForest::flush_with_io`] with a
+    /// one-rule [`FaultIo`] schedule.
     #[doc(hidden)]
     pub fn flush_with_failpoint(&self, budget: usize, partial_last: bool) -> Result<bool> {
-        self.shared.flush(
-            FlushMode::Incremental,
-            Some(FailPoint {
-                budget,
-                partial_last,
-            }),
-        )
+        let fault = FaultIo::scripted(vec![FaultRule {
+            op: IoOp::Write,
+            nth: budget as u64 + 1,
+            kind: if partial_last {
+                FaultKind::Torn
+            } else {
+                FaultKind::Fail
+            },
+        }]);
+        self.flush_with_io(&fault)
+    }
+
+    /// An incremental flush driven through an explicit storage seam
+    /// (overriding the configured one for this flush only) — the
+    /// entry point for scripted crash and fault schedules.
+    ///
+    /// # Errors
+    /// As for [`TieredForest::flush`].
+    pub fn flush_with_io(&self, io: &dyn StorageIo) -> Result<bool> {
+        self.shared.flush(FlushMode::Incremental, Some(io))
+    }
+
+    // -----------------------------------------------------------------
+    // Shard health: scrubbing, quarantine, healing
+    // -----------------------------------------------------------------
+
+    /// One paced scrub step over the base tier: re-reads up to
+    /// `budget` shard files (0 = all) through the configured storage
+    /// seam, re-validating their checksums and quarantining any shard
+    /// that no longer verifies. Engines without a mapped base (pure
+    /// in-memory stores) report an empty step.
+    pub fn scrub_step(&self, budget: usize) -> ScrubReport {
+        let base = self.shared.read_tiers().base.clone();
+        let Some(base) = base else {
+            return ScrubReport::default();
+        };
+        let report = base.scrub_step(self.shared.cfg.io.as_ref(), budget);
+        if report.completed_pass {
+            self.shared.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Completed scrub cycles over the engine's lifetime (survives the
+    /// base being replaced at each flush).
+    #[must_use]
+    pub fn scrub_passes(&self) -> u64 {
+        self.shared.scrub_passes.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined shards healed by flush-time rebuilds over the
+    /// engine's lifetime.
+    #[must_use]
+    pub fn heals(&self) -> u64 {
+        self.shared.heals.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently quarantined base shards.
+    #[must_use]
+    pub fn quarantined_shards(&self) -> usize {
+        self.shared
+            .read_tiers()
+            .base
+            .as_deref()
+            .map_or(0, Forest::quarantined_count)
+    }
+
+    /// Verifies that `key`'s owning base shard is serving.
+    ///
+    /// # Errors
+    /// [`Error::ShardUnavailable`] when the base shard owning `key`'s
+    /// range is quarantined. Keys resident only in the memtable tiers
+    /// are always available.
+    pub fn check_available(&self, key: K) -> Result<()> {
+        match self.shared.read_tiers().base.as_deref() {
+            Some(base) => base.check_available(key),
+            None => Ok(()),
+        }
+    }
+
+    /// Force-quarantines dense base shard `shard` (testing and
+    /// operator tooling); returns whether the shard transitioned from
+    /// healthy. The next flush heals it.
+    pub fn quarantine_shard(&self, shard: usize) -> bool {
+        self.shared
+            .read_tiers()
+            .base
+            .as_deref()
+            .is_some_and(|f| f.quarantine(shard))
     }
 
     /// An owned point-in-time view: wait-free queries, ranges and

@@ -54,6 +54,7 @@ fn main() {
             }
             "--span" => cfg.scan_span = parse("--span", args.next()),
             "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--max-retries" => cfg.max_retries = parse("--max-retries", args.next()),
             "--out" => out = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--shutdown" => shutdown = true,
             "--adaptive" => adaptive = true,
@@ -61,8 +62,8 @@ fn main() {
                 println!(
                     "usage: cobtree-bomber --addr tcp:HOST:PORT|unix:PATH [--connections N] \
                      [--users N] [--zipf S] [--rate OPS] [--window N] [--mix G,I,R,S,K] \
-                     [--duration-ms N] [--span N] [--seed N] [--out FILE] [--shutdown] \
-                     [--adaptive]"
+                     [--duration-ms N] [--span N] [--seed N] [--max-retries N] [--out FILE] \
+                     [--shutdown] [--adaptive]"
                 );
                 return;
             }

@@ -6,6 +6,7 @@
 //!               [--keys N] [--shards N] [--path DIR] [--workers N]
 //!               [--durable] [--op-timeout-ms N] [--inflight N]
 //!               [--handoff N] [--width N]
+//!               [--scrub-interval-ms N] [--scrub-budget N]
 //!               [--sample-interval N] [--reopt-threshold F]
 //! ```
 //!
@@ -58,6 +59,13 @@ fn main() {
             "--inflight" => cfg.inflight_per_conn = parse("--inflight", args.next()),
             "--handoff" => cfg.handoff_queue = parse("--handoff", args.next()),
             "--width" => cfg.batch_width = parse("--width", args.next()),
+            "--scrub-interval-ms" => {
+                cfg.scrub_interval = Some(Duration::from_millis(parse(
+                    "--scrub-interval-ms",
+                    args.next(),
+                )));
+            }
+            "--scrub-budget" => cfg.scrub_shards_per_pass = parse("--scrub-budget", args.next()),
             "--sample-interval" => sample_interval = parse("--sample-interval", args.next()),
             "--reopt-threshold" => reopt_threshold = parse("--reopt-threshold", args.next()),
             "--help" | "-h" => {
@@ -65,7 +73,8 @@ fn main() {
                     "usage: cobtree-serve --listen tcp:HOST:PORT|unix:PATH \
                      [--engine forest|adaptive|tiered] [--keys N] [--shards N] [--path DIR] \
                      [--workers N] [--durable] [--op-timeout-ms N] [--inflight N] \
-                     [--handoff N] [--width N] [--sample-interval N] [--reopt-threshold F]"
+                     [--handoff N] [--width N] [--scrub-interval-ms N] [--scrub-budget N] \
+                     [--sample-interval N] [--reopt-threshold F]"
                 );
                 return;
             }

@@ -16,7 +16,7 @@
 //! with the even keys — and to key `2r + 1` for insert/remove churn,
 //! so writes never collide with the read working set.
 
-use crate::client::Client;
+use crate::client::{Client, RetryPolicy};
 use crate::net::{Addr, NetStream};
 use cobtree_analysis::json::{finite, percentile, safe_div, JsonObject};
 use cobtree_core::protocol::{
@@ -143,6 +143,11 @@ pub struct BomberConfig {
     pub scan_span: u64,
     /// RNG seed: the whole run is reproducible given the seed.
     pub seed: u64,
+    /// Client-side retries per request on the transient statuses
+    /// (`BUSY`, `TIMEOUT`, `UNAVAIL`); 0 keeps the old fire-once
+    /// behaviour. Retried requests keep their *original* scheduled
+    /// arrival, so retry latency lands in the tail where it belongs.
+    pub max_retries: u32,
 }
 
 impl Default for BomberConfig {
@@ -158,6 +163,7 @@ impl Default for BomberConfig {
             duration: Duration::from_secs(2),
             scan_span: 128,
             seed: 42,
+            max_retries: 0,
         }
     }
 }
@@ -183,6 +189,7 @@ struct OpTally {
     ok: u64,
     busy: u64,
     timeout: u64,
+    unavail: u64,
     other_err: u64,
     /// End-to-end (scheduled arrival → completion) latencies of `Ok`
     /// completions, nanoseconds.
@@ -199,6 +206,12 @@ struct ConnTally {
     shed: u64,
     /// Requests still unanswered when the drain grace expired.
     lost: u64,
+    /// Re-sent attempts after a transient refusal.
+    retries: u64,
+    /// Total backoff delay inserted before re-sends, ns.
+    backoff_ns: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    give_ups: u64,
     per_op: [OpTally; 5],
 }
 
@@ -208,15 +221,23 @@ impl ConnTally {
         self.completed += other.completed;
         self.shed += other.shed;
         self.lost += other.lost;
+        self.retries += other.retries;
+        self.backoff_ns += other.backoff_ns;
+        self.give_ups += other.give_ups;
         for (a, b) in self.per_op.iter_mut().zip(other.per_op) {
             a.ok += b.ok;
             a.busy += b.busy;
             a.timeout += b.timeout;
+            a.unavail += b.unavail;
             a.other_err += b.other_err;
             a.lats.extend(b.lats);
         }
     }
 }
+
+/// One per-op report row: `(label, ok, busy, timeout, unavail,
+/// other_err, p50_ns, p99_ns)`.
+pub type PerOpRow = (String, u64, u64, u64, u64, u64, f64, f64);
 
 /// The aggregated result of one bombing run.
 #[derive(Debug, Clone)]
@@ -233,6 +254,15 @@ pub struct BombReport {
     pub shed: u64,
     /// Requests unanswered at drain expiry.
     pub lost: u64,
+    /// Re-sent attempts after a transient refusal (`BUSY` / `TIMEOUT`
+    /// / `UNAVAIL`).
+    pub retries: u64,
+    /// Total backoff delay inserted before re-sends, ns.
+    pub backoff_ns: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub give_ups: u64,
+    /// `UNAVAIL` final completions (quarantined-shard refusals).
+    pub unavail: u64,
     /// `Ok` completions per second of wall time.
     pub ops_per_sec: f64,
     /// `BUSY` completions / all completions.
@@ -245,8 +275,8 @@ pub struct BombReport {
     pub p99_ns: f64,
     /// 99.9th percentile, ns.
     pub p999_ns: f64,
-    /// Per-kind `(label, ok, busy, timeout, other, p50_ns, p99_ns)`.
-    pub per_op: Vec<(String, u64, u64, u64, u64, f64, f64)>,
+    /// Per-kind rows, one [`PerOpRow`] per op label.
+    pub per_op: Vec<PerOpRow>,
     /// Server-side counter delta over the run (STATS scrape before and
     /// after).
     pub server: Option<ServerDelta>,
@@ -263,12 +293,20 @@ pub struct ServerDelta {
     pub busy: u64,
     /// `TIMEOUT` responses.
     pub timeouts: u64,
+    /// `UNAVAIL` responses (keys routed to quarantined shards).
+    pub unavail: u64,
     /// Malformed-body refusals.
     pub bad_requests: u64,
     /// Desync-level failures that closed connections.
     pub frame_errors: u64,
     /// Cross-worker lookup handoffs.
     pub handoffs: u64,
+    /// Completed background scrub passes over the run window.
+    pub scrub_passes: u64,
+    /// Quarantined shards at the *end* of the window (a gauge).
+    pub quarantined_shards: u64,
+    /// Shards healed (rebuilt past quarantine) over the window.
+    pub heals: u64,
     /// Server-side service-time quantiles (decode → reply encode), ns.
     pub p50_ns: f64,
     /// 99th percentile, ns.
@@ -284,9 +322,13 @@ impl ServerDelta {
             responses: after.responses - before.responses,
             busy: after.busy - before.busy,
             timeouts: after.timeouts - before.timeouts,
+            unavail: after.unavail - before.unavail,
             bad_requests: after.bad_requests - before.bad_requests,
             frame_errors: after.frame_errors - before.frame_errors,
             handoffs: after.handoffs - before.handoffs,
+            scrub_passes: after.scrub_passes.saturating_sub(before.scrub_passes),
+            quarantined_shards: after.quarantined_shards,
+            heals: after.heals.saturating_sub(before.heals),
             ..StatsSnapshot::default()
         };
         for i in 0..LATENCY_BUCKETS {
@@ -297,9 +339,13 @@ impl ServerDelta {
             responses: delta.responses,
             busy: delta.busy,
             timeouts: delta.timeouts,
+            unavail: delta.unavail,
             bad_requests: delta.bad_requests,
             frame_errors: delta.frame_errors,
             handoffs: delta.handoffs,
+            scrub_passes: delta.scrub_passes,
+            quarantined_shards: delta.quarantined_shards,
+            heals: delta.heals,
             p50_ns: delta.latency_quantile_ns(0.50),
             p99_ns: delta.latency_quantile_ns(0.99),
             p999_ns: delta.latency_quantile_ns(0.999),
@@ -341,13 +387,18 @@ impl BombReport {
                     )
                     .with("duration_ms", self.config.duration.as_millis() as u64)
                     .with("scan_span", self.config.scan_span)
-                    .with("seed", self.config.seed),
+                    .with("seed", self.config.seed)
+                    .with("max_retries", u64::from(self.config.max_retries)),
             )
             .with("wall_ns", self.wall_ns)
             .with("sent", self.sent)
             .with("completed", self.completed)
             .with("shed", self.shed)
             .with("lost", self.lost)
+            .with("retries", self.retries)
+            .with("backoff_ns", self.backoff_ns)
+            .with("give_ups", self.give_ups)
+            .with("unavail", self.unavail)
             .with("ops_per_sec", self.ops_per_sec)
             .with("busy_rate", self.busy_rate)
             .with("timeout_rate", self.timeout_rate)
@@ -357,12 +408,13 @@ impl BombReport {
         let per_op: Vec<JsonObject> = self
             .per_op
             .iter()
-            .map(|(label, ok, busy, timeout, other, p50, p99)| {
+            .map(|(label, ok, busy, timeout, unavail, other, p50, p99)| {
                 JsonObject::new()
                     .with("op", label.as_str())
                     .with("ok", *ok)
                     .with("busy", *busy)
                     .with("timeout", *timeout)
+                    .with("unavail", *unavail)
                     .with("other_err", *other)
                     .with("p50_ns", *p50)
                     .with("p99_ns", *p99)
@@ -377,9 +429,13 @@ impl BombReport {
                     .with("responses", s.responses)
                     .with("busy", s.busy)
                     .with("timeouts", s.timeouts)
+                    .with("unavail", s.unavail)
                     .with("bad_requests", s.bad_requests)
                     .with("frame_errors", s.frame_errors)
                     .with("handoffs", s.handoffs)
+                    .with("scrub_passes", s.scrub_passes)
+                    .with("quarantined_shards", s.quarantined_shards)
+                    .with("heals", s.heals)
                     .with("p50_ns", s.p50_ns)
                     .with("p99_ns", s.p99_ns)
                     .with("p999_ns", s.p999_ns),
@@ -515,16 +571,19 @@ pub fn run(cfg: &BomberConfig) -> Result<BombReport> {
     let mut ok_total = 0u64;
     let mut busy_total = 0u64;
     let mut timeout_total = 0u64;
+    let mut unavail_total = 0u64;
     for (kind, tally) in KINDS.iter().zip(&mut total.per_op) {
         tally.lats.sort_unstable();
         ok_total += tally.ok;
         busy_total += tally.busy;
         timeout_total += tally.timeout;
+        unavail_total += tally.unavail;
         per_op.push((
             kind.label().to_string(),
             tally.ok,
             tally.busy,
             tally.timeout,
+            tally.unavail,
             tally.other_err,
             percentile(&tally.lats, 0.50),
             percentile(&tally.lats, 0.99),
@@ -543,6 +602,10 @@ pub fn run(cfg: &BomberConfig) -> Result<BombReport> {
         completed: total.completed,
         shed: total.shed,
         lost: total.lost,
+        retries: total.retries,
+        backoff_ns: total.backoff_ns,
+        give_ups: total.give_ups,
+        unavail: unavail_total,
         ops_per_sec: finite(ok_total as f64 * 1e9 / wall_ns as f64),
         busy_rate: safe_div(busy_total as f64, total.completed as f64),
         timeout_rate: safe_div(timeout_total as f64, total.completed as f64),
@@ -562,6 +625,17 @@ const MAX_BACKLOG: usize = 65_536;
 /// How long after the load window the connection waits for stragglers.
 const DRAIN_GRACE: Duration = Duration::from_secs(2);
 
+/// One unanswered request: everything needed to book its completion —
+/// or to re-send it verbatim after a transient refusal. Latency is
+/// always measured from `sched`, the *original* Poisson arrival, so a
+/// retried request's backoff shows up in the reported tail.
+struct InFlight {
+    sched: Instant,
+    kind: usize,
+    attempt: u32,
+    req: Request,
+}
+
 /// One connection's open-loop send/receive loop.
 #[allow(clippy::too_many_lines)]
 fn run_conn(
@@ -580,9 +654,18 @@ fn run_conn(
     let mut rng = ChaCha8Rng::seed_from_u64(conn_seed(cfg.seed, conn) ^ 0xB0B);
     let per_conn_rate = cfg.target_rate / cfg.connections.max(1) as f64;
 
+    let retry_policy = RetryPolicy {
+        max_retries: cfg.max_retries,
+        ..RetryPolicy::default()
+    };
+    let mut retry_rng = conn_seed(cfg.seed, conn) ^ 0x5EED;
+
     let mut tally = ConnTally::default();
-    let mut pending: HashMap<u32, (Instant, usize)> = HashMap::new();
+    let mut pending: HashMap<u32, InFlight> = HashMap::new();
     let mut due: VecDeque<Instant> = VecDeque::new();
+    // Refused requests waiting out their backoff before a re-send,
+    // with the instant they become sendable again.
+    let mut retries_due: VecDeque<(Instant, InFlight)> = VecDeque::new();
     let mut next_arrival = Instant::now();
     let mut next_req: u32 = 1;
     let mut outbuf: Vec<u8> = Vec::new();
@@ -594,9 +677,10 @@ fn run_conn(
         let now = Instant::now();
         if now >= hard_stop {
             tally.lost += pending.len() as u64;
+            tally.give_ups += retries_due.len() as u64;
             break;
         }
-        if now >= stop && pending.is_empty() && written == outbuf.len() {
+        if now >= stop && pending.is_empty() && retries_due.is_empty() && written == outbuf.len() {
             break;
         }
         let mut progressed = false;
@@ -624,6 +708,23 @@ fn run_conn(
             due.clear();
         }
 
+        // Re-send refused requests whose backoff has elapsed. Retries
+        // outrank fresh arrivals for window slots: the request already
+        // holds a latency debt measured from its original schedule.
+        while pending.len() < cfg.window {
+            match retries_due.front() {
+                Some((ready, _)) if *ready <= now => {}
+                _ => break,
+            }
+            let (_, inflight) = retries_due.pop_front().expect("checked front");
+            let req_id = next_req;
+            next_req = next_req.wrapping_add(1).max(1);
+            encode_request(req_id, &inflight.req, &mut outbuf);
+            pending.insert(req_id, inflight);
+            tally.sent += 1;
+            progressed = true;
+        }
+
         // Send while the window allows.
         while pending.len() < cfg.window {
             let Some(sched) = due.pop_front() else { break };
@@ -643,7 +744,15 @@ fn run_conn(
             let req_id = next_req;
             next_req = next_req.wrapping_add(1).max(1);
             encode_request(req_id, &req, &mut outbuf);
-            pending.insert(req_id, (sched, kind));
+            pending.insert(
+                req_id,
+                InFlight {
+                    sched,
+                    kind,
+                    attempt: 0,
+                    req,
+                },
+            );
             tally.sent += 1;
             progressed = true;
         }
@@ -671,6 +780,7 @@ fn run_conn(
             match stream.read(&mut scratch) {
                 Ok(0) => {
                     tally.lost += pending.len() as u64;
+                    tally.give_ups += retries_due.len() as u64;
                     return Ok(tally);
                 }
                 Ok(n) => {
@@ -687,19 +797,38 @@ fn run_conn(
         }
         while let Some(body) = decoder.next_frame()? {
             let resp = cobtree_core::protocol::decode_response(&body)?;
-            let Some((sched, kind)) = pending.remove(&resp.req_id) else {
+            let Some(mut inflight) = pending.remove(&resp.req_id) else {
                 continue;
             };
+            // Transient refusal with retry budget left: back off and
+            // re-send rather than booking a final outcome. Past the
+            // hard stop minus one backoff there is no point queueing.
+            if RetryPolicy::retryable(resp.status) && inflight.attempt < cfg.max_retries {
+                let backoff = retry_policy.backoff(inflight.attempt, &mut retry_rng);
+                let ready = Instant::now() + backoff;
+                if ready < hard_stop {
+                    tally.retries += 1;
+                    tally.backoff_ns += u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX);
+                    inflight.attempt += 1;
+                    retries_due.push_back((ready, inflight));
+                    progressed = true;
+                    continue;
+                }
+            }
             tally.completed += 1;
-            let op = &mut tally.per_op[kind];
+            if RetryPolicy::retryable(resp.status) && cfg.max_retries > 0 {
+                tally.give_ups += 1;
+            }
+            let op = &mut tally.per_op[inflight.kind];
             match resp.status {
                 Status::Ok => {
                     op.ok += 1;
-                    let ns = u64::try_from(sched.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let ns = u64::try_from(inflight.sched.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     op.lats.push(ns);
                 }
                 Status::Busy => op.busy += 1,
                 Status::Timeout => op.timeout += 1,
+                Status::Unavail => op.unavail += 1,
                 _ => op.other_err += 1,
             }
         }
@@ -761,21 +890,29 @@ mod tests {
             completed: 990,
             shed: 0,
             lost: 10,
+            retries: 7,
+            backoff_ns: 14_000_000,
+            give_ups: 2,
+            unavail: 3,
             ops_per_sec: 495.0,
             busy_rate: 0.001,
             timeout_rate: 0.0,
             p50_ns: 1_000.0,
             p99_ns: 9_000.0,
             p999_ns: 20_000.0,
-            per_op: vec![("get".to_string(), 900, 1, 0, 0, 1_000.0, 9_000.0)],
+            per_op: vec![("get".to_string(), 900, 1, 0, 3, 0, 1_000.0, 9_000.0)],
             server: Some(ServerDelta {
                 requests: 1000,
                 responses: 990,
                 busy: 1,
                 timeouts: 0,
+                unavail: 3,
                 bad_requests: 0,
                 frame_errors: 0,
                 handoffs: 500,
+                scrub_passes: 6,
+                quarantined_shards: 1,
+                heals: 1,
                 p50_ns: 800.0,
                 p99_ns: 7_000.0,
                 p999_ns: 15_000.0,
@@ -786,6 +923,16 @@ mod tests {
         // The CI gates grep these exact one-line shapes.
         assert!(json.contains("\"busy_rate\": 0.001"), "{json}");
         assert!(json.contains("\"ops_per_sec\": 495.000"), "{json}");
+        for field in [
+            "\"retries\": 7",
+            "\"give_ups\": 2",
+            "\"unavail\": 3",
+            "\"scrub_passes\": 6",
+            "\"quarantined_shards\": 1",
+            "\"heals\": 1",
+        ] {
+            assert!(json.contains(field), "{field} missing:\n{json}");
+        }
         assert!(
             json.lines()
                 .any(|l| l.trim_start().starts_with("\"p99_ns\":")),

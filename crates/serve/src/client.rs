@@ -7,6 +7,7 @@
 //! same frames from [`cobtree_core::protocol`].
 
 use crate::net::{Addr, NetStream};
+use cobtree_core::io::splitmix64;
 use cobtree_core::protocol::{
     decode_response, encode_request, FrameDecoder, Reply, Request, Response, StatsSnapshot, Status,
 };
@@ -14,12 +15,79 @@ use cobtree_core::{Error, Result};
 use std::io::{Read, Write};
 use std::time::Duration;
 
+/// Capped exponential backoff with deterministic jitter for the
+/// transient wire statuses (`BUSY`, `TIMEOUT`, `UNAVAIL`).
+///
+/// Attempt `k` (0-based) sleeps `min(base << k, cap)` scaled by a
+/// jitter factor in `[0.5, 1.0)` drawn from a seeded [`splitmix64`]
+/// stream, so two clients created with the same seed back off
+/// identically and two with different seeds never thundering-herd in
+/// phase.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; 0 disables retrying.
+    pub max_retries: u32,
+    /// Sleep before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+    /// Jitter stream seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(250),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether `status` is transient and worth retrying.
+    #[must_use]
+    pub fn retryable(status: Status) -> bool {
+        matches!(status, Status::Busy | Status::Timeout | Status::Unavail)
+    }
+
+    /// The sleep before retry `attempt` (0-based), jittered from
+    /// `rng_state`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, rng_state: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap);
+        // Jitter factor in [1/2, 1): keep at least half the exponential
+        // spacing so retries still spread out, never exceed the cap.
+        let r = splitmix64(rng_state) >> 11; // 53 random bits
+        let factor = 0.5 + (r as f64 / (1u64 << 53) as f64) * 0.5;
+        exp.mul_f64(factor)
+    }
+}
+
+/// Retry accounting kept by [`Client::call_with_retry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Re-sent requests (not counting each request's first attempt).
+    pub retries: u64,
+    /// Total time spent sleeping between attempts.
+    pub backoff: Duration,
+    /// Requests abandoned after exhausting `max_retries`.
+    pub give_ups: u64,
+}
+
 /// A connected blocking client.
 pub struct Client {
     stream: NetStream,
     decoder: FrameDecoder,
     next_req: u32,
     buf: Vec<u8>,
+    retry_rng: u64,
+    retry_stats: RetryStats,
 }
 
 impl Client {
@@ -46,6 +114,8 @@ impl Client {
             decoder: FrameDecoder::new(),
             next_req: 1,
             buf: Vec::new(),
+            retry_rng: RetryPolicy::default().seed,
+            retry_stats: RetryStats::default(),
         })
     }
 
@@ -74,6 +144,45 @@ impl Client {
             });
         }
         Ok(resp)
+    }
+
+    /// `call` wrapped in the retry loop: transient refusals (`BUSY`,
+    /// `TIMEOUT`, `UNAVAIL`) are re-sent after a capped, jittered
+    /// exponential backoff; any other response — including errors —
+    /// returns immediately. The final response is returned even when
+    /// retries are exhausted (a give-up is counted, the status is the
+    /// caller's to inspect).
+    ///
+    /// # Errors
+    /// Everything `call` raises.
+    pub fn call_with_retry(&mut self, req: &Request, policy: &RetryPolicy) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.call(req)?;
+            if !RetryPolicy::retryable(resp.status) {
+                return Ok(resp);
+            }
+            if attempt >= policy.max_retries {
+                self.retry_stats.give_ups += 1;
+                return Ok(resp);
+            }
+            let sleep = policy.backoff(attempt, &mut self.retry_rng);
+            std::thread::sleep(sleep);
+            self.retry_stats.retries += 1;
+            self.retry_stats.backoff += sleep;
+            attempt += 1;
+        }
+    }
+
+    /// Cumulative retry accounting across every `call_with_retry`.
+    #[must_use]
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Re-seeds the jitter stream (defaults to [`RetryPolicy`]'s seed).
+    pub fn seed_retry_jitter(&mut self, seed: u64) {
+        self.retry_rng = seed;
     }
 
     /// Writes one request without waiting for its response. The reply

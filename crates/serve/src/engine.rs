@@ -6,9 +6,10 @@
 //! the server to bit-identical answers).
 
 use crate::planner::AdaptiveEngine;
+use cobtree_core::io::RealIo;
 use cobtree_core::protocol::{BatchHit, Reply, Status, BUFFER_SHARD, MAX_RANGE_KEYS};
 use cobtree_search::tiered::{TierPlace, TieredForest};
-use cobtree_search::Forest;
+use cobtree_search::{Forest, ScrubReport};
 use std::sync::Arc;
 
 /// The store a server serves: reads go to whichever engine is mounted,
@@ -91,11 +92,33 @@ impl ServeEngine {
         }
     }
 
+    /// Whether `key`'s owning shard is serving; `Err(Status::Unavail)`
+    /// when it is quarantined.
+    fn check_key(&self, key: u64) -> Result<(), Status> {
+        let available = match self {
+            ServeEngine::Forest(f) => f.check_available(key),
+            ServeEngine::Adaptive(a) => a.snapshot().check_available(key),
+            ServeEngine::Tiered(t) => t.check_available(key),
+        };
+        available.map_err(|_| Status::Unavail)
+    }
+
+    /// Whether any shard is currently quarantined — the conservative
+    /// gate for ops whose answers span every shard (rank, select,
+    /// range, bounds).
+    #[must_use]
+    pub fn any_quarantined(&self) -> bool {
+        self.health_counters().1 > 0
+    }
+
     /// Point lookup → the protocol's `Hit` reply. Buffer-tier hits on
     /// the tiered engine report shard [`BUFFER_SHARD`] and position 0.
-    #[must_use]
-    pub fn get(&self, key: u64) -> Reply {
-        match self {
+    /// Keys routed to a quarantined shard answer
+    /// `Err(Status::Unavail)` — the rest of the key space keeps
+    /// serving.
+    pub fn get(&self, key: u64) -> EngineResult {
+        self.check_key(key)?;
+        Ok(match self {
             ServeEngine::Forest(f) => forest_get(f, key),
             ServeEngine::Adaptive(a) => {
                 let f = a.snapshot();
@@ -116,7 +139,7 @@ impl ServeEngine {
                 },
                 None => MISS,
             },
-        }
+        })
     }
 
     /// A whole batch of point lookups on the **calling** thread — the
@@ -126,8 +149,14 @@ impl ServeEngine {
     /// flight; the tiered engine must merge mutable tiers under its
     /// read lock, so it resolves per key. `out` gets one `Hit` reply
     /// per probe, in probe order.
-    pub fn get_batch(&self, keys: &[u64], width: usize, out: &mut Vec<Reply>) {
+    pub fn get_batch(&self, keys: &[u64], width: usize, out: &mut Vec<EngineResult>) {
         out.clear();
+        if self.any_quarantined() {
+            // Degraded path: resolve per key so only probes routed to
+            // the quarantined shard answer `Unavail`.
+            out.extend(keys.iter().map(|&k| self.get(k)));
+            return;
+        }
         match self {
             ServeEngine::Forest(f) => forest_get_batch(f, keys, width, out),
             ServeEngine::Adaptive(a) => {
@@ -143,9 +172,12 @@ impl ServeEngine {
         }
     }
 
-    /// Smallest stored key `>=` / `>` the probe.
-    #[must_use]
-    pub fn bound(&self, key: u64, upper: bool) -> Reply {
+    /// Smallest stored key `>=` / `>` the probe. `Unavail` while any
+    /// shard is quarantined (the answer may live in it).
+    pub fn bound(&self, key: u64, upper: bool) -> EngineResult {
+        if self.any_quarantined() {
+            return Err(Status::Unavail);
+        }
         let found = match (self, upper) {
             (ServeEngine::Forest(f), false) => f.lower_bound(key),
             (ServeEngine::Forest(f), true) => f.upper_bound(key),
@@ -154,42 +186,53 @@ impl ServeEngine {
             (ServeEngine::Tiered(t), false) => t.lower_bound(key),
             (ServeEngine::Tiered(t), true) => t.upper_bound(key),
         };
-        Reply::KeyOpt {
+        Ok(Reply::KeyOpt {
             found: found.is_some(),
             key: found.unwrap_or(0),
-        }
+        })
     }
 
-    /// Stored keys strictly below the probe (0-based rank).
-    #[must_use]
-    pub fn rank(&self, key: u64) -> Reply {
-        Reply::Rank {
+    /// Stored keys strictly below the probe (0-based rank). `Unavail`
+    /// while any shard is quarantined — forest-wide ranks depend on
+    /// every shard's key count being trustworthy.
+    pub fn rank(&self, key: u64) -> EngineResult {
+        if self.any_quarantined() {
+            return Err(Status::Unavail);
+        }
+        Ok(Reply::Rank {
             rank: match self {
                 ServeEngine::Forest(f) => f.rank(key),
                 ServeEngine::Adaptive(a) => a.snapshot().rank(key),
                 ServeEngine::Tiered(t) => t.rank(key),
             },
-        }
+        })
     }
 
-    /// The `rank`-th smallest stored key (1-based).
-    #[must_use]
-    pub fn select(&self, rank: u64) -> Reply {
+    /// The `rank`-th smallest stored key (1-based). `Unavail` while
+    /// any shard is quarantined.
+    pub fn select(&self, rank: u64) -> EngineResult {
+        if self.any_quarantined() {
+            return Err(Status::Unavail);
+        }
         let found = match self {
             ServeEngine::Forest(f) => f.select(rank),
             ServeEngine::Adaptive(a) => a.snapshot().select(rank),
             ServeEngine::Tiered(t) => t.select(rank),
         };
-        Reply::KeyOpt {
+        Ok(Reply::KeyOpt {
             found: found.is_some(),
             key: found.unwrap_or(0),
-        }
+        })
     }
 
     /// Ascending keys in `[lo, hi]`, at most `limit`; sets `truncated`
     /// when the scan stopped at the limit with keys remaining.
-    #[must_use]
-    pub fn range(&self, lo: u64, hi: u64, limit: u32) -> Reply {
+    /// `Unavail` while any shard is quarantined (the scan would cross
+    /// it).
+    pub fn range(&self, lo: u64, hi: u64, limit: u32) -> EngineResult {
+        if self.any_quarantined() {
+            return Err(Status::Unavail);
+        }
         let cap = (limit as usize).min(MAX_RANGE_KEYS);
         let mut keys = Vec::with_capacity(cap.min(256));
         let mut truncated = false;
@@ -223,13 +266,21 @@ impl ServeEngine {
                 }
             }
         }
-        Reply::Keys { truncated, keys }
+        Ok(Reply::Keys { truncated, keys })
     }
 
     /// The sorted-batch protocol op: ascending probes answered like
     /// per-probe `get`s. Tiered hits coming from the buffer tiers
     /// report [`BUFFER_SHARD`].
     pub fn sorted_batch(&self, keys: &[u64]) -> EngineResult {
+        if self.any_quarantined() {
+            // The batch reply has no per-hit status: if any probe
+            // routes to a quarantined shard the whole batch answers
+            // `Unavail` (probes clear of it still serve).
+            for &k in keys {
+                self.check_key(k)?;
+            }
+        }
         let mut hits = Vec::with_capacity(keys.len());
         match self {
             ServeEngine::Forest(f) => forest_sorted_batch(f, keys, &mut hits)?,
@@ -324,6 +375,34 @@ impl ServeEngine {
             ServeEngine::Forest(_) | ServeEngine::Tiered(_) => (0, 0, 0),
         }
     }
+
+    /// One paced scrub step — re-reads up to `budget` shard files
+    /// (0 = all) through the engine's storage seam, quarantining any
+    /// shard whose checksums no longer verify. The server's background
+    /// scrubber calls this on its pace budget.
+    pub fn scrub_step(&self, budget: usize) -> ScrubReport {
+        match self {
+            ServeEngine::Forest(f) => f.scrub_step(&RealIo, budget),
+            ServeEngine::Adaptive(a) => a.snapshot().scrub_step(&RealIo, budget),
+            ServeEngine::Tiered(t) => t.scrub_step(budget),
+        }
+    }
+
+    /// `(scrub_passes, quarantined_shards, heals)` for the stats
+    /// snapshot. The quarantined count is a live gauge; the other two
+    /// are lifetime counters (on the adaptive engine they track the
+    /// current forest snapshot, which hot-swaps reset).
+    #[must_use]
+    pub fn health_counters(&self) -> (u64, u64, u64) {
+        match self {
+            ServeEngine::Forest(f) => (f.scrub_passes(), f.quarantined_count() as u64, 0),
+            ServeEngine::Adaptive(a) => {
+                let f = a.snapshot();
+                (f.scrub_passes(), f.quarantined_count() as u64, 0)
+            }
+            ServeEngine::Tiered(t) => (t.scrub_passes(), t.quarantined_shards() as u64, t.heals()),
+        }
+    }
 }
 
 /// `Forest::locate` → the protocol's `Hit` reply.
@@ -339,16 +418,16 @@ fn forest_get(f: &Forest<u64>, key: u64) -> Reply {
 }
 
 /// The interleaved-kernel batch path shared by the forest engines.
-fn forest_get_batch(f: &Forest<u64>, keys: &[u64], width: usize, out: &mut Vec<Reply>) {
+fn forest_get_batch(f: &Forest<u64>, keys: &[u64], width: usize, out: &mut Vec<EngineResult>) {
     let mut hits = Vec::new();
     f.search_batch_interleaved(keys, width, &mut hits);
     out.extend(hits.into_iter().map(|h| match h {
-        Some((shard, position)) => Reply::Hit {
+        Some((shard, position)) => Ok(Reply::Hit {
             found: true,
             shard: shard as u32,
             position,
-        },
-        None => MISS,
+        }),
+        None => Ok(MISS),
     }));
 }
 
@@ -418,22 +497,22 @@ mod tests {
                 },
                 None => MISS,
             };
-            assert_eq!(engine.get(k), expect, "get({k})");
+            assert_eq!(engine.get(k), Ok(expect), "get({k})");
         }
-        assert_eq!(engine.rank(11), Reply::Rank { rank: f.rank(11) });
+        assert_eq!(engine.rank(11), Ok(Reply::Rank { rank: f.rank(11) }));
         assert_eq!(
             engine.bound(11, false),
-            Reply::KeyOpt {
+            Ok(Reply::KeyOpt {
                 found: true,
                 key: 12
-            }
+            })
         );
         assert_eq!(
             engine.select(0),
-            Reply::KeyOpt {
+            Ok(Reply::KeyOpt {
                 found: false,
                 key: 0
-            }
+            })
         );
         // Writes are refused, not mis-applied.
         assert_eq!(engine.write(7, false), Err(Status::Unsupported));
@@ -443,12 +522,12 @@ mod tests {
     #[test]
     fn range_truncation_flags() {
         let engine = forest_engine(100);
-        let Reply::Keys { truncated, keys } = engine.range(2, 60, 10) else {
+        let Ok(Reply::Keys { truncated, keys }) = engine.range(2, 60, 10) else {
             panic!("range reply shape")
         };
         assert!(truncated);
         assert_eq!(keys, (1..=10).map(|k| k * 2).collect::<Vec<_>>());
-        let Reply::Keys { truncated, keys } = engine.range(2, 20, 100) else {
+        let Ok(Reply::Keys { truncated, keys }) = engine.range(2, 20, 100) else {
             panic!("range reply shape")
         };
         assert!(!truncated);
@@ -463,17 +542,17 @@ mod tests {
         sorted.sort_unstable();
         let mut out = Vec::new();
         engine.get_batch(&sorted, 8, &mut out);
-        let direct: Vec<Reply> = sorted.iter().map(|&k| engine.get(k)).collect();
+        let direct: Vec<EngineResult> = sorted.iter().map(|&k| engine.get(k)).collect();
         assert_eq!(out, direct);
         let Ok(Reply::Batch { hits }) = engine.sorted_batch(&sorted) else {
             panic!("batch reply shape")
         };
         for (hit, d) in hits.iter().zip(&direct) {
-            let Reply::Hit {
+            let Ok(Reply::Hit {
                 found,
                 shard,
                 position,
-            } = *d
+            }) = *d
             else {
                 panic!()
             };
@@ -509,8 +588,8 @@ mod tests {
         // A swap may relocate keys within their shard's layout array,
         // so `position` is compared only before the swap; the ordered
         // surface (found/shard/key/rank) must never change.
-        let strip = |r: &Reply| match *r {
-            Reply::Hit { found, shard, .. } => (found, shard),
+        let strip = |r: &EngineResult| match *r {
+            Ok(Reply::Hit { found, shard, .. }) => (found, shard),
             _ => panic!("hit shape"),
         };
         for round in 0..2 {
@@ -587,19 +666,19 @@ mod tests {
             engine.write(7, false),
             Ok(Reply::Applied { applied: false })
         );
-        let Reply::Hit { found, shard, .. } = engine.get(7) else {
+        let Ok(Reply::Hit { found, shard, .. }) = engine.get(7) else {
             panic!("hit shape")
         };
         assert!(found);
         assert_eq!(shard, BUFFER_SHARD);
         // Base hits still carry real shard coordinates.
-        let Reply::Hit { found, shard, .. } = engine.get(100) else {
+        let Ok(Reply::Hit { found, shard, .. }) = engine.get(100) else {
             panic!("hit shape")
         };
         assert!(found);
         assert_ne!(shard, BUFFER_SHARD);
         assert_eq!(engine.write(7, true), Ok(Reply::Applied { applied: true }));
-        let Reply::Hit { found, .. } = engine.get(7) else {
+        let Ok(Reply::Hit { found, .. }) = engine.get(7) else {
             panic!("hit shape")
         };
         assert!(!found);

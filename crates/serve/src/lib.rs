@@ -45,8 +45,8 @@ pub mod planner;
 pub mod sampler;
 pub mod server;
 
-pub use client::Client;
-pub use engine::ServeEngine;
+pub use client::{Client, RetryPolicy, RetryStats};
+pub use engine::{EngineResult, ServeEngine};
 pub use planner::{AdaptiveEngine, ReoptOutcome};
 pub use sampler::TrafficSampler;
 pub use server::{Server, ServerConfig};

@@ -84,6 +84,14 @@ pub struct ServerConfig {
     /// Pending-reply bytes above which a connection's socket stops
     /// being read (backpressure on pipelining clients).
     pub write_buffer_cap: usize,
+    /// Background scrub cadence: every interval a low-priority thread
+    /// re-verifies `scrub_shards_per_pass` shard files against their
+    /// checksums and quarantines any that fail. `None` disables the
+    /// scrubber.
+    pub scrub_interval: Option<Duration>,
+    /// Shard files re-verified per scrub tick; 0 scans the whole
+    /// forest each tick.
+    pub scrub_shards_per_pass: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +105,8 @@ impl Default for ServerConfig {
             durable_writes: false,
             write_stall_timeout: Duration::from_secs(2),
             write_buffer_cap: 1 << 20,
+            scrub_interval: None,
+            scrub_shards_per_pass: 1,
         }
     }
 }
@@ -124,6 +134,7 @@ struct Counters {
     busy: AtomicU64,
     timeouts: AtomicU64,
     bad_requests: AtomicU64,
+    unavail: AtomicU64,
     frame_errors: AtomicU64,
     connections_opened: AtomicU64,
     connections_closed: AtomicU64,
@@ -143,6 +154,7 @@ impl Counters {
             busy: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            unavail: AtomicU64::new(0),
             frame_errors: AtomicU64::new(0),
             connections_opened: AtomicU64::new(0),
             connections_closed: AtomicU64::new(0),
@@ -160,6 +172,7 @@ impl Counters {
             busy: self.busy.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            unavail: self.unavail.load(Ordering::Relaxed),
             frame_errors: self.frame_errors.load(Ordering::Relaxed),
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
@@ -181,6 +194,7 @@ impl Counters {
             Status::Busy => Some(&self.busy),
             Status::Timeout => Some(&self.timeouts),
             Status::BadRequest => Some(&self.bad_requests),
+            Status::Unavail => Some(&self.unavail),
             _ => None,
         };
         if let Some(c) = counter {
@@ -393,7 +407,7 @@ impl Worker {
                 conn: j.conn,
                 req_id: j.req_id,
                 t0: j.t0,
-                result: Ok(reply),
+                result: reply,
             });
         }
     }
@@ -569,7 +583,7 @@ impl Worker {
     ) {
         let Some(shard) = self.engine.route_shard(key) else {
             let reply = self.engine.get(key);
-            finish(&self.stats, conn, req_id, Opcode::Get, t0, Ok(reply));
+            finish(&self.stats, conn, req_id, Opcode::Get, t0, reply);
             return;
         };
         let owner = shard % self.workers;
@@ -634,11 +648,11 @@ impl Worker {
     fn answer_inline(&self, req: Request) -> std::result::Result<Reply, Status> {
         match req {
             Request::Ping => Ok(Reply::Applied { applied: true }),
-            Request::LowerBound { key } => Ok(self.engine.bound(key, false)),
-            Request::UpperBound { key } => Ok(self.engine.bound(key, true)),
-            Request::Rank { key } => Ok(self.engine.rank(key)),
-            Request::Select { rank } => Ok(self.engine.select(rank)),
-            Request::Range { lo, hi, limit } => Ok(self.engine.range(lo, hi, limit)),
+            Request::LowerBound { key } => self.engine.bound(key, false),
+            Request::UpperBound { key } => self.engine.bound(key, true),
+            Request::Rank { key } => self.engine.rank(key),
+            Request::Select { rank } => self.engine.select(rank),
+            Request::Range { lo, hi, limit } => self.engine.range(lo, hi, limit),
             Request::Batch { keys } => self.engine.sorted_batch(&keys),
             Request::Flush => self.engine.flush(),
             // The planner runs on this worker's thread: Reopt is an
@@ -649,6 +663,8 @@ impl Worker {
                 let mut snap = self.stats.snapshot();
                 (snap.sampled_reads, snap.reopt_scans, snap.reopt_swaps) =
                     self.engine.adaptive_counters();
+                (snap.scrub_passes, snap.quarantined_shards, snap.heals) =
+                    self.engine.health_counters();
                 Ok(Reply::Stats(Box::new(snap)))
             }
             Request::Shutdown => {
@@ -674,7 +690,7 @@ impl Worker {
             .get_batch(&keys, self.cfg.batch_width, &mut replies);
         for (l, reply) in locals.drain(..).zip(replies) {
             if let Some(conn) = self.conns.get_mut(&l.conn) {
-                finish(&self.stats, conn, l.req_id, Opcode::Get, l.t0, Ok(reply));
+                finish(&self.stats, conn, l.req_id, Opcode::Get, l.t0, reply);
             }
         }
     }
@@ -771,6 +787,27 @@ fn run_acceptor(
 }
 
 // ---------------------------------------------------------------------
+// Scrubber
+// ---------------------------------------------------------------------
+
+/// Low-priority background scrub loop: every `interval` it re-verifies
+/// `budget` shard files against their stored checksums and quarantines
+/// any that fail. Sleeps in short slices so shutdown is never delayed
+/// by a long interval.
+fn run_scrubber(engine: &ServeEngine, state: &AtomicU8, interval: Duration, budget: usize) {
+    let slice = Duration::from_millis(20);
+    while state.load(Ordering::Acquire) == RUNNING {
+        let _ = engine.scrub_step(budget);
+        let mut left = interval;
+        while !left.is_zero() && state.load(Ordering::Acquire) == RUNNING {
+            let step = left.min(slice);
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Server handle
 // ---------------------------------------------------------------------
 
@@ -784,6 +821,7 @@ pub struct Server {
     state: Arc<AtomicU8>,
     stats: Arc<Counters>,
     acceptor: Option<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -864,12 +902,26 @@ impl Server {
                 .expect("spawn acceptor thread")
         };
 
+        let mut scrubber = None;
+        if let Some(interval) = cfg.scrub_interval {
+            let state = Arc::clone(&state);
+            let engine = engine.clone();
+            let budget = cfg.scrub_shards_per_pass;
+            scrubber = Some(
+                std::thread::Builder::new()
+                    .name("serve-scrub".to_string())
+                    .spawn(move || run_scrubber(&engine, &state, interval, budget))
+                    .expect("spawn scrub thread"),
+            );
+        }
+
         Ok(Server {
             addr: bound,
             engine,
             state,
             stats,
             acceptor: Some(acceptor),
+            scrubber,
             workers: handles,
         })
     }
@@ -886,6 +938,7 @@ impl Server {
     pub fn stats(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         (snap.sampled_reads, snap.reopt_scans, snap.reopt_swaps) = self.engine.adaptive_counters();
+        (snap.scrub_passes, snap.quarantined_shards, snap.heals) = self.engine.health_counters();
         snap
     }
 
@@ -898,6 +951,9 @@ impl Server {
 
     fn join_threads(&mut self) {
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrubber.take() {
             let _ = h.join();
         }
         for h in std::mem::take(&mut self.workers) {

@@ -238,6 +238,128 @@ fn slow_client_is_dropped_without_stalling_the_worker() {
     server.shutdown().expect("shutdown");
 }
 
+/// A manifest row that lies about a checksummed shard file must
+/// quarantine exactly that shard at open: the file's own checksums
+/// held, so the row is the corrupt side. Keys routed to the
+/// quarantined shard answer `UNAVAIL` over the wire, every other
+/// shard keeps full parity with the expected key set, and the next
+/// flush republishes consistent state — the heal.
+#[test]
+fn corrupt_manifest_row_quarantines_one_shard_and_heals_on_flush() {
+    use cobtree::core::format::{self, ManifestV2};
+    use cobtree::search::tiered::tiered_manifest_name;
+
+    let dir = temp_dir("quarantine", 0xDF);
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let tiered = TieredForest::builder()
+            .layout(NamedLayout::MinWep)
+            .shards(3)
+            .path(&dir)
+            .background(false)
+            .keys((1..=600u64).map(|k| k * 2))
+            .build()
+            .expect("build tiered");
+        tiered.flush().expect("flush");
+    }
+
+    // Corrupt the newest manifest: shrink the last populated row's key
+    // count, re-encode (the manifest's own framing stays valid — only
+    // the row now disagrees with the shard file it describes).
+    let epoch = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_prefix("forest-e")?
+                .strip_suffix(".cobf")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .expect("a published manifest");
+    let manifest_path = dir.join(tiered_manifest_name(epoch));
+    let bytes = std::fs::read(&manifest_path).expect("read manifest");
+    let mut manifest: ManifestV2<u64> = format::parse_manifest_v2(&bytes).expect("parse manifest");
+    let victim_slot = manifest
+        .shards
+        .iter()
+        .rposition(|r| r.bounds.is_some())
+        .expect("a populated shard row");
+    manifest.shards[victim_slot].key_count -= 1;
+    let corrupted = format::encode_manifest_v2(&manifest).expect("re-encode manifest");
+    std::fs::write(&manifest_path, corrupted).expect("rewrite manifest");
+
+    // Open trusts the checksummed file over the lying row and serves
+    // degraded: exactly one shard quarantined.
+    let tiered: TieredForest<u64> = TieredForest::open(&dir).expect("open quarantines, not fails");
+    assert_eq!(tiered.quarantined_shards(), 1, "exactly one shard");
+    let unavail_keys: Vec<u64> = (1..=600u64)
+        .map(|k| k * 2)
+        .filter(|&k| tiered.check_available(k).is_err())
+        .collect();
+    assert!(!unavail_keys.is_empty(), "quarantine covers a key range");
+    assert!(
+        unavail_keys.len() < 600,
+        "other shards must remain available"
+    );
+
+    let tiered = Arc::new(tiered);
+    let server = Server::start(
+        ServeEngine::Tiered(Arc::clone(&tiered)),
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = Client::connect(&server.addr().to_spec()).expect("connect");
+
+    // Degraded-but-serving: quarantined range answers UNAVAIL, the
+    // rest answers with full parity against the seeded key set.
+    for probe in (1..=600u64).map(|k| k * 2).step_by(7) {
+        let resp = client.call(&Request::Get { key: probe }).expect("call");
+        if unavail_keys.contains(&probe) {
+            assert_eq!(resp.status, Status::Unavail, "probe {probe}");
+        } else {
+            assert_eq!(resp.status, Status::Ok, "probe {probe}");
+            assert!(
+                matches!(resp.reply, Some(Reply::Hit { found: true, .. })),
+                "probe {probe} must be found"
+            );
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.quarantined_shards, 1);
+    assert!(stats.unavail > 0, "UNAVAIL responses were counted");
+
+    // The heal: one write + flush rebuilds the quarantined shard from
+    // its still-intact in-memory tree and republishes.
+    assert_eq!(
+        client
+            .call(&Request::Insert { key: 9_999 })
+            .expect("insert")
+            .status,
+        Status::Ok
+    );
+    assert_eq!(
+        client.call(&Request::Flush).expect("flush").status,
+        Status::Ok
+    );
+    assert_eq!(tiered.quarantined_shards(), 0, "flush heals");
+    assert!(tiered.heals() >= 1);
+    for &probe in &unavail_keys {
+        let resp = client.call(&Request::Get { key: probe }).expect("call");
+        assert_eq!(resp.status, Status::Ok, "healed probe {probe}");
+        assert!(
+            matches!(resp.reply, Some(Reply::Hit { found: true, .. })),
+            "healed probe {probe} must be found"
+        );
+    }
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// TierPlace is part of this test's contract surface: a key acked but
 /// not yet flushed reports from the buffer; after an explicit flush it
 /// must come from a shard. This ties the ack semantics the crash test
